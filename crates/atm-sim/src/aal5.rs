@@ -1,0 +1,356 @@
+//! AAL5 segmentation and reassembly (ITU-T I.363.5).
+//!
+//! A CPCS-PDU is the user frame, zero-padded so that frame + 8-byte trailer
+//! is a multiple of 48, with the trailer carrying `CPCS-UU`, `CPI`, the
+//! 16-bit payload length and a CRC-32 over the whole PDU. The PDU is cut
+//! into 48-byte cell payloads; the final cell is flagged via the PTI
+//! end-of-frame bit.
+//!
+//! The SDU-size discussion in the paper's §3.2 (4 KB – 64 KB, "corresponds
+//! to the single AAL5 frame … at most 64 Kbytes long") is enforced here via
+//! [`MAX_FRAME`].
+
+use crate::cell::{AtmCell, Vc, CELL_PAYLOAD};
+use crate::crc::{crc32, Crc32};
+
+/// Maximum AAL5 frame payload (16-bit length field).
+pub const MAX_FRAME: usize = 65_535;
+
+/// Trailer size in bytes.
+pub const TRAILER: usize = 8;
+
+/// Errors raised while segmenting a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentError {
+    /// Frame exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+    /// Empty frames are not allowed (length 0 marks an abort in AAL5).
+    Empty,
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the AAL5 maximum of {MAX_FRAME}")
+            }
+            SegmentError::Empty => write!(f, "empty frames cannot be segmented"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+/// Errors raised while reassembling a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReassemblyError {
+    /// Trailer CRC-32 check failed: a cell was lost or corrupted.
+    CrcMismatch,
+    /// Trailer length field is inconsistent with the received cell count.
+    LengthMismatch {
+        /// Length claimed by the trailer.
+        claimed: usize,
+        /// Bytes actually accumulated.
+        received: usize,
+    },
+    /// More cells arrived than the largest legal frame; the peer never sent
+    /// an end-of-frame cell (lost last cell).
+    Oversized,
+}
+
+impl std::fmt::Display for ReassemblyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReassemblyError::CrcMismatch => write!(f, "AAL5 CRC-32 mismatch"),
+            ReassemblyError::LengthMismatch { claimed, received } => write!(
+                f,
+                "AAL5 length mismatch: trailer claims {claimed}, received {received}"
+            ),
+            ReassemblyError::Oversized => {
+                write!(f, "AAL5 reassembly exceeded the maximum frame size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReassemblyError {}
+
+/// Segments `frame` into cells on `vc`.
+///
+/// # Errors
+///
+/// See [`SegmentError`].
+pub fn segment(vc: Vc, frame: &[u8]) -> Result<Vec<AtmCell>, SegmentError> {
+    if frame.is_empty() {
+        return Err(SegmentError::Empty);
+    }
+    if frame.len() > MAX_FRAME {
+        return Err(SegmentError::TooLarge(frame.len()));
+    }
+    // PDU = frame + pad + 8-byte trailer, multiple of 48.
+    let content = frame.len() + TRAILER;
+    let pdu_len = content.div_ceil(CELL_PAYLOAD) * CELL_PAYLOAD;
+    let pad = pdu_len - content;
+
+    let mut crc = Crc32::new();
+    crc.update(frame);
+    crc.update(&vec![0u8; pad]);
+    let mut trailer = [0u8; TRAILER];
+    // CPCS-UU = 0, CPI = 0.
+    trailer[2..4].copy_from_slice(&(frame.len() as u16).to_be_bytes());
+    crc.update(&trailer[..4]);
+    let crc_val = crc.finish();
+    trailer[4..].copy_from_slice(&crc_val.to_be_bytes());
+
+    let n_cells = pdu_len / CELL_PAYLOAD;
+    let mut cells = Vec::with_capacity(n_cells);
+    let mut pdu = Vec::with_capacity(pdu_len);
+    pdu.extend_from_slice(frame);
+    pdu.resize(pdu_len - TRAILER, 0);
+    pdu.extend_from_slice(&trailer);
+    debug_assert_eq!(pdu.len(), pdu_len);
+
+    for (i, chunk) in pdu.chunks_exact(CELL_PAYLOAD).enumerate() {
+        let mut payload = [0u8; CELL_PAYLOAD];
+        payload.copy_from_slice(chunk);
+        cells.push(AtmCell::data(vc, payload, i == n_cells - 1));
+    }
+    Ok(cells)
+}
+
+/// Per-VC reassembly state machine. Feed cells in arrival order; a completed
+/// frame (or an error) pops out when the end-of-frame cell arrives.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    buf: Vec<u8>,
+}
+
+impl Reassembler {
+    /// An empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one cell. Returns `Some` when a frame completes (possibly
+    /// with an error), `None` while accumulation continues.
+    pub fn push(&mut self, cell: &AtmCell) -> Option<Result<Vec<u8>, ReassemblyError>> {
+        self.buf.extend_from_slice(&cell.payload);
+        if !cell.is_frame_end() {
+            // Lost end-of-frame cells must not let the buffer grow forever.
+            if self.buf.len() > MAX_FRAME + CELL_PAYLOAD + TRAILER {
+                self.buf.clear();
+                return Some(Err(ReassemblyError::Oversized));
+            }
+            return None;
+        }
+        let pdu = std::mem::take(&mut self.buf);
+        Some(Self::finish(pdu))
+    }
+
+    /// Number of bytes accumulated for the in-progress frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Discards any partially accumulated frame (used on VC teardown).
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    fn finish(pdu: Vec<u8>) -> Result<Vec<u8>, ReassemblyError> {
+        debug_assert_eq!(pdu.len() % CELL_PAYLOAD, 0);
+        if pdu.len() < TRAILER {
+            return Err(ReassemblyError::LengthMismatch {
+                claimed: 0,
+                received: pdu.len(),
+            });
+        }
+        let crc_found = u32::from_be_bytes(pdu[pdu.len() - 4..].try_into().expect("4 bytes"));
+        let crc_calc = crc32(&pdu[..pdu.len() - 4]);
+        if crc_found != crc_calc {
+            return Err(ReassemblyError::CrcMismatch);
+        }
+        let claimed =
+            u16::from_be_bytes(pdu[pdu.len() - 6..pdu.len() - 4].try_into().expect("2 bytes"))
+                as usize;
+        let max_payload = pdu.len() - TRAILER;
+        // Valid padding is 0..=47 bytes: the claimed length must fit in the
+        // PDU and must need exactly this many cells.
+        if claimed == 0 || claimed > max_payload || max_payload - claimed >= CELL_PAYLOAD {
+            return Err(ReassemblyError::LengthMismatch {
+                claimed,
+                received: max_payload,
+            });
+        }
+        let mut frame = pdu;
+        frame.truncate(claimed);
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc() -> Vc {
+        Vc::new(100)
+    }
+
+    fn round_trip(frame: &[u8]) -> Result<Vec<u8>, ReassemblyError> {
+        let cells = segment(vc(), frame).expect("segment");
+        let mut r = Reassembler::new();
+        for (i, c) in cells.iter().enumerate() {
+            match r.push(c) {
+                Some(out) => {
+                    assert_eq!(i, cells.len() - 1, "frame completed early");
+                    return out;
+                }
+                None => assert!(i < cells.len() - 1),
+            }
+        }
+        panic!("frame never completed");
+    }
+
+    #[test]
+    fn one_byte_frame() {
+        assert_eq!(round_trip(&[0x42]).unwrap(), vec![0x42]);
+    }
+
+    #[test]
+    fn exact_multiple_of_48_needs_extra_cell_for_trailer() {
+        // 48 bytes payload + 8 trailer = 56 -> 2 cells.
+        let frame = vec![7u8; 48];
+        let cells = segment(vc(), &frame).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(round_trip(&frame).unwrap(), frame);
+    }
+
+    #[test]
+    fn forty_bytes_fits_one_cell() {
+        let frame = vec![9u8; 40]; // 40 + 8 = 48 exactly
+        let cells = segment(vc(), &frame).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].is_frame_end());
+        assert_eq!(round_trip(&frame).unwrap(), frame);
+    }
+
+    #[test]
+    fn large_frames_round_trip() {
+        for size in [1_000, 4_096, 65_535] {
+            let frame: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+            assert_eq!(round_trip(&frame).unwrap(), frame, "size {size}");
+        }
+    }
+
+    #[test]
+    fn cell_count_matches_formula() {
+        let frame = vec![0u8; 4096];
+        let cells = segment(vc(), &frame).unwrap();
+        assert_eq!(cells.len(), (4096usize + 8).div_ceil(48));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        assert_eq!(
+            segment(vc(), &vec![0u8; MAX_FRAME + 1]),
+            Err(SegmentError::TooLarge(MAX_FRAME + 1))
+        );
+    }
+
+    #[test]
+    fn empty_frame_rejected() {
+        assert_eq!(segment(vc(), &[]), Err(SegmentError::Empty));
+    }
+
+    #[test]
+    fn lost_middle_cell_fails_crc_or_length() {
+        let frame: Vec<u8> = (0..1000).map(|i| (i % 256) as u8).collect();
+        let cells = segment(vc(), &frame).unwrap();
+        let mut r = Reassembler::new();
+        let mut result = None;
+        for (i, c) in cells.iter().enumerate() {
+            if i == 3 {
+                continue; // drop one cell
+            }
+            if let Some(out) = r.push(c) {
+                result = Some(out);
+            }
+        }
+        match result {
+            Some(Err(ReassemblyError::CrcMismatch))
+            | Some(Err(ReassemblyError::LengthMismatch { .. })) => {}
+            other => panic!("lost cell undetected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let frame = vec![5u8; 500];
+        let mut cells = segment(vc(), &frame).unwrap();
+        cells[2].payload[10] ^= 0x80;
+        let mut r = Reassembler::new();
+        let mut result = None;
+        for c in &cells {
+            if let Some(out) = r.push(c) {
+                result = Some(out);
+            }
+        }
+        assert_eq!(result, Some(Err(ReassemblyError::CrcMismatch)));
+    }
+
+    #[test]
+    fn lost_final_cell_merges_frames_and_fails() {
+        // Without the end-of-frame cell, the next frame's cells merge in;
+        // the combined PDU must be rejected.
+        let frame = vec![1u8; 100];
+        let cells_a = segment(vc(), &frame).unwrap();
+        let cells_b = segment(vc(), &frame).unwrap();
+        let mut r = Reassembler::new();
+        let mut outcomes = Vec::new();
+        for c in cells_a.iter().take(cells_a.len() - 1).chain(cells_b.iter()) {
+            if let Some(out) = r.push(c) {
+                outcomes.push(out);
+            }
+        }
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].is_err());
+    }
+
+    #[test]
+    fn runaway_accumulation_is_bounded() {
+        let frame = vec![1u8; 40_000];
+        let cells = segment(vc(), &frame).unwrap();
+        let mut r = Reassembler::new();
+        // Never send the final cell; loop the others until Oversized pops.
+        let mut saw_oversized = false;
+        'outer: for _ in 0..4 {
+            for c in cells.iter().take(cells.len() - 1) {
+                if let Some(Err(ReassemblyError::Oversized)) = r.push(c) {
+                    saw_oversized = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(saw_oversized);
+        assert_eq!(r.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn reset_discards_partial_frame() {
+        let frame = vec![1u8; 1000];
+        let cells = segment(vc(), &frame).unwrap();
+        let mut r = Reassembler::new();
+        r.push(&cells[0]);
+        assert!(r.pending_bytes() > 0);
+        r.reset();
+        assert_eq!(r.pending_bytes(), 0);
+        // A fresh frame still reassembles cleanly afterwards.
+        let mut out = None;
+        for c in &cells {
+            if let Some(o) = r.push(c) {
+                out = Some(o);
+            }
+        }
+        assert_eq!(out.unwrap().unwrap(), frame);
+    }
+}

@@ -1,0 +1,232 @@
+//! The 53-byte ATM cell (UNI format).
+//!
+//! ```text
+//!  bit 7                                  bit 0
+//! +------------------+---------------------+
+//! |   GFC (4)        |   VPI (bits 7..4)   |  octet 0
+//! |   VPI (bits 3..0)|   VCI (bits 15..12) |  octet 1
+//! |          VCI (bits 11..4)              |  octet 2
+//! |   VCI (bits 3..0)|  PTI (3)  | CLP (1) |  octet 3
+//! |                 HEC (8)                |  octet 4
+//! |            payload (48 octets)         |  octets 5..52
+//! +----------------------------------------+
+//! ```
+
+use crate::crc::hec;
+
+/// Payload bytes carried by one cell.
+pub const CELL_PAYLOAD: usize = 48;
+
+/// Total encoded size of a cell.
+pub const CELL_SIZE: usize = 53;
+
+/// Identifier of a virtual channel on one link: VPI + VCI.
+///
+/// This simulator switches on the VCI only (VPI is kept for wire-format
+/// fidelity and is normally zero), which matches VC-switched SVCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Vc {
+    /// Virtual path identifier (8 bits at the UNI).
+    pub vpi: u8,
+    /// Virtual channel identifier.
+    pub vci: u16,
+}
+
+impl Vc {
+    /// VCs 0..=31 are reserved by the UNI (signaling, OAM, ILMI).
+    pub const FIRST_UNRESERVED_VCI: u16 = 32;
+
+    /// A VC with `vci` on virtual path 0.
+    pub const fn new(vci: u16) -> Self {
+        Vc { vpi: 0, vci }
+    }
+}
+
+impl std::fmt::Display for Vc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.vpi, self.vci)
+    }
+}
+
+/// Errors from decoding a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeCellError {
+    /// Input was not exactly 53 bytes.
+    WrongLength(usize),
+    /// The HEC byte did not match the header.
+    HecMismatch {
+        /// HEC carried in the cell.
+        found: u8,
+        /// HEC recomputed from the header.
+        expected: u8,
+    },
+}
+
+impl std::fmt::Display for DecodeCellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeCellError::WrongLength(n) => write!(f, "cell must be 53 bytes, got {n}"),
+            DecodeCellError::HecMismatch { found, expected } => {
+                write!(f, "HEC mismatch: found {found:#04x}, expected {expected:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeCellError {}
+
+/// One ATM cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtmCell {
+    /// Generic flow control (UNI only; 0 here).
+    pub gfc: u8,
+    /// Virtual channel this cell travels on.
+    pub vc: Vc,
+    /// Payload type indicator (3 bits). Bit 0 is the AAL5
+    /// end-of-frame marker (`PTI = xx1`).
+    pub pti: u8,
+    /// Cell loss priority: 1 = drop-eligible.
+    pub clp: bool,
+    /// 48-byte payload.
+    pub payload: [u8; CELL_PAYLOAD],
+}
+
+impl AtmCell {
+    /// A data cell on `vc`. `last` sets the AAL5 end-of-frame PTI bit.
+    pub fn data(vc: Vc, payload: [u8; CELL_PAYLOAD], last: bool) -> Self {
+        AtmCell {
+            gfc: 0,
+            vc,
+            pti: if last { 0b001 } else { 0b000 },
+            clp: false,
+            payload,
+        }
+    }
+
+    /// Whether this cell ends an AAL5 frame.
+    pub fn is_frame_end(&self) -> bool {
+        self.pti & 0b001 != 0
+    }
+
+    /// Encodes into the 53-byte wire format, computing the HEC.
+    pub fn encode(&self) -> [u8; CELL_SIZE] {
+        let mut out = [0u8; CELL_SIZE];
+        let h = self.header_octets();
+        out[..4].copy_from_slice(&h);
+        out[4] = hec(&h);
+        out[5..].copy_from_slice(&self.payload);
+        out
+    }
+
+    fn header_octets(&self) -> [u8; 4] {
+        let vci = self.vc.vci;
+        [
+            (self.gfc << 4) | (self.vc.vpi >> 4),
+            (self.vc.vpi << 4) | ((vci >> 12) as u8 & 0x0F),
+            (vci >> 4) as u8,
+            (((vci & 0x0F) as u8) << 4) | ((self.pti & 0b111) << 1) | self.clp as u8,
+        ]
+    }
+
+    /// Decodes a 53-byte cell, verifying the HEC.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeCellError::WrongLength`] for inputs that are not 53 bytes;
+    /// [`DecodeCellError::HecMismatch`] for corrupted headers.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeCellError> {
+        if bytes.len() != CELL_SIZE {
+            return Err(DecodeCellError::WrongLength(bytes.len()));
+        }
+        let mut h = [0u8; 4];
+        h.copy_from_slice(&bytes[..4]);
+        let expected = hec(&h);
+        if bytes[4] != expected {
+            return Err(DecodeCellError::HecMismatch {
+                found: bytes[4],
+                expected,
+            });
+        }
+        let gfc = h[0] >> 4;
+        let vpi = (h[0] << 4) | (h[1] >> 4);
+        let vci = (((h[1] & 0x0F) as u16) << 12) | ((h[2] as u16) << 4) | ((h[3] >> 4) as u16);
+        let pti = (h[3] >> 1) & 0b111;
+        let clp = h[3] & 1 != 0;
+        let mut payload = [0u8; CELL_PAYLOAD];
+        payload.copy_from_slice(&bytes[5..]);
+        Ok(AtmCell {
+            gfc,
+            vc: Vc { vpi, vci },
+            pti,
+            clp,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cell(last: bool) -> AtmCell {
+        let mut payload = [0u8; CELL_PAYLOAD];
+        for (i, b) in payload.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        AtmCell::data(Vc { vpi: 3, vci: 0xABC }, payload, last)
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for last in [false, true] {
+            let cell = sample_cell(last);
+            let bytes = cell.encode();
+            assert_eq!(bytes.len(), CELL_SIZE);
+            let back = AtmCell::decode(&bytes).unwrap();
+            assert_eq!(back, cell);
+            assert_eq!(back.is_frame_end(), last);
+        }
+    }
+
+    #[test]
+    fn header_bit_packing_is_exact() {
+        let cell = AtmCell {
+            gfc: 0xF,
+            vc: Vc {
+                vpi: 0xFF,
+                vci: 0xFFFF,
+            },
+            pti: 0b111,
+            clp: true,
+            payload: [0; CELL_PAYLOAD],
+        };
+        let bytes = cell.encode();
+        assert_eq!(&bytes[..4], &[0xFF, 0xFF, 0xFF, 0xFF]);
+        let back = AtmCell::decode(&bytes).unwrap();
+        assert_eq!(back, cell);
+    }
+
+    #[test]
+    fn corrupted_header_fails_hec() {
+        let mut bytes = sample_cell(false).encode();
+        bytes[2] ^= 0x10;
+        assert!(matches!(
+            AtmCell::decode(&bytes),
+            Err(DecodeCellError::HecMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert_eq!(
+            AtmCell::decode(&[0u8; 10]),
+            Err(DecodeCellError::WrongLength(10))
+        );
+    }
+
+    #[test]
+    fn vc_display_and_reserved_range() {
+        assert_eq!(Vc::new(42).to_string(), "0/42");
+        assert_eq!(Vc::FIRST_UNRESERVED_VCI, 32);
+    }
+}

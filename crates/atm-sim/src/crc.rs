@@ -1,0 +1,147 @@
+//! Checksums used by the ATM stack, implemented from scratch:
+//!
+//! * **CRC-32** (IEEE 802.3 polynomial, reflected) — the AAL5 CPCS trailer
+//!   checksum;
+//! * **HEC CRC-8** (polynomial `x^8 + x^2 + x + 1`, coset `0x55`) — the ATM
+//!   cell Header Error Control byte (ITU-T I.432).
+
+/// Reflected IEEE 802.3 polynomial.
+const CRC32_POLY: u32 = 0xEDB8_8320;
+
+/// HEC generator polynomial `x^8 + x^2 + x + 1`.
+const HEC_POLY: u8 = 0x07;
+
+/// ITU-T I.432 coset added to the HEC remainder.
+const HEC_COSET: u8 = 0x55;
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ CRC32_POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// Streaming CRC-32 (AAL5 / IEEE 802.3).
+///
+/// # Example
+///
+/// ```
+/// use atm_sim::crc::Crc32;
+///
+/// let mut crc = Crc32::new();
+/// crc.update(b"123456789");
+/// assert_eq!(crc.finish(), 0xCBF4_3926); // the standard check value
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a new checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let table = crc32_table();
+        for &b in data {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ table[idx];
+        }
+    }
+
+    /// Finalises and returns the checksum.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+/// HEC byte protecting the first four header octets of an ATM cell.
+pub fn hec(header4: &[u8; 4]) -> u8 {
+    let mut crc: u8 = 0;
+    for &b in header4 {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ HEC_POLY
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc ^ HEC_COSET
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut streaming = Crc32::new();
+        streaming.update(&data[..100]);
+        streaming.update(&data[100..]);
+        assert_eq!(streaming.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flip() {
+        let mut data = vec![0xA5u8; 64];
+        let orig = crc32(&data);
+        data[17] ^= 0x04;
+        assert_ne!(crc32(&data), orig);
+    }
+
+    #[test]
+    fn hec_differs_for_different_headers() {
+        let a = hec(&[0, 0, 0, 0]);
+        let b = hec(&[0, 0, 0, 1]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hec_all_zero_header_is_coset() {
+        // CRC of all-zero input is zero; the coset must still be applied.
+        assert_eq!(hec(&[0, 0, 0, 0]), HEC_COSET);
+    }
+}

@@ -1,0 +1,267 @@
+//! Real-time pump: drives the deterministic network against the wall clock
+//! so OS threads (the NCS runtime) can use it as a live network.
+//!
+//! Virtual time `t` maps to wall time `origin + t * scale`. A scale of 1.0
+//! runs the network in real time; smaller values compress the modelled 1998
+//! delays so long experiments finish quickly (results are reported in
+//! *model* time regardless).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::engine::NetEvent;
+use crate::network::{AtmError, ConnId, Network, NodeId, QosParams, SetupTicket};
+use crate::time::SimTime;
+
+/// Receiver of network events in pump mode. Implementations must be quick
+/// and non-blocking (called from the pump thread).
+pub trait DeliverySink: Send + Sync {
+    /// Called for every observable network event, in virtual-time order.
+    fn deliver(&self, event: NetEvent);
+}
+
+impl<F: Fn(NetEvent) + Send + Sync> DeliverySink for F {
+    fn deliver(&self, event: NetEvent) {
+        self(event);
+    }
+}
+
+/// Pump configuration.
+#[derive(Debug, Clone)]
+pub struct PumpConfig {
+    /// Wall seconds per virtual second. 1.0 = real time; 0.1 runs the model
+    /// 10x faster than real time.
+    pub time_scale: f64,
+}
+
+impl Default for PumpConfig {
+    fn default() -> Self {
+        PumpConfig { time_scale: 1.0 }
+    }
+}
+
+impl PumpConfig {
+    /// A pump running `x`-times faster than real time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite and positive.
+    pub fn speedup(x: f64) -> Self {
+        assert!(x.is_finite() && x > 0.0, "speedup must be positive");
+        PumpConfig { time_scale: 1.0 / x }
+    }
+}
+
+struct PumpShared {
+    net: Mutex<Network>,
+    cv: Condvar,
+    shutdown: std::sync::atomic::AtomicBool,
+    sink: Mutex<Option<Arc<dyn DeliverySink>>>,
+    origin: Instant,
+    scale: f64,
+}
+
+impl std::fmt::Debug for PumpShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PumpShared")
+            .field("scale", &self.scale)
+            .finish()
+    }
+}
+
+/// Drives a [`Network`] in real time on a dedicated thread.
+///
+/// All mutating operations lock the network, schedule work at the *current
+/// virtual time* and wake the pump thread; deliveries flow out through the
+/// installed [`DeliverySink`].
+#[derive(Debug)]
+pub struct RealTimePump {
+    shared: Arc<PumpShared>,
+    driver: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl RealTimePump {
+    /// Starts the pump over `net`.
+    pub fn start(net: Network, config: PumpConfig) -> Arc<Self> {
+        assert!(
+            config.time_scale.is_finite() && config.time_scale > 0.0,
+            "time scale must be positive"
+        );
+        let shared = Arc::new(PumpShared {
+            net: Mutex::new(net),
+            cv: Condvar::new(),
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+            sink: Mutex::new(None),
+            origin: Instant::now(),
+            scale: config.time_scale,
+        });
+        let driver_shared = Arc::clone(&shared);
+        let driver = std::thread::Builder::new()
+            .name("atm-pump".to_owned())
+            .spawn(move || Self::drive(driver_shared))
+            .expect("failed to spawn pump thread");
+        Arc::new(RealTimePump {
+            shared,
+            driver: Mutex::new(Some(driver)),
+        })
+    }
+
+    /// Installs the delivery sink (replacing any previous one).
+    pub fn set_sink(&self, sink: Arc<dyn DeliverySink>) {
+        *self.shared.sink.lock() = Some(sink);
+    }
+
+    /// Wall-clock duration corresponding to virtual duration `d`.
+    pub fn to_wall(&self, d: Duration) -> Duration {
+        d.mul_f64(self.shared.scale)
+    }
+
+    /// Current virtual time as derived from the wall clock.
+    pub fn now_virtual(&self) -> SimTime {
+        let elapsed = self.shared.origin.elapsed();
+        SimTime::ZERO + elapsed.div_f64(self.shared.scale)
+    }
+
+    /// Resolves a host name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.shared.net.lock().node_id(name)
+    }
+
+    /// Initiates VC setup; completion arrives at the sink as
+    /// [`NetEvent::VcEstablished`].
+    ///
+    /// # Errors
+    ///
+    /// Synchronous failures as in [`Network::open_vc_ids`].
+    pub fn open_vc(
+        &self,
+        origin: NodeId,
+        dest: NodeId,
+        qos: QosParams,
+    ) -> Result<SetupTicket, AtmError> {
+        let mut net = self.shared.net.lock();
+        self.sync_virtual_clock(&mut net);
+        let t = net.open_vc_ids(origin, dest, qos);
+        self.shared.cv.notify_all();
+        t
+    }
+
+    /// Submits a frame on an active connection.
+    ///
+    /// # Errors
+    ///
+    /// As [`Network::send_frame`].
+    pub fn send_frame(&self, host: NodeId, conn: ConnId, frame: Vec<u8>) -> Result<(), AtmError> {
+        let mut net = self.shared.net.lock();
+        self.sync_virtual_clock(&mut net);
+        let r = net.send_frame(host, conn, frame);
+        self.shared.cv.notify_all();
+        r
+    }
+
+    /// Tears down a connection.
+    ///
+    /// # Errors
+    ///
+    /// As [`Network::close_vc`].
+    pub fn close_vc(&self, host: NodeId, conn: ConnId) -> Result<(), AtmError> {
+        let mut net = self.shared.net.lock();
+        self.sync_virtual_clock(&mut net);
+        let r = net.close_vc(host, conn);
+        self.shared.cv.notify_all();
+        r
+    }
+
+    /// Network statistics snapshot.
+    pub fn stats(&self) -> crate::stats::NetStats {
+        self.shared.net.lock().stats()
+    }
+
+    /// Per-connection statistics snapshot.
+    pub fn conn_stats(&self, host: NodeId, conn: ConnId) -> Option<crate::stats::ConnStats> {
+        self.shared.net.lock().conn_stats(host, conn)
+    }
+
+    /// Stops the pump thread. Idempotent; called automatically on drop.
+    pub fn shutdown(&self) {
+        self.shared
+            .shutdown
+            .store(true, std::sync::atomic::Ordering::Release);
+        self.shared.cv.notify_all();
+        if let Some(h) = self.driver.lock().take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Advances the network's virtual clock to match the wall clock before
+    /// injecting externally-timed work, so submissions are stamped "now".
+    ///
+    /// Events are delivered to the sink *while the network lock is held* so
+    /// that deliveries from concurrent submitters and the pump thread reach
+    /// the sink in virtual-time order. Sinks therefore MUST NOT call back
+    /// into the pump (they should only move data into their own queues).
+    fn sync_virtual_clock(&self, net: &mut Network) {
+        let target = self.now_virtual();
+        if net.now() < target {
+            let events = net.run_until(target);
+            Self::fan_out(&self.shared, events);
+        }
+    }
+
+    fn fan_out(shared: &PumpShared, events: Vec<NetEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        let sink = shared.sink.lock().clone();
+        if let Some(sink) = sink {
+            for e in events {
+                sink.deliver(e);
+            }
+        }
+    }
+
+    fn drive(shared: Arc<PumpShared>) {
+        loop {
+            if shared.shutdown.load(std::sync::atomic::Ordering::Acquire) {
+                return;
+            }
+            let mut net = shared.net.lock();
+            // Catch up to the wall clock.
+            let elapsed = shared.origin.elapsed();
+            let target = SimTime::ZERO + elapsed.div_f64(shared.scale);
+            let events = if net.now() < target {
+                net.run_until(target)
+            } else {
+                net.drain_events()
+            };
+            // Deliver while still holding the network lock (ordering; see
+            // `sync_virtual_clock`).
+            Self::fan_out(&shared, events);
+            let next = net.next_event_time();
+            // Sleep until the next event is due on the wall clock (or until
+            // nudged by a submission), atomically releasing the lock.
+            match next {
+                Some(t) => {
+                    let wall_deadline = shared.origin + t.as_duration().mul_f64(shared.scale);
+                    let now = Instant::now();
+                    if wall_deadline > now {
+                        shared.cv.wait_until(&mut net, wall_deadline);
+                    }
+                }
+                None => {
+                    // Idle: wait for submissions, re-checking shutdown
+                    // periodically.
+                    shared.cv.wait_for(&mut net, Duration::from_millis(50));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for RealTimePump {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,78 @@
+//! Simulator statistics, surfaced per network and per connection.
+
+/// Network-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Cells injected onto any link.
+    pub cells_sent: u64,
+    /// Cells dropped by the fault process.
+    pub cells_lost: u64,
+    /// Cells whose payload was corrupted by the fault process.
+    pub cells_corrupted: u64,
+    /// Cells dropped because a switch output queue overflowed.
+    pub cells_dropped_congestion: u64,
+    /// AAL5 frames delivered intact to an endpoint.
+    pub frames_delivered: u64,
+    /// AAL5 frames discarded at reassembly (CRC/length failures).
+    pub frames_failed: u64,
+    /// Signaling SETUP messages processed.
+    pub setups: u64,
+    /// Signaling RELEASE messages processed.
+    pub releases: u64,
+}
+
+impl std::fmt::Display for NetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cells: sent={} lost={} corrupted={} congestion-dropped={}; \
+             frames: delivered={} failed={}; signaling: setups={} releases={}",
+            self.cells_sent,
+            self.cells_lost,
+            self.cells_corrupted,
+            self.cells_dropped_congestion,
+            self.frames_delivered,
+            self.frames_failed,
+            self.setups,
+            self.releases
+        )
+    }
+}
+
+/// Per-connection counters kept by each endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Frames submitted for transmission.
+    pub frames_sent: u64,
+    /// Frames delivered intact.
+    pub frames_received: u64,
+    /// Frames that failed reassembly on this connection.
+    pub frames_failed: u64,
+    /// Cells transmitted.
+    pub cells_sent: u64,
+    /// Cells received.
+    pub cells_received: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_counters() {
+        let s = NetStats {
+            cells_sent: 10,
+            frames_delivered: 2,
+            ..NetStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("sent=10"));
+        assert!(text.contains("delivered=2"));
+    }
+
+    #[test]
+    fn defaults_are_zero() {
+        assert_eq!(ConnStats::default().frames_sent, 0);
+        assert_eq!(NetStats::default().cells_lost, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Virtual simulation time.
+
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time, in nanoseconds since simulation start.
+///
+/// The discrete-event core is driven entirely by `SimTime`; the real-time
+/// pump maps it onto the wall clock (with an optional scale factor) only at
+/// the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time `nanos` nanoseconds after start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// A time `micros` microseconds after start.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// A time `millis` milliseconds after start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// A time `secs` seconds after start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This time as a [`Duration`] since simulation start.
+    pub const fn as_duration(self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, other: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    /// # Panics
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> Duration {
+        debug_assert!(self >= rhs, "SimTime subtraction underflow");
+        Duration::from_nanos(self.0 - rhs.0)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let us = self.0 / 1_000;
+        write!(f, "t+{}.{:03}ms", us / 1_000, us % 1_000)
+    }
+}
+
+/// Serialisation time of `bytes` at `bits_per_sec` on the wire.
+pub fn tx_time(bytes: usize, bits_per_sec: u64) -> Duration {
+    let bits = bytes as u128 * 8;
+    let nanos = bits * 1_000_000_000 / bits_per_sec as u128;
+    Duration::from_nanos(nanos as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(1) + Duration::from_micros(500);
+        assert_eq!(t.as_nanos(), 1_500_000);
+        assert_eq!(t - SimTime::from_millis(1), Duration::from_micros(500));
+        assert_eq!(
+            SimTime::from_millis(1).saturating_sub(SimTime::from_millis(2)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn cell_time_on_oc3() {
+        // 53 bytes at 155.52 Mb/s ~ 2.726 us.
+        let t = tx_time(53, 155_520_000);
+        assert!(t > Duration::from_nanos(2700) && t < Duration::from_nanos(2760));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SimTime::from_micros(1500).to_string(), "t+1.500ms");
+    }
+}

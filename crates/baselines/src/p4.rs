@@ -1,0 +1,189 @@
+//! p4-lite: the Argonne p4 library's point-to-point layer (Butler & Lusk
+//! 1994), as benchmarked by the paper.
+//!
+//! Characteristics reproduced:
+//!
+//! * typed messages (`p4_send(type, ...)` / `p4_recv(type, ...)`) with a
+//!   small fixed header, sent straight over the transport — p4's strength:
+//!   minimal layering;
+//! * one staging copy of the payload into the message buffer;
+//! * XDR conversion **only between heterogeneous hosts** (both sides
+//!   convert: sender encodes, receiver decodes);
+//! * platform sensitivity: p4's socket handling was tuned for AIX-like
+//!   stacks and mis-tuned for SunOS 5.5 (the Figure 12 reversal), carried
+//!   by the per-platform stack factor.
+
+use std::collections::VecDeque;
+
+use ncs_transport::Connection;
+
+use crate::common::{CostedTransport, EndpointSpec, MessageSystem, SystemError};
+use crate::xdr::{XdrDecoder, XdrEncoder};
+
+const MAGIC: u8 = 0x70; // 'p'
+
+/// One endpoint of a p4 pair.
+pub struct P4Endpoint {
+    transport: CostedTransport,
+    hetero: bool,
+    /// Messages received but not yet matched by type.
+    unmatched: VecDeque<(u32, Vec<u8>)>,
+}
+
+impl std::fmt::Debug for P4Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("P4Endpoint")
+            .field("hetero", &self.hetero)
+            .field("unmatched", &self.unmatched.len())
+            .finish()
+    }
+}
+
+impl P4Endpoint {
+    /// Creates the endpoint over `conn`.
+    pub fn new(conn: Box<dyn Connection>, spec: EndpointSpec) -> Self {
+        let hetero = spec.heterogeneous();
+        P4Endpoint {
+            transport: CostedTransport::new("p4", conn, spec),
+            hetero,
+            unmatched: VecDeque::new(),
+        }
+    }
+
+    fn encode(&self, tag: u32, data: &[u8]) -> Vec<u8> {
+        // Header: magic, type, length. Payload staged with one copy
+        // (XDR-encoded when heterogeneous).
+        let mut frame = Vec::with_capacity(16 + data.len());
+        frame.push(MAGIC);
+        frame.extend_from_slice(&tag.to_be_bytes());
+        if self.hetero {
+            self.transport.charge_xdr(data.len(), 1.0);
+            let mut enc = XdrEncoder::new();
+            enc.put_opaque(data);
+            let body = enc.finish();
+            frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+            frame.push(1); // xdr flag
+            frame.extend_from_slice(&body);
+        } else {
+            self.transport.charge_copy(data.len());
+            frame.extend_from_slice(&(data.len() as u32).to_be_bytes());
+            frame.push(0);
+            frame.extend_from_slice(data);
+        }
+        frame
+    }
+
+    fn decode(&self, frame: &[u8]) -> Result<(u32, Vec<u8>), SystemError> {
+        if frame.len() < 10 || frame[0] != MAGIC {
+            return Err(SystemError::Protocol("bad p4 frame".to_owned()));
+        }
+        let tag = u32::from_be_bytes(frame[1..5].try_into().expect("4"));
+        let len = u32::from_be_bytes(frame[5..9].try_into().expect("4")) as usize;
+        let xdr = frame[9] == 1;
+        let body = &frame[10..];
+        if body.len() != len {
+            return Err(SystemError::Protocol(format!(
+                "p4 length mismatch: header {len}, body {}",
+                body.len()
+            )));
+        }
+        if xdr {
+            self.transport.charge_xdr(len, 1.0);
+            let mut dec = XdrDecoder::new(body);
+            let data = dec
+                .get_opaque()
+                .map_err(|e| SystemError::Protocol(e.to_string()))?;
+            Ok((tag, data))
+        } else {
+            self.transport.charge_copy(len);
+            Ok((tag, body.to_vec()))
+        }
+    }
+}
+
+impl MessageSystem for P4Endpoint {
+    fn name(&self) -> &'static str {
+        "p4"
+    }
+
+    fn send(&mut self, tag: u32, data: &[u8]) -> Result<(), SystemError> {
+        let frame = self.encode(tag, data);
+        self.transport.send(&frame)
+    }
+
+    fn recv(&mut self, tag: u32) -> Result<Vec<u8>, SystemError> {
+        if let Some(pos) = self.unmatched.iter().position(|(t, _)| *t == tag) {
+            return Ok(self.unmatched.remove(pos).expect("position valid").1);
+        }
+        loop {
+            let frame = self.transport.recv()?;
+            let (t, data) = self.decode(&frame)?;
+            if t == tag {
+                return Ok(data);
+            }
+            self.unmatched.push_back((t, data));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn pair() -> (P4Endpoint, P4Endpoint) {
+        let (a, b) = ncs_transport::hpi::pair(4096);
+        (
+            P4Endpoint::new(Box::new(a), EndpointSpec::unmodelled()),
+            P4Endpoint::new(Box::new(b), EndpointSpec::unmodelled()),
+        )
+    }
+
+    #[test]
+    fn send_recv_round_trip() {
+        let (mut a, mut b) = pair();
+        a.send(7, b"p4 message").unwrap();
+        assert_eq!(b.recv(7).unwrap(), b"p4 message");
+        assert_eq!(a.name(), "p4");
+    }
+
+    #[test]
+    fn type_matching_queues_mismatches() {
+        let (mut a, mut b) = pair();
+        a.send(1, b"first").unwrap();
+        a.send(2, b"second").unwrap();
+        a.send(1, b"third").unwrap();
+        assert_eq!(b.recv(2).unwrap(), b"second");
+        assert_eq!(b.recv(1).unwrap(), b"first");
+        assert_eq!(b.recv(1).unwrap(), b"third");
+    }
+
+    #[test]
+    fn heterogeneous_pair_survives_xdr() {
+        let spec_sun = EndpointSpec {
+            local: Arc::new(netmodel::PlatformProfile::sun4()),
+            remote: Arc::new(netmodel::PlatformProfile::rs6000()),
+            pacer: Arc::new(netmodel::Pacer::disabled()),
+        };
+        let spec_rs = EndpointSpec {
+            local: Arc::new(netmodel::PlatformProfile::rs6000()),
+            remote: Arc::new(netmodel::PlatformProfile::sun4()),
+            pacer: Arc::new(netmodel::Pacer::disabled()),
+        };
+        let (ta, tb) = ncs_transport::hpi::pair(4096);
+        let mut a = P4Endpoint::new(Box::new(ta), spec_sun);
+        let mut b = P4Endpoint::new(Box::new(tb), spec_rs);
+        assert!(a.hetero && b.hetero);
+        let payload: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        a.send(3, &payload).unwrap();
+        assert_eq!(b.recv(3).unwrap(), payload);
+    }
+
+    #[test]
+    fn large_messages() {
+        let (mut a, mut b) = pair();
+        let payload = vec![0xABu8; 100_000];
+        a.send(9, &payload).unwrap();
+        assert_eq!(b.recv(9).unwrap(), payload);
+    }
+}

@@ -1,0 +1,208 @@
+//! XDR (RFC 1014) encoding — the external data representation used by PVM's
+//! `PvmDataDefault` and by p4/MPICH for heterogeneous transfers.
+//!
+//! Everything is big-endian and padded to 4-byte alignment. Only the types
+//! the benchmark workloads need are implemented (integers, doubles, opaque
+//! byte arrays), but they are implemented honestly — encode produces real
+//! RFC-conformant bytes and decode validates them.
+
+/// Errors from XDR decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XdrError(pub String);
+
+impl std::fmt::Display for XdrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XDR decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for XdrError {}
+
+/// Streaming XDR encoder.
+#[derive(Debug, Default)]
+pub struct XdrEncoder {
+    buf: Vec<u8>,
+}
+
+impl XdrEncoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes a 32-bit signed integer.
+    pub fn put_i32(&mut self, v: i32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Encodes a 32-bit unsigned integer.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Encodes a double-precision float.
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Encodes variable-length opaque data (length + bytes + padding).
+    pub fn put_opaque(&mut self, data: &[u8]) -> &mut Self {
+        self.put_u32(data.len() as u32);
+        self.buf.extend_from_slice(data);
+        let pad = (4 - data.len() % 4) % 4;
+        self.buf.extend(std::iter::repeat_n(0u8, pad));
+        self
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Streaming XDR decoder.
+#[derive(Debug)]
+pub struct XdrDecoder<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> XdrDecoder<'a> {
+    /// Decodes from `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        XdrDecoder { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], XdrError> {
+        if self.at + n > self.buf.len() {
+            return Err(XdrError(format!(
+                "need {n} bytes at offset {}, only {} available",
+                self.at,
+                self.buf.len() - self.at
+            )));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    /// Decodes a 32-bit signed integer.
+    ///
+    /// # Errors
+    ///
+    /// [`XdrError`] on truncation.
+    pub fn get_i32(&mut self) -> Result<i32, XdrError> {
+        Ok(i32::from_be_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Decodes a 32-bit unsigned integer.
+    ///
+    /// # Errors
+    ///
+    /// [`XdrError`] on truncation.
+    pub fn get_u32(&mut self) -> Result<u32, XdrError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Decodes a double.
+    ///
+    /// # Errors
+    ///
+    /// [`XdrError`] on truncation.
+    pub fn get_f64(&mut self) -> Result<f64, XdrError> {
+        Ok(f64::from_be_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Decodes opaque data.
+    ///
+    /// # Errors
+    ///
+    /// [`XdrError`] on truncation or bad padding.
+    pub fn get_opaque(&mut self) -> Result<Vec<u8>, XdrError> {
+        let len = self.get_u32()? as usize;
+        let data = self.take(len)?.to_vec();
+        let pad = (4 - len % 4) % 4;
+        let padding = self.take(pad)?;
+        if padding.iter().any(|&b| b != 0) {
+            return Err(XdrError("nonzero padding".to_owned()));
+        }
+        Ok(data)
+    }
+
+    /// Unconsumed byte count.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut e = XdrEncoder::new();
+        e.put_i32(-42).put_u32(7).put_f64(3.5);
+        let bytes = e.finish();
+        assert_eq!(bytes.len(), 16);
+        let mut d = XdrDecoder::new(&bytes);
+        assert_eq!(d.get_i32().unwrap(), -42);
+        assert_eq!(d.get_u32().unwrap(), 7);
+        assert_eq!(d.get_f64().unwrap(), 3.5);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn opaque_pads_to_four_bytes() {
+        for len in 0..9 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            let mut e = XdrEncoder::new();
+            e.put_opaque(&data);
+            let bytes = e.finish();
+            assert_eq!(bytes.len() % 4, 0, "len {len}");
+            let mut d = XdrDecoder::new(&bytes);
+            assert_eq!(d.get_opaque().unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut e = XdrEncoder::new();
+        e.put_opaque(&[1, 2, 3, 4, 5]);
+        let bytes = e.finish();
+        let mut d = XdrDecoder::new(&bytes[..6]);
+        assert!(d.get_opaque().is_err());
+        let mut d = XdrDecoder::new(&[0, 0]);
+        assert!(d.get_u32().is_err());
+    }
+
+    #[test]
+    fn nonzero_padding_rejected() {
+        let mut e = XdrEncoder::new();
+        e.put_opaque(&[1]);
+        let mut bytes = e.finish();
+        *bytes.last_mut().unwrap() = 0xFF;
+        let mut d = XdrDecoder::new(&bytes);
+        assert!(d.get_opaque().is_err());
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut e = XdrEncoder::new();
+        e.put_u32(0x0102_0304);
+        assert_eq!(e.finish(), vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the baseline systems: XDR conformance and
+//! end-to-end payload integrity for every system over every payload.
+
+use baselines::common::{EndpointSpec, MessageSystem};
+use baselines::xdr::{XdrDecoder, XdrEncoder};
+use baselines::{mpi::MpiEndpoint, p4::P4Endpoint, pvm::PvmEndpoint};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary sequences of XDR items round-trip exactly.
+    #[test]
+    fn xdr_round_trips_item_sequences(
+        items in proptest::collection::vec(
+            prop_oneof![
+                any::<i32>().prop_map(XdrItem::I32),
+                any::<u32>().prop_map(XdrItem::U32),
+                any::<f64>().prop_map(XdrItem::F64),
+                proptest::collection::vec(any::<u8>(), 0..64).prop_map(XdrItem::Opaque),
+            ],
+            0..32,
+        )
+    ) {
+        let mut enc = XdrEncoder::new();
+        for item in &items {
+            match item {
+                XdrItem::I32(v) => { enc.put_i32(*v); }
+                XdrItem::U32(v) => { enc.put_u32(*v); }
+                XdrItem::F64(v) => { enc.put_f64(*v); }
+                XdrItem::Opaque(v) => { enc.put_opaque(v); }
+            }
+        }
+        let bytes = enc.finish();
+        prop_assert_eq!(bytes.len() % 4, 0, "XDR stream must stay 4-aligned");
+        let mut dec = XdrDecoder::new(&bytes);
+        for item in &items {
+            match item {
+                XdrItem::I32(v) => prop_assert_eq!(dec.get_i32().unwrap(), *v),
+                XdrItem::U32(v) => prop_assert_eq!(dec.get_u32().unwrap(), *v),
+                XdrItem::F64(v) => {
+                    let got = dec.get_f64().unwrap();
+                    prop_assert!(got == *v || (got.is_nan() && v.is_nan()));
+                }
+                XdrItem::Opaque(v) => prop_assert_eq!(&dec.get_opaque().unwrap(), v),
+            }
+        }
+        prop_assert_eq!(dec.remaining(), 0);
+    }
+
+    /// Every baseline system moves arbitrary payloads intact, homogeneous
+    /// and heterogeneous alike.
+    #[test]
+    fn baselines_preserve_arbitrary_payloads(
+        payload in proptest::collection::vec(any::<u8>(), 1..20_000),
+        tag in 1u32..1000,
+        hetero: bool,
+    ) {
+        let (spec_a, spec_b) = if hetero {
+            let sun = std::sync::Arc::new(netmodel::PlatformProfile::sun4());
+            let rs = std::sync::Arc::new(netmodel::PlatformProfile::rs6000());
+            let pacer = std::sync::Arc::new(netmodel::Pacer::disabled());
+            (
+                EndpointSpec {
+                    local: std::sync::Arc::clone(&sun),
+                    remote: std::sync::Arc::clone(&rs),
+                    pacer: std::sync::Arc::clone(&pacer),
+                },
+                EndpointSpec {
+                    local: rs,
+                    remote: sun,
+                    pacer,
+                },
+            )
+        } else {
+            (EndpointSpec::unmodelled(), EndpointSpec::unmodelled())
+        };
+
+        // p4
+        let (ca, cb) = ncs_transport::hpi::pair(8192);
+        let mut a = P4Endpoint::new(Box::new(ca), spec_a.clone());
+        let mut b = P4Endpoint::new(Box::new(cb), spec_b.clone());
+        a.send(tag, &payload).unwrap();
+        prop_assert_eq!(&b.recv(tag).unwrap(), &payload);
+
+        // PVM
+        let (ca, cb) = ncs_transport::hpi::pair(8192);
+        let mut a = PvmEndpoint::new(Box::new(ca), spec_a.clone());
+        let mut b = PvmEndpoint::new(Box::new(cb), spec_b.clone());
+        a.send(tag, &payload).unwrap();
+        prop_assert_eq!(&b.recv(tag).unwrap(), &payload);
+
+        // MPI (spawn the sender: rendezvous blocks above the threshold).
+        let (ca, cb) = ncs_transport::hpi::pair(8192);
+        let mut a = MpiEndpoint::new(Box::new(ca), spec_a);
+        let mut b = MpiEndpoint::new(Box::new(cb), spec_b);
+        let p2 = payload.clone();
+        let sender = std::thread::spawn(move || {
+            a.send(tag, &p2).unwrap();
+        });
+        prop_assert_eq!(&b.recv(tag).unwrap(), &payload);
+        sender.join().unwrap();
+    }
+}
+
+#[derive(Debug, Clone)]
+enum XdrItem {
+    I32(i32),
+    U32(u32),
+    F64(f64),
+    Opaque(Vec<u8>),
+}

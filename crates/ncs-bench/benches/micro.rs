@@ -1,0 +1,150 @@
+//! Criterion micro-benchmarks for the hot paths under the paper's
+//! experiments: checksums, AAL5 SAR, NCS packet codecs, the ack bitmap,
+//! mailbox handoffs and green-thread context switches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_crc32(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32");
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| atm_sim::crc::crc32(black_box(data)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_aal5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aal5");
+    let vc = atm_sim::cell::Vc::new(42);
+    for size in [4096usize, 65535] {
+        let frame = vec![0x3Cu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(
+            BenchmarkId::new("segment", size),
+            &frame,
+            |b, frame| {
+                b.iter(|| atm_sim::aal5::segment(vc, black_box(frame)).unwrap());
+            },
+        );
+        let cells = atm_sim::aal5::segment(vc, &frame).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("reassemble", size),
+            &cells,
+            |b, cells| {
+                b.iter(|| {
+                    let mut r = atm_sim::aal5::Reassembler::new();
+                    let mut out = None;
+                    for cell in cells {
+                        if let Some(done) = r.push(black_box(cell)) {
+                            out = Some(done);
+                        }
+                    }
+                    out.unwrap().unwrap()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ncs_packet");
+    for size in [1usize, 4096] {
+        let packet = ncs_core::packet::DataPacket {
+            header: ncs_core::packet::DataHeader {
+                conn: 1,
+                src_conn: 2,
+                session: 3,
+                seq: 4,
+                end: true,
+            },
+            payload: vec![9u8; size],
+        };
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("encode", size), &packet, |b, p| {
+            b.iter(|| black_box(p).encode());
+        });
+        let bytes = packet.encode();
+        g.bench_with_input(BenchmarkId::new("decode", size), &bytes, |b, bytes| {
+            b.iter(|| ncs_core::packet::DataPacket::decode(black_box(bytes)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    c.bench_function("ack_bitmap_1024_sdu_cycle", |b| {
+        b.iter(|| {
+            let mut bm = ncs_core::seq::AckBitmap::all_missing(1024);
+            for i in 0..1024 {
+                bm.mark_received(i);
+            }
+            black_box(bm.any_missing())
+        });
+    });
+}
+
+fn bench_mailbox(c: &mut Criterion) {
+    c.bench_function("mailbox_send_recv", |b| {
+        let m = ncs_threads::sync::Mailbox::unbounded();
+        b.iter(|| {
+            m.send(black_box(7u64));
+            black_box(m.recv())
+        });
+    });
+}
+
+fn bench_context_switch(c: &mut Criterion) {
+    // Measures round-trip green-thread switches: primary <-> child, 1000
+    // yields per runtime entry, amortised.
+    c.bench_function("green_ctx_switch_pair", |b| {
+        b.iter_custom(|iters| {
+            let runs = iters.max(1);
+            let start = std::time::Instant::now();
+            ncs_threads::UserRuntime::default().run(move |pkg| {
+                use ncs_threads::{ThreadPackage, ThreadPackageExt};
+                let pkg2 = pkg.clone();
+                let inner = runs;
+                let child = pkg.spawn_typed("pong", move || {
+                    for _ in 0..inner {
+                        pkg2.yield_now();
+                    }
+                });
+                for _ in 0..runs {
+                    pkg.yield_now();
+                }
+                child.join().unwrap();
+            });
+            start.elapsed()
+        });
+    });
+}
+
+fn bench_hpi_roundtrip(c: &mut Criterion) {
+    c.bench_function("hpi_send_recv_1b", |b| {
+        let (a, rx) = ncs_transport::hpi::pair(1024);
+        let a = Arc::new(a);
+        b.iter(|| {
+            use ncs_transport::Connection;
+            a.send(black_box(b"x")).unwrap();
+            black_box(rx.recv().unwrap())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_crc32,
+    bench_aal5,
+    bench_packet_codec,
+    bench_bitmap,
+    bench_mailbox,
+    bench_context_switch,
+    bench_hpi_roundtrip,
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Runs every paper-reproduction experiment in sequence (Table I,
+//! Figures 10-13). Equivalent to running each dedicated binary.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1_send_breakdown",
+        "fig10_thread_packages",
+        "fig11_overhead_ratio",
+        "fig12_same_platform",
+        "fig13_heterogeneous",
+    ];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("bin directory");
+    let mut failures = 0;
+    for bin in bins {
+        println!("\n################ {bin} ################");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} FAILED with {status}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("\nall experiments completed");
+}

@@ -1,0 +1,100 @@
+//! Table I — the cost of sending a 1-byte message via the Send Thread,
+//! itemised: session overhead (function entry/exit, header attach, queue,
+//! two context switches, dequeue, buffer free) vs data-transfer overhead
+//! (the transmit itself).
+//!
+//! Two substrates are reported:
+//!
+//! * **modelled SCI (SUN-4)** — the transmit costs what a 1998 socket send
+//!   cost, so the session/data split is comparable with the paper's
+//!   108 µs / 274 µs (28 % / 72 %);
+//! * **modern HPI** — the same path on raw hardware, showing how the
+//!   session share grows when the transmit becomes nearly free (the very
+//!   observation that motivated the paper's §4.2 thread-bypass variant).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ncs_bench::{env_f64, env_usize};
+use ncs_core::link::{HpiLinkPair, PipeLinkPair};
+use ncs_core::{ConnectionConfig, NcsNode, SendBreakdown};
+use ncs_transport::pipe::{EndpointModel, PipeConfig};
+use netmodel::{Pacer, PlatformProfile};
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn collect(conn: &ncs_core::NcsConnection, samples: usize) -> SendBreakdown {
+    let mut runs = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        runs.push(conn.send_profiled(&[0x42]).expect("profiled send"));
+    }
+    SendBreakdown {
+        fn_entry_exit: median(runs.iter().map(|b| b.fn_entry_exit).collect()),
+        header_attach: median(runs.iter().map(|b| b.header_attach).collect()),
+        queue_request: median(runs.iter().map(|b| b.queue_request).collect()),
+        ctx_switch_to_send: median(runs.iter().map(|b| b.ctx_switch_to_send).collect()),
+        dequeue_request: median(runs.iter().map(|b| b.dequeue_request).collect()),
+        transmit: median(runs.iter().map(|b| b.transmit).collect()),
+        free_buffer: median(runs.iter().map(|b| b.free_buffer).collect()),
+        ctx_switch_back: median(runs.iter().map(|b| b.ctx_switch_back).collect()),
+    }
+}
+
+fn main() {
+    let samples = env_usize("NCS_ITERS", 300);
+    let time_scale = env_f64("NCS_TIME_SCALE", 1.0);
+    println!("Table I reproduction: cost of sending a 1-byte message via the Send Thread");
+    println!("(median of {samples} sends; paper reference: session 108 us = 28 %, transmit 274 us = 72 %)");
+
+    // Variant A: modelled 1998 SCI on a SUN-4.
+    {
+        let pacer = Arc::new(Pacer::new(time_scale));
+        let model = EndpointModel {
+            profile: Arc::new(PlatformProfile::sun4()),
+            pacer,
+        };
+        let (la, lb) = PipeLinkPair::create(
+            PipeConfig {
+                time_scale,
+                ..PipeConfig::default()
+            },
+            Some(model),
+            None,
+        );
+        let a = NcsNode::builder("t1-a").build();
+        let b = NcsNode::builder("t1-b").build();
+        a.attach_peer("t1-b", la);
+        b.attach_peer("t1-a", lb);
+        let conn = a.connect("t1-b", ConnectionConfig::unreliable()).unwrap();
+        let breakdown = collect(&conn, samples);
+        println!("\n--- modelled SCI, SUN-4/SunOS 5.5 (time_scale={time_scale}) ---");
+        println!("{breakdown}");
+        a.shutdown();
+        b.shutdown();
+    }
+
+    // Variant B: modern HPI substrate.
+    {
+        let (la, lb) = HpiLinkPair::create();
+        let a = NcsNode::builder("t1-c").build();
+        let b = NcsNode::builder("t1-d").build();
+        a.attach_peer("t1-d", la);
+        b.attach_peer("t1-c", lb);
+        let conn = a.connect("t1-d", ConnectionConfig::unreliable()).unwrap();
+        let breakdown = collect(&conn, samples);
+        println!("\n--- modern HPI (no platform model) ---");
+        println!("{breakdown}");
+        a.shutdown();
+        b.shutdown();
+    }
+
+    println!(
+        "\nshape check: session overhead is size-independent and dominates \
+         small-message sends; on the 1998 model its share approaches the \
+         paper's ~28 %, on modern hardware it dominates outright — the \
+         motivation for NCS's direct (thread-bypass) send variant"
+    );
+}

@@ -1,0 +1,1409 @@
+//! Per-connection machinery: the data-plane threads (Send/Receive), the
+//! control threads bound to the connection (Flow Control, Error Control)
+//! and the public [`NcsConnection`] handle.
+//!
+//! The threaded send path follows the paper's Figure 4 exactly:
+//!
+//! 1. `NCS_send` activates the Error Control Thread;
+//! 2. the EC thread segments the message into SDUs and activates the Flow
+//!    Control Thread;
+//! 3. the FC thread releases packets to the Send Thread as credits permit;
+//! 4. the Send Thread transmits on the data connection;
+//! 5-8. on the receive side the Receive Thread activates the FC thread,
+//!    which grants credits over the control connection and activates the
+//!    EC thread;
+//! 9-10. the EC thread reassembles, delivers into the user buffer and sends
+//!    the acknowledgement bitmap over the control connection.
+//!
+//! When a connection is configured without flow/error control the threads
+//! are bypassed (paper §3.1); in *direct* mode (§4.2) no per-connection
+//! threads exist at all and the same strategy objects run as procedures on
+//! the caller's thread.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ncs_threads::sync::{Event, Mailbox, NcsMutex};
+use ncs_threads::{SpawnOptions, ThreadPackage};
+use ncs_transport::{Connection as Transport, TransportError};
+use parking_lot::Mutex;
+
+use crate::config::{ConnectionConfig, ErrorControlAlg, FlowControlAlg};
+use crate::error_control::{
+    build_receiver, build_sender, AckInfo, ReceiverStep, SenderEc, SenderStep,
+};
+use crate::flow_control::{build as build_fc, FlowControlStrategy};
+use crate::packet::{CtrlMsg, DataHeader, DataPacket};
+use crate::stats::{ConnCounters, ConnectionStats, SendBreakdown};
+
+/// Errors from sending on an NCS connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The connection is closed (locally or by the peer).
+    Closed,
+    /// Message too large for this configuration (unreliable connections
+    /// are limited to one SDU; reliable ones to the bitmap's SDU count).
+    TooLarge {
+        /// Offered message length.
+        len: usize,
+        /// Configuration limit.
+        max: usize,
+    },
+    /// Empty messages cannot be sent.
+    Empty,
+    /// Error control exhausted its retries.
+    DeliveryFailed(String),
+    /// The underlying interface failed.
+    Transport(String),
+    /// Timed out waiting for a synchronous completion.
+    Timeout,
+    /// The operation requires a different connection mode (e.g.
+    /// `send_direct` on a threaded connection).
+    WrongMode(&'static str),
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Closed => write!(f, "connection closed"),
+            SendError::TooLarge { len, max } => {
+                write!(f, "message of {len} bytes exceeds limit {max}")
+            }
+            SendError::Empty => write!(f, "empty messages cannot be sent"),
+            SendError::DeliveryFailed(why) => write!(f, "delivery failed: {why}"),
+            SendError::Transport(e) => write!(f, "transport error: {e}"),
+            SendError::Timeout => write!(f, "timed out"),
+            SendError::WrongMode(need) => write!(f, "operation requires {need} mode"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+impl From<TransportError> for SendError {
+    fn from(e: TransportError) -> Self {
+        match e {
+            TransportError::Closed => SendError::Closed,
+            TransportError::Timeout => SendError::Timeout,
+            other => SendError::Transport(other.to_string()),
+        }
+    }
+}
+
+/// Completion slot for synchronous sends.
+#[derive(Debug)]
+pub(crate) struct Completion {
+    done: Event,
+    result: Mutex<Option<Result<(), SendError>>>,
+}
+
+impl Completion {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Completion {
+            done: Event::new(),
+            result: Mutex::new(None),
+        })
+    }
+
+    pub(crate) fn complete(&self, r: Result<(), SendError>) {
+        *self.result.lock() = Some(r);
+        self.done.fire();
+    }
+
+    pub(crate) fn wait(&self, timeout: Duration) -> Result<(), SendError> {
+        if !self.done.wait_timeout(timeout) {
+            return Err(SendError::Timeout);
+        }
+        self.result
+            .lock()
+            .clone()
+            .unwrap_or(Err(SendError::Closed))
+    }
+}
+
+/// Timestamps for the Table-I breakdown, filled along the bypass send path.
+#[derive(Debug)]
+pub(crate) struct SendTrace {
+    pub queued_at: Mutex<Option<Instant>>,
+    pub dequeued_at: Mutex<Option<Instant>>,
+    pub transmitted_at: Mutex<Option<Instant>>,
+    pub freed_at: Mutex<Option<Instant>>,
+    /// Fired the moment the Send Thread dequeues the request (the hand-off
+    /// acknowledgement `send_handoff` waits for).
+    pub accepted: Event,
+    pub done: Event,
+}
+
+impl SendTrace {
+    fn new() -> Arc<Self> {
+        Arc::new(SendTrace {
+            queued_at: Mutex::new(None),
+            dequeued_at: Mutex::new(None),
+            transmitted_at: Mutex::new(None),
+            freed_at: Mutex::new(None),
+            accepted: Event::new(),
+            done: Event::new(),
+        })
+    }
+}
+
+/// Messages activating the Error Control (sender) Thread.
+pub(crate) enum EcSendMsg {
+    Send {
+        data: Vec<u8>,
+        completion: Option<Arc<Completion>>,
+    },
+    Ack(AckInfo),
+    Shutdown,
+}
+
+/// Messages activating the Flow Control Thread.
+pub(crate) enum FcMsg {
+    /// Sender side: packets of the current session to release under flow
+    /// control.
+    Enqueue(Vec<DataPacket>),
+    /// Sender side: a retransmission round — anything still queued from
+    /// the same session is superseded (prevents timeout storms from
+    /// ballooning the queue behind stale duplicates).
+    Replace(Vec<DataPacket>),
+    /// Sender side: credits/acks from the peer's FC thread.
+    Feedback(u32),
+    /// Receiver side: a data packet arrived.
+    Incoming(DataPacket),
+    Shutdown,
+}
+
+/// Messages activating the Error Control (receiver) Thread.
+pub(crate) enum EcRecvMsg {
+    Packet(DataPacket),
+    Shutdown,
+}
+
+/// Messages activating the Send Thread.
+pub(crate) enum SendMsg {
+    Frame {
+        bytes: Vec<u8>,
+        trace: Option<Arc<SendTrace>>,
+    },
+    Shutdown,
+}
+
+/// Connection lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConnState {
+    Connecting,
+    Active,
+    Closed,
+}
+
+/// Shared state of one connection endpoint.
+pub(crate) struct ConnShared {
+    pub id: u32,
+    pub peer_name: String,
+    pub peer_conn: AtomicU32,
+    pub config: ConnectionConfig,
+    pub state: Mutex<ConnState>,
+    pub established: Event,
+    pub closed: AtomicBool,
+    /// The dedicated data channel.
+    pub transport: Arc<dyn Transport>,
+    /// The per-peer Control Send Thread's inbox (control connection).
+    pub ctrl_tx: Arc<Mailbox<CtrlMsg>>,
+    // Thread activation mailboxes.
+    pub ec_send_inbox: Mailbox<EcSendMsg>,
+    pub fc_inbox: Mailbox<FcMsg>,
+    pub ec_recv_inbox: Mailbox<EcRecvMsg>,
+    pub send_inbox: Mailbox<SendMsg>,
+    /// Reassembled messages awaiting `NCS_recv`.
+    pub delivery: Mailbox<Vec<u8>>,
+    pub counters: ConnCounters,
+    pub next_session: AtomicU32,
+    /// Sticky error from the error-control plane (reported on
+    /// `send_sync`/`recv`).
+    pub last_error: Mutex<Option<SendError>>,
+    // Direct-mode state (paper §4.2): strategies run inline.
+    pub direct_events: Mailbox<DirectEvent>,
+    pub direct_send: NcsMutex<Option<DirectSender>>,
+    pub direct_recv: NcsMutex<Option<DirectReceiver>>,
+}
+
+impl std::fmt::Debug for ConnShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnShared")
+            .field("id", &self.id)
+            .field("peer", &self.peer_name)
+            .field("state", &*self.state.lock())
+            .field("interface", &self.transport.caps().interface)
+            .finish()
+    }
+}
+
+/// Control events routed to a direct-mode connection.
+#[derive(Debug)]
+pub(crate) enum DirectEvent {
+    Ack(AckInfo),
+    Credit(u32),
+}
+
+/// Inline sender engine for direct mode.
+pub(crate) struct DirectSender {
+    pub ec: Box<dyn SenderEc>,
+    pub fc: Box<dyn FlowControlStrategy>,
+}
+
+impl std::fmt::Debug for DirectSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirectSender").finish()
+    }
+}
+
+/// Inline receiver engine for direct mode.
+pub(crate) struct DirectReceiver {
+    pub ec: Box<dyn crate::error_control::ReceiverEc>,
+    pub fc: Box<dyn FlowControlStrategy>,
+    /// Sessions below this were delivered; see `ec_recv_thread`.
+    pub delivered_below: u32,
+}
+
+impl std::fmt::Debug for DirectReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirectReceiver").finish()
+    }
+}
+
+impl ConnShared {
+    pub(crate) fn new(
+        id: u32,
+        peer_name: String,
+        config: ConnectionConfig,
+        transport: Arc<dyn Transport>,
+        ctrl_tx: Arc<Mailbox<CtrlMsg>>,
+    ) -> Arc<Self> {
+        let direct = config.direct;
+        let shared = Arc::new(ConnShared {
+            id,
+            peer_name,
+            peer_conn: AtomicU32::new(u32::MAX),
+            config,
+            state: Mutex::new(ConnState::Connecting),
+            established: Event::new(),
+            closed: AtomicBool::new(false),
+            transport,
+            ctrl_tx,
+            ec_send_inbox: Mailbox::unbounded(),
+            fc_inbox: Mailbox::unbounded(),
+            ec_recv_inbox: Mailbox::unbounded(),
+            send_inbox: Mailbox::unbounded(),
+            delivery: Mailbox::unbounded(),
+            counters: ConnCounters::default(),
+            next_session: AtomicU32::new(0),
+            last_error: Mutex::new(None),
+            direct_events: Mailbox::unbounded(),
+            direct_send: NcsMutex::new(None),
+            direct_recv: NcsMutex::new(None),
+        });
+        if direct {
+            *shared.direct_send.lock() = Some(DirectSender {
+                ec: build_sender(&shared.config.error_control),
+                fc: build_fc(&shared.config.flow_control),
+            });
+            *shared.direct_recv.lock() = Some(DirectReceiver {
+                ec: build_receiver(&shared.config.error_control),
+                fc: build_fc(&shared.config.flow_control),
+                delivered_below: 0,
+            });
+        }
+        shared
+    }
+
+    /// Largest message this configuration accepts.
+    pub(crate) fn max_message(&self) -> usize {
+        if matches!(self.config.error_control, ErrorControlAlg::None) {
+            // Without error control there is no reassembly guarantee across
+            // loss; bound messages to what segmentation keeps intact on an
+            // ordered transport (still multiple SDUs, delivered on the end
+            // bit).
+            self.config.sdu_size * 64
+        } else {
+            self.config.sdu_size * crate::seq::AckBitmap::MAX_TOTAL as usize
+        }
+    }
+
+    pub(crate) fn peer_conn_id(&self) -> u32 {
+        self.peer_conn.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn mark_established(&self, peer_conn: u32) {
+        self.peer_conn.store(peer_conn, Ordering::Release);
+        *self.state.lock() = ConnState::Active;
+        self.established.fire();
+    }
+
+    pub(crate) fn fail(&self, error: SendError) {
+        *self.last_error.lock() = Some(error);
+        self.counters.send_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Learns the peer's connection id from an incoming data packet (covers
+    /// the window where data outruns the control-plane accept).
+    pub(crate) fn note_peer_conn(&self, src: u32) {
+        let _ = self.peer_conn.compare_exchange(
+            u32::MAX,
+            src,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Segments `data` into SDU packets for `session`.
+    pub(crate) fn segment(&self, session: u32, data: &[u8]) -> Vec<DataPacket> {
+        let sdu = self.config.sdu_size;
+        let n = data.len().div_ceil(sdu).max(1);
+        let peer_conn = self.peer_conn_id();
+        (0..n)
+            .map(|i| {
+                let lo = i * sdu;
+                let hi = ((i + 1) * sdu).min(data.len());
+                DataPacket {
+                    header: DataHeader {
+                        conn: peer_conn,
+                        src_conn: self.id,
+                        session,
+                        seq: i as u32,
+                        end: i == n - 1,
+                    },
+                    payload: data[lo..hi].to_vec(),
+                }
+            })
+            .collect()
+    }
+
+    pub(crate) fn initiate_close(&self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        *self.state.lock() = ConnState::Closed;
+        // Tell the peer (best effort), then stop our threads.
+        let peer = self.peer_conn_id();
+        if peer != u32::MAX {
+            self.ctrl_tx.send(CtrlMsg::CloseConn { conn: peer });
+        }
+        self.shutdown_threads();
+    }
+
+    pub(crate) fn peer_closed(&self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        *self.state.lock() = ConnState::Closed;
+        self.shutdown_threads();
+    }
+
+    fn shutdown_threads(&self) {
+        self.ec_send_inbox.send(EcSendMsg::Shutdown);
+        self.fc_inbox.send(FcMsg::Shutdown);
+        self.ec_recv_inbox.send(EcRecvMsg::Shutdown);
+        self.send_inbox.send(SendMsg::Shutdown);
+        self.transport.close();
+        self.established.fire();
+    }
+}
+
+/// Spawns the per-connection threads appropriate for the configuration
+/// (none in direct mode; Send/Receive only when FC and EC are both `None`,
+/// per §3.1's bypass).
+pub(crate) fn spawn_connection_threads(
+    pkg: &Arc<dyn ThreadPackage>,
+    shared: &Arc<ConnShared>,
+) -> Vec<ncs_threads::JoinHandle> {
+    if shared.config.direct {
+        return Vec::new();
+    }
+    let mut handles = Vec::new();
+    let tag = format!("c{}-{}", shared.id, shared.peer_name);
+
+    // Send Thread (always).
+    {
+        let s = Arc::clone(shared);
+        handles.push(pkg.spawn_with(
+            SpawnOptions::new(format!("ncs-send-{tag}")).daemon(true),
+            Box::new(move || send_thread(&s)),
+        ));
+    }
+    // Receive Thread (always).
+    {
+        let s = Arc::clone(shared);
+        handles.push(pkg.spawn_with(
+            SpawnOptions::new(format!("ncs-recv-{tag}")).daemon(true),
+            Box::new(move || recv_thread(&s)),
+        ));
+    }
+    if shared.config.needs_control_threads() {
+        // Error Control Threads, sender and receiver halves.
+        {
+            let s = Arc::clone(shared);
+            handles.push(pkg.spawn_with(
+                SpawnOptions::new(format!("ncs-ec-tx-{tag}")).daemon(true),
+                Box::new(move || ec_send_thread(&s)),
+            ));
+        }
+        {
+            let s = Arc::clone(shared);
+            handles.push(pkg.spawn_with(
+                SpawnOptions::new(format!("ncs-ec-rx-{tag}")).daemon(true),
+                Box::new(move || ec_recv_thread(&s)),
+            ));
+        }
+        // Flow Control Thread (when an algorithm is configured).
+        if !matches!(shared.config.flow_control, FlowControlAlg::None) {
+            let s = Arc::clone(shared);
+            handles.push(pkg.spawn_with(
+                SpawnOptions::new(format!("ncs-fc-{tag}")).daemon(true),
+                Box::new(move || fc_thread(&s)),
+            ));
+        }
+    }
+    handles
+}
+
+const IDLE_TICK: Duration = Duration::from_millis(100);
+
+/// The Send Thread: drains the send queue onto the data connection
+/// (Figure 4 step 4).
+fn send_thread(shared: &ConnShared) {
+    loop {
+        match shared.send_inbox.recv_timeout(IDLE_TICK) {
+            Ok(SendMsg::Frame { bytes, trace }) => {
+                if let Some(t) = &trace {
+                    *t.dequeued_at.lock() = Some(Instant::now());
+                    // Hand-off acknowledgement: the caller may resume (and,
+                    // under the kernel package, overlap its computation
+                    // with a transmit that blocks below — §4.1).
+                    t.accepted.fire();
+                }
+                let r = shared.transport.send(&bytes);
+                shared.counters.packets_sent.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &trace {
+                    *t.transmitted_at.lock() = Some(Instant::now());
+                }
+                drop(bytes);
+                if let Some(t) = &trace {
+                    *t.freed_at.lock() = Some(Instant::now());
+                    t.done.fire();
+                }
+                if matches!(r, Err(TransportError::Closed)) {
+                    shared.peer_closed();
+                    return;
+                }
+            }
+            Ok(SendMsg::Shutdown) => return,
+            Err(_) => {
+                if shared.closed.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The Receive Thread: pulls frames off the data connection and activates
+/// the next plane (FC if configured, else EC, else direct delivery) —
+/// Figure 4 steps 7-8.
+fn recv_thread(shared: &ConnShared) {
+    let has_fc = !matches!(shared.config.flow_control, FlowControlAlg::None);
+    let has_ctrl = shared.config.needs_control_threads();
+    // Inline reassembler for the fully-bypassed path.
+    let mut inline_rx = build_receiver(&ErrorControlAlg::None);
+    loop {
+        match shared.transport.recv_timeout(IDLE_TICK) {
+            Ok(frame) => {
+                let packet = match DataPacket::decode(&frame) {
+                    Ok(p) => p,
+                    Err(_) => continue, // not a data packet: ignore
+                };
+                shared.note_peer_conn(packet.header.src_conn);
+                shared
+                    .counters
+                    .packets_received
+                    .fetch_add(1, Ordering::Relaxed);
+                if has_fc {
+                    shared.fc_inbox.send(FcMsg::Incoming(packet));
+                } else if has_ctrl {
+                    shared.ec_recv_inbox.send(EcRecvMsg::Packet(packet));
+                } else {
+                    // Fully bypassed: reassemble inline, deliver directly.
+                    let h = packet.header;
+                    if let ReceiverStep::Deliver(msg) =
+                        inline_rx.on_packet(h.seq, h.end, packet.payload)
+                    {
+                        shared
+                            .counters
+                            .messages_received
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared.delivery.send(msg);
+                    }
+                }
+            }
+            Err(TransportError::Timeout) => {
+                if shared.closed.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(_) => {
+                shared.peer_closed();
+                return;
+            }
+        }
+    }
+}
+
+/// How long the Flow Control Thread tolerates a non-empty queue with no
+/// feedback before probing with one packet. Feedback (credits, window
+/// acks) travels on the control connection, which over ACI can itself lose
+/// cells; without this probe a lost credit grant would starve the sender
+/// forever.
+const FC_STARVATION_PROBE: Duration = Duration::from_millis(500);
+
+/// The Flow Control Thread (Figures 7/8): releases queued packets under the
+/// configured algorithm and grants credits for received ones.
+fn fc_thread(shared: &ConnShared) {
+    let mut strategy = build_fc(&shared.config.flow_control);
+    let mut pending: std::collections::VecDeque<DataPacket> = Default::default();
+    let mut last_progress = Instant::now();
+    loop {
+        let now = Instant::now();
+        let wait = strategy
+            .next_poll(now)
+            .map(|t| t.saturating_duration_since(now))
+            .unwrap_or(IDLE_TICK)
+            .min(IDLE_TICK);
+        match shared.fc_inbox.recv_timeout(wait) {
+            Ok(FcMsg::Enqueue(pkts)) => pending.extend(pkts),
+            Ok(FcMsg::Replace(pkts)) => {
+                pending.clear();
+                pending.extend(pkts);
+            }
+            Ok(FcMsg::Feedback(n)) => {
+                shared
+                    .counters
+                    .credits_received
+                    .fetch_add(n as u64, Ordering::Relaxed);
+                strategy.on_feedback(n);
+                last_progress = Instant::now();
+            }
+            Ok(FcMsg::Incoming(packet)) => {
+                let grant = strategy.on_receive(Instant::now());
+                if grant > 0 {
+                    shared
+                        .counters
+                        .credits_granted
+                        .fetch_add(grant as u64, Ordering::Relaxed);
+                    shared.ctrl_tx.send(CtrlMsg::Credit {
+                        conn: shared.peer_conn_id(),
+                        credits: grant,
+                    });
+                }
+                shared.ec_recv_inbox.send(EcRecvMsg::Packet(packet));
+            }
+            Ok(FcMsg::Shutdown) => return,
+            Err(_) => {
+                if shared.closed.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+        // Release whatever the algorithm now permits.
+        let permits = strategy.permits(Instant::now()) as usize;
+        let mut n = permits.min(pending.len());
+        // Starvation probe: feedback can be lost on an unreliable control
+        // path; rather than stall forever, trickle one packet out so the
+        // receiver's grants resume.
+        if n == 0
+            && !pending.is_empty()
+            && last_progress.elapsed() >= FC_STARVATION_PROBE
+        {
+            n = 1;
+        }
+        if n > 0 {
+            for _ in 0..n {
+                let p = pending.pop_front().expect("counted above");
+                shared.send_inbox.send(SendMsg::Frame {
+                    bytes: p.encode(),
+                    trace: None,
+                });
+            }
+            strategy.on_transmit(n.min(permits) as u32);
+            last_progress = Instant::now();
+        }
+    }
+}
+
+/// The Error Control (sender) Thread: one message at a time, per the
+/// paper's Figure 6 pseudocode.
+fn ec_send_thread(shared: &ConnShared) {
+    let mut strategy = build_sender(&shared.config.error_control);
+    let mut backlog: std::collections::VecDeque<(Vec<u8>, Option<Arc<Completion>>)> =
+        Default::default();
+    loop {
+        // Pick up the next message.
+        let (data, completion) = match backlog.pop_front() {
+            Some(job) => job,
+            None => match shared.ec_send_inbox.recv_timeout(IDLE_TICK) {
+                Ok(EcSendMsg::Send { data, completion }) => (data, completion),
+                Ok(EcSendMsg::Ack(_)) => continue, // stale ack between sessions
+                Ok(EcSendMsg::Shutdown) => return,
+                Err(_) => {
+                    if shared.closed.load(Ordering::Acquire) {
+                        return;
+                    }
+                    continue;
+                }
+            },
+        };
+        let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let packets = shared.segment(session, &data);
+        shared
+            .counters
+            .messages_sent
+            .fetch_add(1, Ordering::Relaxed);
+        let result = run_send_session(
+            shared,
+            strategy.as_mut(),
+            &packets,
+            &mut backlog,
+        );
+        if let Err(e) = &result {
+            shared.fail(e.clone());
+        }
+        if let Some(c) = completion {
+            c.complete(result);
+        }
+        if shared.closed.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// Drives one message through the sender error-control strategy.
+fn run_send_session(
+    shared: &ConnShared,
+    strategy: &mut dyn SenderEc,
+    packets: &[DataPacket],
+    backlog: &mut std::collections::VecDeque<(Vec<u8>, Option<Arc<Completion>>)>,
+) -> Result<(), SendError> {
+    let has_fc = !matches!(shared.config.flow_control, FlowControlAlg::None);
+    let total = packets.len() as u32;
+    let mut first_round = true;
+    let mut step = strategy.begin(total);
+    loop {
+        match step {
+            SenderStep::Transmit(seqs) => {
+                if !first_round {
+                    shared
+                        .counters
+                        .retransmissions
+                        .fetch_add(seqs.len() as u64, Ordering::Relaxed);
+                }
+                let batch: Vec<DataPacket> =
+                    seqs.iter().map(|&s| packets[s as usize].clone()).collect();
+                if has_fc {
+                    if first_round {
+                        shared.fc_inbox.send(FcMsg::Enqueue(batch));
+                    } else {
+                        // Retransmissions supersede whatever of this session
+                        // is still waiting for credits.
+                        shared.fc_inbox.send(FcMsg::Replace(batch));
+                    }
+                } else {
+                    for p in batch {
+                        shared.send_inbox.send(SendMsg::Frame {
+                            bytes: p.encode(),
+                            trace: None,
+                        });
+                    }
+                }
+                if first_round && strategy.completes_without_ack() {
+                    return Ok(());
+                }
+                first_round = false;
+                step = wait_for_ack(shared, strategy, backlog)?;
+            }
+            SenderStep::Done => return Ok(()),
+            SenderStep::Failed(why) => return Err(SendError::DeliveryFailed(why)),
+            SenderStep::Wait => {
+                step = wait_for_ack(shared, strategy, backlog)?;
+            }
+        }
+    }
+}
+
+/// Waits on the EC inbox for an acknowledgement (queueing any new send
+/// requests into the backlog), or synthesises a timeout event.
+fn wait_for_ack(
+    shared: &ConnShared,
+    strategy: &mut dyn SenderEc,
+    backlog: &mut std::collections::VecDeque<(Vec<u8>, Option<Arc<Completion>>)>,
+) -> Result<SenderStep, SendError> {
+    let timeout = strategy.ack_timeout().unwrap_or(IDLE_TICK);
+    let deadline = Instant::now() + timeout;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Ok(strategy.on_timeout());
+        }
+        match shared.ec_send_inbox.recv_timeout(deadline - now) {
+            Ok(EcSendMsg::Ack(info)) => {
+                shared
+                    .counters
+                    .acks_received
+                    .fetch_add(1, Ordering::Relaxed);
+                let step = strategy.on_ack(info);
+                if !matches!(step, SenderStep::Wait) {
+                    return Ok(step);
+                }
+            }
+            Ok(EcSendMsg::Send { data, completion }) => {
+                backlog.push_back((data, completion));
+            }
+            Ok(EcSendMsg::Shutdown) => return Err(SendError::Closed),
+            Err(_) => {
+                if shared.closed.load(Ordering::Acquire) {
+                    return Err(SendError::Closed);
+                }
+                return Ok(strategy.on_timeout());
+            }
+        }
+    }
+}
+
+/// The Error Control (receiver) Thread: reassembles SDUs, acknowledges over
+/// the control connection and delivers into the user buffer (Figure 4
+/// steps 9-10).
+fn ec_recv_thread(shared: &ConnShared) {
+    let mut strategy = build_receiver(&shared.config.error_control);
+    let mut current_session: Option<u32> = None;
+    // Sessions below this were fully delivered: their retransmissions are
+    // duplicates (the original acknowledgement was lost) and must be
+    // re-acknowledged, never re-delivered.
+    let mut delivered_below: u32 = 0;
+    loop {
+        match shared.ec_recv_inbox.recv_timeout(IDLE_TICK) {
+            Ok(EcRecvMsg::Packet(packet)) => {
+                let h = packet.header;
+                if h.session < delivered_below {
+                    // Duplicate of a completed message: re-send the clean
+                    // acknowledgement when its end marker shows up, so the
+                    // sender can finish even though the first ACK died.
+                    if h.end {
+                        let ack = match strategy.name() {
+                            "go-back-n" => AckInfo::Cumulative(h.seq + 1),
+                            _ => AckInfo::Bitmap(crate::seq::AckBitmap::all_received(h.seq + 1)),
+                        };
+                        shared.counters.acks_sent.fetch_add(1, Ordering::Relaxed);
+                        shared.ctrl_tx.send(make_ack_msg(shared, h.session, ack));
+                    }
+                    continue;
+                }
+                match current_session {
+                    Some(s) if s == h.session => {}
+                    Some(s) if h.session < s => continue, // stale retransmission
+                    _ => {
+                        strategy.reset();
+                        current_session = Some(h.session);
+                    }
+                }
+                let step = strategy.on_packet(h.seq, h.end, packet.payload);
+                let (ack, deliver) = match step {
+                    ReceiverStep::Ack(a) => (Some(a), None),
+                    ReceiverStep::Deliver(m) => (None, Some(m)),
+                    ReceiverStep::AckAndDeliver(a, m) => (Some(a), Some(m)),
+                    ReceiverStep::Continue => (None, None),
+                };
+                if let Some(a) = ack {
+                    shared.counters.acks_sent.fetch_add(1, Ordering::Relaxed);
+                    shared.ctrl_tx.send(make_ack_msg(shared, h.session, a));
+                }
+                if let Some(m) = deliver {
+                    shared
+                        .counters
+                        .messages_received
+                        .fetch_add(1, Ordering::Relaxed);
+                    shared.delivery.send(m);
+                    delivered_below = h.session + 1;
+                    current_session = None;
+                }
+            }
+            Ok(EcRecvMsg::Shutdown) => return,
+            Err(_) => {
+                if shared.closed.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn make_ack_msg(shared: &ConnShared, session: u32, info: AckInfo) -> CtrlMsg {
+    match info {
+        AckInfo::Bitmap(bitmap) => CtrlMsg::Ack {
+            conn: shared.peer_conn_id(),
+            session,
+            bitmap,
+        },
+        AckInfo::Cumulative(next_expected) => CtrlMsg::GbnAck {
+            conn: shared.peer_conn_id(),
+            session,
+            next_expected,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public handle
+// ---------------------------------------------------------------------------
+
+/// A point-to-point NCS connection (the object behind `NCS_send` /
+/// `NCS_recv`).
+///
+/// Created by [`NcsNode::connect`](crate::NcsNode::connect) or
+/// [`NcsNode::accept`](crate::NcsNode::accept). The connection's behaviour
+/// — flow control, error control, threading — is fixed by its
+/// [`ConnectionConfig`]; afterwards "the underlying operations are
+/// transparent to users and they just need to invoke the same high-level
+/// abstractions" (paper §3).
+#[derive(Debug, Clone)]
+pub struct NcsConnection {
+    pub(crate) shared: Arc<ConnShared>,
+}
+
+impl NcsConnection {
+    pub(crate) fn new(shared: Arc<ConnShared>) -> Self {
+        NcsConnection { shared }
+    }
+
+    /// The local connection id.
+    pub fn id(&self) -> u32 {
+        self.shared.id
+    }
+
+    /// The peer node's name.
+    pub fn peer_name(&self) -> &str {
+        &self.shared.peer_name
+    }
+
+    /// This connection's configuration.
+    pub fn config(&self) -> &ConnectionConfig {
+        &self.shared.config
+    }
+
+    /// The interface family carrying this connection.
+    pub fn interface(&self) -> &'static str {
+        self.shared.transport.caps().interface
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> ConnectionStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Whether the connection is still usable.
+    pub fn is_open(&self) -> bool {
+        !self.shared.closed.load(Ordering::Acquire)
+    }
+
+    fn check_sendable(&self, data: &[u8]) -> Result<(), SendError> {
+        if data.is_empty() {
+            return Err(SendError::Empty);
+        }
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(SendError::Closed);
+        }
+        let max = self.shared.max_message();
+        if data.len() > max {
+            return Err(SendError::TooLarge {
+                len: data.len(),
+                max,
+            });
+        }
+        Ok(())
+    }
+
+    /// `NCS_send`: hands the message to the connection's plane (Figure 4
+    /// step 1) and returns once queued. Reliable configurations deliver (or
+    /// record a failure) asynchronously; use [`NcsConnection::send_sync`]
+    /// to wait for the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// See [`SendError`].
+    pub fn send(&self, data: &[u8]) -> Result<(), SendError> {
+        self.send_inner(data, None)
+    }
+
+    /// `NCS_send` + wait for the error-control completion (or transmit
+    /// completion for unreliable configurations).
+    ///
+    /// # Errors
+    ///
+    /// See [`SendError`]; notably [`SendError::DeliveryFailed`] when error
+    /// control exhausts its retries.
+    pub fn send_sync(&self, data: &[u8]) -> Result<(), SendError> {
+        self.send_sync_timeout(data, Duration::from_secs(30))
+    }
+
+    /// [`NcsConnection::send_sync`] with an explicit wait limit.
+    ///
+    /// # Errors
+    ///
+    /// As [`NcsConnection::send_sync`], plus [`SendError::Timeout`].
+    pub fn send_sync_timeout(&self, data: &[u8], timeout: Duration) -> Result<(), SendError> {
+        if self.shared.config.direct {
+            return self.send_direct(data);
+        }
+        if !self.shared.config.needs_control_threads() {
+            // Bypass mode transmits inline through the Send Thread; there is
+            // no asynchronous completion to wait for beyond the queue.
+            return self.send(data);
+        }
+        let completion = Completion::new();
+        self.send_inner(data, Some(Arc::clone(&completion)))?;
+        completion.wait(timeout)
+    }
+
+    fn send_inner(
+        &self,
+        data: &[u8],
+        completion: Option<Arc<Completion>>,
+    ) -> Result<(), SendError> {
+        self.check_sendable(data)?;
+        if self.shared.config.direct {
+            return Err(SendError::WrongMode("threaded"));
+        }
+        if self.shared.config.needs_control_threads() {
+            // Figure 4 step 1: activate the Error Control Thread.
+            self.shared.ec_send_inbox.send(EcSendMsg::Send {
+                data: data.to_vec(),
+                completion,
+            });
+        } else {
+            // §3.1 bypass: segment and activate the Send Thread directly.
+            let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .counters
+                .messages_sent
+                .fetch_add(1, Ordering::Relaxed);
+            for p in self.shared.segment(session, data) {
+                self.shared.send_inbox.send(SendMsg::Frame {
+                    bytes: p.encode(),
+                    trace: None,
+                });
+            }
+            if let Some(c) = completion {
+                c.complete(Ok(()));
+            }
+        }
+        Ok(())
+    }
+
+    /// `NCS_recv`: blocks until the next reassembled message arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Closed`] once the connection is closed and drained.
+    pub fn recv(&self) -> Result<Vec<u8>, SendError> {
+        loop {
+            match self.shared.delivery.recv_timeout(IDLE_TICK) {
+                Ok(m) => return Ok(m),
+                Err(_) => {
+                    if self.shared.closed.load(Ordering::Acquire)
+                        && self.shared.delivery.is_empty()
+                    {
+                        return Err(SendError::Closed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`NcsConnection::recv`] with a deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Timeout`] when nothing arrived in time.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, SendError> {
+        match self.shared.delivery.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(_) => {
+                if self.shared.closed.load(Ordering::Acquire) && self.shared.delivery.is_empty() {
+                    Err(SendError::Closed)
+                } else {
+                    Err(SendError::Timeout)
+                }
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Vec<u8>> {
+        self.shared.delivery.try_recv()
+    }
+
+    /// The sticky error recorded by the error-control plane, if any
+    /// (asynchronous [`NcsConnection::send`] failures surface here).
+    pub fn last_error(&self) -> Option<SendError> {
+        self.shared.last_error.lock().clone()
+    }
+
+    /// Closes the connection, notifying the peer over the control
+    /// connection. Idempotent.
+    pub fn close(&self) {
+        self.shared.initiate_close();
+    }
+
+    // -- §4.2 direct (thread-bypass) mode ---------------------------------
+
+    /// The thread-bypass `NCS_send` (paper §4.2): flow control, error
+    /// control and transmission run as procedures on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::WrongMode`] unless the connection was configured with
+    /// [`ConnectionConfig::direct`]; otherwise as
+    /// [`NcsConnection::send_sync`].
+    pub fn send_direct(&self, data: &[u8]) -> Result<(), SendError> {
+        self.check_sendable(data)?;
+        let mut engine_slot = self.shared.direct_send.lock();
+        let engine = engine_slot
+            .as_mut()
+            .ok_or(SendError::WrongMode("direct"))?;
+        let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let packets = self.shared.segment(session, data);
+        self.shared
+            .counters
+            .messages_sent
+            .fetch_add(1, Ordering::Relaxed);
+        let total = packets.len() as u32;
+        let mut pending: std::collections::VecDeque<u32> = Default::default();
+        let mut step = engine.ec.begin(total);
+        let mut first_round = true;
+        loop {
+            match step {
+                SenderStep::Transmit(seqs) => {
+                    if !first_round {
+                        self.shared
+                            .counters
+                            .retransmissions
+                            .fetch_add(seqs.len() as u64, Ordering::Relaxed);
+                    }
+                    pending.extend(seqs);
+                    // Flow-control procedure: release as permitted.
+                    self.drain_direct(engine, &packets, &mut pending)?;
+                    if first_round && engine.ec.completes_without_ack() && pending.is_empty() {
+                        return Ok(());
+                    }
+                    first_round = false;
+                    step = self.wait_direct(engine, &packets, &mut pending)?;
+                }
+                SenderStep::Done => return Ok(()),
+                SenderStep::Failed(why) => {
+                    let e = SendError::DeliveryFailed(why);
+                    self.shared.fail(e.clone());
+                    return Err(e);
+                }
+                SenderStep::Wait => {
+                    step = self.wait_direct(engine, &packets, &mut pending)?;
+                }
+            }
+        }
+    }
+
+    fn drain_direct(
+        &self,
+        engine: &mut DirectSender,
+        packets: &[DataPacket],
+        pending: &mut std::collections::VecDeque<u32>,
+    ) -> Result<(), SendError> {
+        let permits = engine.fc.permits(Instant::now()) as usize;
+        let n = permits.min(pending.len());
+        for _ in 0..n {
+            let seq = pending.pop_front().expect("counted");
+            self.shared
+                .transport
+                .send(&packets[seq as usize].encode())?;
+            self.shared
+                .counters
+                .packets_sent
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if n > 0 {
+            engine.fc.on_transmit(n as u32);
+        }
+        Ok(())
+    }
+
+    fn wait_direct(
+        &self,
+        engine: &mut DirectSender,
+        packets: &[DataPacket],
+        pending: &mut std::collections::VecDeque<u32>,
+    ) -> Result<SenderStep, SendError> {
+        let timeout = engine.ec.ack_timeout().unwrap_or(IDLE_TICK);
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Keep the pipeline moving while waiting (rate/credit refills).
+            self.drain_direct(engine, packets, pending)?;
+            if engine.ec.completes_without_ack() && pending.is_empty() {
+                return Ok(SenderStep::Done);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(engine.ec.on_timeout());
+            }
+            let slice = (deadline - now).min(Duration::from_millis(5));
+            match self.shared.direct_events.recv_timeout(slice) {
+                Ok(DirectEvent::Ack(info)) => {
+                    self.shared
+                        .counters
+                        .acks_received
+                        .fetch_add(1, Ordering::Relaxed);
+                    let step = engine.ec.on_ack(info);
+                    if !matches!(step, SenderStep::Wait) {
+                        return Ok(step);
+                    }
+                }
+                Ok(DirectEvent::Credit(n)) => {
+                    self.shared
+                        .counters
+                        .credits_received
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    engine.fc.on_feedback(n);
+                }
+                Err(_) => {
+                    if self.shared.closed.load(Ordering::Acquire) {
+                        return Err(SendError::Closed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The thread-bypass `NCS_recv`: reads the data connection and runs the
+    /// receiver procedures (reassembly, acknowledgements, credit grants) on
+    /// the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::WrongMode`] on threaded connections;
+    /// [`SendError::Timeout`] if no message completed in time.
+    pub fn recv_direct(&self, timeout: Duration) -> Result<Vec<u8>, SendError> {
+        let mut engine_slot = self.shared.direct_recv.lock();
+        let engine = engine_slot
+            .as_mut()
+            .ok_or(SendError::WrongMode("direct"))?;
+        let deadline = Instant::now() + timeout;
+        let mut current_session: Option<u32> = None;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SendError::Timeout);
+            }
+            let frame = match self.shared.transport.recv_timeout(deadline - now) {
+                Ok(f) => f,
+                Err(TransportError::Timeout) => return Err(SendError::Timeout),
+                Err(e) => return Err(e.into()),
+            };
+            let Ok(packet) = DataPacket::decode(&frame) else {
+                continue;
+            };
+            self.shared
+                .counters
+                .packets_received
+                .fetch_add(1, Ordering::Relaxed);
+            let h = packet.header;
+            if h.session < engine.delivered_below {
+                // Duplicate of a delivered message: re-acknowledge its end
+                // marker (the original ACK was lost) and move on.
+                if h.end {
+                    let ack = match engine.ec.name() {
+                        "go-back-n" => AckInfo::Cumulative(h.seq + 1),
+                        _ => AckInfo::Bitmap(crate::seq::AckBitmap::all_received(h.seq + 1)),
+                    };
+                    self.shared.counters.acks_sent.fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .ctrl_tx
+                        .send(make_ack_msg(&self.shared, h.session, ack));
+                }
+                continue;
+            }
+            match current_session {
+                Some(s) if s == h.session => {}
+                Some(s) if h.session < s => continue,
+                _ => {
+                    engine.ec.reset();
+                    current_session = Some(h.session);
+                }
+            }
+            // Flow-control receive procedure: grant credits inline.
+            let grant = engine.fc.on_receive(Instant::now());
+            if grant > 0 {
+                self.shared
+                    .counters
+                    .credits_granted
+                    .fetch_add(grant as u64, Ordering::Relaxed);
+                self.shared.ctrl_tx.send(CtrlMsg::Credit {
+                    conn: self.shared.peer_conn_id(),
+                    credits: grant,
+                });
+            }
+            let step = engine.ec.on_packet(h.seq, h.end, packet.payload);
+            let (ack, deliver) = match step {
+                ReceiverStep::Ack(a) => (Some(a), None),
+                ReceiverStep::Deliver(m) => (None, Some(m)),
+                ReceiverStep::AckAndDeliver(a, m) => (Some(a), Some(m)),
+                ReceiverStep::Continue => (None, None),
+            };
+            if let Some(a) = ack {
+                self.shared.counters.acks_sent.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .ctrl_tx
+                    .send(make_ack_msg(&self.shared, h.session, a));
+            }
+            if let Some(m) = deliver {
+                self.shared
+                    .counters
+                    .messages_received
+                    .fetch_add(1, Ordering::Relaxed);
+                engine.delivered_below = h.session + 1;
+                return Ok(m);
+            }
+        }
+    }
+
+    /// `NCS_send` with hand-off semantics: queues the message to the Send
+    /// Thread and returns as soon as the Send Thread *accepts* it. Under
+    /// the kernel-level package a transmit that then blocks (full kernel
+    /// buffer) overlaps with the caller's computation; under the
+    /// user-level package the blocking write stalls the whole process —
+    /// the exact §4.1 experiment (Figures 9/10).
+    ///
+    /// Only available on bypass-configured threaded connections.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::WrongMode`] when FC/EC threads are configured,
+    /// otherwise as [`NcsConnection::send`].
+    pub fn send_handoff(&self, data: &[u8]) -> Result<(), SendError> {
+        if self.shared.config.direct || self.shared.config.needs_control_threads() {
+            return Err(SendError::WrongMode("threaded bypass (no FC/EC)"));
+        }
+        self.check_sendable(data)?;
+        let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .counters
+            .messages_sent
+            .fetch_add(1, Ordering::Relaxed);
+        let packets = self.shared.segment(session, data);
+        let trace = SendTrace::new();
+        let n = packets.len();
+        for (i, p) in packets.into_iter().enumerate() {
+            let is_last = i == n - 1;
+            self.shared.send_inbox.send(SendMsg::Frame {
+                bytes: p.encode(),
+                trace: is_last.then(|| Arc::clone(&trace)),
+            });
+        }
+        if !trace.accepted.wait_timeout(Duration::from_secs(30)) {
+            return Err(SendError::Timeout);
+        }
+        Ok(())
+    }
+
+    /// Sends one message through the Send Thread with per-stage
+    /// timestamps, reproducing the paper's Table I. Only meaningful on
+    /// bypass-configured threaded connections (no FC/EC), where the send
+    /// path is exactly `NCS_send -> queue -> Send Thread -> interface`.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::WrongMode`] when FC/EC threads are configured (their
+    /// pipeline stages are not two-point measurable), otherwise as
+    /// [`NcsConnection::send`].
+    pub fn send_profiled(&self, data: &[u8]) -> Result<SendBreakdown, SendError> {
+        if self.shared.config.direct || self.shared.config.needs_control_threads() {
+            return Err(SendError::WrongMode("threaded bypass (no FC/EC)"));
+        }
+        self.check_sendable(data)?;
+        let t_entry = Instant::now();
+        let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        // Header attach == packet encode.
+        let packets = self.shared.segment(session, data);
+        let frames: Vec<Vec<u8>> = packets.iter().map(DataPacket::encode).collect();
+        let t_header = Instant::now();
+        let trace = SendTrace::new();
+        let n = frames.len();
+        for (i, bytes) in frames.into_iter().enumerate() {
+            let is_last = i == n - 1;
+            self.shared.send_inbox.send(SendMsg::Frame {
+                bytes,
+                trace: is_last.then(|| Arc::clone(&trace)),
+            });
+        }
+        let t_queued = Instant::now();
+        *trace.queued_at.lock() = Some(t_queued);
+        if !trace.done.wait_timeout(Duration::from_secs(10)) {
+            return Err(SendError::Timeout);
+        }
+        let t_back = Instant::now();
+        self.shared
+            .counters
+            .messages_sent
+            .fetch_add(1, Ordering::Relaxed);
+        let dequeued = trace.dequeued_at.lock().expect("trace filled");
+        let transmitted = trace.transmitted_at.lock().expect("trace filled");
+        let freed = trace.freed_at.lock().expect("trace filled");
+        // Entry/exit bookkeeping is the residue around the measured stages;
+        // attribute the (tiny) pre-header and post-wake slices to it.
+        Ok(SendBreakdown {
+            fn_entry_exit: Duration::from_nanos(200), // constant-time entry/exit bookkeeping
+            header_attach: t_header - t_entry,
+            queue_request: t_queued - t_header,
+            ctx_switch_to_send: dequeued.saturating_duration_since(t_queued),
+            dequeue_request: Duration::from_nanos(300), // dequeue bookkeeping inside the Send Thread
+            transmit: transmitted.saturating_duration_since(dequeued),
+            free_buffer: freed.saturating_duration_since(transmitted),
+            ctx_switch_back: t_back.saturating_duration_since(freed),
+        })
+    }
+}
+
+/// Routes a control-plane event into this connection (called by the
+/// Control Receive Thread's dispatcher).
+pub(crate) fn dispatch_ctrl(shared: &Arc<ConnShared>, msg: CtrlMsg) {
+    match msg {
+        CtrlMsg::Ack { bitmap, .. } => {
+            let info = AckInfo::Bitmap(bitmap);
+            if shared.config.direct {
+                shared.direct_events.send(DirectEvent::Ack(info));
+            } else {
+                shared.ec_send_inbox.send(EcSendMsg::Ack(info));
+            }
+        }
+        CtrlMsg::GbnAck { next_expected, .. } => {
+            let info = AckInfo::Cumulative(next_expected);
+            if shared.config.direct {
+                shared.direct_events.send(DirectEvent::Ack(info));
+            } else {
+                shared.ec_send_inbox.send(EcSendMsg::Ack(info));
+            }
+        }
+        CtrlMsg::Credit { credits, .. } => {
+            if shared.config.direct {
+                shared.direct_events.send(DirectEvent::Credit(credits));
+            } else {
+                shared.fc_inbox.send(FcMsg::Feedback(credits));
+            }
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,76 @@
+//! Node-level control threads: the Control Send Thread (CS) and Control
+//! Receive Thread (CR) of the paper's Figure 1.
+//!
+//! Control connections are unidirectional in use: the node that opened a
+//! control channel writes to it (its CS thread), the accepting node reads
+//! it (a CR thread). A bidirectional node pair therefore runs two control
+//! channels, one per direction — which keeps setup free of initiation
+//! races.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ncs_threads::sync::Mailbox;
+use ncs_threads::{JoinHandle, SpawnOptions, ThreadPackage};
+use ncs_transport::{Connection as Transport, TransportError};
+
+use crate::packet::CtrlMsg;
+
+const IDLE_TICK: Duration = Duration::from_millis(100);
+
+/// Spawns a Control Send Thread draining `inbox` onto `transport`.
+pub(crate) fn spawn_cs(
+    pkg: &Arc<dyn ThreadPackage>,
+    peer: &str,
+    transport: Arc<dyn Transport>,
+    inbox: Arc<Mailbox<CtrlMsg>>,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle {
+    pkg.spawn_with(
+        SpawnOptions::new(format!("ncs-cs-{peer}")).daemon(true),
+        Box::new(move || loop {
+            match inbox.recv_timeout(IDLE_TICK) {
+                Ok(msg) => {
+                    if transport.send(&msg.encode()).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => {
+                    if shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+            }
+        }),
+    )
+}
+
+/// Spawns a Control Receive Thread reading `transport` and dispatching each
+/// message through `dispatch`.
+pub(crate) fn spawn_cr(
+    pkg: &Arc<dyn ThreadPackage>,
+    peer: &str,
+    transport: Arc<dyn Transport>,
+    shutdown: Arc<AtomicBool>,
+    dispatch: impl Fn(CtrlMsg) + Send + 'static,
+) -> JoinHandle {
+    pkg.spawn_with(
+        SpawnOptions::new(format!("ncs-cr-{peer}")).daemon(true),
+        Box::new(move || loop {
+            match transport.recv_timeout(IDLE_TICK) {
+                Ok(frame) => {
+                    if let Ok(msg) = CtrlMsg::decode(&frame) {
+                        dispatch(msg);
+                    }
+                }
+                Err(TransportError::Timeout) => {
+                    if shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }),
+    )
+}

@@ -1,0 +1,146 @@
+//! Error-control algorithms (paper §3.2).
+//!
+//! Each algorithm is a pair of strategy objects — sender and receiver —
+//! driven by the per-connection Error Control Threads. The sender strategy
+//! decides what to (re)transmit in response to acknowledgements and
+//! timeouts; the receiver strategy accumulates SDUs, decides when to
+//! acknowledge and when the reassembled message can be delivered to the
+//! user buffer.
+//!
+//! The paper's default is selective repeat with bitmap ACKs (Figures 5/6);
+//! go-back-N is the classic alternative it names.
+
+mod go_back_n;
+mod none;
+mod selective_repeat;
+
+pub use go_back_n::{GbnReceiver, GbnSender};
+pub use none::{NoEcReceiver, NoEcSender};
+pub use selective_repeat::{SrReceiver, SrSender};
+
+use std::time::Duration;
+
+use crate::config::ErrorControlAlg;
+use crate::seq::AckBitmap;
+
+/// Acknowledgement content, by algorithm family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AckInfo {
+    /// Selective repeat: bitmap of still-missing SDUs.
+    Bitmap(AckBitmap),
+    /// Go-back-N: next expected sequence number (cumulative).
+    Cumulative(u32),
+}
+
+/// What the sender strategy wants done next.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SenderStep {
+    /// (Re)transmit these sequence numbers, in order.
+    Transmit(Vec<u32>),
+    /// The message is fully acknowledged.
+    Done,
+    /// The message could not be delivered (retry budget exhausted).
+    Failed(String),
+    /// Nothing to do; wait for the next acknowledgement or timeout.
+    Wait,
+}
+
+/// Sender-side error control for one message at a time (the Error Control
+/// Thread processes one user message start-to-finish, per Figure 6).
+pub trait SenderEc: Send + std::fmt::Debug {
+    /// Starts a new message of `total` SDUs; returns the initial
+    /// transmissions.
+    fn begin(&mut self, total: u32) -> SenderStep;
+
+    /// An acknowledgement arrived on the control connection.
+    fn on_ack(&mut self, info: AckInfo) -> SenderStep;
+
+    /// The retransmission timer fired.
+    fn on_timeout(&mut self) -> SenderStep;
+
+    /// How long to wait for an acknowledgement; `None` = this algorithm
+    /// never expects one.
+    fn ack_timeout(&self) -> Option<Duration>;
+
+    /// Whether the message completes as soon as the initial transmissions
+    /// are out (no-acknowledgement algorithms).
+    fn completes_without_ack(&self) -> bool {
+        self.ack_timeout().is_none()
+    }
+
+    /// Algorithm name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// What the receiver strategy wants done after a packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReceiverStep {
+    /// Send this acknowledgement over the control connection.
+    Ack(AckInfo),
+    /// The message reassembled; deliver it to the user buffer.
+    Deliver(Vec<u8>),
+    /// Acknowledge and deliver.
+    AckAndDeliver(AckInfo, Vec<u8>),
+    /// Keep accumulating.
+    Continue,
+}
+
+/// Receiver-side error control for one session at a time.
+pub trait ReceiverEc: Send + std::fmt::Debug {
+    /// Consumes one SDU of the current session.
+    fn on_packet(&mut self, seq: u32, end: bool, payload: Vec<u8>) -> ReceiverStep;
+
+    /// Resets state for a new session.
+    fn reset(&mut self);
+
+    /// Algorithm name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Instantiates the sender strategy configured in `alg`.
+pub fn build_sender(alg: &ErrorControlAlg) -> Box<dyn SenderEc> {
+    match alg {
+        ErrorControlAlg::None => Box::new(NoEcSender::new()),
+        ErrorControlAlg::SelectiveRepeat {
+            timeout,
+            max_retries,
+        } => Box::new(SrSender::new(*timeout, *max_retries)),
+        ErrorControlAlg::GoBackN {
+            window,
+            timeout,
+            max_retries,
+        } => Box::new(GbnSender::new(*window, *timeout, *max_retries)),
+    }
+}
+
+/// Instantiates the receiver strategy configured in `alg`.
+pub fn build_receiver(alg: &ErrorControlAlg) -> Box<dyn ReceiverEc> {
+    match alg {
+        ErrorControlAlg::None => Box::new(NoEcReceiver::new()),
+        ErrorControlAlg::SelectiveRepeat { .. } => Box::new(SrReceiver::new()),
+        ErrorControlAlg::GoBackN { .. } => Box::new(GbnReceiver::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_dispatches() {
+        let alg = ErrorControlAlg::SelectiveRepeat {
+            timeout: Duration::from_millis(10),
+            max_retries: 2,
+        };
+        assert_eq!(build_sender(&alg).name(), "selective-repeat");
+        assert_eq!(build_receiver(&alg).name(), "selective-repeat");
+        assert_eq!(build_sender(&ErrorControlAlg::None).name(), "none");
+        let gbn = ErrorControlAlg::GoBackN {
+            window: 4,
+            timeout: Duration::from_millis(10),
+            max_retries: 2,
+        };
+        assert_eq!(build_sender(&gbn).name(), "go-back-n");
+        assert_eq!(build_receiver(&gbn).name(), "go-back-n");
+    }
+}

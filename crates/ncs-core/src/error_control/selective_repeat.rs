@@ -1,0 +1,329 @@
+//! Selective repeat with bitmap acknowledgements — the paper's default
+//! error control (Figures 5/6).
+//!
+//! Sender: transmit all SDUs; wait for an ACK carrying the receiver's
+//! missing-SDU bitmap; selectively retransmit the set bits; a timeout
+//! retransmits every not-yet-acknowledged SDU ("retransmits the whole
+//! packets"). Receiver: clear bitmap bits as SDUs arrive; on seeing the
+//! end-of-segmentation control bit, send the bitmap; deliver once nothing
+//! is missing.
+
+use std::time::Duration;
+
+use super::{AckInfo, ReceiverEc, ReceiverStep, SenderEc, SenderStep};
+use crate::seq::AckBitmap;
+
+/// Sender half of selective repeat.
+#[derive(Debug)]
+pub struct SrSender {
+    timeout: Duration,
+    max_retries: u32,
+    retries: u32,
+    /// Bits still unacknowledged.
+    outstanding: Option<AckBitmap>,
+}
+
+impl SrSender {
+    /// Creates the sender with the given retransmission timeout and retry
+    /// budget.
+    pub fn new(timeout: Duration, max_retries: u32) -> Self {
+        SrSender {
+            timeout,
+            max_retries,
+            retries: 0,
+            outstanding: None,
+        }
+    }
+}
+
+impl SenderEc for SrSender {
+    fn begin(&mut self, total: u32) -> SenderStep {
+        self.retries = 0;
+        self.outstanding = Some(AckBitmap::all_missing(total));
+        SenderStep::Transmit((0..total).collect())
+    }
+
+    fn on_ack(&mut self, info: AckInfo) -> SenderStep {
+        let AckInfo::Bitmap(bitmap) = info else {
+            return SenderStep::Wait; // cumulative ack for another algorithm
+        };
+        let Some(outstanding) = &mut self.outstanding else {
+            return SenderStep::Wait; // stale ack after completion
+        };
+        if bitmap.total() != outstanding.total() {
+            return SenderStep::Wait; // stale ack from an earlier session
+        }
+        *outstanding = bitmap.clone();
+        if !bitmap.any_missing() {
+            self.outstanding = None;
+            return SenderStep::Done;
+        }
+        // Fresh evidence of progress resets the retry budget.
+        self.retries = 0;
+        SenderStep::Transmit(bitmap.missing())
+    }
+
+    fn on_timeout(&mut self) -> SenderStep {
+        let Some(outstanding) = &self.outstanding else {
+            return SenderStep::Wait;
+        };
+        self.retries += 1;
+        if self.retries > self.max_retries {
+            return SenderStep::Failed(format!(
+                "selective repeat exhausted {} retries with {} SDUs unacknowledged",
+                self.max_retries,
+                outstanding.missing_count()
+            ));
+        }
+        // Timeout retransmissions must always include the final SDU: only
+        // its end-of-segmentation bit triggers the receiver's
+        // acknowledgement (Figure 5 step 5). Without it, a receiver whose
+        // clean ACK was lost after delivery could never acknowledge again
+        // and the exchange would livelock.
+        let mut seqs = outstanding.missing();
+        let last = outstanding.total() - 1;
+        if seqs.last() != Some(&last) {
+            seqs.push(last);
+        }
+        SenderStep::Transmit(seqs)
+    }
+
+    fn ack_timeout(&self) -> Option<Duration> {
+        Some(self.timeout)
+    }
+
+    fn name(&self) -> &'static str {
+        "selective-repeat"
+    }
+}
+
+/// Receiver half of selective repeat.
+#[derive(Debug, Default)]
+pub struct SrReceiver {
+    /// Received payloads by sequence number.
+    slots: Vec<Option<Vec<u8>>>,
+    /// Total SDUs, learned from the end-bit packet.
+    total: Option<u32>,
+    received: u32,
+}
+
+impl SrReceiver {
+    /// Creates an empty receiver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bitmap(&self) -> AckBitmap {
+        let total = self.total.expect("bitmap requested before end bit");
+        let mut b = AckBitmap::all_missing(total);
+        for (i, slot) in self.slots.iter().enumerate().take(total as usize) {
+            if slot.is_some() {
+                b.mark_received(i as u32);
+            }
+        }
+        b
+    }
+
+    fn complete(&self) -> bool {
+        match self.total {
+            Some(t) => self.received == t,
+            None => false,
+        }
+    }
+
+    fn assemble(&mut self) -> Vec<u8> {
+        let total = self.total.expect("assemble before end bit") as usize;
+        let mut out = Vec::new();
+        for slot in self.slots.iter_mut().take(total) {
+            out.extend_from_slice(&slot.take().expect("complete message has all slots"));
+        }
+        self.reset();
+        out
+    }
+}
+
+impl ReceiverEc for SrReceiver {
+    fn on_packet(&mut self, seq: u32, end: bool, payload: Vec<u8>) -> ReceiverStep {
+        if seq as usize >= self.slots.len() {
+            self.slots.resize(seq as usize + 1, None);
+        }
+        if self.slots[seq as usize].is_none() {
+            self.slots[seq as usize] = Some(payload);
+            self.received += 1;
+        }
+        if end {
+            self.total = Some(seq + 1);
+        }
+        match self.total {
+            Some(_) if self.complete() => {
+                let bitmap = AckBitmap::all_received(self.total.expect("total known"));
+                let message = self.assemble();
+                ReceiverStep::AckAndDeliver(AckInfo::Bitmap(bitmap), message)
+            }
+            // The end-bit packet triggers an acknowledgement even when SDUs
+            // are missing (Figure 5 step 5) so the sender can selectively
+            // retransmit.
+            Some(_) if end => ReceiverStep::Ack(AckInfo::Bitmap(self.bitmap())),
+            _ => ReceiverStep::Continue,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.slots.clear();
+        self.total = None;
+        self.received = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "selective-repeat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(i: u32) -> Vec<u8> {
+        vec![i as u8; 4]
+    }
+
+    #[test]
+    fn lossless_exchange_completes_in_one_round() {
+        let mut tx = SrSender::new(Duration::from_millis(10), 3);
+        let mut rx = SrReceiver::new();
+        assert_eq!(tx.begin(3), SenderStep::Transmit(vec![0, 1, 2]));
+        assert_eq!(rx.on_packet(0, false, payload(0)), ReceiverStep::Continue);
+        assert_eq!(rx.on_packet(1, false, payload(1)), ReceiverStep::Continue);
+        match rx.on_packet(2, true, payload(2)) {
+            ReceiverStep::AckAndDeliver(AckInfo::Bitmap(b), msg) => {
+                assert!(!b.any_missing());
+                assert_eq!(msg, [payload(0), payload(1), payload(2)].concat());
+                assert_eq!(tx.on_ack(AckInfo::Bitmap(b)), SenderStep::Done);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_packet_triggers_selective_retransmission() {
+        let mut tx = SrSender::new(Duration::from_millis(10), 3);
+        let mut rx = SrReceiver::new();
+        tx.begin(4);
+        // Packet 1 is lost.
+        rx.on_packet(0, false, payload(0));
+        rx.on_packet(2, false, payload(2));
+        let step = rx.on_packet(3, true, payload(3));
+        let ReceiverStep::Ack(AckInfo::Bitmap(b)) = step else {
+            panic!("expected ack, got {step:?}");
+        };
+        assert_eq!(b.missing(), vec![1]);
+        // Sender retransmits exactly the missing SDU.
+        assert_eq!(
+            tx.on_ack(AckInfo::Bitmap(b)),
+            SenderStep::Transmit(vec![1])
+        );
+        // Retransmission arrives; message completes and is acknowledged
+        // cleanly.
+        match rx.on_packet(1, false, payload(1)) {
+            ReceiverStep::AckAndDeliver(AckInfo::Bitmap(b), msg) => {
+                assert!(!b.any_missing());
+                assert_eq!(msg.len(), 16);
+                assert_eq!(tx.on_ack(AckInfo::Bitmap(b)), SenderStep::Done);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lost_end_packet_recovered_by_timeout() {
+        let mut tx = SrSender::new(Duration::from_millis(10), 3);
+        let mut rx = SrReceiver::new();
+        tx.begin(2);
+        rx.on_packet(0, false, payload(0));
+        // End packet lost; sender times out and retransmits everything
+        // outstanding (both SDUs: no ack was ever received).
+        let step = tx.on_timeout();
+        assert_eq!(step, SenderStep::Transmit(vec![0, 1]));
+        // Duplicate of 0 is idempotent; 1 completes.
+        rx.on_packet(0, false, payload(0));
+        match rx.on_packet(1, true, payload(1)) {
+            ReceiverStep::AckAndDeliver(AckInfo::Bitmap(b), _) => {
+                assert_eq!(tx.on_ack(AckInfo::Bitmap(b)), SenderStep::Done);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhausts_into_failure() {
+        let mut tx = SrSender::new(Duration::from_millis(1), 2);
+        tx.begin(1);
+        assert!(matches!(tx.on_timeout(), SenderStep::Transmit(_)));
+        assert!(matches!(tx.on_timeout(), SenderStep::Transmit(_)));
+        assert!(matches!(tx.on_timeout(), SenderStep::Failed(_)));
+    }
+
+    #[test]
+    fn progress_resets_retry_budget() {
+        let mut tx = SrSender::new(Duration::from_millis(1), 1);
+        tx.begin(3);
+        assert!(matches!(tx.on_timeout(), SenderStep::Transmit(_)));
+        // An ack showing progress arrives: budget resets.
+        let mut b = AckBitmap::all_missing(3);
+        b.mark_received(0);
+        b.mark_received(1);
+        assert_eq!(tx.on_ack(AckInfo::Bitmap(b)), SenderStep::Transmit(vec![2]));
+        assert!(matches!(tx.on_timeout(), SenderStep::Transmit(_)));
+        assert!(matches!(tx.on_timeout(), SenderStep::Failed(_)));
+    }
+
+    #[test]
+    fn duplicate_packets_are_idempotent() {
+        let mut rx = SrReceiver::new();
+        rx.on_packet(0, false, payload(0));
+        rx.on_packet(0, false, payload(0));
+        match rx.on_packet(1, true, payload(1)) {
+            ReceiverStep::AckAndDeliver(_, msg) => assert_eq!(msg.len(), 8),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_ack_with_wrong_total_ignored() {
+        let mut tx = SrSender::new(Duration::from_millis(10), 3);
+        tx.begin(5);
+        let stale = AckBitmap::all_received(3);
+        assert_eq!(tx.on_ack(AckInfo::Bitmap(stale)), SenderStep::Wait);
+    }
+
+    #[test]
+    fn single_packet_message() {
+        let mut tx = SrSender::new(Duration::from_millis(10), 3);
+        let mut rx = SrReceiver::new();
+        assert_eq!(tx.begin(1), SenderStep::Transmit(vec![0]));
+        match rx.on_packet(0, true, payload(9)) {
+            ReceiverStep::AckAndDeliver(AckInfo::Bitmap(b), msg) => {
+                assert_eq!(msg, payload(9));
+                assert_eq!(tx.on_ack(AckInfo::Bitmap(b)), SenderStep::Done);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn receiver_resets_between_sessions() {
+        let mut rx = SrReceiver::new();
+        match rx.on_packet(0, true, payload(1)) {
+            ReceiverStep::AckAndDeliver(..) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // Next session starts clean.
+        assert_eq!(rx.on_packet(0, false, payload(2)), ReceiverStep::Continue);
+        match rx.on_packet(1, true, payload(3)) {
+            ReceiverStep::AckAndDeliver(_, msg) => {
+                assert_eq!(msg, [payload(2), payload(3)].concat());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

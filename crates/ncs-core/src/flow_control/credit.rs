@@ -1,0 +1,172 @@
+//! Credit-based window flow control — the paper's default (Figures 7/8).
+
+use std::time::{Duration, Instant};
+
+use super::FlowControlStrategy;
+
+/// Receiver-side activity window for dynamic credit sizing.
+const ACTIVITY_WINDOW: Duration = Duration::from_millis(20);
+
+/// Dynamic grant bounds.
+const MIN_GRANT: u32 = 1;
+const MAX_GRANT: u32 = 8;
+
+/// Credit-based window flow control.
+///
+/// Sender side: a credit buffer counts how many packets may be in flight;
+/// each transmission consumes one credit, each `Credit` control message
+/// replenishes. Receiver side: every received packet triggers a credit
+/// grant back to the sender; with `dynamic` enabled, connections receiving
+/// densely ("active connections") earn progressively larger grants, idle
+/// ones fall back to the minimum — the paper's dynamic credit maintenance.
+#[derive(Debug)]
+pub struct CreditBased {
+    /// Sender: credits currently available.
+    credits: u32,
+    dynamic: bool,
+    /// Receiver: recent packet arrivals inside the activity window.
+    recent: u32,
+    window_start: Option<Instant>,
+    /// Receiver: current per-packet grant.
+    grant: u32,
+}
+
+impl CreditBased {
+    /// Creates the strategy with `initial_credits` in the sender buffer.
+    pub fn new(initial_credits: u32, dynamic: bool) -> Self {
+        CreditBased {
+            credits: initial_credits,
+            dynamic,
+            recent: 0,
+            window_start: None,
+            grant: MIN_GRANT,
+        }
+    }
+
+    /// Sender-side credit buffer level (diagnostics).
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+}
+
+impl FlowControlStrategy for CreditBased {
+    fn permits(&mut self, _now: Instant) -> u32 {
+        self.credits
+    }
+
+    fn on_transmit(&mut self, n: u32) {
+        debug_assert!(n <= self.credits, "transmitted beyond granted credits");
+        self.credits = self.credits.saturating_sub(n);
+    }
+
+    fn on_feedback(&mut self, n: u32) {
+        self.credits = self.credits.saturating_add(n);
+    }
+
+    fn on_receive(&mut self, now: Instant) -> u32 {
+        if !self.dynamic {
+            return 1;
+        }
+        // Track arrival density; densely active connections earn larger
+        // grants, idle ones decay back to the minimum.
+        match self.window_start {
+            Some(start) if now.duration_since(start) <= ACTIVITY_WINDOW => {
+                self.recent += 1;
+            }
+            _ => {
+                self.grant = if self.recent >= 8 {
+                    // Geometric ramp: active connections reach the full
+                    // grant within a few activity windows.
+                    (self.grant * 2).min(MAX_GRANT)
+                } else if self.recent <= 2 {
+                    MIN_GRANT
+                } else {
+                    self.grant
+                };
+                self.window_start = Some(now);
+                self.recent = 1;
+            }
+        }
+        self.grant
+    }
+
+    fn next_poll(&self, _now: Instant) -> Option<Instant> {
+        None // only credits unblock the sender
+    }
+
+    fn name(&self) -> &'static str {
+        "credit-based"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credits_consume_and_replenish() {
+        let mut fc = CreditBased::new(4, false);
+        let now = Instant::now();
+        assert_eq!(fc.permits(now), 4);
+        fc.on_transmit(3);
+        assert_eq!(fc.permits(now), 1);
+        fc.on_feedback(2);
+        assert_eq!(fc.permits(now), 3);
+        assert_eq!(fc.credits(), 3);
+    }
+
+    #[test]
+    fn static_receiver_grants_one_per_packet() {
+        let mut fc = CreditBased::new(4, false);
+        let now = Instant::now();
+        for _ in 0..10 {
+            assert_eq!(fc.on_receive(now), 1);
+        }
+    }
+
+    #[test]
+    fn dynamic_receiver_grows_grants_for_active_connections() {
+        let mut fc = CreditBased::new(4, true);
+        let mut now = Instant::now();
+        let mut grants = Vec::new();
+        // Simulate a dense stream: many packets per activity window.
+        for _ in 0..10 {
+            for _ in 0..20 {
+                grants.push(fc.on_receive(now));
+                now += Duration::from_millis(2);
+            }
+            now += ACTIVITY_WINDOW + Duration::from_millis(1);
+        }
+        let first = grants.first().copied().unwrap();
+        let last = grants.last().copied().unwrap();
+        assert!(last > first, "grants must grow: first={first} last={last}");
+        assert!(last <= MAX_GRANT);
+    }
+
+    #[test]
+    fn dynamic_receiver_decays_for_idle_connections() {
+        let mut fc = CreditBased::new(4, true);
+        let mut now = Instant::now();
+        // Grow first.
+        for _ in 0..10 {
+            for _ in 0..20 {
+                fc.on_receive(now);
+                now += Duration::from_millis(2);
+            }
+            now += ACTIVITY_WINDOW + Duration::from_millis(1);
+        }
+        // Then go idle: single packets far apart.
+        let mut grant = MAX_GRANT;
+        for _ in 0..5 {
+            now += Duration::from_secs(1);
+            grant = fc.on_receive(now);
+        }
+        assert_eq!(grant, MIN_GRANT);
+    }
+
+    #[test]
+    fn no_timer_based_polling() {
+        let fc = CreditBased::new(1, true);
+        assert_eq!(fc.next_poll(Instant::now()), None);
+    }
+}

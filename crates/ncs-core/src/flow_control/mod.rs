@@ -1,0 +1,98 @@
+//! Flow-control algorithms (paper §3.3).
+//!
+//! Each algorithm is a strategy object driven by the per-connection Flow
+//! Control Thread: the sender side asks how many queued packets may be
+//! transmitted ([`FlowControlStrategy::permits`]) and reports feedback
+//! arriving on the control connection; the receiver side decides how many
+//! credits to grant back per received packet.
+//!
+//! The paper's default is the credit-based window scheme of Figures 7/8,
+//! with dynamic credit adjustment ("active connections get more credits,
+//! while inactive connections get only a fraction of the credits").
+
+mod credit;
+mod none;
+mod rate;
+mod window;
+
+pub use credit::CreditBased;
+pub use none::NoFlowControl;
+pub use rate::RateBased;
+pub use window::SlidingWindow;
+
+use std::time::Instant;
+
+use crate::config::FlowControlAlg;
+
+/// A flow-control algorithm instance for one connection (one side).
+///
+/// Implementations are driven from the Flow Control Thread and are not
+/// required to be thread-safe themselves.
+pub trait FlowControlStrategy: Send + std::fmt::Debug {
+    /// Sender side: how many packets may be transmitted right now.
+    fn permits(&mut self, now: Instant) -> u32;
+
+    /// Sender side: `n` packets were handed to the Send Thread.
+    fn on_transmit(&mut self, n: u32);
+
+    /// Sender side: feedback (credits / window acks) arrived on the control
+    /// connection.
+    fn on_feedback(&mut self, n: u32);
+
+    /// Receiver side: one packet arrived; returns the number of credits to
+    /// grant back over the control connection (0 = nothing to send).
+    fn on_receive(&mut self, now: Instant) -> u32;
+
+    /// When the sender should next re-poll `permits` even without feedback
+    /// (rate-based pacing); `None` = only feedback unblocks.
+    fn next_poll(&self, now: Instant) -> Option<Instant>;
+
+    /// Algorithm name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Instantiates the strategy configured in `alg`.
+pub fn build(alg: &FlowControlAlg) -> Box<dyn FlowControlStrategy> {
+    match alg {
+        FlowControlAlg::None => Box::new(NoFlowControl::new()),
+        FlowControlAlg::CreditBased {
+            initial_credits,
+            dynamic,
+        } => Box::new(CreditBased::new(*initial_credits, *dynamic)),
+        FlowControlAlg::SlidingWindow { window } => Box::new(SlidingWindow::new(*window)),
+        FlowControlAlg::RateBased {
+            packets_per_sec,
+            burst,
+        } => Box::new(RateBased::new(*packets_per_sec, *burst)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_dispatches_by_config() {
+        assert_eq!(build(&FlowControlAlg::None).name(), "none");
+        assert_eq!(
+            build(&FlowControlAlg::CreditBased {
+                initial_credits: 2,
+                dynamic: false
+            })
+            .name(),
+            "credit-based"
+        );
+        assert_eq!(
+            build(&FlowControlAlg::SlidingWindow { window: 4 }).name(),
+            "sliding-window"
+        );
+        assert_eq!(
+            build(&FlowControlAlg::RateBased {
+                packets_per_sec: 10,
+                burst: 1
+            })
+            .name(),
+            "rate-based"
+        );
+    }
+}

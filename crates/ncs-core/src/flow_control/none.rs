@@ -1,0 +1,56 @@
+//! The null flow-control algorithm: transmit freely.
+
+use std::time::Instant;
+
+use super::FlowControlStrategy;
+
+/// No flow control: every queued packet may be sent immediately and the
+/// receiver grants nothing. Used for error-resilient media streams and for
+/// interfaces whose kernel already flow-controls (SCI/TCP).
+#[derive(Debug, Default)]
+pub struct NoFlowControl;
+
+impl NoFlowControl {
+    /// Creates the null strategy.
+    pub fn new() -> Self {
+        NoFlowControl
+    }
+}
+
+impl FlowControlStrategy for NoFlowControl {
+    fn permits(&mut self, _now: Instant) -> u32 {
+        u32::MAX
+    }
+
+    fn on_transmit(&mut self, _n: u32) {}
+
+    fn on_feedback(&mut self, _n: u32) {}
+
+    fn on_receive(&mut self, _now: Instant) -> u32 {
+        0
+    }
+
+    fn next_poll(&self, _now: Instant) -> Option<Instant> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_permits_no_grants() {
+        let mut fc = NoFlowControl::new();
+        let now = Instant::now();
+        assert_eq!(fc.permits(now), u32::MAX);
+        fc.on_transmit(1_000_000);
+        assert_eq!(fc.permits(now), u32::MAX);
+        assert_eq!(fc.on_receive(now), 0);
+        assert_eq!(fc.next_poll(now), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Rate-based flow control: a token bucket paced in packets per second.
+
+use std::time::{Duration, Instant};
+
+use super::FlowControlStrategy;
+
+/// Token-bucket pacing: tokens accrue at `packets_per_sec` up to `burst`;
+/// each transmission spends one. No receiver feedback is required (the
+/// open-loop scheme appropriate for CBR-like media streams).
+#[derive(Debug)]
+pub struct RateBased {
+    packets_per_sec: u32,
+    burst: u32,
+    tokens: f64,
+    last_refill: Option<Instant>,
+}
+
+impl RateBased {
+    /// A bucket refilling at `packets_per_sec` with depth `burst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(packets_per_sec: u32, burst: u32) -> Self {
+        assert!(packets_per_sec > 0, "rate must be positive");
+        assert!(burst > 0, "burst must be positive");
+        RateBased {
+            packets_per_sec,
+            burst,
+            tokens: burst as f64,
+            last_refill: None,
+        }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        if let Some(last) = self.last_refill {
+            let dt = now.duration_since(last).as_secs_f64();
+            self.tokens =
+                (self.tokens + dt * self.packets_per_sec as f64).min(self.burst as f64);
+        }
+        self.last_refill = Some(now);
+    }
+}
+
+impl FlowControlStrategy for RateBased {
+    fn permits(&mut self, now: Instant) -> u32 {
+        self.refill(now);
+        self.tokens as u32
+    }
+
+    fn on_transmit(&mut self, n: u32) {
+        self.tokens = (self.tokens - n as f64).max(0.0);
+    }
+
+    fn on_feedback(&mut self, _n: u32) {
+        // Open loop: feedback is ignored.
+    }
+
+    fn on_receive(&mut self, _now: Instant) -> u32 {
+        0 // no credits needed
+    }
+
+    fn next_poll(&self, now: Instant) -> Option<Instant> {
+        // Wake when the next token accrues.
+        let per_token = Duration::from_secs_f64(1.0 / self.packets_per_sec as f64);
+        Some(now + per_token)
+    }
+
+    fn name(&self) -> &'static str {
+        "rate-based"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_is_available_immediately() {
+        let mut fc = RateBased::new(100, 5);
+        assert_eq!(fc.permits(Instant::now()), 5);
+    }
+
+    #[test]
+    fn tokens_deplete_and_refill_over_time() {
+        let mut fc = RateBased::new(1000, 10);
+        let t0 = Instant::now();
+        assert_eq!(fc.permits(t0), 10);
+        fc.on_transmit(10);
+        assert_eq!(fc.permits(t0), 0);
+        // 5 ms at 1000 pkt/s ~ 5 tokens.
+        let t1 = t0 + Duration::from_millis(5);
+        let p = fc.permits(t1);
+        assert!((4..=6).contains(&p), "permits {p}");
+    }
+
+    #[test]
+    fn bucket_caps_at_burst() {
+        let mut fc = RateBased::new(1_000_000, 3);
+        let t0 = Instant::now();
+        fc.permits(t0);
+        let later = t0 + Duration::from_secs(10);
+        assert_eq!(fc.permits(later), 3);
+    }
+
+    #[test]
+    fn polls_for_next_token() {
+        let fc = RateBased::new(100, 1);
+        let now = Instant::now();
+        let next = fc.next_poll(now).unwrap();
+        assert!(next > now);
+        assert!(next - now <= Duration::from_millis(11));
+    }
+
+    #[test]
+    fn receiver_grants_nothing() {
+        let mut fc = RateBased::new(10, 1);
+        assert_eq!(fc.on_receive(Instant::now()), 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Sliding-window flow control: at most `window` unacknowledged packets.
+
+use std::time::Instant;
+
+use super::FlowControlStrategy;
+
+/// Classic sliding window. The receiver acknowledges each packet (the
+/// feedback path reuses the credit control message); the sender keeps at
+/// most `window` packets outstanding.
+#[derive(Debug)]
+pub struct SlidingWindow {
+    window: u32,
+    outstanding: u32,
+}
+
+impl SlidingWindow {
+    /// A window of `window` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u32) -> Self {
+        assert!(window > 0, "window must be positive");
+        SlidingWindow {
+            window,
+            outstanding: 0,
+        }
+    }
+
+    /// Packets currently unacknowledged (diagnostics).
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+}
+
+impl FlowControlStrategy for SlidingWindow {
+    fn permits(&mut self, _now: Instant) -> u32 {
+        self.window.saturating_sub(self.outstanding)
+    }
+
+    fn on_transmit(&mut self, n: u32) {
+        self.outstanding = self.outstanding.saturating_add(n);
+        debug_assert!(self.outstanding <= self.window, "window overrun");
+    }
+
+    fn on_feedback(&mut self, n: u32) {
+        self.outstanding = self.outstanding.saturating_sub(n);
+    }
+
+    fn on_receive(&mut self, _now: Instant) -> u32 {
+        1 // ack every packet
+    }
+
+    fn next_poll(&self, _now: Instant) -> Option<Instant> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "sliding-window"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_limits_outstanding() {
+        let mut fc = SlidingWindow::new(3);
+        let now = Instant::now();
+        assert_eq!(fc.permits(now), 3);
+        fc.on_transmit(3);
+        assert_eq!(fc.permits(now), 0);
+        assert_eq!(fc.outstanding(), 3);
+        fc.on_feedback(2);
+        assert_eq!(fc.permits(now), 2);
+    }
+
+    #[test]
+    fn receiver_acks_each_packet() {
+        let mut fc = SlidingWindow::new(3);
+        assert_eq!(fc.on_receive(Instant::now()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = SlidingWindow::new(0);
+    }
+}

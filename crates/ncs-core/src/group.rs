@@ -1,0 +1,499 @@
+//! Group communication services (paper §2): multicast with selectable
+//! algorithm — repetitive send or a multicast spanning tree — plus a
+//! tree-structured barrier.
+//!
+//! A group is built over dedicated pairwise NCS connections (full mesh).
+//! Each member runs one listener thread per link; spanning-tree multicasts
+//! are forwarded hop by hop along a tree rooted at the originating member,
+//! so the origin transmits O(log n) copies instead of n-1.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ncs_threads::sync::Mailbox;
+use ncs_threads::{JoinHandle, SpawnOptions};
+
+use crate::connection::{NcsConnection, SendError};
+use crate::node::NcsNode;
+
+/// Multicast algorithm (paper §2: "repetitive send/receive or a multicast
+/// spanning tree").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MulticastAlgo {
+    /// The origin unicasts to every member.
+    Repetitive,
+    /// Members forward along a binary tree rooted at the origin.
+    #[default]
+    SpanningTree,
+}
+
+/// Errors from group operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// Membership map is not a contiguous rank set.
+    BadMembership(String),
+    /// A group link failed.
+    Send(SendError),
+    /// Timed out waiting (receive or barrier).
+    Timeout,
+    /// The group was left/closed.
+    Closed,
+}
+
+impl std::fmt::Display for GroupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupError::BadMembership(why) => write!(f, "bad group membership: {why}"),
+            GroupError::Send(e) => write!(f, "group link failure: {e}"),
+            GroupError::Timeout => write!(f, "group operation timed out"),
+            GroupError::Closed => write!(f, "group closed"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+impl From<SendError> for GroupError {
+    fn from(e: SendError) -> Self {
+        GroupError::Send(e)
+    }
+}
+
+const TAG_GROUP: u8 = 0xA7;
+
+/// Wire frame for group traffic (carried as ordinary NCS message payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum GroupFrame {
+    Data { origin: u32, data: Vec<u8> },
+    BarrierArrive { from: u32, epoch: u32 },
+    BarrierRelease { epoch: u32 },
+}
+
+impl GroupFrame {
+    fn encode(&self, group: u32) -> Vec<u8> {
+        let mut out = vec![TAG_GROUP];
+        out.extend_from_slice(&group.to_be_bytes());
+        match self {
+            GroupFrame::Data { origin, data } => {
+                out.push(0);
+                out.extend_from_slice(&origin.to_be_bytes());
+                out.extend_from_slice(data);
+            }
+            GroupFrame::BarrierArrive { from, epoch } => {
+                out.push(1);
+                out.extend_from_slice(&from.to_be_bytes());
+                out.extend_from_slice(&epoch.to_be_bytes());
+            }
+            GroupFrame::BarrierRelease { epoch } => {
+                out.push(2);
+                out.extend_from_slice(&epoch.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8], expect_group: u32) -> Option<Self> {
+        if bytes.len() < 6 || bytes[0] != TAG_GROUP {
+            return None;
+        }
+        let group = u32::from_be_bytes(bytes[1..5].try_into().ok()?);
+        if group != expect_group {
+            return None;
+        }
+        let body = &bytes[6..];
+        match bytes[5] {
+            0 => {
+                if body.len() < 4 {
+                    return None;
+                }
+                Some(GroupFrame::Data {
+                    origin: u32::from_be_bytes(body[..4].try_into().ok()?),
+                    data: body[4..].to_vec(),
+                })
+            }
+            1 => {
+                if body.len() != 8 {
+                    return None;
+                }
+                Some(GroupFrame::BarrierArrive {
+                    from: u32::from_be_bytes(body[..4].try_into().ok()?),
+                    epoch: u32::from_be_bytes(body[4..8].try_into().ok()?),
+                })
+            }
+            2 => {
+                if body.len() != 4 {
+                    return None;
+                }
+                Some(GroupFrame::BarrierRelease {
+                    epoch: u32::from_be_bytes(body[..4].try_into().ok()?),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One member's view of a process group.
+///
+/// Built over dedicated pairwise connections: the group owns them (its
+/// listener threads consume their receive queues), so do not share them
+/// with point-to-point traffic.
+pub struct NcsGroup {
+    id: u32,
+    rank: usize,
+    size: usize,
+    algo: MulticastAlgo,
+    links: HashMap<usize, NcsConnection>,
+    /// Delivered multicasts: (origin rank, payload).
+    inbox: Arc<Mailbox<(usize, Vec<u8>)>>,
+    barrier_arrivals: Arc<Mailbox<(u32, u32)>>,
+    barrier_releases: Arc<Mailbox<u32>>,
+    epoch: AtomicU32,
+    closed: Arc<AtomicBool>,
+    listeners: Vec<JoinHandle>,
+}
+
+impl std::fmt::Debug for NcsGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NcsGroup")
+            .field("id", &self.id)
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .field("algo", &self.algo)
+            .finish()
+    }
+}
+
+impl NcsGroup {
+    /// Forms group `id` with this member at `rank`, over `links` mapping
+    /// every other member's rank to an established connection.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::BadMembership`] unless `links` covers exactly the
+    /// ranks `0..size` minus `rank`.
+    pub fn new(
+        node: &NcsNode,
+        id: u32,
+        rank: usize,
+        links: HashMap<usize, NcsConnection>,
+        algo: MulticastAlgo,
+    ) -> Result<Self, GroupError> {
+        let size = links.len() + 1;
+        if links.contains_key(&rank) {
+            return Err(GroupError::BadMembership(format!(
+                "links must not include own rank {rank}"
+            )));
+        }
+        for r in 0..size {
+            if r != rank && !links.contains_key(&r) {
+                return Err(GroupError::BadMembership(format!(
+                    "missing link to rank {r} (size {size})"
+                )));
+            }
+        }
+        let inbox = Arc::new(Mailbox::unbounded());
+        let barrier_arrivals = Arc::new(Mailbox::unbounded());
+        let barrier_releases = Arc::new(Mailbox::unbounded());
+        let closed = Arc::new(AtomicBool::new(false));
+        let mut listeners = Vec::new();
+        let pkg = node.thread_package();
+        for (&peer_rank, conn) in &links {
+            let ctx = ListenCtx {
+                group: id,
+                rank,
+                size,
+                algo,
+                conn: conn.clone(),
+                links: links.clone(),
+                inbox: Arc::clone(&inbox),
+                arrivals: Arc::clone(&barrier_arrivals),
+                releases: Arc::clone(&barrier_releases),
+                closed: Arc::clone(&closed),
+            };
+            listeners.push(pkg.spawn_with(
+                SpawnOptions::new(format!("ncs-group{id}-r{rank}-from{peer_rank}")).daemon(true),
+                Box::new(move || listen_loop(ctx)),
+            ));
+        }
+        Ok(NcsGroup {
+            id,
+            rank,
+            size,
+            algo,
+            links,
+            inbox,
+            barrier_arrivals,
+            barrier_releases,
+            epoch: AtomicU32::new(0),
+            closed,
+            listeners,
+        })
+    }
+
+    /// This member's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Group size (members).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The configured multicast algorithm.
+    pub fn algo(&self) -> MulticastAlgo {
+        self.algo
+    }
+
+    /// Multicasts `data` to every other member.
+    ///
+    /// # Errors
+    ///
+    /// Propagates link failures.
+    pub fn multicast(&self, data: &[u8]) -> Result<(), GroupError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(GroupError::Closed);
+        }
+        let frame = GroupFrame::Data {
+            origin: self.rank as u32,
+            data: data.to_vec(),
+        }
+        .encode(self.id);
+        match self.algo {
+            MulticastAlgo::Repetitive => {
+                for (_, conn) in self.links.iter() {
+                    conn.send(&frame)?;
+                }
+            }
+            MulticastAlgo::SpanningTree => {
+                for child in tree_children(self.rank, self.rank, self.size) {
+                    self.links[&child].send(&frame)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Receives the next multicast delivered to this member:
+    /// `(origin rank, payload)`.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::Timeout`] / [`GroupError::Closed`].
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<(usize, Vec<u8>), GroupError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(_) => {
+                if self.closed.load(Ordering::Acquire) {
+                    Err(GroupError::Closed)
+                } else {
+                    Err(GroupError::Timeout)
+                }
+            }
+        }
+    }
+
+    /// Blocks until every member has entered the barrier (tree-structured:
+    /// arrivals converge on rank 0, releases fan back out).
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::Timeout`] after `timeout` without global arrival.
+    pub fn barrier(&self, timeout: Duration) -> Result<(), GroupError> {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let deadline = std::time::Instant::now() + timeout;
+        let my_children: Vec<usize> = barrier_children(self.rank, self.size);
+        // Collect arrivals from our subtree.
+        let mut pending: Vec<usize> = my_children.clone();
+        let mut held_back: Vec<(u32, u32)> = Vec::new();
+        while !pending.is_empty() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(GroupError::Timeout);
+            }
+            match self.barrier_arrivals.recv_timeout(deadline - now) {
+                Ok((from, e)) if e == epoch => {
+                    pending.retain(|&r| r != from as usize);
+                }
+                Ok(other) => held_back.push(other),
+                Err(_) => return Err(GroupError::Timeout),
+            }
+        }
+        for h in held_back {
+            self.barrier_arrivals.send(h);
+        }
+        if self.rank != 0 {
+            // Report to parent, await the release wave.
+            let parent = (self.rank - 1) / 2;
+            self.links[&parent].send(
+                &GroupFrame::BarrierArrive {
+                    from: self.rank as u32,
+                    epoch,
+                }
+                .encode(self.id),
+            )?;
+            loop {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(GroupError::Timeout);
+                }
+                match self.barrier_releases.recv_timeout(deadline - now) {
+                    Ok(e) if e == epoch => break,
+                    Ok(_) => continue, // stale release
+                    Err(_) => return Err(GroupError::Timeout),
+                }
+            }
+        }
+        // Release our children.
+        for child in my_children {
+            self.links[&child].send(&GroupFrame::BarrierRelease { epoch }.encode(self.id))?;
+        }
+        Ok(())
+    }
+
+    /// Leaves the group: stops listener threads. The underlying
+    /// connections remain open (owned by the caller's node).
+    pub fn leave(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+}
+
+impl Drop for NcsGroup {
+    fn drop(&mut self) {
+        self.leave();
+        for l in self.listeners.drain(..) {
+            let _ = l.join_timeout(Duration::from_secs(1));
+        }
+    }
+}
+
+/// Children of `rank` in the binary multicast tree rooted at `origin`
+/// (ranks relabelled relative to the origin).
+fn tree_children(rank: usize, origin: usize, size: usize) -> Vec<usize> {
+    let rel = (rank + size - origin) % size;
+    [2 * rel + 1, 2 * rel + 2]
+        .into_iter()
+        .filter(|&c| c < size)
+        .map(|c| (c + origin) % size)
+        .collect()
+}
+
+/// Children of `rank` in the barrier tree (rooted at rank 0).
+fn barrier_children(rank: usize, size: usize) -> Vec<usize> {
+    [2 * rank + 1, 2 * rank + 2]
+        .into_iter()
+        .filter(|&c| c < size)
+        .collect()
+}
+
+struct ListenCtx {
+    group: u32,
+    rank: usize,
+    size: usize,
+    algo: MulticastAlgo,
+    conn: NcsConnection,
+    links: HashMap<usize, NcsConnection>,
+    inbox: Arc<Mailbox<(usize, Vec<u8>)>>,
+    arrivals: Arc<Mailbox<(u32, u32)>>,
+    releases: Arc<Mailbox<u32>>,
+    closed: Arc<AtomicBool>,
+}
+
+fn listen_loop(ctx: ListenCtx) {
+    loop {
+        if ctx.closed.load(Ordering::Acquire) {
+            return;
+        }
+        let frame = match ctx.conn.recv_timeout(Duration::from_millis(100)) {
+            Ok(f) => f,
+            Err(SendError::Timeout) => continue,
+            Err(_) => return,
+        };
+        let Some(msg) = GroupFrame::decode(&frame, ctx.group) else {
+            continue;
+        };
+        match msg {
+            GroupFrame::Data { origin, data } => {
+                // Spanning tree: forward to our children in the tree rooted
+                // at the origin before local delivery.
+                if ctx.algo == MulticastAlgo::SpanningTree {
+                    let fwd = GroupFrame::Data {
+                        origin,
+                        data: data.clone(),
+                    }
+                    .encode(ctx.group);
+                    for child in tree_children(ctx.rank, origin as usize, ctx.size) {
+                        let _ = ctx.links[&child].send(&fwd);
+                    }
+                }
+                ctx.inbox.send((origin as usize, data));
+            }
+            GroupFrame::BarrierArrive { from, epoch } => {
+                ctx.arrivals.send((from, epoch));
+            }
+            GroupFrame::BarrierRelease { epoch } => {
+                ctx.releases.send(epoch);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_frame_round_trips() {
+        let frames = vec![
+            GroupFrame::Data {
+                origin: 3,
+                data: vec![1, 2, 3],
+            },
+            GroupFrame::BarrierArrive { from: 2, epoch: 9 },
+            GroupFrame::BarrierRelease { epoch: 9 },
+        ];
+        for f in frames {
+            let bytes = f.encode(42);
+            assert_eq!(GroupFrame::decode(&bytes, 42), Some(f.clone()));
+            // Wrong group id is rejected.
+            assert_eq!(GroupFrame::decode(&bytes, 43), None);
+        }
+        assert_eq!(GroupFrame::decode(&[], 1), None);
+        assert_eq!(GroupFrame::decode(&[TAG_GROUP, 0, 0, 0, 1, 9], 1), None);
+    }
+
+    #[test]
+    fn tree_children_cover_all_ranks_exactly_once() {
+        for size in 1..20 {
+            for origin in 0..size {
+                let mut covered = vec![false; size];
+                covered[origin] = true;
+                let mut frontier = vec![origin];
+                while let Some(r) = frontier.pop() {
+                    for c in tree_children(r, origin, size) {
+                        assert!(!covered[c], "rank {c} covered twice (size {size})");
+                        covered[c] = true;
+                        frontier.push(c);
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "not all covered: size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_children_match_parent_relation() {
+        for size in 2..16 {
+            for rank in 1..size {
+                let parent = (rank - 1) / 2;
+                assert!(
+                    barrier_children(parent, size).contains(&rank),
+                    "rank {rank} missing from parent {parent} (size {size})"
+                );
+            }
+        }
+    }
+}

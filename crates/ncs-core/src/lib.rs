@@ -1,0 +1,70 @@
+//! NCS — the NYNET Communication System.
+//!
+//! A faithful reproduction of the multithreaded message-passing system of
+//! Park, Lee & Hariri (ICDCS 1998): low-latency, high-throughput
+//! communication services whose architecture rests on three ideas
+//! (paper §2):
+//!
+//! 1. **Thread-based programming paradigm** — applications are *compute
+//!    threads* that communicate through NCS primitives; the runtime itself
+//!    is a set of cooperating threads, so computation overlaps
+//!    communication.
+//! 2. **Separation of control and data planes** — every connection gets
+//!    dedicated *data transfer threads* (Send/Receive) on a dedicated data
+//!    channel, while flow-control credits, error-control acknowledgements
+//!    and connection management travel on a separate *control connection*
+//!    handled by control threads (Master, Flow Control, Error Control,
+//!    Control Send, Control Receive).
+//! 3. **Dynamic per-connection algorithms** — flow control (credit-based
+//!    \[default\], sliding-window, rate-based, none), error control
+//!    (selective-repeat \[default\], go-back-N, none) and the communication
+//!    interface (SCI/ACI/HPI) are chosen per connection at runtime via
+//!    [`ConnectionConfig`].
+//!
+//! The §4.2 thread-bypass variant ("all threads can be replaced by
+//! procedures") is available as [`NcsConnection::send_direct`] /
+//! [`NcsConnection::recv_direct`] on connections configured with
+//! [`ConnectionConfig::direct`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ncs_core::{NcsNode, ConnectionConfig};
+//! use ncs_core::link::HpiLinkPair;
+//!
+//! // Two NCS processes in one address space, linked by the HPI interface.
+//! let alice = NcsNode::builder("alice").build();
+//! let bob = NcsNode::builder("bob").build();
+//! let (link_a, link_b) = HpiLinkPair::create();
+//! alice.attach_peer("bob", link_a);
+//! bob.attach_peer("alice", link_b);
+//!
+//! // A reliable connection: credit-based flow control + selective repeat.
+//! let conn_a = alice.connect("bob", ConnectionConfig::reliable()).unwrap();
+//! let conn_b = bob.accept_default().unwrap();
+//!
+//! conn_a.send(b"hello from alice").unwrap();
+//! assert_eq!(conn_b.recv().unwrap(), b"hello from alice");
+//! # alice.shutdown(); bob.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+mod connection;
+mod control;
+pub mod error_control;
+pub mod flow_control;
+pub mod group;
+pub mod link;
+mod node;
+pub mod packet;
+pub mod seq;
+pub mod stats;
+
+pub use config::{ConnectionConfig, ConnectionConfigBuilder, ErrorControlAlg, FlowControlAlg};
+pub use connection::{NcsConnection, SendError};
+pub use group::{GroupError, MulticastAlgo, NcsGroup};
+pub use node::{AcceptError, ConnectError, NcsNode, NcsNodeBuilder};
+pub use stats::{ConnectionStats, SendBreakdown};

@@ -1,0 +1,310 @@
+//! Peer links: how an NCS node reaches one named peer.
+//!
+//! A [`PeerLink`] can open new duplex channels to the peer and accept
+//! channels the peer opened; NCS layers its control and data connections on
+//! top. One implementation exists per communication interface, realising
+//! the paper's Figure 3 (clusters wired with different interfaces).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ncs_threads::sync::Mailbox;
+use ncs_transport::{aci, hpi, pipe, sci, Connection, TransportError};
+
+/// A bidirectional channel factory towards one peer node.
+pub trait PeerLink: Send + Sync + std::fmt::Debug {
+    /// Opens a fresh duplex channel to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    fn open_channel(&self) -> Result<Box<dyn Connection>, TransportError>;
+
+    /// Accepts the next channel the peer (or, for shared listeners, *any*
+    /// peer) opened towards this node.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] when nothing arrived.
+    fn accept_channel(&self, timeout: Duration) -> Result<Box<dyn Connection>, TransportError>;
+
+    /// Interface family name ("HPI", "SCI", "ACI", "PIPE").
+    fn interface(&self) -> &'static str;
+
+    /// Opens the channel used for the NCS control connection. Defaults to
+    /// an ordinary channel; interfaces with an assured signaling service
+    /// (ATM's SAAL/SSCOP) override this so acknowledgements and credits
+    /// ride protected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    fn open_control_channel(&self) -> Result<Box<dyn Connection>, TransportError> {
+        self.open_channel()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HPI
+// ---------------------------------------------------------------------------
+
+/// In-process HPI link: channels are shared-ring pairs.
+#[derive(Debug)]
+pub struct HpiLink {
+    /// Channels the partner opened towards us.
+    inbox: Arc<Mailbox<Box<dyn Connection>>>,
+    /// The partner's inbox, where our opens land.
+    partner: Arc<Mailbox<Box<dyn Connection>>>,
+    ring_capacity: usize,
+}
+
+/// Creates both ends of an in-process HPI link.
+#[derive(Debug)]
+pub struct HpiLinkPair;
+
+impl HpiLinkPair {
+    /// Creates a connected pair of HPI links with default ring capacity.
+    pub fn create() -> (Arc<HpiLink>, Arc<HpiLink>) {
+        Self::with_capacity(hpi::DEFAULT_RING)
+    }
+
+    /// Creates a pair whose channels use `ring_capacity`-frame rings.
+    pub fn with_capacity(ring_capacity: usize) -> (Arc<HpiLink>, Arc<HpiLink>) {
+        let a_in: Arc<Mailbox<Box<dyn Connection>>> = Arc::new(Mailbox::unbounded());
+        let b_in: Arc<Mailbox<Box<dyn Connection>>> = Arc::new(Mailbox::unbounded());
+        (
+            Arc::new(HpiLink {
+                inbox: Arc::clone(&a_in),
+                partner: Arc::clone(&b_in),
+                ring_capacity,
+            }),
+            Arc::new(HpiLink {
+                inbox: b_in,
+                partner: a_in,
+                ring_capacity,
+            }),
+        )
+    }
+}
+
+impl PeerLink for HpiLink {
+    fn open_channel(&self) -> Result<Box<dyn Connection>, TransportError> {
+        let (mine, theirs) = hpi::pair(self.ring_capacity);
+        self.partner.send(Box::new(theirs));
+        Ok(Box::new(mine))
+    }
+
+    fn accept_channel(&self, timeout: Duration) -> Result<Box<dyn Connection>, TransportError> {
+        self.inbox
+            .recv_timeout(timeout)
+            .map_err(|_| TransportError::Timeout)
+    }
+
+    fn interface(&self) -> &'static str {
+        "HPI"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PIPE
+// ---------------------------------------------------------------------------
+
+/// In-process modelled-socket link (see [`ncs_transport::pipe`]).
+#[derive(Debug)]
+pub struct PipeLink {
+    inbox: Arc<Mailbox<Box<dyn Connection>>>,
+    partner: Arc<Mailbox<Box<dyn Connection>>>,
+    config: pipe::PipeConfig,
+    local_model: Option<pipe::EndpointModel>,
+    remote_model: Option<pipe::EndpointModel>,
+}
+
+/// Creates both ends of a modelled-socket link.
+#[derive(Debug)]
+pub struct PipeLinkPair;
+
+impl PipeLinkPair {
+    /// Creates a pair with the given pipe configuration and optional
+    /// per-endpoint platform models (side `a` first).
+    pub fn create(
+        config: pipe::PipeConfig,
+        model_a: Option<pipe::EndpointModel>,
+        model_b: Option<pipe::EndpointModel>,
+    ) -> (Arc<PipeLink>, Arc<PipeLink>) {
+        let a_in: Arc<Mailbox<Box<dyn Connection>>> = Arc::new(Mailbox::unbounded());
+        let b_in: Arc<Mailbox<Box<dyn Connection>>> = Arc::new(Mailbox::unbounded());
+        (
+            Arc::new(PipeLink {
+                inbox: Arc::clone(&a_in),
+                partner: Arc::clone(&b_in),
+                config: config.clone(),
+                local_model: model_a.clone(),
+                remote_model: model_b.clone(),
+            }),
+            Arc::new(PipeLink {
+                inbox: b_in,
+                partner: a_in,
+                config,
+                local_model: model_b,
+                remote_model: model_a,
+            }),
+        )
+    }
+}
+
+impl PeerLink for PipeLink {
+    fn open_channel(&self) -> Result<Box<dyn Connection>, TransportError> {
+        let (mine, theirs) = pipe::pair_with_models(
+            self.config.clone(),
+            self.local_model.clone(),
+            self.remote_model.clone(),
+        );
+        self.partner.send(Box::new(theirs));
+        Ok(Box::new(mine))
+    }
+
+    fn accept_channel(&self, timeout: Duration) -> Result<Box<dyn Connection>, TransportError> {
+        self.inbox
+            .recv_timeout(timeout)
+            .map_err(|_| TransportError::Timeout)
+    }
+
+    fn interface(&self) -> &'static str {
+        "PIPE"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ACI
+// ---------------------------------------------------------------------------
+
+/// ATM link: channels are AAL5 virtual circuits through an
+/// [`aci::AciFabric`].
+#[derive(Debug)]
+pub struct AciLink {
+    device: Arc<aci::AciDevice>,
+    peer: String,
+    qos: atm_sim::QosParams,
+}
+
+impl AciLink {
+    /// A link from `device`'s host to `peer`, opening VCs with `qos`.
+    pub fn new(device: Arc<aci::AciDevice>, peer: &str, qos: atm_sim::QosParams) -> Arc<Self> {
+        Arc::new(AciLink {
+            device,
+            peer: peer.to_owned(),
+            qos,
+        })
+    }
+}
+
+impl PeerLink for AciLink {
+    fn open_channel(&self) -> Result<Box<dyn Connection>, TransportError> {
+        Ok(Box::new(self.device.connect(&self.peer, self.qos)?))
+    }
+
+    fn open_control_channel(&self) -> Result<Box<dyn Connection>, TransportError> {
+        // Control connections ride an assured (SSCOP-style) VC.
+        let qos = atm_sim::QosParams {
+            assured: true,
+            ..self.qos
+        };
+        Ok(Box::new(self.device.connect(&self.peer, qos)?))
+    }
+
+    fn accept_channel(&self, timeout: Duration) -> Result<Box<dyn Connection>, TransportError> {
+        Ok(Box::new(self.device.accept_timeout(timeout)?))
+    }
+
+    fn interface(&self) -> &'static str {
+        "ACI"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SCI
+// ---------------------------------------------------------------------------
+
+/// TCP link: opens channels by connecting to the peer's listener; accepts
+/// from this node's own (shared) listener. Peer attribution of accepted
+/// channels comes from the NCS hello frame, so sharing one listener across
+/// peers is safe.
+#[derive(Debug)]
+pub struct SciLink {
+    peer_addr: std::net::SocketAddr,
+    listener: Arc<sci::SciListener>,
+}
+
+impl SciLink {
+    /// A link towards the NCS node listening at `peer_addr`, accepting
+    /// inbound channels on `listener`.
+    pub fn new(peer_addr: std::net::SocketAddr, listener: Arc<sci::SciListener>) -> Arc<Self> {
+        Arc::new(SciLink {
+            peer_addr,
+            listener,
+        })
+    }
+}
+
+impl PeerLink for SciLink {
+    fn open_channel(&self) -> Result<Box<dyn Connection>, TransportError> {
+        Ok(Box::new(sci::connect(self.peer_addr)?))
+    }
+
+    fn accept_channel(&self, timeout: Duration) -> Result<Box<dyn Connection>, TransportError> {
+        Ok(Box::new(self.listener.accept_timeout(timeout)?))
+    }
+
+    fn interface(&self) -> &'static str {
+        "SCI"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hpi_link_channels_connect_both_ways() {
+        let (a, b) = HpiLinkPair::create();
+        let ch_a = a.open_channel().unwrap();
+        let ch_b = b.accept_channel(Duration::from_secs(1)).unwrap();
+        ch_a.send(b"x").unwrap();
+        assert_eq!(ch_b.recv().unwrap(), b"x");
+        ch_b.send(b"y").unwrap();
+        assert_eq!(ch_a.recv().unwrap(), b"y");
+        assert_eq!(a.interface(), "HPI");
+    }
+
+    #[test]
+    fn hpi_accept_times_out_when_nothing_opened() {
+        let (a, _b) = HpiLinkPair::create();
+        assert!(matches!(
+            a.accept_channel(Duration::from_millis(20)),
+            Err(TransportError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn pipe_link_round_trip() {
+        let (a, b) = PipeLinkPair::create(pipe::PipeConfig::default(), None, None);
+        let ch_a = a.open_channel().unwrap();
+        let ch_b = b.accept_channel(Duration::from_secs(1)).unwrap();
+        ch_a.send(b"ping").unwrap();
+        assert_eq!(ch_b.recv().unwrap(), b"ping");
+        assert_eq!(b.interface(), "PIPE");
+    }
+
+    #[test]
+    fn multiple_channels_arrive_in_order() {
+        let (a, b) = HpiLinkPair::create();
+        let c1 = a.open_channel().unwrap();
+        let c2 = a.open_channel().unwrap();
+        c1.send(b"first").unwrap();
+        c2.send(b"second").unwrap();
+        let d1 = b.accept_channel(Duration::from_secs(1)).unwrap();
+        let d2 = b.accept_channel(Duration::from_secs(1)).unwrap();
+        assert_eq!(d1.recv().unwrap(), b"first");
+        assert_eq!(d2.recv().unwrap(), b"second");
+    }
+}

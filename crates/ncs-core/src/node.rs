@@ -1,0 +1,584 @@
+//! The NCS node: one message-passing process with its Master Thread,
+//! per-peer control plane and connection registry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ncs_threads::sync::Mailbox;
+use ncs_threads::{JoinHandle, KernelPackage, SpawnOptions, ThreadPackage};
+use ncs_transport::{Connection as Transport, TransportError};
+use parking_lot::Mutex;
+
+use crate::config::{ConfigError, ConnectionConfig};
+use crate::connection::{
+    dispatch_ctrl, spawn_connection_threads, ConnShared, NcsConnection,
+};
+use crate::control::{spawn_cr, spawn_cs};
+use crate::link::PeerLink;
+use crate::packet::{CtrlMsg, Hello};
+
+const ACCEPT_POLL: Duration = Duration::from_millis(200);
+const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
+const ESTABLISH_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Errors from [`NcsNode::connect`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectError {
+    /// No link attached for this peer name.
+    UnknownPeer(String),
+    /// The configuration is invalid for the link's interface.
+    Config(ConfigError),
+    /// The underlying interface failed.
+    Transport(String),
+    /// The peer did not accept in time.
+    Timeout,
+    /// The node is shut down.
+    Shutdown,
+}
+
+impl std::fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectError::UnknownPeer(p) => write!(f, "no link attached for peer '{p}'"),
+            ConnectError::Config(e) => write!(f, "invalid configuration: {e}"),
+            ConnectError::Transport(e) => write!(f, "transport failure: {e}"),
+            ConnectError::Timeout => write!(f, "peer did not accept the connection in time"),
+            ConnectError::Shutdown => write!(f, "node is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+impl From<TransportError> for ConnectError {
+    fn from(e: TransportError) -> Self {
+        ConnectError::Transport(e.to_string())
+    }
+}
+
+impl From<ConfigError> for ConnectError {
+    fn from(e: ConfigError) -> Self {
+        ConnectError::Config(e)
+    }
+}
+
+/// Errors from [`NcsNode::accept`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptError {
+    /// No incoming connection arrived in time.
+    Timeout,
+    /// The node is shut down.
+    Shutdown,
+}
+
+impl std::fmt::Display for AcceptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcceptError::Timeout => write!(f, "no incoming connection arrived in time"),
+            AcceptError::Shutdown => write!(f, "node is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for AcceptError {}
+
+/// Work items for the Master Thread.
+enum MasterMsg {
+    /// A peer opened a data channel towards us.
+    IncomingData {
+        peer: String,
+        transport: Arc<dyn Transport>,
+        initiator_conn: u32,
+        config: ConnectionConfig,
+    },
+    /// The peer accepted a connection we initiated.
+    CtrlAccept {
+        initiator_conn: u32,
+        acceptor_conn: u32,
+    },
+    Shutdown,
+}
+
+struct PeerState {
+    link: Arc<dyn PeerLink>,
+    /// Control Send Thread inbox, once the outbound control channel exists.
+    ctrl_tx: Option<Arc<Mailbox<CtrlMsg>>>,
+}
+
+pub(crate) struct NodeInner {
+    name: String,
+    pkg: Arc<dyn ThreadPackage>,
+    peers: Mutex<HashMap<String, PeerState>>,
+    conns: Mutex<HashMap<u32, Arc<ConnShared>>>,
+    /// (peer name, initiator conn id) -> acceptor conn id, for idempotent
+    /// handling of duplicate data-channel hellos (setup retries).
+    accepted_index: Mutex<HashMap<(String, u32), u32>>,
+    next_conn: AtomicU32,
+    pending_accepts: Mailbox<NcsConnection>,
+    master_inbox: Mailbox<MasterMsg>,
+    shutdown: Arc<AtomicBool>,
+    handles: Mutex<Vec<JoinHandle>>,
+}
+
+impl std::fmt::Debug for NodeInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NcsNode")
+            .field("name", &self.name)
+            .field("peers", &self.peers.lock().len())
+            .field("connections", &self.conns.lock().len())
+            .finish()
+    }
+}
+
+/// Builder for [`NcsNode`] (C-BUILDER).
+#[derive(Debug)]
+pub struct NcsNodeBuilder {
+    name: String,
+    pkg: Option<Arc<dyn ThreadPackage>>,
+}
+
+impl NcsNodeBuilder {
+    /// Selects the thread package running this node's NCS threads
+    /// (defaults to the kernel-level package).
+    pub fn thread_package(mut self, pkg: Arc<dyn ThreadPackage>) -> Self {
+        self.pkg = Some(pkg);
+        self
+    }
+
+    /// Builds and starts the node (spawns its Master Thread).
+    pub fn build(self) -> NcsNode {
+        let pkg = self
+            .pkg
+            .unwrap_or_else(|| Arc::new(KernelPackage::new()) as Arc<dyn ThreadPackage>);
+        let inner = Arc::new(NodeInner {
+            name: self.name,
+            pkg,
+            peers: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            accepted_index: Mutex::new(HashMap::new()),
+            next_conn: AtomicU32::new(0),
+            pending_accepts: Mailbox::unbounded(),
+            master_inbox: Mailbox::unbounded(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            handles: Mutex::new(Vec::new()),
+        });
+        let node = NcsNode {
+            inner: Arc::clone(&inner),
+        };
+        let master_inner = Arc::clone(&inner);
+        let h = inner.pkg.spawn_with(
+            SpawnOptions::new(format!("ncs-master-{}", inner.name)).daemon(true),
+            Box::new(move || master_thread(&master_inner)),
+        );
+        inner.handles.lock().push(h);
+        node
+    }
+}
+
+/// One NCS process: owns the Master Thread, the per-peer control plane and
+/// all connections. See the crate docs for a usage example.
+#[derive(Debug, Clone)]
+pub struct NcsNode {
+    inner: Arc<NodeInner>,
+}
+
+impl NcsNode {
+    /// Starts building a node called `name`.
+    pub fn builder(name: &str) -> NcsNodeBuilder {
+        NcsNodeBuilder {
+            name: name.to_owned(),
+            pkg: None,
+        }
+    }
+
+    /// This node's name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The thread package running this node's NCS threads.
+    pub fn thread_package(&self) -> Arc<dyn ThreadPackage> {
+        Arc::clone(&self.inner.pkg)
+    }
+
+    /// Attaches a link towards `peer` and starts accepting channels from
+    /// it. Must be called on both nodes (with matching link pair ends)
+    /// before connections can be made.
+    pub fn attach_peer(&self, peer: &str, link: Arc<dyn PeerLink>) {
+        self.inner.peers.lock().insert(
+            peer.to_owned(),
+            PeerState {
+                link: Arc::clone(&link),
+                ctrl_tx: None,
+            },
+        );
+        // Acceptor thread for this link.
+        let inner = Arc::clone(&self.inner);
+        let peer_name = peer.to_owned();
+        let h = self.inner.pkg.spawn_with(
+            SpawnOptions::new(format!("ncs-accept-{}-{}", self.inner.name, peer)).daemon(true),
+            Box::new(move || acceptor_thread(&inner, &peer_name, link)),
+        );
+        self.inner.handles.lock().push(h);
+    }
+
+    /// Opens an NCS connection to `peer` with the given per-connection
+    /// configuration (paper §3: flow control, error control and interface
+    /// are fixed here; afterwards the same `send`/`recv` primitives apply
+    /// regardless).
+    ///
+    /// # Errors
+    ///
+    /// See [`ConnectError`].
+    pub fn connect(
+        &self,
+        peer: &str,
+        config: ConnectionConfig,
+    ) -> Result<NcsConnection, ConnectError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ConnectError::Shutdown);
+        }
+        let link = {
+            let peers = self.inner.peers.lock();
+            let state = peers
+                .get(peer)
+                .ok_or_else(|| ConnectError::UnknownPeer(peer.to_owned()))?;
+            Arc::clone(&state.link)
+        };
+        let ctrl_tx = ensure_ctrl_tx(&self.inner, peer)?;
+        let channel = link.open_channel()?;
+        config.validate(channel.caps().max_frame)?;
+        let transport: Arc<dyn Transport> = Arc::from(channel);
+        let conn_id = self.inner.next_conn.fetch_add(1, Ordering::Relaxed);
+        let shared = ConnShared::new(
+            conn_id,
+            peer.to_owned(),
+            config.clone(),
+            Arc::clone(&transport),
+            ctrl_tx,
+        );
+        self.inner.conns.lock().insert(conn_id, Arc::clone(&shared));
+        // Announce the connection on its own data channel, then spawn the
+        // per-connection threads (Master Thread duty, delegated to the
+        // caller's thread for the initiator side).
+        transport.send(
+            &Hello::Data {
+                node: self.inner.name.clone(),
+                initiator_conn: conn_id,
+                config,
+            }
+            .encode(),
+        )?;
+        let handles = spawn_connection_threads(&self.inner.pkg, &shared);
+        self.inner.handles.lock().extend(handles);
+        // The hello rides the (possibly unreliable) data channel; retry a
+        // few times before declaring the setup dead. The acceptor side
+        // deduplicates by (peer, initiator_conn), so retries are safe.
+        let mut established = false;
+        for _attempt in 0..5 {
+            if shared.established.wait_timeout(ESTABLISH_TIMEOUT / 5) {
+                established = true;
+                break;
+            }
+            let _ = transport.send(
+                &Hello::Data {
+                    node: self.inner.name.clone(),
+                    initiator_conn: conn_id,
+                    config: shared.config.clone(),
+                }
+                .encode(),
+            );
+        }
+        if !established {
+            shared.initiate_close();
+            self.inner.conns.lock().remove(&conn_id);
+            return Err(ConnectError::Timeout);
+        }
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ConnectError::Shutdown);
+        }
+        Ok(NcsConnection::new(shared))
+    }
+
+    /// Accepts the next incoming NCS connection.
+    ///
+    /// # Errors
+    ///
+    /// See [`AcceptError`].
+    pub fn accept(&self, timeout: Duration) -> Result<NcsConnection, AcceptError> {
+        match self.inner.pending_accepts.recv_timeout(timeout) {
+            Ok(c) => Ok(c),
+            Err(_) => {
+                if self.inner.shutdown.load(Ordering::Acquire) {
+                    Err(AcceptError::Shutdown)
+                } else {
+                    Err(AcceptError::Timeout)
+                }
+            }
+        }
+    }
+
+    /// [`NcsNode::accept`] with a 30 s limit.
+    ///
+    /// # Errors
+    ///
+    /// See [`AcceptError`].
+    pub fn accept_default(&self) -> Result<NcsConnection, AcceptError> {
+        self.accept(Duration::from_secs(30))
+    }
+
+    /// Number of live connections (diagnostics).
+    pub fn connection_count(&self) -> usize {
+        self.inner.conns.lock().len()
+    }
+
+    /// Shuts the node down: closes every connection, stops all NCS threads.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let conns: Vec<Arc<ConnShared>> = self.inner.conns.lock().values().cloned().collect();
+        for c in conns {
+            c.initiate_close();
+        }
+        self.inner.master_inbox.send(MasterMsg::Shutdown);
+        // Service threads observe the shutdown flag within their idle tick;
+        // give them a bounded join.
+        let handles = std::mem::take(&mut *self.inner.handles.lock());
+        for h in handles {
+            let _ = h.join_timeout(Duration::from_secs(2));
+        }
+    }
+}
+
+impl Drop for NodeInner {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+/// Lazily opens the outbound control channel to `peer` and spawns its
+/// Control Send Thread.
+fn ensure_ctrl_tx(
+    inner: &Arc<NodeInner>,
+    peer: &str,
+) -> Result<Arc<Mailbox<CtrlMsg>>, ConnectError> {
+    if let Some(tx) = inner
+        .peers
+        .lock()
+        .get(peer)
+        .and_then(|s| s.ctrl_tx.clone())
+    {
+        return Ok(tx);
+    }
+    let link = {
+        let peers = inner.peers.lock();
+        let state = peers
+            .get(peer)
+            .ok_or_else(|| ConnectError::UnknownPeer(peer.to_owned()))?;
+        Arc::clone(&state.link)
+    };
+    // Open outside the lock (may block on signaling). Control channels use
+    // the link's assured path where the interface has one (ACI/SSCOP).
+    let channel = link.open_control_channel()?;
+    channel.send(
+        &Hello::Control {
+            node: inner.name.clone(),
+        }
+        .encode(),
+    )?;
+    let transport: Arc<dyn Transport> = Arc::from(channel);
+    let inbox: Arc<Mailbox<CtrlMsg>> = Arc::new(Mailbox::unbounded());
+    let mut peers = inner.peers.lock();
+    let state = peers
+        .get_mut(peer)
+        .ok_or_else(|| ConnectError::UnknownPeer(peer.to_owned()))?;
+    match &state.ctrl_tx {
+        Some(existing) => Ok(Arc::clone(existing)), // lost a benign race
+        None => {
+            let h = spawn_cs(
+                &inner.pkg,
+                peer,
+                transport,
+                Arc::clone(&inbox),
+                Arc::clone(&inner.shutdown),
+            );
+            inner.handles.lock().push(h);
+            state.ctrl_tx = Some(Arc::clone(&inbox));
+            Ok(inbox)
+        }
+    }
+}
+
+/// Per-link acceptor: classifies fresh channels by their hello frame and
+/// hands them to the control plane or the Master Thread.
+fn acceptor_thread(inner: &Arc<NodeInner>, default_peer: &str, link: Arc<dyn PeerLink>) {
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let channel = match link.accept_channel(ACCEPT_POLL) {
+            Ok(c) => c,
+            Err(TransportError::Timeout) => continue,
+            Err(_) => {
+                // Transient link failure: back off briefly.
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        let hello = match channel.recv_timeout(HELLO_TIMEOUT) {
+            Ok(frame) => match Hello::decode(&frame) {
+                Ok(h) => h,
+                Err(_) => continue, // not an NCS channel: drop it
+            },
+            Err(_) => continue,
+        };
+        let transport: Arc<dyn Transport> = Arc::from(channel);
+        match hello {
+            Hello::Control { node } => {
+                // Peer attribution comes from the hello, not the link
+                // (shared listeners may deliver other peers' channels).
+                let peer = if node.is_empty() {
+                    default_peer.to_owned()
+                } else {
+                    node
+                };
+                let dispatch_inner = Arc::clone(inner);
+                let h = spawn_cr(
+                    &inner.pkg,
+                    &peer,
+                    transport,
+                    Arc::clone(&inner.shutdown),
+                    move |msg| handle_ctrl(&dispatch_inner, msg),
+                );
+                inner.handles.lock().push(h);
+            }
+            Hello::Data {
+                node,
+                initiator_conn,
+                config,
+            } => {
+                inner.master_inbox.send(MasterMsg::IncomingData {
+                    peer: node,
+                    transport,
+                    initiator_conn,
+                    config,
+                });
+            }
+        }
+    }
+}
+
+/// Control-plane dispatcher (runs on Control Receive Threads).
+fn handle_ctrl(inner: &Arc<NodeInner>, msg: CtrlMsg) {
+    match msg {
+        CtrlMsg::Ack { conn, .. } | CtrlMsg::GbnAck { conn, .. } | CtrlMsg::Credit { conn, .. } => {
+            let shared = inner.conns.lock().get(&conn).cloned();
+            if let Some(shared) = shared {
+                dispatch_ctrl(&shared, msg);
+            }
+        }
+        CtrlMsg::AcceptConn {
+            initiator_conn,
+            acceptor_conn,
+        } => {
+            inner.master_inbox.send(MasterMsg::CtrlAccept {
+                initiator_conn,
+                acceptor_conn,
+            });
+        }
+        CtrlMsg::CloseConn { conn } => {
+            let shared = inner.conns.lock().get(&conn).cloned();
+            if let Some(shared) = shared {
+                shared.peer_closed();
+            }
+        }
+        CtrlMsg::OpenConn { .. } => {
+            // Connection opening rides the data channel's hello; this
+            // control variant is reserved for future out-of-band setup.
+        }
+    }
+}
+
+/// The Master Thread: connection management (paper Figure 1 — "data
+/// transfer threads … are spawned on a per-connection basis by the Master
+/// Thread").
+fn master_thread(inner: &Arc<NodeInner>) {
+    loop {
+        match inner.master_inbox.recv_timeout(Duration::from_millis(100)) {
+            Ok(MasterMsg::IncomingData {
+                peer,
+                transport,
+                initiator_conn,
+                config,
+            }) => {
+                if config.validate(transport.caps().max_frame).is_err() {
+                    transport.close();
+                    continue;
+                }
+                // Duplicate hello from a setup retry: re-acknowledge the
+                // existing connection instead of creating another.
+                let existing = inner
+                    .accepted_index
+                    .lock()
+                    .get(&(peer.clone(), initiator_conn))
+                    .copied();
+                if let Some(acceptor_conn) = existing {
+                    if let Ok(ctrl_tx) = ensure_ctrl_tx(inner, &peer) {
+                        ctrl_tx.send(CtrlMsg::AcceptConn {
+                            initiator_conn,
+                            acceptor_conn,
+                        });
+                    }
+                    transport.close();
+                    continue;
+                }
+                let Ok(ctrl_tx) = ensure_ctrl_tx(inner, &peer) else {
+                    transport.close();
+                    continue;
+                };
+                let conn_id = inner.next_conn.fetch_add(1, Ordering::Relaxed);
+                let shared = ConnShared::new(
+                    conn_id,
+                    peer,
+                    config,
+                    transport,
+                    Arc::clone(&ctrl_tx),
+                );
+                shared.mark_established(initiator_conn);
+                inner
+                    .accepted_index
+                    .lock()
+                    .insert((shared.peer_name.clone(), initiator_conn), conn_id);
+                inner.conns.lock().insert(conn_id, Arc::clone(&shared));
+                let handles = spawn_connection_threads(&inner.pkg, &shared);
+                inner.handles.lock().extend(handles);
+                ctrl_tx.send(CtrlMsg::AcceptConn {
+                    initiator_conn,
+                    acceptor_conn: conn_id,
+                });
+                inner
+                    .pending_accepts
+                    .send(NcsConnection::new(shared));
+            }
+            Ok(MasterMsg::CtrlAccept {
+                initiator_conn,
+                acceptor_conn,
+            }) => {
+                let shared = inner.conns.lock().get(&initiator_conn).cloned();
+                if let Some(shared) = shared {
+                    shared.mark_established(acceptor_conn);
+                }
+            }
+            Ok(MasterMsg::Shutdown) => return,
+            Err(_) => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,520 @@
+//! NCS wire formats.
+//!
+//! Two packet families, mirroring the paper's two planes:
+//!
+//! * [`DataPacket`] — an SDU with the §3.2 header (sequence number and the
+//!   end-of-message control bit) plus connection/session demux fields;
+//!   travels on **data connections** only.
+//! * [`CtrlMsg`] — acknowledgements, credits and connection management;
+//!   travels on the **control connection** only.
+//!
+//! Formats are hand-encoded big-endian; every decode validates lengths and
+//! tags.
+
+use crate::config::ConnectionConfig;
+use crate::seq::AckBitmap;
+
+/// Errors from decoding NCS packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed NCS packet: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn need(bytes: &[u8], n: usize, what: &str) -> Result<(), DecodeError> {
+    if bytes.len() < n {
+        Err(DecodeError(format!(
+            "{what}: need {n} bytes, have {}",
+            bytes.len()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_be_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
+/// Header of one SDU on a data connection (paper Figure 5: sequence number
+/// + end-of-segmentation control bit, plus demux fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataHeader {
+    /// Receiving side's connection id.
+    pub conn: u32,
+    /// Sending side's connection id (lets the receiver address control
+    /// messages back even before connection setup fully completes).
+    pub src_conn: u32,
+    /// Message (session) this SDU belongs to.
+    pub session: u32,
+    /// SDU index within the message.
+    pub seq: u32,
+    /// The control bit: 1 on the final SDU of the message.
+    pub end: bool,
+}
+
+/// Encoded size of [`DataHeader`] plus the leading packet tag and length.
+pub const DATA_OVERHEAD: usize = 1 + 4 + 4 + 4 + 4 + 1 + 4;
+
+const TAG_DATA: u8 = 0xD1;
+const TAG_CTRL: u8 = 0xC1;
+
+/// One SDU with its header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataPacket {
+    /// The header.
+    pub header: DataHeader,
+    /// SDU payload.
+    pub payload: Vec<u8>,
+}
+
+impl DataPacket {
+    /// Encodes tag + header + length-prefixed payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(DATA_OVERHEAD + self.payload.len());
+        out.push(TAG_DATA);
+        out.extend_from_slice(&self.header.conn.to_be_bytes());
+        out.extend_from_slice(&self.header.src_conn.to_be_bytes());
+        out.extend_from_slice(&self.header.session.to_be_bytes());
+        out.extend_from_slice(&self.header.seq.to_be_bytes());
+        out.push(self.header.end as u8);
+        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes a frame produced by [`DataPacket::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on any malformation.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        need(bytes, DATA_OVERHEAD, "data packet")?;
+        if bytes[0] != TAG_DATA {
+            return Err(DecodeError(format!("bad data tag {:#04x}", bytes[0])));
+        }
+        let conn = read_u32(bytes, 1);
+        let src_conn = read_u32(bytes, 5);
+        let session = read_u32(bytes, 9);
+        let seq = read_u32(bytes, 13);
+        let end = match bytes[17] {
+            0 => false,
+            1 => true,
+            other => return Err(DecodeError(format!("bad end bit {other}"))),
+        };
+        let len = read_u32(bytes, 18) as usize;
+        if bytes.len() != DATA_OVERHEAD + len {
+            return Err(DecodeError(format!(
+                "payload length mismatch: header says {len}, frame has {}",
+                bytes.len() - DATA_OVERHEAD
+            )));
+        }
+        Ok(DataPacket {
+            header: DataHeader {
+                conn,
+                src_conn,
+                session,
+                seq,
+                end,
+            },
+            payload: bytes[DATA_OVERHEAD..].to_vec(),
+        })
+    }
+}
+
+/// Control-plane messages (paper §2: "all control information … is
+/// transferred over the control connections").
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtrlMsg {
+    /// Selective-repeat acknowledgement: the receiver's missing-SDU bitmap
+    /// for `session` (paper Figure 5 step 5).
+    Ack {
+        /// Sender-side connection the ACK refers to.
+        conn: u32,
+        /// Acknowledged session.
+        session: u32,
+        /// Missing-SDU bitmap (1 = retransmit).
+        bitmap: AckBitmap,
+    },
+    /// Go-back-N cumulative acknowledgement: everything below
+    /// `next_expected` has been received in order.
+    GbnAck {
+        /// Sender-side connection.
+        conn: u32,
+        /// Session acknowledged.
+        session: u32,
+        /// Next sequence number the receiver expects.
+        next_expected: u32,
+    },
+    /// Flow-control feedback: `credits` new transmission permits
+    /// (paper Figure 7 step 5).
+    Credit {
+        /// Sender-side connection granted to.
+        conn: u32,
+        /// Number of packets that may now be sent.
+        credits: u32,
+    },
+    /// Connection request: the initiator opened a data channel for
+    /// connection `initiator_conn` configured as `config`.
+    OpenConn {
+        /// Connection id at the initiator.
+        initiator_conn: u32,
+        /// The agreed per-connection configuration.
+        config: ConnectionConfig,
+    },
+    /// Connection accept: `acceptor_conn` is the peer's id for the
+    /// initiator's `initiator_conn`.
+    AcceptConn {
+        /// Echoed initiator connection id.
+        initiator_conn: u32,
+        /// Connection id at the acceptor.
+        acceptor_conn: u32,
+    },
+    /// Graceful connection teardown.
+    CloseConn {
+        /// Connection id *at the receiver of this message*.
+        conn: u32,
+    },
+}
+
+impl CtrlMsg {
+    /// Encodes tag + variant + fields.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![TAG_CTRL];
+        match self {
+            CtrlMsg::Ack {
+                conn,
+                session,
+                bitmap,
+            } => {
+                out.push(0);
+                out.extend_from_slice(&conn.to_be_bytes());
+                out.extend_from_slice(&session.to_be_bytes());
+                out.extend_from_slice(&bitmap.encode());
+            }
+            CtrlMsg::GbnAck {
+                conn,
+                session,
+                next_expected,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&conn.to_be_bytes());
+                out.extend_from_slice(&session.to_be_bytes());
+                out.extend_from_slice(&next_expected.to_be_bytes());
+            }
+            CtrlMsg::Credit { conn, credits } => {
+                out.push(2);
+                out.extend_from_slice(&conn.to_be_bytes());
+                out.extend_from_slice(&credits.to_be_bytes());
+            }
+            CtrlMsg::OpenConn {
+                initiator_conn,
+                config,
+            } => {
+                out.push(3);
+                out.extend_from_slice(&initiator_conn.to_be_bytes());
+                out.extend_from_slice(&config.encode());
+            }
+            CtrlMsg::AcceptConn {
+                initiator_conn,
+                acceptor_conn,
+            } => {
+                out.push(4);
+                out.extend_from_slice(&initiator_conn.to_be_bytes());
+                out.extend_from_slice(&acceptor_conn.to_be_bytes());
+            }
+            CtrlMsg::CloseConn { conn } => {
+                out.push(5);
+                out.extend_from_slice(&conn.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame produced by [`CtrlMsg::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on any malformation.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        need(bytes, 2, "control message")?;
+        if bytes[0] != TAG_CTRL {
+            return Err(DecodeError(format!("bad control tag {:#04x}", bytes[0])));
+        }
+        let body = &bytes[2..];
+        match bytes[1] {
+            0 => {
+                need(body, 8, "ack")?;
+                let bitmap = AckBitmap::decode(&body[8..]).map_err(DecodeError)?;
+                Ok(CtrlMsg::Ack {
+                    conn: read_u32(body, 0),
+                    session: read_u32(body, 4),
+                    bitmap,
+                })
+            }
+            1 => {
+                need(body, 12, "gbn ack")?;
+                Ok(CtrlMsg::GbnAck {
+                    conn: read_u32(body, 0),
+                    session: read_u32(body, 4),
+                    next_expected: read_u32(body, 8),
+                })
+            }
+            2 => {
+                need(body, 8, "credit")?;
+                Ok(CtrlMsg::Credit {
+                    conn: read_u32(body, 0),
+                    credits: read_u32(body, 4),
+                })
+            }
+            3 => {
+                need(body, 4, "open")?;
+                let config = ConnectionConfig::decode(&body[4..]).map_err(DecodeError)?;
+                Ok(CtrlMsg::OpenConn {
+                    initiator_conn: read_u32(body, 0),
+                    config,
+                })
+            }
+            4 => {
+                need(body, 8, "accept")?;
+                Ok(CtrlMsg::AcceptConn {
+                    initiator_conn: read_u32(body, 0),
+                    acceptor_conn: read_u32(body, 4),
+                })
+            }
+            5 => {
+                need(body, 4, "close")?;
+                Ok(CtrlMsg::CloseConn {
+                    conn: read_u32(body, 0),
+                })
+            }
+            other => Err(DecodeError(format!("unknown control variant {other}"))),
+        }
+    }
+}
+
+/// First frame on any freshly opened channel, classifying its purpose
+/// (needed because transports hand out symmetric duplex channels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hello {
+    /// This channel is the per-peer control connection.
+    Control {
+        /// Initiating node's name.
+        node: String,
+    },
+    /// This channel is the data connection for the initiator's connection
+    /// `initiator_conn`.
+    Data {
+        /// Initiating node's name.
+        node: String,
+        /// Connection id at the initiator.
+        initiator_conn: u32,
+        /// Requested configuration (both ends configure identically).
+        config: ConnectionConfig,
+    },
+}
+
+const TAG_HELLO: u8 = 0xE1;
+
+impl Hello {
+    /// Encodes the hello frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![TAG_HELLO];
+        match self {
+            Hello::Control { node } => {
+                out.push(0);
+                out.extend_from_slice(&(node.len() as u32).to_be_bytes());
+                out.extend_from_slice(node.as_bytes());
+            }
+            Hello::Data {
+                node,
+                initiator_conn,
+                config,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&(node.len() as u32).to_be_bytes());
+                out.extend_from_slice(node.as_bytes());
+                out.extend_from_slice(&initiator_conn.to_be_bytes());
+                out.extend_from_slice(&config.encode());
+            }
+        }
+        out
+    }
+
+    /// Decodes a hello frame.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on any malformation.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        need(bytes, 6, "hello")?;
+        if bytes[0] != TAG_HELLO {
+            return Err(DecodeError(format!("bad hello tag {:#04x}", bytes[0])));
+        }
+        let name_len = read_u32(bytes, 2) as usize;
+        need(bytes, 6 + name_len, "hello name")?;
+        let node = String::from_utf8(bytes[6..6 + name_len].to_vec())
+            .map_err(|e| DecodeError(format!("hello name not UTF-8: {e}")))?;
+        match bytes[1] {
+            0 => Ok(Hello::Control { node }),
+            1 => {
+                let rest = &bytes[6 + name_len..];
+                need(rest, 4, "hello conn id")?;
+                let initiator_conn = read_u32(rest, 0);
+                let config = ConnectionConfig::decode(&rest[4..]).map_err(DecodeError)?;
+                Ok(Hello::Data {
+                    node,
+                    initiator_conn,
+                    config,
+                })
+            }
+            other => Err(DecodeError(format!("unknown hello variant {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConnectionConfig;
+
+    #[test]
+    fn data_packet_round_trip() {
+        let p = DataPacket {
+            header: DataHeader {
+                conn: 7,
+                src_conn: 8,
+                session: 42,
+                seq: 3,
+                end: true,
+            },
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        assert_eq!(DataPacket::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn data_packet_empty_payload() {
+        let p = DataPacket {
+            header: DataHeader {
+                conn: 0,
+                src_conn: 0,
+                session: 0,
+                seq: 0,
+                end: false,
+            },
+            payload: vec![],
+        };
+        assert_eq!(DataPacket::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn data_packet_rejects_corruption() {
+        let p = DataPacket {
+            header: DataHeader {
+                conn: 1,
+                src_conn: 1,
+                session: 1,
+                seq: 1,
+                end: false,
+            },
+            payload: vec![0; 16],
+        };
+        let mut bytes = p.encode();
+        bytes[0] = 0xFF; // tag
+        assert!(DataPacket::decode(&bytes).is_err());
+        let mut bytes = p.encode();
+        bytes[17] = 7; // end bit
+        assert!(DataPacket::decode(&bytes).is_err());
+        let mut bytes = p.encode();
+        bytes.pop(); // truncation
+        assert!(DataPacket::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn ctrl_messages_round_trip() {
+        let mut bitmap = AckBitmap::all_missing(20);
+        bitmap.mark_received(5);
+        let msgs = vec![
+            CtrlMsg::Ack {
+                conn: 1,
+                session: 2,
+                bitmap,
+            },
+            CtrlMsg::GbnAck {
+                conn: 3,
+                session: 4,
+                next_expected: 17,
+            },
+            CtrlMsg::Credit { conn: 5, credits: 8 },
+            CtrlMsg::OpenConn {
+                initiator_conn: 9,
+                config: ConnectionConfig::reliable(),
+            },
+            CtrlMsg::AcceptConn {
+                initiator_conn: 9,
+                acceptor_conn: 11,
+            },
+            CtrlMsg::CloseConn { conn: 12 },
+        ];
+        for m in msgs {
+            assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn ctrl_rejects_unknown_variant() {
+        assert!(CtrlMsg::decode(&[TAG_CTRL, 99]).is_err());
+        assert!(CtrlMsg::decode(&[0x00, 0]).is_err());
+        assert!(CtrlMsg::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn hello_round_trip() {
+        let msgs = vec![
+            Hello::Control {
+                node: "alice".to_owned(),
+            },
+            Hello::Data {
+                node: "bob".to_owned(),
+                initiator_conn: 3,
+                config: ConnectionConfig::unreliable(),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(Hello::decode(&m.encode()).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn hello_rejects_bad_utf8_and_tags() {
+        let mut bytes = Hello::Control {
+            node: "aa".to_owned(),
+        }
+        .encode();
+        bytes[6] = 0xFF;
+        bytes[7] = 0xFE;
+        assert!(Hello::decode(&bytes).is_err());
+        assert!(Hello::decode(&[TAG_HELLO, 9, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn data_overhead_constant_matches_encoding() {
+        let p = DataPacket {
+            header: DataHeader {
+                conn: 0,
+                src_conn: 0,
+                session: 0,
+                seq: 0,
+                end: false,
+            },
+            payload: vec![0; 100],
+        };
+        assert_eq!(p.encode().len(), DATA_OVERHEAD + 100);
+    }
+}

@@ -1,0 +1,241 @@
+//! Sequence-number bitmap for the selective-repeat acknowledgement.
+//!
+//! Mirrors the paper's Figure 5: the receiver keeps one bit per SDU,
+//! **1 = not yet received correctly** ("error"), clearing bits as packets
+//! arrive; the sender retransmits every sequence number whose bit is still
+//! set.
+
+/// Bitmap of outstanding (not-yet-received) SDUs for one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AckBitmap {
+    /// Total SDUs in the message.
+    total: u32,
+    /// Bit `i` set <=> SDU `i` missing.
+    words: Vec<u64>,
+}
+
+impl AckBitmap {
+    /// Maximum SDU count per message (wire-format sanity bound: a 16 MB
+    /// message at the minimum 256-byte SDU).
+    pub const MAX_TOTAL: u32 = 65_536;
+
+    /// A bitmap for a message of `total` SDUs, all initially missing
+    /// (the paper's `Bitmap <- 1` initialisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero or exceeds [`AckBitmap::MAX_TOTAL`].
+    pub fn all_missing(total: u32) -> Self {
+        assert!(
+            total > 0 && total <= Self::MAX_TOTAL,
+            "SDU count out of range: {total}"
+        );
+        let nwords = (total as usize).div_ceil(64);
+        let mut words = vec![u64::MAX; nwords];
+        Self::mask_tail(total, &mut words);
+        AckBitmap { total, words }
+    }
+
+    /// A bitmap with every SDU received (used for the final clean ACK).
+    pub fn all_received(total: u32) -> Self {
+        assert!(
+            total > 0 && total <= Self::MAX_TOTAL,
+            "SDU count out of range: {total}"
+        );
+        AckBitmap {
+            total,
+            words: vec![0; (total as usize).div_ceil(64)],
+        }
+    }
+
+    fn mask_tail(total: u32, words: &mut [u64]) {
+        let tail_bits = (total % 64) as usize;
+        if tail_bits != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+
+    /// Total SDUs covered.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Marks SDU `seq` as received (clears its bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq >= total`.
+    pub fn mark_received(&mut self, seq: u32) {
+        assert!(seq < self.total, "seq {seq} out of range {}", self.total);
+        self.words[(seq / 64) as usize] &= !(1u64 << (seq % 64));
+    }
+
+    /// Whether SDU `seq` is still missing.
+    pub fn is_missing(&self, seq: u32) -> bool {
+        if seq >= self.total {
+            return false;
+        }
+        self.words[(seq / 64) as usize] & (1u64 << (seq % 64)) != 0
+    }
+
+    /// Whether any SDU is still missing (the paper's `Bitmap > 0`).
+    pub fn any_missing(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Sequence numbers still missing, ascending.
+    pub fn missing(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros();
+                out.push(wi as u32 * 64 + bit);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// Number of SDUs still missing.
+    pub fn missing_count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Wire encoding: `total:u32` then the words, big-endian.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.words.len() * 8);
+        out.extend_from_slice(&self.total.to_be_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// Decodes a bitmap produced by [`AckBitmap::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformation.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 4 {
+            return Err("bitmap too short".to_owned());
+        }
+        let total = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes"));
+        if total == 0 || total > Self::MAX_TOTAL {
+            return Err(format!("bitmap total out of range: {total}"));
+        }
+        let nwords = (total as usize).div_ceil(64);
+        if bytes.len() != 4 + nwords * 8 {
+            return Err(format!(
+                "bitmap length mismatch: expected {} bytes, got {}",
+                4 + nwords * 8,
+                bytes.len()
+            ));
+        }
+        let mut words = Vec::with_capacity(nwords);
+        for i in 0..nwords {
+            let start = 4 + i * 8;
+            words.push(u64::from_be_bytes(
+                bytes[start..start + 8].try_into().expect("8 bytes"),
+            ));
+        }
+        let mut expect = words.clone();
+        Self::mask_tail(total, &mut expect);
+        if expect != words {
+            return Err("bitmap has bits set beyond total".to_owned());
+        }
+        Ok(AckBitmap { total, words })
+    }
+}
+
+impl std::fmt::Display for AckBitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{} missing", self.missing_count(), self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_missing_and_clears() {
+        let mut b = AckBitmap::all_missing(10);
+        assert!(b.any_missing());
+        assert_eq!(b.missing_count(), 10);
+        for i in 0..10 {
+            assert!(b.is_missing(i));
+            b.mark_received(i);
+        }
+        assert!(!b.any_missing());
+        assert_eq!(b.missing(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn partial_reception_reports_exact_gaps() {
+        let mut b = AckBitmap::all_missing(130); // crosses word boundaries
+        for i in 0..130 {
+            if i % 7 != 0 {
+                b.mark_received(i);
+            }
+        }
+        let expected: Vec<u32> = (0..130).filter(|i| i % 7 == 0).collect();
+        assert_eq!(b.missing(), expected);
+        assert_eq!(b.missing_count(), expected.len() as u32);
+    }
+
+    #[test]
+    fn tail_bits_are_masked() {
+        let b = AckBitmap::all_missing(65);
+        assert_eq!(b.missing_count(), 65);
+        assert!(!b.is_missing(65)); // out of range is "not missing"
+        assert!(!b.is_missing(1000));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut b = AckBitmap::all_missing(200);
+        for i in [0, 5, 63, 64, 65, 128, 199] {
+            b.mark_received(i);
+        }
+        let decoded = AckBitmap::decode(&b.encode()).unwrap();
+        assert_eq!(decoded, b);
+    }
+
+    #[test]
+    fn all_received_is_clean() {
+        let b = AckBitmap::all_received(17);
+        assert!(!b.any_missing());
+        assert_eq!(AckBitmap::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(AckBitmap::decode(&[]).is_err());
+        assert!(AckBitmap::decode(&0u32.to_be_bytes()).is_err());
+        // Length mismatch.
+        let mut bytes = 10u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 4]);
+        assert!(AckBitmap::decode(&bytes).is_err());
+        // Bits beyond total.
+        let mut bytes = 10u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&u64::MAX.to_be_bytes());
+        assert!(AckBitmap::decode(&bytes).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_total_rejected() {
+        let _ = AckBitmap::all_missing(0);
+    }
+
+    #[test]
+    fn display_shows_progress() {
+        let mut b = AckBitmap::all_missing(4);
+        b.mark_received(1);
+        assert_eq!(b.to_string(), "3/4 missing");
+    }
+}

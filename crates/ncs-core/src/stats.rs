@@ -1,0 +1,199 @@
+//! Connection statistics and the Table-I send-path instrumentation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters kept by every connection.
+#[derive(Debug, Default)]
+pub(crate) struct ConnCounters {
+    pub messages_sent: AtomicU64,
+    pub messages_received: AtomicU64,
+    pub packets_sent: AtomicU64,
+    pub packets_received: AtomicU64,
+    pub retransmissions: AtomicU64,
+    pub acks_sent: AtomicU64,
+    pub acks_received: AtomicU64,
+    pub credits_granted: AtomicU64,
+    pub credits_received: AtomicU64,
+    pub send_failures: AtomicU64,
+}
+
+impl ConnCounters {
+    pub(crate) fn snapshot(&self) -> ConnectionStats {
+        ConnectionStats {
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            messages_received: self.messages_received.load(Ordering::Relaxed),
+            packets_sent: self.packets_sent.load(Ordering::Relaxed),
+            packets_received: self.packets_received.load(Ordering::Relaxed),
+            retransmissions: self.retransmissions.load(Ordering::Relaxed),
+            acks_sent: self.acks_sent.load(Ordering::Relaxed),
+            acks_received: self.acks_received.load(Ordering::Relaxed),
+            credits_granted: self.credits_granted.load(Ordering::Relaxed),
+            credits_received: self.credits_received.load(Ordering::Relaxed),
+            send_failures: self.send_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time statistics of one NCS connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectionStats {
+    /// User messages accepted by `NCS_send`.
+    pub messages_sent: u64,
+    /// User messages delivered to the receive buffer.
+    pub messages_received: u64,
+    /// SDU packets transmitted (including retransmissions).
+    pub packets_sent: u64,
+    /// SDU packets received.
+    pub packets_received: u64,
+    /// SDU packets retransmitted by error control.
+    pub retransmissions: u64,
+    /// Acknowledgements sent on the control connection.
+    pub acks_sent: u64,
+    /// Acknowledgements received.
+    pub acks_received: u64,
+    /// Flow-control credits granted to the peer.
+    pub credits_granted: u64,
+    /// Flow-control credits received from the peer.
+    pub credits_received: u64,
+    /// Messages that exhausted their error-control retry budget.
+    pub send_failures: u64,
+}
+
+impl std::fmt::Display for ConnectionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "msgs {}tx/{}rx, pkts {}tx/{}rx ({} retrans), acks {}tx/{}rx, credits {}granted/{}got",
+            self.messages_sent,
+            self.messages_received,
+            self.packets_sent,
+            self.packets_received,
+            self.retransmissions,
+            self.acks_sent,
+            self.acks_received,
+            self.credits_granted,
+            self.credits_received,
+        )
+    }
+}
+
+/// The itemised cost of one `NCS_send` through the Send Thread — the
+/// paper's Table I. Produced by
+/// [`NcsConnection::send_profiled`](crate::NcsConnection::send_profiled).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SendBreakdown {
+    /// `NCS_send()` function entry/exit bookkeeping.
+    pub fn_entry_exit: Duration,
+    /// Attaching the message header (packet encode).
+    pub header_attach: Duration,
+    /// Queueing the request to the Send Thread.
+    pub queue_request: Duration,
+    /// Context switch from `NCS_send` to the Send Thread (queue to
+    /// dequeue).
+    pub ctx_switch_to_send: Duration,
+    /// Dequeueing the request inside the Send Thread.
+    pub dequeue_request: Duration,
+    /// Transmitting on the communication interface (data transfer
+    /// overhead).
+    pub transmit: Duration,
+    /// Freeing the request buffer.
+    pub free_buffer: Duration,
+    /// Context switch from the Send Thread back to `NCS_send`.
+    pub ctx_switch_back: Duration,
+}
+
+impl SendBreakdown {
+    /// Session overhead: everything except the actual transmission
+    /// (Table I's 28 % for a 1-byte message).
+    pub fn session_overhead(&self) -> Duration {
+        self.fn_entry_exit
+            + self.header_attach
+            + self.queue_request
+            + self.ctx_switch_to_send
+            + self.dequeue_request
+            + self.free_buffer
+            + self.ctx_switch_back
+    }
+
+    /// Data-transfer overhead: the transmission itself.
+    pub fn data_transfer(&self) -> Duration {
+        self.transmit
+    }
+
+    /// Total send cost.
+    pub fn total(&self) -> Duration {
+        self.session_overhead() + self.data_transfer()
+    }
+
+    /// Session overhead as a fraction of the total (0..=1).
+    pub fn session_fraction(&self) -> f64 {
+        let total = self.total().as_nanos() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.session_overhead().as_nanos() as f64 / total
+        }
+    }
+}
+
+impl std::fmt::Display for SendBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "NCS_send() entry/exit      {:>10.2?}", self.fn_entry_exit)?;
+        writeln!(f, "Attach message header      {:>10.2?}", self.header_attach)?;
+        writeln!(f, "Queue message request      {:>10.2?}", self.queue_request)?;
+        writeln!(f, "Ctx switch -> Send Thread  {:>10.2?}", self.ctx_switch_to_send)?;
+        writeln!(f, "Dequeue message request    {:>10.2?}", self.dequeue_request)?;
+        writeln!(f, "Free message buffer        {:>10.2?}", self.free_buffer)?;
+        writeln!(f, "Ctx switch -> NCS_send     {:>10.2?}", self.ctx_switch_back)?;
+        writeln!(
+            f,
+            "Session overhead           {:>10.2?} ({:.0} %)",
+            self.session_overhead(),
+            self.session_fraction() * 100.0
+        )?;
+        writeln!(f, "Transmit (data transfer)   {:>10.2?}", self.transmit)?;
+        write!(f, "Total                      {:>10.2?}", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_arithmetic() {
+        let b = SendBreakdown {
+            fn_entry_exit: Duration::from_micros(10),
+            header_attach: Duration::from_micros(4),
+            queue_request: Duration::from_micros(15),
+            ctx_switch_to_send: Duration::from_micros(27),
+            dequeue_request: Duration::from_micros(17),
+            transmit: Duration::from_micros(274),
+            free_buffer: Duration::from_micros(10),
+            ctx_switch_back: Duration::from_micros(25),
+        };
+        // Table I: session overhead 108 us of 382 us total (~28 %).
+        assert_eq!(b.session_overhead(), Duration::from_micros(108));
+        assert_eq!(b.total(), Duration::from_micros(382));
+        assert!((b.session_fraction() - 0.2827).abs() < 0.01);
+        let text = b.to_string();
+        assert!(text.contains("Session overhead"));
+    }
+
+    #[test]
+    fn counters_snapshot() {
+        let c = ConnCounters::default();
+        c.packets_sent.store(5, Ordering::Relaxed);
+        c.retransmissions.store(2, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.packets_sent, 5);
+        assert_eq!(s.retransmissions, 2);
+        assert!(s.to_string().contains("5tx"));
+    }
+
+    #[test]
+    fn zero_total_fraction_is_zero() {
+        assert_eq!(SendBreakdown::default().session_fraction(), 0.0);
+    }
+}

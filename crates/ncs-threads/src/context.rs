@@ -1,0 +1,146 @@
+//! Raw machine context switching for the user-level thread package.
+//!
+//! This is the QuickThreads analogue: a callee-saved-register switch written
+//! in assembly. Only x86_64 System V is supported natively; on other targets
+//! the scheduler falls back to the portable condvar-handoff mechanism and
+//! never calls into this module (see [`crate::user::SwitchMech`]).
+
+/// A saved machine context: just the stack pointer.
+///
+/// All callee-saved registers are spilled onto the thread's own stack by
+/// `ncs_ctx_switch`, so the stack pointer is the only state that must live
+/// outside the stack itself.
+#[repr(C)]
+#[derive(Debug)]
+pub(crate) struct Context {
+    /// Saved stack pointer. Null until the context has been prepared or
+    /// switched out of at least once.
+    pub rsp: *mut u8,
+}
+
+impl Context {
+    /// An empty context, to be filled by the first switch out of it.
+    pub(crate) fn empty() -> Self {
+        Context {
+            rsp: std::ptr::null_mut(),
+        }
+    }
+}
+
+// The context is only ever used by the single scheduler OS thread, but it is
+// stored inside `Tcb` which must be `Send + Sync` for the portable mechanism.
+unsafe impl Send for Context {}
+unsafe impl Sync for Context {}
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use super::Context;
+
+    extern "C" {
+        /// Saves the callee-saved registers and stack pointer of the current
+        /// context into `from`, then restores `to` and resumes it.
+        ///
+        /// # Safety
+        ///
+        /// `from` must be a valid writable context; `to` must have been
+        /// produced by [`prepare_stack`](super::prepare_stack) or by a prior
+        /// switch out of a live context. Both must be used from the same OS
+        /// thread that owns the stacks involved.
+        pub(crate) fn ncs_ctx_switch(from: *mut Context, to: *const Context);
+    }
+
+    // System V AMD64 callee-saved registers: rbx, rbp, r12-r15. We push them
+    // onto the current stack, stash rsp in `from`, load `to`'s rsp, pop the
+    // registers that the last switch out of `to` pushed, and `ret` to the
+    // saved return address.
+    std::arch::global_asm!(
+        ".text",
+        ".globl ncs_ctx_switch",
+        ".type ncs_ctx_switch, @function",
+        "ncs_ctx_switch:",
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "mov [rdi], rsp",
+        "mov rsp, [rsi]",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+        ".size ncs_ctx_switch, . - ncs_ctx_switch",
+    );
+
+    // First activation of a new green thread lands here (via the `ret` at the
+    // end of `ncs_ctx_switch`). The entry payload pointer was planted in the
+    // r12 slot of the prepared stack image. We move it into the first
+    // argument register, align the stack as the ABI demands and call the Rust
+    // entry point, which never returns.
+    std::arch::global_asm!(
+        ".text",
+        ".globl ncs_thread_entry",
+        ".type ncs_thread_entry, @function",
+        "ncs_thread_entry:",
+        "mov rdi, r12",
+        "and rsp, -16",
+        "call {entry}",
+        "ud2",
+        ".size ncs_thread_entry, . - ncs_thread_entry",
+        entry = sym crate::scheduler::green_entry,
+    );
+
+    extern "C" {
+        pub(crate) fn ncs_thread_entry();
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use imp::ncs_ctx_switch;
+
+/// Whether the native (assembly) switch mechanism is available on this target.
+pub(crate) const NATIVE_SWITCH_AVAILABLE: bool = cfg!(target_arch = "x86_64");
+
+/// Prepares a fresh stack so that the first switch into `ctx` runs
+/// `green_entry(payload)`.
+///
+/// The stack image mirrors what `ncs_ctx_switch` pushes: six callee-saved
+/// registers (lowest address first: r15, r14, r13, r12, rbx, rbp) followed by
+/// the return address. The payload pointer rides in the r12 slot and is
+/// recovered by the `ncs_thread_entry` shim.
+///
+/// # Safety
+///
+/// `top` must be the 16-byte-aligned top of a live stack with at least
+/// 64 bytes of headroom below it.
+#[cfg(target_arch = "x86_64")]
+pub(crate) unsafe fn prepare_stack(top: *mut u8, payload: *mut u8) -> Context {
+    debug_assert_eq!(top as usize % 16, 0, "stack top must be 16-byte aligned");
+    let mut sp = top as *mut u64;
+    let mut push = |v: u64| {
+        sp = sp.sub(1);
+        sp.write(v);
+    };
+    push(imp::ncs_thread_entry as *const () as usize as u64); // ret target
+    push(0); // rbp
+    push(0); // rbx
+    push(payload as u64); // r12 -> first argument via shim
+    push(0); // r13
+    push(0); // r14
+    push(0); // r15
+    Context { rsp: sp as *mut u8 }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) unsafe fn prepare_stack(_top: *mut u8, _payload: *mut u8) -> Context {
+    unreachable!("native context switching is not available on this target")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) unsafe fn ncs_ctx_switch(_from: *mut Context, _to: *const Context) {
+    unreachable!("native context switching is not available on this target")
+}

@@ -1,0 +1,150 @@
+//! The injector: the only channel through which code outside the scheduler
+//! loop (green threads, foreign OS threads, timers) communicates with a
+//! running scheduler.
+//!
+//! Everything funnels through one mutex-protected queue plus a condvar the
+//! scheduler parks on when idle, which keeps the scheduler core itself free
+//! of shared-state hazards.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::tcb::TcbId;
+use crate::timer::TimerAction;
+
+/// Why a blocked green thread was woken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WakeReason {
+    /// A peer handed us whatever we were waiting for (permit, event, ...).
+    Normal,
+    /// The wait's deadline expired first.
+    Timeout,
+}
+
+/// A request injected into a running scheduler.
+pub(crate) enum Inject {
+    /// Register and start a new green thread.
+    Spawn(Arc<crate::tcb::Tcb>),
+    /// Wake a blocked green thread.
+    Wake(TcbId, WakeReason),
+    /// Register a timer.
+    Timer(Instant, TimerAction),
+    /// Ask the scheduler loop to re-evaluate its exit condition.
+    Nudge,
+}
+
+impl std::fmt::Debug for Inject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Inject::Spawn(tcb) => f.debug_tuple("Spawn").field(&tcb.id()).finish(),
+            Inject::Wake(id, r) => f.debug_tuple("Wake").field(id).field(r).finish(),
+            Inject::Timer(at, _) => f.debug_tuple("Timer").field(at).finish(),
+            Inject::Nudge => f.write_str("Nudge"),
+        }
+    }
+}
+
+/// Shared queue + wakeup condvar between a scheduler and the outside world.
+#[derive(Debug, Default)]
+pub(crate) struct Injector {
+    queue: Mutex<Vec<Inject>>,
+    cv: Condvar,
+}
+
+impl Injector {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Enqueues a request and wakes the scheduler if it is idle.
+    pub(crate) fn push(&self, inject: Inject) {
+        self.queue.lock().push(inject);
+        self.cv.notify_all();
+    }
+
+    /// Drains all pending requests.
+    pub(crate) fn drain(&self) -> Vec<Inject> {
+        std::mem::take(&mut *self.queue.lock())
+    }
+
+    /// Parks the caller until a request arrives or `deadline` passes.
+    /// Returns immediately if requests are already pending.
+    pub(crate) fn wait_until(&self, deadline: Option<Instant>) {
+        let mut q = self.queue.lock();
+        if !q.is_empty() {
+            return;
+        }
+        match deadline {
+            Some(d) => {
+                self.cv.wait_until(&mut q, d);
+            }
+            None => self.cv.wait(&mut q),
+        }
+    }
+}
+
+/// A handle that can wake one specific blocked green thread, usable from any
+/// OS thread.
+#[derive(Debug, Clone)]
+pub(crate) struct GreenWaker {
+    pub injector: Arc<Injector>,
+    pub tcb: TcbId,
+}
+
+impl GreenWaker {
+    /// Delivers the wake. Exactly one wake must be delivered per block; the
+    /// synchronisation primitives enforce this with claim tokens.
+    pub(crate) fn wake(&self, reason: WakeReason) {
+        self.injector.push(Inject::Wake(self.tcb, reason));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn push_then_drain_preserves_order() {
+        let inj = Injector::new();
+        inj.push(Inject::Nudge);
+        inj.push(Inject::Wake(TcbId(7), WakeReason::Normal));
+        let drained = inj.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(matches!(drained[0], Inject::Nudge));
+        assert!(matches!(drained[1], Inject::Wake(TcbId(7), WakeReason::Normal)));
+        assert!(inj.drain().is_empty());
+    }
+
+    #[test]
+    fn wait_until_returns_when_pushed_from_other_thread() {
+        let inj = Injector::new();
+        let inj2 = Arc::clone(&inj);
+        let start = Instant::now();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            inj2.push(Inject::Nudge);
+        });
+        inj.wait_until(Some(Instant::now() + Duration::from_secs(5)));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wait_until_respects_deadline() {
+        let inj = Injector::new();
+        let start = Instant::now();
+        inj.wait_until(Some(Instant::now() + Duration::from_millis(30)));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn wait_returns_immediately_if_pending() {
+        let inj = Injector::new();
+        inj.push(Inject::Nudge);
+        // Must not block even with no deadline.
+        inj.wait_until(None);
+    }
+}

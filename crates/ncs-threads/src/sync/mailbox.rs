@@ -1,0 +1,298 @@
+//! FIFO mailboxes — the activation channels between NCS threads.
+//!
+//! The paper's threads "activate" one another by queueing requests (e.g. the
+//! error-control thread activates the flow-control thread with segmented
+//! packets). A [`Mailbox`] is that queue: MPMC, FIFO, optionally bounded,
+//! blocking cooperatively on green threads.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use super::Semaphore;
+
+/// Error returned by [`Mailbox::try_send`] on a full bounded mailbox,
+/// handing the rejected message back (C-GOOD-ERR).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrySendError<T>(pub T);
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mailbox full")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
+/// Error returned by [`Mailbox::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvTimeoutError;
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "timed out waiting for a mailbox message")
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// A FIFO message queue between threads of either package.
+///
+/// # Example
+///
+/// ```
+/// use ncs_threads::sync::Mailbox;
+///
+/// let mbox = Mailbox::bounded(2);
+/// mbox.send("a");
+/// mbox.send("b");
+/// assert!(mbox.try_send("c").is_err()); // full
+/// assert_eq!(mbox.recv(), "a");
+/// ```
+pub struct Mailbox<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// Counts queued messages; receivers block on it.
+    items: Semaphore,
+    /// Counts free slots for bounded mailboxes; senders block on it.
+    slots: Option<Semaphore>,
+    capacity: Option<usize>,
+}
+
+impl<T> std::fmt::Debug for Mailbox<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mailbox")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl<T> Mailbox<T> {
+    /// Creates a mailbox with no capacity limit.
+    pub fn unbounded() -> Self {
+        Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            items: Semaphore::new(0),
+            slots: None,
+            capacity: None,
+        }
+    }
+
+    /// Creates a mailbox holding at most `capacity` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (rendezvous channels are not supported).
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "mailbox capacity must be positive");
+        Mailbox {
+            queue: Mutex::new(VecDeque::with_capacity(capacity)),
+            items: Semaphore::new(0),
+            slots: Some(Semaphore::new(capacity)),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Queues a message, blocking if the mailbox is bounded and full.
+    pub fn send(&self, value: T) {
+        if let Some(slots) = &self.slots {
+            slots.acquire();
+        }
+        self.queue.lock().push_back(value);
+        self.items.release();
+    }
+
+    /// Queues a message if space is available; otherwise returns it in
+    /// [`TrySendError`].
+    ///
+    /// # Errors
+    ///
+    /// Fails only on a full bounded mailbox.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        if let Some(slots) = &self.slots {
+            if !slots.try_acquire() {
+                return Err(TrySendError(value));
+            }
+        }
+        self.queue.lock().push_back(value);
+        self.items.release();
+        Ok(())
+    }
+
+    /// Dequeues the oldest message, blocking until one arrives.
+    pub fn recv(&self) -> T {
+        self.items.acquire();
+        self.pop_after_acquire()
+    }
+
+    /// Dequeues the oldest message if one is queued.
+    pub fn try_recv(&self) -> Option<T> {
+        if self.items.try_acquire() {
+            Some(self.pop_after_acquire())
+        } else {
+            None
+        }
+    }
+
+    /// Dequeues the oldest message, giving up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvTimeoutError`] if nothing arrived in time.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        if self.items.acquire_timeout(timeout) {
+            Ok(self.pop_after_acquire())
+        } else {
+            Err(RecvTimeoutError)
+        }
+    }
+
+    fn pop_after_acquire(&self) -> T {
+        let value = self
+            .queue
+            .lock()
+            .pop_front()
+            .expect("items semaphore guarantees a queued message");
+        if let Some(slots) = &self.slots {
+            slots.release();
+        }
+        value
+    }
+
+    /// Number of queued messages (racy; diagnostics only).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the mailbox is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    /// The capacity limit, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let m = Mailbox::unbounded();
+        for i in 0..100 {
+            m.send(i);
+        }
+        for i in 0..100 {
+            assert_eq!(m.recv(), i);
+        }
+    }
+
+    #[test]
+    fn bounded_try_send_fails_when_full() {
+        let m = Mailbox::bounded(1);
+        assert!(m.try_send(1).is_ok());
+        assert_eq!(m.try_send(2), Err(TrySendError(2)));
+        assert_eq!(m.recv(), 1);
+        assert!(m.try_send(3).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Mailbox::<u8>::bounded(0);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_recv() {
+        let m = Arc::new(Mailbox::bounded(1));
+        m.send(1);
+        let m2 = Arc::clone(&m);
+        let t = std::thread::spawn(move || {
+            m2.send(2); // blocks until main recvs
+            "sent"
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(m.recv(), 1);
+        assert_eq!(t.join().unwrap(), "sent");
+        assert_eq!(m.recv(), 2);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let m = Mailbox::<u8>::unbounded();
+        let start = Instant::now();
+        assert_eq!(
+            m.recv_timeout(Duration::from_millis(30)),
+            Err(RecvTimeoutError)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn recv_timeout_gets_late_message() {
+        let m = Arc::new(Mailbox::unbounded());
+        let m2 = Arc::clone(&m);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            m2.send(9);
+        });
+        assert_eq!(m.recv_timeout(Duration::from_secs(5)), Ok(9));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn try_recv_on_empty() {
+        let m = Mailbox::<u8>::unbounded();
+        assert_eq!(m.try_recv(), None);
+        m.send(1);
+        assert_eq!(m.try_recv(), Some(1));
+    }
+
+    #[test]
+    fn mpmc_drains_everything_exactly_once() {
+        let m = Arc::new(Mailbox::unbounded());
+        for i in 0..1000u32 {
+            m.send(i);
+        }
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            let collected = Arc::clone(&collected);
+            handles.push(std::thread::spawn(move || {
+                while let Some(v) = m.try_recv() {
+                    collected.lock().push(v);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all = collected.lock().clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_and_capacity_reporting() {
+        let m = Mailbox::bounded(3);
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), Some(3));
+        m.send(());
+        assert_eq!(m.len(), 1);
+        let u = Mailbox::<()>::unbounded();
+        assert_eq!(u.capacity(), None);
+    }
+}

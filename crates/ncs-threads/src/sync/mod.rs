@@ -1,0 +1,29 @@
+//! Package-aware synchronisation primitives.
+//!
+//! Every primitive here has two blocking paths chosen automatically at run
+//! time:
+//!
+//! * **green path** — the caller is a green thread of a [`crate::UserPackage`]
+//!   scheduler: blocking suspends only that green thread and hands control
+//!   back to the scheduler (cooperative, cheap);
+//! * **foreign path** — any other OS thread (including all threads of a
+//!   [`crate::KernelPackage`]): blocking parks the OS thread on a condvar.
+//!
+//! NCS protocol code blocks *only* through these primitives, which is what
+//! lets the identical code run over either thread package — the property the
+//! paper's Figures 10/11 measure. Blocking **system calls** (socket I/O) are
+//! intentionally *not* intercepted: under the user-level package they stall
+//! the whole process, exactly as the paper describes for 1998 user-level
+//! thread packages.
+
+mod event;
+mod mailbox;
+mod mutex;
+mod sem;
+
+pub use event::Event;
+pub use mailbox::{Mailbox, RecvTimeoutError, TrySendError};
+pub use mutex::{NcsMutex, NcsMutexGuard};
+pub use sem::Semaphore;
+
+pub(crate) use sem::SemInner;

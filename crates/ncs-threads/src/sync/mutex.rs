@@ -1,0 +1,174 @@
+//! A mutual-exclusion lock usable from green threads.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+
+use super::Semaphore;
+
+/// A mutex whose blocked waiters cooperate with the green-thread scheduler.
+///
+/// Unlike [`std::sync::Mutex`] there is no poisoning: a panic while holding
+/// the lock simply releases it (the guard's destructor runs during
+/// unwinding). Protocol state guarded by this lock is always left in a
+/// consistent state by the NCS threads, which never panic mid-update.
+///
+/// # Example
+///
+/// ```
+/// use ncs_threads::sync::NcsMutex;
+///
+/// let m = NcsMutex::new(1u32);
+/// *m.lock() += 1;
+/// assert_eq!(*m.lock(), 2);
+/// ```
+pub struct NcsMutex<T: ?Sized> {
+    sem: Semaphore,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: access to `value` is serialised by the semaphore.
+unsafe impl<T: ?Sized + Send> Send for NcsMutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for NcsMutex<T> {}
+
+impl<T> NcsMutex<T> {
+    /// Creates a mutex guarding `value`.
+    pub fn new(value: T) -> Self {
+        NcsMutex {
+            sem: Semaphore::new(1),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: ?Sized> NcsMutex<T> {
+    /// Acquires the lock, blocking cooperatively if contended.
+    pub fn lock(&self) -> NcsMutexGuard<'_, T> {
+        self.sem.acquire();
+        NcsMutexGuard { mutex: self }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<NcsMutexGuard<'_, T>> {
+        if self.sem.try_acquire() {
+            Some(NcsMutexGuard { mutex: self })
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for NcsMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("NcsMutex").field("value", &&*g).finish(),
+            None => f.debug_struct("NcsMutex").field("value", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: Default> Default for NcsMutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// RAII guard for [`NcsMutex`]; releases the lock on drop.
+pub struct NcsMutexGuard<'a, T: ?Sized> {
+    mutex: &'a NcsMutex<T>,
+}
+
+impl<T: ?Sized> Deref for NcsMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the semaphore grants exclusive access while the guard lives.
+        unsafe { &*self.mutex.value.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for NcsMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.mutex.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for NcsMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.sem.release();
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for NcsMutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_provides_mutable_access() {
+        let m = NcsMutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(*m.lock(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let m = NcsMutex::new(());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn contended_increments_are_not_lost() {
+        let m = Arc::new(NcsMutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn into_inner_and_get_mut() {
+        let mut m = NcsMutex::new(5);
+        *m.get_mut() = 6;
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn panic_while_held_releases_lock() {
+        let m = Arc::new(NcsMutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("drop the guard via unwind");
+        })
+        .join();
+        assert!(m.try_lock().is_some());
+    }
+}

@@ -1,0 +1,163 @@
+//! Scheduler timer queue: deadline-ordered actions fired by the scheduler
+//! loop. Used for green-thread `sleep` and for timed waits on the
+//! synchronisation primitives (e.g. the error-control thread's ACK timeout).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Weak;
+use std::time::Instant;
+
+use crate::injector::GreenWaker;
+use crate::sync::SemInner;
+
+/// What to do when a timer fires.
+pub(crate) enum TimerAction {
+    /// Wake a green thread sleeping via `sleep`.
+    Wake(GreenWaker),
+    /// Time out a green thread waiting on a semaphore: claim its wait token
+    /// and wake it with `WakeReason::Timeout` if a release has not already
+    /// claimed it.
+    SemTimeout { sem: Weak<SemInner>, token: u64 },
+}
+
+impl std::fmt::Debug for TimerAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimerAction::Wake(w) => f.debug_tuple("Wake").field(&w.tcb).finish(),
+            TimerAction::SemTimeout { token, .. } => {
+                f.debug_tuple("SemTimeout").field(token).finish()
+            }
+        }
+    }
+}
+
+/// A single registered timer.
+#[derive(Debug)]
+struct TimerEntry {
+    at: Instant,
+    seq: u64,
+    action: TimerAction,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest deadline on top.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deadline-ordered timer queue, owned by the scheduler loop.
+#[derive(Debug, Default)]
+pub(crate) struct TimerQueue {
+    heap: BinaryHeap<TimerEntry>,
+    next_seq: u64,
+}
+
+impl TimerQueue {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn register(&mut self, at: Instant, action: TimerAction) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(TimerEntry { at, seq, action });
+    }
+
+    /// Earliest pending deadline, if any.
+    pub(crate) fn next_deadline(&self) -> Option<Instant> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops every timer due at or before `now`, in deadline order.
+    pub(crate) fn pop_due(&mut self, now: Instant) -> Vec<TimerAction> {
+        let mut due = Vec::new();
+        while let Some(top) = self.heap.peek() {
+            if top.at > now {
+                break;
+            }
+            due.push(self.heap.pop().expect("peeked entry must pop").action);
+        }
+        due
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::injector::Injector;
+    use crate::tcb::TcbId;
+    use std::time::Duration;
+
+    fn waker(id: u64) -> GreenWaker {
+        GreenWaker {
+            injector: Injector::new(),
+            tcb: TcbId(id),
+        }
+    }
+
+    #[test]
+    fn pops_in_deadline_order() {
+        let mut q = TimerQueue::new();
+        let base = Instant::now();
+        q.register(base + Duration::from_millis(30), TimerAction::Wake(waker(3)));
+        q.register(base + Duration::from_millis(10), TimerAction::Wake(waker(1)));
+        q.register(base + Duration::from_millis(20), TimerAction::Wake(waker(2)));
+
+        let due = q.pop_due(base + Duration::from_millis(25));
+        let ids: Vec<u64> = due
+            .iter()
+            .map(|a| match a {
+                TimerAction::Wake(w) => w.tcb.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(q.next_deadline(), Some(base + Duration::from_millis(30)));
+    }
+
+    #[test]
+    fn equal_deadlines_fire_in_registration_order() {
+        let mut q = TimerQueue::new();
+        let at = Instant::now();
+        q.register(at, TimerAction::Wake(waker(1)));
+        q.register(at, TimerAction::Wake(waker(2)));
+        let due = q.pop_due(at);
+        let ids: Vec<u64> = due
+            .iter()
+            .map(|a| match a {
+                TimerAction::Wake(w) => w.tcb.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn nothing_due_before_deadline() {
+        let mut q = TimerQueue::new();
+        let base = Instant::now();
+        q.register(base + Duration::from_secs(10), TimerAction::Wake(waker(1)));
+        assert!(q.pop_due(base).is_empty());
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,408 @@
+//! Integration tests for the user-level thread package, run over BOTH switch
+//! mechanisms (native assembly switch and portable condvar handoff) to pin
+//! down identical cooperative semantics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ncs_threads::sync::{Event, Mailbox, NcsMutex, Semaphore};
+use ncs_threads::{
+    JoinError, PackageKind, SpawnOptions, SwitchMech, ThreadPackage, ThreadPackageExt,
+    UserConfig, UserPackage, UserRuntime,
+};
+
+fn runtime(mech: SwitchMech) -> UserRuntime {
+    UserRuntime::new(UserConfig {
+        mech,
+        deadlock_timeout: Some(Duration::from_secs(10)),
+        ..UserConfig::default()
+    })
+}
+
+/// Runs `f` under both switch mechanisms.
+fn for_both_mechs(f: impl Fn(SwitchMech) + Copy) {
+    for mech in [SwitchMech::Native, SwitchMech::Portable] {
+        f(mech);
+    }
+}
+
+#[test]
+fn primary_returns_value() {
+    for_both_mechs(|mech| {
+        let v = runtime(mech).run(|_pkg| 1234u32);
+        assert_eq!(v, 1234);
+    });
+}
+
+#[test]
+fn spawn_and_join_typed() {
+    for_both_mechs(|mech| {
+        let v = runtime(mech).run(|pkg| {
+            let h = pkg.spawn_typed("child", || "hello".to_owned());
+            h.join().unwrap()
+        });
+        assert_eq!(v, "hello");
+    });
+}
+
+#[test]
+fn cooperative_yield_interleaves_fifo() {
+    // Three threads each append their tag then yield; cooperative FIFO
+    // scheduling must produce strict round-robin interleaving.
+    for_both_mechs(|mech| {
+        let log = runtime(mech).run(|pkg| {
+            let log = Arc::new(NcsMutex::new(Vec::new()));
+            let mut handles = Vec::new();
+            for tag in 0..3u8 {
+                let log = Arc::clone(&log);
+                let pkg2 = pkg.clone();
+                handles.push(pkg.spawn_typed(&format!("t{tag}"), move || {
+                    for _ in 0..4 {
+                        log.lock().push(tag);
+                        pkg2.yield_now();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            Arc::try_unwrap(log).unwrap().into_inner()
+        });
+        assert_eq!(
+            log,
+            vec![0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2],
+            "mech {mech:?} did not round-robin"
+        );
+    });
+}
+
+#[test]
+fn many_threads_complete() {
+    for_both_mechs(|mech| {
+        let n: u64 = if mech == SwitchMech::Native { 500 } else { 100 };
+        let total = runtime(mech).run(move |pkg| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let mut handles = Vec::new();
+            for i in 0..n {
+                let counter = Arc::clone(&counter);
+                let pkg2 = pkg.clone();
+                handles.push(pkg.spawn_typed(&format!("w{i}"), move || {
+                    pkg2.yield_now();
+                    counter.fetch_add(i, Ordering::Relaxed);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            counter.load(Ordering::Relaxed)
+        });
+        assert_eq!(total, n * (n - 1) / 2);
+    });
+}
+
+#[test]
+fn panic_in_child_is_isolated_and_reported() {
+    for_both_mechs(|mech| {
+        let r = runtime(mech).run(|pkg| {
+            let h = pkg.spawn("boomer", Box::new(|| panic!("green boom")));
+            h.join()
+        });
+        match r {
+            Err(JoinError::Panicked(msg)) => assert!(msg.contains("green boom")),
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "primary green thread panicked")]
+fn primary_panic_propagates() {
+    runtime(SwitchMech::Native).run(|_pkg| panic!("primary boom"));
+}
+
+#[test]
+fn semaphore_handoff_between_green_threads() {
+    for_both_mechs(|mech| {
+        let order = runtime(mech).run(|pkg| {
+            let sem = Arc::new(Semaphore::new(0));
+            let order = Arc::new(NcsMutex::new(Vec::new()));
+            let (s2, o2) = (Arc::clone(&sem), Arc::clone(&order));
+            let waiter = pkg.spawn_typed("waiter", move || {
+                s2.acquire(); // blocks until primary releases
+                o2.lock().push("waiter");
+            });
+            order.lock().push("primary");
+            sem.release();
+            waiter.join().unwrap();
+            Arc::try_unwrap(order).unwrap().into_inner()
+        });
+        assert_eq!(order, vec!["primary", "waiter"]);
+    });
+}
+
+#[test]
+fn semaphore_timeout_in_green_thread() {
+    for_both_mechs(|mech| {
+        let (acquired, waited) = runtime(mech).run(|_pkg| {
+            let sem = Semaphore::new(0);
+            let start = Instant::now();
+            let ok = sem.acquire_timeout(Duration::from_millis(50));
+            (ok, start.elapsed())
+        });
+        assert!(!acquired);
+        assert!(waited >= Duration::from_millis(45), "waited {waited:?}");
+    });
+}
+
+#[test]
+fn semaphore_release_beats_green_timeout() {
+    for_both_mechs(|mech| {
+        let acquired = runtime(mech).run(|pkg| {
+            let sem = Arc::new(Semaphore::new(0));
+            let sem2 = Arc::clone(&sem);
+            let pkg2 = pkg.clone();
+            let releaser = pkg.spawn_typed("releaser", move || {
+                pkg2.sleep(Duration::from_millis(10));
+                sem2.release();
+            });
+            let ok = sem.acquire_timeout(Duration::from_secs(5));
+            releaser.join().unwrap();
+            ok
+        });
+        assert!(acquired);
+    });
+}
+
+#[test]
+fn foreign_os_thread_wakes_green_thread() {
+    for_both_mechs(|mech| {
+        let got = runtime(mech).run(|_pkg| {
+            let mbox: Arc<Mailbox<u32>> = Arc::new(Mailbox::unbounded());
+            let mbox2 = Arc::clone(&mbox);
+            // A true foreign OS thread delivering into the green world.
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                mbox2.send(77);
+            });
+            let v = mbox.recv();
+            t.join().unwrap();
+            v
+        });
+        assert_eq!(got, 77);
+    });
+}
+
+#[test]
+fn green_sleep_suspends_only_the_sleeper() {
+    for_both_mechs(|mech| {
+        let log = runtime(mech).run(|pkg| {
+            let log = Arc::new(NcsMutex::new(Vec::new()));
+            let (l2, pkg2) = (Arc::clone(&log), pkg.clone());
+            let sleeper = pkg.spawn_typed("sleeper", move || {
+                pkg2.sleep(Duration::from_millis(60));
+                l2.lock().push("sleeper");
+            });
+            let (l3, pkg3) = (Arc::clone(&log), pkg.clone());
+            let worker = pkg.spawn_typed("worker", move || {
+                pkg3.sleep(Duration::from_millis(5));
+                l3.lock().push("worker");
+            });
+            sleeper.join().unwrap();
+            worker.join().unwrap();
+            Arc::try_unwrap(log).unwrap().into_inner()
+        });
+        assert_eq!(log, vec!["worker", "sleeper"]);
+    });
+}
+
+#[test]
+fn sleep_duration_is_respected() {
+    for_both_mechs(|mech| {
+        let elapsed = runtime(mech).run(|pkg| {
+            let start = Instant::now();
+            pkg.sleep(Duration::from_millis(40));
+            start.elapsed()
+        });
+        assert!(elapsed >= Duration::from_millis(35), "slept {elapsed:?}");
+    });
+}
+
+#[test]
+fn event_broadcast_wakes_all_green_waiters() {
+    for_both_mechs(|mech| {
+        let woken = runtime(mech).run(|pkg| {
+            let ev = Arc::new(Event::new());
+            let woken = Arc::new(AtomicU64::new(0));
+            let mut handles = Vec::new();
+            for i in 0..5 {
+                let (ev, woken) = (Arc::clone(&ev), Arc::clone(&woken));
+                handles.push(pkg.spawn_typed(&format!("w{i}"), move || {
+                    ev.wait();
+                    woken.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            let pkg2 = pkg.clone();
+            pkg2.yield_now(); // let the waiters block
+            ev.fire();
+            for h in handles {
+                h.join().unwrap();
+            }
+            woken.load(Ordering::Relaxed)
+        });
+        assert_eq!(woken, 5);
+    });
+}
+
+#[test]
+fn bounded_mailbox_applies_backpressure_between_green_threads() {
+    for_both_mechs(|mech| {
+        let received = runtime(mech).run(|pkg| {
+            let mbox = Arc::new(Mailbox::bounded(2));
+            let mbox2 = Arc::clone(&mbox);
+            let producer = pkg.spawn_typed("producer", move || {
+                for i in 0..20u32 {
+                    mbox2.send(i); // blocks when 2 queued
+                }
+            });
+            let mut got = Vec::new();
+            for _ in 0..20 {
+                got.push(mbox.recv());
+            }
+            producer.join().unwrap();
+            got
+        });
+        assert_eq!(received, (0..20).collect::<Vec<_>>());
+    });
+}
+
+#[test]
+fn daemon_threads_do_not_block_shutdown() {
+    for_both_mechs(|mech| {
+        let v = runtime(mech).run(|pkg| {
+            // An infinite daemon: the runtime must still exit when the
+            // primary finishes.
+            let pkg2 = pkg.clone();
+            let _ = pkg.spawn_with(
+                SpawnOptions::new("forever").daemon(true),
+                Box::new(move || loop {
+                    pkg2.yield_now();
+                }),
+            );
+            99
+        });
+        assert_eq!(v, 99);
+    });
+}
+
+#[test]
+fn stats_count_switches_and_spawns() {
+    let stats = runtime(SwitchMech::Native).run(|pkg| {
+        let pkg2 = pkg.clone();
+        let h = pkg.spawn_typed("child", move || {
+            for _ in 0..10 {
+                pkg2.yield_now();
+            }
+        });
+        h.join().unwrap();
+        pkg.stats()
+    });
+    assert!(stats.context_switches >= 10);
+    assert!(stats.yields >= 10);
+    assert_eq!(stats.spawns, 2); // primary + child
+}
+
+#[test]
+fn kind_is_user_level() {
+    let kind = runtime(SwitchMech::Native).run(|pkg| pkg.kind());
+    assert_eq!(kind, PackageKind::UserLevel);
+}
+
+#[test]
+fn mech_reports_configured_mechanism() {
+    let mech = runtime(SwitchMech::Portable).run(|pkg: UserPackage| pkg.mech());
+    assert_eq!(mech, SwitchMech::Portable);
+}
+
+#[test]
+fn deep_call_stacks_fit_in_default_stack() {
+    fn recurse(n: u32) -> u32 {
+        if n == 0 {
+            0
+        } else {
+            // Burn some stack per frame.
+            let pad = [n; 16];
+            pad[0] + recurse(n - 1)
+        }
+    }
+    let v = runtime(SwitchMech::Native).run(|pkg| {
+        pkg.spawn_typed("deep", || recurse(1000)).join().unwrap()
+    });
+    assert_eq!(v, (1..=1000).sum::<u32>());
+}
+
+#[test]
+fn custom_stack_size_is_honored() {
+    let v = runtime(SwitchMech::Native).run(|pkg| {
+        pkg.spawn_typed_with(
+            SpawnOptions::new("big-stack").stack_size(4 * 1024 * 1024),
+            || {
+                let big = vec![1u8; 1024]; // trivial; just prove it runs
+                big.iter().map(|&b| b as u64).sum::<u64>()
+            },
+        )
+        .join()
+        .unwrap()
+    });
+    assert_eq!(v, 1024);
+}
+
+#[test]
+fn green_threads_spawning_green_threads() {
+    for_both_mechs(|mech| {
+        let v = runtime(mech).run(|pkg| {
+            let pkg2 = pkg.clone();
+            pkg.spawn_typed("outer", move || {
+                let h = pkg2.spawn_typed("inner", || 7u32);
+                h.join().unwrap() + 1
+            })
+            .join()
+            .unwrap()
+        });
+        assert_eq!(v, 8);
+    });
+}
+
+#[test]
+fn sequential_runtimes_on_same_os_thread() {
+    // The TLS must be cleanly torn down between runs.
+    let a = runtime(SwitchMech::Native).run(|_| 1);
+    let b = runtime(SwitchMech::Native).run(|_| 2);
+    assert_eq!(a + b, 3);
+}
+
+#[test]
+fn mutex_under_heavy_green_contention() {
+    for_both_mechs(|mech| {
+        let total = runtime(mech).run(|pkg| {
+            let m = Arc::new(NcsMutex::new(0u64));
+            let mut handles = Vec::new();
+            for i in 0..8 {
+                let m = Arc::clone(&m);
+                let pkg2 = pkg.clone();
+                handles.push(pkg.spawn_typed(&format!("c{i}"), move || {
+                    for _ in 0..100 {
+                        *m.lock() += 1;
+                        pkg2.yield_now();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let v = *m.lock();
+            v
+        });
+        assert_eq!(total, 800);
+    });
+}

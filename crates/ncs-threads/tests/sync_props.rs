@@ -1,0 +1,92 @@
+//! Property-based tests for the package-aware synchronisation primitives.
+
+use std::sync::Arc;
+
+use ncs_threads::sync::{Mailbox, Semaphore};
+use ncs_threads::{SwitchMech, ThreadPackageExt, UserConfig, UserRuntime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mailboxes are strictly FIFO for any interleaving of try/timed ops
+    /// issued from a single thread.
+    #[test]
+    fn mailbox_fifo_under_mixed_ops(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let m = Mailbox::unbounded();
+        let mut sent = 0u32;
+        let mut received = 0u32;
+        for is_send in ops {
+            if is_send {
+                m.send(sent);
+                sent += 1;
+            } else if let Some(v) = m.try_recv() {
+                prop_assert_eq!(v, received);
+                received += 1;
+            }
+        }
+        while let Some(v) = m.try_recv() {
+            prop_assert_eq!(v, received);
+            received += 1;
+        }
+        prop_assert_eq!(received, sent);
+        prop_assert!(m.is_empty());
+    }
+
+    /// Semaphore permit accounting: permits never go negative and end at
+    /// initial + releases - acquires for any single-threaded op sequence.
+    #[test]
+    fn semaphore_accounting(initial in 0usize..16, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let s = Semaphore::new(initial);
+        let mut expected = initial;
+        for is_release in ops {
+            if is_release {
+                s.release();
+                expected += 1;
+            } else if s.try_acquire() {
+                expected -= 1;
+            } else {
+                prop_assert_eq!(expected, 0);
+            }
+        }
+        prop_assert_eq!(s.permits(), expected);
+    }
+
+    /// Green threads: N producers over one mailbox deliver every item
+    /// exactly once under cooperative scheduling, for both switch
+    /// mechanisms.
+    #[test]
+    fn green_producers_deliver_exactly_once(
+        n_threads in 1usize..6,
+        per_thread in 1usize..40,
+    ) {
+        for mech in [SwitchMech::Native, SwitchMech::Portable] {
+            let total = UserRuntime::new(UserConfig {
+                mech,
+                ..UserConfig::default()
+            })
+            .run(move |pkg| {
+                let mbox = Arc::new(Mailbox::unbounded());
+                let mut handles = Vec::new();
+                for t in 0..n_threads {
+                    let mbox = Arc::clone(&mbox);
+                    handles.push(pkg.spawn_typed(&format!("p{t}"), move || {
+                        for i in 0..per_thread {
+                            mbox.send((t, i));
+                        }
+                    }));
+                }
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..n_threads * per_thread {
+                    let item = mbox.recv();
+                    assert!(seen.insert(item), "duplicate delivery {item:?}");
+                }
+                for h in handles {
+                    h.join().unwrap();
+                }
+                seen.len()
+            });
+            prop_assert_eq!(total, n_threads * per_thread);
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! ACI — the ATM Communication Interface: AAL5 virtual circuits over the
+//! simulated ATM network.
+//!
+//! ACI connections are **unreliable**: a lost or corrupted cell discards the
+//! whole AAL5 frame (surfaced only in [`AciConnection::frame_errors`] — the
+//! receiving application simply never sees the frame, exactly like a real
+//! native-ATM API). They are ordered and limited to 64 KB frames. This is
+//! the interface NCS's flow-/error-control threads are designed for.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use atm_sim::{
+    AtmError, ConnId, DeliverySink, NetEvent, Network, NodeId, PumpConfig, QosParams,
+    RealTimePump, SetupTicket,
+};
+use ncs_threads::sync::{Event, Mailbox};
+use parking_lot::Mutex;
+
+use crate::iface::{Capabilities, Connection, TransportError};
+
+/// Largest AAL5 frame.
+pub const MAX_FRAME: usize = atm_sim::aal5::MAX_FRAME;
+
+/// Inbound state of one ACI connection endpoint.
+#[derive(Debug)]
+struct ConnBox {
+    frames: Mailbox<Vec<u8>>,
+    frame_errors: AtomicU64,
+    released: AtomicBool,
+}
+
+impl ConnBox {
+    fn new() -> Arc<Self> {
+        Arc::new(ConnBox {
+            frames: Mailbox::unbounded(),
+            frame_errors: AtomicU64::new(0),
+            released: AtomicBool::new(false),
+        })
+    }
+}
+
+/// An incoming VC waiting to be accepted.
+#[derive(Debug)]
+struct Incoming {
+    conn: ConnId,
+    peer: NodeId,
+    qos: QosParams,
+}
+
+#[derive(Debug, Default)]
+struct HostReg {
+    incoming: Mailbox<Incoming>,
+    conns: Mutex<HashMap<ConnId, Arc<ConnBox>>>,
+}
+
+#[derive(Debug)]
+struct PendingSetup {
+    done: Event,
+    result: Mutex<Option<(NodeId, ConnId, NodeId, ConnId)>>,
+}
+
+/// Shared state dispatching pump events to per-connection queues.
+#[derive(Debug, Default)]
+struct Registry {
+    hosts: Mutex<HashMap<NodeId, Arc<HostReg>>>,
+    setups: Mutex<HashMap<SetupTicket, Arc<PendingSetup>>>,
+}
+
+impl Registry {
+    fn host(&self, id: NodeId) -> Arc<HostReg> {
+        Arc::clone(
+            self.hosts
+                .lock()
+                .entry(id)
+                .or_insert_with(|| Arc::new(HostReg::default())),
+        )
+    }
+}
+
+impl DeliverySink for Registry {
+    fn deliver(&self, event: NetEvent) {
+        match event {
+            NetEvent::Frame {
+                host, conn, frame, ..
+            } => {
+                let reg = self.host(host);
+                let boxes = reg.conns.lock();
+                if let Some(b) = boxes.get(&conn) {
+                    b.frames.send(frame);
+                }
+            }
+            NetEvent::FrameError { host, conn, .. } => {
+                let reg = self.host(host);
+                let boxes = reg.conns.lock();
+                if let Some(b) = boxes.get(&conn) {
+                    b.frame_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            NetEvent::IncomingVc {
+                host,
+                conn,
+                peer,
+                qos,
+                ..
+            } => {
+                let reg = self.host(host);
+                reg.conns.lock().insert(conn, ConnBox::new());
+                reg.incoming.send(Incoming { conn, peer, qos });
+            }
+            NetEvent::VcEstablished {
+                ticket,
+                host,
+                conn,
+                peer,
+                peer_conn,
+                ..
+            } => {
+                let reg = self.host(host);
+                reg.conns.lock().insert(conn, ConnBox::new());
+                let pending = self.setups.lock().remove(&ticket);
+                if let Some(p) = pending {
+                    *p.result.lock() = Some((host, conn, peer, peer_conn));
+                    p.done.fire();
+                }
+            }
+            NetEvent::VcReleased { host, conn, .. } => {
+                let reg = self.host(host);
+                let boxes = reg.conns.lock();
+                if let Some(b) = boxes.get(&conn) {
+                    b.released.store(true, Ordering::Release);
+                }
+            }
+        }
+    }
+}
+
+/// The ATM fabric: owns the real-time pump and dispatches its events.
+/// Obtain per-host [`AciDevice`]s via [`AciFabric::device`].
+#[derive(Debug)]
+pub struct AciFabric {
+    pump: Arc<RealTimePump>,
+    registry: Arc<Registry>,
+}
+
+impl AciFabric {
+    /// Starts the fabric over a built [`Network`].
+    pub fn start(net: Network, config: PumpConfig) -> Arc<Self> {
+        let pump = RealTimePump::start(net, config);
+        let registry = Arc::new(Registry::default());
+        pump.set_sink(Arc::clone(&registry) as Arc<dyn DeliverySink>);
+        Arc::new(AciFabric { pump, registry })
+    }
+
+    /// The adapter of host `name`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no such host exists.
+    pub fn device(self: &Arc<Self>, name: &str) -> Result<AciDevice, TransportError> {
+        let host = self
+            .pump
+            .node_id(name)
+            .ok_or_else(|| TransportError::Io(format!("unknown ATM host '{name}'")))?;
+        // Materialise the registry entry so incoming VCs are queued even
+        // before the first accept.
+        let _ = self.registry.host(host);
+        Ok(AciDevice {
+            fabric: Arc::clone(self),
+            host,
+            name: name.to_owned(),
+        })
+    }
+
+    /// Network statistics (cells sent/lost, frames delivered/failed, ...).
+    pub fn stats(&self) -> atm_sim::NetStats {
+        self.pump.stats()
+    }
+
+    /// Stops the underlying pump.
+    pub fn shutdown(&self) {
+        self.pump.shutdown();
+    }
+}
+
+/// A host's ATM adapter: connect to peers or accept incoming VCs.
+#[derive(Debug)]
+pub struct AciDevice {
+    fabric: Arc<AciFabric>,
+    host: NodeId,
+    name: String,
+}
+
+impl AciDevice {
+    /// The host name this adapter belongs to.
+    pub fn host_name(&self) -> &str {
+        &self.name
+    }
+
+    /// Opens a VC to `peer` with the given QoS, blocking until signaling
+    /// completes (10 s limit).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown peers, unroutable topologies or signaling timeout.
+    pub fn connect(&self, peer: &str, qos: QosParams) -> Result<AciConnection, TransportError> {
+        let peer_id = self
+            .fabric
+            .pump
+            .node_id(peer)
+            .ok_or_else(|| TransportError::Io(format!("unknown ATM host '{peer}'")))?;
+        let pending = Arc::new(PendingSetup {
+            done: Event::new(),
+            result: Mutex::new(None),
+        });
+        let ticket = {
+            // Register the waiter before launching setup so the completion
+            // cannot race past us.
+            let mut setups = self.fabric.registry.setups.lock();
+            let ticket = self
+                .fabric
+                .pump
+                .open_vc(self.host, peer_id, qos)
+                .map_err(map_atm)?;
+            setups.insert(ticket, Arc::clone(&pending));
+            ticket
+        };
+        if !pending.done.wait_timeout(Duration::from_secs(10)) {
+            self.fabric.registry.setups.lock().remove(&ticket);
+            return Err(TransportError::Timeout);
+        }
+        let (host, conn, _peer, _peer_conn) =
+            pending.result.lock().take().expect("fired setup has result");
+        let boxed = self
+            .fabric
+            .registry
+            .host(host)
+            .conns
+            .lock()
+            .get(&conn)
+            .cloned()
+            .expect("established conn has a box");
+        Ok(AciConnection {
+            fabric: Arc::clone(&self.fabric),
+            host,
+            conn,
+            inbound: boxed,
+            label: format!("aci:{peer}"),
+        })
+    }
+
+    /// Accepts the next incoming VC, blocking up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] if none arrived.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<AciConnection, TransportError> {
+        let reg = self.fabric.registry.host(self.host);
+        let inc = reg
+            .incoming
+            .recv_timeout(timeout)
+            .map_err(|_| TransportError::Timeout)?;
+        let boxed = reg
+            .conns
+            .lock()
+            .get(&inc.conn)
+            .cloned()
+            .expect("incoming conn has a box");
+        let peer_name = format!("node-{}", inc.peer.as_raw());
+        let _ = inc.qos; // currently informational to the acceptor
+        Ok(AciConnection {
+            fabric: Arc::clone(&self.fabric),
+            host: self.host,
+            conn: inc.conn,
+            inbound: boxed,
+            label: format!("aci:{peer_name}"),
+        })
+    }
+
+    /// Accepts the next incoming VC (60 s limit).
+    ///
+    /// # Errors
+    ///
+    /// As [`AciDevice::accept_timeout`].
+    pub fn accept(&self) -> Result<AciConnection, TransportError> {
+        self.accept_timeout(Duration::from_secs(60))
+    }
+}
+
+fn map_atm(e: AtmError) -> TransportError {
+    TransportError::Io(e.to_string())
+}
+
+/// One endpoint of an AAL5 virtual circuit.
+#[derive(Debug)]
+pub struct AciConnection {
+    fabric: Arc<AciFabric>,
+    host: NodeId,
+    conn: ConnId,
+    inbound: Arc<ConnBox>,
+    label: String,
+}
+
+impl AciConnection {
+    /// Frames lost to cell loss/corruption on this connection (receiver
+    /// side). NCS's error control turns these into retransmissions.
+    pub fn frame_errors(&self) -> u64 {
+        self.inbound.frame_errors.load(Ordering::Relaxed)
+    }
+
+    /// Per-connection traffic statistics from the network.
+    pub fn stats(&self) -> Option<atm_sim::ConnStats> {
+        self.fabric.pump.conn_stats(self.host, self.conn)
+    }
+}
+
+impl Connection for AciConnection {
+    fn caps(&self) -> Capabilities {
+        Capabilities {
+            interface: "ACI",
+            reliable: false,
+            ordered: true,
+            max_frame: MAX_FRAME,
+        }
+    }
+
+    fn send(&self, frame: &[u8]) -> Result<(), TransportError> {
+        if frame.is_empty() {
+            return Err(TransportError::Empty);
+        }
+        if frame.len() > MAX_FRAME {
+            return Err(TransportError::TooLarge {
+                len: frame.len(),
+                max: MAX_FRAME,
+            });
+        }
+        if self.inbound.released.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        self.fabric
+            .pump
+            .send_frame(self.host, self.conn, frame.to_vec())
+            .map_err(|e| match e {
+                AtmError::NotActive(_) => TransportError::Closed,
+                other => map_atm(other),
+            })
+    }
+
+    fn recv(&self) -> Result<Vec<u8>, TransportError> {
+        loop {
+            match self.inbound.frames.recv_timeout(Duration::from_millis(50)) {
+                Ok(f) => return Ok(f),
+                Err(_) => {
+                    if self.inbound.released.load(Ordering::Acquire)
+                        && self.inbound.frames.is_empty()
+                    {
+                        return Err(TransportError::Closed);
+                    }
+                }
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        match self.inbound.frames.recv_timeout(timeout) {
+            Ok(f) => Ok(f),
+            Err(_) => {
+                if self.inbound.released.load(Ordering::Acquire) && self.inbound.frames.is_empty()
+                {
+                    Err(TransportError::Closed)
+                } else {
+                    Err(TransportError::Timeout)
+                }
+            }
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<Vec<u8>>, TransportError> {
+        match self.inbound.frames.try_recv() {
+            Some(f) => Ok(Some(f)),
+            None => {
+                if self.inbound.released.load(Ordering::Acquire) {
+                    Err(TransportError::Closed)
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.inbound.released.store(true, Ordering::Release);
+        let _ = self.fabric.pump.close_vc(self.host, self.conn);
+    }
+
+    fn peer_label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_sim::{LinkSpec, NetworkBuilder};
+
+    fn fabric() -> Arc<AciFabric> {
+        let net = NetworkBuilder::new()
+            .host("a")
+            .host("b")
+            .switch("sw")
+            .link("a", "sw", LinkSpec::oc3())
+            .link("b", "sw", LinkSpec::oc3())
+            .build()
+            .unwrap();
+        AciFabric::start(net, PumpConfig::default())
+    }
+
+    #[test]
+    fn connect_accept_and_exchange() {
+        let fab = fabric();
+        let dev_a = fab.device("a").unwrap();
+        let dev_b = fab.device("b").unwrap();
+        let t = std::thread::spawn(move || dev_b.accept().unwrap());
+        let conn_a = dev_a.connect("b", QosParams::unspecified()).unwrap();
+        let conn_b = t.join().unwrap();
+
+        conn_a.send(b"over atm").unwrap();
+        assert_eq!(conn_b.recv().unwrap(), b"over atm");
+        conn_b.send(b"echoed").unwrap();
+        assert_eq!(conn_a.recv().unwrap(), b"echoed");
+        fab.shutdown();
+    }
+
+    #[test]
+    fn unknown_host_fails() {
+        let fab = fabric();
+        assert!(fab.device("ghost").is_err());
+        let dev = fab.device("a").unwrap();
+        assert!(dev.connect("ghost", QosParams::unspecified()).is_err());
+        fab.shutdown();
+    }
+
+    #[test]
+    fn accept_timeout_expires() {
+        let fab = fabric();
+        let dev = fab.device("a").unwrap();
+        assert!(matches!(
+            dev.accept_timeout(Duration::from_millis(50)),
+            Err(TransportError::Timeout)
+        ));
+        fab.shutdown();
+    }
+
+    #[test]
+    fn caps_are_unreliable_ordered_64k() {
+        let fab = fabric();
+        let dev_a = fab.device("a").unwrap();
+        let dev_b = fab.device("b").unwrap();
+        let t = std::thread::spawn(move || dev_b.accept().unwrap());
+        let conn = dev_a.connect("b", QosParams::unspecified()).unwrap();
+        t.join().unwrap();
+        let caps = conn.caps();
+        assert!(!caps.reliable);
+        assert!(caps.ordered);
+        assert_eq!(caps.max_frame, 65_535);
+        fab.shutdown();
+    }
+
+    #[test]
+    fn close_releases_vc() {
+        let fab = fabric();
+        let dev_a = fab.device("a").unwrap();
+        let dev_b = fab.device("b").unwrap();
+        let t = std::thread::spawn(move || dev_b.accept().unwrap());
+        let conn_a = dev_a.connect("b", QosParams::unspecified()).unwrap();
+        let conn_b = t.join().unwrap();
+        conn_a.close();
+        assert!(conn_a.send(b"x").is_err());
+        // The peer eventually observes the release.
+        let mut released = false;
+        for _ in 0..100 {
+            match conn_b.try_recv() {
+                Err(TransportError::Closed) => {
+                    released = true;
+                    break;
+                }
+                _ => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        assert!(released, "peer never saw the release");
+        fab.shutdown();
+    }
+}

@@ -1,0 +1,150 @@
+//! The [`Connection`] trait implemented by every NCS communication
+//! interface.
+
+use std::time::Duration;
+
+/// Static properties of a communication interface, consulted by NCS when
+/// configuring a connection (e.g. SCI is reliable, so the flow-/error-
+/// control threads are bypassed — paper §3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Interface family name ("SCI", "ACI", "HPI", "PIPE").
+    pub interface: &'static str,
+    /// Frames are never lost or corrupted.
+    pub reliable: bool,
+    /// Frames arrive in transmission order (all four interfaces here are
+    /// ordered; kept explicit because NCS's go-back-N assumes it).
+    pub ordered: bool,
+    /// Largest frame accepted by [`Connection::send`].
+    pub max_frame: usize,
+}
+
+/// Errors surfaced by transport operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer closed the connection (or it was closed locally).
+    Closed,
+    /// A timed receive expired.
+    Timeout,
+    /// Frame exceeds [`Capabilities::max_frame`].
+    TooLarge {
+        /// Offered frame length.
+        len: usize,
+        /// Interface maximum.
+        max: usize,
+    },
+    /// Empty frames cannot be sent.
+    Empty,
+    /// Underlying I/O failure (SCI only).
+    Io(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "connection closed"),
+            TransportError::Timeout => write!(f, "receive timed out"),
+            TransportError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds interface maximum {max}")
+            }
+            TransportError::Empty => write!(f, "empty frames cannot be sent"),
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                TransportError::Timeout
+            }
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionAborted => TransportError::Closed,
+            _ => TransportError::Io(e.to_string()),
+        }
+    }
+}
+
+/// A frame-oriented, bidirectional transport endpoint.
+///
+/// Implementations differ in reliability and cost (see [`Capabilities`]);
+/// NCS composes its flow-/error-control threads on top accordingly.
+pub trait Connection: Send + Sync + std::fmt::Debug {
+    /// The interface's static properties.
+    fn caps(&self) -> Capabilities;
+
+    /// Transmits one frame. May block (SCI with a full kernel buffer —
+    /// which, under the user-level thread package, stalls the whole
+    /// process, the effect measured in Figure 10).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::TooLarge`]/[`TransportError::Empty`] for invalid
+    /// frames, [`TransportError::Closed`] after either side closed.
+    fn send(&self, frame: &[u8]) -> Result<(), TransportError>;
+
+    /// Receives the next frame, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] once the peer closed and all queued
+    /// frames were drained.
+    fn recv(&self) -> Result<Vec<u8>, TransportError>;
+
+    /// Receives with a deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] if nothing arrived in time, otherwise as
+    /// [`Connection::recv`].
+    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, TransportError>;
+
+    /// Non-blocking receive; `Ok(None)` when no frame is queued.
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::recv`].
+    fn try_recv(&self) -> Result<Option<Vec<u8>>, TransportError>;
+
+    /// Closes the connection. Idempotent. Queued inbound frames remain
+    /// receivable; subsequent sends fail with [`TransportError::Closed`].
+    fn close(&self);
+
+    /// Diagnostic label of the remote endpoint.
+    fn peer_label(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_error_mapping() {
+        use std::io::{Error, ErrorKind};
+        assert_eq!(
+            TransportError::from(Error::new(ErrorKind::TimedOut, "t")),
+            TransportError::Timeout
+        );
+        assert_eq!(
+            TransportError::from(Error::new(ErrorKind::BrokenPipe, "b")),
+            TransportError::Closed
+        );
+        assert!(matches!(
+            TransportError::from(Error::other("x")),
+            TransportError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(TransportError::TooLarge { len: 10, max: 5 }
+            .to_string()
+            .contains("10"));
+        assert!(!TransportError::Closed.to_string().is_empty());
+    }
+}

@@ -1,0 +1,428 @@
+//! SCI — the Socket Communication Interface: real TCP with length-prefix
+//! framing.
+//!
+//! TCP provides flow and error control in the kernel, so NCS configures SCI
+//! connections without its own flow-/error-control threads (paper §3.1:
+//! "the `NCS_send()` and `NCS_recv()` primitives bypass the Flow Control
+//! Thread and Error Control Thread"). SCI is the portability interface: it
+//! runs on anything with sockets.
+//!
+//! For the user-level thread package the paper implements receives with
+//! non-blocking system calls plus `thread_yield()`; [`SciConnection::set_yield_hook`]
+//! enables exactly that mode.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::iface::{Capabilities, Connection, TransportError};
+
+/// Largest frame SCI accepts (sanity bound; TCP itself is a stream).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Inbound reassembly state: raw bytes accumulate here until at least one
+/// complete length-prefixed frame is available.
+#[derive(Debug, Default)]
+struct ReadBuf {
+    buf: Vec<u8>,
+}
+
+impl ReadBuf {
+    /// Pops one complete frame if buffered.
+    fn pop_frame(&mut self) -> Option<Vec<u8>> {
+        if self.buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if self.buf.len() < 4 + len {
+            return None;
+        }
+        let frame = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Some(frame)
+    }
+}
+
+/// A TCP-backed NCS connection.
+pub struct SciConnection {
+    writer: Mutex<TcpStream>,
+    reader: Mutex<(TcpStream, ReadBuf)>,
+    closed: AtomicBool,
+    peer: SocketAddr,
+    yield_hook: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for SciConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SciConnection")
+            .field("peer", &self.peer)
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SciConnection {
+    fn from_stream(stream: TcpStream) -> Result<Self, TransportError> {
+        stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
+        let reader = stream.try_clone()?;
+        Ok(SciConnection {
+            writer: Mutex::new(stream),
+            reader: Mutex::new((reader, ReadBuf::default())),
+            closed: AtomicBool::new(false),
+            peer,
+            yield_hook: Mutex::new(None),
+        })
+    }
+
+    /// Switches receives to non-blocking polling, invoking `hook` between
+    /// polls — the paper's user-level-package receive discipline
+    /// (`NCS_thread_yield()` while no data is pending).
+    pub fn set_yield_hook(&self, hook: Option<Arc<dyn Fn() + Send + Sync>>) {
+        *self.yield_hook.lock() = hook;
+    }
+
+    fn recv_deadline(&self, deadline: Option<Instant>) -> Result<Vec<u8>, TransportError> {
+        let hook = self.yield_hook.lock().clone();
+        let mut guard = self.reader.lock();
+        let (stream, rb) = &mut *guard;
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            if let Some(frame) = rb.pop_frame() {
+                return Ok(frame);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return Err(TransportError::Closed);
+            }
+            if let Some(hook) = &hook {
+                // Non-blocking poll + cooperative yield.
+                stream.set_nonblocking(true)?;
+                let r = stream.read(&mut chunk);
+                stream.set_nonblocking(false)?;
+                match r {
+                    Ok(0) => return Err(TransportError::Closed),
+                    Ok(n) => rb.buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if let Some(d) = deadline {
+                            if Instant::now() >= d {
+                                return Err(TransportError::Timeout);
+                            }
+                        }
+                        hook();
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            } else {
+                // Blocking read with optional timeout.
+                let timeout = match deadline {
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Err(TransportError::Timeout);
+                        }
+                        Some(d - now)
+                    }
+                    None => None,
+                };
+                stream.set_read_timeout(timeout)?;
+                match stream.read(&mut chunk) {
+                    Ok(0) => return Err(TransportError::Closed),
+                    Ok(n) => rb.buf.extend_from_slice(&chunk[..n]),
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        return Err(TransportError::Timeout);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+    }
+}
+
+impl Connection for SciConnection {
+    fn caps(&self) -> Capabilities {
+        Capabilities {
+            interface: "SCI",
+            reliable: true,
+            ordered: true,
+            max_frame: MAX_FRAME,
+        }
+    }
+
+    fn send(&self, frame: &[u8]) -> Result<(), TransportError> {
+        if frame.is_empty() {
+            return Err(TransportError::Empty);
+        }
+        if frame.len() > MAX_FRAME {
+            return Err(TransportError::TooLarge {
+                len: frame.len(),
+                max: MAX_FRAME,
+            });
+        }
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        let mut w = self.writer.lock();
+        w.write_all(&(frame.len() as u32).to_be_bytes())?;
+        w.write_all(frame)?;
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Vec<u8>, TransportError> {
+        self.recv_deadline(None)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        self.recv_deadline(Some(Instant::now() + timeout))
+    }
+
+    fn try_recv(&self) -> Result<Option<Vec<u8>>, TransportError> {
+        let mut guard = self.reader.lock();
+        let (stream, rb) = &mut *guard;
+        if let Some(frame) = rb.pop_frame() {
+            return Ok(Some(frame));
+        }
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        // Drain whatever the kernel has buffered, without blocking.
+        let mut chunk = [0u8; 64 * 1024];
+        stream.set_nonblocking(true)?;
+        let outcome = loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break Err(TransportError::Closed),
+                Ok(n) => rb.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break Ok(()),
+                Err(e) => break Err(e.into()),
+            }
+        };
+        stream.set_nonblocking(false)?;
+        match outcome {
+            Ok(()) => Ok(rb.pop_frame()),
+            Err(TransportError::Closed) => match rb.pop_frame() {
+                Some(f) => Ok(Some(f)),
+                None => Err(TransportError::Closed),
+            },
+            Err(e) => Err(e),
+        }
+    }
+
+    fn close(&self) {
+        if !self.closed.swap(true, Ordering::AcqRel) {
+            let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    fn peer_label(&self) -> String {
+        format!("sci:{}", self.peer)
+    }
+}
+
+impl Drop for SciConnection {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// A TCP listener producing [`SciConnection`]s.
+#[derive(Debug)]
+pub struct SciListener {
+    listener: TcpListener,
+}
+
+impl SciListener {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: &str) -> Result<Self, TransportError> {
+        Ok(SciListener {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound local address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> Result<SocketAddr, TransportError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Accepts one inbound connection (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn accept(&self) -> Result<SciConnection, TransportError> {
+        let (stream, _) = self.listener.accept()?;
+        SciConnection::from_stream(stream)
+    }
+
+    /// Accepts one inbound connection, polling until `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] when nothing arrived in time; otherwise
+    /// propagates socket errors.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<SciConnection, TransportError> {
+        let deadline = Instant::now() + timeout;
+        self.listener.set_nonblocking(true)?;
+        let result = loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => break Ok(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        break Err(TransportError::Timeout);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => break Err(e.into()),
+            }
+        };
+        self.listener.set_nonblocking(false)?;
+        let stream = result?;
+        stream.set_nonblocking(false)?;
+        SciConnection::from_stream(stream)
+    }
+}
+
+/// Connects to a listening SCI endpoint.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn connect(addr: SocketAddr) -> Result<SciConnection, TransportError> {
+    let stream = TcpStream::connect(addr)?;
+    SciConnection::from_stream(stream)
+}
+
+/// Creates a connected SCI pair over loopback (convenience for tests and
+/// single-machine experiments).
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn loopback_pair() -> Result<(SciConnection, SciConnection), TransportError> {
+    let listener = SciListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let t = std::thread::spawn(move || connect(addr));
+    let server = listener.accept()?;
+    let client = t.join().expect("connect thread panicked")?;
+    Ok((client, server))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_round_trip() {
+        let (a, b) = loopback_pair().unwrap();
+        a.send(b"over tcp").unwrap();
+        assert_eq!(b.recv().unwrap(), b"over tcp");
+        b.send(b"reply").unwrap();
+        assert_eq!(a.recv().unwrap(), b"reply");
+    }
+
+    #[test]
+    fn large_frames_and_batching() {
+        let (a, b) = loopback_pair().unwrap();
+        let big: Vec<u8> = (0..200_000).map(|i| (i % 255) as u8).collect();
+        let big2 = big.clone();
+        let t = std::thread::spawn(move || {
+            a.send(&big2).unwrap();
+            a.send(b"tail").unwrap();
+            a
+        });
+        assert_eq!(b.recv().unwrap(), big);
+        assert_eq!(b.recv().unwrap(), b"tail");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn many_small_frames_keep_boundaries() {
+        let (a, b) = loopback_pair().unwrap();
+        for i in 0..100u32 {
+            a.send(&i.to_be_bytes()).unwrap();
+        }
+        for i in 0..100u32 {
+            assert_eq!(b.recv().unwrap(), i.to_be_bytes());
+        }
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_a, b) = loopback_pair().unwrap();
+        let start = Instant::now();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(50)),
+            Err(TransportError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn try_recv_polls() {
+        let (a, b) = loopback_pair().unwrap();
+        assert_eq!(b.try_recv().unwrap(), None);
+        a.send(b"x").unwrap();
+        // Loopback delivery is fast but not instantaneous.
+        let mut got = None;
+        for _ in 0..100 {
+            if let Some(f) = b.try_recv().unwrap() {
+                got = Some(f);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(got.unwrap(), b"x");
+    }
+
+    #[test]
+    fn close_surfaces_to_peer() {
+        let (a, b) = loopback_pair().unwrap();
+        a.close();
+        assert_eq!(b.recv(), Err(TransportError::Closed));
+        assert_eq!(a.send(b"x"), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn yield_hook_mode_receives_frames() {
+        let (a, b) = loopback_pair().unwrap();
+        let yields = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let y2 = Arc::clone(&yields);
+        b.set_yield_hook(Some(Arc::new(move || {
+            y2.fetch_add(1, Ordering::Relaxed);
+            std::thread::yield_now();
+        })));
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            a.send(b"late frame").unwrap();
+            a
+        });
+        assert_eq!(b.recv().unwrap(), b"late frame");
+        assert!(yields.load(Ordering::Relaxed) > 0, "hook must have yielded");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn empty_frame_rejected() {
+        let (a, _b) = loopback_pair().unwrap();
+        assert_eq!(a.send(b""), Err(TransportError::Empty));
+    }
+
+    #[test]
+    fn peer_label_mentions_sci() {
+        let (a, _b) = loopback_pair().unwrap();
+        assert!(a.peer_label().starts_with("sci:"));
+    }
+}

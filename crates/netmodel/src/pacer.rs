@@ -1,0 +1,213 @@
+//! Delay injection with debt accumulation and time scaling.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Minimum wall-clock sleep worth issuing; smaller debts accumulate.
+const MIN_SLEEP: Duration = Duration::from_micros(20);
+
+/// OS sleep overshoot guard: `thread::sleep` on a busy Linux box can
+/// overshoot by a millisecond (timer slack), which time-scaled experiments
+/// amplify badly. Sleep short, then spin the remainder.
+const SLEEP_SLACK: Duration = Duration::from_micros(1500);
+
+/// Waits `d` of wall time accurately: coarse sleep for the bulk, busy-wait
+/// for the final stretch.
+pub fn precise_wait(d: Duration) {
+    let deadline = std::time::Instant::now() + d;
+    if d > SLEEP_SLACK {
+        std::thread::sleep(d - SLEEP_SLACK);
+    }
+    while std::time::Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+/// Charges modelled costs as (scaled) wall-clock delays.
+///
+/// Model time `d` costs `d * time_scale` of wall time. Debt below the sleep
+/// granularity accumulates atomically and is paid in batches, so charging
+/// many microsecond-scale costs stays accurate without `sleep` overhead
+/// dominating.
+///
+/// A pacer is shared by all threads of one modelled endpoint; each charge is
+/// paid by the calling thread (concurrent threads each pay their own debt,
+/// which matches distinct CPUs *not* being modelled — the 1998 hosts were
+/// uniprocessors, but NCS's protocol threads serialise on the connection
+/// pipeline anyway).
+#[derive(Debug)]
+pub struct Pacer {
+    /// Wall seconds per model second.
+    time_scale: f64,
+    /// Accumulated unpaid wall-clock debt, in nanoseconds.
+    debt_nanos: AtomicU64,
+}
+
+impl Pacer {
+    /// A pacer with the given wall-per-model time scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `time_scale` is finite and non-negative. A scale of 0
+    /// disables pacing entirely (costs are recorded nowhere).
+    pub fn new(time_scale: f64) -> Self {
+        assert!(
+            time_scale.is_finite() && time_scale >= 0.0,
+            "time scale must be finite and non-negative"
+        );
+        Pacer {
+            time_scale,
+            debt_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// A pacer that injects no delays (modern-platform experiments).
+    pub fn disabled() -> Self {
+        Pacer::new(0.0)
+    }
+
+    /// The configured wall-per-model scale.
+    pub fn time_scale(&self) -> f64 {
+        self.time_scale
+    }
+
+    /// Charges a model-time cost, sleeping if accumulated debt is due.
+    pub fn charge(&self, model_cost: Duration) {
+        if self.time_scale == 0.0 || model_cost.is_zero() {
+            return;
+        }
+        let wall = model_cost.mul_f64(self.time_scale);
+        let due = self
+            .debt_nanos
+            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed)
+            + wall.as_nanos() as u64;
+        if due >= MIN_SLEEP.as_nanos() as u64 {
+            // Claim the whole debt and pay it.
+            let claimed = self.debt_nanos.swap(0, Ordering::Relaxed);
+            if claimed > 0 {
+                precise_wait(Duration::from_nanos(claimed));
+            }
+        }
+    }
+
+    /// Charges `per_byte * bytes` of model time.
+    pub fn charge_per_byte(&self, per_byte: Duration, bytes: usize) {
+        if self.time_scale == 0.0 || per_byte.is_zero() || bytes == 0 {
+            return;
+        }
+        let nanos = per_byte.as_nanos() as u64 * bytes as u64;
+        self.charge(Duration::from_nanos(nanos));
+    }
+
+    /// Forces any accumulated debt to be paid now (end of a measured
+    /// region).
+    pub fn settle(&self) {
+        let claimed = self.debt_nanos.swap(0, Ordering::Relaxed);
+        if claimed > 0 && self.time_scale > 0.0 {
+            precise_wait(Duration::from_nanos(claimed));
+        }
+    }
+}
+
+/// Converts measured wall time back to model time for reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelClock {
+    start: Instant,
+    time_scale: f64,
+}
+
+impl ModelClock {
+    /// Starts a clock under the given wall-per-model scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `time_scale` is finite and positive.
+    pub fn start(time_scale: f64) -> Self {
+        assert!(
+            time_scale.is_finite() && time_scale > 0.0,
+            "time scale must be positive"
+        );
+        ModelClock {
+            start: Instant::now(),
+            time_scale,
+        }
+    }
+
+    /// Model time elapsed since [`ModelClock::start`].
+    pub fn elapsed_model(&self) -> Duration {
+        self.start.elapsed().div_f64(self.time_scale)
+    }
+
+    /// Converts an externally measured wall duration to model time.
+    pub fn to_model(&self, wall: Duration) -> Duration {
+        wall.div_f64(self.time_scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_pacer_never_sleeps() {
+        let p = Pacer::disabled();
+        let start = Instant::now();
+        for _ in 0..10_000 {
+            p.charge(Duration::from_millis(10));
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn charges_accumulate_to_scaled_wall_time() {
+        let p = Pacer::new(0.5); // wall = half of model
+        let start = Instant::now();
+        for _ in 0..100 {
+            p.charge(Duration::from_micros(100)); // 10 ms model total
+        }
+        p.settle();
+        let wall = start.elapsed();
+        assert!(wall >= Duration::from_millis(4), "wall {wall:?}");
+        assert!(wall < Duration::from_millis(60), "wall {wall:?}");
+    }
+
+    #[test]
+    fn charge_per_byte_scales_with_length() {
+        let p = Pacer::new(1.0);
+        let start = Instant::now();
+        p.charge_per_byte(Duration::from_nanos(100), 50_000); // 5 ms model
+        p.settle();
+        assert!(start.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn small_charges_batch_instead_of_sleeping_each_time() {
+        let p = Pacer::new(1.0);
+        let start = Instant::now();
+        // 100 x 1 us = 100 us model: a single batched sleep at most.
+        for _ in 0..100 {
+            p.charge(Duration::from_micros(1));
+        }
+        // Without batching this would cost >= 100 sleep syscalls (~5+ ms).
+        assert!(start.elapsed() < Duration::from_millis(5));
+        p.settle();
+    }
+
+    #[test]
+    fn model_clock_converts_back() {
+        let c = ModelClock::start(0.001);
+        std::thread::sleep(Duration::from_millis(2));
+        // 2 ms wall at 0.001 wall-per-model = 2 s model.
+        assert!(c.elapsed_model() >= Duration::from_secs(1));
+        assert_eq!(
+            c.to_model(Duration::from_millis(1)),
+            Duration::from_secs(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "time scale must be")]
+    fn invalid_scale_rejected() {
+        let _ = Pacer::new(f64::NAN);
+    }
+}

@@ -1,0 +1,69 @@
+//! # NCS — the NYNET Communication System
+//!
+//! A comprehensive Rust reproduction of *"A Multithreaded Message-Passing
+//! System for High Performance Distributed Computing Applications"*
+//! (Park, Lee & Hariri, ICDCS 1998), including every substrate the paper
+//! depends on:
+//!
+//! * [`core`] — the NCS runtime itself: separated control/data planes,
+//!   per-connection Send/Receive/Flow-Control/Error-Control threads,
+//!   selectable algorithms (credit/window/rate flow control;
+//!   selective-repeat/go-back-N error control), group communication and
+//!   the §4.2 thread-bypass mode;
+//! * [`threads`] — the two thread-package architectures of §4.1: a
+//!   from-scratch user-level green-thread scheduler (QuickThreads
+//!   analogue, hand-written x86_64 context switch) and a kernel-level
+//!   package;
+//! * [`atm`] — a from-scratch ATM network simulator (53-byte cells, AAL5,
+//!   VCI-swapping switches, signaling, fault injection) standing in for
+//!   the NYNET testbed;
+//! * [`transport`] — the three application communication interfaces:
+//!   SCI (sockets), ACI (native ATM) and HPI ("Trap"), plus a modelled
+//!   1998 kernel-socket pipe;
+//! * [`model`] — calibrated SUN-4 / RS6000 platform cost models;
+//! * [`comparators`] — working miniature p4, PVM and MPI implementations
+//!   for the paper's Figures 12/13.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ncs::core::{NcsNode, ConnectionConfig};
+//! use ncs::core::link::HpiLinkPair;
+//!
+//! let alice = NcsNode::builder("alice").build();
+//! let bob = NcsNode::builder("bob").build();
+//! let (la, lb) = HpiLinkPair::create();
+//! alice.attach_peer("bob", la);
+//! bob.attach_peer("alice", lb);
+//!
+//! let tx = alice.connect("bob", ConnectionConfig::reliable())?;
+//! let rx = bob.accept_default()?;
+//! tx.send(b"hello")?;
+//! assert_eq!(rx.recv()?, b"hello");
+//! # alice.shutdown(); bob.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+
+#![warn(missing_docs)]
+
+/// The NCS core runtime (re-export of [`ncs_core`]).
+pub use ncs_core as core;
+
+/// Thread packages and package-aware synchronisation (re-export of
+/// [`ncs_threads`]).
+pub use ncs_threads as threads;
+
+/// The ATM network simulator (re-export of [`atm_sim`]).
+pub use atm_sim as atm;
+
+/// Communication interfaces (re-export of [`ncs_transport`]).
+pub use ncs_transport as transport;
+
+/// Platform cost models (re-export of [`netmodel`]).
+pub use netmodel as model;
+
+/// The comparator message-passing systems (re-export of [`baselines`]).
+pub use baselines as comparators;
