@@ -32,7 +32,10 @@ impl std::fmt::Display for SegmentError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SegmentError::TooLarge(n) => {
-                write!(f, "frame of {n} bytes exceeds the AAL5 maximum of {MAX_FRAME}")
+                write!(
+                    f,
+                    "frame of {n} bytes exceeds the AAL5 maximum of {MAX_FRAME}"
+                )
             }
             SegmentError::Empty => write!(f, "empty frames cannot be segmented"),
         }
@@ -170,9 +173,11 @@ impl Reassembler {
         if crc_found != crc_calc {
             return Err(ReassemblyError::CrcMismatch);
         }
-        let claimed =
-            u16::from_be_bytes(pdu[pdu.len() - 6..pdu.len() - 4].try_into().expect("2 bytes"))
-                as usize;
+        let claimed = u16::from_be_bytes(
+            pdu[pdu.len() - 6..pdu.len() - 4]
+                .try_into()
+                .expect("2 bytes"),
+        ) as usize;
         let max_payload = pdu.len() - TRAILER;
         // Valid padding is 0..=47 bytes: the claimed length must fit in the
         // PDU and must need exactly this many cells.

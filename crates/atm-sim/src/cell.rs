@@ -67,7 +67,10 @@ impl std::fmt::Display for DecodeCellError {
         match self {
             DecodeCellError::WrongLength(n) => write!(f, "cell must be 53 bytes, got {n}"),
             DecodeCellError::HecMismatch { found, expected } => {
-                write!(f, "HEC mismatch: found {found:#04x}, expected {expected:#04x}")
+                write!(
+                    f,
+                    "HEC mismatch: found {found:#04x}, expected {expected:#04x}"
+                )
             }
         }
     }

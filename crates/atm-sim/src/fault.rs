@@ -136,9 +136,7 @@ mod tests {
     #[test]
     fn loss_rate_is_approximately_honored() {
         let mut p = FaultProcess::new(FaultSpec::cell_loss(0.2, 42));
-        let drops = (0..10_000)
-            .filter(|_| p.next_fate() == Fate::Drop)
-            .count();
+        let drops = (0..10_000).filter(|_| p.next_fate() == Fate::Drop).count();
         assert!((1600..2400).contains(&drops), "drops={drops}");
     }
 

@@ -439,7 +439,9 @@ impl Network {
         if self.nodes[dest.0 as usize].as_host().is_none() {
             return Err(AtmError::NotAHost(dest));
         }
-        let path_links = self.route(origin, dest).ok_or(AtmError::NoRoute(origin, dest))?;
+        let path_links = self
+            .route(origin, dest)
+            .ok_or(AtmError::NoRoute(origin, dest))?;
         let ticket = SetupTicket(self.next_ticket);
         self.next_ticket += 1;
 
@@ -498,7 +500,10 @@ impl Network {
         let h = self.nodes[host.0 as usize]
             .as_host_mut()
             .ok_or(AtmError::NotAHost(host))?;
-        let hc = h.conns.get_mut(&conn).ok_or(AtmError::UnknownConn(host, conn))?;
+        let hc = h
+            .conns
+            .get_mut(&conn)
+            .ok_or(AtmError::UnknownConn(host, conn))?;
         if hc.state != ConnState::Active {
             return Err(AtmError::NotActive(conn));
         }
@@ -542,7 +547,10 @@ impl Network {
             let h = self.nodes[host.0 as usize]
                 .as_host_mut()
                 .ok_or(AtmError::NotAHost(host))?;
-            let hc = h.conns.get_mut(&conn).ok_or(AtmError::UnknownConn(host, conn))?;
+            let hc = h
+                .conns
+                .get_mut(&conn)
+                .ok_or(AtmError::UnknownConn(host, conn))?;
             if hc.state != ConnState::Active {
                 return Err(AtmError::NotActive(conn));
             }
@@ -591,10 +599,8 @@ impl Network {
                     .get(&cell.vc.vci)
                     .and_then(|c| host.conns.get(c))
                     .and_then(|hc| hc.qos.peak_cell_rate);
-                if let Some(rate) = pcr {
-                    if rate > 0 {
-                        interval = interval.max(Duration::from_nanos(1_000_000_000 / rate));
-                    }
+                if let Some(ns) = pcr.and_then(|rate| 1_000_000_000u64.checked_div(rate)) {
+                    interval = interval.max(Duration::from_nanos(ns));
                 }
             }
         }
@@ -1012,11 +1018,16 @@ impl Network {
 /// Derives a distinct fault seed for each link direction from the configured
 /// per-link seed.
 fn seeded_fault(base: &crate::fault::FaultSpec, dir: u64) -> crate::fault::FaultSpec {
+    // Full SplitMix64 finalizer: a plain `seed * K + dir` leaves the two
+    // direction streams linearly related, which lets low-probability fault
+    // processes stay correlated (or pathologically quiet) for small seeds.
+    let mut z = base
+        .seed
+        .wrapping_add((dir + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     crate::fault::FaultSpec {
-        seed: base
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(dir),
+        seed: z ^ (z >> 31),
         ..base.clone()
     }
 }

@@ -50,7 +50,9 @@ impl PumpConfig {
     /// Panics if `x` is not finite and positive.
     pub fn speedup(x: f64) -> Self {
         assert!(x.is_finite() && x > 0.0, "speedup must be positive");
-        PumpConfig { time_scale: 1.0 / x }
+        PumpConfig {
+            time_scale: 1.0 / x,
+        }
     }
 }
 

@@ -87,7 +87,10 @@ impl std::fmt::Display for TopologyError {
             TopologyError::DuplicateName(n) => write!(f, "duplicate node name '{n}'"),
             TopologyError::UnknownNode(n) => write!(f, "link references unknown node '{n}'"),
             TopologyError::HostMultiHomed(n) => {
-                write!(f, "host '{n}' has more than one link (hosts are single-homed)")
+                write!(
+                    f,
+                    "host '{n}' has more than one link (hosts are single-homed)"
+                )
             }
             TopologyError::HostUnlinked(n) => write!(f, "host '{n}' has no link"),
             TopologyError::SelfLink(n) => write!(f, "node '{n}' linked to itself"),
@@ -200,7 +203,7 @@ impl NetworkBuilder {
                 .node_id(&l.b)
                 .ok_or_else(|| TopologyError::UnknownNode(l.b.clone()))?;
             net.add_link(a, b, l.spec.clone())
-                .map_err(|name| TopologyError::HostMultiHomed(name))?;
+                .map_err(TopologyError::HostMultiHomed)?;
         }
         net.check_hosts_linked()
             .map_err(TopologyError::HostUnlinked)?;
@@ -255,7 +258,10 @@ mod tests {
     #[test]
     fn unlinked_host_rejected() {
         let err = NetworkBuilder::new().host("lonely").build();
-        assert_eq!(err.unwrap_err(), TopologyError::HostUnlinked("lonely".into()));
+        assert_eq!(
+            err.unwrap_err(),
+            TopologyError::HostUnlinked("lonely".into())
+        );
     }
 
     #[test]

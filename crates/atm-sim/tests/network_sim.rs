@@ -84,7 +84,8 @@ fn both_directions_work() {
         .iter()
         .any(|e| matches!(e, NetEvent::Frame { frame, .. } if frame.as_slice() == b"ping")));
     // Reply on the reverse direction of the same VC.
-    net.send_frame(vc.peer, vc.peer_conn, b"pong".to_vec()).unwrap();
+    net.send_frame(vc.peer, vc.peer_conn, b"pong".to_vec())
+        .unwrap();
     let events = net.run_for_millis(50);
     assert!(events.iter().any(|e| matches!(
         e,
@@ -143,11 +144,15 @@ fn back_to_back_frames_queue_at_line_rate() {
 #[test]
 fn pcr_shaping_slows_delivery() {
     let mut unshaped = star();
-    let t1 = unshaped.open_vc("a", "b", QosParams::unspecified()).unwrap();
+    let t1 = unshaped
+        .open_vc("a", "b", QosParams::unspecified())
+        .unwrap();
     unshaped.run_for_millis(10);
     let vc1 = unshaped.established(t1).unwrap();
     let base = unshaped.now();
-    unshaped.send_frame(vc1.local, vc1.conn, vec![1u8; 4800]).unwrap();
+    unshaped
+        .send_frame(vc1.local, vc1.conn, vec![1u8; 4800])
+        .unwrap();
     let ev = unshaped.run_for_millis(2000);
     let unshaped_latency = ev
         .iter()
@@ -163,7 +168,9 @@ fn pcr_shaping_slows_delivery() {
     shaped.run_for_millis(10);
     let vc2 = shaped.established(t2).unwrap();
     let base = shaped.now();
-    shaped.send_frame(vc2.local, vc2.conn, vec![1u8; 4800]).unwrap();
+    shaped
+        .send_frame(vc2.local, vc2.conn, vec![1u8; 4800])
+        .unwrap();
     let ev = shaped.run_for_millis(2000);
     let shaped_latency = ev
         .iter()
@@ -184,7 +191,11 @@ fn cell_loss_surfaces_as_frame_errors() {
         .host("a")
         .host("b")
         .switch("sw")
-        .link("a", "sw", LinkSpec::oc3().with_fault(FaultSpec::cell_loss(0.05, 1234)))
+        .link(
+            "a",
+            "sw",
+            LinkSpec::oc3().with_fault(FaultSpec::cell_loss(0.05, 1234)),
+        )
         .link("b", "sw", LinkSpec::oc3())
         .build()
         .unwrap();
@@ -214,7 +225,11 @@ fn bit_errors_fail_crc_but_deliver_headers() {
         .host("a")
         .host("b")
         .switch("sw")
-        .link("a", "sw", LinkSpec::oc3().with_fault(FaultSpec::bit_error(1.0, 7)))
+        .link(
+            "a",
+            "sw",
+            LinkSpec::oc3().with_fault(FaultSpec::bit_error(1.0, 7)),
+        )
         .link("b", "sw", LinkSpec::oc3())
         .build()
         .unwrap();
@@ -252,7 +267,8 @@ fn congestion_drops_when_queue_tiny() {
     net.run_for_millis(10);
     let vc = net.established(ticket).unwrap();
     for _ in 0..20 {
-        net.send_frame(vc.local, vc.conn, vec![1u8; 16 * 1024]).unwrap();
+        net.send_frame(vc.local, vc.conn, vec![1u8; 16 * 1024])
+            .unwrap();
     }
     net.run_for_millis(5000);
     assert!(
@@ -281,14 +297,13 @@ fn multi_switch_route_works() {
     net.run_for_millis(100);
     let vc = net.established(ticket).unwrap();
     let t0 = net.now();
-    net.send_frame(vc.local, vc.conn, b"across the wan".to_vec()).unwrap();
+    net.send_frame(vc.local, vc.conn, b"across the wan".to_vec())
+        .unwrap();
     let events = net.run_for_millis(100);
     let at = events
         .iter()
         .find_map(|e| match e {
-            NetEvent::Frame { at, frame, .. } if frame.as_slice() == b"across the wan" => {
-                Some(*at)
-            }
+            NetEvent::Frame { at, frame, .. } if frame.as_slice() == b"across the wan" => Some(*at),
             _ => None,
         })
         .expect("frame must cross 3 switches");
@@ -317,16 +332,21 @@ fn vcis_differ_per_link_segment() {
     let v1 = net.established(t1).unwrap();
     let v2 = net.established(t2).unwrap();
     let v3 = net.established(t3).unwrap();
-    net.send_frame(v1.local, v1.conn, b"to-b-from-a".to_vec()).unwrap();
-    net.send_frame(v2.local, v2.conn, b"to-c-from-a".to_vec()).unwrap();
-    net.send_frame(v3.local, v3.conn, b"to-b-from-c".to_vec()).unwrap();
+    net.send_frame(v1.local, v1.conn, b"to-b-from-a".to_vec())
+        .unwrap();
+    net.send_frame(v2.local, v2.conn, b"to-c-from-a".to_vec())
+        .unwrap();
+    net.send_frame(v3.local, v3.conn, b"to-b-from-c".to_vec())
+        .unwrap();
     let events = net.run_for_millis(100);
     let by_host = |name: &str, body: &[u8]| {
         let id = net.node_id(name).unwrap();
-        events.iter().any(|e| matches!(
-            e,
-            NetEvent::Frame { host, frame, .. } if *host == id && frame.as_slice() == body
-        ))
+        events.iter().any(|e| {
+            matches!(
+                e,
+                NetEvent::Frame { host, frame, .. } if *host == id && frame.as_slice() == body
+            )
+        })
     };
     assert!(by_host("b", b"to-b-from-a"));
     assert!(by_host("c", b"to-c-from-a"));
@@ -399,7 +419,11 @@ fn determinism_same_seed_same_outcome() {
             .host("a")
             .host("b")
             .switch("sw")
-            .link("a", "sw", LinkSpec::oc3().with_fault(FaultSpec::cell_loss(0.02, 99)))
+            .link(
+                "a",
+                "sw",
+                LinkSpec::oc3().with_fault(FaultSpec::cell_loss(0.02, 99)),
+            )
             .link("b", "sw", LinkSpec::oc3())
             .build()
             .unwrap();
@@ -407,7 +431,8 @@ fn determinism_same_seed_same_outcome() {
         net.run_for_millis(10);
         let vc = net.established(t).unwrap();
         for i in 0..30 {
-            net.send_frame(vc.local, vc.conn, vec![i as u8; 4096]).unwrap();
+            net.send_frame(vc.local, vc.conn, vec![i as u8; 4096])
+                .unwrap();
         }
         net.run_for_millis(1000);
         net.stats()
@@ -498,7 +523,8 @@ fn pump_delivers_frames_in_real_time() {
     };
     assert_eq!(peer, b);
 
-    pump.send_frame(a, conn, b"realtime hello".to_vec()).unwrap();
+    pump.send_frame(a, conn, b"realtime hello".to_vec())
+        .unwrap();
     let frame = collector
         .wait_for(
             |e| matches!(e, NetEvent::Frame { frame, .. } if frame.as_slice() == b"realtime hello"),

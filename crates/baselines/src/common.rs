@@ -5,8 +5,8 @@
 
 use std::sync::Arc;
 
-use netmodel::{Pacer, PlatformProfile};
 use ncs_transport::{Connection, TransportError};
+use netmodel::{Pacer, PlatformProfile};
 
 /// Errors from baseline system operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -159,9 +159,7 @@ impl CostedTransport {
     ///
     /// Propagates transport failures.
     pub fn recv(&self) -> Result<Vec<u8>, SystemError> {
-        let frame = self
-            .conn
-            .recv_timeout(std::time::Duration::from_secs(60))?;
+        let frame = self.conn.recv_timeout(std::time::Duration::from_secs(60))?;
         let p = &self.spec.local;
         self.spec.pacer.charge(p.recv_op);
         self.spec

@@ -75,8 +75,7 @@ impl MpiEndpoint {
 
     fn pack(&self, data: &[u8]) -> (u8, Vec<u8>) {
         if self.hetero {
-            self.transport
-                .charge_xdr(data.len(), MPI_PACK_INEFFICIENCY);
+            self.transport.charge_xdr(data.len(), MPI_PACK_INEFFICIENCY);
             let mut enc = XdrEncoder::new();
             enc.put_opaque(data);
             (1, enc.finish())
@@ -88,8 +87,7 @@ impl MpiEndpoint {
 
     fn unpack(&self, packed: u8, body: &[u8]) -> Result<Vec<u8>, SystemError> {
         if packed == 1 {
-            self.transport
-                .charge_xdr(body.len(), MPI_PACK_INEFFICIENCY);
+            self.transport.charge_xdr(body.len(), MPI_PACK_INEFFICIENCY);
             let mut dec = XdrDecoder::new(body);
             dec.get_opaque()
                 .map_err(|e| SystemError::Protocol(e.to_string()))
@@ -110,10 +108,7 @@ impl MpiEndpoint {
         f
     }
 
-    fn parse<'a>(
-        &self,
-        frame: &'a [u8],
-    ) -> Result<(u8, u32, u8, &'a [u8]), SystemError> {
+    fn parse<'a>(&self, frame: &'a [u8]) -> Result<(u8, u32, u8, &'a [u8]), SystemError> {
         if frame.len() < 11 || frame[0] != MAGIC {
             return Err(SystemError::Protocol("bad mpi frame".to_owned()));
         }
@@ -130,11 +125,7 @@ impl MpiEndpoint {
 
     /// Handles one incoming frame while the receiver is inside `recv(tag)`.
     /// Returns the payload if it completed the wanted message.
-    fn absorb(
-        &mut self,
-        frame: &[u8],
-        wanted: u32,
-    ) -> Result<Option<Vec<u8>>, SystemError> {
+    fn absorb(&mut self, frame: &[u8], wanted: u32) -> Result<Option<Vec<u8>>, SystemError> {
         let (kind, tag, packed, body) = self.parse(frame)?;
         match kind {
             KIND_EAGER | KIND_DATA => {

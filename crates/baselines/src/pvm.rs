@@ -106,8 +106,7 @@ impl PvmEndpoint {
         };
         match use_xdr {
             true => {
-                self.transport
-                    .charge_xdr(data.len(), PVM_XDR_EFFICIENCY);
+                self.transport.charge_xdr(data.len(), PVM_XDR_EFFICIENCY);
                 frame.push(1);
                 let mut enc = XdrEncoder::new();
                 enc.put_opaque(data);
@@ -130,8 +129,7 @@ impl PvmEndpoint {
         let body = &frame[6..];
         match frame[5] {
             1 => {
-                self.transport
-                    .charge_xdr(body.len(), PVM_XDR_EFFICIENCY);
+                self.transport.charge_xdr(body.len(), PVM_XDR_EFFICIENCY);
                 let mut dec = XdrDecoder::new(body);
                 let data = dec
                     .get_opaque()

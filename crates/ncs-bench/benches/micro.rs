@@ -24,30 +24,22 @@ fn bench_aal5(c: &mut Criterion) {
     for size in [4096usize, 65535] {
         let frame = vec![0x3Cu8; size];
         g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(
-            BenchmarkId::new("segment", size),
-            &frame,
-            |b, frame| {
-                b.iter(|| atm_sim::aal5::segment(vc, black_box(frame)).unwrap());
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("segment", size), &frame, |b, frame| {
+            b.iter(|| atm_sim::aal5::segment(vc, black_box(frame)).unwrap());
+        });
         let cells = atm_sim::aal5::segment(vc, &frame).unwrap();
-        g.bench_with_input(
-            BenchmarkId::new("reassemble", size),
-            &cells,
-            |b, cells| {
-                b.iter(|| {
-                    let mut r = atm_sim::aal5::Reassembler::new();
-                    let mut out = None;
-                    for cell in cells {
-                        if let Some(done) = r.push(black_box(cell)) {
-                            out = Some(done);
-                        }
+        g.bench_with_input(BenchmarkId::new("reassemble", size), &cells, |b, cells| {
+            b.iter(|| {
+                let mut r = atm_sim::aal5::Reassembler::new();
+                let mut out = None;
+                for cell in cells {
+                    if let Some(done) = r.push(black_box(cell)) {
+                        out = Some(done);
                     }
-                    out.unwrap().unwrap()
-                });
-            },
-        );
+                }
+                out.unwrap().unwrap()
+            });
+        });
     }
     g.finish();
 }

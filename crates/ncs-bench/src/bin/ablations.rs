@@ -67,7 +67,8 @@ fn atm_pair_wan(
         .link(
             "a",
             "sw",
-            base.clone().with_fault(FaultSpec::cell_loss(cell_loss, seed)),
+            base.clone()
+                .with_fault(FaultSpec::cell_loss(cell_loss, seed)),
         )
         .link("b", "sw", base)
         .build()
@@ -123,8 +124,7 @@ fn ablation_sdu_size(rounds: usize) {
     );
     let message: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 251) as u8).collect();
     for sdu in [1024usize, 4096, 16384, 49152] {
-        let (fabric, a, b, tx, rx) =
-            atm_pair(0.0005, 11, 16.0, reliable_with_sdu(sdu));
+        let (fabric, a, b, tx, rx) = atm_pair(0.0005, 11, 16.0, reliable_with_sdu(sdu));
         let avg = transfer(&tx, &rx, &message, rounds);
         let s = tx.stats();
         println!(
@@ -231,12 +231,14 @@ fn ablation_pvm_xdr(iters: usize, time_scale: f64) {
             pacer: Arc::clone(&pacer),
         };
         let (ca, cb) = ncs_transport::pipe::pair(ncs_bench::atm_wire(time_scale));
-        let mut client =
-            PvmEndpoint::with_options(Box::new(ca), spec(&sun), enc, PvmRoute::Direct);
-        let server =
-            PvmEndpoint::with_options(Box::new(cb), spec(&sun), enc, PvmRoute::Direct);
-        let avg = ncs_bench::echo_roundtrip(&mut client, Box::new(server), 32 * 1024, iters, time_scale);
-        println!("{label:>9}: {:.2} model ms per round trip", avg.as_secs_f64() * 1e3);
+        let mut client = PvmEndpoint::with_options(Box::new(ca), spec(&sun), enc, PvmRoute::Direct);
+        let server = PvmEndpoint::with_options(Box::new(cb), spec(&sun), enc, PvmRoute::Direct);
+        let avg =
+            ncs_bench::echo_roundtrip(&mut client, Box::new(server), 32 * 1024, iters, time_scale);
+        println!(
+            "{label:>9}: {:.2} model ms per round trip",
+            avg.as_secs_f64() * 1e3
+        );
     }
     println!("-> the PVM 3.3 format negotiation is worth ~2x on large same-format messages");
 }

@@ -116,8 +116,7 @@ fn main() {
     );
     for &size in FIG10_SIZES {
         let (w, l, i) = (wire.clone(), load, iters);
-        let user_avg =
-            user_runtime().run(move |pkg| run_pass(Arc::new(pkg), size, i, l, w));
+        let user_avg = user_runtime().run(move |pkg| run_pass(Arc::new(pkg), size, i, l, w));
         let kernel_avg = run_pass(
             Arc::new(ncs_threads::KernelPackage::new()),
             size,

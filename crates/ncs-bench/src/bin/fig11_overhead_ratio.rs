@@ -88,10 +88,7 @@ fn main() {
         "Figure 11 reproduction: NCS send cost ratio to native send \
          (modelled SUN-4 interface, time_scale={time_scale}, iters={iters})"
     );
-    println!(
-        "{:>10}{:>16}{:>16}",
-        "size", "user-level", "kernel-level"
-    );
+    println!("{:>10}{:>16}{:>16}", "size", "user-level", "kernel-level");
     for &size in FIG10_SIZES {
         let native = native_send(size, iters, time_scale);
         let user = UserRuntime::new(UserConfig {

@@ -8,9 +8,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ncs_bench::{
-    build_pair, echo_roundtrip, env_f64, env_usize, print_table, System, FIG12_SIZES,
-};
+use ncs_bench::{build_pair, echo_roundtrip, env_f64, env_usize, print_table, System, FIG12_SIZES};
 use netmodel::PlatformProfile;
 
 fn main() {

@@ -280,7 +280,7 @@ pub fn print_table(title: &str, sizes: &[usize], columns: &[(String, Vec<Duratio
 
 /// Human-readable size label ("1", "4K", "64K").
 pub fn human_size(bytes: usize) -> String {
-    if bytes >= 1024 && bytes % 1024 == 0 {
+    if bytes >= 1024 && bytes.is_multiple_of(1024) {
         format!("{}K", bytes / 1024)
     } else {
         bytes.to_string()
@@ -294,7 +294,9 @@ pub fn compute_load(dur: Duration) {
     let mut x = 0u64;
     while start.elapsed() < dur {
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
         }
         std::hint::black_box(x);
     }

@@ -299,8 +299,7 @@ impl ConnectionConfig {
         let flow_control = match take(&mut at, 1)?[0] {
             0 => FlowControlAlg::None,
             1 => {
-                let initial_credits =
-                    u32::from_be_bytes(take(&mut at, 4)?.try_into().expect("4"));
+                let initial_credits = u32::from_be_bytes(take(&mut at, 4)?.try_into().expect("4"));
                 let dynamic = take(&mut at, 1)?[0] != 0;
                 FlowControlAlg::CreditBased {
                     initial_credits,
@@ -311,8 +310,7 @@ impl ConnectionConfig {
                 window: u32::from_be_bytes(take(&mut at, 4)?.try_into().expect("4")),
             },
             3 => {
-                let packets_per_sec =
-                    u32::from_be_bytes(take(&mut at, 4)?.try_into().expect("4"));
+                let packets_per_sec = u32::from_be_bytes(take(&mut at, 4)?.try_into().expect("4"));
                 let burst = u32::from_be_bytes(take(&mut at, 4)?.try_into().expect("4"));
                 FlowControlAlg::RateBased {
                     packets_per_sec,

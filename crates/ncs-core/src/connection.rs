@@ -9,11 +9,12 @@
 //!    Control Thread;
 //! 3. the FC thread releases packets to the Send Thread as credits permit;
 //! 4. the Send Thread transmits on the data connection;
-//! 5-8. on the receive side the Receive Thread activates the FC thread,
-//!    which grants credits over the control connection and activates the
-//!    EC thread;
-//! 9-10. the EC thread reassembles, delivers into the user buffer and sends
-//!    the acknowledgement bitmap over the control connection.
+//! 5. *(figure steps 5-8)* on the receive side the Receive Thread activates
+//!    the FC thread, which grants credits over the control connection and
+//!    activates the EC thread;
+//! 6. *(figure steps 9-10)* the EC thread reassembles, delivers into the
+//!    user buffer and sends the acknowledgement bitmap over the control
+//!    connection.
 //!
 //! When a connection is configured without flow/error control the threads
 //! are bypassed (paper §3.1); in *direct* mode (§4.2) no per-connection
@@ -115,10 +116,7 @@ impl Completion {
         if !self.done.wait_timeout(timeout) {
             return Err(SendError::Timeout);
         }
-        self.result
-            .lock()
-            .clone()
-            .unwrap_or(Err(SendError::Closed))
+        self.result.lock().clone().unwrap_or(Err(SendError::Closed))
     }
 }
 
@@ -348,12 +346,9 @@ impl ConnShared {
     /// Learns the peer's connection id from an incoming data packet (covers
     /// the window where data outruns the control-plane accept).
     pub(crate) fn note_peer_conn(&self, src: u32) {
-        let _ = self.peer_conn.compare_exchange(
-            u32::MAX,
-            src,
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        );
+        let _ = self
+            .peer_conn
+            .compare_exchange(u32::MAX, src, Ordering::AcqRel, Ordering::Relaxed);
     }
 
     /// Segments `data` into SDU packets for `session`.
@@ -619,10 +614,7 @@ fn fc_thread(shared: &ConnShared) {
         // Starvation probe: feedback can be lost on an unreliable control
         // path; rather than stall forever, trickle one packet out so the
         // receiver's grants resume.
-        if n == 0
-            && !pending.is_empty()
-            && last_progress.elapsed() >= FC_STARVATION_PROBE
-        {
+        if n == 0 && !pending.is_empty() && last_progress.elapsed() >= FC_STARVATION_PROBE {
             n = 1;
         }
         if n > 0 {
@@ -667,12 +659,7 @@ fn ec_send_thread(shared: &ConnShared) {
             .counters
             .messages_sent
             .fetch_add(1, Ordering::Relaxed);
-        let result = run_send_session(
-            shared,
-            strategy.as_mut(),
-            &packets,
-            &mut backlog,
-        );
+        let result = run_send_session(shared, strategy.as_mut(), &packets, &mut backlog);
         if let Err(e) = &result {
             shared.fail(e.clone());
         }
@@ -1016,8 +1003,7 @@ impl NcsConnection {
             match self.shared.delivery.recv_timeout(IDLE_TICK) {
                 Ok(m) => return Ok(m),
                 Err(_) => {
-                    if self.shared.closed.load(Ordering::Acquire)
-                        && self.shared.delivery.is_empty()
+                    if self.shared.closed.load(Ordering::Acquire) && self.shared.delivery.is_empty()
                     {
                         return Err(SendError::Closed);
                     }
@@ -1074,9 +1060,7 @@ impl NcsConnection {
     pub fn send_direct(&self, data: &[u8]) -> Result<(), SendError> {
         self.check_sendable(data)?;
         let mut engine_slot = self.shared.direct_send.lock();
-        let engine = engine_slot
-            .as_mut()
-            .ok_or(SendError::WrongMode("direct"))?;
+        let engine = engine_slot.as_mut().ok_or(SendError::WrongMode("direct"))?;
         let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
         let packets = self.shared.segment(session, data);
         self.shared
@@ -1198,9 +1182,7 @@ impl NcsConnection {
     /// [`SendError::Timeout`] if no message completed in time.
     pub fn recv_direct(&self, timeout: Duration) -> Result<Vec<u8>, SendError> {
         let mut engine_slot = self.shared.direct_recv.lock();
-        let engine = engine_slot
-            .as_mut()
-            .ok_or(SendError::WrongMode("direct"))?;
+        let engine = engine_slot.as_mut().ok_or(SendError::WrongMode("direct"))?;
         let deadline = Instant::now() + timeout;
         let mut current_session: Option<u32> = None;
         loop {
@@ -1229,7 +1211,10 @@ impl NcsConnection {
                         "go-back-n" => AckInfo::Cumulative(h.seq + 1),
                         _ => AckInfo::Bitmap(crate::seq::AckBitmap::all_received(h.seq + 1)),
                     };
-                    self.shared.counters.acks_sent.fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .counters
+                        .acks_sent
+                        .fetch_add(1, Ordering::Relaxed);
                     self.shared
                         .ctrl_tx
                         .send(make_ack_msg(&self.shared, h.session, ack));
@@ -1264,7 +1249,10 @@ impl NcsConnection {
                 ReceiverStep::Continue => (None, None),
             };
             if let Some(a) = ack {
-                self.shared.counters.acks_sent.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .counters
+                    .acks_sent
+                    .fetch_add(1, Ordering::Relaxed);
                 self.shared
                     .ctrl_tx
                     .send(make_ack_msg(&self.shared, h.session, a));

@@ -218,10 +218,7 @@ mod tests {
         };
         assert_eq!(b.missing(), vec![1]);
         // Sender retransmits exactly the missing SDU.
-        assert_eq!(
-            tx.on_ack(AckInfo::Bitmap(b)),
-            SenderStep::Transmit(vec![1])
-        );
+        assert_eq!(tx.on_ack(AckInfo::Bitmap(b)), SenderStep::Transmit(vec![1]));
         // Retransmission arrives; message completes and is acknowledged
         // cleanly.
         match rx.on_packet(1, false, payload(1)) {

@@ -35,8 +35,7 @@ impl RateBased {
     fn refill(&mut self, now: Instant) {
         if let Some(last) = self.last_refill {
             let dt = now.duration_since(last).as_secs_f64();
-            self.tokens =
-                (self.tokens + dt * self.packets_per_sec as f64).min(self.burst as f64);
+            self.tokens = (self.tokens + dt * self.packets_per_sec as f64).min(self.burst as f64);
         }
         self.last_refill = Some(now);
     }

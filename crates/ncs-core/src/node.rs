@@ -12,9 +12,7 @@ use ncs_transport::{Connection as Transport, TransportError};
 use parking_lot::Mutex;
 
 use crate::config::{ConfigError, ConnectionConfig};
-use crate::connection::{
-    dispatch_ctrl, spawn_connection_threads, ConnShared, NcsConnection,
-};
+use crate::connection::{dispatch_ctrl, spawn_connection_threads, ConnShared, NcsConnection};
 use crate::control::{spawn_cr, spawn_cs};
 use crate::link::PeerLink;
 use crate::packet::{CtrlMsg, Hello};
@@ -366,12 +364,7 @@ fn ensure_ctrl_tx(
     inner: &Arc<NodeInner>,
     peer: &str,
 ) -> Result<Arc<Mailbox<CtrlMsg>>, ConnectError> {
-    if let Some(tx) = inner
-        .peers
-        .lock()
-        .get(peer)
-        .and_then(|s| s.ctrl_tx.clone())
-    {
+    if let Some(tx) = inner.peers.lock().get(peer).and_then(|s| s.ctrl_tx.clone()) {
         return Ok(tx);
     }
     let link = {
@@ -541,13 +534,8 @@ fn master_thread(inner: &Arc<NodeInner>) {
                     continue;
                 };
                 let conn_id = inner.next_conn.fetch_add(1, Ordering::Relaxed);
-                let shared = ConnShared::new(
-                    conn_id,
-                    peer,
-                    config,
-                    transport,
-                    Arc::clone(&ctrl_tx),
-                );
+                let shared =
+                    ConnShared::new(conn_id, peer, config, transport, Arc::clone(&ctrl_tx));
                 shared.mark_established(initiator_conn);
                 inner
                     .accepted_index
@@ -560,9 +548,7 @@ fn master_thread(inner: &Arc<NodeInner>) {
                     initiator_conn,
                     acceptor_conn: conn_id,
                 });
-                inner
-                    .pending_accepts
-                    .send(NcsConnection::new(shared));
+                inner.pending_accepts.send(NcsConnection::new(shared));
             }
             Ok(MasterMsg::CtrlAccept {
                 initiator_conn,

@@ -451,7 +451,10 @@ mod tests {
                 session: 4,
                 next_expected: 17,
             },
-            CtrlMsg::Credit { conn: 5, credits: 8 },
+            CtrlMsg::Credit {
+                conn: 5,
+                credits: 8,
+            },
             CtrlMsg::OpenConn {
                 initiator_conn: 9,
                 config: ConnectionConfig::reliable(),

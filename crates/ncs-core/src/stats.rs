@@ -139,13 +139,37 @@ impl SendBreakdown {
 
 impl std::fmt::Display for SendBreakdown {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "NCS_send() entry/exit      {:>10.2?}", self.fn_entry_exit)?;
-        writeln!(f, "Attach message header      {:>10.2?}", self.header_attach)?;
-        writeln!(f, "Queue message request      {:>10.2?}", self.queue_request)?;
-        writeln!(f, "Ctx switch -> Send Thread  {:>10.2?}", self.ctx_switch_to_send)?;
-        writeln!(f, "Dequeue message request    {:>10.2?}", self.dequeue_request)?;
+        writeln!(
+            f,
+            "NCS_send() entry/exit      {:>10.2?}",
+            self.fn_entry_exit
+        )?;
+        writeln!(
+            f,
+            "Attach message header      {:>10.2?}",
+            self.header_attach
+        )?;
+        writeln!(
+            f,
+            "Queue message request      {:>10.2?}",
+            self.queue_request
+        )?;
+        writeln!(
+            f,
+            "Ctx switch -> Send Thread  {:>10.2?}",
+            self.ctx_switch_to_send
+        )?;
+        writeln!(
+            f,
+            "Dequeue message request    {:>10.2?}",
+            self.dequeue_request
+        )?;
         writeln!(f, "Free message buffer        {:>10.2?}", self.free_buffer)?;
-        writeln!(f, "Ctx switch -> NCS_send     {:>10.2?}", self.ctx_switch_back)?;
+        writeln!(
+            f,
+            "Ctx switch -> NCS_send     {:>10.2?}",
+            self.ctx_switch_back
+        )?;
         writeln!(
             f,
             "Session overhead           {:>10.2?} ({:.0} %)",

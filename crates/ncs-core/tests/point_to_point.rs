@@ -8,8 +8,7 @@ use std::time::Duration;
 
 use ncs_core::link::HpiLinkPair;
 use ncs_core::{
-    ConnectionConfig, ErrorControlAlg, FlowControlAlg, MulticastAlgo, NcsGroup, NcsNode,
-    SendError,
+    ConnectionConfig, ErrorControlAlg, FlowControlAlg, MulticastAlgo, NcsGroup, NcsNode, SendError,
 };
 
 /// Builds two linked nodes over HPI.
@@ -37,9 +36,15 @@ fn reliable_default_round_trip() {
     let (a, b) = linked_nodes(256);
     let (ca, cb) = connect_pair(&a, &b, ConnectionConfig::reliable());
     ca.send_sync(b"hello ncs").unwrap();
-    assert_eq!(cb.recv_timeout(Duration::from_secs(5)).unwrap(), b"hello ncs");
+    assert_eq!(
+        cb.recv_timeout(Duration::from_secs(5)).unwrap(),
+        b"hello ncs"
+    );
     cb.send_sync(b"hello back").unwrap();
-    assert_eq!(ca.recv_timeout(Duration::from_secs(5)).unwrap(), b"hello back");
+    assert_eq!(
+        ca.recv_timeout(Duration::from_secs(5)).unwrap(),
+        b"hello back"
+    );
     a.shutdown();
     b.shutdown();
 }
@@ -219,10 +224,7 @@ fn send_errors_for_bad_messages() {
     let (a, b) = linked_nodes(64);
     let (ca, _cb) = connect_pair(&a, &b, ConnectionConfig::reliable());
     assert_eq!(ca.send(b""), Err(SendError::Empty));
-    assert!(matches!(
-        ca.send_direct(b"x"),
-        Err(SendError::WrongMode(_))
-    ));
+    assert!(matches!(ca.send_direct(b"x"), Err(SendError::WrongMode(_))));
     a.shutdown();
     b.shutdown();
 }

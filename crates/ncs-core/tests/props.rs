@@ -4,9 +4,7 @@
 use std::time::Duration;
 
 use ncs_core::config::{ConnectionConfig, ErrorControlAlg, FlowControlAlg};
-use ncs_core::error_control::{
-    build_receiver, build_sender, ReceiverStep, SenderStep,
-};
+use ncs_core::error_control::{build_receiver, build_sender, ReceiverStep, SenderStep};
 use ncs_core::packet::{CtrlMsg, DataHeader, DataPacket, Hello};
 use ncs_core::seq::AckBitmap;
 use proptest::prelude::*;

@@ -114,7 +114,10 @@ mod tests {
         let drained = inj.drain();
         assert_eq!(drained.len(), 2);
         assert!(matches!(drained[0], Inject::Nudge));
-        assert!(matches!(drained[1], Inject::Wake(TcbId(7), WakeReason::Normal)));
+        assert!(matches!(
+            drained[1],
+            Inject::Wake(TcbId(7), WakeReason::Normal)
+        ));
         assert!(inj.drain().is_empty());
     }
 

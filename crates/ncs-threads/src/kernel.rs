@@ -66,9 +66,8 @@ impl ThreadPackage for KernelPackage {
                 match result {
                     Ok(()) => completer.complete(None),
                     Err(payload) => {
-                        completer.complete(Some(JoinError::Panicked(panic_message(
-                            payload.as_ref(),
-                        ))));
+                        completer
+                            .complete(Some(JoinError::Panicked(panic_message(payload.as_ref()))));
                     }
                 }
             })

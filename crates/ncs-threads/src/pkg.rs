@@ -297,7 +297,10 @@ mod tests {
         let payload: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
         assert_eq!(panic_message(payload.as_ref()), "owned");
         let payload: Box<dyn std::any::Any + Send> = Box::new(77u8);
-        assert_eq!(panic_message(payload.as_ref()), "<non-string panic payload>");
+        assert_eq!(
+            panic_message(payload.as_ref()),
+            "<non-string panic payload>"
+        );
     }
 
     #[test]

@@ -84,7 +84,9 @@ pub(crate) fn current_green_name() -> Option<String> {
 /// Panics if called from outside a green thread.
 pub(crate) fn green_block() -> WakeReason {
     let ctx = with_green(GreenCtx::clone).expect("green_block outside green thread");
-    ctx.counters.blocks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    ctx.counters
+        .blocks
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     match ctx.mech {
         MechKind::Native => {
             {
@@ -121,7 +123,9 @@ pub(crate) fn green_yield() {
         std::thread::yield_now();
         return;
     };
-    ctx.counters.yields.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    ctx.counters
+        .yields
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     match ctx.mech {
         MechKind::Native => {
             ctx.tcb.shared.lock().state = RunState::Ready;
@@ -143,7 +147,10 @@ pub(crate) fn green_yield() {
 pub(crate) fn green_sleep(dur: Duration) {
     let waker = current_green_waker().expect("green_sleep outside green thread");
     let injector = Arc::clone(&waker.injector);
-    injector.push(Inject::Timer(Instant::now() + dur, TimerAction::Wake(waker)));
+    injector.push(Inject::Timer(
+        Instant::now() + dur,
+        TimerAction::Wake(waker),
+    ));
     let _ = green_block();
 }
 
@@ -153,8 +160,8 @@ pub(crate) fn register_sem_timeout(
     sem: std::sync::Weak<crate::sync::SemInner>,
     token: u64,
 ) {
-    let injector = with_green(|g| Arc::clone(&g.injector))
-        .expect("register_sem_timeout outside green thread");
+    let injector =
+        with_green(|g| Arc::clone(&g.injector)).expect("register_sem_timeout outside green thread");
     injector.push(Inject::Timer(at, TimerAction::SemTimeout { sem, token }));
 }
 

@@ -49,7 +49,9 @@ impl PackageStats {
     /// promises no panics).
     pub fn since(&self, earlier: &PackageStats) -> PackageStats {
         PackageStats {
-            context_switches: self.context_switches.saturating_sub(earlier.context_switches),
+            context_switches: self
+                .context_switches
+                .saturating_sub(earlier.context_switches),
             yields: self.yields.saturating_sub(earlier.yields),
             blocks: self.blocks.saturating_sub(earlier.blocks),
             spawns: self.spawns.saturating_sub(earlier.spawns),

@@ -71,7 +71,10 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for NcsMutex<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.try_lock() {
             Some(g) => f.debug_struct("NcsMutex").field("value", &&*g).finish(),
-            None => f.debug_struct("NcsMutex").field("value", &"<locked>").finish(),
+            None => f
+                .debug_struct("NcsMutex")
+                .field("value", &"<locked>")
+                .finish(),
         }
     }
 }

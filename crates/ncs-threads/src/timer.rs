@@ -118,9 +118,18 @@ mod tests {
     fn pops_in_deadline_order() {
         let mut q = TimerQueue::new();
         let base = Instant::now();
-        q.register(base + Duration::from_millis(30), TimerAction::Wake(waker(3)));
-        q.register(base + Duration::from_millis(10), TimerAction::Wake(waker(1)));
-        q.register(base + Duration::from_millis(20), TimerAction::Wake(waker(2)));
+        q.register(
+            base + Duration::from_millis(30),
+            TimerAction::Wake(waker(3)),
+        );
+        q.register(
+            base + Duration::from_millis(10),
+            TimerAction::Wake(waker(1)),
+        );
+        q.register(
+            base + Duration::from_millis(20),
+            TimerAction::Wake(waker(2)),
+        );
 
         let due = q.pop_due(base + Duration::from_millis(25));
         let ids: Vec<u64> = due

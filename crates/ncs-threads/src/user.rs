@@ -103,11 +103,12 @@ impl UserRuntime {
                 }
             }
             SwitchMech::Native => {
-                assert!(
-                    NATIVE_SWITCH_AVAILABLE,
-                    "native context switching is unavailable on this target; \
-                     use SwitchMech::Portable"
-                );
+                if !NATIVE_SWITCH_AVAILABLE {
+                    panic!(
+                        "native context switching is unavailable on this target; \
+                         use SwitchMech::Portable"
+                    );
+                }
                 MechKind::Native
             }
             SwitchMech::Portable => MechKind::Portable,
@@ -124,8 +125,7 @@ impl UserRuntime {
             inner: Arc::clone(&inner),
         };
         let pkg_for_primary = pkg.clone();
-        let primary: TypedJoinHandle<R> =
-            pkg.spawn_typed("primary", move || f(pkg_for_primary));
+        let primary: TypedJoinHandle<R> = pkg.spawn_typed("primary", move || f(pkg_for_primary));
         let mut core = SchedulerCore::new(
             Arc::clone(&inner.injector),
             Arc::clone(&inner.counters),
@@ -186,19 +186,16 @@ impl ThreadPackage for UserPackage {
             completer.complete(Some(JoinError::RuntimeShutdown));
             return handle;
         }
-        self.inner
-            .counters
-            .spawns
-            .fetch_add(1, Ordering::Relaxed);
+        self.inner.counters.spawns.fetch_add(1, Ordering::Relaxed);
         let id = TcbId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
         let stack = opts.stack_size_bytes().unwrap_or(self.inner.stack_size);
         let body: Box<dyn FnOnce() + Send> = Box::new(move || {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
             match result {
                 Ok(()) => completer.complete(None),
-                Err(payload) => completer.complete(Some(JoinError::Panicked(panic_message(
-                    payload.as_ref(),
-                )))),
+                Err(payload) => {
+                    completer.complete(Some(JoinError::Panicked(panic_message(payload.as_ref()))))
+                }
             }
         });
         let tcb = Tcb::new(id, opts.name().to_owned(), opts.is_daemon(), stack, body);

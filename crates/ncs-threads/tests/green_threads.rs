@@ -8,8 +8,8 @@ use std::time::{Duration, Instant};
 
 use ncs_threads::sync::{Event, Mailbox, NcsMutex, Semaphore};
 use ncs_threads::{
-    JoinError, PackageKind, SpawnOptions, SwitchMech, ThreadPackage, ThreadPackageExt,
-    UserConfig, UserPackage, UserRuntime,
+    JoinError, PackageKind, SpawnOptions, SwitchMech, ThreadPackage, ThreadPackageExt, UserConfig,
+    UserPackage, UserRuntime,
 };
 
 fn runtime(mech: SwitchMech) -> UserRuntime {
@@ -335,9 +335,8 @@ fn deep_call_stacks_fit_in_default_stack() {
             pad[0] + recurse(n - 1)
         }
     }
-    let v = runtime(SwitchMech::Native).run(|pkg| {
-        pkg.spawn_typed("deep", || recurse(1000)).join().unwrap()
-    });
+    let v = runtime(SwitchMech::Native)
+        .run(|pkg| pkg.spawn_typed("deep", || recurse(1000)).join().unwrap());
     assert_eq!(v, (1..=1000).sum::<u32>());
 }
 

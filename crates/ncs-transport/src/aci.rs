@@ -13,8 +13,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use atm_sim::{
-    AtmError, ConnId, DeliverySink, NetEvent, Network, NodeId, PumpConfig, QosParams,
-    RealTimePump, SetupTicket,
+    AtmError, ConnId, DeliverySink, NetEvent, Network, NodeId, PumpConfig, QosParams, RealTimePump,
+    SetupTicket,
 };
 use ncs_threads::sync::{Event, Mailbox};
 use parking_lot::Mutex;
@@ -231,8 +231,11 @@ impl AciDevice {
             self.fabric.registry.setups.lock().remove(&ticket);
             return Err(TransportError::Timeout);
         }
-        let (host, conn, _peer, _peer_conn) =
-            pending.result.lock().take().expect("fired setup has result");
+        let (host, conn, _peer, _peer_conn) = pending
+            .result
+            .lock()
+            .take()
+            .expect("fired setup has result");
         let boxed = self
             .fabric
             .registry
@@ -367,8 +370,7 @@ impl Connection for AciConnection {
         match self.inbound.frames.recv_timeout(timeout) {
             Ok(f) => Ok(f),
             Err(_) => {
-                if self.inbound.released.load(Ordering::Acquire) && self.inbound.frames.is_empty()
-                {
+                if self.inbound.released.load(Ordering::Acquire) && self.inbound.frames.is_empty() {
                     Err(TransportError::Closed)
                 } else {
                     Err(TransportError::Timeout)

@@ -225,10 +225,7 @@ mod tests {
         let (a, _b) = pair_default();
         assert_eq!(a.send(b""), Err(TransportError::Empty));
         let big = vec![0u8; MAX_FRAME + 1];
-        assert!(matches!(
-            a.send(&big),
-            Err(TransportError::TooLarge { .. })
-        ));
+        assert!(matches!(a.send(&big), Err(TransportError::TooLarge { .. })));
     }
 
     #[test]

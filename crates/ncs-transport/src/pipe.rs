@@ -17,8 +17,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use netmodel::{Pacer, PlatformProfile};
 use ncs_threads::sync::Mailbox;
+use netmodel::{Pacer, PlatformProfile};
 use parking_lot::{Condvar, Mutex};
 
 use crate::iface::{Capabilities, Connection, TransportError};

@@ -199,10 +199,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(2));
         // 2 ms wall at 0.001 wall-per-model = 2 s model.
         assert!(c.elapsed_model() >= Duration::from_secs(1));
-        assert_eq!(
-            c.to_model(Duration::from_millis(1)),
-            Duration::from_secs(1)
-        );
+        assert_eq!(c.to_model(Duration::from_millis(1)), Duration::from_secs(1));
     }
 
     #[test]

@@ -44,8 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .enumerate()
         .map(|(rank, (node, links))| {
             Arc::new(
-                NcsGroup::new(node, 7, rank, links, MulticastAlgo::SpanningTree)
-                    .expect("group"),
+                NcsGroup::new(node, 7, rank, links, MulticastAlgo::SpanningTree).expect("group"),
             )
         })
         .collect();
@@ -65,11 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let t = Instant::now();
                 let mut partial: u64 = 0;
                 for x in 0..std::hint::black_box(200_000u64) {
-                    partial = std::hint::black_box(
-                        partial.wrapping_add(
+                    partial =
+                        std::hint::black_box(partial.wrapping_add(
                             x.wrapping_mul(rank as u64 + 1).wrapping_add(round as u64),
-                        ),
-                    );
+                        ));
                 }
                 compute_time += t.elapsed();
                 // Multicast it (the runtime's threads take it from here)...
@@ -89,9 +87,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     let (_, bytes) = group
                         .recv_timeout(Duration::from_secs(10))
                         .expect("partial");
-                    total = total.wrapping_add(u64::from_be_bytes(
-                        bytes[..8].try_into().expect("8 bytes"),
-                    ));
+                    total = total
+                        .wrapping_add(u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes")));
                 }
                 // Round barrier.
                 group.barrier(Duration::from_secs(10)).expect("barrier");

@@ -72,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nselective repeat at work: {} packets sent, {} were retransmissions, {} acks received",
         s.packets_sent, s.retransmissions, s.acks_received
     );
-    assert!(s.retransmissions > 0, "a lossy link must force retransmissions");
+    assert!(
+        s.retransmissions > 0,
+        "a lossy link must force retransmissions"
+    );
     println!("network counters: {}", fabric.stats());
 
     // The unreliable counterpart: same wire, no error control.

@@ -38,8 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n3 = NcsNode::builder("n3").build();
     let dev2 = Arc::new(fabric.device("n2")?);
     let dev3 = Arc::new(fabric.device("n3")?);
-    n2.attach_peer("n3", AciLink::new(Arc::clone(&dev2), "n3", QosParams::unspecified()));
-    n3.attach_peer("n2", AciLink::new(Arc::clone(&dev3), "n2", QosParams::unspecified()));
+    n2.attach_peer(
+        "n3",
+        AciLink::new(Arc::clone(&dev2), "n3", QosParams::unspecified()),
+    );
+    n3.attach_peer(
+        "n2",
+        AciLink::new(Arc::clone(&dev3), "n2", QosParams::unspecified()),
+    );
 
     // Inter-cluster bridge: SCI (TCP over loopback) between n0 and n2.
     let listener0 = Arc::new(SciListener::bind("127.0.0.1:0")?);
@@ -91,9 +97,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         c23.send_sync(&forward).expect("forward to n3");
         let own_sum = decode_sum(&own);
         let n3_sum = u64::from_be_bytes(
-            c23.recv().expect("n3 sum")[..8].try_into().expect("8 bytes"),
+            c23.recv().expect("n3 sum")[..8]
+                .try_into()
+                .expect("8 bytes"),
         );
-        w2.send_sync(&(own_sum + n3_sum).to_be_bytes()).expect("n2 reply");
+        w2.send_sync(&(own_sum + n3_sum).to_be_bytes())
+            .expect("n2 reply");
     });
 
     // Coordinator distributes and gathers.
@@ -105,7 +114,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster2_sum = u64::from_be_bytes(c02.recv()?[..8].try_into()?);
     let total = local_sum + n1_sum + cluster2_sum;
 
-    println!("interfaces used: n0-n1 {}, n0-n2 {}, n2-n3 ACI", c01.interface(), c02.interface());
+    println!(
+        "interfaces used: n0-n1 {}, n0-n2 {}, n2-n3 ACI",
+        c01.interface(),
+        c02.interface()
+    );
     println!("distributed sum = {total} (expected {expect})");
     assert_eq!(total, expect);
 

@@ -1,0 +1,245 @@
+//! A vendored, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a small wall-clock harness exposing the criterion surface the `ncs-bench`
+//! micro-benchmarks use: [`Criterion::bench_function`], benchmark groups
+//! with [`Throughput`] and [`BenchmarkId`], `Bencher::iter` /
+//! `Bencher::iter_custom`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple: each benchmark is warmed up briefly,
+//! then timed over enough iterations to fill a fixed measurement window; the
+//! mean per-iteration time (and derived throughput) is printed. There is no
+//! HTML report and no outlier analysis — the point is a dependency-free
+//! `cargo bench` that produces comparable numbers run-over-run.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring one benchmark.
+const MEASUREMENT_WINDOW: Duration = Duration::from_millis(300);
+/// Target wall-clock time spent warming one benchmark.
+const WARMUP_WINDOW: Duration = Duration::from_millis(50);
+
+/// The benchmark manager. One instance is threaded through every
+/// `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id), self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Throughput basis for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// Drives the timed section of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, keeping each return value alive until
+    /// after the clock stops.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the benchmark time itself: `f` receives the iteration count and
+    /// returns the total elapsed time for exactly that many iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, f: &mut F) {
+    // Warmup: discover a per-iteration cost estimate.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut per_iter = loop {
+        f(&mut b);
+        let cost = b.elapsed.max(Duration::from_nanos(1)) / (b.iters as u32).max(1);
+        if warm_start.elapsed() >= WARMUP_WINDOW {
+            break cost;
+        }
+        b.iters = (b.iters * 2).min(1 << 20);
+    };
+    if per_iter.is_zero() {
+        per_iter = Duration::from_nanos(1);
+    }
+
+    // Measurement: one timed batch sized to fill the window.
+    let target = (MEASUREMENT_WINDOW.as_nanos() / per_iter.as_nanos().max(1)).max(1);
+    b.iters = target.min(u64::MAX as u128) as u64;
+    f(&mut b);
+    let mean = b.elapsed.as_nanos() as f64 / b.iters as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(
+            "  {:>10.1} MiB/s",
+            n as f64 / (mean * 1e-9) / (1024.0 * 1024.0)
+        ),
+        Throughput::Elements(n) => format!("  {:>10.1} Melem/s", n as f64 / (mean * 1e-9) / 1e6),
+    });
+    println!(
+        "bench: {name:<44} {:>12.1} ns/iter ({} iters){}",
+        mean,
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Groups benchmark functions under one callable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main()` running the given groups. Accepts and ignores harness
+/// arguments (`--bench`, filters) that cargo passes.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` executes bench targets with `--test`: nothing to
+            // run, exit quickly and successfully.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

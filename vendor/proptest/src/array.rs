@@ -1,0 +1,35 @@
+//! Fixed-size array strategies (`proptest::array::uniform32`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+macro_rules! uniform_array {
+    ($($fn_name:ident => $n:literal),* $(,)?) => {$(
+        /// Generates a fixed-size array where every element comes from
+        /// `element`.
+        pub fn $fn_name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray { element }
+        }
+    )*};
+}
+
+uniform_array! {
+    uniform4 => 4,
+    uniform8 => 8,
+    uniform16 => 16,
+    uniform32 => 32,
+    uniform64 => 64,
+}
+
+/// Strategy returned by the `uniformN` constructors.
+#[derive(Debug, Clone)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}

@@ -1,0 +1,210 @@
+//! A vendored, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! the slice of proptest that the NCS property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`] / [`prop_oneof!`],
+//! * [`strategy::Strategy`] with `prop_map` and `boxed`,
+//! * `any::<T>()`, `Just`, integer range strategies, tuple strategies,
+//!   `proptest::collection::vec`, `proptest::array::uniform32` and simple
+//!   `"[class]{m,n}"` string-pattern strategies.
+//!
+//! Differences from upstream: cases are generated from a fixed deterministic
+//! seed (reproducible across runs) and failing cases are reported **without
+//! shrinking** — the failing input is printed verbatim instead.
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Deterministic case generation and failure reporting.
+pub mod test_runner_impl {}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_parse_params {
+    // Terminal: all params consumed — emit the runner.
+    (cfg = $cfg:expr; body = $body:block; acc = [$($acc:tt)*];) => {
+        $crate::__proptest_emit!{ cfg = $cfg; body = $body; acc = [$($acc)*]; }
+    };
+    // `mut name in strategy` (trailing param, optional comma handled below)
+    (cfg = $cfg:expr; body = $body:block; acc = [$($acc:tt)*]; mut $id:ident in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_parse_params!{ cfg = $cfg; body = $body; acc = [$($acc)* {(mut $id) ($s)}]; $($rest)* }
+    };
+    (cfg = $cfg:expr; body = $body:block; acc = [$($acc:tt)*]; mut $id:ident in $s:expr) => {
+        $crate::__proptest_parse_params!{ cfg = $cfg; body = $body; acc = [$($acc)* {(mut $id) ($s)}]; }
+    };
+    // `name in strategy`
+    (cfg = $cfg:expr; body = $body:block; acc = [$($acc:tt)*]; $id:ident in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_parse_params!{ cfg = $cfg; body = $body; acc = [$($acc)* {($id) ($s)}]; $($rest)* }
+    };
+    (cfg = $cfg:expr; body = $body:block; acc = [$($acc:tt)*]; $id:ident in $s:expr) => {
+        $crate::__proptest_parse_params!{ cfg = $cfg; body = $body; acc = [$($acc)* {($id) ($s)}]; }
+    };
+    // `name: Type` == `name in any::<Type>()`
+    (cfg = $cfg:expr; body = $body:block; acc = [$($acc:tt)*]; $id:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_parse_params!{ cfg = $cfg; body = $body; acc = [$($acc)* {($id) ($crate::arbitrary::any::<$ty>())}]; $($rest)* }
+    };
+    (cfg = $cfg:expr; body = $body:block; acc = [$($acc:tt)*]; $id:ident : $ty:ty) => {
+        $crate::__proptest_parse_params!{ cfg = $cfg; body = $body; acc = [$($acc)* {($id) ($crate::arbitrary::any::<$ty>())}]; }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_emit {
+    (cfg = $cfg:expr; body = $body:block; acc = [$({($($pat:tt)+) ($s:expr)})*];) => {{
+        let __config: $crate::test_runner::ProptestConfig = $cfg;
+        for __case in 0..__config.cases {
+            let mut __rng = $crate::test_runner::TestRng::for_case(__case as u64);
+            $(
+                let $($pat)+ = $crate::strategy::Strategy::generate(&($s), &mut __rng);
+            )*
+            let mut __run = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                $body
+                ::std::result::Result::Ok(())
+            };
+            match __run() {
+                ::std::result::Result::Ok(()) => {}
+                ::std::result::Result::Err(__e) if __e.is_rejection() => continue,
+                ::std::result::Result::Err(__e) => {
+                    panic!("proptest: case {}/{} failed: {}", __case + 1, __config.cases, __e)
+                }
+            }
+        }
+    }};
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (
+        cfg = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_parse_params!{ cfg = $cfg; body = $body; acc = []; $($params)* }
+        }
+        $crate::__proptest_fns!{ cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Defines property tests. Each `fn name(params) { body }` becomes a
+/// `#[test]` that runs the body over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a proptest body, failing the current case
+/// (with formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal (requires `Debug`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `left == right`: {}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal (requires `Debug`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `left != right`: {}\n  both: `{:?}`",
+            format!($($fmt)+),
+            __l
+        );
+    }};
+}
+
+/// Rejects the current case (skips it) if `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+/// Chooses uniformly between the given strategies (all must produce the same
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
