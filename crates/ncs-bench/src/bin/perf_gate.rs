@@ -1,0 +1,551 @@
+//! perf_gate — the data-plane performance gate CI tracks.
+//!
+//! Drives round-trip latency and bulk one-way throughput over all four
+//! communication interfaces (HPI, PIPE, SCI, ACI) under both thread
+//! packages (kernel-level and user-level), and writes the results to
+//! `BENCH_dataplane.json`.
+//!
+//! Alongside time, the gate reports **allocations per message**, counted
+//! through the node's [`BufPool`] statistics: every pool *checkout* is one
+//! heap allocation the unpooled seed path performed at the same call site
+//! (`Packet::encode` into a fresh `Vec`), while every pool *miss* is an
+//! allocation the pooled path actually made. The ratio
+//! `checkouts / misses` is therefore the measured allocation improvement
+//! of the pooled data plane over the seed, and the run **fails** (exit 1)
+//! unless the HPI bulk path shows at least [`GATE_MIN_IMPROVEMENT`]x.
+//!
+//! Usage: `perf_gate [--smoke] [--out PATH]`
+//!
+//! `--smoke` shrinks iteration counts for CI; `--out` overrides the output
+//! path (default `BENCH_dataplane.json` in the current directory).
+//!
+//! [`BufPool`]: ncs_core::BufPool
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ncs_core::link::{AciLink, HpiLinkPair, PipeLinkPair, SciLink};
+use ncs_core::{ConnectionConfig, NcsConnection, NcsNode, PoolStats};
+use ncs_threads::sync::Event;
+use ncs_threads::{KernelPackage, SwitchMech, ThreadPackage, UserConfig, UserRuntime};
+use ncs_transport::pipe::PipeConfig;
+use ncs_transport::sci::SciListener;
+
+/// The acceptance threshold on the HPI bulk path's allocation improvement.
+const GATE_MIN_IMPROVEMENT: f64 = 2.0;
+
+/// Latency probe payload (bytes).
+const LAT_BYTES: usize = 64;
+
+/// Bulk message size (bytes); four SDUs at the default 4 KB SDU.
+const BULK_BYTES: usize = 16 * 1024;
+
+/// End-of-phase sentinel (1 byte, distinguishable from every payload).
+const SENTINEL: u8 = 0xFF;
+
+/// Bulk warm-up messages before the measured window: enough frames to
+/// charge the buffer pool's recycling window (the send queue plus a couple
+/// of in-flight batches), so the measurement reports steady state.
+const BULK_WARMUP: usize = 50;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Iface {
+    Hpi,
+    Pipe,
+    Sci,
+    Aci,
+}
+
+impl Iface {
+    const ALL: [Iface; 4] = [Iface::Hpi, Iface::Pipe, Iface::Sci, Iface::Aci];
+
+    fn name(self) -> &'static str {
+        match self {
+            Iface::Hpi => "HPI",
+            Iface::Pipe => "PIPE",
+            Iface::Sci => "SCI",
+            Iface::Aci => "ACI",
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Package {
+    Kernel,
+    User,
+}
+
+impl Package {
+    fn name(self) -> &'static str {
+        match self {
+            Package::Kernel => "kernel",
+            Package::User => "user",
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BenchCfg {
+    lat_iters: usize,
+    bulk_msgs: usize,
+}
+
+#[derive(Debug)]
+struct CaseResult {
+    iface: &'static str,
+    package: &'static str,
+    lat_iters: usize,
+    lat_median_us: f64,
+    lat_p99_us: f64,
+    bulk_msgs: usize,
+    bulk_received: usize,
+    bulk_secs: f64,
+    bulk_mib_s: f64,
+    pool: PoolStats,
+    allocs_per_msg_seed_equiv: f64,
+    allocs_per_msg_pooled: f64,
+    alloc_improvement: f64,
+}
+
+/// Two connected NCS nodes over one interface, plus whatever must stay
+/// alive for the link to work.
+struct Pair {
+    tx_node: NcsNode,
+    rx_node: NcsNode,
+    _fabric: Option<Arc<ncs_transport::aci::AciFabric>>,
+}
+
+impl Pair {
+    fn shutdown(self) {
+        self.tx_node.shutdown();
+        self.rx_node.shutdown();
+        if let Some(f) = self._fabric {
+            f.shutdown();
+        }
+    }
+}
+
+/// Builds a connected node pair over `iface`; the sender node runs its NCS
+/// threads on `pkg` (the receiver stands in for a remote process on the
+/// default kernel package, as in the paper's experiments).
+fn build_pair(iface: Iface, pkg: Arc<dyn ThreadPackage>) -> Pair {
+    let tx_node = NcsNode::builder("gate-tx").thread_package(pkg).build();
+    let rx_node = NcsNode::builder("gate-rx").build();
+    let mut fabric = None;
+    match iface {
+        Iface::Hpi => {
+            let (la, lb) = HpiLinkPair::with_capacity(1024);
+            tx_node.attach_peer("gate-rx", la);
+            rx_node.attach_peer("gate-tx", lb);
+        }
+        Iface::Pipe => {
+            // A fast local pipe: generous buffer, instant drain.
+            let wire = PipeConfig {
+                buffer_bytes: 256 * 1024,
+                drain_bytes_per_sec: None,
+                latency: Duration::ZERO,
+                time_scale: 1.0,
+            };
+            let (la, lb) = PipeLinkPair::create(wire, None, None);
+            tx_node.attach_peer("gate-rx", la);
+            rx_node.attach_peer("gate-tx", lb);
+        }
+        Iface::Sci => {
+            let ltx = Arc::new(SciListener::bind("127.0.0.1:0").expect("bind tx"));
+            let lrx = Arc::new(SciListener::bind("127.0.0.1:0").expect("bind rx"));
+            let addr_tx = ltx.local_addr().expect("tx addr");
+            let addr_rx = lrx.local_addr().expect("rx addr");
+            tx_node.attach_peer("gate-rx", SciLink::new(addr_rx, ltx));
+            rx_node.attach_peer("gate-tx", SciLink::new(addr_tx, lrx));
+        }
+        Iface::Aci => {
+            use atm_sim::{LinkSpec, NetworkBuilder, PumpConfig, QosParams};
+            use ncs_transport::aci::AciFabric;
+            let net = NetworkBuilder::new()
+                .host("gate-tx")
+                .host("gate-rx")
+                .switch("sw")
+                .link("gate-tx", "sw", LinkSpec::oc3())
+                .link("gate-rx", "sw", LinkSpec::oc3())
+                .build()
+                .expect("atm network");
+            let fab = AciFabric::start(net, PumpConfig::default());
+            let dev_tx = Arc::new(fab.device("gate-tx").expect("tx device"));
+            let dev_rx = Arc::new(fab.device("gate-rx").expect("rx device"));
+            tx_node.attach_peer(
+                "gate-rx",
+                AciLink::new(dev_tx, "gate-rx", QosParams::unspecified()),
+            );
+            rx_node.attach_peer(
+                "gate-tx",
+                AciLink::new(dev_rx, "gate-tx", QosParams::unspecified()),
+            );
+            fabric = Some(fab);
+        }
+    }
+    Pair {
+        tx_node,
+        rx_node,
+        _fabric: fabric,
+    }
+}
+
+/// Connection configuration per phase: the §3.1 bypass for reliable wires
+/// and for the latency probe; credit-based flow control plus selective
+/// repeat where the interface itself can drop frames under load.
+fn bulk_config(iface: Iface) -> ConnectionConfig {
+    match iface {
+        // HPI overruns and ACI cell loss make FC/EC mandatory for bulk.
+        Iface::Hpi | Iface::Aci => ConnectionConfig::reliable(),
+        // PIPE and SCI are reliable: NCS bypasses its control threads.
+        Iface::Pipe | Iface::Sci => ConnectionConfig::unreliable(),
+    }
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Echo server: returns every message until the 1-byte sentinel arrives,
+/// then fires `done`.
+fn spawn_echo(conn: NcsConnection, done: Arc<Event>) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        loop {
+            match conn.recv_timeout(Duration::from_secs(30)) {
+                Ok(m) if m.len() == 1 && m[0] == SENTINEL => break,
+                Ok(m) => {
+                    if conn.send(&m).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        done.fire();
+    })
+}
+
+/// Sink server: counts `expect` messages, firing `warmed` once the
+/// warm-up prefix arrived and `done` once all arrived.
+fn spawn_sink(
+    conn: NcsConnection,
+    expect: usize,
+    received: Arc<AtomicUsize>,
+    warmed: Arc<Event>,
+    done: Arc<Event>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        while conn.recv_timeout(Duration::from_secs(30)).is_ok() {
+            let n = received.fetch_add(1, Ordering::Relaxed) + 1;
+            if n == BULK_WARMUP {
+                warmed.fire();
+            }
+            if n >= expect {
+                break;
+            }
+        }
+        done.fire();
+    })
+}
+
+/// Runs one interface × package combination. Everything here blocks only
+/// through package-aware primitives (mailboxes, events), so the same code
+/// runs as the root green thread of the user-level runtime.
+fn run_case(
+    iface: Iface,
+    package: Package,
+    pkg: Arc<dyn ThreadPackage>,
+    cfg: BenchCfg,
+) -> CaseResult {
+    // --- Phase 1: round-trip latency over the bypass configuration. -----
+    let pair = build_pair(iface, Arc::clone(&pkg));
+    let conn_tx = pair
+        .tx_node
+        .connect("gate-rx", ConnectionConfig::unreliable())
+        .expect("latency connect");
+    let conn_rx = pair.rx_node.accept_default().expect("latency accept");
+    let echo_done = Arc::new(Event::new());
+    let echo = spawn_echo(conn_rx, Arc::clone(&echo_done));
+    let payload = vec![0xA5u8; LAT_BYTES];
+    // Warm-up: fills the pipeline and the buffer pool's free lists.
+    conn_tx.send(&payload).expect("warmup send");
+    let _ = conn_tx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("warmup recv");
+    let mut rtts_us = Vec::with_capacity(cfg.lat_iters);
+    for _ in 0..cfg.lat_iters {
+        let t0 = Instant::now();
+        conn_tx.send(&payload).expect("latency send");
+        let back = conn_tx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("latency recv");
+        rtts_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(back.len(), LAT_BYTES, "echo length mismatch");
+    }
+    conn_tx.send(&[SENTINEL]).expect("latency sentinel");
+    // Wait cooperatively (a bare join would block the green scheduler).
+    echo_done.wait_timeout(Duration::from_secs(30));
+    let _ = echo.join();
+    rtts_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let lat_median_us = percentile(&rtts_us, 0.50);
+    let lat_p99_us = percentile(&rtts_us, 0.99);
+    pair.shutdown();
+
+    // --- Phase 2: bulk one-way throughput + allocations per message. ----
+    let pair = build_pair(iface, pkg);
+    let conn_tx = pair
+        .tx_node
+        .connect("gate-rx", bulk_config(iface))
+        .expect("bulk connect");
+    let conn_rx = pair.rx_node.accept_default().expect("bulk accept");
+    let received = Arc::new(AtomicUsize::new(0));
+    let warmup_seen = Arc::new(Event::new());
+    let sink_done = Arc::new(Event::new());
+    // The sink expects the warm-up prefix plus the measured batch.
+    let sink = spawn_sink(
+        conn_rx,
+        cfg.bulk_msgs + BULK_WARMUP,
+        Arc::clone(&received),
+        Arc::clone(&warmup_seen),
+        Arc::clone(&sink_done),
+    );
+    let payload = vec![0xB7u8; BULK_BYTES];
+    // Warm-up burst, outside the measured window and the pool delta
+    // (the wait is cooperative: green threads keep the pipeline moving).
+    for _ in 0..BULK_WARMUP {
+        conn_tx.send(&payload).expect("bulk warmup");
+    }
+    assert!(
+        warmup_seen.wait_timeout(Duration::from_secs(60)),
+        "bulk warm-up never arrived"
+    );
+    let pool_before = pair.tx_node.pool_stats();
+    let t0 = Instant::now();
+    for _ in 0..cfg.bulk_msgs {
+        conn_tx.send(&payload).expect("bulk send");
+    }
+    sink_done.wait_timeout(Duration::from_secs(120));
+    let bulk_secs = t0.elapsed().as_secs_f64();
+    let pool = pair.tx_node.pool_stats().since(&pool_before);
+    let _ = sink.join();
+    let bulk_received = received.load(Ordering::Relaxed).saturating_sub(BULK_WARMUP);
+    pair.shutdown();
+
+    let msgs = cfg.bulk_msgs as f64;
+    let allocs_per_msg_seed_equiv = pool.checkouts as f64 / msgs;
+    let allocs_per_msg_pooled = pool.misses as f64 / msgs;
+    let alloc_improvement = pool.checkouts as f64 / pool.misses.max(1) as f64;
+    CaseResult {
+        iface: iface.name(),
+        package: package.name(),
+        lat_iters: cfg.lat_iters,
+        lat_median_us,
+        lat_p99_us,
+        bulk_msgs: cfg.bulk_msgs,
+        bulk_received,
+        bulk_secs,
+        bulk_mib_s: (bulk_received as f64 * BULK_BYTES as f64) / bulk_secs / (1024.0 * 1024.0),
+        pool,
+        allocs_per_msg_seed_equiv,
+        allocs_per_msg_pooled,
+        alloc_improvement,
+    }
+}
+
+fn case_cfg(iface: Iface, package: Package, smoke: bool) -> BenchCfg {
+    let (mut lat_iters, mut bulk_msgs) = if smoke { (30, 60) } else { (300, 500) };
+    if iface == Iface::Sci && package == Package::User {
+        // SCI receives are blocking system calls; under the user-level
+        // package they stall the whole scheduler between frames (the §4.1
+        // pathology the paper documents). Keep the combination honest but
+        // short.
+        lat_iters = lat_iters.min(30);
+        bulk_msgs = bulk_msgs.min(60);
+    }
+    BenchCfg {
+        lat_iters,
+        bulk_msgs,
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Every string we emit is a static identifier; guard the invariant.
+    debug_assert!(s
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || "-_./".contains(c)));
+    s
+}
+
+fn emit_json(
+    out: &mut String,
+    results: &[CaseResult],
+    smoke: bool,
+    gate_value: f64,
+    gate_pass: bool,
+) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/1\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(out, "  \"latency_bytes\": {LAT_BYTES},");
+    let _ = writeln!(out, "  \"bulk_message_bytes\": {BULK_BYTES},");
+    let _ = writeln!(
+        out,
+        "  \"alloc_metric\": \"pool checkouts = seed-path allocations at the same call sites; \
+         pool misses = pooled-path allocations; improvement = checkouts / max(misses, 1)\","
+    );
+    let _ = writeln!(out, "  \"gate\": {{");
+    let _ = writeln!(
+        out,
+        "    \"metric\": \"min HPI bulk alloc_improvement across packages\","
+    );
+    let _ = writeln!(out, "    \"threshold\": {GATE_MIN_IMPROVEMENT:.1},");
+    let _ = writeln!(out, "    \"value\": {gate_value:.2},");
+    let _ = writeln!(out, "    \"pass\": {gate_pass}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"cases\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(
+            out,
+            "      \"interface\": \"{}\",",
+            json_escape_free(r.iface)
+        );
+        let _ = writeln!(
+            out,
+            "      \"package\": \"{}\",",
+            json_escape_free(r.package)
+        );
+        let _ = writeln!(
+            out,
+            "      \"latency\": {{ \"iters\": {}, \"median_us\": {:.2}, \"p99_us\": {:.2} }},",
+            r.lat_iters, r.lat_median_us, r.lat_p99_us
+        );
+        let _ = writeln!(out, "      \"bulk\": {{");
+        let _ = writeln!(
+            out,
+            "        \"messages\": {}, \"received\": {}, \"seconds\": {:.4}, \"throughput_mib_s\": {:.2},",
+            r.bulk_msgs, r.bulk_received, r.bulk_secs, r.bulk_mib_s
+        );
+        let _ = writeln!(
+            out,
+            "        \"pool\": {{ \"checkouts\": {}, \"hits\": {}, \"misses\": {}, \"returns\": {}, \"discards\": {} }},",
+            r.pool.checkouts, r.pool.hits, r.pool.misses, r.pool.returns, r.pool.discards
+        );
+        let _ = writeln!(
+            out,
+            "        \"allocs_per_msg_seed_equiv\": {:.3}, \"allocs_per_msg_pooled\": {:.3}, \"alloc_improvement\": {:.2}",
+            r.allocs_per_msg_seed_equiv, r.allocs_per_msg_pooled, r.alloc_improvement
+        );
+        let _ = writeln!(out, "      }}");
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_dataplane.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf_gate [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut results = Vec::new();
+    for package in [Package::Kernel, Package::User] {
+        for iface in Iface::ALL {
+            let cfg = case_cfg(iface, package, smoke);
+            eprintln!(
+                "perf_gate: {} over {} ({} rtt iters, {} bulk msgs)...",
+                package.name(),
+                iface.name(),
+                cfg.lat_iters,
+                cfg.bulk_msgs
+            );
+            let result = match package {
+                Package::Kernel => run_case(
+                    iface,
+                    package,
+                    Arc::new(KernelPackage::new()) as Arc<dyn ThreadPackage>,
+                    cfg,
+                ),
+                Package::User => UserRuntime::new(UserConfig {
+                    mech: SwitchMech::Native,
+                    ..UserConfig::default()
+                })
+                .run(move |pkg| {
+                    run_case(iface, package, Arc::new(pkg) as Arc<dyn ThreadPackage>, cfg)
+                }),
+            };
+            eprintln!(
+                "  rtt p50 {:.1} us / p99 {:.1} us; bulk {:.1} MiB/s; \
+                 allocs/msg {:.2} -> {:.2} ({:.0}x)",
+                result.lat_median_us,
+                result.lat_p99_us,
+                result.bulk_mib_s,
+                result.allocs_per_msg_seed_equiv,
+                result.allocs_per_msg_pooled,
+                result.alloc_improvement,
+            );
+            results.push(result);
+        }
+    }
+
+    // The gate: the pooled+batched HPI bulk path must allocate at least
+    // GATE_MIN_IMPROVEMENT times less than the seed path did.
+    let gate_value = results
+        .iter()
+        .filter(|r| r.iface == "HPI")
+        .map(|r| r.alloc_improvement)
+        .fold(f64::INFINITY, f64::min);
+    let gate_pass = gate_value >= GATE_MIN_IMPROVEMENT;
+
+    let mut json = String::new();
+    emit_json(&mut json, &results, smoke, gate_value, gate_pass);
+    let mut file = std::fs::File::create(&out_path).expect("create output file");
+    file.write_all(json.as_bytes()).expect("write output file");
+    eprintln!("perf_gate: wrote {out_path}");
+
+    // Every bulk phase must actually have delivered its traffic.
+    let lost: Vec<&CaseResult> = results
+        .iter()
+        .filter(|r| r.bulk_received < r.bulk_msgs)
+        .collect();
+    if !lost.is_empty() {
+        for r in &lost {
+            eprintln!(
+                "perf_gate: FAIL — {}/{} delivered only {}/{} bulk messages",
+                r.iface, r.package, r.bulk_received, r.bulk_msgs
+            );
+        }
+        std::process::exit(1);
+    }
+    if !gate_pass {
+        eprintln!(
+            "perf_gate: FAIL — HPI bulk allocation improvement {gate_value:.2}x \
+             is below the {GATE_MIN_IMPROVEMENT:.1}x gate"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("perf_gate: PASS — HPI bulk allocation improvement {gate_value:.2}x");
+}

@@ -36,7 +36,20 @@ use crate::error_control::{
 };
 use crate::flow_control::{build as build_fc, FlowControlStrategy};
 use crate::packet::{CtrlMsg, DataHeader, DataPacket};
+use crate::pool::{BufPool, PooledBuf};
 use crate::stats::{ConnCounters, ConnectionStats, SendBreakdown};
+
+/// Most frames the Send/Receive Threads move per transport acquisition.
+/// Large enough to amortise ring/buffer acquisition over bulk traffic,
+/// small enough to keep a batch within one credit grant.
+const IO_BATCH: usize = 32;
+
+/// Depth of the Send Thread's frame queue. Bounding it backpressures
+/// producers that outrun the interface, which (a) caps the data plane's
+/// buffer memory per connection and (b) keeps the working set of pooled
+/// buffers small enough to recycle instead of alloc (an unbounded burst
+/// would drain the pool and fall back to the heap for every frame).
+const SEND_QUEUE_DEPTH: usize = 4 * IO_BATCH;
 
 /// Errors from sending on an NCS connection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -178,10 +191,11 @@ pub(crate) enum EcRecvMsg {
     Shutdown,
 }
 
-/// Messages activating the Send Thread.
+/// Messages activating the Send Thread. Frames arrive pre-encoded in
+/// pooled buffers; transmitting a frame returns its buffer to the pool.
 pub(crate) enum SendMsg {
     Frame {
-        bytes: Vec<u8>,
+        frame: PooledBuf,
         trace: Option<Arc<SendTrace>>,
     },
     Shutdown,
@@ -206,6 +220,9 @@ pub(crate) struct ConnShared {
     pub closed: AtomicBool,
     /// The dedicated data channel.
     pub transport: Arc<dyn Transport>,
+    /// The node's recycling frame-buffer pool (every encode on the data
+    /// plane draws from it).
+    pub pool: Arc<BufPool>,
     /// The per-peer Control Send Thread's inbox (control connection).
     pub ctrl_tx: Arc<Mailbox<CtrlMsg>>,
     // Thread activation mailboxes.
@@ -276,6 +293,7 @@ impl ConnShared {
         peer_name: String,
         config: ConnectionConfig,
         transport: Arc<dyn Transport>,
+        pool: Arc<BufPool>,
         ctrl_tx: Arc<Mailbox<CtrlMsg>>,
     ) -> Arc<Self> {
         let direct = config.direct;
@@ -288,11 +306,12 @@ impl ConnShared {
             established: Event::new(),
             closed: AtomicBool::new(false),
             transport,
+            pool,
             ctrl_tx,
             ec_send_inbox: Mailbox::unbounded(),
             fc_inbox: Mailbox::unbounded(),
             ec_recv_inbox: Mailbox::unbounded(),
-            send_inbox: Mailbox::unbounded(),
+            send_inbox: Mailbox::bounded(SEND_QUEUE_DEPTH),
             delivery: Mailbox::unbounded(),
             counters: ConnCounters::default(),
             next_session: AtomicU32::new(0),
@@ -351,6 +370,48 @@ impl ConnShared {
             .compare_exchange(u32::MAX, src, Ordering::AcqRel, Ordering::Relaxed);
     }
 
+    /// Queues a frame to the Send Thread, blocking (cooperatively) while
+    /// the bounded queue is full. Returns `false` — dropping the frame —
+    /// once the connection is closed, so producers never hang on a Send
+    /// Thread that has already exited.
+    pub(crate) fn queue_frame(&self, frame: PooledBuf, trace: Option<Arc<SendTrace>>) -> bool {
+        let mut msg = SendMsg::Frame { frame, trace };
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                return false;
+            }
+            match self.send_inbox.send_timeout(msg, IDLE_TICK) {
+                Ok(()) => return true,
+                Err(back) => msg = back.0,
+            }
+        }
+    }
+
+    /// Segments `data` for `session` straight into pooled, wire-ready
+    /// frames — no intermediate [`DataPacket`]s. This is the bypass-path
+    /// encode: without error control there are no retransmissions, so the
+    /// payload copies that [`ConnShared::segment`] keeps around would be
+    /// pure overhead.
+    pub(crate) fn segment_frames(&self, session: u32, data: &[u8]) -> Vec<PooledBuf> {
+        let sdu = self.config.sdu_size;
+        let n = data.len().div_ceil(sdu).max(1);
+        let peer_conn = self.peer_conn_id();
+        (0..n)
+            .map(|i| {
+                let lo = i * sdu;
+                let hi = ((i + 1) * sdu).min(data.len());
+                let header = DataHeader {
+                    conn: peer_conn,
+                    src_conn: self.id,
+                    session,
+                    seq: i as u32,
+                    end: i == n - 1,
+                };
+                header.encode_frame_pooled(&data[lo..hi], &self.pool)
+            })
+            .collect()
+    }
+
     /// Segments `data` into SDU packets for `session`.
     pub(crate) fn segment(&self, session: u32, data: &[u8]) -> Vec<DataPacket> {
         let sdu = self.config.sdu_size;
@@ -399,7 +460,9 @@ impl ConnShared {
         self.ec_send_inbox.send(EcSendMsg::Shutdown);
         self.fc_inbox.send(FcMsg::Shutdown);
         self.ec_recv_inbox.send(EcRecvMsg::Shutdown);
-        self.send_inbox.send(SendMsg::Shutdown);
+        // The send queue is bounded: don't block shutdown on a full queue
+        // (the Send Thread also exits via the closed flag on its next tick).
+        let _ = self.send_inbox.try_send(SendMsg::Shutdown);
         self.transport.close();
         self.established.fire();
     }
@@ -465,78 +528,134 @@ pub(crate) fn spawn_connection_threads(
 const IDLE_TICK: Duration = Duration::from_millis(100);
 
 /// The Send Thread: drains the send queue onto the data connection
-/// (Figure 4 step 4).
+/// (Figure 4 step 4). Queued frames are coalesced — up to [`IO_BATCH`] of
+/// them cross the transport per [`ncs_transport::Connection::send_batch`]
+/// call — and their pooled buffers return to the pool as each is
+/// transmitted.
 fn send_thread(shared: &ConnShared) {
+    let mut pending: Vec<(PooledBuf, Option<Arc<SendTrace>>)> = Vec::with_capacity(IO_BATCH);
     loop {
-        match shared.send_inbox.recv_timeout(IDLE_TICK) {
-            Ok(SendMsg::Frame { bytes, trace }) => {
-                if let Some(t) = &trace {
-                    *t.dequeued_at.lock() = Some(Instant::now());
-                    // Hand-off acknowledgement: the caller may resume (and,
-                    // under the kernel package, overlap its computation
-                    // with a transmit that blocks below — §4.1).
-                    t.accepted.fire();
-                }
-                let r = shared.transport.send(&bytes);
-                shared.counters.packets_sent.fetch_add(1, Ordering::Relaxed);
-                if let Some(t) = &trace {
-                    *t.transmitted_at.lock() = Some(Instant::now());
-                }
-                drop(bytes);
-                if let Some(t) = &trace {
-                    *t.freed_at.lock() = Some(Instant::now());
-                    t.done.fire();
-                }
-                if matches!(r, Err(TransportError::Closed)) {
-                    shared.peer_closed();
-                    return;
-                }
-            }
+        let first = match shared.send_inbox.recv_timeout(IDLE_TICK) {
+            Ok(SendMsg::Frame { frame, trace }) => (frame, trace),
             Ok(SendMsg::Shutdown) => return,
             Err(_) => {
                 if shared.closed.load(Ordering::Acquire) {
                     return;
                 }
+                continue;
             }
+        };
+        pending.push(first);
+        let mut shutdown_after_batch = false;
+        while pending.len() < IO_BATCH {
+            match shared.send_inbox.try_recv() {
+                Some(SendMsg::Frame { frame, trace }) => pending.push((frame, trace)),
+                Some(SendMsg::Shutdown) => {
+                    shutdown_after_batch = true;
+                    break;
+                }
+                None => break,
+            }
+        }
+        // Hand-off acknowledgement for every dequeued frame: the callers
+        // may resume (and, under the kernel package, overlap computation
+        // with a transmit that blocks below — §4.1).
+        for (_, trace) in &pending {
+            if let Some(t) = trace {
+                *t.dequeued_at.lock() = Some(Instant::now());
+                t.accepted.fire();
+            }
+        }
+        while !pending.is_empty() {
+            let refs: Vec<&[u8]> = pending.iter().map(|(f, _)| f.as_slice()).collect();
+            match shared.transport.send_batch(&refs) {
+                Ok(sent) => {
+                    let sent = sent.clamp(1, pending.len());
+                    shared
+                        .counters
+                        .packets_sent
+                        .fetch_add(sent as u64, Ordering::Relaxed);
+                    for (frame, trace) in pending.drain(..sent) {
+                        if let Some(t) = &trace {
+                            *t.transmitted_at.lock() = Some(Instant::now());
+                        }
+                        drop(frame); // buffer returns to the pool
+                        if let Some(t) = &trace {
+                            *t.freed_at.lock() = Some(Instant::now());
+                            t.done.fire();
+                        }
+                    }
+                    // A partial batch is transport backpressure: loop and
+                    // retry the remainder (blocking in send_batch is fine).
+                }
+                Err(e) => {
+                    // Nothing of the batch was accepted. Unblock any
+                    // profiled waiters, then handle the failure as the
+                    // single-frame path did: Closed tears the data plane
+                    // down, anything else drops the frames.
+                    for (_, trace) in pending.drain(..) {
+                        if let Some(t) = trace {
+                            *t.transmitted_at.lock() = Some(Instant::now());
+                            *t.freed_at.lock() = Some(Instant::now());
+                            t.done.fire();
+                        }
+                    }
+                    if matches!(e, TransportError::Closed) {
+                        shared.peer_closed();
+                        return;
+                    }
+                }
+            }
+        }
+        if shutdown_after_batch {
+            return;
         }
     }
 }
 
-/// The Receive Thread: pulls frames off the data connection and activates
-/// the next plane (FC if configured, else EC, else direct delivery) —
-/// Figure 4 steps 7-8.
+/// The Receive Thread: pulls frames off the data connection — up to
+/// [`IO_BATCH`] per [`ncs_transport::Connection::recv_many`] acquisition —
+/// and activates the next plane (FC if configured, else EC, else direct
+/// delivery) — Figure 4 steps 7-8. Frames are parsed in place
+/// ([`DataPacket::peek`]); owned packets are materialised only when a frame
+/// must cross into another thread's mailbox.
 fn recv_thread(shared: &ConnShared) {
     let has_fc = !matches!(shared.config.flow_control, FlowControlAlg::None);
     let has_ctrl = shared.config.needs_control_threads();
-    // Inline reassembler for the fully-bypassed path.
-    let mut inline_rx = build_receiver(&ErrorControlAlg::None);
+    // Inline reassembler for the fully-bypassed path: payloads append
+    // straight from the received frame into one reused message buffer
+    // (arrival order, delivery on the end bit — the null-EC contract).
+    let mut assembling: Vec<u8> = Vec::new();
     loop {
-        match shared.transport.recv_timeout(IDLE_TICK) {
-            Ok(frame) => {
-                let packet = match DataPacket::decode(&frame) {
-                    Ok(p) => p,
-                    Err(_) => continue, // not a data packet: ignore
-                };
-                shared.note_peer_conn(packet.header.src_conn);
-                shared
-                    .counters
-                    .packets_received
-                    .fetch_add(1, Ordering::Relaxed);
-                if has_fc {
-                    shared.fc_inbox.send(FcMsg::Incoming(packet));
-                } else if has_ctrl {
-                    shared.ec_recv_inbox.send(EcRecvMsg::Packet(packet));
-                } else {
-                    // Fully bypassed: reassemble inline, deliver directly.
-                    let h = packet.header;
-                    if let ReceiverStep::Deliver(msg) =
-                        inline_rx.on_packet(h.seq, h.end, packet.payload)
-                    {
+        match shared.transport.recv_many(IO_BATCH, IDLE_TICK) {
+            Ok(frames) => {
+                for frame in &frames {
+                    let view = match DataPacket::peek(frame) {
+                        Ok(v) => v,
+                        Err(_) => continue, // not a data packet: ignore
+                    };
+                    shared.note_peer_conn(view.header.src_conn);
+                    shared
+                        .counters
+                        .packets_received
+                        .fetch_add(1, Ordering::Relaxed);
+                    if has_fc {
+                        shared.fc_inbox.send(FcMsg::Incoming(view.to_packet()));
+                    } else if has_ctrl {
                         shared
-                            .counters
-                            .messages_received
-                            .fetch_add(1, Ordering::Relaxed);
-                        shared.delivery.send(msg);
+                            .ec_recv_inbox
+                            .send(EcRecvMsg::Packet(view.to_packet()));
+                    } else {
+                        // Fully bypassed: reassemble inline, deliver
+                        // directly, no per-packet payload allocation.
+                        assembling.extend_from_slice(view.payload);
+                        if view.header.end {
+                            shared
+                                .counters
+                                .messages_received
+                                .fetch_add(1, Ordering::Relaxed);
+                            shared.delivery.send(std::mem::take(&mut assembling));
+                        }
                     }
                 }
             }
@@ -620,10 +739,7 @@ fn fc_thread(shared: &ConnShared) {
         if n > 0 {
             for _ in 0..n {
                 let p = pending.pop_front().expect("counted above");
-                shared.send_inbox.send(SendMsg::Frame {
-                    bytes: p.encode(),
-                    trace: None,
-                });
+                shared.queue_frame(p.encode_pooled(&shared.pool), None);
             }
             strategy.on_transmit(n.min(permits) as u32);
             last_progress = Instant::now();
@@ -704,10 +820,9 @@ fn run_send_session(
                     }
                 } else {
                     for p in batch {
-                        shared.send_inbox.send(SendMsg::Frame {
-                            bytes: p.encode(),
-                            trace: None,
-                        });
+                        if !shared.queue_frame(p.encode_pooled(&shared.pool), None) {
+                            return Err(SendError::Closed);
+                        }
                     }
                 }
                 if first_round && strategy.completes_without_ack() {
@@ -974,17 +1089,17 @@ impl NcsConnection {
                 completion,
             });
         } else {
-            // §3.1 bypass: segment and activate the Send Thread directly.
+            // §3.1 bypass: segment straight into pooled frames and
+            // activate the Send Thread directly.
             let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
             self.shared
                 .counters
                 .messages_sent
                 .fetch_add(1, Ordering::Relaxed);
-            for p in self.shared.segment(session, data) {
-                self.shared.send_inbox.send(SendMsg::Frame {
-                    bytes: p.encode(),
-                    trace: None,
-                });
+            for frame in self.shared.segment_frames(session, data) {
+                if !self.shared.queue_frame(frame, None) {
+                    return Err(SendError::Closed);
+                }
             }
             if let Some(c) = completion {
                 c.complete(Ok(()));
@@ -1110,19 +1225,29 @@ impl NcsConnection {
     ) -> Result<(), SendError> {
         let permits = engine.fc.permits(Instant::now()) as usize;
         let n = permits.min(pending.len());
-        for _ in 0..n {
-            let seq = pending.pop_front().expect("counted");
-            self.shared
+        if n == 0 {
+            return Ok(());
+        }
+        // Encode the released window into pooled frames and push them
+        // through the transport as one batch (retrying partial sends).
+        let frames: Vec<PooledBuf> = pending
+            .drain(..n)
+            .map(|seq| packets[seq as usize].encode_pooled(&self.shared.pool))
+            .collect();
+        let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+        let mut sent = 0;
+        while sent < refs.len() {
+            sent += self
+                .shared
                 .transport
-                .send(&packets[seq as usize].encode())?;
-            self.shared
-                .counters
-                .packets_sent
-                .fetch_add(1, Ordering::Relaxed);
+                .send_batch(&refs[sent..])?
+                .clamp(1, refs.len() - sent);
         }
-        if n > 0 {
-            engine.fc.on_transmit(n as u32);
-        }
+        self.shared
+            .counters
+            .packets_sent
+            .fetch_add(n as u64, Ordering::Relaxed);
+        engine.fc.on_transmit(n as u32);
         Ok(())
     }
 
@@ -1291,15 +1416,17 @@ impl NcsConnection {
             .counters
             .messages_sent
             .fetch_add(1, Ordering::Relaxed);
-        let packets = self.shared.segment(session, data);
+        let frames = self.shared.segment_frames(session, data);
         let trace = SendTrace::new();
-        let n = packets.len();
-        for (i, p) in packets.into_iter().enumerate() {
+        let n = frames.len();
+        for (i, frame) in frames.into_iter().enumerate() {
             let is_last = i == n - 1;
-            self.shared.send_inbox.send(SendMsg::Frame {
-                bytes: p.encode(),
-                trace: is_last.then(|| Arc::clone(&trace)),
-            });
+            if !self
+                .shared
+                .queue_frame(frame, is_last.then(|| Arc::clone(&trace)))
+            {
+                return Err(SendError::Closed);
+            }
         }
         if !trace.accepted.wait_timeout(Duration::from_secs(30)) {
             return Err(SendError::Timeout);
@@ -1324,18 +1451,19 @@ impl NcsConnection {
         self.check_sendable(data)?;
         let t_entry = Instant::now();
         let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
-        // Header attach == packet encode.
-        let packets = self.shared.segment(session, data);
-        let frames: Vec<Vec<u8>> = packets.iter().map(DataPacket::encode).collect();
+        // Header attach == pooled frame encode.
+        let frames = self.shared.segment_frames(session, data);
         let t_header = Instant::now();
         let trace = SendTrace::new();
         let n = frames.len();
-        for (i, bytes) in frames.into_iter().enumerate() {
+        for (i, frame) in frames.into_iter().enumerate() {
             let is_last = i == n - 1;
-            self.shared.send_inbox.send(SendMsg::Frame {
-                bytes,
-                trace: is_last.then(|| Arc::clone(&trace)),
-            });
+            if !self
+                .shared
+                .queue_frame(frame, is_last.then(|| Arc::clone(&trace)))
+            {
+                return Err(SendError::Closed);
+            }
         }
         let t_queued = Instant::now();
         *trace.queued_at.lock() = Some(t_queued);

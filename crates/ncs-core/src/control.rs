@@ -29,16 +29,22 @@ pub(crate) fn spawn_cs(
 ) -> JoinHandle {
     pkg.spawn_with(
         SpawnOptions::new(format!("ncs-cs-{peer}")).daemon(true),
-        Box::new(move || loop {
-            match inbox.recv_timeout(IDLE_TICK) {
-                Ok(msg) => {
-                    if transport.send(&msg.encode()).is_err() {
-                        return;
+        Box::new(move || {
+            // One scratch buffer serves every control message this thread
+            // ever encodes (control frames are small and strictly serial).
+            let mut scratch = Vec::new();
+            loop {
+                match inbox.recv_timeout(IDLE_TICK) {
+                    Ok(msg) => {
+                        msg.encode_into(&mut scratch);
+                        if transport.send(&scratch).is_err() {
+                            return;
+                        }
                     }
-                }
-                Err(_) => {
-                    if shutdown.load(Ordering::Acquire) {
-                        return;
+                    Err(_) => {
+                        if shutdown.load(Ordering::Acquire) {
+                            return;
+                        }
                     }
                 }
             }

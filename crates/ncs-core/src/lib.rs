@@ -60,6 +60,7 @@ pub mod group;
 pub mod link;
 mod node;
 pub mod packet;
+pub mod pool;
 pub mod seq;
 pub mod stats;
 
@@ -67,4 +68,5 @@ pub use config::{ConnectionConfig, ConnectionConfigBuilder, ErrorControlAlg, Flo
 pub use connection::{NcsConnection, SendError};
 pub use group::{GroupError, MulticastAlgo, NcsGroup};
 pub use node::{AcceptError, ConnectError, NcsNode, NcsNodeBuilder};
+pub use pool::{BufPool, PoolStats, PooledBuf};
 pub use stats::{ConnectionStats, SendBreakdown};

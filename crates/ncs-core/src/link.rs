@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ncs_threads::sync::Mailbox;
-use ncs_transport::{aci, hpi, pipe, sci, Connection, TransportError};
+use ncs_transport::{aci, hpi, pipe, sci, Connection, TransportError, YieldHook};
 
 /// A bidirectional channel factory towards one peer node.
 pub trait PeerLink: Send + Sync + std::fmt::Debug {
@@ -42,6 +42,15 @@ pub trait PeerLink: Send + Sync + std::fmt::Debug {
     fn open_control_channel(&self) -> Result<Box<dyn Connection>, TransportError> {
         self.open_channel()
     }
+
+    /// Installs a cooperative yield hook on this link and every channel it
+    /// subsequently opens or accepts. Nodes running on the user-level
+    /// thread package install their scheduler's `yield_now` here so that
+    /// interfaces built on blocking system calls (SCI) poll cooperatively
+    /// instead of stalling the whole process — the paper's §4.1 receive
+    /// discipline. In-process interfaces already block through
+    /// package-aware primitives, so the default is a no-op.
+    fn set_yield_hook(&self, _hook: Option<YieldHook>) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -229,10 +238,18 @@ impl PeerLink for AciLink {
 /// from this node's own (shared) listener. Peer attribution of accepted
 /// channels comes from the NCS hello frame, so sharing one listener across
 /// peers is safe.
-#[derive(Debug)]
 pub struct SciLink {
     peer_addr: std::net::SocketAddr,
     listener: Arc<sci::SciListener>,
+    yield_hook: parking_lot::Mutex<Option<YieldHook>>,
+}
+
+impl std::fmt::Debug for SciLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SciLink")
+            .field("peer_addr", &self.peer_addr)
+            .finish()
+    }
 }
 
 impl SciLink {
@@ -242,21 +259,33 @@ impl SciLink {
         Arc::new(SciLink {
             peer_addr,
             listener,
+            yield_hook: parking_lot::Mutex::new(None),
         })
     }
 }
 
 impl PeerLink for SciLink {
     fn open_channel(&self) -> Result<Box<dyn Connection>, TransportError> {
-        Ok(Box::new(sci::connect(self.peer_addr)?))
+        let conn = sci::connect(self.peer_addr)?;
+        conn.set_yield_hook(self.yield_hook.lock().clone());
+        Ok(Box::new(conn))
     }
 
     fn accept_channel(&self, timeout: Duration) -> Result<Box<dyn Connection>, TransportError> {
-        Ok(Box::new(self.listener.accept_timeout(timeout)?))
+        let conn = self.listener.accept_timeout(timeout)?;
+        conn.set_yield_hook(self.yield_hook.lock().clone());
+        Ok(Box::new(conn))
     }
 
     fn interface(&self) -> &'static str {
         "SCI"
+    }
+
+    fn set_yield_hook(&self, hook: Option<YieldHook>) {
+        // The listener polls cooperatively too: the acceptor thread would
+        // otherwise monopolise a user-level scheduler with OS sleeps.
+        self.listener.set_yield_hook(hook.clone());
+        *self.yield_hook.lock() = hook;
     }
 }
 

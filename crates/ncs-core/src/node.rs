@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ncs_threads::sync::Mailbox;
-use ncs_threads::{JoinHandle, KernelPackage, SpawnOptions, ThreadPackage};
+use ncs_threads::{JoinHandle, KernelPackage, PackageKind, SpawnOptions, ThreadPackage};
 use ncs_transport::{Connection as Transport, TransportError};
 use parking_lot::Mutex;
 
@@ -16,6 +16,7 @@ use crate::connection::{dispatch_ctrl, spawn_connection_threads, ConnShared, Ncs
 use crate::control::{spawn_cr, spawn_cs};
 use crate::link::PeerLink;
 use crate::packet::{CtrlMsg, Hello};
+use crate::pool::{BufPool, PoolStats};
 
 const ACCEPT_POLL: Duration = Duration::from_millis(200);
 const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
@@ -108,6 +109,8 @@ struct PeerState {
 pub(crate) struct NodeInner {
     name: String,
     pkg: Arc<dyn ThreadPackage>,
+    /// Recycling frame-buffer pool shared by every connection's data plane.
+    pool: Arc<BufPool>,
     peers: Mutex<HashMap<String, PeerState>>,
     conns: Mutex<HashMap<u32, Arc<ConnShared>>>,
     /// (peer name, initiator conn id) -> acceptor conn id, for idempotent
@@ -135,6 +138,7 @@ impl std::fmt::Debug for NodeInner {
 pub struct NcsNodeBuilder {
     name: String,
     pkg: Option<Arc<dyn ThreadPackage>>,
+    pool: Option<Arc<BufPool>>,
 }
 
 impl NcsNodeBuilder {
@@ -142,6 +146,15 @@ impl NcsNodeBuilder {
     /// (defaults to the kernel-level package).
     pub fn thread_package(mut self, pkg: Arc<dyn ThreadPackage>) -> Self {
         self.pkg = Some(pkg);
+        self
+    }
+
+    /// Supplies the frame-buffer pool this node's data plane recycles
+    /// buffers through (defaults to a private [`BufPool::new`]). Sharing a
+    /// pool across co-located nodes lets one side's returns feed the
+    /// other's checkouts.
+    pub fn buffer_pool(mut self, pool: Arc<BufPool>) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -153,6 +166,7 @@ impl NcsNodeBuilder {
         let inner = Arc::new(NodeInner {
             name: self.name,
             pkg,
+            pool: self.pool.unwrap_or_else(BufPool::new),
             peers: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
             accepted_index: Mutex::new(HashMap::new()),
@@ -188,6 +202,7 @@ impl NcsNode {
         NcsNodeBuilder {
             name: name.to_owned(),
             pkg: None,
+            pool: None,
         }
     }
 
@@ -205,6 +220,13 @@ impl NcsNode {
     /// it. Must be called on both nodes (with matching link pair ends)
     /// before connections can be made.
     pub fn attach_peer(&self, peer: &str, link: Arc<dyn PeerLink>) {
+        if self.inner.pkg.kind() == PackageKind::UserLevel {
+            // §4.1: under the user-level package, blocking system calls
+            // stall every green thread. Links over such interfaces (SCI)
+            // switch to non-blocking polls + cooperative yields.
+            let pkg = Arc::clone(&self.inner.pkg);
+            link.set_yield_hook(Some(Arc::new(move || pkg.yield_now())));
+        }
         self.inner.peers.lock().insert(
             peer.to_owned(),
             PeerState {
@@ -255,6 +277,7 @@ impl NcsNode {
             peer.to_owned(),
             config.clone(),
             Arc::clone(&transport),
+            Arc::clone(&self.inner.pool),
             ctrl_tx,
         );
         self.inner.conns.lock().insert(conn_id, Arc::clone(&shared));
@@ -330,6 +353,18 @@ impl NcsNode {
     /// Number of live connections (diagnostics).
     pub fn connection_count(&self) -> usize {
         self.inner.conns.lock().len()
+    }
+
+    /// The node's frame-buffer pool.
+    pub fn buffer_pool(&self) -> Arc<BufPool> {
+        Arc::clone(&self.inner.pool)
+    }
+
+    /// Statistics of the node's frame-buffer pool. `checkouts` counts the
+    /// allocations the unpooled seed path would have made; `misses` counts
+    /// the allocations the pooled path actually made (see [`PoolStats`]).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.inner.pool.stats()
     }
 
     /// Shuts the node down: closes every connection, stops all NCS threads.
@@ -534,8 +569,14 @@ fn master_thread(inner: &Arc<NodeInner>) {
                     continue;
                 };
                 let conn_id = inner.next_conn.fetch_add(1, Ordering::Relaxed);
-                let shared =
-                    ConnShared::new(conn_id, peer, config, transport, Arc::clone(&ctrl_tx));
+                let shared = ConnShared::new(
+                    conn_id,
+                    peer,
+                    config,
+                    transport,
+                    Arc::clone(&inner.pool),
+                    Arc::clone(&ctrl_tx),
+                );
                 shared.mark_established(initiator_conn);
                 inner
                     .accepted_index

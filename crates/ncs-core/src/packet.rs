@@ -11,7 +11,10 @@
 //! Formats are hand-encoded big-endian; every decode validates lengths and
 //! tags.
 
+use std::sync::Arc;
+
 use crate::config::ConnectionConfig;
+use crate::pool::{BufPool, PooledBuf};
 use crate::seq::AckBitmap;
 
 /// Errors from decoding NCS packets.
@@ -73,27 +76,79 @@ pub struct DataPacket {
     pub payload: Vec<u8>,
 }
 
+impl DataHeader {
+    /// Encodes a full data frame — tag + this header + length-prefixed
+    /// `payload` — into `out`, replacing its contents. This is the zero-
+    /// intermediate encode path: callers segmenting straight out of a user
+    /// buffer frame each SDU without materialising a [`DataPacket`].
+    pub fn encode_frame_into(&self, payload: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(DATA_OVERHEAD + payload.len());
+        out.push(TAG_DATA);
+        out.extend_from_slice(&self.conn.to_be_bytes());
+        out.extend_from_slice(&self.src_conn.to_be_bytes());
+        out.extend_from_slice(&self.session.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.push(self.end as u8);
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(payload);
+    }
+
+    /// [`DataHeader::encode_frame_into`] targeting a buffer checked out of
+    /// `pool`.
+    pub fn encode_frame_pooled(&self, payload: &[u8], pool: &Arc<BufPool>) -> PooledBuf {
+        let mut buf = pool.get();
+        self.encode_frame_into(payload, buf.vec_mut());
+        buf
+    }
+}
+
+/// A decoded data frame borrowing its payload from the receive buffer
+/// (the allocation-free half of [`DataPacket::decode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataView<'a> {
+    /// The decoded header.
+    pub header: DataHeader,
+    /// Payload bytes, still inside the received frame.
+    pub payload: &'a [u8],
+}
+
+impl DataView<'_> {
+    /// Copies the borrowed payload into an owned [`DataPacket`].
+    pub fn to_packet(&self) -> DataPacket {
+        DataPacket {
+            header: self.header,
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
 impl DataPacket {
+    /// Encodes tag + header + length-prefixed payload into `out`,
+    /// replacing its contents.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.header.encode_frame_into(&self.payload, out);
+    }
+
+    /// Encodes into a buffer checked out of `pool` (the data-plane hot
+    /// path: the buffer returns to the pool once the frame is transmitted).
+    pub fn encode_pooled(&self, pool: &Arc<BufPool>) -> PooledBuf {
+        self.header.encode_frame_pooled(&self.payload, pool)
+    }
+
     /// Encodes tag + header + length-prefixed payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(DATA_OVERHEAD + self.payload.len());
-        out.push(TAG_DATA);
-        out.extend_from_slice(&self.header.conn.to_be_bytes());
-        out.extend_from_slice(&self.header.src_conn.to_be_bytes());
-        out.extend_from_slice(&self.header.session.to_be_bytes());
-        out.extend_from_slice(&self.header.seq.to_be_bytes());
-        out.push(self.header.end as u8);
-        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
-        out.extend_from_slice(&self.payload);
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
         out
     }
 
-    /// Decodes a frame produced by [`DataPacket::encode`].
+    /// Decodes a frame without copying the payload out of it.
     ///
     /// # Errors
     ///
     /// [`DecodeError`] on any malformation.
-    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+    pub fn peek(bytes: &[u8]) -> Result<DataView<'_>, DecodeError> {
         need(bytes, DATA_OVERHEAD, "data packet")?;
         if bytes[0] != TAG_DATA {
             return Err(DecodeError(format!("bad data tag {:#04x}", bytes[0])));
@@ -114,7 +169,7 @@ impl DataPacket {
                 bytes.len() - DATA_OVERHEAD
             )));
         }
-        Ok(DataPacket {
+        Ok(DataView {
             header: DataHeader {
                 conn,
                 src_conn,
@@ -122,8 +177,17 @@ impl DataPacket {
                 seq,
                 end,
             },
-            payload: bytes[DATA_OVERHEAD..].to_vec(),
+            payload: &bytes[DATA_OVERHEAD..],
         })
+    }
+
+    /// Decodes a frame produced by [`DataPacket::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on any malformation.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self::peek(bytes)?.to_packet())
     }
 }
 
@@ -183,9 +247,11 @@ pub enum CtrlMsg {
 }
 
 impl CtrlMsg {
-    /// Encodes tag + variant + fields.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = vec![TAG_CTRL];
+    /// Encodes tag + variant + fields into `out`, replacing its contents
+    /// (the Control Send Thread reuses one scratch buffer across messages).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.push(TAG_CTRL);
         match self {
             CtrlMsg::Ack {
                 conn,
@@ -233,6 +299,12 @@ impl CtrlMsg {
                 out.extend_from_slice(&conn.to_be_bytes());
             }
         }
+    }
+
+    /// Encodes tag + variant + fields.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
         out
     }
 
@@ -504,6 +576,56 @@ mod tests {
         bytes[7] = 0xFE;
         assert!(Hello::decode(&bytes).is_err());
         assert!(Hello::decode(&[TAG_HELLO, 9, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn pooled_encode_matches_plain_encode() {
+        let pool = BufPool::with_config(2, 4, 64);
+        let p = DataPacket {
+            header: DataHeader {
+                conn: 1,
+                src_conn: 2,
+                session: 3,
+                seq: 4,
+                end: true,
+            },
+            payload: vec![7; 33],
+        };
+        let pooled = p.encode_pooled(&pool);
+        assert_eq!(pooled.as_slice(), p.encode().as_slice());
+        // Direct header+slice framing is byte-identical too.
+        let framed = p.header.encode_frame_pooled(&p.payload, &pool);
+        assert_eq!(framed.as_slice(), p.encode().as_slice());
+    }
+
+    #[test]
+    fn peek_borrows_payload_without_copying() {
+        let p = DataPacket {
+            header: DataHeader {
+                conn: 9,
+                src_conn: 8,
+                session: 7,
+                seq: 6,
+                end: false,
+            },
+            payload: vec![1, 2, 3],
+        };
+        let bytes = p.encode();
+        let view = DataPacket::peek(&bytes).unwrap();
+        assert_eq!(view.header, p.header);
+        assert_eq!(view.payload, &[1, 2, 3]);
+        assert_eq!(view.to_packet(), p);
+    }
+
+    #[test]
+    fn ctrl_encode_into_reuses_scratch() {
+        let mut scratch = vec![0xEE; 50];
+        let m = CtrlMsg::Credit {
+            conn: 5,
+            credits: 8,
+        };
+        m.encode_into(&mut scratch);
+        assert_eq!(scratch, m.encode());
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Buffer-pool integration tests: concurrent checkout/return under both
+//! thread packages, exhaustion behaviour, and the byte-for-byte
+//! equivalence of the pooled encode/decode paths with the original
+//! `Vec`-allocating ones.
+
+use std::sync::Arc;
+
+use ncs_core::packet::{DataHeader, DataPacket};
+use ncs_core::pool::BufPool;
+use ncs_threads::{KernelPackage, ThreadPackage, ThreadPackageExt, UserRuntime};
+use proptest::prelude::*;
+
+/// `threads` workers, each checking out / filling / returning buffers
+/// `iters` times, with a cooperative yield between rounds so green-thread
+/// schedulers interleave.
+fn hammer(pkg: Arc<dyn ThreadPackage>, pool: Arc<BufPool>, threads: usize, iters: usize) {
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let pool = Arc::clone(&pool);
+            let pkg2 = Arc::clone(&pkg);
+            pkg.spawn_typed(&format!("pool-hammer-{t}"), move || {
+                for i in 0..iters {
+                    let mut a = pool.get();
+                    assert!(a.is_empty(), "checked-out buffers must be cleared");
+                    a.vec_mut().extend_from_slice(&[t as u8; 7]);
+                    let b = pool.get();
+                    assert_eq!(a.as_slice(), &[t as u8; 7]);
+                    drop(b);
+                    drop(a);
+                    if i % 8 == 0 {
+                        pkg2.yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("hammer worker panicked");
+    }
+}
+
+fn check_invariants(pool: &BufPool, expected_checkouts: u64) {
+    let s = pool.stats();
+    assert_eq!(s.checkouts, expected_checkouts);
+    assert_eq!(
+        s.checkouts,
+        s.hits + s.misses,
+        "every checkout is a hit or a miss: {s}"
+    );
+    assert_eq!(
+        s.checkouts,
+        s.returns + s.discards,
+        "every buffer came back (or was discarded): {s}"
+    );
+    assert!(
+        s.hits > 0,
+        "a hammered pool must recycle at least once: {s}"
+    );
+}
+
+#[test]
+fn concurrent_checkout_return_kernel_package() {
+    let pool = BufPool::with_config(4, 16, 64);
+    let pkg: Arc<dyn ThreadPackage> = Arc::new(KernelPackage::new());
+    hammer(pkg, Arc::clone(&pool), 8, 500);
+    check_invariants(&pool, 8 * 500 * 2);
+}
+
+#[test]
+fn concurrent_checkout_return_user_package() {
+    let pool = BufPool::with_config(4, 16, 64);
+    let stats_pool = Arc::clone(&pool);
+    UserRuntime::default().run(move |pkg| {
+        hammer(Arc::new(pkg), stats_pool, 8, 500);
+    });
+    check_invariants(&pool, 8 * 500 * 2);
+}
+
+#[test]
+fn exhaustion_falls_back_to_heap_under_load() {
+    // A pool holding at most 2 buffers, with 16 live checkouts at once:
+    // the 14 surplus checkouts must come from the heap, never block, and
+    // never corrupt the free lists.
+    let pool = BufPool::with_config(2, 1, 32);
+    let live: Vec<_> = (0..16).map(|_| pool.get()).collect();
+    let s = pool.stats();
+    assert_eq!(s.checkouts, 16);
+    assert_eq!(s.misses, 16, "an empty pool must allocate for everyone");
+    drop(live);
+    let s = pool.stats();
+    assert_eq!(s.returns, 2, "only the pool's capacity is retained");
+    assert_eq!(s.discards, 14);
+    assert_eq!(pool.free_buffers(), 2);
+    // The retained buffers now serve hits.
+    let a = pool.get();
+    let b = pool.get();
+    let c = pool.get();
+    assert_eq!(pool.stats().hits, 2);
+    drop((a, b, c));
+}
+
+proptest! {
+    /// The pooled encode path — including encoding into a *recycled*,
+    /// previously dirtied buffer — produces exactly the bytes of the
+    /// original `Vec`-allocating `encode`, and both decode paths agree.
+    #[test]
+    fn pooled_encode_decode_round_trips_like_vec_path(
+        conn: u32,
+        src_conn: u32,
+        session: u32,
+        seq: u32,
+        end: bool,
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let packet = DataPacket {
+            header: DataHeader { conn, src_conn, session, seq, end },
+            payload,
+        };
+        let reference = packet.encode();
+
+        let pool = BufPool::with_config(1, 2, 8);
+        // Dirty a buffer and return it so the pooled encode below recycles
+        // a used allocation rather than a fresh one.
+        {
+            let mut dirty = pool.get();
+            dirty.vec_mut().extend_from_slice(&[0xEE; 512]);
+        }
+        let pooled = packet.encode_pooled(&pool);
+        prop_assert_eq!(pooled.as_slice(), reference.as_slice());
+        prop_assert!(pool.stats().hits >= 1, "encode must reuse the dirty buffer");
+
+        // Direct header+slice framing (the bypass path) is identical too.
+        let framed = packet.header.encode_frame_pooled(&packet.payload, &pool);
+        prop_assert_eq!(framed.as_slice(), reference.as_slice());
+
+        // Decode equivalence: the zero-copy view and the owned decode see
+        // the same packet the seed path produced.
+        let view = DataPacket::peek(&pooled).expect("peek pooled frame");
+        prop_assert_eq!(view.header, packet.header);
+        prop_assert_eq!(view.payload, packet.payload.as_slice());
+        prop_assert_eq!(DataPacket::decode(&pooled).expect("decode"), packet);
+    }
+}

@@ -154,6 +154,91 @@ impl<T> Mailbox<T> {
         }
     }
 
+    /// Queues a message, giving up (and handing it back) if no space
+    /// opened up within `timeout`. Equivalent to [`Mailbox::send`] for
+    /// unbounded mailboxes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message in [`TrySendError`] on timeout.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), TrySendError<T>> {
+        if let Some(slots) = &self.slots {
+            if !slots.acquire_timeout(timeout) {
+                return Err(TrySendError(value));
+            }
+        }
+        self.queue.lock().push_back(value);
+        self.items.release();
+        Ok(())
+    }
+
+    /// Queues a batch of messages under **one** queue-lock acquisition,
+    /// taking as many as capacity allows; returns the messages that did not
+    /// fit (always empty for unbounded mailboxes). Relative order of the
+    /// accepted prefix is preserved; never blocks.
+    ///
+    /// This is the coalescing primitive behind the transports' batched
+    /// send paths: a ring/buffer is acquired once per batch instead of once
+    /// per frame.
+    pub fn try_send_many(&self, items: impl IntoIterator<Item = T>) -> Vec<T> {
+        let mut accepted: Vec<T> = Vec::new();
+        let mut rejected: Vec<T> = Vec::new();
+        let mut items = items.into_iter();
+        match &self.slots {
+            Some(slots) => {
+                for item in items.by_ref() {
+                    if slots.try_acquire() {
+                        accepted.push(item);
+                    } else {
+                        rejected.push(item);
+                        break;
+                    }
+                }
+                rejected.extend(items);
+            }
+            None => accepted.extend(items),
+        }
+        let n = accepted.len();
+        if n > 0 {
+            self.queue.lock().extend(accepted);
+            for _ in 0..n {
+                self.items.release();
+            }
+        }
+        rejected
+    }
+
+    /// Dequeues up to `max` messages under **one** queue-lock acquisition:
+    /// blocks until at least one message is available (or `timeout`
+    /// expires, returning an empty vector), then drains whatever else is
+    /// already queued, up to `max`.
+    pub fn recv_many(&self, max: usize, timeout: Duration) -> Vec<T> {
+        if max == 0 || !self.items.acquire_timeout(timeout) {
+            return Vec::new();
+        }
+        let mut taken = 1;
+        while taken < max && self.items.try_acquire() {
+            taken += 1;
+        }
+        let mut out = Vec::with_capacity(taken);
+        {
+            let mut queue = self.queue.lock();
+            for _ in 0..taken {
+                out.push(
+                    queue
+                        .pop_front()
+                        .expect("items semaphore guarantees queued messages"),
+                );
+            }
+        }
+        if let Some(slots) = &self.slots {
+            for _ in 0..taken {
+                slots.release();
+            }
+        }
+        out
+    }
+
     fn pop_after_acquire(&self) -> T {
         let value = self
             .queue
@@ -283,6 +368,45 @@ mod tests {
         let mut all = collected.lock().clone();
         all.sort_unstable();
         assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_send_many_fills_to_capacity_and_returns_rest() {
+        let m = Mailbox::bounded(3);
+        m.send(0);
+        let rejected = m.try_send_many(vec![1, 2, 3, 4]);
+        assert_eq!(rejected, vec![3, 4]);
+        for i in 0..3 {
+            assert_eq!(m.recv(), i);
+        }
+        assert_eq!(m.try_recv(), None);
+        // Unbounded mailboxes accept everything.
+        let u = Mailbox::unbounded();
+        assert!(u.try_send_many(vec![1, 2, 3]).is_empty());
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn recv_many_drains_in_order_up_to_max() {
+        let m = Mailbox::unbounded();
+        for i in 0..5 {
+            m.send(i);
+        }
+        assert_eq!(m.recv_many(3, Duration::from_millis(10)), vec![0, 1, 2]);
+        assert_eq!(m.recv_many(10, Duration::from_millis(10)), vec![3, 4]);
+        assert!(m.recv_many(3, Duration::from_millis(10)).is_empty());
+        assert!(m.recv_many(0, Duration::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn recv_many_releases_bounded_slots() {
+        let m = Mailbox::bounded(2);
+        m.send(1);
+        m.send(2);
+        assert_eq!(m.recv_many(2, Duration::from_millis(10)), vec![1, 2]);
+        // Both slots must be free again.
+        assert!(m.try_send(3).is_ok());
+        assert!(m.try_send(4).is_ok());
     }
 
     #[test]

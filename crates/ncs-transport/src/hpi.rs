@@ -163,6 +163,70 @@ impl Connection for HpiConnection {
         }
     }
 
+    fn send_batch(&self, frames: &[&[u8]]) -> Result<usize, TransportError> {
+        // Cut the batch at the first invalid frame: the valid prefix goes
+        // out (exactly as repeated `send` calls would have sent it) and the
+        // invalid frame's error resurfaces on the caller's retry.
+        let mut valid = frames.len();
+        let mut first_error = None;
+        for (i, frame) in frames.iter().enumerate() {
+            let error = if frame.is_empty() {
+                Some(TransportError::Empty)
+            } else if frame.len() > MAX_FRAME {
+                Some(TransportError::TooLarge {
+                    len: frame.len(),
+                    max: MAX_FRAME,
+                })
+            } else {
+                None
+            };
+            if let Some(e) = error {
+                valid = i;
+                first_error = Some(e);
+                break;
+            }
+        }
+        if valid == 0 {
+            if let Some(e) = first_error {
+                return Err(e);
+            }
+            return Ok(0);
+        }
+        if self.tx.closed.load(Ordering::Acquire) || self.rx.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        // One ring acquisition for the whole batch. As with single-frame
+        // sends, frames beyond the ring's free space are the receiver's
+        // overrun, not backpressure — so every valid frame "sends".
+        let rejected = self
+            .tx
+            .queue
+            .try_send_many(frames[..valid].iter().map(|f| f.to_vec()));
+        if !rejected.is_empty() {
+            self.tx
+                .overruns
+                .fetch_add(rejected.len() as u64, Ordering::Relaxed);
+        }
+        Ok(valid)
+    }
+
+    fn recv_many(&self, max: usize, timeout: Duration) -> Result<Vec<Vec<u8>>, TransportError> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        // One ring acquisition drains everything queued, up to `max`.
+        let frames = self.rx.queue.recv_many(max, timeout);
+        if frames.is_empty() {
+            if self.rx.closed.load(Ordering::Acquire) && self.rx.queue.is_empty() {
+                Err(TransportError::Closed)
+            } else {
+                Err(TransportError::Timeout)
+            }
+        } else {
+            Ok(frames)
+        }
+    }
+
     fn close(&self) {
         self.tx.closed.store(true, Ordering::Release);
         self.rx.closed.store(true, Ordering::Release);
@@ -255,6 +319,50 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         a.close();
         assert_eq!(t.join().unwrap(), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn send_batch_keeps_order_and_counts_overruns() {
+        let (a, b) = pair(4);
+        let frames: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i]).collect();
+        let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+        assert_eq!(a.send_batch(&refs).unwrap(), 6);
+        // Ring holds 4: the oldest four survive, two overran.
+        assert_eq!(a.overruns(), 2);
+        let got = b.recv_many(16, Duration::from_millis(100)).unwrap();
+        assert_eq!(got, vec![vec![0], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn recv_many_drains_then_times_out() {
+        let (a, b) = pair_default();
+        for i in 0..3u8 {
+            a.send(&[i]).unwrap();
+        }
+        let got = b.recv_many(8, Duration::from_millis(100)).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(
+            b.recv_many(8, Duration::from_millis(20)),
+            Err(TransportError::Timeout)
+        );
+        a.close();
+        assert_eq!(
+            b.recv_many(8, Duration::from_millis(20)),
+            Err(TransportError::Closed)
+        );
+    }
+
+    #[test]
+    fn send_batch_sends_valid_prefix_then_surfaces_error() {
+        let (a, b) = pair_default();
+        let ok: &[u8] = b"ok";
+        let empty: &[u8] = b"";
+        // The valid prefix goes out; the invalid frame errors on retry.
+        assert_eq!(a.send_batch(&[ok, empty]), Ok(1));
+        assert_eq!(a.send_batch(&[empty]), Err(TransportError::Empty));
+        assert_eq!(b.recv().unwrap(), b"ok");
+        a.close();
+        assert_eq!(a.send_batch(&[ok]), Err(TransportError::Closed));
     }
 
     #[test]

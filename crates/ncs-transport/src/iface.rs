@@ -1,7 +1,14 @@
 //! The [`Connection`] trait implemented by every NCS communication
 //! interface.
 
+use std::sync::Arc;
 use std::time::Duration;
+
+/// A cooperative yield callback, invoked between non-blocking polls by
+/// interfaces whose natural waits are blocking system calls (SCI). The
+/// paper's user-level-package receive discipline: "non-blocking system
+/// calls plus `thread_yield()`".
+pub type YieldHook = Arc<dyn Fn() + Send + Sync>;
 
 /// Static properties of a communication interface, consulted by NCS when
 /// configuring a connection (e.g. SCI is reliable, so the flow-/error-
@@ -74,6 +81,28 @@ impl From<std::io::Error> for TransportError {
 ///
 /// Implementations differ in reliability and cost (see [`Capabilities`]);
 /// NCS composes its flow-/error-control threads on top accordingly.
+///
+/// # Batching contract
+///
+/// [`Connection::send_batch`] and [`Connection::recv_many`] move several
+/// frames per transport acquisition. Every implementation — default or
+/// overridden — upholds the same contract:
+///
+/// * **Ordering is preserved.** Frames of a batch are transmitted, and
+///   delivered to the peer, in slice order; frames returned by `recv_many`
+///   are in arrival order. Interleaving batched and single-frame calls
+///   never reorders.
+/// * **Partial batches on backpressure.** `send_batch` may accept only a
+///   prefix of the batch: when the transport would block (full kernel
+///   buffer, exhausted ring) after at least one frame went out, it returns
+///   the count sent instead of blocking; the caller retries the remainder.
+///   It blocks (exactly like [`Connection::send`]) only when the *first*
+///   frame cannot be accepted. Likewise `recv_many` returns as soon as the
+///   receive queue empties — between 1 and `max` frames — rather than
+///   waiting to fill `max`.
+/// * **Equivalent semantics.** A batch behaves like the same frames sent
+///   through repeated [`Connection::send`] calls: per-frame validation,
+///   loss behaviour (e.g. HPI overruns) and close handling are unchanged.
 pub trait Connection: Send + Sync + std::fmt::Debug {
     /// The interface's static properties.
     fn caps(&self) -> Capabilities;
@@ -110,6 +139,52 @@ pub trait Connection: Send + Sync + std::fmt::Debug {
     ///
     /// As [`Connection::recv`].
     fn try_recv(&self) -> Result<Option<Vec<u8>>, TransportError>;
+
+    /// Transmits a batch of frames in order, returning how many were
+    /// accepted (see the trait-level batching contract). The default
+    /// implementation loops [`Connection::send`]; interfaces with a
+    /// coalescible ring or kernel buffer (HPI, PIPE, ACI) override it to
+    /// acquire that resource once per batch.
+    ///
+    /// # Errors
+    ///
+    /// Errors only when **no** frame of the batch was accepted, with the
+    /// same errors as [`Connection::send`]. After a partial batch the
+    /// failure resurfaces on the next call.
+    fn send_batch(&self, frames: &[&[u8]]) -> Result<usize, TransportError> {
+        for (i, frame) in frames.iter().enumerate() {
+            if let Err(e) = self.send(frame) {
+                return if i == 0 { Err(e) } else { Ok(i) };
+            }
+        }
+        Ok(frames.len())
+    }
+
+    /// Receives up to `max` frames: blocks until at least one arrives (or
+    /// `timeout` expires), then drains whatever else is already queued.
+    /// The default implementation combines [`Connection::recv_timeout`]
+    /// with [`Connection::try_recv`]; queue-backed interfaces override it
+    /// to drain under a single queue acquisition.
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::recv_timeout`] when no frame arrived at all; a
+    /// non-empty partial batch is returned even if the connection fails
+    /// mid-drain (the failure resurfaces on the next call).
+    fn recv_many(&self, max: usize, timeout: Duration) -> Result<Vec<Vec<u8>>, TransportError> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        let first = self.recv_timeout(timeout)?;
+        let mut out = vec![first];
+        while out.len() < max {
+            match self.try_recv() {
+                Ok(Some(frame)) => out.push(frame),
+                Ok(None) | Err(_) => break,
+            }
+        }
+        Ok(out)
+    }
 
     /// Closes the connection. Idempotent. Queued inbound frames remain
     /// receivable; subsequent sends fail with [`TransportError::Closed`].

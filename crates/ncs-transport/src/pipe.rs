@@ -292,6 +292,90 @@ impl Connection for PipeConnection {
         }
     }
 
+    fn send_batch(&self, frames: &[&[u8]]) -> Result<usize, TransportError> {
+        if self.model.is_some() {
+            // Modelled endpoints charge per-frame platform stack costs
+            // that must overlap the concurrent drain; batching them under
+            // the buffer lock would serialise sender and drain and distort
+            // the 1998 timing model. Keep the single-frame path.
+            for (i, frame) in frames.iter().enumerate() {
+                if let Err(e) = self.send(frame) {
+                    return if i == 0 { Err(e) } else { Ok(i) };
+                }
+            }
+            return Ok(frames.len());
+        }
+        let mut sent = 0;
+        let mut used = self.tx.used.lock();
+        // The kernel buffer is acquired once; frames are admitted back to
+        // back (the scatter-gather write of the era's writev).
+        for frame in frames {
+            let invalid = if frame.is_empty() {
+                Some(TransportError::Empty)
+            } else if frame.len() > MAX_FRAME {
+                Some(TransportError::TooLarge {
+                    len: frame.len(),
+                    max: MAX_FRAME,
+                })
+            } else if self.tx.closed.load(Ordering::Acquire) {
+                Some(TransportError::Closed)
+            } else {
+                None
+            };
+            if let Some(e) = invalid {
+                return if sent > 0 { Ok(sent) } else { Err(e) };
+            }
+            if frame.len() > self.tx.capacity {
+                // Oversized frames keep `write` blocked while the excess
+                // drains (the §4.1 model): hand them to the single-frame
+                // path, outside the buffer lock.
+                if sent > 0 {
+                    return Ok(sent);
+                }
+                drop(used);
+                self.send(frame)?;
+                return Ok(1);
+            }
+            if *used > 0 && *used + frame.len() > self.tx.capacity {
+                if sent > 0 {
+                    // Backpressure after progress: hand the partial batch
+                    // back instead of blocking (see the trait contract).
+                    return Ok(sent);
+                }
+                while *used > 0 && *used + frame.len() > self.tx.capacity {
+                    if self.tx.closed.load(Ordering::Acquire) {
+                        return Err(TransportError::Closed);
+                    }
+                    self.tx.space.wait(&mut used);
+                }
+            }
+            *used += frame.len();
+            self.tx.inflight.send(frame.to_vec());
+            sent += 1;
+        }
+        Ok(sent)
+    }
+
+    fn recv_many(&self, max: usize, timeout: Duration) -> Result<Vec<Vec<u8>>, TransportError> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        // One delivery-queue acquisition drains everything pending.
+        let frames = self.rx.delivered.recv_many(max, timeout);
+        if frames.is_empty() {
+            return if self.rx.closed.load(Ordering::Acquire) && self.rx.delivered.is_empty() {
+                Err(TransportError::Closed)
+            } else {
+                Err(TransportError::Timeout)
+            };
+        }
+        if let Some(m) = &self.model {
+            let total: Duration = frames.iter().map(|f| m.profile.recv_cost(f.len())).sum();
+            m.pacer.charge(total);
+        }
+        Ok(frames)
+    }
+
     fn close(&self) {
         self.tx.close();
         self.rx.close();
@@ -418,6 +502,61 @@ mod tests {
         let elapsed = start.elapsed();
         assert!(elapsed >= Duration::from_millis(3), "elapsed {elapsed:?}");
         assert_eq!(b.recv().unwrap().len(), 32 * 1024);
+    }
+
+    #[test]
+    fn send_batch_delivers_in_order() {
+        let (a, b) = pair(PipeConfig::default());
+        let frames: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 16]).collect();
+        let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+        assert_eq!(a.send_batch(&refs).unwrap(), 20);
+        for i in 0..20u8 {
+            assert_eq!(b.recv().unwrap(), vec![i; 16]);
+        }
+    }
+
+    #[test]
+    fn send_batch_returns_partial_on_backpressure() {
+        // 1 KB buffer, slow drain: the batch fills the buffer after a few
+        // frames and must come back partial instead of blocking.
+        let (a, b) = pair(PipeConfig {
+            buffer_bytes: 1024,
+            drain_bytes_per_sec: Some(10_000),
+            ..PipeConfig::default()
+        });
+        let frames: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 512]).collect();
+        let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+        let start = Instant::now();
+        let sent = a.send_batch(&refs).unwrap();
+        assert!(
+            (1..8).contains(&sent),
+            "expected a partial batch, got {sent}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(50),
+            "partial batch must not block"
+        );
+        // The remainder still goes through on retry (blocking as needed).
+        let mut done = sent;
+        while done < 8 {
+            done += a.send_batch(&refs[done..]).unwrap();
+        }
+        for i in 0..8u8 {
+            assert_eq!(b.recv().unwrap(), vec![i; 512]);
+        }
+    }
+
+    #[test]
+    fn recv_many_coalesces_delivered_frames() {
+        let (a, b) = pair(PipeConfig::default());
+        for i in 0..5u8 {
+            a.send(&[i]).unwrap();
+        }
+        let mut got = Vec::new();
+        while got.len() < 5 {
+            got.extend(b.recv_many(8, Duration::from_secs(1)).unwrap());
+        }
+        assert_eq!(got, (0..5u8).map(|i| vec![i]).collect::<Vec<_>>());
     }
 
     #[test]

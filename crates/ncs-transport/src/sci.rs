@@ -14,12 +14,11 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::iface::{Capabilities, Connection, TransportError};
+use crate::iface::{Capabilities, Connection, TransportError, YieldHook};
 
 /// Largest frame SCI accepts (sanity bound; TCP itself is a stream).
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
@@ -53,7 +52,7 @@ pub struct SciConnection {
     reader: Mutex<(TcpStream, ReadBuf)>,
     closed: AtomicBool,
     peer: SocketAddr,
-    yield_hook: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+    yield_hook: Mutex<Option<YieldHook>>,
 }
 
 impl std::fmt::Debug for SciConnection {
@@ -82,7 +81,7 @@ impl SciConnection {
     /// Switches receives to non-blocking polling, invoking `hook` between
     /// polls — the paper's user-level-package receive discipline
     /// (`NCS_thread_yield()` while no data is pending).
-    pub fn set_yield_hook(&self, hook: Option<Arc<dyn Fn() + Send + Sync>>) {
+    pub fn set_yield_hook(&self, hook: Option<YieldHook>) {
         *self.yield_hook.lock() = hook;
     }
 
@@ -231,9 +230,17 @@ impl Drop for SciConnection {
 }
 
 /// A TCP listener producing [`SciConnection`]s.
-#[derive(Debug)]
 pub struct SciListener {
     listener: TcpListener,
+    yield_hook: Mutex<Option<YieldHook>>,
+}
+
+impl std::fmt::Debug for SciListener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SciListener")
+            .field("local_addr", &self.listener.local_addr().ok())
+            .finish()
+    }
 }
 
 impl SciListener {
@@ -245,7 +252,15 @@ impl SciListener {
     pub fn bind(addr: &str) -> Result<Self, TransportError> {
         Ok(SciListener {
             listener: TcpListener::bind(addr)?,
+            yield_hook: Mutex::new(None),
         })
+    }
+
+    /// Makes [`SciListener::accept_timeout`] poll cooperatively: `hook`
+    /// runs between non-blocking accepts instead of an OS sleep, so an
+    /// acceptor green thread stops monopolising the user-level scheduler.
+    pub fn set_yield_hook(&self, hook: Option<YieldHook>) {
+        *self.yield_hook.lock() = hook;
     }
 
     /// The bound local address.
@@ -275,6 +290,7 @@ impl SciListener {
     /// propagates socket errors.
     pub fn accept_timeout(&self, timeout: Duration) -> Result<SciConnection, TransportError> {
         let deadline = Instant::now() + timeout;
+        let hook = self.yield_hook.lock().clone();
         self.listener.set_nonblocking(true)?;
         let result = loop {
             match self.listener.accept() {
@@ -283,7 +299,10 @@ impl SciListener {
                     if Instant::now() >= deadline {
                         break Err(TransportError::Timeout);
                     }
-                    std::thread::sleep(Duration::from_millis(5));
+                    match &hook {
+                        Some(h) => h(),
+                        None => std::thread::sleep(Duration::from_millis(5)),
+                    }
                 }
                 Err(e) => break Err(e.into()),
             }
@@ -323,6 +342,7 @@ pub fn loopback_pair() -> Result<(SciConnection, SciConnection), TransportError>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn loopback_round_trip() {
