@@ -14,6 +14,12 @@
 //! of the pooled data plane over the seed, and the run **fails** (exit 1)
 //! unless the HPI bulk path shows at least [`GATE_MIN_IMPROVEMENT`]x.
 //!
+//! A second section drives the **collectives engine**: allreduce and
+//! broadcast latency against group size over HPI, under both thread
+//! packages, comparing the binomial-tree broadcast with the repetitive
+//! flat multicast. The run fails unless the tree beats flat for every
+//! group of at least [`COLL_GATE_MIN_GROUP`] members.
+//!
 //! Usage: `perf_gate [--smoke] [--out PATH]`
 //!
 //! `--smoke` shrinks iteration counts for CI; `--out` overrides the output
@@ -21,20 +27,52 @@
 //!
 //! [`BufPool`]: ncs_core::BufPool
 
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ncs_collectives::{CollectiveGroup, ReduceOp, Topology};
 use ncs_core::link::{AciLink, HpiLinkPair, PipeLinkPair, SciLink};
 use ncs_core::{ConnectionConfig, NcsConnection, NcsNode, PoolStats};
 use ncs_threads::sync::Event;
-use ncs_threads::{KernelPackage, SwitchMech, ThreadPackage, UserConfig, UserRuntime};
+use ncs_threads::{
+    KernelPackage, SwitchMech, ThreadPackage, ThreadPackageExt, UserConfig, UserRuntime,
+};
 use ncs_transport::pipe::PipeConfig;
 use ncs_transport::sci::SciListener;
 
 /// The acceptance threshold on the HPI bulk path's allocation improvement.
 const GATE_MIN_IMPROVEMENT: f64 = 2.0;
+
+/// Group sizes the collectives section sweeps.
+const COLL_GROUP_SIZES: [usize; 3] = [2, 4, 8];
+
+/// Elements per member in the allreduce latency probe.
+const COLL_ALLREDUCE_ELEMS: usize = 64;
+
+/// Broadcast payload (bytes) for the binomial-vs-flat comparison: large
+/// enough that per-child fan-out work is visible next to the fixed
+/// submit/complete handoff, small enough that a round's frames fit the
+/// bounded send queues (no backpressure — the window must measure the
+/// origin's own work, not downstream drain).
+const COLL_BCAST_BYTES: usize = 32 * 1024;
+
+/// Untimed rounds before each measured broadcast window (warms the buffer
+/// pool's free lists and every thread's wake path, so the first topology
+/// measured is not penalised).
+const COLL_BCAST_WARMUP: usize = 4;
+
+/// Groups of at least this size must show the binomial tree beating the
+/// repetitive flat fan-out.
+const COLL_GATE_MIN_GROUP: usize = 4;
+
+/// Minimum origin-egress improvement (flat frames / binomial frames) the
+/// tree must show for gated group sizes. The structural ratio is
+/// `(n-1) / ⌈log₂ n⌉` — 1.5 at n=4 — so 1.3 leaves slack only for
+/// bookkeeping traffic, not for a broken topology.
+const COLL_GATE_MIN_EGRESS_RATIO: f64 = 1.3;
 
 /// Latency probe payload (bytes).
 const LAT_BYTES: usize = 64;
@@ -358,6 +396,187 @@ fn run_case(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Collectives section
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct CollCaseResult {
+    package: &'static str,
+    group_size: usize,
+    allreduce_iters: usize,
+    allreduce_median_us: f64,
+    bcast_rounds: usize,
+    /// Root-side broadcast cost per round (blocking call at the origin).
+    bcast_root_binomial_us: f64,
+    bcast_root_flat_us: f64,
+    /// Fence-confirmed completion per round (until every member holds the
+    /// payload).
+    bcast_done_binomial_us: f64,
+    bcast_done_flat_us: f64,
+    /// Data frames the origin transmitted during each topology's window —
+    /// the paper's spanning-tree claim (O(log n) copies instead of n-1),
+    /// measured from the root's connection counters.
+    root_frames_binomial: u64,
+    root_frames_flat: u64,
+    /// Origin egress improvement: flat frames / binomial frames.
+    egress_ratio: f64,
+}
+
+/// Builds an `n`-member collective group over an HPI full mesh, every node
+/// on `pkg`.
+fn build_coll_members(
+    n: usize,
+    pkg: &Arc<dyn ThreadPackage>,
+) -> (Vec<NcsNode>, Vec<Arc<CollectiveGroup>>, Vec<NcsConnection>) {
+    let nodes: Vec<NcsNode> = (0..n)
+        .map(|i| {
+            NcsNode::builder(&format!("coll{i}"))
+                .thread_package(Arc::clone(pkg))
+                .build()
+        })
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (li, lj) = HpiLinkPair::with_capacity(4096);
+            nodes[i].attach_peer(&format!("coll{j}"), li);
+            nodes[j].attach_peer(&format!("coll{i}"), lj);
+        }
+    }
+    let mut conns: Vec<HashMap<usize, NcsConnection>> = (0..n).map(|_| HashMap::new()).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let cij = nodes[i]
+                .connect(&format!("coll{j}"), ConnectionConfig::unreliable())
+                .expect("collectives connect");
+            let cji = nodes[j].accept_default().expect("collectives accept");
+            conns[i].insert(j, cij);
+            conns[j].insert(i, cji);
+        }
+    }
+    let root_conns: Vec<NcsConnection> = conns[0].values().cloned().collect();
+    let groups = nodes
+        .iter()
+        .zip(conns)
+        .enumerate()
+        .map(|(rank, (node, links))| {
+            Arc::new(CollectiveGroup::new(node, 1, rank, links).expect("collective group"))
+        })
+        .collect();
+    (nodes, groups, root_conns)
+}
+
+/// The schedule every member runs; rank 0 (the caller's thread, with its
+/// group-link clones in `root_conns`) returns the timings: allreduce
+/// median, then per broadcast topology the root's blocking cost per
+/// round, the fence-confirmed completion per round (the closing 1-element
+/// allreduce cannot finish until every member consumed the batch), and
+/// the data frames the origin transmitted in the window.
+fn coll_schedule(
+    rank: usize,
+    g: &CollectiveGroup,
+    root_conns: &[NcsConnection],
+    lat_iters: usize,
+    bcast_rounds: usize,
+) -> (f64, [(f64, f64, u64); 2]) {
+    let bcast_elems = COLL_BCAST_BYTES / 8;
+    // Allreduce latency (inherently synchronised; measured at rank 0).
+    let contrib = vec![rank as f64 + 1.0; COLL_ALLREDUCE_ELEMS];
+    let mut lat_us = Vec::with_capacity(lat_iters);
+    for _ in 0..lat_iters {
+        let t0 = Instant::now();
+        let s = g
+            .allreduce(contrib.clone(), ReduceOp::Sum)
+            .expect("allreduce");
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        debug_assert!(s.len() == COLL_ALLREDUCE_ELEMS);
+    }
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let allreduce_median_us = percentile(&lat_us, 0.50);
+    // Broadcast: binomial tree vs repetitive flat fan-out.
+    let mut per_topo = [(0.0f64, 0.0f64, 0u64); 2];
+    for (slot, topo) in [Topology::BinomialTree, Topology::Flat]
+        .into_iter()
+        .enumerate()
+    {
+        for _ in 0..COLL_BCAST_WARMUP {
+            let buf = vec![0u64; bcast_elems];
+            g.broadcast_with(0, buf, topo).expect("warmup broadcast");
+        }
+        let fence = g
+            .allreduce(vec![1.0f64], ReduceOp::Sum)
+            .expect("warmup fence");
+        debug_assert!(fence[0] >= 1.0);
+        let frames_before: u64 = root_conns.iter().map(|c| c.stats().packets_sent).sum();
+        let t0 = Instant::now();
+        for round in 0..bcast_rounds {
+            let buf: Vec<u64> = if rank == 0 {
+                vec![round as u64; bcast_elems]
+            } else {
+                vec![0u64; bcast_elems]
+            };
+            let got = g.broadcast_with(0, buf, topo).expect("broadcast");
+            debug_assert!(got[0] == round as u64);
+        }
+        let root_us = t0.elapsed().as_secs_f64() * 1e6 / bcast_rounds as f64;
+        let fence = g.allreduce(vec![1.0f64], ReduceOp::Sum).expect("fence");
+        debug_assert!(fence[0] >= 1.0);
+        let done_us = t0.elapsed().as_secs_f64() * 1e6 / bcast_rounds as f64;
+        // The fence guarantees every queued frame was transmitted, so the
+        // counter delta is the window's complete origin egress.
+        let frames_after: u64 = root_conns.iter().map(|c| c.stats().packets_sent).sum();
+        per_topo[slot] = (root_us, done_us, frames_after - frames_before);
+    }
+    (allreduce_median_us, per_topo)
+}
+
+fn run_coll_case(
+    group_size: usize,
+    package: Package,
+    pkg: Arc<dyn ThreadPackage>,
+    smoke: bool,
+) -> CollCaseResult {
+    let (lat_iters, bcast_rounds) = if smoke { (40, 12) } else { (200, 32) };
+    let (nodes, groups, root_conns) = build_coll_members(group_size, &pkg);
+    // Ranks 1.. run on package threads; rank 0 measures on this thread.
+    let members: Vec<_> = groups
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(rank, g)| {
+            let g = Arc::clone(g);
+            pkg.spawn_typed(&format!("coll-member-{rank}"), move || {
+                coll_schedule(rank, &g, &[], lat_iters, bcast_rounds);
+            })
+        })
+        .collect();
+    let (allreduce_median_us, per_topo) =
+        coll_schedule(0, &groups[0], &root_conns, lat_iters, bcast_rounds);
+    for m in members {
+        m.join().expect("collective member");
+    }
+    drop(groups);
+    for node in nodes {
+        node.shutdown();
+    }
+    let (bcast_root_binomial_us, bcast_done_binomial_us, root_frames_binomial) = per_topo[0];
+    let (bcast_root_flat_us, bcast_done_flat_us, root_frames_flat) = per_topo[1];
+    CollCaseResult {
+        package: package.name(),
+        group_size,
+        allreduce_iters: lat_iters,
+        allreduce_median_us,
+        bcast_rounds,
+        bcast_root_binomial_us,
+        bcast_root_flat_us,
+        bcast_done_binomial_us,
+        bcast_done_flat_us,
+        root_frames_binomial,
+        root_frames_flat,
+        egress_ratio: root_frames_flat as f64 / root_frames_binomial.max(1) as f64,
+    }
+}
+
 fn case_cfg(iface: Iface, package: Package, smoke: bool) -> BenchCfg {
     let (mut lat_iters, mut bulk_msgs) = if smoke { (30, 60) } else { (300, 500) };
     if iface == Iface::Sci && package == Package::User {
@@ -382,16 +601,20 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
+#[allow(clippy::too_many_arguments)]
 fn emit_json(
     out: &mut String,
     results: &[CaseResult],
+    coll_results: &[CollCaseResult],
     smoke: bool,
     gate_value: f64,
     gate_pass: bool,
+    coll_gate_value: f64,
+    coll_gate_pass: bool,
 ) {
     use std::fmt::Write as _;
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/1\",");
+    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/2\",");
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
@@ -412,6 +635,53 @@ fn emit_json(
     let _ = writeln!(out, "    \"threshold\": {GATE_MIN_IMPROVEMENT:.1},");
     let _ = writeln!(out, "    \"value\": {gate_value:.2},");
     let _ = writeln!(out, "    \"pass\": {gate_pass}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"collectives\": {{");
+    let _ = writeln!(out, "    \"interface\": \"HPI\",");
+    let _ = writeln!(out, "    \"allreduce_elems\": {COLL_ALLREDUCE_ELEMS},");
+    let _ = writeln!(out, "    \"broadcast_bytes\": {COLL_BCAST_BYTES},");
+    let _ = writeln!(out, "    \"gate\": {{");
+    let _ = writeln!(
+        out,
+        "      \"metric\": \"min origin egress improvement (flat frames / binomial frames) for groups >= {COLL_GATE_MIN_GROUP}\","
+    );
+    let _ = writeln!(out, "      \"threshold\": {COLL_GATE_MIN_EGRESS_RATIO:.1},");
+    let _ = writeln!(out, "      \"value\": {coll_gate_value:.2},");
+    let _ = writeln!(out, "      \"pass\": {coll_gate_pass}");
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"cases\": [");
+    for (i, r) in coll_results.iter().enumerate() {
+        let comma = if i + 1 < coll_results.len() { "," } else { "" };
+        let _ = writeln!(out, "      {{");
+        let _ = writeln!(
+            out,
+            "        \"package\": \"{}\", \"group_size\": {},",
+            json_escape_free(r.package),
+            r.group_size
+        );
+        let _ = writeln!(
+            out,
+            "        \"allreduce\": {{ \"iters\": {}, \"median_us\": {:.2} }},",
+            r.allreduce_iters, r.allreduce_median_us
+        );
+        let _ = writeln!(
+            out,
+            "        \"broadcast\": {{ \"rounds\": {}, \"root_binomial_us\": {:.2}, \"root_flat_us\": {:.2}, \
+             \"done_binomial_us\": {:.2}, \"done_flat_us\": {:.2},",
+            r.bcast_rounds,
+            r.bcast_root_binomial_us,
+            r.bcast_root_flat_us,
+            r.bcast_done_binomial_us,
+            r.bcast_done_flat_us,
+        );
+        let _ = writeln!(
+            out,
+            "          \"root_frames_binomial\": {}, \"root_frames_flat\": {}, \"egress_ratio\": {:.2} }}",
+            r.root_frames_binomial, r.root_frames_flat, r.egress_ratio
+        );
+        let _ = writeln!(out, "      }}{comma}");
+    }
+    let _ = writeln!(out, "    ]");
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"cases\": [");
     for (i, r) in results.iter().enumerate() {
@@ -511,6 +781,49 @@ fn main() {
         }
     }
 
+    // Collectives: allreduce + broadcast latency against group size, both
+    // packages, binomial tree vs repetitive flat fan-out.
+    let mut coll_results = Vec::new();
+    for package in [Package::Kernel, Package::User] {
+        for group_size in COLL_GROUP_SIZES {
+            eprintln!(
+                "perf_gate: collectives, {} package, {group_size} members...",
+                package.name()
+            );
+            let result = match package {
+                Package::Kernel => run_coll_case(
+                    group_size,
+                    package,
+                    Arc::new(KernelPackage::new()) as Arc<dyn ThreadPackage>,
+                    smoke,
+                ),
+                Package::User => UserRuntime::new(UserConfig {
+                    mech: SwitchMech::Native,
+                    ..UserConfig::default()
+                })
+                .run(move |pkg| {
+                    run_coll_case(
+                        group_size,
+                        package,
+                        Arc::new(pkg) as Arc<dyn ThreadPackage>,
+                        smoke,
+                    )
+                }),
+            };
+            eprintln!(
+                "  allreduce p50 {:.1} us; bcast done {:.1} us binomial vs {:.1} us flat; \
+                 origin egress {} vs {} frames ({:.2}x)",
+                result.allreduce_median_us,
+                result.bcast_done_binomial_us,
+                result.bcast_done_flat_us,
+                result.root_frames_binomial,
+                result.root_frames_flat,
+                result.egress_ratio,
+            );
+            coll_results.push(result);
+        }
+    }
+
     // The gate: the pooled+batched HPI bulk path must allocate at least
     // GATE_MIN_IMPROVEMENT times less than the seed path did.
     let gate_value = results
@@ -520,8 +833,27 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     let gate_pass = gate_value >= GATE_MIN_IMPROVEMENT;
 
+    // The collectives gate: the binomial tree must beat the repetitive
+    // flat fan-out on origin egress for every measured group of
+    // >= COLL_GATE_MIN_GROUP.
+    let coll_gate_value = coll_results
+        .iter()
+        .filter(|r| r.group_size >= COLL_GATE_MIN_GROUP)
+        .map(|r| r.egress_ratio)
+        .fold(f64::INFINITY, f64::min);
+    let coll_gate_pass = coll_gate_value >= COLL_GATE_MIN_EGRESS_RATIO;
+
     let mut json = String::new();
-    emit_json(&mut json, &results, smoke, gate_value, gate_pass);
+    emit_json(
+        &mut json,
+        &results,
+        &coll_results,
+        smoke,
+        gate_value,
+        gate_pass,
+        coll_gate_value,
+        coll_gate_pass,
+    );
     let mut file = std::fs::File::create(&out_path).expect("create output file");
     file.write_all(json.as_bytes()).expect("write output file");
     eprintln!("perf_gate: wrote {out_path}");
@@ -547,5 +879,17 @@ fn main() {
         );
         std::process::exit(1);
     }
-    eprintln!("perf_gate: PASS — HPI bulk allocation improvement {gate_value:.2}x");
+    if !coll_gate_pass {
+        eprintln!(
+            "perf_gate: FAIL — binomial-tree broadcast origin egress is only \
+             {coll_gate_value:.2}x better than the flat fan-out for some group of \
+             >= {COLL_GATE_MIN_GROUP} (must be >= {COLL_GATE_MIN_EGRESS_RATIO:.1}x)"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "perf_gate: PASS — HPI bulk allocation improvement {gate_value:.2}x, \
+         binomial broadcast origin egress {coll_gate_value:.2}x flat for groups \
+         >= {COLL_GATE_MIN_GROUP}"
+    );
 }

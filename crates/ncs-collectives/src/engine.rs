@@ -1,0 +1,1384 @@
+//! The collective engine: a per-member progress thread servicing typed
+//! collective operations over a group's pairwise NCS connections.
+//!
+//! # Architecture
+//!
+//! Each member of a [`CollectiveGroup`] runs:
+//!
+//! * one **pump thread per link**, draining that connection's delivery
+//!   queue into the member's frame inbox; and
+//! * one **collective progress thread** — the paper's overlap story made
+//!   concrete for group communication. Application threads *submit*
+//!   operations (a mailbox send) and immediately continue computing; the
+//!   progress thread executes the communication schedule (tree forwarding,
+//!   reduction folds, pipeline segment relays) and resolves the caller's
+//!   [`CollectiveHandle`] when the operation completes.
+//!
+//! All threads are spawned through the node's configured
+//! [`ncs_threads::ThreadPackage`], so the same engine runs over the
+//! kernel-level and the user-level (green-thread) package.
+//!
+//! # Ordering contract
+//!
+//! Like MPI, collective calls must be issued **in the same order on every
+//! member**. Within one member, submissions from concurrent threads are
+//! serialised by the group (the submission order is the execution order).
+//! Operations pipeline: a member may have many collectives outstanding;
+//! its progress thread executes them strictly in submission order while
+//! early-arriving frames for later operations are stashed.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ncs_core::{BufPool, NcsConnection, NcsNode, PooledBuf};
+use ncs_threads::sync::Mailbox;
+use ncs_threads::{JoinHandle, SpawnOptions, ThreadPackage};
+use parking_lot::Mutex;
+
+use crate::datatype::{fold_into, to_bytes, DType, ReduceOp, Scalar};
+use crate::frame::{decode_frame, encode_frame, Seg};
+use crate::handle::{CollectiveError, CollectiveHandle, OpCompletion};
+use crate::topology::{tree_children, tree_parent, tree_span, OpClass, Topology, TopologyPolicy};
+
+/// How often blocked engine loops re-check the closed flag.
+const TICK: Duration = Duration::from_millis(100);
+
+/// Tuning knobs of a [`CollectiveGroup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectiveConfig {
+    /// Pipeline segment size in bytes: payloads larger than this are cut
+    /// into segments that flow through trees and rings store-and-forward
+    /// style. Must not exceed the largest message the group's connections
+    /// accept.
+    pub seg_size: usize,
+    /// The per-operation topology selection policy.
+    pub policy: TopologyPolicy,
+    /// How long the progress thread waits on any one operation before
+    /// failing it with [`CollectiveError::Timeout`] (covers members that
+    /// never issue the matching call).
+    pub op_timeout: Duration,
+}
+
+impl Default for CollectiveConfig {
+    fn default() -> Self {
+        CollectiveConfig {
+            seg_size: 32 * 1024,
+            policy: TopologyPolicy::default(),
+            op_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Counters of a group's collective engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectiveStats {
+    /// Operations completed (successfully or not) by the progress thread.
+    pub ops_completed: u64,
+    /// Collective frames transmitted (including tree forwards).
+    pub frames_sent: u64,
+    /// Collective frames received and routed.
+    pub frames_received: u64,
+    /// Payload bytes transmitted.
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatCounters {
+    ops_completed: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Broadcast,
+    Reduce,
+    Allreduce,
+    Scatter,
+    Gather,
+    Allgather,
+    Barrier,
+}
+
+struct OpRequest {
+    coll: u32,
+    kind: OpKind,
+    /// Topology of the (first) phase.
+    topo: Topology,
+    /// Topology of the second phase (the broadcast half of allreduce /
+    /// tree allgather).
+    topo2: Topology,
+    root: usize,
+    payload: Vec<u8>,
+    /// Broadcast in-out contract: the byte length every member expects.
+    expect_len: usize,
+    combine: Option<(DType, ReduceOp)>,
+    timeout: Duration,
+    done: Arc<OpCompletion>,
+}
+
+struct Inner {
+    group: u32,
+    rank: usize,
+    size: usize,
+    cfg: CollectiveConfig,
+    links: HashMap<usize, NcsConnection>,
+    pool: Arc<BufPool>,
+    /// Submitted operations, consumed in order by the progress thread.
+    ops: Mailbox<OpRequest>,
+    /// Raw frames from all links: `(peer rank, frame bytes)`.
+    inbox: Mailbox<(usize, Vec<u8>)>,
+    next_coll: AtomicU32,
+    /// Makes (id assignment, queue insertion) atomic across submitters.
+    submit_lock: Mutex<()>,
+    closed: Arc<AtomicBool>,
+    stats: StatCounters,
+}
+
+impl Inner {
+    fn check_closed(&self) -> Result<(), CollectiveError> {
+        if self.closed.load(Ordering::Acquire) {
+            Err(CollectiveError::Closed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Relabelled rank of `abs` for a schedule rooted at `root`.
+    fn rel_of(&self, abs: usize, root: usize) -> usize {
+        (abs + self.size - root) % self.size
+    }
+
+    /// Absolute rank of relabelled `rel` for a schedule rooted at `root`.
+    fn abs_of(&self, rel: usize, root: usize) -> usize {
+        (rel + root) % self.size
+    }
+
+    /// Cuts `payload` into pipeline segments, each encoded once into a
+    /// pooled frame buffer.
+    fn encode_segments(&self, coll: u32, stream: u32, payload: &[u8]) -> Vec<PooledBuf> {
+        let seg = self.cfg.seg_size;
+        let n = payload.len().div_ceil(seg).max(1);
+        (0..n)
+            .map(|i| {
+                let lo = i * seg;
+                let hi = ((i + 1) * seg).min(payload.len());
+                encode_frame(
+                    &self.pool,
+                    self.group,
+                    coll,
+                    stream,
+                    i as u32,
+                    n as u32,
+                    &payload[lo..hi],
+                )
+            })
+            .collect()
+    }
+
+    /// Forwards one received frame verbatim (the relay path).
+    fn forward_raw(&self, peer: usize, raw: &[u8]) -> Result<(), CollectiveError> {
+        self.links[&peer].send_batch(&[raw])?;
+        self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_sent
+            .fetch_add(raw.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Ships pre-encoded frames to `peer` in one NCS batch.
+    fn send_frames(&self, peer: usize, frames: &[PooledBuf]) -> Result<(), CollectiveError> {
+        let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+        self.links[&peer].send_batch(&refs)?;
+        self.stats
+            .frames_sent
+            .fetch_add(frames.len() as u64, Ordering::Relaxed);
+        let bytes: usize = frames.iter().map(|f| f.as_slice().len()).sum();
+        self.stats
+            .bytes_sent
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Segments `payload` once and sends it to one peer.
+    fn send_segments(
+        &self,
+        peer: usize,
+        coll: u32,
+        stream: u32,
+        payload: &[u8],
+    ) -> Result<(), CollectiveError> {
+        self.send_frames(peer, &self.encode_segments(coll, stream, payload))
+    }
+
+    /// Tree/flat fan-out: encode every segment exactly once, then hand the
+    /// same frames to each peer's batch path.
+    fn fan_out(
+        &self,
+        peers: impl IntoIterator<Item = usize>,
+        coll: u32,
+        stream: u32,
+        payload: &[u8],
+    ) -> Result<(), CollectiveError> {
+        let frames = self.encode_segments(coll, stream, payload);
+        for p in peers {
+            self.send_frames(p, &frames)?;
+        }
+        Ok(())
+    }
+}
+
+/// Routes inbound frames to the operation schedules: frames arrive
+/// link-ordered but operations consume them `(peer, coll, stream)`-keyed,
+/// so early frames (deeper pipelines, later collectives) are stashed.
+struct Router {
+    inner: Arc<Inner>,
+    stash: HashMap<(usize, u32, u32), VecDeque<Seg>>,
+}
+
+impl Router {
+    fn new(inner: Arc<Inner>) -> Self {
+        Router {
+            inner,
+            stash: HashMap::new(),
+        }
+    }
+
+    /// Drops stashed frames no operation can consume any more (left behind
+    /// by operations that failed mid-schedule).
+    fn prune_below(&mut self, coll: u32) {
+        self.stash.retain(|&(_, c, _), _| c >= coll);
+    }
+
+    /// Receives the next segment of `(peer, coll, stream)`.
+    fn recv_seg(
+        &mut self,
+        peer: usize,
+        coll: u32,
+        stream: u32,
+        deadline: Instant,
+    ) -> Result<Seg, CollectiveError> {
+        let key = (peer, coll, stream);
+        loop {
+            if let Some(q) = self.stash.get_mut(&key) {
+                if let Some(s) = q.pop_front() {
+                    if q.is_empty() {
+                        self.stash.remove(&key);
+                    }
+                    return Ok(s);
+                }
+            }
+            self.inner.check_closed()?;
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CollectiveError::Timeout);
+            }
+            let wait = (deadline - now).min(TICK);
+            if let Ok((from, frame)) = self.inner.inbox.recv_timeout(wait) {
+                if let Some(seg) = decode_frame(frame, self.inner.group) {
+                    self.inner
+                        .stats
+                        .frames_received
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .stats
+                        .bytes_received
+                        .fetch_add(seg.payload().len() as u64, Ordering::Relaxed);
+                    self.stash
+                        .entry((from, seg.coll, seg.stream))
+                        .or_default()
+                        .push_back(seg);
+                }
+            }
+        }
+    }
+
+    /// Receives and reassembles a whole segmented transfer.
+    fn recv_payload(
+        &mut self,
+        peer: usize,
+        coll: u32,
+        stream: u32,
+        deadline: Instant,
+    ) -> Result<Vec<u8>, CollectiveError> {
+        let first = self.recv_seg(peer, coll, stream, deadline)?;
+        if first.seg != 0 {
+            return Err(CollectiveError::Protocol(format!(
+                "transfer started at segment {} (expected 0)",
+                first.seg
+            )));
+        }
+        let total = first.total;
+        if total == 1 {
+            // Hot path: hand the single segment's payload over without a
+            // copy (the header is drained off the received frame).
+            let mut raw = first.raw;
+            raw.drain(..crate::frame::COLL_OVERHEAD);
+            return Ok(raw);
+        }
+        let mut out = first.payload().to_vec();
+        for i in 1..total {
+            let s = self.recv_seg(peer, coll, stream, deadline)?;
+            if s.seg != i || s.total != total {
+                return Err(CollectiveError::Protocol(format!(
+                    "segment {}/{} arrived where {i}/{total} was expected",
+                    s.seg, s.total
+                )));
+            }
+            out.extend_from_slice(s.payload());
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operation schedules (run on the progress thread)
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn op_broadcast(
+    inner: &Inner,
+    router: &mut Router,
+    coll: u32,
+    stream: u32,
+    payload: Vec<u8>,
+    root: usize,
+    topo: Topology,
+    expect_len: usize,
+    deadline: Instant,
+) -> Result<Vec<u8>, CollectiveError> {
+    let size = inner.size;
+    if size == 1 {
+        return Ok(payload);
+    }
+    let rel = inner.rel_of(inner.rank, root);
+    let out = match topo {
+        Topology::Flat => {
+            if rel == 0 {
+                inner.fan_out(
+                    (0..size).filter(|&p| p != inner.rank),
+                    coll,
+                    stream,
+                    &payload,
+                )?;
+                payload
+            } else {
+                router.recv_payload(root, coll, stream, deadline)?
+            }
+        }
+        Topology::BinomialTree => {
+            let children = tree_children(rel, size);
+            if rel == 0 {
+                inner.fan_out(
+                    children.iter().map(|&(c, _)| inner.abs_of(c, root)),
+                    coll,
+                    stream,
+                    &payload,
+                )?;
+                payload
+            } else {
+                // Pipelined store-and-forward: each segment is relayed to
+                // the children the moment it arrives, bytes verbatim.
+                let parent = inner.abs_of(tree_parent(rel, size).expect("rel > 0"), root);
+                relay_segments(router, coll, stream, parent, deadline, |raw| {
+                    children
+                        .iter()
+                        .map(|&(c, _)| inner.abs_of(c, root))
+                        .try_for_each(|child| inner.forward_raw(child, raw))
+                })?
+            }
+        }
+        Topology::Ring => {
+            if rel == 0 {
+                inner.send_segments(inner.abs_of(1, root), coll, stream, &payload)?;
+                payload
+            } else {
+                let prev = inner.abs_of(rel - 1, root);
+                let next = (rel + 1 < size).then(|| inner.abs_of(rel + 1, root));
+                relay_segments(router, coll, stream, prev, deadline, |raw| match next {
+                    Some(n) => inner.forward_raw(n, raw),
+                    None => Ok(()),
+                })?
+            }
+        }
+    };
+    if out.len() != expect_len {
+        return Err(CollectiveError::Protocol(format!(
+            "broadcast delivered {} bytes where this member expected {expect_len} \
+             (every member must pass a same-length buffer)",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Receives a segmented transfer from `from`, handing each segment's raw
+/// frame bytes to `forward` (re-transmitted verbatim — no re-encode)
+/// before appending its payload to the result: the pipelined
+/// store-and-forward relay at the heart of tree and ring broadcasts.
+fn relay_segments(
+    router: &mut Router,
+    coll: u32,
+    stream: u32,
+    from: usize,
+    deadline: Instant,
+    mut forward: impl FnMut(&[u8]) -> Result<(), CollectiveError>,
+) -> Result<Vec<u8>, CollectiveError> {
+    let mut out = Vec::new();
+    let mut next = 0u32;
+    let mut total = 1u32;
+    while next < total {
+        let s = router.recv_seg(from, coll, stream, deadline)?;
+        if s.seg != next {
+            return Err(CollectiveError::Protocol(format!(
+                "segment {} arrived where {next} was expected",
+                s.seg
+            )));
+        }
+        total = s.total;
+        forward(&s.raw)?;
+        if total == 1 {
+            let mut raw = s.raw;
+            raw.drain(..crate::frame::COLL_OVERHEAD);
+            return Ok(raw);
+        }
+        out.extend_from_slice(s.payload());
+        next += 1;
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn op_reduce(
+    inner: &Inner,
+    router: &mut Router,
+    coll: u32,
+    stream: u32,
+    mut acc: Vec<u8>,
+    root: usize,
+    topo: Topology,
+    dtype: DType,
+    op: ReduceOp,
+    deadline: Instant,
+) -> Result<Vec<u8>, CollectiveError> {
+    let size = inner.size;
+    if size == 1 {
+        return Ok(acc);
+    }
+    let rel = inner.rel_of(inner.rank, root);
+    match topo {
+        Topology::Flat => {
+            if rel == 0 {
+                for p in 1..size {
+                    let v = router.recv_payload(inner.abs_of(p, root), coll, stream, deadline)?;
+                    fold_into(dtype, op, &mut acc, &v)?;
+                }
+                Ok(acc)
+            } else {
+                inner.send_segments(root, coll, stream, &acc)?;
+                Ok(Vec::new())
+            }
+        }
+        // A reduction has no pipeline to win from a chain; ring requests
+        // run the tree schedule.
+        Topology::BinomialTree | Topology::Ring => {
+            for (c, _) in tree_children(rel, size) {
+                let v = router.recv_payload(inner.abs_of(c, root), coll, stream, deadline)?;
+                fold_into(dtype, op, &mut acc, &v)?;
+            }
+            match tree_parent(rel, size) {
+                Some(p) => {
+                    inner.send_segments(inner.abs_of(p, root), coll, stream, &acc)?;
+                    Ok(Vec::new())
+                }
+                None => Ok(acc),
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn op_scatter(
+    inner: &Inner,
+    router: &mut Router,
+    coll: u32,
+    stream: u32,
+    payload: Vec<u8>,
+    root: usize,
+    topo: Topology,
+    deadline: Instant,
+) -> Result<Vec<u8>, CollectiveError> {
+    let size = inner.size;
+    if size == 1 {
+        return Ok(payload);
+    }
+    let rel = inner.rel_of(inner.rank, root);
+    // The root re-orders its rank-major buffer into relabelled order so
+    // every subtree is one contiguous byte range.
+    let (buf, span, chunk) = if rel == 0 {
+        if !payload.len().is_multiple_of(size) {
+            return Err(CollectiveError::BadArg(format!(
+                "scatter payload of {} bytes does not divide into {size} chunks",
+                payload.len()
+            )));
+        }
+        let chunk = payload.len() / size;
+        let mut rel_buf = Vec::with_capacity(payload.len());
+        for x in 0..size {
+            let r = inner.abs_of(x, root);
+            rel_buf.extend_from_slice(&payload[r * chunk..(r + 1) * chunk]);
+        }
+        (rel_buf, size, chunk)
+    } else {
+        match topo {
+            Topology::Flat => {
+                let own = router.recv_payload(root, coll, stream, deadline)?;
+                return Ok(own);
+            }
+            Topology::BinomialTree | Topology::Ring => {
+                let parent = inner.abs_of(tree_parent(rel, size).expect("rel > 0"), root);
+                let buf = router.recv_payload(parent, coll, stream, deadline)?;
+                let span = tree_span(rel, size);
+                if span == 0 || buf.len() % span != 0 {
+                    return Err(CollectiveError::Protocol(format!(
+                        "scatter subtree of {} bytes does not divide across {span} members",
+                        buf.len()
+                    )));
+                }
+                let chunk = buf.len() / span;
+                (buf, span, chunk)
+            }
+        }
+    };
+    match topo {
+        Topology::Flat => {
+            // Only the root reaches here.
+            for x in 1..span {
+                inner.send_segments(
+                    inner.abs_of(x, root),
+                    coll,
+                    stream,
+                    &buf[x * chunk..(x + 1) * chunk],
+                )?;
+            }
+        }
+        Topology::BinomialTree | Topology::Ring => {
+            for (c, c_span) in tree_children(rel, size) {
+                let lo = (c - rel) * chunk;
+                inner.send_segments(
+                    inner.abs_of(c, root),
+                    coll,
+                    stream,
+                    &buf[lo..lo + c_span * chunk],
+                )?;
+            }
+        }
+    }
+    Ok(buf[..chunk].to_vec())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn op_gather(
+    inner: &Inner,
+    router: &mut Router,
+    coll: u32,
+    stream: u32,
+    contrib: Vec<u8>,
+    root: usize,
+    topo: Topology,
+    deadline: Instant,
+) -> Result<Vec<u8>, CollectiveError> {
+    let size = inner.size;
+    if size == 1 {
+        return Ok(contrib);
+    }
+    let rel = inner.rel_of(inner.rank, root);
+    let chunk = contrib.len();
+    let rel_buf = match topo {
+        Topology::Flat => {
+            if rel != 0 {
+                inner.send_segments(root, coll, stream, &contrib)?;
+                return Ok(Vec::new());
+            }
+            let mut buf = vec![0u8; size * chunk];
+            buf[..chunk].copy_from_slice(&contrib);
+            for x in 1..size {
+                let v = router.recv_payload(inner.abs_of(x, root), coll, stream, deadline)?;
+                if v.len() != chunk {
+                    return Err(mismatched_contribution(v.len(), chunk));
+                }
+                buf[x * chunk..(x + 1) * chunk].copy_from_slice(&v);
+            }
+            buf
+        }
+        Topology::BinomialTree | Topology::Ring => {
+            let span = tree_span(rel, size);
+            let mut buf = vec![0u8; span * chunk];
+            buf[..chunk].copy_from_slice(&contrib);
+            for (c, c_span) in tree_children(rel, size) {
+                let v = router.recv_payload(inner.abs_of(c, root), coll, stream, deadline)?;
+                if v.len() != c_span * chunk {
+                    return Err(mismatched_contribution(v.len(), c_span * chunk));
+                }
+                let lo = (c - rel) * chunk;
+                buf[lo..lo + v.len()].copy_from_slice(&v);
+            }
+            match tree_parent(rel, size) {
+                Some(p) => {
+                    inner.send_segments(inner.abs_of(p, root), coll, stream, &buf)?;
+                    return Ok(Vec::new());
+                }
+                None => buf,
+            }
+        }
+    };
+    // Back to rank-major order for the caller.
+    let mut out = Vec::with_capacity(rel_buf.len());
+    for r in 0..size {
+        let x = inner.rel_of(r, root);
+        out.extend_from_slice(&rel_buf[x * chunk..(x + 1) * chunk]);
+    }
+    Ok(out)
+}
+
+fn mismatched_contribution(got: usize, want: usize) -> CollectiveError {
+    CollectiveError::Protocol(format!(
+        "gather contribution of {got} bytes where {want} were expected \
+         (every member must contribute equally)"
+    ))
+}
+
+fn op_allgather_ring(
+    inner: &Inner,
+    router: &mut Router,
+    coll: u32,
+    contrib: Vec<u8>,
+    deadline: Instant,
+) -> Result<Vec<u8>, CollectiveError> {
+    let size = inner.size;
+    let rank = inner.rank;
+    let chunk = contrib.len();
+    let mut out = vec![0u8; size * chunk];
+    out[rank * chunk..(rank + 1) * chunk].copy_from_slice(&contrib);
+    let right = (rank + 1) % size;
+    let left = (rank + size - 1) % size;
+    // Round r: pass along the block that originated r hops behind us.
+    for round in 0..size - 1 {
+        let send_block = (rank + size - round) % size;
+        inner.send_segments(
+            right,
+            coll,
+            round as u32,
+            &out[send_block * chunk..(send_block + 1) * chunk],
+        )?;
+        let recv_block = (rank + size - round - 1) % size;
+        let v = router.recv_payload(left, coll, round as u32, deadline)?;
+        if v.len() != chunk {
+            return Err(mismatched_contribution(v.len(), chunk));
+        }
+        out[recv_block * chunk..(recv_block + 1) * chunk].copy_from_slice(&v);
+    }
+    Ok(out)
+}
+
+fn op_barrier(
+    inner: &Inner,
+    router: &mut Router,
+    coll: u32,
+    deadline: Instant,
+) -> Result<(), CollectiveError> {
+    // Dissemination barrier: ⌈log₂ n⌉ rounds, no root hotspot, and every
+    // member leaves only after transitively hearing from every other.
+    let size = inner.size;
+    let rank = inner.rank;
+    let mut dist = 1;
+    let mut round = 0u32;
+    while dist < size {
+        inner.send_segments((rank + dist) % size, coll, round, &[])?;
+        router.recv_seg((rank + size - dist) % size, coll, round, deadline)?;
+        dist *= 2;
+        round += 1;
+    }
+    Ok(())
+}
+
+fn run_op(
+    inner: &Inner,
+    router: &mut Router,
+    req: &mut OpRequest,
+) -> Result<Vec<u8>, CollectiveError> {
+    let deadline = Instant::now() + req.timeout;
+    let payload = std::mem::take(&mut req.payload);
+    let coll = req.coll;
+    match req.kind {
+        OpKind::Broadcast => op_broadcast(
+            inner,
+            router,
+            coll,
+            0,
+            payload,
+            req.root,
+            req.topo,
+            req.expect_len,
+            deadline,
+        ),
+        OpKind::Reduce => {
+            let (dtype, op) = req.combine.expect("reduce carries a combine");
+            op_reduce(
+                inner, router, coll, 0, payload, req.root, req.topo, dtype, op, deadline,
+            )
+        }
+        OpKind::Allreduce => {
+            let (dtype, op) = req.combine.expect("allreduce carries a combine");
+            let expect = payload.len();
+            let acc = op_reduce(
+                inner, router, coll, 0, payload, req.root, req.topo, dtype, op, deadline,
+            )?;
+            // `acc` is the full reduction at the root, empty elsewhere.
+            op_broadcast(
+                inner, router, coll, 1, acc, req.root, req.topo2, expect, deadline,
+            )
+        }
+        OpKind::Scatter => op_scatter(
+            inner, router, coll, 0, payload, req.root, req.topo, deadline,
+        ),
+        OpKind::Gather => op_gather(
+            inner, router, coll, 0, payload, req.root, req.topo, deadline,
+        ),
+        OpKind::Allgather => match req.topo {
+            Topology::Ring => op_allgather_ring(inner, router, coll, payload, deadline),
+            _ => {
+                let chunk = payload.len();
+                let all = op_gather(
+                    inner, router, coll, 0, payload, req.root, req.topo, deadline,
+                )?;
+                op_broadcast(
+                    inner,
+                    router,
+                    coll,
+                    1,
+                    all,
+                    req.root,
+                    req.topo2,
+                    chunk * inner.size,
+                    deadline,
+                )
+            }
+        },
+        OpKind::Barrier => op_barrier(inner, router, coll, deadline).map(|()| Vec::new()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+fn pump_loop(inner: &Arc<Inner>, peer: usize) {
+    let conn = inner.links[&peer].clone();
+    loop {
+        if inner.closed.load(Ordering::Acquire) {
+            return;
+        }
+        match conn.recv_timeout(TICK) {
+            Ok(frame) => inner.inbox.send((peer, frame)),
+            Err(ncs_core::SendError::Timeout) => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+fn progress_loop(inner: &Arc<Inner>) {
+    let mut router = Router::new(Arc::clone(inner));
+    loop {
+        match inner.ops.recv_timeout(TICK) {
+            Ok(mut req) => {
+                router.prune_below(req.coll);
+                let result = run_op(inner, &mut router, &mut req);
+                inner.stats.ops_completed.fetch_add(1, Ordering::Relaxed);
+                req.done.complete(result);
+            }
+            Err(_) => {
+                if inner.closed.load(Ordering::Acquire) {
+                    // Fail anything still queued so no waiter hangs.
+                    while let Some(req) = inner.ops.try_recv() {
+                        req.done.complete(Err(CollectiveError::Closed));
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public handle
+// ---------------------------------------------------------------------------
+
+/// One member's endpoint of a collective group.
+///
+/// Built over dedicated pairwise NCS connections (a full mesh, as
+/// [`ncs_core::NcsGroup`] uses); the group owns their receive queues, so
+/// do not share the connections with point-to-point traffic.
+///
+/// Each member runs one **collective progress thread** plus one pump
+/// thread per link, all spawned through the node's configured thread
+/// package (kernel- or user-level). Application threads *submit*
+/// operations and keep computing; the progress thread executes the
+/// communication schedules and resolves the [`CollectiveHandle`]s.
+///
+/// **Ordering contract** (as MPI): collective calls must be issued in the
+/// same order on every member. Within one member, concurrent submissions
+/// are serialised — submission order is execution order. Operations
+/// pipeline: many may be outstanding, executed in submission order, with
+/// early-arriving frames for later operations stashed by the engine's
+/// router. See the [crate docs](crate) for a usage example.
+pub struct CollectiveGroup {
+    inner: Arc<Inner>,
+    handles: Vec<JoinHandle>,
+}
+
+impl std::fmt::Debug for CollectiveGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectiveGroup")
+            .field("id", &self.inner.group)
+            .field("rank", &self.inner.rank)
+            .field("size", &self.inner.size)
+            .finish()
+    }
+}
+
+impl CollectiveGroup {
+    /// Forms collective group `id` with this member at `rank`, over
+    /// `links` mapping every other member's rank to an established
+    /// connection, with the default [`CollectiveConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`CollectiveError::BadArg`] unless `links` covers exactly the ranks
+    /// `0..size` minus `rank`.
+    pub fn new(
+        node: &NcsNode,
+        id: u32,
+        rank: usize,
+        links: HashMap<usize, NcsConnection>,
+    ) -> Result<Self, CollectiveError> {
+        Self::with_config(node, id, rank, links, CollectiveConfig::default())
+    }
+
+    /// [`CollectiveGroup::new`] with explicit tuning knobs.
+    ///
+    /// # Errors
+    ///
+    /// As [`CollectiveGroup::new`].
+    pub fn with_config(
+        node: &NcsNode,
+        id: u32,
+        rank: usize,
+        links: HashMap<usize, NcsConnection>,
+        cfg: CollectiveConfig,
+    ) -> Result<Self, CollectiveError> {
+        let size = links.len() + 1;
+        if links.contains_key(&rank) {
+            return Err(CollectiveError::BadArg(format!(
+                "links must not include own rank {rank}"
+            )));
+        }
+        for r in 0..size {
+            if r != rank && !links.contains_key(&r) {
+                return Err(CollectiveError::BadArg(format!(
+                    "missing link to rank {r} (size {size})"
+                )));
+            }
+        }
+        if cfg.seg_size == 0 {
+            return Err(CollectiveError::BadArg("seg_size must be positive".into()));
+        }
+        let inner = Arc::new(Inner {
+            group: id,
+            rank,
+            size,
+            cfg,
+            links,
+            pool: node.buffer_pool(),
+            ops: Mailbox::unbounded(),
+            inbox: Mailbox::unbounded(),
+            next_coll: AtomicU32::new(0),
+            submit_lock: Mutex::new(()),
+            closed: Arc::new(AtomicBool::new(false)),
+            stats: StatCounters::default(),
+        });
+        let pkg: Arc<dyn ThreadPackage> = node.thread_package();
+        let mut handles = Vec::new();
+        for &peer in inner.links.keys() {
+            let i = Arc::clone(&inner);
+            handles.push(pkg.spawn_with(
+                SpawnOptions::new(format!("ncs-coll{id}-r{rank}-pump{peer}")).daemon(true),
+                Box::new(move || pump_loop(&i, peer)),
+            ));
+        }
+        let i = Arc::clone(&inner);
+        handles.push(pkg.spawn_with(
+            SpawnOptions::new(format!("ncs-coll{id}-r{rank}-progress")).daemon(true),
+            Box::new(move || progress_loop(&i)),
+        ));
+        Ok(CollectiveGroup { inner, handles })
+    }
+
+    /// This member's rank.
+    pub fn rank(&self) -> usize {
+        self.inner.rank
+    }
+
+    /// Group size (members).
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// The group's configuration.
+    pub fn config(&self) -> CollectiveConfig {
+        self.inner.cfg
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> CollectiveStats {
+        let s = &self.inner.stats;
+        CollectiveStats {
+            ops_completed: s.ops_completed.load(Ordering::Relaxed),
+            frames_sent: s.frames_sent.load(Ordering::Relaxed),
+            frames_received: s.frames_received.load(Ordering::Relaxed),
+            bytes_sent: s.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: s.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Leaves the group: stops the progress and pump threads, failing any
+    /// queued operations with [`CollectiveError::Closed`]. The underlying
+    /// connections remain open (owned by the caller's node). Idempotent.
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::Release);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit(
+        &self,
+        kind: OpKind,
+        root: usize,
+        payload: Vec<u8>,
+        expect_len: usize,
+        topo: Topology,
+        topo2: Topology,
+        combine: Option<(DType, ReduceOp)>,
+    ) -> Result<Arc<OpCompletion>, CollectiveError> {
+        self.inner.check_closed()?;
+        if root >= self.inner.size {
+            return Err(CollectiveError::BadArg(format!(
+                "root {root} out of range for group of {}",
+                self.inner.size
+            )));
+        }
+        let done = OpCompletion::new();
+        let _order = self.inner.submit_lock.lock();
+        let coll = self.inner.next_coll.fetch_add(1, Ordering::Relaxed);
+        self.inner.ops.send(OpRequest {
+            coll,
+            kind,
+            topo,
+            topo2,
+            root,
+            payload,
+            expect_len,
+            combine,
+            timeout: self.inner.cfg.op_timeout,
+            done: Arc::clone(&done),
+        });
+        Ok(done)
+    }
+
+    // -- broadcast ---------------------------------------------------------
+
+    /// Nonblocking broadcast from `root`.
+    ///
+    /// In-out buffer semantics (as MPI's `MPI_Bcast`): **every member must
+    /// pass a buffer of the same length** — the root's contents are
+    /// distributed, the others' are replaced. The shared length is what
+    /// lets every member select the same topology independently.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectiveError::BadArg`] / [`CollectiveError::Closed`] at
+    /// submission; the operation's own errors surface on the handle.
+    pub fn ibroadcast<T: Scalar>(
+        &self,
+        root: usize,
+        buf: Vec<T>,
+    ) -> Result<CollectiveHandle<Vec<T>>, CollectiveError> {
+        let bytes = buf.len() * T::DTYPE.elem_size();
+        let topo = self
+            .inner
+            .cfg
+            .policy
+            .select(OpClass::Broadcast, self.inner.size, bytes);
+        self.ibroadcast_with(root, buf, topo)
+    }
+
+    /// [`CollectiveGroup::ibroadcast`] over an explicit topology (every
+    /// member must pass the same one).
+    ///
+    /// # Errors
+    ///
+    /// As [`CollectiveGroup::ibroadcast`].
+    pub fn ibroadcast_with<T: Scalar>(
+        &self,
+        root: usize,
+        buf: Vec<T>,
+        topo: Topology,
+    ) -> Result<CollectiveHandle<Vec<T>>, CollectiveError> {
+        let expect = buf.len() * T::DTYPE.elem_size();
+        let payload = if self.inner.rank == root {
+            to_bytes(&buf)
+        } else {
+            Vec::new()
+        };
+        let done = self.submit(OpKind::Broadcast, root, payload, expect, topo, topo, None)?;
+        Ok(CollectiveHandle::new(done))
+    }
+
+    /// Blocking [`CollectiveGroup::ibroadcast`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CollectiveError`].
+    pub fn broadcast<T: Scalar>(
+        &self,
+        root: usize,
+        buf: Vec<T>,
+    ) -> Result<Vec<T>, CollectiveError> {
+        self.ibroadcast(root, buf)?.wait()
+    }
+
+    /// Blocking [`CollectiveGroup::ibroadcast_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CollectiveError`].
+    pub fn broadcast_with<T: Scalar>(
+        &self,
+        root: usize,
+        buf: Vec<T>,
+        topo: Topology,
+    ) -> Result<Vec<T>, CollectiveError> {
+        self.ibroadcast_with(root, buf, topo)?.wait()
+    }
+
+    // -- reduce / allreduce ------------------------------------------------
+
+    /// Nonblocking reduction to `root`: every member contributes an
+    /// equal-length vector; the handle resolves to the elementwise
+    /// reduction at the root and to an empty vector elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// As [`CollectiveGroup::ibroadcast`].
+    pub fn ireduce<T: Scalar>(
+        &self,
+        root: usize,
+        contrib: Vec<T>,
+        op: ReduceOp,
+    ) -> Result<CollectiveHandle<Vec<T>>, CollectiveError> {
+        let topo = self.inner.cfg.policy.select(
+            OpClass::Reduce,
+            self.inner.size,
+            contrib.len() * T::DTYPE.elem_size(),
+        );
+        let done = self.submit(
+            OpKind::Reduce,
+            root,
+            to_bytes(&contrib),
+            0,
+            topo,
+            topo,
+            Some((T::DTYPE, op)),
+        )?;
+        Ok(CollectiveHandle::new(done))
+    }
+
+    /// Blocking [`CollectiveGroup::ireduce`]: `Some(result)` at the root,
+    /// `None` elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// See [`CollectiveError`].
+    pub fn reduce<T: Scalar>(
+        &self,
+        root: usize,
+        contrib: Vec<T>,
+        op: ReduceOp,
+    ) -> Result<Option<Vec<T>>, CollectiveError> {
+        let v = self.ireduce(root, contrib, op)?.wait()?;
+        Ok((self.inner.rank == root).then_some(v))
+    }
+
+    /// Nonblocking allreduce (reduce to rank 0, then broadcast): the
+    /// handle resolves to the full reduction on every member.
+    ///
+    /// # Errors
+    ///
+    /// As [`CollectiveGroup::ibroadcast`].
+    pub fn iallreduce<T: Scalar>(
+        &self,
+        contrib: Vec<T>,
+        op: ReduceOp,
+    ) -> Result<CollectiveHandle<Vec<T>>, CollectiveError> {
+        let bytes = contrib.len() * T::DTYPE.elem_size();
+        let policy = &self.inner.cfg.policy;
+        let topo = policy.select(OpClass::Reduce, self.inner.size, bytes);
+        let topo2 = policy.select(OpClass::Broadcast, self.inner.size, bytes);
+        let done = self.submit(
+            OpKind::Allreduce,
+            0,
+            to_bytes(&contrib),
+            0,
+            topo,
+            topo2,
+            Some((T::DTYPE, op)),
+        )?;
+        Ok(CollectiveHandle::new(done))
+    }
+
+    /// Blocking [`CollectiveGroup::iallreduce`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CollectiveError`].
+    pub fn allreduce<T: Scalar>(
+        &self,
+        contrib: Vec<T>,
+        op: ReduceOp,
+    ) -> Result<Vec<T>, CollectiveError> {
+        self.iallreduce(contrib, op)?.wait()
+    }
+
+    // -- scatter / gather / allgather -------------------------------------
+
+    /// Nonblocking scatter from `root`: the root's vector is cut into
+    /// `size` equal chunks and chunk `r` is delivered to rank `r` (other
+    /// members pass an empty vector). The handle resolves to this member's
+    /// chunk.
+    ///
+    /// # Errors
+    ///
+    /// As [`CollectiveGroup::ibroadcast`], plus
+    /// [`CollectiveError::BadArg`] at the root when the vector does not
+    /// divide evenly.
+    pub fn iscatter<T: Scalar>(
+        &self,
+        root: usize,
+        data: Vec<T>,
+    ) -> Result<CollectiveHandle<Vec<T>>, CollectiveError> {
+        if self.inner.rank == root && !data.len().is_multiple_of(self.inner.size) {
+            return Err(CollectiveError::BadArg(format!(
+                "scatter of {} elements does not divide across {} members",
+                data.len(),
+                self.inner.size
+            )));
+        }
+        let topo = self
+            .inner
+            .cfg
+            .policy
+            .select(OpClass::Scatter, self.inner.size, 0);
+        let done = self.submit(OpKind::Scatter, root, to_bytes(&data), 0, topo, topo, None)?;
+        Ok(CollectiveHandle::new(done))
+    }
+
+    /// Blocking [`CollectiveGroup::iscatter`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CollectiveError`].
+    pub fn scatter<T: Scalar>(&self, root: usize, data: Vec<T>) -> Result<Vec<T>, CollectiveError> {
+        self.iscatter(root, data)?.wait()
+    }
+
+    /// Nonblocking gather to `root`: every member contributes an
+    /// equal-length vector; the handle resolves to the rank-ordered
+    /// concatenation at the root and to an empty vector elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// As [`CollectiveGroup::ibroadcast`].
+    pub fn igather<T: Scalar>(
+        &self,
+        root: usize,
+        contrib: Vec<T>,
+    ) -> Result<CollectiveHandle<Vec<T>>, CollectiveError> {
+        let topo = self
+            .inner
+            .cfg
+            .policy
+            .select(OpClass::Gather, self.inner.size, 0);
+        let done = self.submit(
+            OpKind::Gather,
+            root,
+            to_bytes(&contrib),
+            0,
+            topo,
+            topo,
+            None,
+        )?;
+        Ok(CollectiveHandle::new(done))
+    }
+
+    /// Blocking [`CollectiveGroup::igather`]: `Some(concatenation)` at the
+    /// root, `None` elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// See [`CollectiveError`].
+    pub fn gather<T: Scalar>(
+        &self,
+        root: usize,
+        contrib: Vec<T>,
+    ) -> Result<Option<Vec<T>>, CollectiveError> {
+        let v = self.igather(root, contrib)?.wait()?;
+        Ok((self.inner.rank == root).then_some(v))
+    }
+
+    /// Nonblocking allgather: every member contributes an equal-length
+    /// vector and the handle resolves to the rank-ordered concatenation on
+    /// every member.
+    ///
+    /// # Errors
+    ///
+    /// As [`CollectiveGroup::ibroadcast`].
+    pub fn iallgather<T: Scalar>(
+        &self,
+        contrib: Vec<T>,
+    ) -> Result<CollectiveHandle<Vec<T>>, CollectiveError> {
+        let bytes = contrib.len() * T::DTYPE.elem_size();
+        let policy = &self.inner.cfg.policy;
+        let topo = policy.select(OpClass::Allgather, self.inner.size, bytes);
+        let topo2 = policy.select(
+            OpClass::Broadcast,
+            self.inner.size,
+            bytes.saturating_mul(self.inner.size),
+        );
+        let done = self.submit(
+            OpKind::Allgather,
+            0,
+            to_bytes(&contrib),
+            0,
+            topo,
+            topo2,
+            None,
+        )?;
+        Ok(CollectiveHandle::new(done))
+    }
+
+    /// Blocking [`CollectiveGroup::iallgather`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CollectiveError`].
+    pub fn allgather<T: Scalar>(&self, contrib: Vec<T>) -> Result<Vec<T>, CollectiveError> {
+        self.iallgather(contrib)?.wait()
+    }
+
+    // -- barrier -----------------------------------------------------------
+
+    /// Nonblocking barrier (dissemination schedule, `⌈log₂ n⌉` rounds):
+    /// the handle resolves once every member has entered the barrier.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectiveError::Closed`] at submission.
+    pub fn ibarrier(&self) -> Result<CollectiveHandle<()>, CollectiveError> {
+        let done = self.submit(
+            OpKind::Barrier,
+            0,
+            Vec::new(),
+            0,
+            Topology::Flat,
+            Topology::Flat,
+            None,
+        )?;
+        Ok(CollectiveHandle::new(done))
+    }
+
+    /// Blocking [`CollectiveGroup::ibarrier`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CollectiveError`].
+    pub fn barrier(&self) -> Result<(), CollectiveError> {
+        self.ibarrier()?.wait()
+    }
+}
+
+impl Drop for CollectiveGroup {
+    fn drop(&mut self) {
+        self.close();
+        for h in self.handles.drain(..) {
+            let _ = h.join_timeout(Duration::from_secs(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_is_validated() {
+        let node = NcsNode::builder("solo").build();
+        // A singleton group is valid.
+        let g = CollectiveGroup::new(&node, 1, 0, HashMap::new()).unwrap();
+        assert_eq!(g.size(), 1);
+        assert_eq!(g.rank(), 0);
+        // Singleton collectives complete locally.
+        assert_eq!(g.allreduce(vec![3u32], ReduceOp::Sum).unwrap(), vec![3]);
+        assert_eq!(g.broadcast(0, vec![1u8, 2]).unwrap(), vec![1, 2]);
+        assert_eq!(g.scatter(0, vec![9i64]).unwrap(), vec![9]);
+        assert_eq!(g.gather(0, vec![4f32]).unwrap(), Some(vec![4.0]));
+        assert_eq!(g.allgather(vec![5u64]).unwrap(), vec![5]);
+        g.barrier().unwrap();
+        assert!(g.stats().ops_completed >= 6);
+        // Root out of range is rejected at submission.
+        assert!(matches!(
+            g.broadcast(3, vec![0u8]),
+            Err(CollectiveError::BadArg(_))
+        ));
+        drop(g);
+        node.shutdown();
+    }
+
+    #[test]
+    fn zero_seg_size_rejected() {
+        let node = NcsNode::builder("cfg").build();
+        let cfg = CollectiveConfig {
+            seg_size: 0,
+            ..CollectiveConfig::default()
+        };
+        assert!(matches!(
+            CollectiveGroup::with_config(&node, 1, 0, HashMap::new(), cfg),
+            Err(CollectiveError::BadArg(_))
+        ));
+        node.shutdown();
+    }
+
+    #[test]
+    fn closed_group_rejects_submissions() {
+        let node = NcsNode::builder("closer").build();
+        let g = CollectiveGroup::new(&node, 1, 0, HashMap::new()).unwrap();
+        g.close();
+        assert!(matches!(g.barrier(), Err(CollectiveError::Closed)));
+        drop(g);
+        node.shutdown();
+    }
+}

@@ -1,0 +1,205 @@
+//! Nonblocking completion handles and collective errors.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ncs_core::SendError;
+use ncs_threads::sync::Event;
+use parking_lot::Mutex;
+
+use crate::datatype::{from_bytes, Scalar};
+
+/// Errors from collective operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// The group (or an underlying connection) was closed.
+    Closed,
+    /// The operation did not complete in time — usually a member that
+    /// never issued the matching call.
+    Timeout,
+    /// A group link failed.
+    Send(SendError),
+    /// Invalid argument (root out of range, non-divisible scatter payload).
+    BadArg(String),
+    /// Members disagreed about the operation (mismatched contribution
+    /// sizes, malformed frames) or a result was consumed twice.
+    Protocol(String),
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectiveError::Closed => write!(f, "collective group closed"),
+            CollectiveError::Timeout => write!(f, "collective operation timed out"),
+            CollectiveError::Send(e) => write!(f, "group link failure: {e}"),
+            CollectiveError::BadArg(why) => write!(f, "bad collective argument: {why}"),
+            CollectiveError::Protocol(why) => write!(f, "collective protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+impl From<SendError> for CollectiveError {
+    fn from(e: SendError) -> Self {
+        match e {
+            SendError::Closed => CollectiveError::Closed,
+            SendError::Timeout => CollectiveError::Timeout,
+            other => CollectiveError::Send(other),
+        }
+    }
+}
+
+/// The progress thread's completion slot for one submitted operation.
+#[derive(Debug)]
+pub(crate) struct OpCompletion {
+    result: Mutex<Option<Result<Vec<u8>, CollectiveError>>>,
+    done: Event,
+}
+
+impl OpCompletion {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(OpCompletion {
+            result: Mutex::new(None),
+            done: Event::new(),
+        })
+    }
+
+    pub(crate) fn complete(&self, r: Result<Vec<u8>, CollectiveError>) {
+        *self.result.lock() = Some(r);
+        self.done.fire();
+    }
+}
+
+/// A value a collective can resolve to (the byte payload the engine
+/// produced, decoded for the caller).
+pub trait CollectiveResult: Sized {
+    /// Decodes the engine's result payload.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectiveError::Protocol`] when the payload does not decode.
+    fn from_payload(bytes: Vec<u8>) -> Result<Self, CollectiveError>;
+}
+
+impl CollectiveResult for () {
+    fn from_payload(_bytes: Vec<u8>) -> Result<Self, CollectiveError> {
+        Ok(())
+    }
+}
+
+impl<T: Scalar> CollectiveResult for Vec<T> {
+    fn from_payload(bytes: Vec<u8>) -> Result<Self, CollectiveError> {
+        from_bytes(&bytes)
+    }
+}
+
+/// Handle to an in-flight nonblocking collective.
+///
+/// The operation is serviced by the group's progress thread; the issuing
+/// thread is free to compute until it calls [`CollectiveHandle::wait`].
+/// [`CollectiveHandle::test`] polls without blocking. The result can be
+/// taken exactly once; a second `wait` reports
+/// [`CollectiveError::Protocol`].
+#[derive(Debug)]
+pub struct CollectiveHandle<R: CollectiveResult> {
+    completion: Arc<OpCompletion>,
+    _result: PhantomData<fn() -> R>,
+}
+
+impl<R: CollectiveResult> CollectiveHandle<R> {
+    pub(crate) fn new(completion: Arc<OpCompletion>) -> Self {
+        CollectiveHandle {
+            completion,
+            _result: PhantomData,
+        }
+    }
+
+    /// Whether the operation has completed (successfully or not). Never
+    /// blocks.
+    pub fn test(&self) -> bool {
+        self.completion.done.is_fired()
+    }
+
+    /// Blocks until the operation completes and takes its result.
+    ///
+    /// # Errors
+    ///
+    /// The operation's error, or [`CollectiveError::Protocol`] if the
+    /// result was already taken.
+    pub fn wait(&self) -> Result<R, CollectiveError> {
+        self.completion.done.wait();
+        self.take_result()
+    }
+
+    /// [`CollectiveHandle::wait`] with a deadline. On
+    /// [`CollectiveError::Timeout`] the handle remains usable — the
+    /// operation keeps progressing and a later wait can still take the
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// As [`CollectiveHandle::wait`], plus [`CollectiveError::Timeout`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<R, CollectiveError> {
+        if !self.completion.done.wait_timeout(timeout) {
+            return Err(CollectiveError::Timeout);
+        }
+        self.take_result()
+    }
+
+    fn take_result(&self) -> Result<R, CollectiveError> {
+        let bytes = self
+            .completion
+            .result
+            .lock()
+            .take()
+            .ok_or_else(|| CollectiveError::Protocol("result already taken".to_owned()))??;
+        R::from_payload(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_resolves_once() {
+        let c = OpCompletion::new();
+        let h: CollectiveHandle<Vec<u32>> = CollectiveHandle::new(Arc::clone(&c));
+        assert!(!h.test());
+        assert_eq!(
+            h.wait_timeout(Duration::from_millis(10)),
+            Err(CollectiveError::Timeout)
+        );
+        c.complete(Ok(crate::datatype::to_bytes(&[5u32])));
+        assert!(h.test());
+        assert_eq!(h.wait().unwrap(), vec![5]);
+        assert!(matches!(h.wait(), Err(CollectiveError::Protocol(_))));
+    }
+
+    #[test]
+    fn handle_surfaces_errors() {
+        let c = OpCompletion::new();
+        let h: CollectiveHandle<()> = CollectiveHandle::new(Arc::clone(&c));
+        c.complete(Err(CollectiveError::Closed));
+        assert_eq!(h.wait(), Err(CollectiveError::Closed));
+    }
+
+    #[test]
+    fn error_conversions_and_display() {
+        assert_eq!(
+            CollectiveError::from(SendError::Closed),
+            CollectiveError::Closed
+        );
+        assert_eq!(
+            CollectiveError::from(SendError::Timeout),
+            CollectiveError::Timeout
+        );
+        assert!(matches!(
+            CollectiveError::from(SendError::Empty),
+            CollectiveError::Send(_)
+        ));
+        assert!(!CollectiveError::Timeout.to_string().is_empty());
+    }
+}

@@ -1108,6 +1108,50 @@ impl NcsConnection {
         Ok(())
     }
 
+    /// `NCS_send` for several messages in one call: validates and queues
+    /// the whole batch onto the connection's plane in order. On §3.1
+    /// bypass configurations every message is segmented straight into
+    /// pooled frames and the frames queue back to back, so the Send
+    /// Thread coalesces the batch into
+    /// [`ncs_transport::Connection::send_batch`] transmissions; with
+    /// FC/EC configured each message activates the Error Control Thread
+    /// (asynchronous, exactly as [`NcsConnection::send`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`NcsConnection::send`]; validation errors are reported before
+    /// anything is queued.
+    pub fn send_batch(&self, msgs: &[&[u8]]) -> Result<(), SendError> {
+        for m in msgs {
+            self.check_sendable(m)?;
+        }
+        if self.shared.config.direct {
+            return Err(SendError::WrongMode("threaded"));
+        }
+        if self.shared.config.needs_control_threads() {
+            for m in msgs {
+                self.shared.ec_send_inbox.send(EcSendMsg::Send {
+                    data: m.to_vec(),
+                    completion: None,
+                });
+            }
+        } else {
+            for m in msgs {
+                let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .counters
+                    .messages_sent
+                    .fetch_add(1, Ordering::Relaxed);
+                for frame in self.shared.segment_frames(session, m) {
+                    if !self.shared.queue_frame(frame, None) {
+                        return Err(SendError::Closed);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// `NCS_recv`: blocks until the next reassembled message arrives.
     ///
     /// # Errors

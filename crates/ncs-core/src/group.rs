@@ -17,6 +17,7 @@ use ncs_threads::{JoinHandle, SpawnOptions};
 
 use crate::connection::{NcsConnection, SendError};
 use crate::node::NcsNode;
+use crate::pool::BufPool;
 
 /// Multicast algorithm (paper §2: "repetitive send/receive or a multicast
 /// spanning tree").
@@ -63,6 +64,10 @@ impl From<SendError> for GroupError {
 
 const TAG_GROUP: u8 = 0xA7;
 
+/// How long a barrier call holds other epochs' messages before handing
+/// them back to the shared mailboxes (see [`NcsGroup::barrier`]).
+const BARRIER_FLUSH_TICK: Duration = Duration::from_millis(50);
+
 /// Wire frame for group traffic (carried as ordinary NCS message payload).
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum GroupFrame {
@@ -72,21 +77,35 @@ enum GroupFrame {
 }
 
 impl GroupFrame {
-    fn encode(&self, group: u32) -> Vec<u8> {
-        let mut out = vec![TAG_GROUP];
+    /// Encodes a data frame straight from the caller's payload slice into
+    /// `out` (replacing its contents) — the multicast hot path, with no
+    /// intermediate `GroupFrame`/`Vec` materialisation.
+    fn encode_data_into(group: u32, origin: u32, data: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(10 + data.len());
+        out.push(TAG_GROUP);
         out.extend_from_slice(&group.to_be_bytes());
+        out.push(0);
+        out.extend_from_slice(&origin.to_be_bytes());
+        out.extend_from_slice(data);
+    }
+
+    fn encode(&self, group: u32) -> Vec<u8> {
+        let mut out = Vec::new();
         match self {
             GroupFrame::Data { origin, data } => {
-                out.push(0);
-                out.extend_from_slice(&origin.to_be_bytes());
-                out.extend_from_slice(data);
+                Self::encode_data_into(group, *origin, data, &mut out);
             }
             GroupFrame::BarrierArrive { from, epoch } => {
+                out.push(TAG_GROUP);
+                out.extend_from_slice(&group.to_be_bytes());
                 out.push(1);
                 out.extend_from_slice(&from.to_be_bytes());
                 out.extend_from_slice(&epoch.to_be_bytes());
             }
             GroupFrame::BarrierRelease { epoch } => {
+                out.push(TAG_GROUP);
+                out.extend_from_slice(&group.to_be_bytes());
                 out.push(2);
                 out.extend_from_slice(&epoch.to_be_bytes());
             }
@@ -146,6 +165,8 @@ pub struct NcsGroup {
     size: usize,
     algo: MulticastAlgo,
     links: HashMap<usize, NcsConnection>,
+    /// The node's frame-buffer pool (multicast frames encode into it).
+    pool: Arc<BufPool>,
     /// Delivered multicasts: (origin rank, payload).
     inbox: Arc<Mailbox<(usize, Vec<u8>)>>,
     barrier_arrivals: Arc<Mailbox<(u32, u32)>>,
@@ -224,6 +245,7 @@ impl NcsGroup {
             size,
             algo,
             links,
+            pool: node.buffer_pool(),
             inbox,
             barrier_arrivals,
             barrier_releases,
@@ -257,20 +279,21 @@ impl NcsGroup {
         if self.closed.load(Ordering::Acquire) {
             return Err(GroupError::Closed);
         }
-        let frame = GroupFrame::Data {
-            origin: self.rank as u32,
-            data: data.to_vec(),
-        }
-        .encode(self.id);
+        // Encode once, straight from the caller's slice into a pooled
+        // buffer, then fan the same bytes out through each link's batch
+        // path (multi-SDU frames queue in one pass per child).
+        let mut buf = self.pool.get();
+        GroupFrame::encode_data_into(self.id, self.rank as u32, data, buf.vec_mut());
+        let frame = [buf.as_slice()];
         match self.algo {
             MulticastAlgo::Repetitive => {
                 for (_, conn) in self.links.iter() {
-                    conn.send(&frame)?;
+                    conn.send_batch(&frame)?;
                 }
             }
             MulticastAlgo::SpanningTree => {
                 for child in tree_children(self.rank, self.rank, self.size) {
-                    self.links[&child].send(&frame)?;
+                    self.links[&child].send_batch(&frame)?;
                 }
             }
         }
@@ -305,25 +328,56 @@ impl NcsGroup {
     pub fn barrier(&self, timeout: Duration) -> Result<(), GroupError> {
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let deadline = std::time::Instant::now() + timeout;
+        // Arrivals and releases belonging to other epochs — concurrent
+        // barrier calls on this group, or a peer already a round ahead —
+        // are held back and re-enqueued on *every* exit path (the seed
+        // dropped them on timeout, and discarded foreign releases
+        // outright, starving the barrier call they belonged to).
+        let mut held_arrivals: Vec<(u32, u32)> = Vec::new();
+        let mut held_releases: Vec<u32> = Vec::new();
+        let result = self.barrier_epoch(epoch, deadline, &mut held_arrivals, &mut held_releases);
+        for h in held_arrivals {
+            self.barrier_arrivals.send(h);
+        }
+        for r in held_releases {
+            self.barrier_releases.send(r);
+        }
+        result
+    }
+
+    /// One epoch's wave: collect subtree arrivals, report to the parent,
+    /// await the release, release our children.
+    fn barrier_epoch(
+        &self,
+        epoch: u32,
+        deadline: std::time::Instant,
+        held_arrivals: &mut Vec<(u32, u32)>,
+        held_releases: &mut Vec<u32>,
+    ) -> Result<(), GroupError> {
         let my_children: Vec<usize> = barrier_children(self.rank, self.size);
-        // Collect arrivals from our subtree.
         let mut pending: Vec<usize> = my_children.clone();
-        let mut held_back: Vec<(u32, u32)> = Vec::new();
         while !pending.is_empty() {
             let now = std::time::Instant::now();
             if now >= deadline {
                 return Err(GroupError::Timeout);
             }
-            match self.barrier_arrivals.recv_timeout(deadline - now) {
+            let wait = (deadline - now).min(BARRIER_FLUSH_TICK);
+            match self.barrier_arrivals.recv_timeout(wait) {
                 Ok((from, e)) if e == epoch => {
                     pending.retain(|&r| r != from as usize);
                 }
-                Ok(other) => held_back.push(other),
-                Err(_) => return Err(GroupError::Timeout),
+                Ok(other) => held_arrivals.push(other),
+                Err(_) => {
+                    // Tick: hand held-back messages to whichever barrier
+                    // call they belong to — a concurrent call on another
+                    // thread may be blocked on this same mailbox, and two
+                    // calls pinning each other's messages until exit would
+                    // deadlock.
+                    for h in held_arrivals.drain(..) {
+                        self.barrier_arrivals.send(h);
+                    }
+                }
             }
-        }
-        for h in held_back {
-            self.barrier_arrivals.send(h);
         }
         if self.rank != 0 {
             // Report to parent, await the release wave.
@@ -340,10 +394,15 @@ impl NcsGroup {
                 if now >= deadline {
                     return Err(GroupError::Timeout);
                 }
-                match self.barrier_releases.recv_timeout(deadline - now) {
+                let wait = (deadline - now).min(BARRIER_FLUSH_TICK);
+                match self.barrier_releases.recv_timeout(wait) {
                     Ok(e) if e == epoch => break,
-                    Ok(_) => continue, // stale release
-                    Err(_) => return Err(GroupError::Timeout),
+                    Ok(other) => held_releases.push(other),
+                    Err(_) => {
+                        for r in held_releases.drain(..) {
+                            self.barrier_releases.send(r);
+                        }
+                    }
                 }
             }
         }
@@ -417,16 +476,13 @@ fn listen_loop(ctx: ListenCtx) {
         };
         match msg {
             GroupFrame::Data { origin, data } => {
-                // Spanning tree: forward to our children in the tree rooted
-                // at the origin before local delivery.
+                // Spanning tree: forward the *received frame bytes* to our
+                // children in the tree rooted at the origin before local
+                // delivery (no re-encode, no payload clone).
                 if ctx.algo == MulticastAlgo::SpanningTree {
-                    let fwd = GroupFrame::Data {
-                        origin,
-                        data: data.clone(),
-                    }
-                    .encode(ctx.group);
+                    let fwd = [frame.as_slice()];
                     for child in tree_children(ctx.rank, origin as usize, ctx.size) {
-                        let _ = ctx.links[&child].send(&fwd);
+                        let _ = ctx.links[&child].send_batch(&fwd);
                     }
                 }
                 ctx.inbox.send((origin as usize, data));

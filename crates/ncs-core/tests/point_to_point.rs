@@ -8,7 +8,8 @@ use std::time::Duration;
 
 use ncs_core::link::HpiLinkPair;
 use ncs_core::{
-    ConnectionConfig, ErrorControlAlg, FlowControlAlg, MulticastAlgo, NcsGroup, NcsNode, SendError,
+    ConnectionConfig, ErrorControlAlg, FlowControlAlg, GroupError, MulticastAlgo, NcsGroup,
+    NcsNode, SendError,
 };
 
 /// Builds two linked nodes over HPI.
@@ -474,6 +475,78 @@ fn repeated_barriers() {
             h.join().unwrap();
         }
     }
+    for (n, g) in &members {
+        g.leave();
+        n.shutdown();
+    }
+}
+
+#[test]
+fn overlapping_barrier_epochs_from_concurrent_threads() {
+    // Two threads per member run interleaved barrier rounds on the SAME
+    // group: epochs overlap arbitrarily, so every call keeps consuming
+    // (and must keep handing back) messages belonging to its sibling's
+    // epoch. The seed pinned held-back messages until exit — two calls
+    // could each hold what the other was waiting for.
+    let members = build_group(3, MulticastAlgo::SpanningTree);
+    let mut handles = Vec::new();
+    for (_, g) in &members {
+        for t in 0..2 {
+            let g = Arc::clone(g);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..3 {
+                    g.barrier(Duration::from_secs(20))
+                        .unwrap_or_else(|e| panic!("thread {t} round {round}: {e}"));
+                }
+            }));
+        }
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for (n, g) in &members {
+        g.leave();
+        n.shutdown();
+    }
+}
+
+#[test]
+fn barrier_timeout_preserves_future_epoch_arrivals() {
+    // Regression for the seed dropping held-back arrivals on the timeout
+    // path: rank 0 times out an epoch while holding a child's arrival for
+    // the NEXT epoch; that arrival must survive for the next call.
+    let members = build_group(3, MulticastAlgo::SpanningTree);
+    let g0 = Arc::clone(&members[0].1);
+    let g1 = Arc::clone(&members[1].1);
+    let g2 = Arc::clone(&members[2].1);
+    // rank 1 enters (and times out of) two barrier epochs: its arrivals
+    // for epochs 1 and 2 now sit in rank 0's mailbox.
+    assert_eq!(
+        g1.barrier(Duration::from_millis(300)),
+        Err(GroupError::Timeout)
+    );
+    assert_eq!(
+        g1.barrier(Duration::from_millis(300)),
+        Err(GroupError::Timeout)
+    );
+    // rank 0's epoch 1 consumes (1, epoch 1), holds (1, epoch 2) back,
+    // and times out waiting for rank 2 — the held arrival must be
+    // re-enqueued, not dropped.
+    assert_eq!(
+        g0.barrier(Duration::from_millis(400)),
+        Err(GroupError::Timeout)
+    );
+    // rank 2 burns its epoch 1 (no release wave ever came).
+    assert_eq!(
+        g2.barrier(Duration::from_millis(300)),
+        Err(GroupError::Timeout)
+    );
+    // Epoch 2 can now complete for rank 0 and rank 2: rank 0 needs the
+    // preserved (1, epoch 2) plus rank 2's fresh (2, epoch 2).
+    let t0 = std::thread::spawn(move || g0.barrier(Duration::from_secs(10)));
+    let t2 = std::thread::spawn(move || g2.barrier(Duration::from_secs(10)));
+    assert_eq!(t0.join().unwrap(), Ok(()));
+    assert_eq!(t2.join().unwrap(), Ok(()));
     for (n, g) in &members {
         g.leave();
         n.shutdown();

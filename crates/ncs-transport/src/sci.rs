@@ -23,6 +23,11 @@ use crate::iface::{Capabilities, Connection, TransportError, YieldHook};
 /// Largest frame SCI accepts (sanity bound; TCP itself is a stream).
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
+/// Most bytes a batched send coalesces into one write. Bounds the scratch
+/// buffer; anything beyond comes back as a partial batch for the caller
+/// to retry (the trait's backpressure contract).
+const COALESCE_BYTES: usize = 256 * 1024;
+
 /// Inbound reassembly state: raw bytes accumulate here until at least one
 /// complete length-prefixed frame is available.
 #[derive(Debug, Default)]
@@ -209,6 +214,135 @@ impl Connection for SciConnection {
                 None => Err(TransportError::Closed),
             },
             Err(e) => Err(e),
+        }
+    }
+
+    fn send_batch(&self, frames: &[&[u8]]) -> Result<usize, TransportError> {
+        // Cut the batch at the first invalid frame: the valid prefix goes
+        // out and the invalid frame's error resurfaces on the retry.
+        let mut valid = frames.len();
+        let mut first_error = None;
+        for (i, frame) in frames.iter().enumerate() {
+            let error = if frame.is_empty() {
+                Some(TransportError::Empty)
+            } else if frame.len() > MAX_FRAME {
+                Some(TransportError::TooLarge {
+                    len: frame.len(),
+                    max: MAX_FRAME,
+                })
+            } else {
+                None
+            };
+            if let Some(e) = error {
+                valid = i;
+                first_error = Some(e);
+                break;
+            }
+        }
+        if valid == 0 {
+            return match first_error {
+                Some(e) => Err(e),
+                None => Ok(0),
+            };
+        }
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        // Coalesce length-prefixed frames into one scratch buffer and push
+        // it with a single write — the writev analogue: one writer-lock
+        // acquisition and (kernel buffer permitting) one syscall for the
+        // whole batch, instead of two writes per frame.
+        let mut end = 0;
+        let mut bytes = 0;
+        while end < valid {
+            let need = 4 + frames[end].len();
+            if end > 0 && bytes + need > COALESCE_BYTES {
+                break;
+            }
+            bytes += need;
+            end += 1;
+        }
+        let mut scratch = Vec::with_capacity(bytes);
+        for frame in &frames[..end] {
+            scratch.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+            scratch.extend_from_slice(frame);
+        }
+        self.writer.lock().write_all(&scratch)?;
+        Ok(end)
+    }
+
+    fn recv_many(&self, max: usize, timeout: Duration) -> Result<Vec<Vec<u8>>, TransportError> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        let deadline = Instant::now() + timeout;
+        let hook = self.yield_hook.lock().clone();
+        // One reader-lock acquisition for the entire batch.
+        let mut guard = self.reader.lock();
+        let (stream, rb) = &mut *guard;
+        let mut out = Vec::new();
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            while out.len() < max {
+                match rb.pop_frame() {
+                    Some(f) => out.push(f),
+                    None => break,
+                }
+            }
+            if out.len() >= max {
+                return Ok(out);
+            }
+            if !out.is_empty() {
+                // We have frames: only scoop whatever the kernel already
+                // buffered, never block (errors resurface on the next
+                // call; the partial batch is returned now).
+                stream.set_nonblocking(true)?;
+                let r = stream.read(&mut chunk);
+                stream.set_nonblocking(false)?;
+                match r {
+                    Ok(n) if n > 0 => rb.buf.extend_from_slice(&chunk[..n]),
+                    _ => return Ok(out),
+                }
+                continue;
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return Err(TransportError::Closed);
+            }
+            // Nothing yet: wait for the first frame, cooperatively when a
+            // yield hook is installed (the §4.1 user-level discipline).
+            if let Some(hook) = &hook {
+                stream.set_nonblocking(true)?;
+                let r = stream.read(&mut chunk);
+                stream.set_nonblocking(false)?;
+                match r {
+                    Ok(0) => return Err(TransportError::Closed),
+                    Ok(n) => rb.buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if Instant::now() >= deadline {
+                            return Err(TransportError::Timeout);
+                        }
+                        hook();
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            } else {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(TransportError::Timeout);
+                }
+                stream.set_read_timeout(Some(deadline - now))?;
+                match stream.read(&mut chunk) {
+                    Ok(0) => return Err(TransportError::Closed),
+                    Ok(n) => rb.buf.extend_from_slice(&chunk[..n]),
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        return Err(TransportError::Timeout);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
         }
     }
 
@@ -438,6 +572,113 @@ mod tests {
     fn empty_frame_rejected() {
         let (a, _b) = loopback_pair().unwrap();
         assert_eq!(a.send(b""), Err(TransportError::Empty));
+    }
+
+    #[test]
+    fn send_batch_coalesces_and_keeps_order() {
+        let (a, b) = loopback_pair().unwrap();
+        let frames: Vec<Vec<u8>> = (0..50u8).map(|i| vec![i; 100]).collect();
+        let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+        let mut sent = 0;
+        while sent < refs.len() {
+            sent += a.send_batch(&refs[sent..]).unwrap();
+        }
+        for f in &frames {
+            assert_eq!(&b.recv().unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn send_batch_cuts_at_invalid_frame() {
+        let (a, b) = loopback_pair().unwrap();
+        let ok: &[u8] = b"fine";
+        let empty: &[u8] = b"";
+        assert_eq!(a.send_batch(&[ok, ok, empty, ok]), Ok(2));
+        assert_eq!(a.send_batch(&[empty]), Err(TransportError::Empty));
+        assert_eq!(b.recv().unwrap(), b"fine");
+        assert_eq!(b.recv().unwrap(), b"fine");
+        a.close();
+        assert_eq!(a.send_batch(&[ok]), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn send_batch_returns_partial_past_coalesce_budget() {
+        let (a, b) = loopback_pair().unwrap();
+        // Three frames of 200 KB exceed the 256 KB coalesce budget: the
+        // first call must make progress and hand the rest back.
+        let big = vec![7u8; 200 * 1024];
+        let refs: Vec<&[u8]> = vec![&big, &big, &big];
+        let reader = std::thread::spawn(move || {
+            for _ in 0..3 {
+                assert_eq!(b.recv().unwrap().len(), 200 * 1024);
+            }
+        });
+        let mut sent = 0;
+        let mut calls = 0;
+        while sent < refs.len() {
+            let n = a.send_batch(&refs[sent..]).unwrap();
+            assert!(n >= 1);
+            sent += n;
+            calls += 1;
+        }
+        assert!(calls >= 2, "coalesce budget must bound one call");
+        reader.join().unwrap();
+    }
+
+    #[test]
+    fn recv_many_drains_in_one_acquisition() {
+        let (a, b) = loopback_pair().unwrap();
+        for i in 0..10u32 {
+            a.send(&i.to_be_bytes()).unwrap();
+        }
+        let mut got = Vec::new();
+        while got.len() < 10 {
+            got.extend(b.recv_many(16, Duration::from_secs(2)).unwrap());
+        }
+        let want: Vec<Vec<u8>> = (0..10u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        assert_eq!(got, want);
+        assert_eq!(
+            b.recv_many(4, Duration::from_millis(30)),
+            Err(TransportError::Timeout)
+        );
+        a.close();
+        assert_eq!(
+            b.recv_many(4, Duration::from_millis(200)),
+            Err(TransportError::Closed)
+        );
+    }
+
+    #[test]
+    fn recv_many_respects_max_and_yield_hook() {
+        let (a, b) = loopback_pair().unwrap();
+        let yields = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let y2 = Arc::clone(&yields);
+        b.set_yield_hook(Some(Arc::new(move || {
+            y2.fetch_add(1, Ordering::Relaxed);
+            std::thread::yield_now();
+        })));
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let frames: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i]).collect();
+            let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+            let mut sent = 0;
+            while sent < refs.len() {
+                sent += a.send_batch(&refs[sent..]).unwrap();
+            }
+            a
+        });
+        let mut got = Vec::new();
+        while got.len() < 6 {
+            got.extend(b.recv_many(2, Duration::from_secs(2)).unwrap());
+            assert!(got.len() <= 6);
+        }
+        assert_eq!(got.len(), 6);
+        assert!(yields.load(Ordering::Relaxed) > 0, "hook must have yielded");
+        t.join().unwrap();
+        assert_eq!(
+            b.recv_many(0, Duration::from_millis(1)).unwrap(),
+            Vec::<Vec<u8>>::new()
+        );
     }
 
     #[test]

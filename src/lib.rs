@@ -20,6 +20,9 @@
 //! * [`transport`] — the three application communication interfaces:
 //!   SCI (sockets), ACI (native ATM) and HPI ("Trap"), plus a modelled
 //!   1998 kernel-socket pipe;
+//! * [`collectives`] — typed nonblocking broadcast/reduce/allreduce/
+//!   scatter/gather/allgather and a dissemination barrier over pluggable
+//!   topologies, serviced by a per-member collective progress thread;
 //! * [`model`] — calibrated SUN-4 / RS6000 platform cost models;
 //! * [`comparators`] — working miniature p4, PVM and MPI implementations
 //!   for the paper's Figures 12/13.
@@ -61,6 +64,10 @@ pub use atm_sim as atm;
 
 /// Communication interfaces (re-export of [`ncs_transport`]).
 pub use ncs_transport as transport;
+
+/// Collective operations — nonblocking broadcast/reduce/scatter/gather
+/// over pluggable topologies (re-export of [`ncs_collectives`]).
+pub use ncs_collectives as collectives;
 
 /// Platform cost models (re-export of [`netmodel`]).
 pub use netmodel as model;
