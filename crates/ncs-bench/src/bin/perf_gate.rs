@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 use ncs_collectives::{CollectiveGroup, ReduceOp, Topology};
 use ncs_core::link::{AciLink, HpiLinkPair, PipeLinkPair, SciLink};
 use ncs_core::{ConnectionConfig, NcsConnection, NcsNode, PoolStats};
+use ncs_runtime::{ClusterConfig, ClusterNode, RendezvousServer};
 use ncs_threads::sync::Event;
 use ncs_threads::{
     KernelPackage, SwitchMech, ThreadPackage, ThreadPackageExt, UserConfig, UserRuntime,
@@ -577,6 +578,180 @@ fn run_coll_case(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-process cluster section (real sockets between real OS processes)
+// ---------------------------------------------------------------------------
+
+/// World sizes the cluster section sweeps.
+const CLUSTER_WORLDS: [u32; 2] = [2, 4];
+
+/// RTT probe payload between ranks 0 and 1 (bytes).
+const CLUSTER_RTT_BYTES: usize = 64;
+
+/// Elements per member in the cross-process allreduce probe.
+const CLUSTER_ALLREDUCE_ELEMS: usize = 64;
+
+#[derive(Debug)]
+struct ClusterCaseResult {
+    np: u32,
+    rtt_iters: usize,
+    rtt_median_us: f64,
+    rtt_p99_us: f64,
+    allreduce_iters: usize,
+    allreduce_median_us: f64,
+    /// Child ranks that exited 0 (the parent is rank 0 and not counted).
+    children_ok: usize,
+}
+
+fn cluster_iters(smoke: bool) -> (usize, usize) {
+    if smoke {
+        (40, 20)
+    } else {
+        (200, 100)
+    }
+}
+
+/// The schedule every rank of a cluster case runs. Ranks 0 and 1 first
+/// ping-pong over a dedicated point-to-point connection (so the RTT is a
+/// clean two-process socket round trip, not collective machinery), then
+/// the whole world allreduces. Rank 0 returns the measurements.
+fn cluster_schedule(cluster: &ClusterNode, smoke: bool) -> Option<(Vec<f64>, f64)> {
+    let (rtt_iters, ar_iters) = cluster_iters(smoke);
+    let rank = cluster.rank();
+    let payload = vec![0xC3u8; CLUSTER_RTT_BYTES];
+    let mut rtts_us = Vec::new();
+    if rank == 0 {
+        let conn = cluster
+            .open_connection(1, ConnectionConfig::unreliable())
+            .expect("rtt connect");
+        // Warm-up exchange, outside the measured window.
+        conn.send(&payload).expect("rtt warmup send");
+        conn.recv_timeout(Duration::from_secs(30))
+            .expect("rtt warmup recv");
+        for _ in 0..rtt_iters {
+            let t0 = Instant::now();
+            conn.send(&payload).expect("rtt send");
+            let back = conn
+                .recv_timeout(Duration::from_secs(30))
+                .expect("rtt recv");
+            rtts_us.push(t0.elapsed().as_secs_f64() * 1e6);
+            assert_eq!(back.len(), CLUSTER_RTT_BYTES);
+        }
+        conn.send(&[SENTINEL]).expect("rtt sentinel");
+    } else if rank == 1 {
+        let conn = cluster
+            .accept_connection(Duration::from_secs(30))
+            .expect("rtt accept");
+        loop {
+            match conn.recv_timeout(Duration::from_secs(30)) {
+                Ok(m) if m.len() == 1 && m[0] == SENTINEL => break,
+                Ok(m) => conn.send(&m).expect("rtt echo"),
+                Err(e) => panic!("rtt echo recv: {e}"),
+            }
+        }
+    }
+    // Cross-process allreduce over the whole world (the collectives
+    // engine, unmodified, across OS processes).
+    let group = cluster.collective_group(1).expect("cluster group");
+    let contrib = vec![1.0f64; CLUSTER_ALLREDUCE_ELEMS];
+    let mut ar_us = Vec::with_capacity(ar_iters);
+    for _ in 0..ar_iters {
+        let t0 = Instant::now();
+        let sum = group
+            .allreduce(contrib.clone(), ReduceOp::Sum)
+            .expect("cluster allreduce");
+        ar_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        // A hard assert (not debug_assert): the gate must verify the data
+        // that crossed process boundaries, not just time it — a wrong sum
+        // exits this rank nonzero and trips the cluster gate.
+        assert!(
+            sum.len() == CLUSTER_ALLREDUCE_ELEMS && sum.iter().all(|&v| v == cluster.size() as f64),
+            "cross-process allreduce produced a wrong result on rank {rank}: {:?}",
+            &sum[..sum.len().min(4)]
+        );
+    }
+    group.barrier().expect("cluster barrier");
+    drop(group);
+    if rank == 0 {
+        rtts_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        ar_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some((rtts_us, percentile(&ar_us, 0.50)))
+    } else {
+        None
+    }
+}
+
+/// Runs as a spawned child rank (`perf_gate --cluster-child`): bootstrap
+/// from the environment, run the schedule, exit.
+fn run_cluster_child() -> ! {
+    let smoke = std::env::var("NCS_GATE_SMOKE").as_deref() == Ok("1");
+    let cfg = ClusterConfig::from_env().expect("cluster child env");
+    let cluster = ClusterNode::bootstrap(cfg).expect("cluster child bootstrap");
+    cluster_schedule(&cluster, smoke);
+    cluster.shutdown();
+    std::process::exit(0);
+}
+
+/// One cross-process case: this process embeds the rendezvous service and
+/// runs rank 0; ranks `1..np` are real spawned OS processes (this same
+/// binary with `--cluster-child`).
+fn run_cluster_case(np: u32, smoke: bool) -> ClusterCaseResult {
+    let server = RendezvousServer::start("127.0.0.1:0", np).expect("embedded ncsd");
+    let me = std::env::current_exe().expect("current exe");
+    let mut children: Vec<std::process::Child> = (1..np)
+        .map(|rank| {
+            std::process::Command::new(&me)
+                .arg("--cluster-child")
+                .env("NCS_RANK", rank.to_string())
+                .env("NCS_WORLD", np.to_string())
+                .env("NCS_NCSD", server.addr().to_string())
+                .env("NCS_GATE_SMOKE", if smoke { "1" } else { "0" })
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .expect("spawn cluster child")
+        })
+        .collect();
+    let cluster =
+        ClusterNode::bootstrap(ClusterConfig::new(0, np, server.addr())).expect("rank 0 bootstrap");
+    let (rtts_us, allreduce_median_us) =
+        cluster_schedule(&cluster, smoke).expect("rank 0 measures");
+    cluster.shutdown();
+    // Reap under a deadline: one hung child must not hang the gate.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut children_ok = 0;
+    let mut done = vec![false; children.len()];
+    while !done.iter().all(|&d| d) && Instant::now() < deadline {
+        for (c, d) in children.iter_mut().zip(done.iter_mut()) {
+            if *d {
+                continue;
+            }
+            if let Ok(Some(status)) = c.try_wait() {
+                *d = true;
+                if status.success() {
+                    children_ok += 1;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    for (c, d) in children.iter_mut().zip(done.iter()) {
+        if !*d {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+    let (rtt_iters, ar_iters) = cluster_iters(smoke);
+    ClusterCaseResult {
+        np,
+        rtt_iters,
+        rtt_median_us: percentile(&rtts_us, 0.50),
+        rtt_p99_us: percentile(&rtts_us, 0.99),
+        allreduce_iters: ar_iters,
+        allreduce_median_us,
+        children_ok,
+    }
+}
+
 fn case_cfg(iface: Iface, package: Package, smoke: bool) -> BenchCfg {
     let (mut lat_iters, mut bulk_msgs) = if smoke { (30, 60) } else { (300, 500) };
     if iface == Iface::Sci && package == Package::User {
@@ -606,15 +781,17 @@ fn emit_json(
     out: &mut String,
     results: &[CaseResult],
     coll_results: &[CollCaseResult],
+    cluster_results: &[ClusterCaseResult],
     smoke: bool,
     gate_value: f64,
     gate_pass: bool,
     coll_gate_value: f64,
     coll_gate_pass: bool,
+    cluster_gate_pass: bool,
 ) {
     use std::fmt::Write as _;
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/2\",");
+    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/3\",");
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
@@ -683,6 +860,44 @@ fn emit_json(
     }
     let _ = writeln!(out, "    ]");
     let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"cluster\": {{");
+    let _ = writeln!(out, "    \"transport\": \"SCI\",");
+    let _ = writeln!(out, "    \"rtt_bytes\": {CLUSTER_RTT_BYTES},");
+    let _ = writeln!(out, "    \"allreduce_elems\": {CLUSTER_ALLREDUCE_ELEMS},");
+    let _ = writeln!(out, "    \"gate\": {{");
+    let _ = writeln!(
+        out,
+        "      \"metric\": \"every child rank of every cross-process case exits 0 and rank 0 measures non-zero latencies\","
+    );
+    let _ = writeln!(out, "      \"pass\": {cluster_gate_pass}");
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"cases\": [");
+    for (i, r) in cluster_results.iter().enumerate() {
+        let comma = if i + 1 < cluster_results.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "      {{");
+        let _ = writeln!(
+            out,
+            "        \"np\": {}, \"children_ok\": {},",
+            r.np, r.children_ok
+        );
+        let _ = writeln!(
+            out,
+            "        \"rtt\": {{ \"iters\": {}, \"median_us\": {:.2}, \"p99_us\": {:.2} }},",
+            r.rtt_iters, r.rtt_median_us, r.rtt_p99_us
+        );
+        let _ = writeln!(
+            out,
+            "        \"allreduce\": {{ \"iters\": {}, \"median_us\": {:.2} }}",
+            r.allreduce_iters, r.allreduce_median_us
+        );
+        let _ = writeln!(out, "      }}{comma}");
+    }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"cases\": [");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
@@ -733,6 +948,9 @@ fn main() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
+            // Internal: this process is a spawned rank of the
+            // cross-process section.
+            "--cluster-child" => run_cluster_child(),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!("usage: perf_gate [--smoke] [--out PATH]");
@@ -824,6 +1042,27 @@ fn main() {
         }
     }
 
+    // Cross-process cluster section: this binary re-executes itself as
+    // child ranks; every number here crossed a real process boundary over
+    // real sockets.
+    let mut cluster_results = Vec::new();
+    for np in CLUSTER_WORLDS {
+        eprintln!("perf_gate: cross-process cluster, {np} ranks over SCI...");
+        let result = run_cluster_case(np, smoke);
+        eprintln!(
+            "  rtt p50 {:.1} us / p99 {:.1} us; allreduce p50 {:.1} us; {}/{} children ok",
+            result.rtt_median_us,
+            result.rtt_p99_us,
+            result.allreduce_median_us,
+            result.children_ok,
+            np - 1,
+        );
+        cluster_results.push(result);
+    }
+    let cluster_gate_pass = cluster_results.iter().all(|r| {
+        r.children_ok == (r.np - 1) as usize && r.rtt_median_us > 0.0 && r.allreduce_median_us > 0.0
+    });
+
     // The gate: the pooled+batched HPI bulk path must allocate at least
     // GATE_MIN_IMPROVEMENT times less than the seed path did.
     let gate_value = results
@@ -848,11 +1087,13 @@ fn main() {
         &mut json,
         &results,
         &coll_results,
+        &cluster_results,
         smoke,
         gate_value,
         gate_pass,
         coll_gate_value,
         coll_gate_pass,
+        cluster_gate_pass,
     );
     let mut file = std::fs::File::create(&out_path).expect("create output file");
     file.write_all(json.as_bytes()).expect("write output file");
@@ -887,9 +1128,16 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if !cluster_gate_pass {
+        eprintln!(
+            "perf_gate: FAIL — a cross-process cluster case lost a child rank or \
+             measured nothing (see the cluster section of the JSON)"
+        );
+        std::process::exit(1);
+    }
     eprintln!(
         "perf_gate: PASS — HPI bulk allocation improvement {gate_value:.2}x, \
          binomial broadcast origin egress {coll_gate_value:.2}x flat for groups \
-         >= {COLL_GATE_MIN_GROUP}"
+         >= {COLL_GATE_MIN_GROUP}, cross-process cluster cases complete"
     );
 }

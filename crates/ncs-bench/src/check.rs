@@ -1,0 +1,465 @@
+//! Benchmark-artifact validation: the machinery behind the `bench_check`
+//! binary.
+//!
+//! CI's perf-gate job no longer just *uploads* `BENCH_dataplane.json` —
+//! it validates the fresh run against the committed snapshot: same schema
+//! version, no section or case silently missing, and every gate `pass`
+//! field true. The JSON support is a deliberately small recursive-descent
+//! parser (the artifact is machine-written by `perf_gate`; this is a
+//! checker, not a general JSON library).
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (kept as `f64`; the artifact's values all fit).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (sorted map; duplicate keys keep the last value).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member `key` of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, why: &str) -> String {
+        format!("{why} at byte {}", self.at)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or_else(|| self.err("unterminated string"))? {
+                b'"' => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.at += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("non-ASCII \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            self.at += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(self.err(&format!("unknown escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (the artifact is ASCII, but
+                    // stay correct anyway).
+                    let rest = std::str::from_utf8(&self.bytes[self.at..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(&b))
+        {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("bad number '{text}'")))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => {
+                self.at += 1;
+                let mut m = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.at += 1;
+                    return Ok(Json::Obj(m));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let v = self.value()?;
+                    m.insert(key, v);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.at += 1,
+                        Some(b'}') => {
+                            self.at += 1;
+                            return Ok(Json::Obj(m));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            b'[' => {
+                self.at += 1;
+                let mut a = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.at += 1;
+                    return Ok(Json::Arr(a));
+                }
+                loop {
+                    a.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.at += 1,
+                        Some(b']') => {
+                            self.at += 1;
+                            return Ok(Json::Arr(a));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+}
+
+/// Parses one JSON document (rejecting trailing garbage).
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax problem.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        at: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Collects every `"pass"` field anywhere in `v`, with its JSON path.
+fn collect_passes(v: &Json, path: &str, out: &mut Vec<(String, Option<bool>)>) {
+    match v {
+        Json::Obj(m) => {
+            for (k, child) in m {
+                let child_path = format!("{path}.{k}");
+                if k == "pass" {
+                    out.push((child_path.clone(), child.as_bool()));
+                }
+                collect_passes(child, &child_path, out);
+            }
+        }
+        Json::Arr(a) => {
+            for (i, child) in a.iter().enumerate() {
+                collect_passes(child, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Identity of one entry of a `cases` array, for presence comparison
+/// (measurement values are allowed to drift; the *population* is not).
+fn case_identity(case: &Json) -> String {
+    let mut parts = Vec::new();
+    for key in ["interface", "package", "group_size", "np"] {
+        if let Some(v) = case.get(key) {
+            match v {
+                Json::Str(s) => parts.push(format!("{key}={s}")),
+                Json::Num(n) => parts.push(format!("{key}={n}")),
+                _ => {}
+            }
+        }
+    }
+    parts.join(",")
+}
+
+/// Validates a fresh benchmark artifact against the committed snapshot.
+/// Returns every problem found (empty means the artifact is acceptable).
+pub fn validate(new: &Json, snapshot: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+
+    // Same schema version.
+    let new_schema = new.get("schema").and_then(Json::as_str);
+    let snap_schema = snapshot.get("schema").and_then(Json::as_str);
+    if new_schema != snap_schema {
+        problems.push(format!(
+            "schema mismatch: fresh run says {new_schema:?}, snapshot says {snap_schema:?} \
+             (regenerate and commit the snapshot when the schema changes)"
+        ));
+    }
+
+    // No section of the snapshot may vanish from the fresh run.
+    if let (Json::Obj(snap), Json::Obj(fresh)) = (snapshot, new) {
+        for key in snap.keys() {
+            if !fresh.contains_key(key) {
+                problems.push(format!("section '{key}' is missing from the fresh run"));
+            }
+        }
+    } else {
+        problems.push("both artifacts must be JSON objects".into());
+    }
+
+    // No case population may shrink: every (interface, package,
+    // group_size, np) identity in any snapshot `cases` array must appear
+    // in the corresponding fresh array.
+    fn walk_cases(snap: &Json, fresh: Option<&Json>, path: &str, problems: &mut Vec<String>) {
+        if let Json::Obj(m) = snap {
+            for (k, snap_child) in m {
+                let fresh_child = fresh.and_then(|f| f.get(k));
+                let child_path = format!("{path}.{k}");
+                if k == "cases" {
+                    let snap_cases = snap_child.as_arr().unwrap_or(&[]);
+                    let fresh_ids: Vec<String> = fresh_child
+                        .and_then(Json::as_arr)
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(case_identity)
+                        .collect();
+                    for c in snap_cases {
+                        let id = case_identity(c);
+                        if !id.is_empty() && !fresh_ids.contains(&id) {
+                            problems.push(format!("case [{id}] vanished from {child_path}"));
+                        }
+                    }
+                } else {
+                    walk_cases(snap_child, fresh_child, &child_path, problems);
+                }
+            }
+        }
+    }
+    walk_cases(snapshot, Some(new), "$", &mut problems);
+
+    // Every gate of the fresh run must pass, and there must be gates.
+    let mut passes = Vec::new();
+    collect_passes(new, "$", &mut passes);
+    if passes.is_empty() {
+        problems.push("the fresh run contains no gate 'pass' fields at all".into());
+    }
+    for (path, value) in passes {
+        match value {
+            Some(true) => {}
+            Some(false) => problems.push(format!("gate failed: {path} is false")),
+            None => problems.push(format!("gate malformed: {path} is not a boolean")),
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FRESH: &str = r#"{
+      "schema": "ncs-dataplane-bench/3",
+      "gate": { "pass": true },
+      "collectives": { "gate": { "pass": true },
+        "cases": [ { "package": "kernel", "group_size": 2 } ] },
+      "cluster": { "gate": { "pass": true }, "cases": [ { "np": 2 } ] },
+      "cases": [ { "interface": "HPI", "package": "kernel" } ]
+    }"#;
+
+    #[test]
+    fn parser_handles_the_artifact_shapes() {
+        let v = parse_json(FRESH).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some("ncs-dataplane-bench/3")
+        );
+        assert_eq!(
+            v.get("cluster")
+                .and_then(|c| c.get("cases"))
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+        let nums = parse_json(r#"{ "a": -1.5e3, "b": [0.25, 99], "c": "q\"uote\n" }"#).unwrap();
+        assert_eq!(nums.get("a").and_then(Json::as_num), Some(-1500.0));
+        assert_eq!(nums.get("c").and_then(Json::as_str), Some("q\"uote\n"));
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn identical_artifacts_validate_clean() {
+        let v = parse_json(FRESH).unwrap();
+        assert_eq!(validate(&v, &v), Vec::<String>::new());
+    }
+
+    #[test]
+    fn schema_drift_is_reported() {
+        let fresh = parse_json(&FRESH.replace("bench/3", "bench/4")).unwrap();
+        let snap = parse_json(FRESH).unwrap();
+        let problems = validate(&fresh, &snap);
+        assert!(problems.iter().any(|p| p.contains("schema mismatch")));
+    }
+
+    #[test]
+    fn missing_sections_and_cases_are_reported() {
+        let snap = parse_json(FRESH).unwrap();
+        let fresh = parse_json(
+            r#"{
+          "schema": "ncs-dataplane-bench/3",
+          "gate": { "pass": true },
+          "collectives": { "gate": { "pass": true },
+            "cases": [ { "package": "kernel", "group_size": 4 } ] },
+          "cases": [ { "interface": "HPI", "package": "kernel" } ]
+        }"#,
+        )
+        .unwrap();
+        let problems = validate(&fresh, &snap);
+        assert!(
+            problems.iter().any(|p| p.contains("section 'cluster'")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("group_size=2")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn failed_gates_are_reported() {
+        let snap = parse_json(FRESH).unwrap();
+        let fresh = parse_json(&FRESH.replacen("\"pass\": true", "\"pass\": false", 1)).unwrap();
+        let problems = validate(&fresh, &snap);
+        assert!(
+            problems.iter().any(|p| p.contains("gate failed")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn gateless_artifacts_are_rejected() {
+        let snap = parse_json(FRESH).unwrap();
+        let fresh = parse_json(r#"{ "schema": "ncs-dataplane-bench/3" }"#).unwrap();
+        let problems = validate(&fresh, &snap);
+        assert!(
+            problems.iter().any(|p| p.contains("no gate")),
+            "{problems:?}"
+        );
+    }
+}

@@ -16,6 +16,8 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

@@ -45,6 +45,12 @@ use crate::topology::{tree_children, tree_parent, tree_span, OpClass, Topology, 
 /// How often blocked engine loops re-check the closed flag.
 const TICK: Duration = Duration::from_millis(100);
 
+/// How long a schedule waits on a *live* peer before a dead link
+/// elsewhere in the group fails the operation (see
+/// [`Inner::link_down_err`]). Well below any realistic op timeout, well
+/// above the in-flight delivery window of a cleanly departing member.
+const LINK_DOWN_FALLBACK_GRACE: Duration = Duration::from_secs(2);
+
 /// Tuning knobs of a [`CollectiveGroup`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CollectiveConfig {
@@ -138,6 +144,11 @@ struct Inner {
     /// Makes (id assignment, queue insertion) atomic across submitters.
     submit_lock: Mutex<()>,
     closed: Arc<AtomicBool>,
+    /// Links whose pump died on a transport failure (peer rank -> error).
+    /// A collective spans every member, so one dead link dooms every
+    /// in-flight and future operation: schedules consult this to fail
+    /// promptly instead of idling out the full op timeout.
+    link_down: Mutex<HashMap<usize, ncs_core::SendError>>,
     stats: StatCounters,
 }
 
@@ -148,6 +159,27 @@ impl Inner {
         } else {
             Ok(())
         }
+    }
+
+    /// The failure a schedule waiting on `peer` should surface, if any
+    /// link pump has died: the peer's own link error when it is the dead
+    /// one, otherwise any other dead link's (the operation still cannot
+    /// complete — every member participates in a collective), but only
+    /// after [`LINK_DOWN_FALLBACK_GRACE`] of fruitless waiting: a member
+    /// that *finished* the world's final collective and shut down cleanly
+    /// has already delivered every frame it owed, and the survivors'
+    /// remaining exchanges (with each other) complete at network speed —
+    /// failing those instantly on the departed member's closed link would
+    /// turn every graceful teardown into a race.
+    fn link_down_err(&self, peer: usize, waited_since: Instant) -> Option<ncs_core::SendError> {
+        let down = self.link_down.lock();
+        if let Some(e) = down.get(&peer) {
+            return Some(e.clone());
+        }
+        if waited_since.elapsed() >= LINK_DOWN_FALLBACK_GRACE {
+            return down.values().next().cloned();
+        }
+        None
     }
 
     /// Relabelled rank of `abs` for a schedule rooted at `root`.
@@ -265,37 +297,74 @@ impl Router {
         deadline: Instant,
     ) -> Result<Seg, CollectiveError> {
         let key = (peer, coll, stream);
+        let started = Instant::now();
         loop {
-            if let Some(q) = self.stash.get_mut(&key) {
-                if let Some(s) = q.pop_front() {
-                    if q.is_empty() {
-                        self.stash.remove(&key);
-                    }
-                    return Ok(s);
-                }
+            // Drain everything already queued before judging the link
+            // state or the clock: a frame a now-dead peer delivered
+            // before dying must be consumed, not masked by the failure of
+            // its link. The drain is bounded (whatever is queued right
+            // now) and every iteration falls through to the closed /
+            // link-down / deadline checks, so sustained unrelated traffic
+            // can delay the verdict by at most one pass over the backlog.
+            while let Some((from, frame)) = self.inner.inbox.try_recv() {
+                self.stash_frame(from, frame);
+            }
+            if let Some(s) = self.pop_stash(key) {
+                return Ok(s);
             }
             self.inner.check_closed()?;
+            // A dead link fails the wait — the frame can never arrive
+            // (killed rank, closed connection) and hanging until the op
+            // timeout would mask the real failure.
+            if let Some(e) = self.inner.link_down_err(peer, started) {
+                // The pump records the failure immediately after
+                // delivering the link's final frames: drain once more so
+                // a frame that slipped in between our drain and this
+                // check is consumed, not masked by the error.
+                while let Some((from, frame)) = self.inner.inbox.try_recv() {
+                    self.stash_frame(from, frame);
+                }
+                if let Some(s) = self.pop_stash(key) {
+                    return Ok(s);
+                }
+                return Err(CollectiveError::Send(e));
+            }
             let now = Instant::now();
             if now >= deadline {
                 return Err(CollectiveError::Timeout);
             }
             let wait = (deadline - now).min(TICK);
             if let Ok((from, frame)) = self.inner.inbox.recv_timeout(wait) {
-                if let Some(seg) = decode_frame(frame, self.inner.group) {
-                    self.inner
-                        .stats
-                        .frames_received
-                        .fetch_add(1, Ordering::Relaxed);
-                    self.inner
-                        .stats
-                        .bytes_received
-                        .fetch_add(seg.payload().len() as u64, Ordering::Relaxed);
-                    self.stash
-                        .entry((from, seg.coll, seg.stream))
-                        .or_default()
-                        .push_back(seg);
-                }
+                self.stash_frame(from, frame);
             }
+        }
+    }
+
+    /// Pops the next stashed segment of `key`, if any.
+    fn pop_stash(&mut self, key: (usize, u32, u32)) -> Option<Seg> {
+        let q = self.stash.get_mut(&key)?;
+        let s = q.pop_front();
+        if q.is_empty() {
+            self.stash.remove(&key);
+        }
+        s
+    }
+
+    /// Decodes one inbound frame and stashes its segment.
+    fn stash_frame(&mut self, from: usize, frame: Vec<u8>) {
+        if let Some(seg) = decode_frame(frame, self.inner.group) {
+            self.inner
+                .stats
+                .frames_received
+                .fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .stats
+                .bytes_received
+                .fetch_add(seg.payload().len() as u64, Ordering::Relaxed);
+            self.stash
+                .entry((from, seg.coll, seg.stream))
+                .or_default()
+                .push_back(seg);
         }
     }
 
@@ -788,7 +857,12 @@ fn pump_loop(inner: &Arc<Inner>, peer: usize) {
         match conn.recv_timeout(TICK) {
             Ok(frame) => inner.inbox.send((peer, frame)),
             Err(ncs_core::SendError::Timeout) => continue,
-            Err(_) => return,
+            Err(e) => {
+                // Record the failure before exiting so waiting schedules
+                // surface it within one tick instead of hanging.
+                inner.link_down.lock().insert(peer, e);
+                return;
+            }
         }
     }
 }
@@ -911,6 +985,7 @@ impl CollectiveGroup {
             next_coll: AtomicU32::new(0),
             submit_lock: Mutex::new(()),
             closed: Arc::new(AtomicBool::new(false)),
+            link_down: Mutex::new(HashMap::new()),
             stats: StatCounters::default(),
         });
         let pkg: Arc<dyn ThreadPackage> = node.thread_package();

@@ -1,0 +1,117 @@
+//! Failure surfacing: a rank that dies mid-collective must turn into a
+//! transport error on every survivor within the control plane's timeout —
+//! never a hang until the (much longer) operation timeout.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ncs_collectives::{CollectiveConfig, CollectiveError, CollectiveGroup, ReduceOp};
+use ncs_core::link::SciLink;
+use ncs_core::{ConnectionConfig, NcsConnection, NcsNode};
+use ncs_transport::sci::SciListener;
+
+/// Three SCI-linked nodes (real sockets over loopback — the same wire the
+/// multi-process cluster runtime uses), one collective group each.
+fn sci_trio() -> (Vec<NcsNode>, Vec<Arc<CollectiveGroup>>) {
+    let n = 3;
+    let nodes: Vec<NcsNode> = (0..n)
+        .map(|i| NcsNode::builder(&format!("c{i}")).build())
+        .collect();
+    let listeners: Vec<Arc<SciListener>> = (0..n)
+        .map(|_| Arc::new(SciListener::bind("127.0.0.1:0").expect("bind")))
+        .collect();
+    let addrs: Vec<std::net::SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr"))
+        .collect();
+    for i in 0..n {
+        for (j, &addr) in addrs.iter().enumerate() {
+            if i != j {
+                nodes[i].attach_peer(
+                    &format!("c{j}"),
+                    SciLink::new(addr, Arc::clone(&listeners[i])),
+                );
+            }
+        }
+    }
+    let mut conns: Vec<HashMap<usize, NcsConnection>> = (0..n).map(|_| HashMap::new()).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let cij = nodes[i]
+                .connect(&format!("c{j}"), ConnectionConfig::unreliable())
+                .expect("connect");
+            let cji = nodes[j].accept_default().expect("accept");
+            conns[i].insert(j, cij);
+            conns[j].insert(i, cji);
+        }
+    }
+    // A deliberately huge operation timeout: the test passes only if the
+    // failure path beats it by more than an order of magnitude.
+    let cfg = CollectiveConfig {
+        op_timeout: Duration::from_secs(120),
+        ..CollectiveConfig::default()
+    };
+    let groups = nodes
+        .iter()
+        .zip(conns)
+        .enumerate()
+        .map(|(rank, (node, links))| {
+            Arc::new(CollectiveGroup::with_config(node, 1, rank, links, cfg).expect("group"))
+        })
+        .collect();
+    (nodes, groups)
+}
+
+#[test]
+fn killed_rank_surfaces_as_transport_error_not_a_hang() {
+    let (nodes, groups) = sci_trio();
+
+    // Round 1: everyone participates — sanity that the group works.
+    let warm: Vec<_> = groups
+        .iter()
+        .enumerate()
+        .map(|(rank, g)| {
+            let g = Arc::clone(g);
+            std::thread::spawn(move || g.allreduce(vec![rank as f64], ReduceOp::Sum))
+        })
+        .collect();
+    for h in warm {
+        assert_eq!(h.join().unwrap().unwrap(), vec![3.0]);
+    }
+
+    // Round 2: ranks 0 and 1 enter the collective; rank 2 dies instead
+    // (its node shuts down, closing every connection it owns).
+    let survivors: Vec<_> = groups[..2]
+        .iter()
+        .enumerate()
+        .map(|(rank, g)| {
+            let g = Arc::clone(g);
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let r = g.allreduce(vec![rank as f64], ReduceOp::Sum);
+                (r, t0.elapsed())
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(200));
+    let dead = nodes[2].clone();
+    drop(groups); // rank 2's group pumps stop consuming
+    dead.shutdown();
+
+    for h in survivors {
+        let (result, elapsed) = h.join().unwrap();
+        let err = result.expect_err("survivor must not deliver a result");
+        assert!(
+            matches!(err, CollectiveError::Send(_) | CollectiveError::Closed),
+            "expected a transport failure, got {err}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(20),
+            "failure took {elapsed:?} — the op hung instead of failing fast"
+        );
+    }
+    for n in nodes {
+        n.shutdown();
+    }
+}

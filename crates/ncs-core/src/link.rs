@@ -241,6 +241,9 @@ impl PeerLink for AciLink {
 pub struct SciLink {
     peer_addr: std::net::SocketAddr,
     listener: Arc<sci::SciListener>,
+    /// Retry budget for dialing the peer's listener (cluster ranks start
+    /// concurrently; the peer may not be listening *yet*).
+    connect_timeout: Duration,
     yield_hook: parking_lot::Mutex<Option<YieldHook>>,
 }
 
@@ -254,11 +257,23 @@ impl std::fmt::Debug for SciLink {
 
 impl SciLink {
     /// A link towards the NCS node listening at `peer_addr`, accepting
-    /// inbound channels on `listener`.
+    /// inbound channels on `listener`. Dials with the default
+    /// [`sci::CONNECT_RETRY_TIMEOUT`] retry budget.
     pub fn new(peer_addr: std::net::SocketAddr, listener: Arc<sci::SciListener>) -> Arc<Self> {
+        Self::with_connect_timeout(peer_addr, listener, sci::CONNECT_RETRY_TIMEOUT)
+    }
+
+    /// [`SciLink::new`] with an explicit retry budget for dialing the
+    /// peer (`Duration::ZERO` for a single, fail-fast attempt).
+    pub fn with_connect_timeout(
+        peer_addr: std::net::SocketAddr,
+        listener: Arc<sci::SciListener>,
+        connect_timeout: Duration,
+    ) -> Arc<Self> {
         Arc::new(SciLink {
             peer_addr,
             listener,
+            connect_timeout,
             yield_hook: parking_lot::Mutex::new(None),
         })
     }
@@ -266,7 +281,9 @@ impl SciLink {
 
 impl PeerLink for SciLink {
     fn open_channel(&self) -> Result<Box<dyn Connection>, TransportError> {
-        let conn = sci::connect(self.peer_addr)?;
+        // Bounded retry/backoff: a cluster peer may still be racing
+        // through its own startup when we dial (see sci::connect_retry).
+        let conn = sci::connect_retry(self.peer_addr, self.connect_timeout)?;
         conn.set_yield_hook(self.yield_hook.lock().clone());
         Ok(Box::new(conn))
     }

@@ -108,6 +108,8 @@ struct PeerState {
 
 pub(crate) struct NodeInner {
     name: String,
+    /// Cluster rank, when this node is a member of a multi-process world.
+    rank: Option<u32>,
     pkg: Arc<dyn ThreadPackage>,
     /// Recycling frame-buffer pool shared by every connection's data plane.
     pool: Arc<BufPool>,
@@ -137,6 +139,7 @@ impl std::fmt::Debug for NodeInner {
 #[derive(Debug)]
 pub struct NcsNodeBuilder {
     name: String,
+    rank: Option<u32>,
     pkg: Option<Arc<dyn ThreadPackage>>,
     pool: Option<Arc<BufPool>>,
 }
@@ -146,6 +149,14 @@ impl NcsNodeBuilder {
     /// (defaults to the kernel-level package).
     pub fn thread_package(mut self, pkg: Arc<dyn ThreadPackage>) -> Self {
         self.pkg = Some(pkg);
+        self
+    }
+
+    /// Records this node's rank in a multi-process world (set by the
+    /// cluster runtime when a node is built from a rendezvous roster;
+    /// purely identity — single-process nodes leave it unset).
+    pub fn rank(mut self, rank: u32) -> Self {
+        self.rank = Some(rank);
         self
     }
 
@@ -165,6 +176,7 @@ impl NcsNodeBuilder {
             .unwrap_or_else(|| Arc::new(KernelPackage::new()) as Arc<dyn ThreadPackage>);
         let inner = Arc::new(NodeInner {
             name: self.name,
+            rank: self.rank,
             pkg,
             pool: self.pool.unwrap_or_else(BufPool::new),
             peers: Mutex::new(HashMap::new()),
@@ -201,6 +213,7 @@ impl NcsNode {
     pub fn builder(name: &str) -> NcsNodeBuilder {
         NcsNodeBuilder {
             name: name.to_owned(),
+            rank: None,
             pkg: None,
             pool: None,
         }
@@ -209,6 +222,12 @@ impl NcsNode {
     /// This node's name.
     pub fn name(&self) -> &str {
         &self.inner.name
+    }
+
+    /// This node's rank in its multi-process world, when built by the
+    /// cluster runtime ([`NcsNodeBuilder::rank`]).
+    pub fn rank(&self) -> Option<u32> {
+        self.inner.rank
     }
 
     /// The thread package running this node's NCS threads.

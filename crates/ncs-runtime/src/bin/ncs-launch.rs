@@ -1,0 +1,89 @@
+//! ncs-launch — run an NCS world of N local processes.
+//!
+//! Spawns `--np N` ranks of the given command, each with the cluster
+//! environment set (`NCS_RANK`, `NCS_WORLD`, `NCS_NCSD`), an embedded
+//! rendezvous service (unless `--ncsd` points at an external one), child
+//! output multiplexed with `[rank N]` prefixes, and a hard deadline after
+//! which stragglers are killed.
+//!
+//! Usage:
+//! `ncs-launch --np N [--timeout SECS] [--ncsd ADDR] [--log-dir DIR] -- CMD [ARGS...]`
+//!
+//! Exit code: 0 when every rank exited 0; the first failing rank's code
+//! otherwise; 124 when the deadline expired.
+
+use std::time::Duration;
+
+use ncs_runtime::{launch, LaunchSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ncs-launch --np N [--timeout SECS] [--ncsd ADDR] [--log-dir DIR] -- CMD [ARGS...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut np: Option<u32> = None;
+    let mut timeout = Duration::from_secs(120);
+    let mut ncsd = None;
+    let mut log_dir = None;
+    let mut command: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--np" => {
+                np = args.next().and_then(|v| v.parse().ok());
+                if np.is_none() {
+                    usage();
+                }
+            }
+            "--timeout" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => timeout = Duration::from_secs(s),
+                None => usage(),
+            },
+            "--ncsd" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(a) => ncsd = Some(a),
+                None => usage(),
+            },
+            "--log-dir" => match args.next() {
+                Some(d) => log_dir = Some(d.into()),
+                None => usage(),
+            },
+            "--" => {
+                command = args.collect();
+                break;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(np) = np else { usage() };
+    if command.is_empty() {
+        usage();
+    }
+    let spec = LaunchSpec {
+        np,
+        command,
+        ncsd,
+        timeout,
+        log_dir,
+    };
+    match launch(&spec) {
+        Ok(report) => {
+            for e in &report.exits {
+                match e.code {
+                    Some(c) => eprintln!("ncs-launch: rank {} exited {c}", e.rank),
+                    None => eprintln!("ncs-launch: rank {} killed", e.rank),
+                }
+            }
+            if report.timed_out {
+                eprintln!("ncs-launch: deadline expired; stragglers were killed");
+            }
+            std::process::exit(report.exit_code());
+        }
+        Err(e) => {
+            eprintln!("ncs-launch: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! ncsd — the standalone NCS rendezvous daemon.
+//!
+//! Ranks of a world register `(rank, listener address)` here and receive
+//! the full roster once everyone has arrived; the daemon is not on the
+//! data path (see [`ncs_runtime::rendezvous`]).
+//!
+//! Usage: `ncsd --world N [--listen ADDR] [--once]`
+//!
+//! * `--world N` — world size (required).
+//! * `--listen ADDR` — bind address (default `127.0.0.1:0`; the bound
+//!   address is printed, so an ephemeral port is usable by scripts).
+//! * `--once` — exit once the roster has been served (plus a short grace
+//!   period for stragglers re-fetching it).
+
+use std::time::Duration;
+
+use ncs_runtime::RendezvousServer;
+
+fn usage() -> ! {
+    eprintln!("usage: ncsd --world N [--listen ADDR] [--once]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut world: Option<u32> = None;
+    let mut listen = "127.0.0.1:0".to_owned();
+    let mut once = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--world" => {
+                world = args.next().and_then(|v| v.parse().ok());
+                if world.is_none() {
+                    usage();
+                }
+            }
+            "--listen" => match args.next() {
+                Some(a) => listen = a,
+                None => usage(),
+            },
+            "--once" => once = true,
+            _ => usage(),
+        }
+    }
+    let Some(world) = world else { usage() };
+    let server = match RendezvousServer::start(&listen, world) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ncsd: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Scripts parse this line for the bound (possibly ephemeral) address.
+    println!("ncsd: listening on {} (world {world})", server.addr());
+    if once {
+        while !server.wait_complete(Duration::from_secs(3600)) {}
+        println!("ncsd: roster served; exiting");
+        std::thread::sleep(Duration::from_secs(2));
+    } else {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! [`ClusterNode`]: one rank of a multi-process NCS world.
+//!
+//! Bootstrap sequence (the tentpole of the cluster runtime):
+//!
+//! 1. bind an SCI listener (`bind`, default ephemeral on loopback);
+//! 2. register `(rank, listener address)` with the rendezvous service and
+//!    block for the world [`Roster`];
+//! 3. build an [`NcsNode`] named `rank<r>` carrying the rank identity,
+//!    and attach one [`SciLink`] per peer (all sharing the one listener —
+//!    peer attribution comes from the NCS hello, and every dial retries
+//!    with bounded backoff because peers race through startup);
+//! 4. establish one NCS connection per peer, deterministically: this rank
+//!    *dials* every higher rank and *accepts* from every lower rank;
+//! 5. exchange a [`ClusterHello`] (protocol version + rank + world) on
+//!    every connection and refuse mismatches.
+//!
+//! The result is a fully wired world: per-peer [`NcsConnection`]s ready
+//! for point-to-point traffic, and [`ClusterNode::collective_group`] for
+//! the collectives engine — which runs unmodified across processes, since
+//! it only ever sees `NcsConnection`s.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ncs_collectives::{CollectiveConfig, CollectiveError, CollectiveGroup};
+use ncs_core::link::SciLink;
+use ncs_core::{AcceptError, ConnectError, ConnectionConfig, NcsConnection, NcsNode};
+use ncs_transport::sci::SciListener;
+use ncs_transport::TransportError;
+
+use crate::rendezvous;
+use crate::wire::{ClusterHello, Roster, PROTOCOL_VERSION};
+
+/// Environment variables the launcher hands to every rank (read by
+/// [`ClusterConfig::from_env`]).
+pub mod env {
+    /// This process's rank (`0..world`).
+    pub const RANK: &str = "NCS_RANK";
+    /// World size.
+    pub const WORLD: &str = "NCS_WORLD";
+    /// Rendezvous service address (`ip:port`).
+    pub const NCSD: &str = "NCS_NCSD";
+    /// Optional SCI listener bind address (default `127.0.0.1:0`).
+    pub const BIND: &str = "NCS_BIND";
+}
+
+/// Errors from cluster bootstrap and membership operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Invalid or missing configuration (bad env vars, zero world, rank
+    /// out of range).
+    Config(String),
+    /// The rendezvous exchange failed (rejection, malformed answer).
+    Rendezvous(String),
+    /// A socket-level failure.
+    Transport(TransportError),
+    /// Establishing an NCS connection to a peer failed.
+    Connect(String),
+    /// Waiting for a peer's inbound connection failed.
+    Accept(AcceptError),
+    /// The peer handshake refused the connection (version or identity
+    /// mismatch).
+    Handshake(String),
+    /// A bootstrap stage ran out of time.
+    Timeout(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Config(why) => write!(f, "cluster configuration error: {why}"),
+            ClusterError::Rendezvous(why) => write!(f, "rendezvous failure: {why}"),
+            ClusterError::Transport(e) => write!(f, "cluster transport failure: {e}"),
+            ClusterError::Connect(why) => write!(f, "peer connect failure: {why}"),
+            ClusterError::Accept(e) => write!(f, "peer accept failure: {e}"),
+            ClusterError::Handshake(why) => write!(f, "cluster handshake refused: {why}"),
+            ClusterError::Timeout(why) => write!(f, "cluster bootstrap timed out: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<TransportError> for ClusterError {
+    fn from(e: TransportError) -> Self {
+        ClusterError::Transport(e)
+    }
+}
+
+impl From<ConnectError> for ClusterError {
+    fn from(e: ConnectError) -> Self {
+        ClusterError::Connect(e.to_string())
+    }
+}
+
+impl From<AcceptError> for ClusterError {
+    fn from(e: AcceptError) -> Self {
+        ClusterError::Accept(e)
+    }
+}
+
+/// Bootstrap parameters of one rank.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// This process's rank (`0..world`).
+    pub rank: u32,
+    /// World size (number of ranks).
+    pub world: u32,
+    /// Rendezvous service address.
+    pub ncsd: SocketAddr,
+    /// SCI listener bind address (port 0 for ephemeral).
+    pub bind: String,
+    /// Per-connection NCS configuration for the world links. SCI rides
+    /// TCP, which is already reliable, so the default is the paper's
+    /// §3.1 bypass ([`ConnectionConfig::unreliable`] — no FC/EC threads).
+    pub conn: ConnectionConfig,
+    /// Budget for the whole bootstrap. Rendezvous, the accept phase and
+    /// the handshakes all draw from one deadline; each per-peer dial is
+    /// additionally bounded by whatever remained when the links were
+    /// attached (so a world of crashed peers costs at most one further
+    /// budget per dial, not an unbounded kernel connect).
+    pub boot_timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// A default configuration for `rank` of `world` meeting at `ncsd`.
+    pub fn new(rank: u32, world: u32, ncsd: SocketAddr) -> Self {
+        ClusterConfig {
+            rank,
+            world,
+            ncsd,
+            bind: "127.0.0.1:0".into(),
+            conn: ConnectionConfig::unreliable(),
+            boot_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Reads the launcher-provided environment ([`mod@env`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] when a required variable is missing or
+    /// unparseable.
+    pub fn from_env() -> Result<Self, ClusterError> {
+        fn need(name: &str) -> Result<String, ClusterError> {
+            std::env::var(name).map_err(|_| {
+                ClusterError::Config(format!(
+                    "{name} is not set — run under ncs-launch, or export it manually"
+                ))
+            })
+        }
+        let rank: u32 = need(env::RANK)?
+            .parse()
+            .map_err(|_| ClusterError::Config(format!("{} must be an integer", env::RANK)))?;
+        let world: u32 = need(env::WORLD)?
+            .parse()
+            .map_err(|_| ClusterError::Config(format!("{} must be an integer", env::WORLD)))?;
+        let ncsd: SocketAddr = need(env::NCSD)?
+            .parse()
+            .map_err(|_| ClusterError::Config(format!("{} must be ip:port", env::NCSD)))?;
+        let mut cfg = ClusterConfig::new(rank, world, ncsd);
+        if let Ok(bind) = std::env::var(env::BIND) {
+            cfg.bind = bind;
+        }
+        Ok(cfg)
+    }
+
+    fn validate(&self) -> Result<(), ClusterError> {
+        if self.world == 0 {
+            return Err(ClusterError::Config("world size must be positive".into()));
+        }
+        if self.rank >= self.world {
+            return Err(ClusterError::Config(format!(
+                "rank {} out of range for world {}",
+                self.rank, self.world
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The canonical node name of `rank`.
+fn rank_name(rank: u32) -> String {
+    format!("rank{rank}")
+}
+
+/// Parses a peer rank back out of its node name.
+fn parse_rank_name(name: &str) -> Option<u32> {
+    name.strip_prefix("rank")?.parse().ok()
+}
+
+/// One rank's handle on a fully bootstrapped multi-process NCS world.
+pub struct ClusterNode {
+    node: NcsNode,
+    rank: u32,
+    world: u32,
+    roster: Roster,
+    links: HashMap<usize, NcsConnection>,
+}
+
+impl std::fmt::Debug for ClusterNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterNode")
+            .field("rank", &self.rank)
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+impl ClusterNode {
+    /// Runs the full bootstrap (module docs) and returns the wired world.
+    ///
+    /// Every rank of the world must run this concurrently; it blocks
+    /// until all of them have met, connected and shaken hands, bounded by
+    /// [`ClusterConfig::boot_timeout`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterError`].
+    pub fn bootstrap(cfg: ClusterConfig) -> Result<Self, ClusterError> {
+        cfg.validate()?;
+        let deadline = Instant::now() + cfg.boot_timeout;
+        let listener = Arc::new(SciListener::bind(&cfg.bind)?);
+        let my_addr = listener.local_addr()?;
+
+        // Rendezvous: announce ourselves, learn everyone's address. Draws
+        // from the same deadline as everything below.
+        let roster = rendezvous::register(
+            cfg.ncsd,
+            cfg.rank,
+            cfg.world,
+            my_addr,
+            deadline
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(10)),
+        )?;
+
+        // The NCS node, with one retrying SCI link per peer. All links
+        // share this rank's listener: inbound channels carry the opener's
+        // node name in their hello, so the node routes them correctly no
+        // matter which link accepted. Each dial's retry budget is what
+        // remains of the bootstrap deadline now (floored so a tight
+        // deadline still gets one real attempt per peer).
+        let dial_budget = deadline
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_secs(1));
+        let node = NcsNode::builder(&rank_name(cfg.rank))
+            .rank(cfg.rank)
+            .build();
+        for &(r, addr) in &roster.members {
+            if r != cfg.rank {
+                node.attach_peer(
+                    &rank_name(r),
+                    SciLink::with_connect_timeout(addr, Arc::clone(&listener), dial_budget),
+                );
+            }
+        }
+
+        // Deterministic establishment: dial up, accept down.
+        let mut links: HashMap<usize, NcsConnection> = HashMap::new();
+        for r in (cfg.rank + 1)..cfg.world {
+            let conn = node.connect(&rank_name(r), cfg.conn.clone())?;
+            links.insert(r as usize, conn);
+        }
+        while links.len() < (cfg.world - 1) as usize {
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or_else(|| {
+                    ClusterError::Timeout(format!(
+                        "rank {} still waiting for {} inbound peer connection(s)",
+                        cfg.rank,
+                        (cfg.world - 1) as usize - links.len()
+                    ))
+                })?;
+            let conn = node.accept(left)?;
+            let Some(peer) = parse_rank_name(conn.peer_name()) else {
+                // Not a cluster rank (stray connector); ignore it.
+                continue;
+            };
+            if peer >= cfg.world || peer as usize == cfg.rank as usize {
+                continue;
+            }
+            links.insert(peer as usize, conn);
+        }
+
+        // Version + rank handshake on every link, both directions. Sends
+        // go first (they are asynchronous), then every peer's hello is
+        // awaited and verified.
+        let hello = ClusterHello {
+            version: PROTOCOL_VERSION,
+            rank: cfg.rank,
+            world: cfg.world,
+        };
+        for conn in links.values() {
+            conn.send(&hello.encode())
+                .map_err(|e| ClusterError::Connect(e.to_string()))?;
+        }
+        for (&peer, conn) in &links {
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or_else(|| {
+                    ClusterError::Timeout(format!("no handshake from rank {peer} in time"))
+                })?;
+            let frame = conn
+                .recv_timeout(left)
+                .map_err(|e| ClusterError::Handshake(format!("rank {peer}: {e}")))?;
+            let h = ClusterHello::decode(&frame)
+                .map_err(|e| ClusterError::Handshake(format!("rank {peer}: {e}")))?;
+            if h.version != PROTOCOL_VERSION {
+                return Err(ClusterError::Handshake(format!(
+                    "rank {peer} speaks protocol {} (this rank speaks {PROTOCOL_VERSION})",
+                    h.version
+                )));
+            }
+            if h.rank != peer as u32 || h.world != cfg.world {
+                return Err(ClusterError::Handshake(format!(
+                    "peer on link {peer} claims rank {} of world {} (expected rank {peer} of {})",
+                    h.rank, h.world, cfg.world
+                )));
+            }
+        }
+
+        Ok(ClusterNode {
+            node,
+            rank: cfg.rank,
+            world: cfg.world,
+            roster,
+            links,
+        })
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> u32 {
+        self.world
+    }
+
+    /// The underlying NCS node (for point-to-point primitives, pool
+    /// statistics, thread package).
+    pub fn node(&self) -> &NcsNode {
+        &self.node
+    }
+
+    /// The world roster learned at rendezvous.
+    pub fn roster(&self) -> &Roster {
+        &self.roster
+    }
+
+    /// The bootstrap connection to `rank`, if it is another member.
+    pub fn connection(&self, rank: u32) -> Option<&NcsConnection> {
+        self.links.get(&(rank as usize))
+    }
+
+    /// A clone of the world-link map (peer rank -> connection), the shape
+    /// [`CollectiveGroup::new`] consumes.
+    pub fn world_links(&self) -> HashMap<usize, NcsConnection> {
+        self.links.clone()
+    }
+
+    /// Builds the collectives engine over the world links with the
+    /// default [`CollectiveConfig`].
+    ///
+    /// The group's pump threads take ownership of the links' delivery
+    /// queues: once a collective group exists, use
+    /// [`ClusterNode::open_connection`] / [`ClusterNode::accept_connection`]
+    /// for point-to-point traffic instead of the bootstrap links (and
+    /// build at most one live group over them).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CollectiveGroup::new`] errors.
+    pub fn collective_group(&self, id: u32) -> Result<CollectiveGroup, CollectiveError> {
+        CollectiveGroup::new(&self.node, id, self.rank as usize, self.world_links())
+    }
+
+    /// [`ClusterNode::collective_group`] with explicit tuning knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CollectiveGroup::with_config`] errors.
+    pub fn collective_group_with(
+        &self,
+        id: u32,
+        cfg: CollectiveConfig,
+    ) -> Result<CollectiveGroup, CollectiveError> {
+        CollectiveGroup::with_config(&self.node, id, self.rank as usize, self.world_links(), cfg)
+    }
+
+    /// Opens a fresh point-to-point NCS connection to `rank` (beyond the
+    /// bootstrap links); the peer must call
+    /// [`ClusterNode::accept_connection`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] for an invalid rank, otherwise connect
+    /// errors.
+    pub fn open_connection(
+        &self,
+        rank: u32,
+        cfg: ConnectionConfig,
+    ) -> Result<NcsConnection, ClusterError> {
+        if rank == self.rank || rank >= self.world {
+            return Err(ClusterError::Config(format!(
+                "cannot open a connection to rank {rank} from rank {} of {}",
+                self.rank, self.world
+            )));
+        }
+        Ok(self.node.connect(&rank_name(rank), cfg)?)
+    }
+
+    /// Accepts the next incoming point-to-point connection from any peer
+    /// rank (the counterpart of [`ClusterNode::open_connection`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Accept`] on timeout or shutdown.
+    pub fn accept_connection(&self, timeout: Duration) -> Result<NcsConnection, ClusterError> {
+        Ok(self.node.accept(timeout)?)
+    }
+
+    /// Shuts the rank down: closes every connection and stops the node's
+    /// NCS threads. Idempotent.
+    pub fn shutdown(&self) {
+        self.node.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_names_round_trip() {
+        assert_eq!(parse_rank_name(&rank_name(0)), Some(0));
+        assert_eq!(parse_rank_name(&rank_name(41)), Some(41));
+        assert_eq!(parse_rank_name("alice"), None);
+        assert_eq!(parse_rank_name("rankx"), None);
+    }
+
+    #[test]
+    fn config_validation_catches_bad_worlds() {
+        let ncsd = "127.0.0.1:1".parse().unwrap();
+        assert!(matches!(
+            ClusterConfig::new(0, 0, ncsd).validate(),
+            Err(ClusterError::Config(_))
+        ));
+        assert!(matches!(
+            ClusterConfig::new(3, 3, ncsd).validate(),
+            Err(ClusterError::Config(_))
+        ));
+        assert!(ClusterConfig::new(2, 3, ncsd).validate().is_ok());
+    }
+}

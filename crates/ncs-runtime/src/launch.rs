@@ -1,0 +1,354 @@
+//! Local process launching: the machinery behind `ncs-launch`.
+//!
+//! Spawns `np` ranks of a command on this machine, wires their
+//! environment ([`crate::cluster::env`]) to an embedded — or external —
+//! rendezvous service, multiplexes child stdout/stderr onto the parent's
+//! with `[rank N]` prefixes (optionally teeing per-rank log files), and
+//! reaps everything under a hard deadline so a hung rank can never hang
+//! the launcher.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::cluster::{env, ClusterError};
+use crate::rendezvous::RendezvousServer;
+
+/// Reap poll granularity.
+const REAP_POLL: Duration = Duration::from_millis(50);
+
+/// What to launch and how.
+#[derive(Debug, Clone)]
+pub struct LaunchSpec {
+    /// Number of ranks to spawn.
+    pub np: u32,
+    /// The command (program + arguments) every rank runs.
+    pub command: Vec<String>,
+    /// External rendezvous service to use; `None` embeds one for the
+    /// launch.
+    pub ncsd: Option<SocketAddr>,
+    /// Hard deadline for the whole world; survivors are killed when it
+    /// expires.
+    pub timeout: Duration,
+    /// When set, rank output is additionally teed to per-rank files in
+    /// this directory: `rank<N>.log` (stdout) and `rank<N>.err.log`
+    /// (stderr).
+    pub log_dir: Option<PathBuf>,
+}
+
+impl LaunchSpec {
+    /// A spec running `command` on `np` local ranks with a 120 s deadline
+    /// and an embedded rendezvous service.
+    pub fn new(np: u32, command: Vec<String>) -> Self {
+        LaunchSpec {
+            np,
+            command,
+            ncsd: None,
+            timeout: Duration::from_secs(120),
+            log_dir: None,
+        }
+    }
+}
+
+/// One rank's fate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankExit {
+    /// The rank.
+    pub rank: u32,
+    /// Its exit code; `None` when it was killed at the deadline or died
+    /// to a signal.
+    pub code: Option<i32>,
+}
+
+/// The outcome of a launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchReport {
+    /// Every rank's exit, ordered by rank.
+    pub exits: Vec<RankExit>,
+    /// Whether the deadline expired before every rank exited.
+    pub timed_out: bool,
+}
+
+impl LaunchReport {
+    /// Whether every rank exited zero within the deadline.
+    pub fn success(&self) -> bool {
+        !self.timed_out && self.exits.iter().all(|e| e.code == Some(0))
+    }
+
+    /// The exit code the launcher should propagate: 0 on success, the
+    /// first failing rank's code otherwise, 124 for a timeout (the
+    /// `timeout(1)` convention).
+    pub fn exit_code(&self) -> i32 {
+        if self.timed_out {
+            return 124;
+        }
+        self.exits
+            .iter()
+            .find_map(|e| match e.code {
+                Some(0) => None,
+                Some(c) => Some(c),
+                None => Some(1),
+            })
+            .unwrap_or(0)
+    }
+}
+
+/// A reader thread pumping one child stream to the parent's, line by
+/// line, with a rank prefix (and an optional tee file).
+fn pump_stream<R: std::io::Read + Send + 'static>(
+    rank: u32,
+    stream: R,
+    to_stderr: bool,
+    tee: Option<std::fs::File>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut tee = tee;
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if let Some(f) = &mut tee {
+                let _ = writeln!(f, "{line}");
+            }
+            if to_stderr {
+                eprintln!("[rank {rank}] {line}");
+            } else {
+                println!("[rank {rank}] {line}");
+            }
+        }
+    })
+}
+
+struct Running {
+    rank: u32,
+    child: Child,
+    pumps: Vec<std::thread::JoinHandle<()>>,
+    killed: bool,
+}
+
+/// Launches the world and blocks until every rank exited or the deadline
+/// expired (stragglers are killed).
+///
+/// # Errors
+///
+/// [`ClusterError::Config`] for an empty command or zero `np`; spawn
+/// failures surface as [`ClusterError::Config`] too (bad program path is
+/// a configuration problem, not a runtime one).
+pub fn launch(spec: &LaunchSpec) -> Result<LaunchReport, ClusterError> {
+    if spec.np == 0 {
+        return Err(ClusterError::Config("--np must be positive".into()));
+    }
+    let Some((program, args)) = spec.command.split_first() else {
+        return Err(ClusterError::Config("no command to launch".into()));
+    };
+    // The rendezvous service every rank will meet at.
+    let mut embedded: Option<RendezvousServer> = None;
+    let ncsd = match spec.ncsd {
+        Some(addr) => addr,
+        None => {
+            let server = RendezvousServer::start("127.0.0.1:0", spec.np)?;
+            let addr = server.addr();
+            embedded = Some(server);
+            addr
+        }
+    };
+    if let Some(dir) = &spec.log_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ClusterError::Config(format!("cannot create log dir: {e}")))?;
+    }
+
+    let mut world: Vec<Running> = Vec::with_capacity(spec.np as usize);
+    for rank in 0..spec.np {
+        let mut cmd = Command::new(program);
+        cmd.args(args)
+            .env(env::RANK, rank.to_string())
+            .env(env::WORLD, spec.np.to_string())
+            .env(env::NCSD, ncsd.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        let mut child = cmd.spawn().map_err(|e| {
+            // Kill what we already spawned: a half-world would hang on
+            // rendezvous until its own timeout.
+            for r in &mut world {
+                let _ = r.child.kill();
+            }
+            ClusterError::Config(format!("cannot spawn '{program}' for rank {rank}: {e}"))
+        })?;
+        let tee = |suffix: &str| {
+            let path = spec
+                .log_dir
+                .as_ref()?
+                .join(format!("rank{rank}{suffix}.log"));
+            match std::fs::File::create(&path) {
+                Ok(f) => Some(f),
+                Err(e) => {
+                    // The log files exist to diagnose failed runs; losing
+                    // them must at least be loud.
+                    eprintln!("ncs-launch: cannot create {}: {e}", path.display());
+                    None
+                }
+            }
+        };
+        let mut pumps = Vec::new();
+        if let Some(out) = child.stdout.take() {
+            pumps.push(pump_stream(rank, out, false, tee("")));
+        }
+        if let Some(errs) = child.stderr.take() {
+            pumps.push(pump_stream(rank, errs, true, tee(".err")));
+        }
+        world.push(Running {
+            rank,
+            child,
+            pumps,
+            killed: false,
+        });
+    }
+
+    // Reap under the deadline.
+    let deadline = Instant::now() + spec.timeout;
+    let mut exits: Vec<Option<RankExit>> = (0..spec.np).map(|_| None).collect();
+    let mut timed_out = false;
+    loop {
+        let mut all_done = true;
+        for r in &mut world {
+            if exits[r.rank as usize].is_some() {
+                continue;
+            }
+            match r.child.try_wait() {
+                Ok(Some(status)) => {
+                    exits[r.rank as usize] = Some(RankExit {
+                        rank: r.rank,
+                        code: status.code(),
+                    });
+                }
+                Ok(None) => all_done = false,
+                Err(_) => {
+                    exits[r.rank as usize] = Some(RankExit {
+                        rank: r.rank,
+                        code: None,
+                    });
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        if Instant::now() >= deadline {
+            timed_out = true;
+            for r in &mut world {
+                if exits[r.rank as usize].is_none() {
+                    let _ = r.child.kill();
+                    let _ = r.child.wait();
+                    r.killed = true;
+                    exits[r.rank as usize] = Some(RankExit {
+                        rank: r.rank,
+                        code: None,
+                    });
+                }
+            }
+            break;
+        }
+        std::thread::sleep(REAP_POLL);
+    }
+    for r in world {
+        // A killed rank's grandchildren may hold its output pipe open
+        // indefinitely; detach those pumps instead of joining (they exit
+        // when the pipe finally closes).
+        if r.killed {
+            continue;
+        }
+        for p in r.pumps {
+            let _ = p.join();
+        }
+    }
+    drop(embedded);
+    Ok(LaunchReport {
+        exits: exits.into_iter().map(|e| e.expect("all reaped")).collect(),
+        timed_out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_exit_codes() {
+        let ok = LaunchReport {
+            exits: vec![
+                RankExit {
+                    rank: 0,
+                    code: Some(0),
+                },
+                RankExit {
+                    rank: 1,
+                    code: Some(0),
+                },
+            ],
+            timed_out: false,
+        };
+        assert!(ok.success());
+        assert_eq!(ok.exit_code(), 0);
+        let failed = LaunchReport {
+            exits: vec![
+                RankExit {
+                    rank: 0,
+                    code: Some(0),
+                },
+                RankExit {
+                    rank: 1,
+                    code: Some(3),
+                },
+            ],
+            timed_out: false,
+        };
+        assert!(!failed.success());
+        assert_eq!(failed.exit_code(), 3);
+        let killed = LaunchReport {
+            exits: vec![RankExit {
+                rank: 0,
+                code: None,
+            }],
+            timed_out: true,
+        };
+        assert_eq!(killed.exit_code(), 124);
+    }
+
+    #[test]
+    fn empty_specs_are_refused() {
+        assert!(launch(&LaunchSpec::new(0, vec!["true".into()])).is_err());
+        assert!(launch(&LaunchSpec::new(1, vec![])).is_err());
+    }
+
+    #[test]
+    fn launches_trivial_ranks_and_collects_exits() {
+        // Ranks that only echo their identity: exercises env plumbing,
+        // prefixed output pumping and the reaper, without NCS traffic.
+        let spec = LaunchSpec::new(
+            3,
+            vec![
+                "/bin/sh".into(),
+                "-c".into(),
+                "echo rank $NCS_RANK of $NCS_WORLD at $NCS_NCSD".into(),
+            ],
+        );
+        let report = launch(&spec).expect("launch");
+        assert!(report.success(), "report: {report:?}");
+        assert_eq!(report.exits.len(), 3);
+    }
+
+    #[test]
+    fn deadline_kills_stragglers() {
+        let spec = LaunchSpec {
+            timeout: Duration::from_millis(300),
+            ..LaunchSpec::new(2, vec!["/bin/sh".into(), "-c".into(), "sleep 30".into()])
+        };
+        let t0 = Instant::now();
+        let report = launch(&spec).expect("launch");
+        assert!(report.timed_out);
+        assert_eq!(report.exit_code(), 124);
+        assert!(t0.elapsed() < Duration::from_secs(10));
+    }
+}

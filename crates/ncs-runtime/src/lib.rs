@@ -1,0 +1,48 @@
+//! The NCS cluster runtime: N independent OS processes forming one NCS
+//! world over the SCI (TCP) interface.
+//!
+//! The paper's NCS is a *distributed* message-passing system; this crate
+//! is the piece that takes the in-process runtime (nodes, connections,
+//! collectives) across real process boundaries:
+//!
+//! * [`rendezvous`] — the `ncsd` service: ranks register
+//!   `(rank, listener address)` and receive the full world roster once
+//!   everyone has arrived. Standalone binary, or embedded
+//!   ([`rendezvous::RendezvousServer`]) in a launcher or in rank 0.
+//! * [`cluster`] — [`cluster::ClusterNode::bootstrap`]: bind, register,
+//!   dial every peer with bounded retry/backoff, exchange a version+rank
+//!   handshake, and hand the application fully wired
+//!   [`ncs_core::NcsConnection`]s plus a ready-made collectives group.
+//! * [`mod@launch`] — the `ncs-launch` binary's engine: spawn `--np N` local
+//!   ranks, propagate the environment, multiplex child output with
+//!   `[rank N]` prefixes, and reap under a hard deadline.
+//!
+//! # Example
+//!
+//! Each rank of a launched world (see `examples/cluster_allreduce.rs`
+//! for the complete program):
+//!
+//! ```no_run
+//! use ncs_runtime::{ClusterConfig, ClusterNode};
+//! use ncs_collectives::ReduceOp;
+//!
+//! let cluster = ClusterNode::bootstrap(ClusterConfig::from_env()?)?;
+//! let group = cluster.collective_group(1)?;
+//! let sum = group.allreduce(vec![cluster.rank() as f64], ReduceOp::Sum)?;
+//! group.barrier()?;
+//! # let _ = sum;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod launch;
+pub mod rendezvous;
+pub mod wire;
+
+pub use cluster::{ClusterConfig, ClusterError, ClusterNode};
+pub use launch::{launch, LaunchReport, LaunchSpec, RankExit};
+pub use rendezvous::RendezvousServer;
+pub use wire::{ClusterHello, Roster, RvMsg, PROTOCOL_VERSION};

@@ -1,0 +1,290 @@
+//! The rendezvous service (`ncsd`): where ranks meet.
+//!
+//! N processes that should form one NCS world know nothing about each
+//! other except one address — the rendezvous service's. Each rank binds
+//! its own SCI listener, registers `(rank, listener address)` here, and
+//! blocks until the service has seen the whole world; the service then
+//! sends every rank the complete roster and the ranks wire themselves up
+//! directly (the service is *not* on the data path — the same shape as
+//! the lightweight bootstraps of MPWide-style cluster tools).
+//!
+//! The service is deliberately tiny: one thread, framed SCI messages
+//! ([`crate::wire::RvMsg`]), strict validation (protocol version, world
+//! size, rank range, duplicates). It can run standalone (the `ncsd`
+//! binary), embedded in a launcher ([`mod@crate::launch`]), or embedded in
+//! rank 0 of an application.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ncs_transport::sci::{self, SciConnection, SciListener};
+use ncs_transport::{Connection as _, TransportError};
+
+use crate::cluster::ClusterError;
+use crate::wire::{Roster, RvMsg, PROTOCOL_VERSION};
+
+/// How long the server waits for the `Register` frame of a freshly
+/// accepted connection before dropping it (a port-scanner, not a rank).
+const REGISTER_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Accept poll granularity (bounds shutdown latency).
+const ACCEPT_POLL: Duration = Duration::from_millis(100);
+
+/// An embedded rendezvous service for one world.
+///
+/// Runs on a background thread from [`RendezvousServer::start`] until
+/// dropped (or [`RendezvousServer::stop`]). Once the `world`-th rank has
+/// registered, the roster goes out to every registered rank; later
+/// registrations with a valid identity (e.g. a restarted rank re-fetching)
+/// are answered with the same roster immediately.
+pub struct RendezvousServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    complete: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RendezvousServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RendezvousServer")
+            .field("addr", &self.addr)
+            .field("complete", &self.complete.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl RendezvousServer {
+    /// Binds `listen` (use port 0 for an ephemeral port) and starts
+    /// serving a world of `world` ranks.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] for a zero world, otherwise socket errors.
+    pub fn start(listen: &str, world: u32) -> Result<Self, ClusterError> {
+        if world == 0 {
+            return Err(ClusterError::Config("world size must be positive".into()));
+        }
+        let listener = SciListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let complete = Arc::new(AtomicBool::new(false));
+        let sd = Arc::clone(&shutdown);
+        let cp = Arc::clone(&complete);
+        let handle = std::thread::Builder::new()
+            .name("ncsd".into())
+            .spawn(move || serve(&listener, world, &sd, &cp))
+            .expect("spawn ncsd thread");
+        Ok(RendezvousServer {
+            addr,
+            shutdown,
+            complete,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address ranks should register at.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the roster has been assembled and broadcast.
+    pub fn roster_complete(&self) -> bool {
+        self.complete.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the roster went out, or `timeout`. Returns whether it
+    /// did.
+    pub fn wait_complete(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !self.roster_complete() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        true
+    }
+
+    /// Stops the service. Idempotent; called by `Drop`.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RendezvousServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One registered rank, held open until the roster goes out.
+struct Pending {
+    rank: u32,
+    conn: SciConnection,
+}
+
+fn serve(listener: &SciListener, world: u32, shutdown: &AtomicBool, complete: &AtomicBool) {
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut members: Vec<(u32, String)> = Vec::new();
+    let mut roster: Option<RvMsg> = None;
+    // Register frames are read off the accept loop: a connection that
+    // never sends one (port scanner, health probe) must cost the world
+    // nothing but one short-lived reader thread — not REGISTER_TIMEOUT of
+    // everyone else's registration latency.
+    let (reg_tx, reg_rx) = std::sync::mpsc::channel::<(SciConnection, RvMsg)>();
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept_timeout(ACCEPT_POLL) {
+            Ok(conn) => {
+                let tx = reg_tx.clone();
+                std::thread::spawn(move || {
+                    let Ok(frame) = conn.recv_timeout(REGISTER_TIMEOUT) else {
+                        return; // silent connection: drop it
+                    };
+                    let Ok(msg) = RvMsg::decode(&frame) else {
+                        return; // not speaking the protocol
+                    };
+                    let _ = tx.send((conn, msg));
+                });
+            }
+            Err(TransportError::Timeout) => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+        while let Ok((conn, reg)) = reg_rx.try_recv() {
+            handle_register(
+                conn,
+                reg,
+                world,
+                &mut pending,
+                &mut members,
+                &mut roster,
+                complete,
+            );
+        }
+    }
+}
+
+/// Processes one decoded registration against the assembling world.
+fn handle_register(
+    conn: SciConnection,
+    reg: RvMsg,
+    world: u32,
+    pending: &mut Vec<Pending>,
+    members: &mut Vec<(u32, String)>,
+    roster: &mut Option<RvMsg>,
+    complete: &AtomicBool,
+) {
+    let RvMsg::Register {
+        version,
+        world: w,
+        rank,
+        addr,
+    } = reg
+    else {
+        return;
+    };
+    let reject = |conn: &SciConnection, reason: String| {
+        let _ = conn.send(&RvMsg::Reject { reason }.encode());
+    };
+    if version != PROTOCOL_VERSION {
+        reject(
+            &conn,
+            format!("protocol version {version} (server speaks {PROTOCOL_VERSION})"),
+        );
+        return;
+    }
+    if w != world {
+        reject(&conn, format!("world size {w} (server expects {world})"));
+        return;
+    }
+    if rank >= world {
+        reject(&conn, format!("rank {rank} out of range (world {world})"));
+        return;
+    }
+    if let Some(r) = &*roster {
+        // World already assembled: a valid identity re-fetching the
+        // roster (restart, late diagnostic client) gets it at once.
+        let _ = conn.send(&r.encode());
+        return;
+    }
+    if pending.iter().any(|p| p.rank == rank) {
+        reject(&conn, format!("duplicate rank {rank}"));
+        return;
+    }
+    pending.push(Pending { rank, conn });
+    members.push((rank, addr));
+    if members.len() == world as usize {
+        members.sort_by_key(|&(r, _)| r);
+        let msg = RvMsg::Roster {
+            world,
+            members: std::mem::take(members),
+        };
+        let encoded = msg.encode();
+        for p in pending.drain(..) {
+            let _ = p.conn.send(&encoded);
+        }
+        *roster = Some(msg);
+        complete.store(true, Ordering::Release);
+    }
+}
+
+/// Registers `(rank, my_addr)` with the rendezvous service at `ncsd` and
+/// blocks for the world roster.
+///
+/// Dials with bounded retry/backoff ([`sci::connect_retry`]) — the
+/// service may itself still be starting — then waits up to `timeout` for
+/// the roster (i.e. for every other rank to register too).
+///
+/// # Errors
+///
+/// [`ClusterError::Rendezvous`] when the service rejects the
+/// registration or answers nonsense; [`ClusterError::Transport`] /
+/// [`ClusterError::Timeout`] for connection failures.
+pub fn register(
+    ncsd: SocketAddr,
+    rank: u32,
+    world: u32,
+    my_addr: SocketAddr,
+    timeout: Duration,
+) -> Result<Roster, ClusterError> {
+    // One budget for the whole exchange: whatever the dial consumes is no
+    // longer available for the roster wait.
+    let deadline = Instant::now() + timeout;
+    let conn = sci::connect_retry(ncsd, timeout)?;
+    conn.send(
+        &RvMsg::Register {
+            version: PROTOCOL_VERSION,
+            world,
+            rank,
+            addr: my_addr.to_string(),
+        }
+        .encode(),
+    )?;
+    let left = deadline
+        .saturating_duration_since(Instant::now())
+        .max(Duration::from_millis(10));
+    let frame = conn.recv_timeout(left).map_err(|e| match e {
+        TransportError::Timeout => ClusterError::Timeout(format!(
+            "no roster within {timeout:?} — are all {world} ranks running?"
+        )),
+        other => ClusterError::Transport(other),
+    })?;
+    match RvMsg::decode(&frame).map_err(|e| ClusterError::Rendezvous(e.to_string()))? {
+        RvMsg::Roster { world: w, members } => {
+            Roster::from_members(w, &members).map_err(|e| ClusterError::Rendezvous(e.to_string()))
+        }
+        RvMsg::Reject { reason } => Err(ClusterError::Rendezvous(format!(
+            "registration rejected: {reason}"
+        ))),
+        RvMsg::Register { .. } => Err(ClusterError::Rendezvous(
+            "server answered with a Register frame".into(),
+        )),
+    }
+}

@@ -1,0 +1,358 @@
+//! The cluster bootstrap wire protocol.
+//!
+//! Two tiny framed exchanges, both carried over SCI (length-prefixed TCP):
+//!
+//! * **rendezvous** — each rank sends one [`RvMsg::Register`] to `ncsd`
+//!   and receives back either the full [`RvMsg::Roster`] (once every rank
+//!   of the world has registered) or an [`RvMsg::Reject`];
+//! * **peer handshake** — the first message on every freshly established
+//!   NCS connection between two ranks is a [`ClusterHello`], proving both
+//!   sides speak the same protocol version and are the rank the dialer
+//!   thinks they are.
+//!
+//! Everything is hand-encoded big-endian: the protocol must stay readable
+//! from any language without a serialisation dependency.
+
+use std::net::SocketAddr;
+
+/// Version of the cluster bootstrap protocol. Bumped on any wire change;
+/// rendezvous and handshake both refuse mismatched peers outright (a
+/// half-understood bootstrap is worse than a failed one).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Magic prefix of a [`ClusterHello`] frame.
+const HELLO_MAGIC: &[u8; 4] = b"NCSW";
+
+/// Decode failures (malformed frame, unknown tag, bad UTF-8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed cluster frame: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(why: &str) -> WireError {
+    WireError(why.to_owned())
+}
+
+/// A rendezvous message (rank <-> ncsd).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RvMsg {
+    /// A rank announcing itself: "I am `rank` of a world of `world`,
+    /// reachable at `addr`".
+    Register {
+        /// The sender's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Expected world size (must agree across all ranks and the
+        /// server).
+        world: u32,
+        /// The sender's rank, in `0..world`.
+        rank: u32,
+        /// The sender's SCI listener address, as `ip:port`.
+        addr: String,
+    },
+    /// The complete world roster, sent to every registered rank once the
+    /// last one arrives.
+    Roster {
+        /// World size.
+        world: u32,
+        /// `(rank, listener address)` for every member, sorted by rank.
+        members: Vec<(u32, String)>,
+    },
+    /// Registration refused (version/world mismatch, duplicate or
+    /// out-of-range rank).
+    Reject {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn get_u32(bytes: &[u8], at: &mut usize) -> Result<u32, WireError> {
+    let end = *at + 4;
+    let v = bytes
+        .get(*at..end)
+        .ok_or_else(|| err("truncated u32"))?
+        .try_into()
+        .expect("4 bytes");
+    *at = end;
+    Ok(u32::from_be_bytes(v))
+}
+
+fn get_str(bytes: &[u8], at: &mut usize) -> Result<String, WireError> {
+    let lend = *at + 2;
+    let len = u16::from_be_bytes(
+        bytes
+            .get(*at..lend)
+            .ok_or_else(|| err("truncated string length"))?
+            .try_into()
+            .expect("2 bytes"),
+    ) as usize;
+    let end = lend + len;
+    let s = bytes
+        .get(lend..end)
+        .ok_or_else(|| err("truncated string"))?;
+    *at = end;
+    String::from_utf8(s.to_vec()).map_err(|_| err("string is not UTF-8"))
+}
+
+impl RvMsg {
+    /// Encodes this message as one SCI frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            RvMsg::Register {
+                version,
+                world,
+                rank,
+                addr,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&version.to_be_bytes());
+                out.extend_from_slice(&world.to_be_bytes());
+                out.extend_from_slice(&rank.to_be_bytes());
+                put_str(&mut out, addr);
+            }
+            RvMsg::Roster { world, members } => {
+                out.push(2);
+                out.extend_from_slice(&world.to_be_bytes());
+                out.extend_from_slice(&(members.len() as u32).to_be_bytes());
+                for (rank, addr) in members {
+                    out.extend_from_slice(&rank.to_be_bytes());
+                    put_str(&mut out, addr);
+                }
+            }
+            RvMsg::Reject { reason } => {
+                out.push(3);
+                put_str(&mut out, reason);
+            }
+        }
+        out
+    }
+
+    /// Decodes one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on anything that is not a well-formed message.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let tag = *bytes.first().ok_or_else(|| err("empty frame"))?;
+        let mut at = 1;
+        let msg = match tag {
+            1 => {
+                let version = get_u32(bytes, &mut at)?;
+                let world = get_u32(bytes, &mut at)?;
+                let rank = get_u32(bytes, &mut at)?;
+                let addr = get_str(bytes, &mut at)?;
+                RvMsg::Register {
+                    version,
+                    world,
+                    rank,
+                    addr,
+                }
+            }
+            2 => {
+                let world = get_u32(bytes, &mut at)?;
+                let n = get_u32(bytes, &mut at)?;
+                if n > 1 << 20 {
+                    return Err(err("implausible roster size"));
+                }
+                let mut members = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let rank = get_u32(bytes, &mut at)?;
+                    let addr = get_str(bytes, &mut at)?;
+                    members.push((rank, addr));
+                }
+                RvMsg::Roster { world, members }
+            }
+            3 => RvMsg::Reject {
+                reason: get_str(bytes, &mut at)?,
+            },
+            other => return Err(err(&format!("unknown tag {other}"))),
+        };
+        if at != bytes.len() {
+            return Err(err("trailing bytes"));
+        }
+        Ok(msg)
+    }
+}
+
+/// The world roster a rank receives from rendezvous: who is where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Roster {
+    /// World size.
+    pub world: u32,
+    /// `(rank, SCI listener address)`, sorted by rank, one per member.
+    pub members: Vec<(u32, SocketAddr)>,
+}
+
+impl Roster {
+    /// Parses and validates a [`RvMsg::Roster`]'s members: exactly the
+    /// ranks `0..world`, each with a parseable socket address.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] when the member set is not exactly `0..world` or an
+    /// address does not parse.
+    pub fn from_members(world: u32, raw: &[(u32, String)]) -> Result<Self, WireError> {
+        if raw.len() != world as usize {
+            return Err(err(&format!(
+                "roster has {} members for a world of {world}",
+                raw.len()
+            )));
+        }
+        let mut members = Vec::with_capacity(raw.len());
+        for (rank, addr) in raw {
+            if *rank >= world {
+                return Err(err(&format!("rank {rank} out of range (world {world})")));
+            }
+            let parsed: SocketAddr = addr
+                .parse()
+                .map_err(|_| err(&format!("unparseable member address '{addr}'")))?;
+            members.push((*rank, parsed));
+        }
+        members.sort_by_key(|&(r, _)| r);
+        if members.iter().enumerate().any(|(i, &(r, _))| r != i as u32) {
+            return Err(err("roster ranks are not exactly 0..world"));
+        }
+        Ok(Roster { world, members })
+    }
+
+    /// The listener address of `rank`.
+    pub fn addr_of(&self, rank: u32) -> Option<SocketAddr> {
+        self.members
+            .iter()
+            .find(|&&(r, _)| r == rank)
+            .map(|&(_, a)| a)
+    }
+}
+
+/// The first message both ends exchange on every freshly established
+/// cluster connection: protocol version plus the sender's identity, so a
+/// miswired or skewed peer is refused before any data flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterHello {
+    /// The sender's [`PROTOCOL_VERSION`].
+    pub version: u32,
+    /// The sender's rank.
+    pub rank: u32,
+    /// The sender's world size.
+    pub world: u32,
+}
+
+impl ClusterHello {
+    /// Encodes the 16-byte hello frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(HELLO_MAGIC);
+        out.extend_from_slice(&self.version.to_be_bytes());
+        out.extend_from_slice(&self.rank.to_be_bytes());
+        out.extend_from_slice(&self.world.to_be_bytes());
+        out
+    }
+
+    /// Decodes a hello frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] unless the frame is exactly a magic-prefixed hello.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() != 16 || &bytes[..4] != HELLO_MAGIC {
+            return Err(err("not a cluster hello"));
+        }
+        let mut at = 4;
+        Ok(ClusterHello {
+            version: get_u32(bytes, &mut at)?,
+            rank: get_u32(bytes, &mut at)?,
+            world: get_u32(bytes, &mut at)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rv_messages_round_trip() {
+        let msgs = vec![
+            RvMsg::Register {
+                version: PROTOCOL_VERSION,
+                world: 4,
+                rank: 2,
+                addr: "127.0.0.1:4711".into(),
+            },
+            RvMsg::Roster {
+                world: 2,
+                members: vec![(0, "127.0.0.1:1".into()), (1, "127.0.0.1:2".into())],
+            },
+            RvMsg::Reject {
+                reason: "duplicate rank 2".into(),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(RvMsg::decode(&m.encode()), Ok(m.clone()));
+        }
+    }
+
+    #[test]
+    fn rv_decode_rejects_garbage() {
+        assert!(RvMsg::decode(&[]).is_err());
+        assert!(RvMsg::decode(&[9, 1, 2]).is_err());
+        let mut ok = RvMsg::Reject { reason: "x".into() }.encode();
+        ok.push(0); // trailing byte
+        assert!(RvMsg::decode(&ok).is_err());
+        let truncated = &RvMsg::Register {
+            version: 1,
+            world: 2,
+            rank: 0,
+            addr: "127.0.0.1:9".into(),
+        }
+        .encode()[..7];
+        assert!(RvMsg::decode(truncated).is_err());
+    }
+
+    #[test]
+    fn roster_validates_member_set() {
+        let ok = Roster::from_members(2, &[(1, "127.0.0.1:2".into()), (0, "127.0.0.1:1".into())])
+            .unwrap();
+        assert_eq!(ok.members[0].0, 0); // sorted
+        assert_eq!(ok.addr_of(1), Some("127.0.0.1:2".parse().unwrap()));
+        assert!(ok.addr_of(2).is_none());
+        // Wrong count, duplicate rank, out-of-range rank, bad address.
+        assert!(Roster::from_members(2, &[(0, "127.0.0.1:1".into())]).is_err());
+        assert!(
+            Roster::from_members(2, &[(0, "127.0.0.1:1".into()), (0, "127.0.0.1:2".into())])
+                .is_err()
+        );
+        assert!(
+            Roster::from_members(2, &[(0, "127.0.0.1:1".into()), (5, "127.0.0.1:2".into())])
+                .is_err()
+        );
+        assert!(
+            Roster::from_members(2, &[(0, "127.0.0.1:1".into()), (1, "not-an-addr".into())])
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn hello_round_trips_and_rejects_noise() {
+        let h = ClusterHello {
+            version: PROTOCOL_VERSION,
+            rank: 3,
+            world: 8,
+        };
+        assert_eq!(ClusterHello::decode(&h.encode()), Ok(h));
+        assert!(ClusterHello::decode(b"NCSWxx").is_err());
+        assert!(ClusterHello::decode(b"XXXX0123456789ab").is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Cluster runtime integration: rendezvous + bootstrap + collectives,
+//! with every rank a real [`ClusterNode`] over real loopback sockets
+//! (in one test process, so `cargo test` needs no pre-built binaries; the
+//! CI `cluster-smoke` job runs the genuinely multi-process version via
+//! `ncs-launch`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ncs_collectives::ReduceOp;
+use ncs_core::ConnectionConfig;
+use ncs_runtime::{
+    rendezvous, ClusterConfig, ClusterNode, RendezvousServer, RvMsg, PROTOCOL_VERSION,
+};
+use ncs_transport::{sci, Connection as _};
+
+/// Bootstraps a world of `n` ClusterNodes concurrently (one thread per
+/// rank) against an embedded rendezvous server.
+fn bootstrap_world(n: u32) -> (RendezvousServer, Vec<Arc<ClusterNode>>) {
+    let server = RendezvousServer::start("127.0.0.1:0", n).expect("ncsd");
+    let ncsd = server.addr();
+    let handles: Vec<_> = (0..n)
+        .map(|rank| {
+            std::thread::spawn(move || {
+                ClusterNode::bootstrap(ClusterConfig::new(rank, n, ncsd)).expect("bootstrap")
+            })
+        })
+        .collect();
+    let mut world: Vec<Arc<ClusterNode>> = handles
+        .into_iter()
+        .map(|h| Arc::new(h.join().expect("bootstrap thread")))
+        .collect();
+    world.sort_by_key(|c| c.rank());
+    (server, world)
+}
+
+#[test]
+fn four_ranks_bootstrap_allreduce_and_barrier() {
+    let (_server, world) = bootstrap_world(4);
+    for (i, c) in world.iter().enumerate() {
+        assert_eq!(c.rank(), i as u32);
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.node().rank(), Some(i as u32));
+        // Every other rank is connected and identified.
+        for p in 0..4u32 {
+            if p != c.rank() {
+                let conn = c.connection(p).expect("world link");
+                assert_eq!(conn.peer_name(), format!("rank{p}"));
+            }
+        }
+    }
+    // The collectives engine runs unmodified across the world links.
+    let members: Vec<_> = world
+        .iter()
+        .map(|c| {
+            let c = Arc::clone(c);
+            std::thread::spawn(move || {
+                let g = c.collective_group(1).expect("group");
+                let sum = g
+                    .allreduce(vec![c.rank() as f64, 1.0], ReduceOp::Sum)
+                    .expect("allreduce");
+                g.barrier().expect("barrier");
+                sum
+            })
+        })
+        .collect();
+    for h in members {
+        assert_eq!(h.join().unwrap(), vec![6.0, 4.0]);
+    }
+    for c in &world {
+        c.shutdown();
+    }
+}
+
+#[test]
+fn point_to_point_beyond_the_bootstrap_links() {
+    let (_server, world) = bootstrap_world(2);
+    let zero = Arc::clone(&world[0]);
+    let one = Arc::clone(&world[1]);
+    let t = std::thread::spawn(move || {
+        let conn = one
+            .accept_connection(Duration::from_secs(10))
+            .expect("accept extra");
+        let m = conn.recv_timeout(Duration::from_secs(10)).expect("recv");
+        conn.send(&m).expect("echo");
+    });
+    let conn = zero
+        .open_connection(1, ConnectionConfig::unreliable())
+        .expect("open extra");
+    conn.send(b"across processes in spirit").expect("send");
+    assert_eq!(
+        conn.recv_timeout(Duration::from_secs(10)).expect("echo"),
+        b"across processes in spirit"
+    );
+    t.join().unwrap();
+    // Invalid targets are refused.
+    assert!(zero
+        .open_connection(0, ConnectionConfig::unreliable())
+        .is_err());
+    assert!(zero
+        .open_connection(7, ConnectionConfig::unreliable())
+        .is_err());
+    for c in &world {
+        c.shutdown();
+    }
+}
+
+#[test]
+fn rendezvous_rejects_mismatched_clients() {
+    let server = RendezvousServer::start("127.0.0.1:0", 2).expect("ncsd");
+    let my_addr = "127.0.0.1:9999".parse().unwrap();
+
+    // Wrong world size.
+    let err = rendezvous::register(server.addr(), 0, 3, my_addr, Duration::from_secs(5))
+        .expect_err("world mismatch must be rejected");
+    assert!(err.to_string().contains("world size"), "{err}");
+
+    // Rank out of range.
+    let err = rendezvous::register(server.addr(), 5, 2, my_addr, Duration::from_secs(5))
+        .expect_err("rank out of range must be rejected");
+    assert!(err.to_string().contains("out of range"), "{err}");
+
+    // Wrong protocol version, sent raw.
+    let conn = sci::connect_retry(server.addr(), Duration::from_secs(5)).expect("dial");
+    conn.send(
+        &RvMsg::Register {
+            version: PROTOCOL_VERSION + 1,
+            world: 2,
+            rank: 0,
+            addr: "127.0.0.1:9999".into(),
+        }
+        .encode(),
+    )
+    .expect("send");
+    let answer =
+        RvMsg::decode(&conn.recv_timeout(Duration::from_secs(5)).expect("answer")).expect("decode");
+    assert!(
+        matches!(answer, RvMsg::Reject { ref reason } if reason.contains("version")),
+        "{answer:?}"
+    );
+
+    // Duplicate rank while the world is assembling.
+    let hold = sci::connect_retry(server.addr(), Duration::from_secs(5)).expect("dial");
+    hold.send(
+        &RvMsg::Register {
+            version: PROTOCOL_VERSION,
+            world: 2,
+            rank: 0,
+            addr: "127.0.0.1:9001".into(),
+        }
+        .encode(),
+    )
+    .expect("send");
+    let err = rendezvous::register(server.addr(), 0, 2, my_addr, Duration::from_secs(5))
+        .expect_err("duplicate rank must be rejected");
+    assert!(err.to_string().contains("duplicate"), "{err}");
+}
+
+#[test]
+fn late_rank_keeps_the_world_waiting_but_not_forever() {
+    // Rank 1 registers 300 ms late: rank 0's bootstrap must ride it out
+    // (the roster only forms when the world is complete).
+    let server = RendezvousServer::start("127.0.0.1:0", 2).expect("ncsd");
+    let ncsd = server.addr();
+    let late = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        ClusterNode::bootstrap(ClusterConfig::new(1, 2, ncsd)).expect("late bootstrap")
+    });
+    let t0 = Instant::now();
+    let zero = ClusterNode::bootstrap(ClusterConfig::new(0, 2, ncsd)).expect("bootstrap");
+    assert!(t0.elapsed() >= Duration::from_millis(250));
+    let one = late.join().unwrap();
+    assert!(server.roster_complete());
+    zero.shutdown();
+    one.shutdown();
+}
+
+#[test]
+fn missing_world_times_out_with_a_helpful_error() {
+    let server = RendezvousServer::start("127.0.0.1:0", 2).expect("ncsd");
+    let mut cfg = ClusterConfig::new(0, 2, server.addr());
+    cfg.boot_timeout = Duration::from_millis(400);
+    let err = ClusterNode::bootstrap(cfg).expect_err("nobody else ever arrives");
+    assert!(err.to_string().contains("roster"), "{err}");
+}

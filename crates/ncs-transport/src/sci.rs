@@ -458,6 +458,67 @@ pub fn connect(addr: SocketAddr) -> Result<SciConnection, TransportError> {
     SciConnection::from_stream(stream)
 }
 
+/// Default overall budget for [`connect_retry`], used by the node layer's
+/// SCI links.
+pub const CONNECT_RETRY_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Initial pause after a refused connect; doubles per attempt up to
+/// [`CONNECT_BACKOFF_MAX`].
+const CONNECT_BACKOFF_MIN: Duration = Duration::from_millis(5);
+const CONNECT_BACKOFF_MAX: Duration = Duration::from_millis(200);
+
+/// Whether a connect failure is worth retrying: the peer's listener may
+/// simply not exist *yet* (cluster ranks race each other through startup).
+fn connect_retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::AddrNotAvailable
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// [`connect`] with bounded retry and exponential backoff, for dialing a
+/// peer that may not be listening yet. Ranks of a cluster start
+/// concurrently; without this, the faster rank's connect races the slower
+/// rank's `bind` and dies with `ConnectionRefused` even though the peer is
+/// milliseconds away from accepting.
+///
+/// Retries only failures that can heal by waiting (refused / reset /
+/// not-yet-routable); anything else propagates immediately. Gives up with
+/// the last error once `timeout` is spent. Each attempt is itself bounded
+/// by the remaining budget (`TcpStream::connect_timeout`), so a
+/// blackholed address — packets dropped, not refused — cannot park the
+/// caller on the kernel's multi-minute SYN timeout.
+///
+/// # Errors
+///
+/// The final socket error after the retry budget, or the first
+/// non-retryable error.
+pub fn connect_retry(addr: SocketAddr, timeout: Duration) -> Result<SciConnection, TransportError> {
+    let deadline = Instant::now() + timeout;
+    let mut backoff = CONNECT_BACKOFF_MIN;
+    loop {
+        // Never pass a zero budget: connect_timeout rejects it. The floor
+        // also gives a `timeout == 0` caller one real (if brisk) attempt.
+        let attempt = deadline
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_millis(10));
+        match TcpStream::connect_timeout(&addr, attempt) {
+            Ok(stream) => return SciConnection::from_stream(stream),
+            Err(e) if connect_retryable(&e) && Instant::now() < deadline => {
+                let now = Instant::now();
+                let left = deadline.saturating_duration_since(now);
+                std::thread::sleep(backoff.min(left));
+                backoff = (backoff * 2).min(CONNECT_BACKOFF_MAX);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
 /// Creates a connected SCI pair over loopback (convenience for tests and
 /// single-machine experiments).
 ///
@@ -685,5 +746,37 @@ mod tests {
     fn peer_label_mentions_sci() {
         let (a, _b) = loopback_pair().unwrap();
         assert!(a.peer_label().starts_with("sci:"));
+    }
+
+    #[test]
+    fn connect_retry_survives_a_not_yet_listening_peer() {
+        // Reserve a port, release it, and only start listening on it after
+        // the connector has already begun dialing: the first attempts hit
+        // ConnectionRefused and must be retried, not surfaced.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let listener = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            let l = SciListener::bind(&addr.to_string()).expect("late bind");
+            let server = l.accept().expect("accept");
+            assert_eq!(server.recv().unwrap(), b"after the wait");
+            server.send(b"ack").unwrap();
+        });
+        let client = connect_retry(addr, Duration::from_secs(5)).expect("retry until listening");
+        client.send(b"after the wait").unwrap();
+        assert_eq!(client.recv().unwrap(), b"ack");
+        listener.join().unwrap();
+    }
+
+    #[test]
+    fn connect_retry_gives_up_after_its_budget() {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let start = Instant::now();
+        let r = connect_retry(addr, Duration::from_millis(120));
+        assert!(r.is_err(), "nobody ever listened");
+        assert!(start.elapsed() >= Duration::from_millis(100));
     }
 }

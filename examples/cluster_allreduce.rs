@@ -1,0 +1,87 @@
+//! cluster_allreduce — the multi-process NCS example.
+//!
+//! Four independent OS processes form one NCS world over real loopback
+//! sockets (the SCI interface), then run collectives across it: an
+//! allreduce whose result every rank verifies, a broadcast, and a closing
+//! barrier.
+//!
+//! Two ways to run it:
+//!
+//! * under the launcher (what CI's `cluster-smoke` job does):
+//!   `cargo build --release -p ncs-runtime --bins`
+//!   `cargo build --release --example cluster_allreduce`
+//!   `./target/release/ncs-launch --np 4 -- ./target/release/examples/cluster_allreduce`
+//! * directly: `cargo run --release --example cluster_allreduce`
+//!   (with no `NCS_RANK` in the environment the process becomes its own
+//!   launcher, re-executing itself as 4 ranks).
+
+use ncs::collectives::ReduceOp;
+use ncs::runtime::{launch, ClusterConfig, ClusterNode, LaunchSpec};
+
+const WORLD: u32 = 4;
+
+/// One rank's life: bootstrap, collectives, verification.
+fn run_rank() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ClusterConfig::from_env()?;
+    let cluster = ClusterNode::bootstrap(cfg)?;
+    let rank = cluster.rank();
+    let world = cluster.size();
+    println!(
+        "rank {rank}/{world} up as node '{}' with {} world links",
+        cluster.node().name(),
+        world - 1
+    );
+
+    let group = cluster.collective_group(1)?;
+
+    // Allreduce: every rank contributes [rank, 2*rank]; everyone must see
+    // the same sums.
+    let contrib = vec![rank as f64, 2.0 * rank as f64];
+    let sum = group.allreduce(contrib, ReduceOp::Sum)?;
+    let expect: f64 = (0..world).map(f64::from).sum();
+    assert_eq!(sum, vec![expect, 2.0 * expect], "allreduce disagreed");
+    println!("rank {rank}: allreduce ok ({sum:?})");
+
+    // Broadcast from rank 0 (in-out contract: same-length buffer
+    // everywhere).
+    let payload = if rank == 0 {
+        (0..1024u32).collect::<Vec<u32>>()
+    } else {
+        vec![0u32; 1024]
+    };
+    let got = group.broadcast(0, payload)?;
+    assert!(
+        got.iter().enumerate().all(|(i, &v)| v == i as u32),
+        "broadcast corrupted"
+    );
+    println!("rank {rank}: broadcast ok (4 KiB from rank 0)");
+
+    // Everyone leaves together.
+    group.barrier()?;
+    println!("rank {rank}: barrier ok, shutting down");
+    drop(group);
+    cluster.shutdown();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::var("NCS_RANK").is_ok() {
+        return run_rank();
+    }
+    // No rank identity: act as the launcher and re-execute ourselves as
+    // the world (exactly what `ncs-launch --np 4 -- <this binary>` does).
+    let me = std::env::current_exe()?;
+    println!("launching {WORLD} ranks of {}", me.display());
+    let report = launch(&LaunchSpec::new(
+        WORLD,
+        vec![me.to_string_lossy().into_owned()],
+    ))?;
+    for e in &report.exits {
+        println!("rank {} -> {:?}", e.rank, e.code);
+    }
+    if !report.success() {
+        return Err(format!("cluster run failed: {report:?}").into());
+    }
+    println!("all {WORLD} ranks completed");
+    Ok(())
+}

@@ -23,6 +23,9 @@
 //! * [`collectives`] — typed nonblocking broadcast/reduce/allreduce/
 //!   scatter/gather/allgather and a dissemination barrier over pluggable
 //!   topologies, serviced by a per-member collective progress thread;
+//! * [`runtime`] — the multi-process cluster runtime: `ncsd` rendezvous,
+//!   `ClusterNode` bootstrap over SCI with retrying dials and a
+//!   version+rank handshake, and the `ncs-launch` local launcher;
 //! * [`model`] — calibrated SUN-4 / RS6000 platform cost models;
 //! * [`comparators`] — working miniature p4, PVM and MPI implementations
 //!   for the paper's Figures 12/13.
@@ -68,6 +71,11 @@ pub use ncs_transport as transport;
 /// Collective operations — nonblocking broadcast/reduce/scatter/gather
 /// over pluggable topologies (re-export of [`ncs_collectives`]).
 pub use ncs_collectives as collectives;
+
+/// The cluster runtime — ncsd rendezvous, multi-process ClusterNode
+/// bootstrap over SCI, and the ncs-launch engine (re-export of
+/// [`ncs_runtime`]).
+pub use ncs_runtime as runtime;
 
 /// Platform cost models (re-export of [`netmodel`]).
 pub use netmodel as model;
