@@ -54,6 +54,7 @@ fn bench_packet_codec(c: &mut Criterion) {
                 session: 3,
                 seq: 4,
                 end: true,
+                tagged: false,
             },
             payload: vec![9u8; size],
         };

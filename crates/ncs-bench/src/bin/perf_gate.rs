@@ -579,6 +579,228 @@ fn run_coll_case(
 }
 
 // ---------------------------------------------------------------------------
+// Requests section (isend/irecv vs the blocking wrappers; MsgView vs recv)
+// ---------------------------------------------------------------------------
+
+/// Ping-pong payload for the request-vs-blocking RTT probe (bytes).
+const REQ_LAT_BYTES: usize = 64;
+
+/// One-way message size for the allocations probe (bytes); fits one SDU,
+/// so each message costs the receive path exactly one delivery buffer.
+const REQ_BULK_BYTES: usize = 2048;
+
+/// Messages per paced window of the allocations probe. The sink
+/// acknowledges each window with a 1-byte token before the sender
+/// continues, bounding the delivery buffers outstanding at any moment —
+/// the probe measures steady-state recycling, not how far an unpaced
+/// burst can outrun one consumer thread.
+const REQ_WINDOW: usize = 32;
+
+/// Warm-up windows before each allocations measurement (charges the
+/// receive node's free lists so the window reports steady state).
+const REQ_WARMUP_WINDOWS: usize = 3;
+
+/// The zero-copy receive path must allocate at least this factor fewer
+/// buffers per message than the `Vec`-returning `recv` path. `recv`
+/// detaches every pooled delivery buffer (≈ 1 allocation per message);
+/// dropping a `MsgView` recycles it (≈ 0 after warm-up), so 2x is a
+/// floor with a wide margin, not a stretch goal.
+const REQ_GATE_MIN_RATIO: f64 = 2.0;
+
+#[derive(Debug)]
+struct RequestsCaseResult {
+    package: &'static str,
+    lat_iters: usize,
+    blocking_rtt_median_us: f64,
+    blocking_rtt_p99_us: f64,
+    request_rtt_median_us: f64,
+    request_rtt_p99_us: f64,
+    bulk_msgs: usize,
+    /// Receive-node pool misses per message when draining with `recv()`
+    /// (every delivery buffer detaches with the returned `Vec`).
+    allocs_per_msg_recv: f64,
+    /// Same window drained with `irecv`/`recv_view` + drop (buffers
+    /// recycle).
+    allocs_per_msg_msgview: f64,
+    /// recv misses / max(msgview misses, 1).
+    alloc_ratio: f64,
+}
+
+/// Echo peer for the RTT phases: bounces `count` messages back.
+fn spawn_request_echo(conn: NcsConnection, count: usize) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        for _ in 0..count {
+            match conn.recv_view(Duration::from_secs(30)) {
+                Ok(m) => {
+                    if conn.send(&m).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+    })
+}
+
+/// Sink for the allocations phases: drains `windows` windows of
+/// [`REQ_WINDOW`] messages in the given style, acknowledging each window
+/// with a token so the sender stays paced, then fires `done`.
+fn spawn_request_sink(
+    conn: NcsConnection,
+    windows: usize,
+    zero_copy: bool,
+    done: Arc<Event>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        'outer: for _ in 0..windows {
+            for _ in 0..REQ_WINDOW {
+                if zero_copy {
+                    // MsgView path: the pooled delivery buffer recycles
+                    // on drop.
+                    if conn.recv_view(Duration::from_secs(30)).is_err() {
+                        break 'outer;
+                    }
+                } else {
+                    // Compatibility path: recv() detaches the buffer as
+                    // a Vec.
+                    if conn.recv_timeout(Duration::from_secs(30)).is_err() {
+                        break 'outer;
+                    }
+                }
+            }
+            if conn.send(&[0xA1]).is_err() {
+                break;
+            }
+        }
+        done.fire();
+    })
+}
+
+/// Sender half of one paced allocations phase: `windows` windows of
+/// [`REQ_WINDOW`] messages, each acknowledged by the sink's token.
+fn drive_request_windows(conn_tx: &NcsConnection, payload: &[u8], windows: usize) {
+    for _ in 0..windows {
+        for _ in 0..REQ_WINDOW {
+            conn_tx.send(payload).expect("bulk send");
+        }
+        let token = conn_tx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("window token");
+        debug_assert_eq!(token.len(), 1);
+    }
+}
+
+/// Measures one package's requests case over HPI (the §3.1 bypass, where
+/// receives reassemble straight into pooled buffers).
+fn run_requests_case(
+    package: Package,
+    pkg: Arc<dyn ThreadPackage>,
+    smoke: bool,
+) -> RequestsCaseResult {
+    let lat_iters = if smoke { 60 } else { 400 };
+    let bulk_msgs: usize = if smoke { 160 } else { 1024 };
+
+    // --- RTT: blocking send/recv vs isend/irecv on the same wire. --------
+    let pair = build_pair(Iface::Hpi, Arc::clone(&pkg));
+    let conn_tx = pair
+        .tx_node
+        .connect("gate-rx", ConnectionConfig::unreliable())
+        .expect("requests connect");
+    let conn_rx = pair.rx_node.accept_default().expect("requests accept");
+    let echo = spawn_request_echo(conn_rx, 2 * lat_iters + 2);
+    let payload = vec![0xD4u8; REQ_LAT_BYTES];
+
+    // Warm-up + blocking window.
+    conn_tx.send(&payload).expect("warmup send");
+    let _ = conn_tx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("warmup recv");
+    let mut blocking_us = Vec::with_capacity(lat_iters);
+    for _ in 0..lat_iters {
+        let t0 = Instant::now();
+        conn_tx.send(&payload).expect("blocking send");
+        let back = conn_tx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("blocking recv");
+        blocking_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        debug_assert_eq!(back.len(), REQ_LAT_BYTES);
+    }
+
+    // Request window: post irecv before isend, wait the pair.
+    conn_tx.send(&payload).expect("warmup send");
+    let _ = conn_tx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("warmup recv");
+    let mut request_us = Vec::with_capacity(lat_iters);
+    for _ in 0..lat_iters {
+        let t0 = Instant::now();
+        let want = conn_tx.irecv();
+        let sent = conn_tx.isend(&payload).expect("isend");
+        sent.wait_timeout(Duration::from_secs(10))
+            .expect("isend completion");
+        let back = want
+            .wait_timeout(Duration::from_secs(10))
+            .expect("irecv completion");
+        request_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        debug_assert_eq!(back.len(), REQ_LAT_BYTES);
+    }
+    let _ = echo.join();
+    pair.shutdown();
+    blocking_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    request_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    // --- Allocations per message: recv() vs MsgView, paced one-way. ------
+    let windows = bulk_msgs.div_ceil(REQ_WINDOW);
+    let bulk_msgs = windows * REQ_WINDOW;
+    let mut allocs = [0.0f64; 2]; // [recv, msgview]
+    for (slot, zero_copy) in [false, true].into_iter().enumerate() {
+        let pair = build_pair(Iface::Hpi, Arc::clone(&pkg));
+        let conn_tx = pair
+            .tx_node
+            .connect("gate-rx", ConnectionConfig::unreliable())
+            .expect("bulk connect");
+        let conn_rx = pair.rx_node.accept_default().expect("bulk accept");
+        let payload = vec![0xE5u8; REQ_BULK_BYTES];
+        let rx_node = pair.rx_node.clone();
+        let done = Arc::new(Event::new());
+        let sink = spawn_request_sink(
+            conn_rx,
+            REQ_WARMUP_WINDOWS + windows,
+            zero_copy,
+            Arc::clone(&done),
+        );
+        // Warm-up in the same consumption style, then snapshot.
+        drive_request_windows(&conn_tx, &payload, REQ_WARMUP_WINDOWS);
+        let before = rx_node.pool_stats();
+        drive_request_windows(&conn_tx, &payload, windows);
+        assert!(
+            done.wait_timeout(Duration::from_secs(120)),
+            "request bulk never drained"
+        );
+        let delta = rx_node.pool_stats().since(&before);
+        let _ = sink.join();
+        allocs[slot] = delta.misses as f64 / bulk_msgs as f64;
+        pair.shutdown();
+    }
+    let [allocs_per_msg_recv, allocs_per_msg_msgview] = allocs;
+    let alloc_ratio = (allocs_per_msg_recv * bulk_msgs as f64)
+        / (allocs_per_msg_msgview * bulk_msgs as f64).max(1.0);
+
+    RequestsCaseResult {
+        package: package.name(),
+        lat_iters,
+        blocking_rtt_median_us: percentile(&blocking_us, 0.50),
+        blocking_rtt_p99_us: percentile(&blocking_us, 0.99),
+        request_rtt_median_us: percentile(&request_us, 0.50),
+        request_rtt_p99_us: percentile(&request_us, 0.99),
+        bulk_msgs,
+        allocs_per_msg_recv,
+        allocs_per_msg_msgview,
+        alloc_ratio,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Cross-process cluster section (real sockets between real OS processes)
 // ---------------------------------------------------------------------------
 
@@ -781,17 +1003,20 @@ fn emit_json(
     out: &mut String,
     results: &[CaseResult],
     coll_results: &[CollCaseResult],
+    req_results: &[RequestsCaseResult],
     cluster_results: &[ClusterCaseResult],
     smoke: bool,
     gate_value: f64,
     gate_pass: bool,
     coll_gate_value: f64,
     coll_gate_pass: bool,
+    req_gate_value: f64,
+    req_gate_pass: bool,
     cluster_gate_pass: bool,
 ) {
     use std::fmt::Write as _;
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/3\",");
+    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/4\",");
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
@@ -855,6 +1080,47 @@ fn emit_json(
             out,
             "          \"root_frames_binomial\": {}, \"root_frames_flat\": {}, \"egress_ratio\": {:.2} }}",
             r.root_frames_binomial, r.root_frames_flat, r.egress_ratio
+        );
+        let _ = writeln!(out, "      }}{comma}");
+    }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"requests\": {{");
+    let _ = writeln!(out, "    \"interface\": \"HPI\",");
+    let _ = writeln!(out, "    \"latency_bytes\": {REQ_LAT_BYTES},");
+    let _ = writeln!(out, "    \"bulk_message_bytes\": {REQ_BULK_BYTES},");
+    let _ = writeln!(out, "    \"gate\": {{");
+    let _ = writeln!(
+        out,
+        "      \"metric\": \"min (recv allocs/msg / MsgView allocs/msg) across packages — the zero-copy receive path must allocate >= {REQ_GATE_MIN_RATIO:.0}x fewer buffers per message\","
+    );
+    let _ = writeln!(out, "      \"threshold\": {REQ_GATE_MIN_RATIO:.1},");
+    let _ = writeln!(out, "      \"value\": {req_gate_value:.2},");
+    let _ = writeln!(out, "      \"pass\": {req_gate_pass}");
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"cases\": [");
+    for (i, r) in req_results.iter().enumerate() {
+        let comma = if i + 1 < req_results.len() { "," } else { "" };
+        let _ = writeln!(out, "      {{");
+        let _ = writeln!(
+            out,
+            "        \"package\": \"{}\",",
+            json_escape_free(r.package)
+        );
+        let _ = writeln!(
+            out,
+            "        \"rtt\": {{ \"iters\": {}, \"blocking_median_us\": {:.2}, \"blocking_p99_us\": {:.2}, \
+             \"request_median_us\": {:.2}, \"request_p99_us\": {:.2} }},",
+            r.lat_iters,
+            r.blocking_rtt_median_us,
+            r.blocking_rtt_p99_us,
+            r.request_rtt_median_us,
+            r.request_rtt_p99_us,
+        );
+        let _ = writeln!(
+            out,
+            "        \"allocs\": {{ \"messages\": {}, \"per_msg_recv\": {:.3}, \"per_msg_msgview\": {:.3}, \"ratio\": {:.2} }}",
+            r.bulk_msgs, r.allocs_per_msg_recv, r.allocs_per_msg_msgview, r.alloc_ratio,
         );
         let _ = writeln!(out, "      }}{comma}");
     }
@@ -1042,6 +1308,41 @@ fn main() {
         }
     }
 
+    // Requests section: isend/irecv vs the blocking wrappers, and the
+    // zero-copy MsgView receive path vs recv()'s detaching Vec.
+    let mut req_results = Vec::new();
+    for package in [Package::Kernel, Package::User] {
+        eprintln!("perf_gate: requests, {} package...", package.name());
+        let result = match package {
+            Package::Kernel => run_requests_case(
+                package,
+                Arc::new(KernelPackage::new()) as Arc<dyn ThreadPackage>,
+                smoke,
+            ),
+            Package::User => UserRuntime::new(UserConfig {
+                mech: SwitchMech::Native,
+                ..UserConfig::default()
+            })
+            .run(move |pkg| {
+                run_requests_case(package, Arc::new(pkg) as Arc<dyn ThreadPackage>, smoke)
+            }),
+        };
+        eprintln!(
+            "  rtt p50 {:.1} us blocking vs {:.1} us requests; allocs/msg {:.2} recv vs {:.2} MsgView ({:.0}x)",
+            result.blocking_rtt_median_us,
+            result.request_rtt_median_us,
+            result.allocs_per_msg_recv,
+            result.allocs_per_msg_msgview,
+            result.alloc_ratio,
+        );
+        req_results.push(result);
+    }
+    let req_gate_value = req_results
+        .iter()
+        .map(|r| r.alloc_ratio)
+        .fold(f64::INFINITY, f64::min);
+    let req_gate_pass = req_gate_value >= REQ_GATE_MIN_RATIO;
+
     // Cross-process cluster section: this binary re-executes itself as
     // child ranks; every number here crossed a real process boundary over
     // real sockets.
@@ -1087,12 +1388,15 @@ fn main() {
         &mut json,
         &results,
         &coll_results,
+        &req_results,
         &cluster_results,
         smoke,
         gate_value,
         gate_pass,
         coll_gate_value,
         coll_gate_pass,
+        req_gate_value,
+        req_gate_pass,
         cluster_gate_pass,
     );
     let mut file = std::fs::File::create(&out_path).expect("create output file");
@@ -1128,6 +1432,14 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if !req_gate_pass {
+        eprintln!(
+            "perf_gate: FAIL — the zero-copy MsgView receive path allocates only \
+             {req_gate_value:.2}x fewer buffers per message than recv() \
+             (must be >= {REQ_GATE_MIN_RATIO:.1}x)"
+        );
+        std::process::exit(1);
+    }
     if !cluster_gate_pass {
         eprintln!(
             "perf_gate: FAIL — a cross-process cluster case lost a child rank or \
@@ -1138,6 +1450,7 @@ fn main() {
     eprintln!(
         "perf_gate: PASS — HPI bulk allocation improvement {gate_value:.2}x, \
          binomial broadcast origin egress {coll_gate_value:.2}x flat for groups \
-         >= {COLL_GATE_MIN_GROUP}, cross-process cluster cases complete"
+         >= {COLL_GATE_MIN_GROUP}, zero-copy receives {req_gate_value:.2}x fewer \
+         allocs/msg than recv(), cross-process cluster cases complete"
     );
 }

@@ -4,7 +4,7 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ncs_core::SendError;
+use ncs_core::{Completion, SendError};
 use ncs_threads::sync::Event;
 use parking_lot::Mutex;
 
@@ -159,6 +159,20 @@ impl<R: CollectiveResult> CollectiveHandle<R> {
     }
 }
 
+/// Collective handles share the point-to-point [`Completion`] model, so a
+/// heterogeneous [`ncs_core::wait_any`] / [`ncs_core::wait_all`] set can
+/// mix an `iallreduce` with `isend`/`irecv` requests and drive both from
+/// one application loop.
+impl<R: CollectiveResult> Completion for CollectiveHandle<R> {
+    fn is_complete(&self) -> bool {
+        self.completion.done.is_fired()
+    }
+
+    fn wait_complete(&self, timeout: Duration) -> bool {
+        self.completion.done.wait_timeout(timeout)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +198,18 @@ mod tests {
         let h: CollectiveHandle<()> = CollectiveHandle::new(Arc::clone(&c));
         c.complete(Err(CollectiveError::Closed));
         assert_eq!(h.wait(), Err(CollectiveError::Closed));
+    }
+
+    #[test]
+    fn handle_joins_heterogeneous_wait_sets() {
+        let c = OpCompletion::new();
+        let h: CollectiveHandle<()> = CollectiveHandle::new(Arc::clone(&c));
+        let set: [&dyn Completion; 1] = [&h];
+        assert!(!ncs_core::test_all(&set));
+        assert_eq!(ncs_core::wait_any(&set, Duration::from_millis(5)), None);
+        c.complete(Ok(Vec::new()));
+        assert_eq!(ncs_core::wait_any(&set, Duration::from_secs(1)), Some(0));
+        assert!(ncs_core::wait_all(&set, Duration::from_secs(1)));
     }
 
     #[test]

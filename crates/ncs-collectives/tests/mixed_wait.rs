@@ -1,0 +1,270 @@
+//! Heterogeneous completion sets: `wait_any`/`wait_all`/`test_all` over
+//! mixed point-to-point requests (`isend`/`irecv`, tagged and untagged)
+//! and collective handles (`iallreduce`), across all four communication
+//! interfaces under both thread packages, including a seeded-loss ACI
+//! run that heals through the error-control plane while the application
+//! thread drives everything from one wait loop.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ncs_collectives::{CollectiveGroup, ReduceOp};
+use ncs_core::link::{AciLink, HpiLinkPair, PipeLinkPair, SciLink};
+use ncs_core::{
+    test_all, wait_all, wait_any, Completion, ConnectionConfig, ErrorControlAlg, FlowControlAlg,
+    NcsConnection, NcsNode,
+};
+use ncs_threads::{
+    KernelPackage, SwitchMech, ThreadPackage, ThreadPackageExt, UserConfig, UserRuntime,
+};
+use ncs_transport::pipe::PipeConfig;
+use ncs_transport::sci::SciListener;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Iface {
+    Hpi,
+    Pipe,
+    Sci,
+    Aci,
+}
+
+struct Pair {
+    nodes: Vec<NcsNode>,
+    groups: Vec<Arc<CollectiveGroup>>,
+    /// Dedicated point-to-point connections (beyond the group's links):
+    /// `p2p[0]` at member 0 towards member 1, `p2p[1]` the reverse end.
+    p2p: Vec<NcsConnection>,
+    fabric: Option<Arc<ncs_transport::aci::AciFabric>>,
+}
+
+impl Pair {
+    fn shutdown(self) {
+        drop(self.groups);
+        for n in self.nodes {
+            n.shutdown();
+        }
+        if let Some(f) = self.fabric {
+            f.shutdown();
+        }
+    }
+}
+
+/// Wires two nodes over `iface` (with optional seeded ACI cell loss),
+/// builds one collective group per member over bootstrap links, and opens
+/// a separate point-to-point connection pair for request traffic.
+fn build_pair(
+    iface: Iface,
+    pkg: &Arc<dyn ThreadPackage>,
+    conn_cfg: &ConnectionConfig,
+    cell_loss: f64,
+) -> Pair {
+    let nodes: Vec<NcsNode> = (0..2)
+        .map(|i| {
+            NcsNode::builder(&format!("c{i}"))
+                .thread_package(Arc::clone(pkg))
+                .build()
+        })
+        .collect();
+    let mut fabric = None;
+    match iface {
+        Iface::Hpi => {
+            let (l0, l1) = HpiLinkPair::with_capacity(2048);
+            nodes[0].attach_peer("c1", l0);
+            nodes[1].attach_peer("c0", l1);
+        }
+        Iface::Pipe => {
+            let wire = PipeConfig {
+                buffer_bytes: 256 * 1024,
+                drain_bytes_per_sec: None,
+                latency: Duration::ZERO,
+                time_scale: 1.0,
+            };
+            let (l0, l1) = PipeLinkPair::create(wire, None, None);
+            nodes[0].attach_peer("c1", l0);
+            nodes[1].attach_peer("c0", l1);
+        }
+        Iface::Sci => {
+            let listeners: Vec<Arc<SciListener>> = (0..2)
+                .map(|_| Arc::new(SciListener::bind("127.0.0.1:0").expect("bind")))
+                .collect();
+            let addrs: Vec<std::net::SocketAddr> = listeners
+                .iter()
+                .map(|l| l.local_addr().expect("addr"))
+                .collect();
+            nodes[0].attach_peer("c1", SciLink::new(addrs[1], Arc::clone(&listeners[0])));
+            nodes[1].attach_peer("c0", SciLink::new(addrs[0], Arc::clone(&listeners[1])));
+        }
+        Iface::Aci => {
+            use atm_sim::{FaultSpec, LinkSpec, NetworkBuilder, PumpConfig, QosParams};
+            use ncs_transport::aci::AciFabric;
+            let mut builder = NetworkBuilder::new().switch("sw").host("c0").host("c1");
+            for i in 0..2 {
+                let spec = if cell_loss > 0.0 {
+                    LinkSpec::oc3().with_fault(FaultSpec::cell_loss(cell_loss, 42 + i as u64))
+                } else {
+                    LinkSpec::oc3()
+                };
+                builder = builder.link(&format!("c{i}"), "sw", spec);
+            }
+            let fab = AciFabric::start(
+                builder.build().expect("atm network"),
+                PumpConfig::speedup(4.0),
+            );
+            for (i, node) in nodes.iter().enumerate() {
+                let dev = Arc::new(fab.device(&format!("c{i}")).expect("device"));
+                let peer = format!("c{}", 1 - i);
+                node.attach_peer(&peer, AciLink::new(dev, &peer, QosParams::unspecified()));
+            }
+            fabric = Some(fab);
+        }
+    }
+    // Bootstrap links for the collective groups.
+    let boot0 = nodes[0].connect("c1", conn_cfg.clone()).expect("connect");
+    let boot1 = nodes[1].accept_default().expect("accept");
+    // A dedicated point-to-point pair for the request half of the mixed
+    // sets (the group's pump threads own the bootstrap links' delivery).
+    let p2p0 = nodes[0]
+        .connect("c1", conn_cfg.clone())
+        .expect("p2p connect");
+    let p2p1 = nodes[1].accept_default().expect("p2p accept");
+    let groups = vec![
+        Arc::new(
+            CollectiveGroup::new(&nodes[0], 1, 0, HashMap::from([(1, boot0)])).expect("group 0"),
+        ),
+        Arc::new(
+            CollectiveGroup::new(&nodes[1], 1, 1, HashMap::from([(0, boot1)])).expect("group 1"),
+        ),
+    ];
+    Pair {
+        nodes,
+        groups,
+        p2p: vec![p2p0, p2p1],
+        fabric,
+    }
+}
+
+const DEADLINE: Duration = Duration::from_secs(60);
+
+/// Member 1's half: participate in two allreduces, then feed member 0's
+/// point-to-point requests (an untagged message and a tagged one).
+fn member_one(g: &CollectiveGroup, p2p: &NcsConnection) {
+    let ar = g
+        .iallreduce(vec![2.0f64; 8], ReduceOp::Sum)
+        .expect("iallreduce");
+    assert_eq!(ar.wait_timeout(DEADLINE).expect("allreduce"), vec![3.0; 8]);
+    p2p.isend(b"p2p untagged")
+        .expect("isend")
+        .wait_timeout(DEADLINE)
+        .expect("send completion");
+    p2p.isend_tagged(9, b"p2p tag nine")
+        .expect("isend_tagged")
+        .wait_timeout(DEADLINE)
+        .expect("tagged send completion");
+    let ar2 = g
+        .iallreduce(vec![1.0f64], ReduceOp::Sum)
+        .expect("second iallreduce");
+    assert_eq!(ar2.wait_timeout(DEADLINE).expect("fence"), vec![2.0]);
+}
+
+/// Member 0's half: the mixed wait loop. One heterogeneous set holds a
+/// parked untagged `irecv`, a parked tagged `irecv`, and an in-flight
+/// `iallreduce`; `wait_any` peels completions off as they land and
+/// `wait_all` confirms the stragglers.
+fn member_zero(g: &CollectiveGroup, p2p: &NcsConnection) {
+    let want_plain = p2p.irecv();
+    let want_tagged = p2p.irecv_tagged(9);
+    let ar = g
+        .iallreduce(vec![1.0f64; 8], ReduceOp::Sum)
+        .expect("iallreduce");
+    {
+        let set: [&dyn Completion; 3] = [&want_plain, &want_tagged, &ar];
+        // Something must complete well before the deadline (the allreduce
+        // needs only the peer's matching call).
+        let first = wait_any(&set, DEADLINE).expect("nothing completed");
+        assert!(first < 3);
+        assert!(wait_all(&set, DEADLINE), "mixed wait_all timed out");
+        assert!(test_all(&set), "wait_all lied");
+    }
+    assert_eq!(ar.wait().expect("allreduce"), vec![3.0; 8]);
+    let plain = want_plain.wait().expect("untagged receive");
+    assert_eq!(&*plain, b"p2p untagged");
+    assert_eq!(plain.tag(), None);
+    let tagged = want_tagged.wait().expect("tagged receive");
+    assert_eq!(&*tagged, b"p2p tag nine");
+    assert_eq!(tagged.tag(), Some(9));
+    // Fence so member 1's sends are fully consumed before shutdown.
+    let ar2 = g
+        .iallreduce(vec![1.0f64], ReduceOp::Sum)
+        .expect("second iallreduce");
+    assert_eq!(ar2.wait_timeout(DEADLINE).expect("fence"), vec![2.0]);
+}
+
+fn run_mixed_case(iface: Iface, pkg: &Arc<dyn ThreadPackage>, cfg: &ConnectionConfig) {
+    let pair = build_pair(iface, pkg, cfg, 0.0);
+    let g1 = Arc::clone(&pair.groups[1]);
+    let p1 = pair.p2p[1].clone();
+    let h = pkg.spawn_typed("member-1", move || member_one(&g1, &p1));
+    member_zero(&pair.groups[0], &pair.p2p[0]);
+    h.join().expect("member 1 panicked");
+    pair.shutdown();
+}
+
+fn default_cfg(iface: Iface) -> ConnectionConfig {
+    match iface {
+        Iface::Hpi | Iface::Aci => ConnectionConfig::reliable(),
+        Iface::Pipe | Iface::Sci => ConnectionConfig::unreliable(),
+    }
+}
+
+fn kernel_pkg() -> Arc<dyn ThreadPackage> {
+    Arc::new(KernelPackage::new())
+}
+
+#[test]
+fn mixed_wait_kernel_all_interfaces() {
+    let pkg = kernel_pkg();
+    for iface in [Iface::Hpi, Iface::Pipe, Iface::Sci, Iface::Aci] {
+        run_mixed_case(iface, &pkg, &default_cfg(iface));
+    }
+}
+
+#[test]
+fn mixed_wait_user_package_all_interfaces() {
+    UserRuntime::new(UserConfig {
+        mech: SwitchMech::Native,
+        ..UserConfig::default()
+    })
+    .run(|pkg| {
+        let pkg: Arc<dyn ThreadPackage> = Arc::new(pkg);
+        for iface in [Iface::Hpi, Iface::Pipe, Iface::Sci, Iface::Aci] {
+            run_mixed_case(iface, &pkg, &default_cfg(iface));
+        }
+    });
+}
+
+#[test]
+fn mixed_wait_aci_seeded_loss_heals_under_requests() {
+    // 0.1% cell loss on both host uplinks: selective repeat under the
+    // connections must heal every segment while the application thread
+    // blocks only in heterogeneous wait sets.
+    let pkg = kernel_pkg();
+    let cfg = ConnectionConfig::builder()
+        .sdu_size(4 * 1024)
+        .flow_control(FlowControlAlg::CreditBased {
+            initial_credits: 4,
+            dynamic: true,
+        })
+        .error_control(ErrorControlAlg::SelectiveRepeat {
+            timeout: Duration::from_millis(150),
+            max_retries: 30,
+        })
+        .build();
+    let pair = build_pair(Iface::Aci, &pkg, &cfg, 0.001);
+    let g1 = Arc::clone(&pair.groups[1]);
+    let p1 = pair.p2p[1].clone();
+    let h = pkg.spawn_typed("member-1", move || member_one(&g1, &p1));
+    member_zero(&pair.groups[0], &pair.p2p[0]);
+    h.join().expect("member 1 panicked");
+    pair.shutdown();
+}

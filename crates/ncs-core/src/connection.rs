@@ -37,7 +37,12 @@ use crate::error_control::{
 use crate::flow_control::{build as build_fc, FlowControlStrategy};
 use crate::packet::{CtrlMsg, DataHeader, DataPacket};
 use crate::pool::{BufPool, PooledBuf};
+use crate::request::{DeliveryQueue, MsgView, Request, RequestCore};
 use crate::stats::{ConnCounters, ConnectionStats, SendBreakdown};
+
+/// Size of the tag envelope prepended to tag-matched messages (the
+/// big-endian `u32` channel tag).
+const TAG_ENVELOPE: usize = 4;
 
 /// Most frames the Send/Receive Threads move per transport acquisition.
 /// Large enough to amortise ring/buffer acquisition over bulk traffic,
@@ -75,6 +80,9 @@ pub enum SendError {
     /// The operation requires a different connection mode (e.g.
     /// `send_direct` on a threaded connection).
     WrongMode(&'static str),
+    /// A request's result was already taken (each [`Request`] resolves
+    /// exactly once).
+    ResultTaken,
 }
 
 impl std::fmt::Display for SendError {
@@ -89,6 +97,7 @@ impl std::fmt::Display for SendError {
             SendError::Transport(e) => write!(f, "transport error: {e}"),
             SendError::Timeout => write!(f, "timed out"),
             SendError::WrongMode(need) => write!(f, "operation requires {need} mode"),
+            SendError::ResultTaken => write!(f, "request result already taken"),
         }
     }
 }
@@ -102,34 +111,6 @@ impl From<TransportError> for SendError {
             TransportError::Timeout => SendError::Timeout,
             other => SendError::Transport(other.to_string()),
         }
-    }
-}
-
-/// Completion slot for synchronous sends.
-#[derive(Debug)]
-pub(crate) struct Completion {
-    done: Event,
-    result: Mutex<Option<Result<(), SendError>>>,
-}
-
-impl Completion {
-    pub(crate) fn new() -> Arc<Self> {
-        Arc::new(Completion {
-            done: Event::new(),
-            result: Mutex::new(None),
-        })
-    }
-
-    pub(crate) fn complete(&self, r: Result<(), SendError>) {
-        *self.result.lock() = Some(r);
-        self.done.fire();
-    }
-
-    pub(crate) fn wait(&self, timeout: Duration) -> Result<(), SendError> {
-        if !self.done.wait_timeout(timeout) {
-            return Err(SendError::Timeout);
-        }
-        self.result.lock().clone().unwrap_or(Err(SendError::Closed))
     }
 }
 
@@ -163,7 +144,10 @@ impl SendTrace {
 pub(crate) enum EcSendMsg {
     Send {
         data: Vec<u8>,
-        completion: Option<Arc<Completion>>,
+        /// The message carries a tag envelope (sets the header flag on
+        /// every SDU).
+        tagged: bool,
+        completion: Option<Arc<RequestCore<()>>>,
     },
     Ack(AckInfo),
     Shutdown,
@@ -197,6 +181,9 @@ pub(crate) enum SendMsg {
     Frame {
         frame: PooledBuf,
         trace: Option<Arc<SendTrace>>,
+        /// Resolved when the frame crosses the transport (bypass-path
+        /// `isend` completion, attached to a message's final frame).
+        done: Option<Arc<RequestCore<()>>>,
     },
     Shutdown,
 }
@@ -230,8 +217,9 @@ pub(crate) struct ConnShared {
     pub fc_inbox: Mailbox<FcMsg>,
     pub ec_recv_inbox: Mailbox<EcRecvMsg>,
     pub send_inbox: Mailbox<SendMsg>,
-    /// Reassembled messages awaiting `NCS_recv`.
-    pub delivery: Mailbox<Vec<u8>>,
+    /// Reassembled messages awaiting a receive: routed by tag, matched
+    /// against parked [`Request`]s, failed fast on close.
+    pub delivery: DeliveryQueue,
     pub counters: ConnCounters,
     pub next_session: AtomicU32,
     /// Sticky error from the error-control plane (reported on
@@ -312,7 +300,7 @@ impl ConnShared {
             fc_inbox: Mailbox::unbounded(),
             ec_recv_inbox: Mailbox::unbounded(),
             send_inbox: Mailbox::bounded(SEND_QUEUE_DEPTH),
-            delivery: Mailbox::unbounded(),
+            delivery: DeliveryQueue::new(),
             counters: ConnCounters::default(),
             next_session: AtomicU32::new(0),
             last_error: Mutex::new(None),
@@ -374,10 +362,21 @@ impl ConnShared {
     /// the bounded queue is full. Returns `false` — dropping the frame —
     /// once the connection is closed, so producers never hang on a Send
     /// Thread that has already exited.
-    pub(crate) fn queue_frame(&self, frame: PooledBuf, trace: Option<Arc<SendTrace>>) -> bool {
-        let mut msg = SendMsg::Frame { frame, trace };
+    pub(crate) fn queue_frame(
+        &self,
+        frame: PooledBuf,
+        trace: Option<Arc<SendTrace>>,
+        done: Option<Arc<RequestCore<()>>>,
+    ) -> bool {
+        let mut msg = SendMsg::Frame { frame, trace, done };
         loop {
             if self.closed.load(Ordering::Acquire) {
+                if let SendMsg::Frame {
+                    done: Some(core), ..
+                } = msg
+                {
+                    core.complete(Err(SendError::Closed));
+                }
                 return false;
             }
             match self.send_inbox.send_timeout(msg, IDLE_TICK) {
@@ -392,7 +391,7 @@ impl ConnShared {
     /// encode: without error control there are no retransmissions, so the
     /// payload copies that [`ConnShared::segment`] keeps around would be
     /// pure overhead.
-    pub(crate) fn segment_frames(&self, session: u32, data: &[u8]) -> Vec<PooledBuf> {
+    pub(crate) fn segment_frames(&self, session: u32, data: &[u8], tagged: bool) -> Vec<PooledBuf> {
         let sdu = self.config.sdu_size;
         let n = data.len().div_ceil(sdu).max(1);
         let peer_conn = self.peer_conn_id();
@@ -406,6 +405,7 @@ impl ConnShared {
                     session,
                     seq: i as u32,
                     end: i == n - 1,
+                    tagged,
                 };
                 header.encode_frame_pooled(&data[lo..hi], &self.pool)
             })
@@ -413,7 +413,7 @@ impl ConnShared {
     }
 
     /// Segments `data` into SDU packets for `session`.
-    pub(crate) fn segment(&self, session: u32, data: &[u8]) -> Vec<DataPacket> {
+    pub(crate) fn segment(&self, session: u32, data: &[u8], tagged: bool) -> Vec<DataPacket> {
         let sdu = self.config.sdu_size;
         let n = data.len().div_ceil(sdu).max(1);
         let peer_conn = self.peer_conn_id();
@@ -428,6 +428,7 @@ impl ConnShared {
                         session,
                         seq: i as u32,
                         end: i == n - 1,
+                        tagged,
                     },
                     payload: data[lo..hi].to_vec(),
                 }
@@ -464,6 +465,9 @@ impl ConnShared {
         // (the Send Thread also exits via the closed flag on its next tick).
         let _ = self.send_inbox.try_send(SendMsg::Shutdown);
         self.transport.close();
+        // Fail-fast for parked receives: every in-flight `irecv` (and the
+        // blocking wrappers over it) resolves *now*, not a tick later.
+        self.delivery.fail_all(SendError::Closed);
         self.established.fire();
     }
 }
@@ -533,10 +537,15 @@ const IDLE_TICK: Duration = Duration::from_millis(100);
 /// call — and their pooled buffers return to the pool as each is
 /// transmitted.
 fn send_thread(shared: &ConnShared) {
-    let mut pending: Vec<(PooledBuf, Option<Arc<SendTrace>>)> = Vec::with_capacity(IO_BATCH);
+    type Job = (
+        PooledBuf,
+        Option<Arc<SendTrace>>,
+        Option<Arc<RequestCore<()>>>,
+    );
+    let mut pending: Vec<Job> = Vec::with_capacity(IO_BATCH);
     loop {
         let first = match shared.send_inbox.recv_timeout(IDLE_TICK) {
-            Ok(SendMsg::Frame { frame, trace }) => (frame, trace),
+            Ok(SendMsg::Frame { frame, trace, done }) => (frame, trace, done),
             Ok(SendMsg::Shutdown) => return,
             Err(_) => {
                 if shared.closed.load(Ordering::Acquire) {
@@ -549,7 +558,7 @@ fn send_thread(shared: &ConnShared) {
         let mut shutdown_after_batch = false;
         while pending.len() < IO_BATCH {
             match shared.send_inbox.try_recv() {
-                Some(SendMsg::Frame { frame, trace }) => pending.push((frame, trace)),
+                Some(SendMsg::Frame { frame, trace, done }) => pending.push((frame, trace, done)),
                 Some(SendMsg::Shutdown) => {
                     shutdown_after_batch = true;
                     break;
@@ -560,14 +569,14 @@ fn send_thread(shared: &ConnShared) {
         // Hand-off acknowledgement for every dequeued frame: the callers
         // may resume (and, under the kernel package, overlap computation
         // with a transmit that blocks below — §4.1).
-        for (_, trace) in &pending {
+        for (_, trace, _) in &pending {
             if let Some(t) = trace {
                 *t.dequeued_at.lock() = Some(Instant::now());
                 t.accepted.fire();
             }
         }
         while !pending.is_empty() {
-            let refs: Vec<&[u8]> = pending.iter().map(|(f, _)| f.as_slice()).collect();
+            let refs: Vec<&[u8]> = pending.iter().map(|(f, _, _)| f.as_slice()).collect();
             match shared.transport.send_batch(&refs) {
                 Ok(sent) => {
                     let sent = sent.clamp(1, pending.len());
@@ -575,7 +584,7 @@ fn send_thread(shared: &ConnShared) {
                         .counters
                         .packets_sent
                         .fetch_add(sent as u64, Ordering::Relaxed);
-                    for (frame, trace) in pending.drain(..sent) {
+                    for (frame, trace, done) in pending.drain(..sent) {
                         if let Some(t) = &trace {
                             *t.transmitted_at.lock() = Some(Instant::now());
                         }
@@ -583,6 +592,9 @@ fn send_thread(shared: &ConnShared) {
                         if let Some(t) = &trace {
                             *t.freed_at.lock() = Some(Instant::now());
                             t.done.fire();
+                        }
+                        if let Some(core) = done {
+                            core.complete(Ok(()));
                         }
                     }
                     // A partial batch is transport backpressure: loop and
@@ -593,11 +605,15 @@ fn send_thread(shared: &ConnShared) {
                     // profiled waiters, then handle the failure as the
                     // single-frame path did: Closed tears the data plane
                     // down, anything else drops the frames.
-                    for (_, trace) in pending.drain(..) {
+                    let failure = SendError::from(e.clone());
+                    for (_, trace, done) in pending.drain(..) {
                         if let Some(t) = trace {
                             *t.transmitted_at.lock() = Some(Instant::now());
                             *t.freed_at.lock() = Some(Instant::now());
                             t.done.fire();
+                        }
+                        if let Some(core) = done {
+                            core.complete(Err(failure.clone()));
                         }
                     }
                     if matches!(e, TransportError::Closed) {
@@ -623,9 +639,11 @@ fn recv_thread(shared: &ConnShared) {
     let has_fc = !matches!(shared.config.flow_control, FlowControlAlg::None);
     let has_ctrl = shared.config.needs_control_threads();
     // Inline reassembler for the fully-bypassed path: payloads append
-    // straight from the received frame into one reused message buffer
+    // straight from the received frame into a *pooled* message buffer
     // (arrival order, delivery on the end bit — the null-EC contract).
-    let mut assembling: Vec<u8> = Vec::new();
+    // The buffer rides the delivered [`MsgView`] and returns to the pool
+    // when the application drops the view: the zero-copy receive path.
+    let mut assembling: Option<PooledBuf> = None;
     loop {
         match shared.transport.recv_many(IO_BATCH, IDLE_TICK) {
             Ok(frames) => {
@@ -648,13 +666,15 @@ fn recv_thread(shared: &ConnShared) {
                     } else {
                         // Fully bypassed: reassemble inline, deliver
                         // directly, no per-packet payload allocation.
-                        assembling.extend_from_slice(view.payload);
+                        let buf = assembling.get_or_insert_with(|| shared.pool.get());
+                        buf.vec_mut().extend_from_slice(view.payload);
                         if view.header.end {
                             shared
                                 .counters
                                 .messages_received
                                 .fetch_add(1, Ordering::Relaxed);
-                            shared.delivery.send(std::mem::take(&mut assembling));
+                            let buf = assembling.take().expect("just inserted");
+                            deliver_message(shared, buf, view.header.tagged);
                         }
                     }
                 }
@@ -670,6 +690,23 @@ fn recv_thread(shared: &ConnShared) {
             }
         }
     }
+}
+
+/// Routes one reassembled message into the connection's delivery queue,
+/// stripping the tag envelope of tag-matched traffic. A tagged message
+/// too short to carry its envelope is a protocol corruption and is
+/// dropped (never delivered as garbage).
+fn deliver_message(shared: &ConnShared, buf: PooledBuf, tagged: bool) {
+    let view = if tagged {
+        if buf.as_slice().len() < TAG_ENVELOPE {
+            return;
+        }
+        let tag = u32::from_be_bytes(buf.as_slice()[..TAG_ENVELOPE].try_into().expect("4 bytes"));
+        MsgView::new(buf, TAG_ENVELOPE, Some(tag))
+    } else {
+        MsgView::new(buf, 0, None)
+    };
+    shared.delivery.deliver(view);
 }
 
 /// How long the Flow Control Thread tolerates a non-empty queue with no
@@ -739,7 +776,7 @@ fn fc_thread(shared: &ConnShared) {
         if n > 0 {
             for _ in 0..n {
                 let p = pending.pop_front().expect("counted above");
-                shared.queue_frame(p.encode_pooled(&shared.pool), None);
+                shared.queue_frame(p.encode_pooled(&shared.pool), None, None);
             }
             strategy.on_transmit(n.min(permits) as u32);
             last_progress = Instant::now();
@@ -751,26 +788,31 @@ fn fc_thread(shared: &ConnShared) {
 /// paper's Figure 6 pseudocode.
 fn ec_send_thread(shared: &ConnShared) {
     let mut strategy = build_sender(&shared.config.error_control);
-    let mut backlog: std::collections::VecDeque<(Vec<u8>, Option<Arc<Completion>>)> =
-        Default::default();
+    let mut backlog: SendBacklog = Default::default();
     loop {
         // Pick up the next message.
-        let (data, completion) = match backlog.pop_front() {
+        let (data, tagged, completion) = match backlog.pop_front() {
             Some(job) => job,
             None => match shared.ec_send_inbox.recv_timeout(IDLE_TICK) {
-                Ok(EcSendMsg::Send { data, completion }) => (data, completion),
+                Ok(EcSendMsg::Send {
+                    data,
+                    tagged,
+                    completion,
+                }) => (data, tagged, completion),
                 Ok(EcSendMsg::Ack(_)) => continue, // stale ack between sessions
-                Ok(EcSendMsg::Shutdown) => return,
+                Ok(EcSendMsg::Shutdown) => {
+                    return fail_pending_sends(shared, &mut backlog);
+                }
                 Err(_) => {
                     if shared.closed.load(Ordering::Acquire) {
-                        return;
+                        return fail_pending_sends(shared, &mut backlog);
                     }
                     continue;
                 }
             },
         };
         let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
-        let packets = shared.segment(session, &data);
+        let packets = shared.segment(session, &data, tagged);
         shared
             .counters
             .messages_sent
@@ -783,7 +825,30 @@ fn ec_send_thread(shared: &ConnShared) {
             c.complete(result);
         }
         if shared.closed.load(Ordering::Acquire) {
-            return;
+            return fail_pending_sends(shared, &mut backlog);
+        }
+    }
+}
+
+/// Send jobs queued behind the one the Error Control Thread is driving.
+type SendBacklog = std::collections::VecDeque<(Vec<u8>, bool, Option<Arc<RequestCore<()>>>)>;
+
+/// The Error Control Thread's exit path: every send still queued — in its
+/// backlog or its inbox — resolves `Closed` instead of leaving `isend`
+/// requests dangling (the send-side half of the fail-fast contract).
+fn fail_pending_sends(shared: &ConnShared, backlog: &mut SendBacklog) {
+    for (_, _, completion) in backlog.drain(..) {
+        if let Some(c) = completion {
+            c.complete(Err(SendError::Closed));
+        }
+    }
+    while let Some(msg) = shared.ec_send_inbox.try_recv() {
+        if let EcSendMsg::Send {
+            completion: Some(c),
+            ..
+        } = msg
+        {
+            c.complete(Err(SendError::Closed));
         }
     }
 }
@@ -793,7 +858,7 @@ fn run_send_session(
     shared: &ConnShared,
     strategy: &mut dyn SenderEc,
     packets: &[DataPacket],
-    backlog: &mut std::collections::VecDeque<(Vec<u8>, Option<Arc<Completion>>)>,
+    backlog: &mut SendBacklog,
 ) -> Result<(), SendError> {
     let has_fc = !matches!(shared.config.flow_control, FlowControlAlg::None);
     let total = packets.len() as u32;
@@ -820,7 +885,7 @@ fn run_send_session(
                     }
                 } else {
                     for p in batch {
-                        if !shared.queue_frame(p.encode_pooled(&shared.pool), None) {
+                        if !shared.queue_frame(p.encode_pooled(&shared.pool), None, None) {
                             return Err(SendError::Closed);
                         }
                     }
@@ -845,7 +910,7 @@ fn run_send_session(
 fn wait_for_ack(
     shared: &ConnShared,
     strategy: &mut dyn SenderEc,
-    backlog: &mut std::collections::VecDeque<(Vec<u8>, Option<Arc<Completion>>)>,
+    backlog: &mut SendBacklog,
 ) -> Result<SenderStep, SendError> {
     let timeout = strategy.ack_timeout().unwrap_or(IDLE_TICK);
     let deadline = Instant::now() + timeout;
@@ -865,8 +930,12 @@ fn wait_for_ack(
                     return Ok(step);
                 }
             }
-            Ok(EcSendMsg::Send { data, completion }) => {
-                backlog.push_back((data, completion));
+            Ok(EcSendMsg::Send {
+                data,
+                tagged,
+                completion,
+            }) => {
+                backlog.push_back((data, tagged, completion));
             }
             Ok(EcSendMsg::Shutdown) => return Err(SendError::Closed),
             Err(_) => {
@@ -931,7 +1000,9 @@ fn ec_recv_thread(shared: &ConnShared) {
                         .counters
                         .messages_received
                         .fetch_add(1, Ordering::Relaxed);
-                    shared.delivery.send(m);
+                    // EC strategies reassemble in their own buffers; the
+                    // view is detached (owned), not pooled.
+                    deliver_message(shared, PooledBuf::detached(m), h.tagged);
                     delivered_below = h.session + 1;
                     current_session = None;
                 }
@@ -1014,7 +1085,7 @@ impl NcsConnection {
         !self.shared.closed.load(Ordering::Acquire)
     }
 
-    fn check_sendable(&self, data: &[u8]) -> Result<(), SendError> {
+    fn check_sendable(&self, data: &[u8], tag: Option<u32>) -> Result<(), SendError> {
         if data.is_empty() {
             return Err(SendError::Empty);
         }
@@ -1022,10 +1093,11 @@ impl NcsConnection {
             return Err(SendError::Closed);
         }
         let max = self.shared.max_message();
-        if data.len() > max {
+        let envelope = if tag.is_some() { TAG_ENVELOPE } else { 0 };
+        if data.len() + envelope > max {
             return Err(SendError::TooLarge {
                 len: data.len(),
-                max,
+                max: max - envelope,
             });
         }
         Ok(())
@@ -1034,17 +1106,52 @@ impl NcsConnection {
     /// `NCS_send`: hands the message to the connection's plane (Figure 4
     /// step 1) and returns once queued. Reliable configurations deliver (or
     /// record a failure) asynchronously; use [`NcsConnection::send_sync`]
-    /// to wait for the acknowledgement.
+    /// to wait for the acknowledgement, or [`NcsConnection::isend`] for a
+    /// completion [`Request`].
     ///
     /// # Errors
     ///
     /// See [`SendError`].
     pub fn send(&self, data: &[u8]) -> Result<(), SendError> {
-        self.send_inner(data, None)
+        self.send_inner(data, None, None)
+    }
+
+    /// Nonblocking `NCS_send`: queues the message and returns a
+    /// [`Request`] that completes when the message is *delivered* (the
+    /// error-control acknowledgement, on reliable configurations) or
+    /// *transmitted* (on §3.1 bypass configurations). The caller computes;
+    /// the runtime's threads move the data — the paper's overlap thesis as
+    /// an API.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors ([`SendError::Empty`], [`SendError::TooLarge`],
+    /// [`SendError::Closed`], [`SendError::WrongMode`] on direct-mode
+    /// connections) surface immediately; everything later resolves through
+    /// the request.
+    pub fn isend(&self, data: &[u8]) -> Result<Request<()>, SendError> {
+        let core = RequestCore::new();
+        self.send_inner(data, None, Some(Arc::clone(&core)))?;
+        Ok(Request::new(core))
+    }
+
+    /// [`NcsConnection::isend`] on logical channel `tag`: the receiver
+    /// matches it with [`NcsConnection::irecv_tagged`] on the same tag.
+    /// Tags multiplex independent message streams over one connection —
+    /// per-tag FIFO order, no cross-tag interference.
+    ///
+    /// # Errors
+    ///
+    /// As [`NcsConnection::isend`].
+    pub fn isend_tagged(&self, tag: u32, data: &[u8]) -> Result<Request<()>, SendError> {
+        let core = RequestCore::new();
+        self.send_inner(data, Some(tag), Some(Arc::clone(&core)))?;
+        Ok(Request::new(core))
     }
 
     /// `NCS_send` + wait for the error-control completion (or transmit
-    /// completion for unreliable configurations).
+    /// completion for unreliable configurations). Thin wrapper over
+    /// [`NcsConnection::isend`].
     ///
     /// # Errors
     ///
@@ -1063,46 +1170,80 @@ impl NcsConnection {
         if self.shared.config.direct {
             return self.send_direct(data);
         }
-        if !self.shared.config.needs_control_threads() {
-            // Bypass mode transmits inline through the Send Thread; there is
-            // no asynchronous completion to wait for beyond the queue.
-            return self.send(data);
-        }
-        let completion = Completion::new();
-        self.send_inner(data, Some(Arc::clone(&completion)))?;
-        completion.wait(timeout)
+        self.isend(data)?.wait_timeout(timeout)
     }
 
     fn send_inner(
         &self,
         data: &[u8],
-        completion: Option<Arc<Completion>>,
+        tag: Option<u32>,
+        completion: Option<Arc<RequestCore<()>>>,
     ) -> Result<(), SendError> {
-        self.check_sendable(data)?;
+        self.check_sendable(data, tag)?;
         if self.shared.config.direct {
             return Err(SendError::WrongMode("threaded"));
         }
+        // Tag-matched messages carry their channel tag as a 4-byte
+        // envelope at the front of the message body (flagged in every SDU
+        // header, so delivery knows to strip it).
+        fn envelope(tag: u32, data: &[u8]) -> Vec<u8> {
+            let mut v = Vec::with_capacity(TAG_ENVELOPE + data.len());
+            v.extend_from_slice(&tag.to_be_bytes());
+            v.extend_from_slice(data);
+            v
+        }
+        let tagged = tag.is_some();
         if self.shared.config.needs_control_threads() {
             // Figure 4 step 1: activate the Error Control Thread.
             self.shared.ec_send_inbox.send(EcSendMsg::Send {
-                data: data.to_vec(),
-                completion,
+                data: match tag {
+                    Some(t) => envelope(t, data),
+                    None => data.to_vec(),
+                },
+                tagged,
+                completion: completion.clone(),
             });
+            // Close raced with the enqueue? The EC thread may already have
+            // drained its inbox and exited; resolve the request here so it
+            // can never dangle (the first completion wins).
+            if self.shared.closed.load(Ordering::Acquire) {
+                if let Some(c) = completion {
+                    c.complete(Err(SendError::Closed));
+                }
+            }
         } else {
+            let enveloped: Vec<u8>;
+            let body: &[u8] = match tag {
+                Some(t) => {
+                    enveloped = envelope(t, data);
+                    &enveloped
+                }
+                None => data,
+            };
             // §3.1 bypass: segment straight into pooled frames and
-            // activate the Send Thread directly.
+            // activate the Send Thread directly; the completion (if any)
+            // rides the final frame and resolves on transmit.
             let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
             self.shared
                 .counters
                 .messages_sent
                 .fetch_add(1, Ordering::Relaxed);
-            for frame in self.shared.segment_frames(session, data) {
-                if !self.shared.queue_frame(frame, None) {
+            let frames = self.shared.segment_frames(session, body, tagged);
+            let last = frames.len() - 1;
+            for (i, frame) in frames.into_iter().enumerate() {
+                let done = if i == last { completion.clone() } else { None };
+                if !self.shared.queue_frame(frame, None, done) {
                     return Err(SendError::Closed);
                 }
             }
-            if let Some(c) = completion {
-                c.complete(Ok(()));
+            // Close raced with the queueing? `closed` is set before the
+            // Send Thread's Shutdown message, so observing it here means
+            // our frames may sit behind that message forever — resolve
+            // the request now (the first completion wins).
+            if self.shared.closed.load(Ordering::Acquire) {
+                if let Some(c) = completion {
+                    c.complete(Err(SendError::Closed));
+                }
             }
         }
         Ok(())
@@ -1123,7 +1264,7 @@ impl NcsConnection {
     /// anything is queued.
     pub fn send_batch(&self, msgs: &[&[u8]]) -> Result<(), SendError> {
         for m in msgs {
-            self.check_sendable(m)?;
+            self.check_sendable(m, None)?;
         }
         if self.shared.config.direct {
             return Err(SendError::WrongMode("threaded"));
@@ -1132,6 +1273,7 @@ impl NcsConnection {
             for m in msgs {
                 self.shared.ec_send_inbox.send(EcSendMsg::Send {
                     data: m.to_vec(),
+                    tagged: false,
                     completion: None,
                 });
             }
@@ -1142,8 +1284,8 @@ impl NcsConnection {
                     .counters
                     .messages_sent
                     .fetch_add(1, Ordering::Relaxed);
-                for frame in self.shared.segment_frames(session, m) {
-                    if !self.shared.queue_frame(frame, None) {
+                for frame in self.shared.segment_frames(session, m, false) {
+                    if !self.shared.queue_frame(frame, None, None) {
                         return Err(SendError::Closed);
                     }
                 }
@@ -1152,23 +1294,46 @@ impl NcsConnection {
         Ok(())
     }
 
+    /// Nonblocking `NCS_recv`: returns a [`Request`] that completes with
+    /// the next untagged message, as a pooled zero-copy [`MsgView`].
+    ///
+    /// The request resolves immediately if a message is already waiting,
+    /// and *fails fast* — [`SendError::Closed`] within the close itself,
+    /// not a poll tick later — if the connection closes or the link dies
+    /// while it is parked. Dropping the request un-parks it; a message it
+    /// had already claimed is requeued for the next receiver.
+    pub fn irecv(&self) -> Request<MsgView> {
+        self.irecv_inner(None)
+    }
+
+    /// [`NcsConnection::irecv`] on logical channel `tag`: completes only
+    /// with messages sent via [`NcsConnection::isend_tagged`] on the same
+    /// tag. Per-tag FIFO order is preserved; other tags and untagged
+    /// traffic are untouched.
+    pub fn irecv_tagged(&self, tag: u32) -> Request<MsgView> {
+        self.irecv_inner(Some(tag))
+    }
+
+    fn irecv_inner(&self, tag: Option<u32>) -> Request<MsgView> {
+        let core = RequestCore::new();
+        self.shared.delivery.register(tag, &core);
+        let shared = Arc::clone(&self.shared);
+        Request::with_cancel(
+            core,
+            Box::new(move |core| shared.delivery.cancel(tag, core)),
+        )
+    }
+
     /// `NCS_recv`: blocks until the next reassembled message arrives.
+    /// Thin wrapper over [`NcsConnection::irecv`]; prefer the request form
+    /// (and its [`MsgView`]) on hot paths — this one detaches the buffer
+    /// from the pool to hand out an owning `Vec`.
     ///
     /// # Errors
     ///
     /// [`SendError::Closed`] once the connection is closed and drained.
     pub fn recv(&self) -> Result<Vec<u8>, SendError> {
-        loop {
-            match self.shared.delivery.recv_timeout(IDLE_TICK) {
-                Ok(m) => return Ok(m),
-                Err(_) => {
-                    if self.shared.closed.load(Ordering::Acquire) && self.shared.delivery.is_empty()
-                    {
-                        return Err(SendError::Closed);
-                    }
-                }
-            }
-        }
+        Ok(self.recv_view_deadline(None)?.into_vec())
     }
 
     /// [`NcsConnection::recv`] with a deadline.
@@ -1177,21 +1342,53 @@ impl NcsConnection {
     ///
     /// [`SendError::Timeout`] when nothing arrived in time.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, SendError> {
-        match self.shared.delivery.recv_timeout(timeout) {
-            Ok(m) => Ok(m),
-            Err(_) => {
-                if self.shared.closed.load(Ordering::Acquire) && self.shared.delivery.is_empty() {
-                    Err(SendError::Closed)
-                } else {
-                    Err(SendError::Timeout)
-                }
-            }
+        Ok(self
+            .recv_view_deadline(Some(Instant::now() + timeout))?
+            .into_vec())
+    }
+
+    /// Blocking receive of the next untagged message as a zero-copy
+    /// [`MsgView`] (the buffer-recycling counterpart of
+    /// [`NcsConnection::recv_timeout`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`NcsConnection::recv_timeout`].
+    pub fn recv_view(&self, timeout: Duration) -> Result<MsgView, SendError> {
+        self.recv_view_deadline(Some(Instant::now() + timeout))
+    }
+
+    fn recv_view_deadline(&self, deadline: Option<Instant>) -> Result<MsgView, SendError> {
+        // Fast path: a ready message needs no request machinery.
+        if let Some(m) = self.shared.delivery.try_take(None)? {
+            return Ok(m);
         }
+        let req = self.irecv();
+        match deadline {
+            None => req.wait(),
+            Some(d) => req.wait_timeout(d.saturating_duration_since(Instant::now())),
+        }
+        // A timed-out request is dropped here, which cancels it: no
+        // message can leak into an abandoned waiter.
     }
 
     /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// The connection's terminal error once it is closed (or its link
+    /// died) and every delivered message has been drained.
+    pub fn try_recv_result(&self) -> Result<Option<Vec<u8>>, SendError> {
+        Ok(self.shared.delivery.try_take(None)?.map(MsgView::into_vec))
+    }
+
+    /// Non-blocking receive, swallowing connection state.
+    #[deprecated(
+        since = "0.1.0",
+        note = "silently swallows connection errors; use try_recv_result()"
+    )]
     pub fn try_recv(&self) -> Option<Vec<u8>> {
-        self.shared.delivery.try_recv()
+        self.try_recv_result().ok().flatten()
     }
 
     /// The sticky error recorded by the error-control plane, if any
@@ -1217,11 +1414,11 @@ impl NcsConnection {
     /// [`ConnectionConfig::direct`]; otherwise as
     /// [`NcsConnection::send_sync`].
     pub fn send_direct(&self, data: &[u8]) -> Result<(), SendError> {
-        self.check_sendable(data)?;
+        self.check_sendable(data, None)?;
         let mut engine_slot = self.shared.direct_send.lock();
         let engine = engine_slot.as_mut().ok_or(SendError::WrongMode("direct"))?;
         let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
-        let packets = self.shared.segment(session, data);
+        let packets = self.shared.segment(session, data, false);
         self.shared
             .counters
             .messages_sent
@@ -1454,20 +1651,20 @@ impl NcsConnection {
         if self.shared.config.direct || self.shared.config.needs_control_threads() {
             return Err(SendError::WrongMode("threaded bypass (no FC/EC)"));
         }
-        self.check_sendable(data)?;
+        self.check_sendable(data, None)?;
         let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
         self.shared
             .counters
             .messages_sent
             .fetch_add(1, Ordering::Relaxed);
-        let frames = self.shared.segment_frames(session, data);
+        let frames = self.shared.segment_frames(session, data, false);
         let trace = SendTrace::new();
         let n = frames.len();
         for (i, frame) in frames.into_iter().enumerate() {
             let is_last = i == n - 1;
             if !self
                 .shared
-                .queue_frame(frame, is_last.then(|| Arc::clone(&trace)))
+                .queue_frame(frame, is_last.then(|| Arc::clone(&trace)), None)
             {
                 return Err(SendError::Closed);
             }
@@ -1492,11 +1689,11 @@ impl NcsConnection {
         if self.shared.config.direct || self.shared.config.needs_control_threads() {
             return Err(SendError::WrongMode("threaded bypass (no FC/EC)"));
         }
-        self.check_sendable(data)?;
+        self.check_sendable(data, None)?;
         let t_entry = Instant::now();
         let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
         // Header attach == pooled frame encode.
-        let frames = self.shared.segment_frames(session, data);
+        let frames = self.shared.segment_frames(session, data, false);
         let t_header = Instant::now();
         let trace = SendTrace::new();
         let n = frames.len();
@@ -1504,7 +1701,7 @@ impl NcsConnection {
             let is_last = i == n - 1;
             if !self
                 .shared
-                .queue_frame(frame, is_last.then(|| Arc::clone(&trace)))
+                .queue_frame(frame, is_last.then(|| Arc::clone(&trace)), None)
             {
                 return Err(SendError::Closed);
             }

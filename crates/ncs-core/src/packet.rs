@@ -59,7 +59,16 @@ pub struct DataHeader {
     pub seq: u32,
     /// The control bit: 1 on the final SDU of the message.
     pub end: bool,
+    /// Tag-matched message: the first four bytes of the *reassembled*
+    /// message are its big-endian channel tag (set on every SDU of the
+    /// message, so whichever SDU completes delivery carries it).
+    pub tagged: bool,
 }
+
+/// Bit 0 of the flags byte: final SDU of the message.
+const FLAG_END: u8 = 0b01;
+/// Bit 1 of the flags byte: the message carries a tag envelope.
+const FLAG_TAGGED: u8 = 0b10;
 
 /// Encoded size of [`DataHeader`] plus the leading packet tag and length.
 pub const DATA_OVERHEAD: usize = 1 + 4 + 4 + 4 + 4 + 1 + 4;
@@ -89,7 +98,14 @@ impl DataHeader {
         out.extend_from_slice(&self.src_conn.to_be_bytes());
         out.extend_from_slice(&self.session.to_be_bytes());
         out.extend_from_slice(&self.seq.to_be_bytes());
-        out.push(self.end as u8);
+        let mut flags = 0u8;
+        if self.end {
+            flags |= FLAG_END;
+        }
+        if self.tagged {
+            flags |= FLAG_TAGGED;
+        }
+        out.push(flags);
         out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
         out.extend_from_slice(payload);
     }
@@ -157,11 +173,10 @@ impl DataPacket {
         let src_conn = read_u32(bytes, 5);
         let session = read_u32(bytes, 9);
         let seq = read_u32(bytes, 13);
-        let end = match bytes[17] {
-            0 => false,
-            1 => true,
-            other => return Err(DecodeError(format!("bad end bit {other}"))),
-        };
+        let flags = bytes[17];
+        if flags & !(FLAG_END | FLAG_TAGGED) != 0 {
+            return Err(DecodeError(format!("bad flags byte {flags:#04x}")));
+        }
         let len = read_u32(bytes, 18) as usize;
         if bytes.len() != DATA_OVERHEAD + len {
             return Err(DecodeError(format!(
@@ -175,7 +190,8 @@ impl DataPacket {
                 src_conn,
                 session,
                 seq,
-                end,
+                end: flags & FLAG_END != 0,
+                tagged: flags & FLAG_TAGGED != 0,
             },
             payload: &bytes[DATA_OVERHEAD..],
         })
@@ -457,17 +473,20 @@ mod tests {
 
     #[test]
     fn data_packet_round_trip() {
-        let p = DataPacket {
-            header: DataHeader {
-                conn: 7,
-                src_conn: 8,
-                session: 42,
-                seq: 3,
-                end: true,
-            },
-            payload: vec![1, 2, 3, 4, 5],
-        };
-        assert_eq!(DataPacket::decode(&p.encode()).unwrap(), p);
+        for tagged in [false, true] {
+            let p = DataPacket {
+                header: DataHeader {
+                    conn: 7,
+                    src_conn: 8,
+                    session: 42,
+                    seq: 3,
+                    end: true,
+                    tagged,
+                },
+                payload: vec![1, 2, 3, 4, 5],
+            };
+            assert_eq!(DataPacket::decode(&p.encode()).unwrap(), p);
+        }
     }
 
     #[test]
@@ -479,6 +498,7 @@ mod tests {
                 session: 0,
                 seq: 0,
                 end: false,
+                tagged: false,
             },
             payload: vec![],
         };
@@ -494,6 +514,7 @@ mod tests {
                 session: 1,
                 seq: 1,
                 end: false,
+                tagged: false,
             },
             payload: vec![0; 16],
         };
@@ -501,7 +522,7 @@ mod tests {
         bytes[0] = 0xFF; // tag
         assert!(DataPacket::decode(&bytes).is_err());
         let mut bytes = p.encode();
-        bytes[17] = 7; // end bit
+        bytes[17] = 7; // flags byte with an undefined bit set
         assert!(DataPacket::decode(&bytes).is_err());
         let mut bytes = p.encode();
         bytes.pop(); // truncation
@@ -588,6 +609,7 @@ mod tests {
                 session: 3,
                 seq: 4,
                 end: true,
+                tagged: false,
             },
             payload: vec![7; 33],
         };
@@ -607,6 +629,7 @@ mod tests {
                 session: 7,
                 seq: 6,
                 end: false,
+                tagged: false,
             },
             payload: vec![1, 2, 3],
         };
@@ -637,6 +660,7 @@ mod tests {
                 session: 0,
                 seq: 0,
                 end: false,
+                tagged: false,
             },
             payload: vec![0; 100],
         };

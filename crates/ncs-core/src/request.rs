@@ -1,0 +1,724 @@
+//! The nonblocking request/completion model.
+//!
+//! The paper's thesis is that multithreading lets applications overlap
+//! computation with communication — but the original point-to-point
+//! surface was blocking `send`/`recv` while collectives exposed
+//! nonblocking handles: two incompatible completion models, no way to
+//! wait on a mixed set. This module unifies them:
+//!
+//! * [`Request`] — the handle returned by
+//!   [`NcsConnection::isend`](crate::NcsConnection::isend) /
+//!   [`NcsConnection::irecv`](crate::NcsConnection::irecv) (and their
+//!   tag-matched variants). `Request<()>` completes when a send is
+//!   delivered (or transmitted, on bypass configurations);
+//!   `Request<MsgView>` completes with a received message.
+//! * [`MsgView`] — a pooled, zero-copy view of a received message:
+//!   dereferences to `&[u8]`, returns its buffer to the node's
+//!   [`BufPool`](crate::BufPool) on drop, and offers
+//!   [`MsgView::into_vec`] as the owning escape hatch.
+//! * [`Completion`] — the completion-model trait `Request` shares with
+//!   `ncs_collectives::CollectiveHandle`, so one application loop can
+//!   drive point-to-point traffic and collectives together.
+//! * [`wait_any`] / [`wait_all`] / [`test_all`] — free functions over
+//!   heterogeneous `&[&dyn Completion]` sets.
+//!
+//! The blocking primitives (`send_sync`, `recv`, …) are thin wrappers
+//! over requests; there is one completion path through the runtime.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use ncs_threads::sync::Event;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use crate::connection::SendError;
+use crate::pool::PooledBuf;
+
+// ---------------------------------------------------------------------------
+// Completion trait + heterogeneous wait sets
+// ---------------------------------------------------------------------------
+
+/// The unified completion model: anything an application can test or wait
+/// on — point-to-point [`Request`]s and collective handles alike.
+///
+/// Implementations block *cooperatively* (package-aware events), so the
+/// same waiting loop runs under both the kernel-level and the user-level
+/// thread package.
+pub trait Completion {
+    /// Whether the operation has completed (successfully or not). Never
+    /// blocks.
+    fn is_complete(&self) -> bool;
+
+    /// Blocks up to `timeout` for completion; returns whether the
+    /// operation is complete on return.
+    fn wait_complete(&self, timeout: Duration) -> bool;
+}
+
+/// Polls a heterogeneous completion set without blocking: `true` when
+/// *every* member has completed.
+pub fn test_all(set: &[&dyn Completion]) -> bool {
+    set.iter().all(|c| c.is_complete())
+}
+
+/// The time slice `wait_any` parks on each member while polling a set.
+/// Short enough that a completion elsewhere in the set is noticed
+/// promptly; long enough that an idle wait doesn't spin.
+const WAIT_ANY_SLICE: Duration = Duration::from_millis(1);
+
+/// Blocks until *any* member of the set completes, returning its index
+/// (the first complete member on ties), or `None` if `timeout` elapses
+/// first. An empty set returns `None` immediately.
+///
+/// This is the overlap primitive: an application thread can park on one
+/// `wait_any` over an `irecv`, an `iallreduce` and an `isend` and react
+/// to whichever finishes first.
+///
+/// A member stays "complete" once it fires, so a loop that calls
+/// `wait_any` repeatedly must drop already-collected members from the
+/// set (or switch to [`wait_all`] for the stragglers) — otherwise the
+/// same index wins every call.
+pub fn wait_any(set: &[&dyn Completion], timeout: Duration) -> Option<usize> {
+    if set.is_empty() {
+        return None;
+    }
+    let deadline = Instant::now() + timeout;
+    loop {
+        for (i, c) in set.iter().enumerate() {
+            if c.is_complete() {
+                return Some(i);
+            }
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return None;
+        }
+        // Park briefly on the first incomplete member; any member firing
+        // is observed on the next sweep at most one slice later.
+        let slice = WAIT_ANY_SLICE.min(deadline - now);
+        if let Some(c) = set.iter().find(|c| !c.is_complete()) {
+            c.wait_complete(slice);
+        }
+    }
+}
+
+/// Blocks until *every* member of the set completes, or `timeout`
+/// elapses; returns whether all completed. An empty set is trivially
+/// complete.
+pub fn wait_all(set: &[&dyn Completion], timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    for c in set {
+        loop {
+            if c.is_complete() {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            c.wait_complete(deadline - now);
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// MsgView
+// ---------------------------------------------------------------------------
+
+/// A received message, viewed in place.
+///
+/// Receive completion hands back a `MsgView` instead of a `Vec<u8>`: the
+/// bytes live in a buffer checked out of the node's
+/// [`BufPool`](crate::BufPool) wherever the receive path could assemble
+/// there, and dropping the view recycles that buffer. Dereference for
+/// zero-copy reads; [`MsgView::into_vec`] detaches an owning `Vec` when
+/// the bytes must outlive the view.
+#[derive(Debug)]
+pub struct MsgView {
+    buf: PooledBuf,
+    /// Payload start within `buf` (skips the tag envelope on tag-matched
+    /// messages).
+    start: usize,
+    /// The logical channel this message arrived on, if it was tag-matched.
+    tag: Option<u32>,
+}
+
+impl MsgView {
+    pub(crate) fn new(buf: PooledBuf, start: usize, tag: Option<u32>) -> Self {
+        MsgView { buf, start, tag }
+    }
+
+    /// The message payload.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf.as_slice()[self.start..]
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.as_slice().len() - self.start
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The tag this message was matched on ([`None`] for untagged
+    /// traffic).
+    pub fn tag(&self) -> Option<u32> {
+        self.tag
+    }
+
+    /// Detaches the payload as an owning `Vec<u8>`. The backing buffer
+    /// leaves the pool (for pooled views this is the allocation hand-off,
+    /// not a copy, unless a tag envelope must be stripped first).
+    pub fn into_vec(self) -> Vec<u8> {
+        let start = self.start;
+        let mut v = self.buf.into_vec();
+        if start > 0 {
+            v.drain(..start);
+        }
+        v
+    }
+}
+
+impl std::ops::Deref for MsgView {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for MsgView {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq<[u8]> for MsgView {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for MsgView {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request core + public handle
+// ---------------------------------------------------------------------------
+
+/// Shared completion slot behind a [`Request`]: the runtime side calls
+/// [`RequestCore::complete`] exactly once; the application side tests,
+/// waits and takes the result.
+#[derive(Debug)]
+pub(crate) struct RequestCore<T> {
+    done: Event,
+    result: Mutex<Option<Result<T, SendError>>>,
+}
+
+impl<T> RequestCore<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(RequestCore {
+            done: Event::new(),
+            result: Mutex::new(None),
+        })
+    }
+
+    /// Resolves the request. The first call wins; later calls are ignored
+    /// (a request can race between e.g. a delivery and a teardown). Both
+    /// guards matter: `slot.is_some()` rejects a racing completer that
+    /// stored its result but has not fired yet, and `done.is_fired()`
+    /// rejects completion after the result was already taken.
+    pub(crate) fn complete(&self, r: Result<T, SendError>) {
+        let mut slot = self.result.lock();
+        if slot.is_some() || self.done.is_fired() {
+            return;
+        }
+        *slot = Some(r);
+        drop(slot);
+        self.done.fire();
+    }
+
+    pub(crate) fn is_complete(&self) -> bool {
+        self.done.is_fired()
+    }
+
+    /// Takes the result out (None when already taken).
+    pub(crate) fn take(&self) -> Option<Result<T, SendError>> {
+        self.result.lock().take()
+    }
+
+    /// Puts an unconsumed successful result back (cancellation recovery).
+    pub(crate) fn take_value(&self) -> Option<T> {
+        match self.result.lock().take() {
+            Some(Ok(v)) => Some(v),
+            Some(Err(_)) | None => None,
+        }
+    }
+}
+
+/// Cancellation hook a request runs when dropped before its result was
+/// consumed (receive requests unregister from their connection's delivery
+/// queue; abandoned-but-completed messages requeue).
+type CancelFn<T> = Box<dyn FnOnce(&Arc<RequestCore<T>>) + Send + Sync>;
+
+/// A nonblocking operation in flight.
+///
+/// Returned by [`NcsConnection::isend`](crate::NcsConnection::isend),
+/// [`NcsConnection::irecv`](crate::NcsConnection::irecv) and their
+/// tag-matched variants. The issuing thread is free to compute;
+/// [`Request::test`] polls, [`Request::wait`] blocks (cooperatively under
+/// either thread package), and the result can be taken exactly once — a
+/// second `wait` reports [`SendError::ResultTaken`].
+///
+/// `Request` implements [`Completion`], so it can enter heterogeneous
+/// [`wait_any`] / [`wait_all`] sets next to collective handles.
+///
+/// Dropping an unconsumed receive request cancels it: a message that had
+/// already matched the request is requeued for the next receiver, and a
+/// parked request simply unregisters.
+pub struct Request<T> {
+    core: Arc<RequestCore<T>>,
+    cancel: Option<CancelFn<T>>,
+}
+
+impl<T> std::fmt::Debug for Request<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Request")
+            .field("complete", &self.core.is_complete())
+            .finish()
+    }
+}
+
+impl<T> Request<T> {
+    pub(crate) fn new(core: Arc<RequestCore<T>>) -> Self {
+        Request { core, cancel: None }
+    }
+
+    pub(crate) fn with_cancel(core: Arc<RequestCore<T>>, cancel: CancelFn<T>) -> Self {
+        Request {
+            core,
+            cancel: Some(cancel),
+        }
+    }
+
+    /// Whether the operation has completed (successfully or not). Never
+    /// blocks.
+    pub fn test(&self) -> bool {
+        self.core.is_complete()
+    }
+
+    /// Blocks until the operation completes and takes its result.
+    ///
+    /// # Errors
+    ///
+    /// The operation's error, or [`SendError::ResultTaken`] if the result
+    /// was already taken.
+    pub fn wait(&self) -> Result<T, SendError> {
+        self.core.done.wait();
+        self.take_result()
+    }
+
+    /// [`Request::wait`] with a deadline. On [`SendError::Timeout`] the
+    /// request stays usable — the operation keeps progressing and a later
+    /// wait can still take the result.
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::wait`], plus [`SendError::Timeout`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<T, SendError> {
+        if !self.core.done.wait_timeout(timeout) {
+            return Err(SendError::Timeout);
+        }
+        self.take_result()
+    }
+
+    fn take_result(&self) -> Result<T, SendError> {
+        self.core.take().unwrap_or(Err(SendError::ResultTaken))
+    }
+}
+
+impl<T> Completion for Request<T> {
+    fn is_complete(&self) -> bool {
+        self.core.is_complete()
+    }
+
+    fn wait_complete(&self, timeout: Duration) -> bool {
+        self.core.done.wait_timeout(timeout)
+    }
+}
+
+impl<T> Drop for Request<T> {
+    fn drop(&mut self) {
+        if let Some(f) = self.cancel.take() {
+            f(&self.core);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DeliveryQueue — reassembled-message routing (tags, waiters, fail-fast)
+// ---------------------------------------------------------------------------
+
+/// One logical receive channel: messages ready to be taken, and receive
+/// requests parked for the next arrival. An invariant the lock protects:
+/// `ready` and `waiters` are never both non-empty.
+#[derive(Debug, Default)]
+struct Chan {
+    ready: VecDeque<MsgView>,
+    waiters: VecDeque<Arc<RequestCore<MsgView>>>,
+}
+
+#[derive(Debug, Default)]
+struct DeliveryInner {
+    untagged: Chan,
+    tagged: HashMap<u32, Chan>,
+    /// Set once the connection fails or closes; parked and future
+    /// receives resolve to this immediately (already-delivered messages
+    /// remain takeable).
+    error: Option<SendError>,
+}
+
+/// The connection's delivery stage: reassembled messages are routed here
+/// by the receive plane (by tag, when tag-matched) and matched against
+/// parked receive requests in FIFO order.
+///
+/// Close/link-down fail-fast lives here: `fail_all` resolves every parked
+/// request with the error *immediately* — a parked `irecv` never waits
+/// out a tick loop to learn its connection died.
+#[derive(Debug, Default)]
+pub(crate) struct DeliveryQueue {
+    inner: Mutex<DeliveryInner>,
+}
+
+impl DeliveryQueue {
+    pub(crate) fn new() -> Self {
+        DeliveryQueue::default()
+    }
+
+    fn chan(inner: &mut DeliveryInner, tag: Option<u32>) -> &mut Chan {
+        match tag {
+            None => &mut inner.untagged,
+            Some(t) => inner.tagged.entry(t).or_default(),
+        }
+    }
+
+    /// Drops `tag`'s channel entry once it is fully drained, so a
+    /// connection cycling through many distinct tags (correlation-id
+    /// style) does not grow the map for its lifetime.
+    fn prune(inner: &mut DeliveryInner, tag: Option<u32>) {
+        if let Some(t) = tag {
+            if inner
+                .tagged
+                .get(&t)
+                .is_some_and(|c| c.ready.is_empty() && c.waiters.is_empty())
+            {
+                inner.tagged.remove(&t);
+            }
+        }
+    }
+
+    /// Routes one reassembled message: hands it to the oldest parked
+    /// request on its channel, or queues it as ready.
+    pub(crate) fn deliver(&self, msg: MsgView) {
+        let mut inner = self.inner.lock();
+        let tag = msg.tag();
+        let chan = Self::chan(&mut inner, tag);
+        match chan.waiters.pop_front() {
+            Some(w) => w.complete(Ok(msg)),
+            None => chan.ready.push_back(msg),
+        }
+        Self::prune(&mut inner, tag);
+    }
+
+    /// Registers a receive request on `tag`'s channel: completes it
+    /// immediately from the ready queue (or with the recorded error), or
+    /// parks it.
+    pub(crate) fn register(&self, tag: Option<u32>, core: &Arc<RequestCore<MsgView>>) {
+        let mut inner = self.inner.lock();
+        let error = inner.error.clone();
+        let chan = Self::chan(&mut inner, tag);
+        if let Some(msg) = chan.ready.pop_front() {
+            core.complete(Ok(msg));
+        } else if let Some(e) = error {
+            core.complete(Err(e));
+        } else {
+            chan.waiters.push_back(Arc::clone(core));
+        }
+        Self::prune(&mut inner, tag);
+    }
+
+    /// Takes a ready message off `tag`'s channel without blocking.
+    ///
+    /// # Errors
+    ///
+    /// The recorded connection error, once the channel is drained.
+    pub(crate) fn try_take(&self, tag: Option<u32>) -> Result<Option<MsgView>, SendError> {
+        let mut inner = self.inner.lock();
+        let error = inner.error.clone();
+        let chan = Self::chan(&mut inner, tag);
+        let taken = chan.ready.pop_front();
+        Self::prune(&mut inner, tag);
+        match taken {
+            Some(msg) => Ok(Some(msg)),
+            None => match error {
+                Some(e) => Err(e),
+                None => Ok(None),
+            },
+        }
+    }
+
+    /// Unregisters a dropped/abandoned receive request. If a message had
+    /// already matched it, the message goes to the channel's oldest
+    /// parked waiter (it is the oldest undelivered message — waiters can
+    /// only be parked while `ready` is empty), or back to the *front* of
+    /// the ready queue, so per-channel FIFO order holds for the next
+    /// receiver either way.
+    pub(crate) fn cancel(&self, tag: Option<u32>, core: &Arc<RequestCore<MsgView>>) {
+        let mut inner = self.inner.lock();
+        let chan = Self::chan(&mut inner, tag);
+        if let Some(pos) = chan.waiters.iter().position(|w| Arc::ptr_eq(w, core)) {
+            chan.waiters.remove(pos);
+            Self::prune(&mut inner, tag);
+            return;
+        }
+        // Not parked: the request may have raced to completion with an
+        // unconsumed message — reclaim it (still under this lock, so no
+        // delivery or take can interleave).
+        if let Some(msg) = core.take_value() {
+            match chan.waiters.pop_front() {
+                Some(w) => w.complete(Ok(msg)),
+                None => chan.ready.push_front(msg),
+            }
+        }
+        Self::prune(&mut inner, tag);
+    }
+
+    /// Records a terminal error and resolves every parked request with it
+    /// (ready messages stay takeable — close-then-drain still works).
+    /// Idempotent; the first error wins.
+    pub(crate) fn fail_all(&self, error: SendError) {
+        let mut inner = self.inner.lock();
+        if inner.error.is_none() {
+            inner.error = Some(error.clone());
+        }
+        let err = inner.error.clone().expect("just set");
+        for w in inner.untagged.waiters.drain(..) {
+            w.complete(Err(err.clone()));
+        }
+        for chan in inner.tagged.values_mut() {
+            for w in chan.waiters.drain(..) {
+                w.complete(Err(err.clone()));
+            }
+        }
+        inner
+            .tagged
+            .retain(|_, c| !c.ready.is_empty() || !c.waiters.is_empty());
+    }
+
+    /// Number of live tagged channels (tests assert the map is pruned).
+    #[cfg(test)]
+    fn tagged_channels(&self) -> usize {
+        self.inner.lock().tagged.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::BufPool;
+
+    fn msg(bytes: &[u8], tag: Option<u32>) -> MsgView {
+        MsgView::new(PooledBuf::detached(bytes.to_vec()), 0, tag)
+    }
+
+    #[test]
+    fn request_resolves_once() {
+        let core = RequestCore::new();
+        let r: Request<()> = Request::new(Arc::clone(&core));
+        assert!(!r.test());
+        assert_eq!(
+            r.wait_timeout(Duration::from_millis(5)),
+            Err(SendError::Timeout)
+        );
+        core.complete(Ok(()));
+        assert!(r.test());
+        assert_eq!(r.wait(), Ok(()));
+        assert_eq!(r.wait(), Err(SendError::ResultTaken));
+    }
+
+    #[test]
+    fn first_completion_wins() {
+        let core: Arc<RequestCore<()>> = RequestCore::new();
+        core.complete(Err(SendError::Closed));
+        core.complete(Ok(()));
+        let r = Request::new(core);
+        assert_eq!(r.wait(), Err(SendError::Closed));
+    }
+
+    #[test]
+    fn msg_view_pooled_round_trip() {
+        let pool = BufPool::with_config(1, 4, 64);
+        let mut buf = pool.get();
+        buf.vec_mut().extend_from_slice(&[0, 0, 0, 7, 1, 2, 3]);
+        let view = MsgView::new(buf, 4, Some(7));
+        assert_eq!(view.as_slice(), &[1, 2, 3]);
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert_eq!(view.tag(), Some(7));
+        assert_eq!(view.into_vec(), vec![1, 2, 3]);
+        // Detached by into_vec: nothing returned to the pool.
+        assert_eq!(pool.stats().returns, 0);
+        // Dropping a view recycles instead.
+        let mut buf = pool.get();
+        buf.vec_mut().extend_from_slice(b"xyz");
+        drop(MsgView::new(buf, 0, None));
+        assert_eq!(pool.stats().returns, 1);
+    }
+
+    #[test]
+    fn delivery_routes_by_tag_fifo() {
+        let q = DeliveryQueue::new();
+        q.deliver(msg(b"u1", None));
+        q.deliver(msg(b"a1", Some(5)));
+        q.deliver(msg(b"u2", None));
+        q.deliver(msg(b"a2", Some(5)));
+        assert_eq!(q.try_take(Some(5)).unwrap().unwrap().as_slice(), b"a1");
+        assert_eq!(q.try_take(None).unwrap().unwrap().as_slice(), b"u1");
+        assert_eq!(q.try_take(None).unwrap().unwrap().as_slice(), b"u2");
+        assert_eq!(q.try_take(Some(5)).unwrap().unwrap().as_slice(), b"a2");
+        assert!(q.try_take(None).unwrap().is_none());
+    }
+
+    #[test]
+    fn parked_waiter_gets_next_delivery() {
+        let q = DeliveryQueue::new();
+        let core = RequestCore::new();
+        q.register(None, &core);
+        assert!(!core.is_complete());
+        q.deliver(msg(b"hello", None));
+        assert!(core.is_complete());
+        assert_eq!(core.take().unwrap().unwrap().as_slice(), b"hello");
+    }
+
+    #[test]
+    fn fail_all_resolves_parked_but_keeps_ready() {
+        let q = DeliveryQueue::new();
+        q.deliver(msg(b"early", None));
+        let parked = RequestCore::new();
+        q.register(Some(3), &parked);
+        q.fail_all(SendError::Closed);
+        assert!(parked.is_complete());
+        assert!(matches!(parked.take(), Some(Err(SendError::Closed))));
+        // The ready message survives the failure and drains first.
+        assert_eq!(q.try_take(None).unwrap().unwrap().as_slice(), b"early");
+        assert!(matches!(q.try_take(None), Err(SendError::Closed)));
+        // New registrations resolve immediately with the error.
+        let late = RequestCore::new();
+        q.register(None, &late);
+        assert!(matches!(late.take(), Some(Err(SendError::Closed))));
+    }
+
+    #[test]
+    fn drained_tagged_channels_are_pruned() {
+        let q = DeliveryQueue::new();
+        // Correlation-id style: every operation uses a fresh tag.
+        for t in 0..100u32 {
+            q.deliver(msg(b"x", Some(t)));
+            assert_eq!(q.try_take(Some(t)).unwrap().unwrap().as_slice(), b"x");
+        }
+        assert_eq!(q.tagged_channels(), 0, "drained channels must not leak");
+        // A probe on a never-used tag must not leave an entry behind.
+        assert!(q.try_take(Some(999)).unwrap().is_none());
+        assert_eq!(q.tagged_channels(), 0);
+        // Parked waiters keep their channel alive; cancellation prunes it.
+        let w = RequestCore::new();
+        q.register(Some(7), &w);
+        assert_eq!(q.tagged_channels(), 1);
+        q.cancel(Some(7), &w);
+        assert_eq!(q.tagged_channels(), 0);
+        // fail_all prunes the channels it drains.
+        let w = RequestCore::new();
+        q.register(Some(8), &w);
+        q.fail_all(SendError::Closed);
+        assert_eq!(q.tagged_channels(), 0);
+    }
+
+    #[test]
+    fn cancel_hands_reclaimed_message_to_parked_waiter() {
+        let q = DeliveryQueue::new();
+        // A claims M1; B parks behind it; A is dropped unconsumed.
+        let a = RequestCore::new();
+        q.deliver(msg(b"m1", None));
+        q.register(None, &a);
+        assert!(a.is_complete());
+        let b = RequestCore::new();
+        q.register(None, &b);
+        assert!(!b.is_complete());
+        q.cancel(None, &a);
+        // B must receive the reclaimed M1, not starve behind it.
+        assert!(b.is_complete(), "parked waiter starved by cancellation");
+        assert_eq!(b.take().unwrap().unwrap().as_slice(), b"m1");
+    }
+
+    #[test]
+    fn cancel_unparks_or_requeues() {
+        let q = DeliveryQueue::new();
+        let parked = RequestCore::new();
+        q.register(None, &parked);
+        q.cancel(None, &parked);
+        // Unparked: a later delivery goes to ready, not the dead waiter.
+        q.deliver(msg(b"m1", None));
+        assert!(!parked.is_complete());
+        // Completed-but-unconsumed: the message returns to the front.
+        let claimed = RequestCore::new();
+        q.register(None, &claimed); // takes m1 immediately
+        assert!(claimed.is_complete());
+        q.deliver(msg(b"m2", None));
+        q.cancel(None, &claimed);
+        assert_eq!(q.try_take(None).unwrap().unwrap().as_slice(), b"m1");
+        assert_eq!(q.try_take(None).unwrap().unwrap().as_slice(), b"m2");
+    }
+
+    #[test]
+    fn wait_sets_over_plain_requests() {
+        let a = RequestCore::new();
+        let b = RequestCore::new();
+        let ra: Request<()> = Request::new(Arc::clone(&a));
+        let rb: Request<()> = Request::new(Arc::clone(&b));
+        let set: [&dyn Completion; 2] = [&ra, &rb];
+        assert!(!test_all(&set));
+        assert_eq!(wait_any(&set, Duration::from_millis(5)), None);
+        b.complete(Ok(()));
+        assert_eq!(wait_any(&set, Duration::from_secs(1)), Some(1));
+        assert!(!wait_all(&set, Duration::from_millis(5)));
+        a.complete(Ok(()));
+        assert!(wait_all(&set, Duration::from_secs(1)));
+        assert!(test_all(&set));
+        // Degenerate sets.
+        assert!(test_all(&[]));
+        assert!(wait_all(&[], Duration::ZERO));
+        assert_eq!(wait_any(&[], Duration::from_secs(1)), None);
+    }
+
+    #[test]
+    fn wait_any_wakes_from_another_thread() {
+        let core = RequestCore::new();
+        let r: Request<()> = Request::new(Arc::clone(&core));
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            core.complete(Ok(()));
+        });
+        let set: [&dyn Completion; 1] = [&r];
+        let t0 = Instant::now();
+        assert_eq!(wait_any(&set, Duration::from_secs(5)), Some(0));
+        assert!(t0.elapsed() < Duration::from_secs(2));
+        t.join().unwrap();
+    }
+}

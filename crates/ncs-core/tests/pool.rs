@@ -113,7 +113,7 @@ proptest! {
         payload in proptest::collection::vec(any::<u8>(), 0..2048),
     ) {
         let packet = DataPacket {
-            header: DataHeader { conn, src_conn, session, seq, end },
+            header: DataHeader { conn, src_conn, session, seq, end, tagged: false },
             payload,
         };
         let reference = packet.encode();

@@ -68,7 +68,7 @@ proptest! {
         payload in proptest::collection::vec(any::<u8>(), 0..2048),
     ) {
         let p = DataPacket {
-            header: DataHeader { conn, src_conn, session, seq, end },
+            header: DataHeader { conn, src_conn, session, seq, end, tagged: false },
             payload,
         };
         prop_assert_eq!(DataPacket::decode(&p.encode()).unwrap(), p);
@@ -83,7 +83,7 @@ proptest! {
         flip in 1u8..=255,
     ) {
         let p = DataPacket {
-            header: DataHeader { conn: 1, src_conn: 2, session: 3, seq: 4, end: true },
+            header: DataHeader { conn: 1, src_conn: 2, session: 3, seq: 4, end: true, tagged: false },
             payload,
         };
         let mut bytes = p.encode();

@@ -181,8 +181,9 @@ impl ClusterConfig {
     }
 }
 
-/// The canonical node name of `rank`.
-fn rank_name(rank: u32) -> String {
+/// The canonical node name of `rank` (shared with the in-process
+/// [`crate::session::LocalWorld`], so logs read the same either way).
+pub(crate) fn rank_name(rank: u32) -> String {
     format!("rank{rank}")
 }
 

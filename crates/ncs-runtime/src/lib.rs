@@ -16,6 +16,11 @@
 //! * [`mod@launch`] — the `ncs-launch` binary's engine: spawn `--np N` local
 //!   ranks, propagate the environment, multiplex child output with
 //!   `[rank N]` prefixes, and reap under a hard deadline.
+//! * [`session`] — the [`Session`] façade: one trait
+//!   (`rank`/`world_size`/`connect`/`accept`/`collective_group`) behind
+//!   which both [`cluster::ClusterNode`] and the in-process
+//!   [`session::LocalWorld`] stand, so one program body runs in either
+//!   world unchanged.
 //!
 //! # Example
 //!
@@ -40,9 +45,11 @@
 pub mod cluster;
 pub mod launch;
 pub mod rendezvous;
+pub mod session;
 pub mod wire;
 
 pub use cluster::{ClusterConfig, ClusterError, ClusterNode};
 pub use launch::{launch, LaunchReport, LaunchSpec, RankExit};
 pub use rendezvous::RendezvousServer;
+pub use session::{LocalSession, LocalWorld, Session, SessionError};
 pub use wire::{ClusterHello, Roster, RvMsg, PROTOCOL_VERSION};

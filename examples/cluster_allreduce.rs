@@ -1,38 +1,60 @@
-//! cluster_allreduce — the multi-process NCS example.
+//! cluster_allreduce — one program, two worlds.
 //!
-//! Four independent OS processes form one NCS world over real loopback
-//! sockets (the SCI interface), then run collectives across it: an
-//! allreduce whose result every rank verifies, a broadcast, and a closing
-//! barrier.
+//! The member body below is written against the [`ncs::Session`] façade
+//! and runs **unmodified** in either backend:
 //!
-//! Two ways to run it:
+//! * **multi-process** — four OS processes form one NCS world over real
+//!   loopback sockets (the SCI interface), bootstrapped through `ncsd`
+//!   rendezvous;
+//! * **in-process** — a four-member [`ncs::LocalWorld`] meshed over HPI,
+//!   one member per thread.
+//!
+//! Each member runs collectives across the world (an allreduce every
+//! rank verifies, a broadcast, a closing barrier) and — between ranks 0
+//! and 1 — a mixed completion set: rank 0 parks one `irecv` *and* one
+//! `iallreduce` in a single [`ncs::wait_any`] loop and reaps whichever
+//! finishes first, the overlap primitive the Request redesign exists for.
+//!
+//! Ways to run it:
 //!
 //! * under the launcher (what CI's `cluster-smoke` job does):
 //!   `cargo build --release -p ncs-runtime --bins`
 //!   `cargo build --release --example cluster_allreduce`
 //!   `./target/release/ncs-launch --np 4 -- ./target/release/examples/cluster_allreduce`
-//! * directly: `cargo run --release --example cluster_allreduce`
+//! * multi-process, directly: `cargo run --release --example cluster_allreduce`
 //!   (with no `NCS_RANK` in the environment the process becomes its own
-//!   launcher, re-executing itself as 4 ranks).
+//!   launcher, re-executing itself as 4 ranks);
+//! * in-process: `cargo run --release --example cluster_allreduce -- --local`
+
+use std::time::Duration;
 
 use ncs::collectives::ReduceOp;
 use ncs::runtime::{launch, ClusterConfig, ClusterNode, LaunchSpec};
+use ncs::{wait_any, Completion, LocalWorld, Session};
 
 const WORLD: u32 = 4;
 
-/// One rank's life: bootstrap, collectives, verification.
-fn run_rank() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = ClusterConfig::from_env()?;
-    let cluster = ClusterNode::bootstrap(cfg)?;
-    let rank = cluster.rank();
-    let world = cluster.size();
+/// One member's life — identical against every [`Session`] backend.
+fn run_member(session: &impl Session) -> Result<(), Box<dyn std::error::Error>> {
+    let rank = session.rank();
+    let world = session.world_size();
     println!(
         "rank {rank}/{world} up as node '{}' with {} world links",
-        cluster.node().name(),
+        session.node().name(),
         world - 1
     );
 
-    let group = cluster.collective_group(1)?;
+    // Point-to-point channel for the mixed-wait demo, established before
+    // the collectives engine takes over the bootstrap links.
+    let p2p = if rank == 1 {
+        Some(session.connect(0, ncs::core::ConnectionConfig::unreliable())?)
+    } else if rank == 0 {
+        Some(session.accept(Duration::from_secs(30))?)
+    } else {
+        None
+    };
+
+    let group = session.collective_group(1)?;
 
     // Allreduce: every rank contributes [rank, 2*rank]; everyone must see
     // the same sums.
@@ -41,6 +63,45 @@ fn run_rank() -> Result<(), Box<dyn std::error::Error>> {
     let expect: f64 = (0..world).map(f64::from).sum();
     assert_eq!(sum, vec![expect, 2.0 * expect], "allreduce disagreed");
     println!("rank {rank}: allreduce ok ({sum:?})");
+
+    // Mixed completion set: one irecv + one iallreduce in a single
+    // wait_any loop on rank 0 (every rank joins the allreduce; rank 1
+    // also feeds the irecv once its own collective completes).
+    let ar = group.iallreduce(vec![rank as f64 + 1.0], ReduceOp::Sum)?;
+    match (rank, &p2p) {
+        (0, Some(conn)) => {
+            let want = conn.irecv();
+            let set: [&dyn Completion; 2] = [&want, &ar];
+            // React to whichever lands first, then collect the straggler.
+            let first = wait_any(&set, Duration::from_secs(60)).expect("mixed wait_any stalled");
+            println!(
+                "rank 0: {} completed first",
+                if first == 0 { "irecv" } else { "iallreduce" }
+            );
+            assert!(
+                ncs::wait_all(&set, Duration::from_secs(60)),
+                "mixed wait_all stalled"
+            );
+            let msg = want.wait()?;
+            assert_eq!(&*msg, b"mixed-set hello", "irecv payload corrupted");
+        }
+        (1, Some(conn)) => {
+            ar.wait_timeout(Duration::from_secs(60))
+                .map_err(|e| format!("rank 1 iallreduce: {e}"))?;
+            conn.isend(b"mixed-set hello")?
+                .wait_timeout(Duration::from_secs(30))?;
+        }
+        _ => {}
+    }
+    let mixed_sum = match rank {
+        1 => None, // already taken above
+        _ => Some(ar.wait_timeout(Duration::from_secs(60))?),
+    };
+    if let Some(s) = mixed_sum {
+        let expect: f64 = (1..=world).map(f64::from).sum();
+        assert_eq!(s, vec![expect], "mixed-set allreduce disagreed");
+    }
+    println!("rank {rank}: mixed wait_any (irecv + iallreduce) ok");
 
     // Broadcast from rank 0 (in-out contract: same-length buffer
     // everywhere).
@@ -60,13 +121,38 @@ fn run_rank() -> Result<(), Box<dyn std::error::Error>> {
     group.barrier()?;
     println!("rank {rank}: barrier ok, shutting down");
     drop(group);
-    cluster.shutdown();
+    session.shutdown();
+    Ok(())
+}
+
+/// One rank of the multi-process world (bootstraps from the launcher's
+/// environment).
+fn run_cluster_rank() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = ClusterNode::bootstrap(ClusterConfig::from_env()?)?;
+    run_member(&cluster)
+}
+
+/// The whole world in this process: a [`LocalWorld`], one member thread
+/// each, same body.
+fn run_local_world() -> Result<(), Box<dyn std::error::Error>> {
+    println!("running {WORLD} ranks in-process (LocalWorld over HPI)");
+    let handles: Vec<_> = LocalWorld::create(WORLD)?
+        .into_iter()
+        .map(|s| std::thread::spawn(move || run_member(&s).map_err(|e| e.to_string())))
+        .collect();
+    for h in handles {
+        h.join().expect("member panicked")?;
+    }
+    println!("all {WORLD} in-process ranks completed");
     Ok(())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--local") {
+        return run_local_world();
+    }
     if std::env::var("NCS_RANK").is_ok() {
-        return run_rank();
+        return run_cluster_rank();
     }
     // No rank identity: act as the launcher and re-execute ourselves as
     // the world (exactly what `ncs-launch --np 4 -- <this binary>` does).

@@ -76,11 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let deadline = std::time::Instant::now() + Duration::from_secs(20);
         let mut document_done = false;
         while std::time::Instant::now() < deadline {
-            if let Some(f) = video_rx.try_recv() {
+            if let Ok(Some(f)) = video_rx.try_recv_result() {
                 video_frames += 1;
                 drop(f);
             }
-            if let Some(f) = audio_rx.try_recv() {
+            if let Ok(Some(f)) = audio_rx.try_recv_result() {
                 audio_frames += 1;
                 drop(f);
             }
@@ -99,7 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         video_frames += 1;
                         drop(f);
                     }
-                    while let Some(f) = audio_rx.try_recv() {
+                    while let Ok(Some(f)) = audio_rx.try_recv_result() {
                         audio_frames += 1;
                         drop(f);
                     }

@@ -1,11 +1,16 @@
 //! Quickstart: two NCS nodes exchanging reliable messages over the HPI
-//! interface, showing the default configuration (credit-based flow
-//! control + selective-repeat error control) and connection statistics.
+//! interface — the nonblocking Request API (isend/irecv, tag matching,
+//! zero-copy `MsgView`) and the blocking compatibility wrappers over it
+//! — plus the default configuration (credit-based flow control +
+//! selective-repeat error control) and connection statistics.
 //!
 //! Run with: `cargo run --example quickstart`
 
+use std::time::Duration;
+
 use ncs::core::link::HpiLinkPair;
 use ncs::core::{ConnectionConfig, NcsNode};
+use ncs::{wait_all, Completion};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two NCS processes (in one address space for the example), linked by
@@ -28,10 +33,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tx.config().flow_control,
     );
 
-    // A small message and a multi-SDU message.
-    tx.send_sync(b"hello from alice")?;
-    println!("bob received: {:?}", String::from_utf8(rx.recv()?)?);
+    // The primary surface: nonblocking requests. Post the receive, post
+    // the send, wait on both as one set, read the result zero-copy.
+    let want = rx.irecv();
+    let sent = tx.isend(b"hello from alice")?;
+    let set: [&dyn Completion; 2] = [&want, &sent];
+    assert!(wait_all(&set, Duration::from_secs(10)));
+    let view = want.wait()?; // pooled MsgView: derefs to &[u8]
+    println!("bob received: {:?}", std::str::from_utf8(&view)?);
+    drop(view); // buffer recycles into bob's pool
 
+    // Tag matching: independent logical channels over the same
+    // connection, delivered per tag in FIFO order.
+    tx.isend_tagged(7, b"on channel seven")?;
+    tx.isend_tagged(3, b"on channel three")?;
+    let three = rx.irecv_tagged(3).wait_timeout(Duration::from_secs(10))?;
+    let seven = rx.irecv_tagged(7).wait_timeout(Duration::from_secs(10))?;
+    println!(
+        "bob received tag {} = {:?}, tag {} = {:?}",
+        three.tag().unwrap(),
+        std::str::from_utf8(&three)?,
+        seven.tag().unwrap(),
+        std::str::from_utf8(&seven)?,
+    );
+
+    // A multi-SDU message through the blocking compatibility wrappers
+    // (thin shells over the same requests).
     let big: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
     tx.send_sync(&big)?;
     let got = rx.recv()?;

@@ -8,8 +8,9 @@
 //! * [`core`] — the NCS runtime itself: separated control/data planes,
 //!   per-connection Send/Receive/Flow-Control/Error-Control threads,
 //!   selectable algorithms (credit/window/rate flow control;
-//!   selective-repeat/go-back-N error control), group communication and
-//!   the §4.2 thread-bypass mode;
+//!   selective-repeat/go-back-N error control), the nonblocking
+//!   [`Request`] model with tag matching, group communication and the
+//!   §4.2 thread-bypass mode;
 //! * [`threads`] — the two thread-package architectures of §4.1: a
 //!   from-scratch user-level green-thread scheduler (QuickThreads
 //!   analogue, hand-written x86_64 context switch) and a kernel-level
@@ -23,18 +24,34 @@
 //! * [`collectives`] — typed nonblocking broadcast/reduce/allreduce/
 //!   scatter/gather/allgather and a dissemination barrier over pluggable
 //!   topologies, serviced by a per-member collective progress thread;
-//! * [`runtime`] — the multi-process cluster runtime: `ncsd` rendezvous,
-//!   `ClusterNode` bootstrap over SCI with retrying dials and a
-//!   version+rank handshake, and the `ncs-launch` local launcher;
+//! * [`runtime`] — the multi-process cluster runtime (`ncsd` rendezvous,
+//!   `ClusterNode`, `ncs-launch`) and the [`Session`] façade that lets
+//!   one program run against a multi-process cluster *or* an in-process
+//!   [`LocalWorld`] unchanged;
 //! * [`model`] — calibrated SUN-4 / RS6000 platform cost models;
 //! * [`comparators`] — working miniature p4, PVM and MPI implementations
 //!   for the paper's Figures 12/13.
 //!
+//! # The Request model
+//!
+//! Every messaging operation resolves through one completion model.
+//! `isend`/`irecv` (and the tag-matched `isend_tagged`/`irecv_tagged`,
+//! which multiplex logical channels over one connection) return
+//! [`Request`] handles; collective operations return
+//! `CollectiveHandle`s; both implement [`Completion`], so [`wait_any`],
+//! [`wait_all`] and [`test_all`] drive heterogeneous sets from a single
+//! application loop — the paper's compute/communication overlap as an
+//! API. Receive completion hands back a pooled zero-copy [`MsgView`]
+//! (deref to `&[u8]`, `into_vec()` to take ownership) whose buffer
+//! recycles through the node's `BufPool` on drop.
+//!
 //! # Quickstart
 //!
 //! ```
+//! use std::time::Duration;
 //! use ncs::core::{NcsNode, ConnectionConfig};
 //! use ncs::core::link::HpiLinkPair;
+//! use ncs::{wait_all, Completion};
 //!
 //! let alice = NcsNode::builder("alice").build();
 //! let bob = NcsNode::builder("bob").build();
@@ -44,10 +61,49 @@
 //!
 //! let tx = alice.connect("bob", ConnectionConfig::reliable())?;
 //! let rx = bob.accept_default()?;
-//! tx.send(b"hello")?;
-//! assert_eq!(rx.recv()?, b"hello");
-//! # alice.shutdown(); bob.shutdown();
+//!
+//! // Nonblocking: post the receive first, then the send; compute while
+//! // both are in flight; collect when you need the data.
+//! let want = rx.irecv();
+//! let sent = tx.isend(b"hello")?;
+//! let set: [&dyn Completion; 2] = [&want, &sent];
+//! assert!(wait_all(&set, Duration::from_secs(10)));
+//! let msg = want.wait()?; // zero-copy MsgView
+//! assert_eq!(&*msg, b"hello");
+//!
+//! // The blocking forms remain as thin wrappers over requests.
+//! tx.send(b"again")?;
+//! assert_eq!(rx.recv()?, b"again");
+//! # drop(msg); alice.shutdown(); bob.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! # One program, two worlds
+//!
+//! Write the member body against [`Session`] and run it unchanged in an
+//! in-process [`LocalWorld`] or across OS processes under `ncs-launch`
+//! (see `examples/cluster_allreduce.rs`):
+//!
+//! ```
+//! use ncs::{Session, LocalWorld};
+//! use ncs::collectives::ReduceOp;
+//!
+//! fn member(s: &impl Session) {
+//!     let group = s.collective_group(1).expect("group");
+//!     let sum = group
+//!         .allreduce(vec![s.rank() as f64], ReduceOp::Sum)
+//!         .expect("allreduce");
+//!     assert_eq!(sum[0], (0..s.world_size()).map(f64::from).sum::<f64>());
+//! }
+//!
+//! let handles: Vec<_> = LocalWorld::create(2)
+//!     .expect("world")
+//!     .into_iter()
+//!     .map(|s| std::thread::spawn(move || { member(&s); s.shutdown(); }))
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
 //! ```
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
@@ -73,8 +129,8 @@ pub use ncs_transport as transport;
 pub use ncs_collectives as collectives;
 
 /// The cluster runtime — ncsd rendezvous, multi-process ClusterNode
-/// bootstrap over SCI, and the ncs-launch engine (re-export of
-/// [`ncs_runtime`]).
+/// bootstrap over SCI, the ncs-launch engine and the Session façade
+/// (re-export of [`ncs_runtime`]).
 pub use ncs_runtime as runtime;
 
 /// Platform cost models (re-export of [`netmodel`]).
@@ -82,3 +138,6 @@ pub use netmodel as model;
 
 /// The comparator message-passing systems (re-export of [`baselines`]).
 pub use baselines as comparators;
+
+pub use ncs_core::{test_all, wait_all, wait_any, Completion, MsgView, Request};
+pub use ncs_runtime::{LocalSession, LocalWorld, Session, SessionError};

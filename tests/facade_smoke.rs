@@ -108,3 +108,55 @@ fn facade_types_are_the_underlying_types() {
     let node: NcsNode = NcsNode::builder("solo").build();
     node.shutdown();
 }
+
+/// The Request/Session layer answers at its façade paths: `ncs::Request`
+/// via `isend`/`irecv`, `ncs::MsgView` zero-copy receives, heterogeneous
+/// `ncs::wait_any`/`wait_all`/`test_all` sets mixing point-to-point
+/// requests with collective handles, and `ncs::LocalWorld` sessions.
+#[test]
+fn facade_requests_and_sessions_are_live() {
+    use ncs::{test_all, wait_all, wait_any, Completion, LocalWorld, Session};
+
+    let world = LocalWorld::create(2).expect("local world");
+    let handles: Vec<_> = world
+        .into_iter()
+        .map(|s| {
+            std::thread::spawn(move || {
+                let rank = s.rank();
+                assert_eq!(s.world_size(), 2);
+                // Point-to-point requests over a fresh session connection.
+                let conn = if rank == 0 {
+                    s.connect(1, ConnectionConfig::unreliable())
+                        .expect("connect")
+                } else {
+                    s.accept(Duration::from_secs(30)).expect("accept")
+                };
+                let want = conn.irecv();
+                let sent = conn
+                    .isend(format!("from {rank}").as_bytes())
+                    .expect("isend");
+                // Mixed set: both requests plus a collective handle.
+                let group = s.collective_group(1).expect("group");
+                let ar = group
+                    .iallreduce(vec![rank as f64 + 1.0], ncs::collectives::ReduceOp::Sum)
+                    .expect("iallreduce");
+                {
+                    let set: [&dyn Completion; 3] = [&want, &sent, &ar];
+                    assert!(wait_all(&set, Duration::from_secs(30)), "wait_all stalled");
+                    assert!(test_all(&set));
+                    assert_eq!(wait_any(&set, Duration::from_secs(1)), Some(0));
+                }
+                let view: ncs::MsgView = want.wait().expect("irecv");
+                assert_eq!(&*view, format!("from {}", 1 - rank).as_bytes());
+                sent.wait().expect("isend completion");
+                assert_eq!(ar.wait().expect("allreduce"), vec![3.0]);
+                group.barrier().expect("barrier");
+                drop(group);
+                s.shutdown();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("member panicked");
+    }
+}
