@@ -20,6 +20,13 @@
 //! flat multicast. The run fails unless the tree beats flat for every
 //! group of at least [`COLL_GATE_MIN_GROUP`] members.
 //!
+//! A **c10k** section holds [`C10K_CONNECTIONS`] simultaneous connections
+//! open between two in-process nodes sharing one readiness reactor and
+//! fails unless the OS thread count stays bounded (O(cores) event loops,
+//! never threads-per-connection) and the p99 round-trip time across all
+//! connections stays within [`C10K_MAX_P99_RATIO`] of the
+//! [`C10K_BASELINE`]-connection figure.
+//!
 //! Usage: `perf_gate [--smoke] [--out PATH]`
 //!
 //! `--smoke` shrinks iteration counts for CI; `--out` overrides the output
@@ -974,6 +981,166 @@ fn run_cluster_case(np: u32, smoke: bool) -> ClusterCaseResult {
     }
 }
 
+// ---------------------------------------------------------------------------
+// c10k section: connection scalability under the readiness reactor.
+// ---------------------------------------------------------------------------
+
+/// Connections the c10k section holds open concurrently (both nodes live
+/// in this process, so 2x this many endpoints ride the shared reactor).
+const C10K_CONNECTIONS: usize = 1024;
+
+/// Baseline connection count whose p99 RTT anchors the latency gate.
+const C10K_BASELINE: usize = 8;
+
+/// HPI ring capacity per c10k channel, in frames. Deliberately small:
+/// 2 x 1024 channels exist at once and each probe has one frame in flight.
+const C10K_RING: usize = 32;
+
+/// Ceiling on the process's OS thread count while every c10k connection
+/// is open. The Figure-4 design spent five threads per connection — over
+/// 5,000 threads here; the reactor multiplexes every connection onto
+/// O(cores) event loops plus the O(peers) control plane, so the whole
+/// process stays far under this bound.
+const C10K_MAX_THREADS: usize = 128;
+
+/// The loaded p99 RTT may be at most this multiple of the baseline p99.
+const C10K_MAX_P99_RATIO: f64 = 2.0;
+
+#[derive(Debug)]
+struct C10kResult {
+    rtt_iters: usize,
+    baseline_median_us: f64,
+    baseline_p99_us: f64,
+    loaded_median_us: f64,
+    loaded_p99_us: f64,
+    p99_ratio: f64,
+    os_threads_baseline: usize,
+    os_threads_loaded: usize,
+    reactor: ncs_core::ReactorStats,
+    thread_gate_pass: bool,
+    latency_gate_pass: bool,
+}
+
+/// OS threads in this process, from procfs. 0 when the platform has no
+/// `/proc` — the thread gate then rests on the reactor's own shard count.
+fn os_thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Round-robin ping-pong across connection pairs, driven from this thread
+/// (HPI completes both directions synchronously, so one thread measures a
+/// full application-level round trip). Returns sorted microseconds.
+fn c10k_rtt(pairs: &[(NcsConnection, NcsConnection)], iters: usize) -> Vec<f64> {
+    let payload = vec![0x42u8; LAT_BYTES];
+    // One untimed round so every connection's reactor task has run at
+    // least once before the measured window.
+    for (ca, cb) in pairs {
+        ca.send(&payload).expect("c10k warmup send");
+        let m = cb
+            .recv_timeout(Duration::from_secs(10))
+            .expect("c10k warmup recv");
+        cb.send(&m).expect("c10k warmup echo");
+        ca.recv_timeout(Duration::from_secs(10))
+            .expect("c10k warmup return");
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for k in 0..iters {
+        let (ca, cb) = &pairs[k % pairs.len()];
+        let t0 = Instant::now();
+        ca.send(&payload).expect("c10k send");
+        let m = cb.recv_timeout(Duration::from_secs(10)).expect("c10k recv");
+        cb.send(&m).expect("c10k echo");
+        ca.recv_timeout(Duration::from_secs(10))
+            .expect("c10k return");
+        samples.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    samples
+}
+
+/// Holds [`C10K_CONNECTIONS`] connections open between two in-process
+/// nodes sharing one reactor, and checks that (a) the OS thread count
+/// stays O(cores) + O(peers) rather than O(connections), and (b) the p99
+/// round-trip time across all connections stays within
+/// [`C10K_MAX_P99_RATIO`] of the [`C10K_BASELINE`]-connection figure.
+fn run_c10k_case(smoke: bool) -> C10kResult {
+    let rtt_iters = if smoke {
+        2 * C10K_CONNECTIONS
+    } else {
+        8 * C10K_CONNECTIONS
+    };
+    let pkg: Arc<dyn ThreadPackage> = Arc::new(KernelPackage::new());
+    let reactor = ncs_core::Reactor::with_default_shards(Arc::clone(&pkg));
+    let a = NcsNode::builder("c10k-a")
+        .thread_package(Arc::clone(&pkg))
+        .reactor(Arc::clone(&reactor))
+        .build();
+    let b = NcsNode::builder("c10k-b")
+        .thread_package(Arc::clone(&pkg))
+        .reactor(Arc::clone(&reactor))
+        .build();
+    let (la, lb) = HpiLinkPair::with_capacity(C10K_RING);
+    a.attach_peer("c10k-b", la);
+    b.attach_peer("c10k-a", lb);
+
+    let open_pairs = |n: usize| -> Vec<(NcsConnection, NcsConnection)> {
+        // Accepts queue autonomously on the peer's master thread, so one
+        // thread can open then drain sequentially; arrival order matches
+        // connect order on the single link.
+        let ca: Vec<NcsConnection> = (0..n)
+            .map(|_| {
+                a.connect("c10k-b", ConnectionConfig::unreliable())
+                    .expect("c10k connect")
+            })
+            .collect();
+        ca.into_iter()
+            .map(|c| (c, b.accept_default().expect("c10k accept")))
+            .collect()
+    };
+
+    let mut pairs = open_pairs(C10K_BASELINE);
+    let baseline = c10k_rtt(&pairs, rtt_iters);
+    let os_threads_baseline = os_thread_count();
+
+    eprintln!("  opening {} connections...", C10K_CONNECTIONS);
+    pairs.extend(open_pairs(C10K_CONNECTIONS - C10K_BASELINE));
+    let loaded = c10k_rtt(&pairs, rtt_iters);
+    let os_threads_loaded = os_thread_count();
+    let reactor_stats = reactor.stats();
+
+    for (ca, cb) in &pairs {
+        ca.close();
+        cb.close();
+    }
+    a.shutdown();
+    b.shutdown();
+    reactor.shutdown();
+
+    let baseline_p99_us = percentile(&baseline, 0.99);
+    let loaded_p99_us = percentile(&loaded, 0.99);
+    let p99_ratio = loaded_p99_us / baseline_p99_us.max(f64::EPSILON);
+    C10kResult {
+        rtt_iters,
+        baseline_median_us: percentile(&baseline, 0.50),
+        baseline_p99_us,
+        loaded_median_us: percentile(&loaded, 0.50),
+        loaded_p99_us,
+        p99_ratio,
+        os_threads_baseline,
+        os_threads_loaded,
+        thread_gate_pass: os_threads_loaded <= C10K_MAX_THREADS,
+        latency_gate_pass: p99_ratio <= C10K_MAX_P99_RATIO,
+        reactor: reactor_stats,
+    }
+}
+
 fn case_cfg(iface: Iface, package: Package, smoke: bool) -> BenchCfg {
     let (mut lat_iters, mut bulk_msgs) = if smoke { (30, 60) } else { (300, 500) };
     if iface == Iface::Sci && package == Package::User {
@@ -1005,6 +1172,7 @@ fn emit_json(
     coll_results: &[CollCaseResult],
     req_results: &[RequestsCaseResult],
     cluster_results: &[ClusterCaseResult],
+    c10k: &C10kResult,
     smoke: bool,
     gate_value: f64,
     gate_pass: bool,
@@ -1016,7 +1184,7 @@ fn emit_json(
 ) {
     use std::fmt::Write as _;
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/4\",");
+    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/5\",");
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
@@ -1163,6 +1331,61 @@ fn emit_json(
         let _ = writeln!(out, "      }}{comma}");
     }
     let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"c10k\": {{");
+    let _ = writeln!(out, "    \"interface\": \"HPI\",");
+    let _ = writeln!(out, "    \"connections\": {C10K_CONNECTIONS},");
+    let _ = writeln!(out, "    \"latency_bytes\": {LAT_BYTES},");
+    let _ = writeln!(out, "    \"thread_gate\": {{");
+    let _ = writeln!(
+        out,
+        "      \"metric\": \"OS threads with {C10K_CONNECTIONS} connections open — the reactor \
+         multiplexes every connection onto O(cores) event loops, never one thread (let alone \
+         five) per connection\","
+    );
+    let _ = writeln!(out, "      \"threshold\": {C10K_MAX_THREADS},");
+    let _ = writeln!(out, "      \"value\": {},", c10k.os_threads_loaded);
+    let _ = writeln!(out, "      \"pass\": {}", c10k.thread_gate_pass);
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"latency_gate\": {{");
+    let _ = writeln!(
+        out,
+        "      \"metric\": \"p99 RTT round-robin across all {C10K_CONNECTIONS} connections, as a \
+         multiple of the {C10K_BASELINE}-connection p99\","
+    );
+    let _ = writeln!(out, "      \"threshold\": {C10K_MAX_P99_RATIO:.1},");
+    let _ = writeln!(out, "      \"value\": {:.2},", c10k.p99_ratio);
+    let _ = writeln!(out, "      \"pass\": {}", c10k.latency_gate_pass);
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(
+        out,
+        "    \"baseline\": {{ \"connections\": {C10K_BASELINE}, \"iters\": {}, \
+         \"median_us\": {:.2}, \"p99_us\": {:.2}, \"os_threads\": {} }},",
+        c10k.rtt_iters, c10k.baseline_median_us, c10k.baseline_p99_us, c10k.os_threads_baseline
+    );
+    let _ = writeln!(
+        out,
+        "    \"loaded\": {{ \"connections\": {C10K_CONNECTIONS}, \"iters\": {}, \
+         \"median_us\": {:.2}, \"p99_us\": {:.2}, \"os_threads\": {} }},",
+        c10k.rtt_iters, c10k.loaded_median_us, c10k.loaded_p99_us, c10k.os_threads_loaded
+    );
+    let r = &c10k.reactor;
+    let _ = writeln!(
+        out,
+        "    \"reactor\": {{ \"workers\": {}, \"endpoints\": {}, \"polls\": {}, \
+         \"wakeups\": {}, \"task_runs\": {}, \"timer_fires\": {}, \"fd_events\": {}, \
+         \"stalled_tasks\": {}, \"blocking_spawned\": {}, \"blocking_active\": {} }}",
+        r.workers,
+        r.endpoints,
+        r.polls,
+        r.wakeups,
+        r.task_runs,
+        r.timer_fires,
+        r.fd_events,
+        r.stalled_tasks,
+        r.blocking_spawned,
+        r.blocking_active
+    );
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"cases\": [");
     for (i, r) in results.iter().enumerate() {
@@ -1364,6 +1587,22 @@ fn main() {
         r.children_ok == (r.np - 1) as usize && r.rtt_median_us > 0.0 && r.allreduce_median_us > 0.0
     });
 
+    // c10k: 1,000+ connections multiplexed onto the shared reactor must
+    // neither inflate the OS thread count nor the tail latency.
+    eprintln!("perf_gate: c10k, {C10K_CONNECTIONS} connections over HPI on one reactor...");
+    let c10k = run_c10k_case(smoke);
+    eprintln!(
+        "  rtt p99 {:.1} us baseline ({} conns) -> {:.1} us loaded ({} conns, {:.2}x); \
+         {} OS threads, {} reactor workers",
+        c10k.baseline_p99_us,
+        C10K_BASELINE,
+        c10k.loaded_p99_us,
+        C10K_CONNECTIONS,
+        c10k.p99_ratio,
+        c10k.os_threads_loaded,
+        c10k.reactor.workers,
+    );
+
     // The gate: the pooled+batched HPI bulk path must allocate at least
     // GATE_MIN_IMPROVEMENT times less than the seed path did.
     let gate_value = results
@@ -1390,6 +1629,7 @@ fn main() {
         &coll_results,
         &req_results,
         &cluster_results,
+        &c10k,
         smoke,
         gate_value,
         gate_pass,
@@ -1447,10 +1687,29 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if !c10k.thread_gate_pass {
+        eprintln!(
+            "perf_gate: FAIL — {} OS threads with {C10K_CONNECTIONS} connections open \
+             (must be <= {C10K_MAX_THREADS}; the reactor must not scale threads with \
+             connections)",
+            c10k.os_threads_loaded
+        );
+        std::process::exit(1);
+    }
+    if !c10k.latency_gate_pass {
+        eprintln!(
+            "perf_gate: FAIL — p99 RTT across {C10K_CONNECTIONS} connections is \
+             {:.2}x the {C10K_BASELINE}-connection p99 (must be <= {C10K_MAX_P99_RATIO:.1}x)",
+            c10k.p99_ratio
+        );
+        std::process::exit(1);
+    }
     eprintln!(
         "perf_gate: PASS — HPI bulk allocation improvement {gate_value:.2}x, \
          binomial broadcast origin egress {coll_gate_value:.2}x flat for groups \
          >= {COLL_GATE_MIN_GROUP}, zero-copy receives {req_gate_value:.2}x fewer \
-         allocs/msg than recv(), cross-process cluster cases complete"
+         allocs/msg than recv(), cross-process cluster cases complete, \
+         {C10K_CONNECTIONS} connections on {} reactor threads with p99 {:.2}x baseline",
+        c10k.reactor.workers, c10k.p99_ratio
     );
 }

@@ -1,20 +1,24 @@
-//! The collective engine: a per-member progress thread servicing typed
-//! collective operations over a group's pairwise NCS connections.
+//! The collective engine: on-demand progress over a group's pairwise NCS
+//! connections, servicing typed collective operations.
 //!
 //! # Architecture
 //!
-//! Each member of a [`CollectiveGroup`] runs:
+//! A [`CollectiveGroup`] member owns **no standing threads**:
 //!
-//! * one **pump thread per link**, draining that connection's delivery
-//!   queue into the member's frame inbox; and
-//! * one **collective progress thread** — the paper's overlap story made
-//!   concrete for group communication. Application threads *submit*
+//! * each link's untagged receive stream is handed to the engine via
+//!   [`NcsConnection::set_receive_sink`] — the node's readiness reactor
+//!   pushes reassembled frames straight into the member's frame inbox (the
+//!   former per-link pump threads, with the threads removed); and
+//! * a **progress runner** borrows a thread from the reactor's blocking
+//!   lane only while operations are queued — the paper's overlap story
+//!   made concrete for group communication. Application threads *submit*
 //!   operations (a mailbox send) and immediately continue computing; the
-//!   progress thread executes the communication schedule (tree forwarding,
-//!   reduction folds, pipeline segment relays) and resolves the caller's
-//!   [`CollectiveHandle`] when the operation completes.
+//!   runner executes the communication schedule (tree forwarding,
+//!   reduction folds, pipeline segment relays), resolves the caller's
+//!   [`CollectiveHandle`], and exits once the queue drains. A quiescent
+//!   group costs zero threads.
 //!
-//! All threads are spawned through the node's configured
+//! The runner is spawned through the node's configured
 //! [`ncs_threads::ThreadPackage`], so the same engine runs over the
 //! kernel-level and the user-level (green-thread) package.
 //!
@@ -32,9 +36,8 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ncs_core::{BufPool, NcsConnection, NcsNode, PooledBuf};
+use ncs_core::{BufPool, NcsConnection, NcsNode, PooledBuf, Reactor};
 use ncs_threads::sync::Mailbox;
-use ncs_threads::{JoinHandle, SpawnOptions, ThreadPackage};
 use parking_lot::Mutex;
 
 use crate::datatype::{fold_into, to_bytes, DType, ReduceOp, Scalar};
@@ -136,8 +139,15 @@ struct Inner {
     cfg: CollectiveConfig,
     links: HashMap<usize, NcsConnection>,
     pool: Arc<BufPool>,
-    /// Submitted operations, consumed in order by the progress thread.
+    /// The node's readiness reactor: feeds the inbox through the link
+    /// sinks and lends the progress runner its blocking-lane thread.
+    reactor: Arc<Reactor>,
+    /// Submitted operations, consumed in order by the progress runner.
     ops: Mailbox<OpRequest>,
+    /// Whether a progress runner currently holds (or is acquiring) a
+    /// blocking-lane thread; the submit path claims it with a swap so at
+    /// most one runner exists.
+    progress_active: AtomicBool,
     /// Raw frames from all links: `(peer rank, frame bytes)`.
     inbox: Mailbox<(usize, Vec<u8>)>,
     next_coll: AtomicU32,
@@ -845,48 +855,55 @@ fn run_op(
 }
 
 // ---------------------------------------------------------------------------
-// Threads
+// Progress (on demand)
 // ---------------------------------------------------------------------------
 
-fn pump_loop(inner: &Arc<Inner>, peer: usize) {
-    let conn = inner.links[&peer].clone();
-    loop {
-        if inner.closed.load(Ordering::Acquire) {
-            return;
-        }
-        match conn.recv_timeout(TICK) {
-            Ok(frame) => inner.inbox.send((peer, frame)),
-            Err(ncs_core::SendError::Timeout) => continue,
-            Err(e) => {
-                // Record the failure before exiting so waiting schedules
-                // surface it within one tick instead of hanging.
-                inner.link_down.lock().insert(peer, e);
-                return;
-            }
-        }
+/// Ensures a progress runner is servicing the operation queue, borrowing
+/// a blocking-lane thread from the reactor if none is. The
+/// `progress_active` swap makes the claim exclusive: exactly one runner
+/// exists while operations are queued, zero once the queue drains.
+fn kick_progress(inner: &Arc<Inner>, router: &Arc<Mutex<Option<Router>>>) {
+    if inner.progress_active.swap(true, Ordering::AcqRel) {
+        return;
     }
+    let i = Arc::clone(inner);
+    let r = Arc::clone(router);
+    inner
+        .reactor
+        .spawn_blocking(Box::new(move || run_progress(&i, &r)));
 }
 
-fn progress_loop(inner: &Arc<Inner>) {
-    let mut router = Router::new(Arc::clone(inner));
+/// The progress runner: executes queued operations in submission order,
+/// then releases its thread. Schedules block legitimately (waiting on
+/// peers' frames), which is why this runs on the blocking lane and not a
+/// reactor event loop.
+fn run_progress(inner: &Arc<Inner>, router: &Arc<Mutex<Option<Router>>>) {
     loop {
-        match inner.ops.recv_timeout(TICK) {
-            Ok(mut req) => {
-                router.prune_below(req.coll);
-                let result = run_op(inner, &mut router, &mut req);
-                inner.stats.ops_completed.fetch_add(1, Ordering::Relaxed);
-                req.done.complete(result);
+        let Some(mut req) = inner.ops.try_recv() else {
+            inner.progress_active.store(false, Ordering::Release);
+            // A submission may have slipped in between the drain and the
+            // release; reclaim the runner role unless its kick already
+            // spawned a successor.
+            if inner.ops.is_empty() || inner.progress_active.swap(true, Ordering::AcqRel) {
+                return;
             }
-            Err(_) => {
-                if inner.closed.load(Ordering::Acquire) {
-                    // Fail anything still queued so no waiter hangs.
-                    while let Some(req) = inner.ops.try_recv() {
-                        req.done.complete(Err(CollectiveError::Closed));
-                    }
-                    return;
-                }
-            }
+            continue;
+        };
+        if inner.closed.load(Ordering::Acquire) {
+            req.done.complete(Err(CollectiveError::Closed));
+            continue;
         }
+        let result = {
+            // Held across the operation: the router's stash (early frames
+            // for later collectives) must survive between runner
+            // incarnations, and close()/drop synchronise on this lock.
+            let mut guard = router.lock();
+            let r = guard.get_or_insert_with(|| Router::new(Arc::clone(inner)));
+            r.prune_below(req.coll);
+            run_op(inner, r, &mut req)
+        };
+        inner.stats.ops_completed.fetch_add(1, Ordering::Relaxed);
+        req.done.complete(result);
     }
 }
 
@@ -897,14 +914,16 @@ fn progress_loop(inner: &Arc<Inner>) {
 /// One member's endpoint of a collective group.
 ///
 /// Built over dedicated pairwise NCS connections (a full mesh, as
-/// [`ncs_core::NcsGroup`] uses); the group owns their receive queues, so
-/// do not share the connections with point-to-point traffic.
+/// [`ncs_core::NcsGroup`] uses); the group owns their receive queues
+/// (through [`NcsConnection::set_receive_sink`]), so do not share the
+/// connections with point-to-point traffic.
 ///
-/// Each member runs one **collective progress thread** plus one pump
-/// thread per link, all spawned through the node's configured thread
-/// package (kernel- or user-level). Application threads *submit*
-/// operations and keep computing; the progress thread executes the
-/// communication schedules and resolves the [`CollectiveHandle`]s.
+/// The group holds **no standing threads**: link traffic flows in through
+/// receive sinks driven by the node's readiness reactor, and a progress
+/// runner borrows a blocking-lane thread only while operations are
+/// queued. Application threads *submit* operations and keep computing;
+/// the runner executes the communication schedules and resolves the
+/// [`CollectiveHandle`]s.
 ///
 /// **Ordering contract** (as MPI): collective calls must be issued in the
 /// same order on every member. Within one member, concurrent submissions
@@ -914,7 +933,10 @@ fn progress_loop(inner: &Arc<Inner>) {
 /// router. See the [crate docs](crate) for a usage example.
 pub struct CollectiveGroup {
     inner: Arc<Inner>,
-    handles: Vec<JoinHandle>,
+    /// The router (frame stash) shared by successive progress-runner
+    /// incarnations. Lives outside `Inner` so the `Router -> Inner` Arc
+    /// is not a cycle.
+    router: Arc<Mutex<Option<Router>>>,
 }
 
 impl std::fmt::Debug for CollectiveGroup {
@@ -980,29 +1002,33 @@ impl CollectiveGroup {
             cfg,
             links,
             pool: node.buffer_pool(),
+            reactor: node.reactor(),
             ops: Mailbox::unbounded(),
             inbox: Mailbox::unbounded(),
             next_coll: AtomicU32::new(0),
             submit_lock: Mutex::new(()),
+            progress_active: AtomicBool::new(false),
             closed: Arc::new(AtomicBool::new(false)),
             link_down: Mutex::new(HashMap::new()),
             stats: StatCounters::default(),
         });
-        let pkg: Arc<dyn ThreadPackage> = node.thread_package();
-        let mut handles = Vec::new();
-        for &peer in inner.links.keys() {
+        // Take ownership of every link's untagged receive stream: the
+        // reactor task that reassembles a frame pushes it straight into
+        // the member's inbox (no pump thread parked on recv), and a dying
+        // link records itself so waiting schedules fail promptly.
+        for (&peer, conn) in &inner.links {
             let i = Arc::clone(&inner);
-            handles.push(pkg.spawn_with(
-                SpawnOptions::new(format!("ncs-coll{id}-r{rank}-pump{peer}")).daemon(true),
-                Box::new(move || pump_loop(&i, peer)),
-            ));
+            conn.set_receive_sink(Some(Arc::new(move |res| match res {
+                Ok(view) => i.inbox.send((peer, view.into_vec())),
+                Err(e) => {
+                    i.link_down.lock().insert(peer, e);
+                }
+            })));
         }
-        let i = Arc::clone(&inner);
-        handles.push(pkg.spawn_with(
-            SpawnOptions::new(format!("ncs-coll{id}-r{rank}-progress")).daemon(true),
-            Box::new(move || progress_loop(&i)),
-        ));
-        Ok(CollectiveGroup { inner, handles })
+        Ok(CollectiveGroup {
+            inner,
+            router: Arc::new(Mutex::new(None)),
+        })
     }
 
     /// This member's rank.
@@ -1032,11 +1058,25 @@ impl CollectiveGroup {
         }
     }
 
-    /// Leaves the group: stops the progress and pump threads, failing any
-    /// queued operations with [`CollectiveError::Closed`]. The underlying
-    /// connections remain open (owned by the caller's node). Idempotent.
+    /// Leaves the group: detaches the link sinks, fails any queued
+    /// operations with [`CollectiveError::Closed`] and aborts the one in
+    /// flight (its schedule observes the flag within a tick). The
+    /// underlying connections remain open (owned by the caller's node).
+    /// Idempotent.
     pub fn close(&self) {
-        self.inner.closed.store(true, Ordering::Release);
+        if self.inner.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Give the links their receive queues back (also breaks the
+        // sink -> Inner reference cycle).
+        for conn in self.inner.links.values() {
+            conn.set_receive_sink(None);
+        }
+        // Fail everything still queued so no waiter hangs. A submission
+        // racing this drain is caught by the runner's own closed check.
+        while let Some(req) = self.inner.ops.try_recv() {
+            req.done.complete(Err(CollectiveError::Closed));
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1072,6 +1112,7 @@ impl CollectiveGroup {
             timeout: self.inner.cfg.op_timeout,
             done: Arc::clone(&done),
         });
+        kick_progress(&self.inner, &self.router);
         Ok(done)
     }
 
@@ -1399,9 +1440,9 @@ impl CollectiveGroup {
 impl Drop for CollectiveGroup {
     fn drop(&mut self) {
         self.close();
-        for h in self.handles.drain(..) {
-            let _ = h.join_timeout(Duration::from_secs(1));
-        }
+        // Synchronise with an in-flight operation (its schedule aborts on
+        // the closed flag within a tick) and drop the frame stash.
+        *self.router.lock() = None;
     }
 }
 

@@ -51,11 +51,21 @@ impl From<SendError> for CollectiveError {
     }
 }
 
-/// The progress thread's completion slot for one submitted operation.
-#[derive(Debug)]
+/// The progress runner's completion slot for one submitted operation.
 pub(crate) struct OpCompletion {
     result: Mutex<Option<Result<Vec<u8>, CollectiveError>>>,
     done: Event,
+    /// Wait-set subscribers ([`Completion::subscribe`]), drained on
+    /// completion.
+    notify: Mutex<Vec<ncs_core::CompletionNotify>>,
+}
+
+impl std::fmt::Debug for OpCompletion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpCompletion")
+            .field("complete", &self.done.is_fired())
+            .finish()
+    }
 }
 
 impl OpCompletion {
@@ -63,12 +73,27 @@ impl OpCompletion {
         Arc::new(OpCompletion {
             result: Mutex::new(None),
             done: Event::new(),
+            notify: Mutex::new(Vec::new()),
         })
     }
 
     pub(crate) fn complete(&self, r: Result<Vec<u8>, CollectiveError>) {
         *self.result.lock() = Some(r);
         self.done.fire();
+        for n in self.notify.lock().drain(..) {
+            n();
+        }
+    }
+
+    fn subscribe(&self, notify: ncs_core::CompletionNotify) {
+        {
+            let mut list = self.notify.lock();
+            if !self.done.is_fired() {
+                list.push(notify);
+                return;
+            }
+        }
+        notify();
     }
 }
 
@@ -170,6 +195,11 @@ impl<R: CollectiveResult> Completion for CollectiveHandle<R> {
 
     fn wait_complete(&self, timeout: Duration) -> bool {
         self.completion.done.wait_timeout(timeout)
+    }
+
+    fn subscribe(&self, notify: ncs_core::CompletionNotify) -> bool {
+        self.completion.subscribe(notify);
+        true
     }
 }
 

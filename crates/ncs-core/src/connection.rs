@@ -1,42 +1,58 @@
-//! Per-connection machinery: the data-plane threads (Send/Receive), the
-//! control threads bound to the connection (Flow Control, Error Control)
-//! and the public [`NcsConnection`] handle.
+//! Per-connection machinery: the Figure-4 data and control planes
+//! (Send/Receive/Flow Control/Error Control) as one reactor task, and the
+//! public [`NcsConnection`] handle.
 //!
-//! The threaded send path follows the paper's Figure 4 exactly:
+//! The send path follows the paper's Figure 4 exactly:
 //!
-//! 1. `NCS_send` activates the Error Control Thread;
-//! 2. the EC thread segments the message into SDUs and activates the Flow
-//!    Control Thread;
-//! 3. the FC thread releases packets to the Send Thread as credits permit;
-//! 4. the Send Thread transmits on the data connection;
-//! 5. *(figure steps 5-8)* on the receive side the Receive Thread activates
-//!    the FC thread, which grants credits over the control connection and
-//!    activates the EC thread;
-//! 6. *(figure steps 9-10)* the EC thread reassembles, delivers into the
+//! 1. `NCS_send` activates the Error Control plane;
+//! 2. the EC plane segments the message into SDUs and activates the Flow
+//!    Control plane;
+//! 3. the FC plane releases packets to the Send plane as credits permit;
+//! 4. the Send plane transmits on the data connection;
+//! 5. *(figure steps 5-8)* on the receive side the Receive plane activates
+//!    the FC plane, which grants credits over the control connection and
+//!    activates the EC plane;
+//! 6. *(figure steps 9-10)* the EC plane reassembles, delivers into the
 //!    user buffer and sends the acknowledgement bitmap over the control
 //!    connection.
 //!
-//! When a connection is configured without flow/error control the threads
-//! are bypassed (paper §3.1); in *direct* mode (§4.2) no per-connection
-//! threads exist at all and the same strategy objects run as procedures on
-//! the caller's thread.
+//! Where the paper runs each of those planes as a dedicated thread per
+//! connection, this module runs all four as *one* resumable state machine
+//! — [`ConnTask`] — registered with the node's
+//! [`Reactor`](crate::Reactor). The paper's mailbox "activations" become
+//! task wakeups: queueing a send, a control-plane acknowledgement, or a
+//! frame arriving on the transport each schedule the task onto one of the
+//! reactor's O(cores) event loops, where it drains its inboxes and steps
+//! the same FC/EC strategy objects the threads used to drive. Protocol
+//! waits (ack timeouts, credit pacing, starvation probes) park on reactor
+//! timers instead of blocking a thread, so a node holds thousands of
+//! connections with a fixed-size thread pool.
+//!
+//! When a connection is configured without flow/error control those plane
+//! steps are skipped entirely (paper §3.1's bypass — frames go straight
+//! from the send queue to the interface); in *direct* mode (§4.2) no task
+//! is registered at all and the same strategy objects run as procedures
+//! on the caller's thread.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ncs_threads::sync::{Event, Mailbox, NcsMutex};
-use ncs_threads::{SpawnOptions, ThreadPackage};
 use ncs_transport::{Connection as Transport, TransportError};
 use parking_lot::Mutex;
 
 use crate::config::{ConnectionConfig, ErrorControlAlg, FlowControlAlg};
 use crate::error_control::{
-    build_receiver, build_sender, AckInfo, ReceiverStep, SenderEc, SenderStep,
+    build_receiver, build_sender, AckInfo, ReceiverEc, ReceiverStep, SenderEc, SenderStep,
 };
 use crate::flow_control::{build as build_fc, FlowControlStrategy};
 use crate::packet::{CtrlMsg, DataHeader, DataPacket};
 use crate::pool::{BufPool, PooledBuf};
+#[cfg(unix)]
+use crate::reactor::FdRegistration;
+use crate::reactor::{Reactor, ReactorTask, TaskHandle, TaskPoll};
 use crate::request::{DeliveryQueue, MsgView, Request, RequestCore};
 use crate::stats::{ConnCounters, ConnectionStats, SendBreakdown};
 
@@ -205,6 +221,11 @@ pub(crate) struct ConnShared {
     pub state: Mutex<ConnState>,
     pub established: Event,
     pub closed: AtomicBool,
+    /// Whether the close was peer-initiated (CloseConn / transport EOF).
+    /// A peer close entitles the reactor task to a final receive-side
+    /// drain before parked receives fail: the CloseConn rides the control
+    /// connection and can overtake the peer's last data frames.
+    pub closed_by_peer: AtomicBool,
     /// The dedicated data channel.
     pub transport: Arc<dyn Transport>,
     /// The node's recycling frame-buffer pool (every encode on the data
@@ -217,6 +238,13 @@ pub(crate) struct ConnShared {
     pub fc_inbox: Mailbox<FcMsg>,
     pub ec_recv_inbox: Mailbox<EcRecvMsg>,
     pub send_inbox: Mailbox<SendMsg>,
+    /// Wake handle of the connection's reactor task (`None` in direct
+    /// mode, before attachment, and after the task retires).
+    pub task: Mutex<Option<Arc<TaskHandle>>>,
+    /// The task's readiness registration with the reactor's `poll(2)`
+    /// thread (fd-backed transports only; dropped on retirement).
+    #[cfg(unix)]
+    pub fd_reg: Mutex<Option<FdRegistration>>,
     /// Reassembled messages awaiting a receive: routed by tag, matched
     /// against parked [`Request`]s, failed fast on close.
     pub delivery: DeliveryQueue,
@@ -293,6 +321,7 @@ impl ConnShared {
             state: Mutex::new(ConnState::Connecting),
             established: Event::new(),
             closed: AtomicBool::new(false),
+            closed_by_peer: AtomicBool::new(false),
             transport,
             pool,
             ctrl_tx,
@@ -300,6 +329,9 @@ impl ConnShared {
             fc_inbox: Mailbox::unbounded(),
             ec_recv_inbox: Mailbox::unbounded(),
             send_inbox: Mailbox::bounded(SEND_QUEUE_DEPTH),
+            task: Mutex::new(None),
+            #[cfg(unix)]
+            fd_reg: Mutex::new(None),
             delivery: DeliveryQueue::new(),
             counters: ConnCounters::default(),
             next_session: AtomicU32::new(0),
@@ -358,6 +390,16 @@ impl ConnShared {
             .compare_exchange(u32::MAX, src, Ordering::AcqRel, Ordering::Relaxed);
     }
 
+    /// Schedules the connection's reactor task — the reactor-era analogue
+    /// of the paper's mailbox activation. No-op in direct mode, before
+    /// attachment, and after retirement (wakes coalesce; a wake racing a
+    /// running poll reschedules it, so no activation is ever lost).
+    pub(crate) fn wake_task(&self) {
+        if let Some(t) = self.task.lock().as_ref() {
+            t.wake();
+        }
+    }
+
     /// Queues a frame to the Send Thread, blocking (cooperatively) while
     /// the bounded queue is full. Returns `false` — dropping the frame —
     /// once the connection is closed, so producers never hang on a Send
@@ -380,7 +422,10 @@ impl ConnShared {
                 return false;
             }
             match self.send_inbox.send_timeout(msg, IDLE_TICK) {
-                Ok(()) => return true,
+                Ok(()) => {
+                    self.wake_task();
+                    return true;
+                }
                 Err(back) => msg = back.0,
             }
         }
@@ -450,6 +495,7 @@ impl ConnShared {
     }
 
     pub(crate) fn peer_closed(&self) {
+        self.closed_by_peer.store(true, Ordering::Release);
         if self.closed.swap(true, Ordering::AcqRel) {
             return;
         }
@@ -457,134 +503,540 @@ impl ConnShared {
         self.shutdown_threads();
     }
 
+    /// Retires the connection's data plane. Called exactly once (guarded
+    /// by the callers' `closed` swap); the teardown itself is idempotent —
+    /// the shutdown messages are belt-and-braces for anything still
+    /// draining the inboxes, and the reactor task retires on the `closed`
+    /// flag the wake below makes it observe. A second close, or a close
+    /// landing while the task is mid-poll, resolves to a coalesced wake
+    /// and a no-op retirement.
+    ///
+    /// With a live reactor task the transport close is deferred to the
+    /// task's retirement so the close is *graceful* in both directions:
+    ///
+    /// - A **locally**-initiated close keeps the receive fail-fast
+    ///   contract (parked receives resolve here, now) but lets the task
+    ///   flush queued sends — frames parked behind flow-control credits
+    ///   or an unacknowledged error-control session — before the
+    ///   transport closes, so fire-and-forget sends issued right before
+    ///   `close()` still reach the peer.
+    /// - A **peer**-initiated close defers the receive fail-fast too: the
+    ///   CloseConn travels on the control connection and can overtake the
+    ///   peer's final data frames on the data channel, so the task keeps
+    ///   delivering until the channel itself reports EOF (or a bounded
+    ///   linger) and only then fails the parked receives.
+    ///
+    /// Without a task (direct mode, or the task already retired) the
+    /// teardown is immediate.
     fn shutdown_threads(&self) {
         self.ec_send_inbox.send(EcSendMsg::Shutdown);
         self.fc_inbox.send(FcMsg::Shutdown);
         self.ec_recv_inbox.send(EcRecvMsg::Shutdown);
         // The send queue is bounded: don't block shutdown on a full queue
-        // (the Send Thread also exits via the closed flag on its next tick).
+        // (the task retires via the closed flag regardless).
         let _ = self.send_inbox.try_send(SendMsg::Shutdown);
-        self.transport.close();
-        // Fail-fast for parked receives: every in-flight `irecv` (and the
-        // blocking wrappers over it) resolves *now*, not a tick later.
-        self.delivery.fail_all(SendError::Closed);
+        let task_attached = self.task.lock().is_some();
+        if !task_attached {
+            self.transport.close();
+            self.delivery.fail_all(SendError::Closed);
+        } else if !self.closed_by_peer.load(Ordering::Acquire) {
+            // Fail-fast for parked receives: every in-flight `irecv` (and
+            // the blocking wrappers over it) resolves *now*, not a poll
+            // tick later.
+            self.delivery.fail_all(SendError::Closed);
+        }
         self.established.fire();
+        // Schedule the task so it observes `closed` and runs the closing
+        // drain (flush sends / deliver final frames), then retires.
+        self.wake_task();
     }
-}
-
-/// Spawns the per-connection threads appropriate for the configuration
-/// (none in direct mode; Send/Receive only when FC and EC are both `None`,
-/// per §3.1's bypass).
-pub(crate) fn spawn_connection_threads(
-    pkg: &Arc<dyn ThreadPackage>,
-    shared: &Arc<ConnShared>,
-) -> Vec<ncs_threads::JoinHandle> {
-    if shared.config.direct {
-        return Vec::new();
-    }
-    let mut handles = Vec::new();
-    let tag = format!("c{}-{}", shared.id, shared.peer_name);
-
-    // Send Thread (always).
-    {
-        let s = Arc::clone(shared);
-        handles.push(pkg.spawn_with(
-            SpawnOptions::new(format!("ncs-send-{tag}")).daemon(true),
-            Box::new(move || send_thread(&s)),
-        ));
-    }
-    // Receive Thread (always).
-    {
-        let s = Arc::clone(shared);
-        handles.push(pkg.spawn_with(
-            SpawnOptions::new(format!("ncs-recv-{tag}")).daemon(true),
-            Box::new(move || recv_thread(&s)),
-        ));
-    }
-    if shared.config.needs_control_threads() {
-        // Error Control Threads, sender and receiver halves.
-        {
-            let s = Arc::clone(shared);
-            handles.push(pkg.spawn_with(
-                SpawnOptions::new(format!("ncs-ec-tx-{tag}")).daemon(true),
-                Box::new(move || ec_send_thread(&s)),
-            ));
-        }
-        {
-            let s = Arc::clone(shared);
-            handles.push(pkg.spawn_with(
-                SpawnOptions::new(format!("ncs-ec-rx-{tag}")).daemon(true),
-                Box::new(move || ec_recv_thread(&s)),
-            ));
-        }
-        // Flow Control Thread (when an algorithm is configured).
-        if !matches!(shared.config.flow_control, FlowControlAlg::None) {
-            let s = Arc::clone(shared);
-            handles.push(pkg.spawn_with(
-                SpawnOptions::new(format!("ncs-fc-{tag}")).daemon(true),
-                Box::new(move || fc_thread(&s)),
-            ));
-        }
-    }
-    handles
 }
 
 const IDLE_TICK: Duration = Duration::from_millis(100);
 
-/// The Send Thread: drains the send queue onto the data connection
-/// (Figure 4 step 4). Queued frames are coalesced — up to [`IO_BATCH`] of
-/// them cross the transport per [`ncs_transport::Connection::send_batch`]
-/// call — and their pooled buffers return to the pool as each is
-/// transmitted.
-fn send_thread(shared: &ConnShared) {
-    type Job = (
-        PooledBuf,
-        Option<Arc<SendTrace>>,
-        Option<Arc<RequestCore<()>>>,
-    );
-    let mut pending: Vec<Job> = Vec::with_capacity(IO_BATCH);
-    loop {
-        let first = match shared.send_inbox.recv_timeout(IDLE_TICK) {
-            Ok(SendMsg::Frame { frame, trace, done }) => (frame, trace, done),
-            Ok(SendMsg::Shutdown) => return,
-            Err(_) => {
-                if shared.closed.load(Ordering::Acquire) {
-                    return;
+/// Frames drained per poll round before the task yields its shard with
+/// [`TaskPoll::Again`] (keeps one firehose connection from starving its
+/// shard siblings).
+const RECV_BUDGET: usize = 4 * IO_BATCH;
+
+/// Plane rounds per poll: the planes feed each other (receive → FC → EC →
+/// send), so one poll loops until a full round makes no progress — bounded
+/// so a busy task still yields the shard.
+const MAX_ROUNDS: usize = 8;
+
+/// Retry delay after the transport refused a nonblocking transmit
+/// ([`ncs_transport::Connection::try_send_batch`] returned 0). The remedy
+/// is the *peer* draining, which this reactor cannot observe, so a short
+/// timer polls the flush.
+const TX_RETRY: Duration = Duration::from_millis(1);
+
+/// Upper bound on the post-close receive drain after a *peer* close. The
+/// drain normally ends much earlier — when the data channel reports EOF
+/// (the peer's transport close follows its last frame) — the linger only
+/// bounds transports that never signal EOF.
+const CLOSE_LINGER: Duration = Duration::from_millis(250);
+
+/// One frame queued on the Send plane, with its optional Table-I trace and
+/// transmit completion.
+type SendJob = (
+    PooledBuf,
+    Option<Arc<SendTrace>>,
+    Option<Arc<RequestCore<()>>>,
+);
+
+/// Attaches a connection to the reactor: one [`ConnTask`] multiplexing all
+/// four Figure-4 planes onto a shared event loop. Direct mode (§4.2)
+/// attaches nothing — its strategies already run inline on the caller.
+pub(crate) fn attach_connection(reactor: &Arc<Reactor>, shared: &Arc<ConnShared>) {
+    if shared.config.direct {
+        return;
+    }
+    let handle = reactor.spawn(Box::new(ConnTask::new(Arc::clone(shared))));
+    *shared.task.lock() = Some(Arc::clone(&handle));
+    {
+        let h = Arc::clone(&handle);
+        shared
+            .transport
+            .register_waker(Some(Arc::new(move || h.wake())));
+    }
+    #[cfg(unix)]
+    if let ncs_transport::Readiness::Fd(fd) = shared.transport.readiness() {
+        *shared.fd_reg.lock() = Some(reactor.register_fd(fd, Arc::clone(&handle)));
+    }
+    // Frames arriving between the task's first poll and the waker
+    // registration above had nothing to wake; one explicit wake closes
+    // the gap (the poll it schedules drains them).
+    handle.wake();
+}
+
+/// The sender error-control session in flight (one at a time, Figure 6).
+struct ActiveSend {
+    packets: Vec<DataPacket>,
+    completion: Option<Arc<RequestCore<()>>>,
+    first_round: bool,
+    /// Deadline of the current acknowledgement wait; `None` while a
+    /// strategy step is being applied (the threaded code's "inside
+    /// `run_send_session`, outside `wait_for_ack`" state).
+    ack_deadline: Option<Instant>,
+}
+
+/// A connection's Figure-4 pipeline as one resumable reactor task.
+///
+/// Each plane that used to be a thread is a `step_*` method draining the
+/// same activation mailbox the thread blocked on; the blocking waits
+/// became [`TaskPoll::Timer`] deadlines. The strategy objects
+/// ([`SenderEc`], [`ReceiverEc`], [`FlowControlStrategy`]) are untouched.
+struct ConnTask {
+    shared: Arc<ConnShared>,
+    has_fc: bool,
+    has_ctrl: bool,
+    // -- Send plane (Figure 4 step 4) --
+    tx_pending: VecDeque<SendJob>,
+    tx_blocked: bool,
+    // -- Receive plane (steps 7-8): fully-bypassed inline reassembly.
+    // Payloads append straight from received frames into a *pooled*
+    // message buffer (arrival order, delivery on the end bit — the
+    // null-EC contract); the buffer rides the delivered [`MsgView`] and
+    // returns to the pool when the application drops the view.
+    assembling: Option<PooledBuf>,
+    // -- Flow Control plane (Figures 7/8) --
+    fc_strategy: Option<Box<dyn FlowControlStrategy>>,
+    fc_pending: VecDeque<DataPacket>,
+    fc_last_progress: Instant,
+    // -- Error Control, sender half (Figure 6) --
+    ec_tx_strategy: Option<Box<dyn SenderEc>>,
+    ec_backlog: SendBacklog,
+    ec_active: Option<ActiveSend>,
+    // -- Error Control, receiver half (steps 9-10) --
+    ec_rx_strategy: Option<Box<dyn ReceiverEc>>,
+    ec_rx_session: Option<u32>,
+    /// Sessions below this were fully delivered: their retransmissions
+    /// are duplicates (the original acknowledgement was lost) and must be
+    /// re-acknowledged, never re-delivered.
+    ec_rx_delivered_below: u32,
+    /// The transport reported EOF/failure on the receive side: the
+    /// post-close drain is complete, nothing more can arrive.
+    rx_eof: bool,
+    /// Deadline of the post-close receive drain (armed on the first
+    /// closing poll after a peer close).
+    drain_deadline: Option<Instant>,
+    finished: bool,
+}
+
+impl ConnTask {
+    fn new(shared: Arc<ConnShared>) -> Self {
+        let has_ctrl = shared.config.needs_control_threads();
+        let has_fc = has_ctrl && !matches!(shared.config.flow_control, FlowControlAlg::None);
+        ConnTask {
+            has_fc,
+            has_ctrl,
+            tx_pending: VecDeque::with_capacity(IO_BATCH),
+            tx_blocked: false,
+            assembling: None,
+            fc_strategy: has_fc.then(|| build_fc(&shared.config.flow_control)),
+            fc_pending: VecDeque::new(),
+            fc_last_progress: Instant::now(),
+            ec_tx_strategy: has_ctrl.then(|| build_sender(&shared.config.error_control)),
+            ec_backlog: SendBacklog::new(),
+            ec_active: None,
+            ec_rx_strategy: has_ctrl.then(|| build_receiver(&shared.config.error_control)),
+            ec_rx_session: None,
+            ec_rx_delivered_below: 0,
+            rx_eof: false,
+            drain_deadline: None,
+            finished: false,
+            shared,
+        }
+    }
+
+    /// The Receive plane: drains ready frames off the data connection and
+    /// activates the next plane (FC if configured, else EC, else direct
+    /// delivery). Frames are parsed in place ([`DataPacket::peek`]); owned
+    /// packets are materialised only when a frame crosses into another
+    /// plane's mailbox.
+    fn step_recv(&mut self, hungry: &mut bool) -> bool {
+        let shared = Arc::clone(&self.shared);
+        let mut progressed = false;
+        let mut budget = RECV_BUDGET;
+        loop {
+            if budget == 0 {
+                *hungry = true;
+                break;
+            }
+            let frame = match shared.transport.try_recv() {
+                Ok(Some(f)) => f,
+                Ok(None) | Err(TransportError::Timeout) => break,
+                Err(_) => {
+                    // The link died: nothing more can arrive. Record EOF
+                    // (ends any post-close drain) and fail fast.
+                    self.rx_eof = true;
+                    shared.peer_closed();
+                    return true;
+                }
+            };
+            budget -= 1;
+            progressed = true;
+            let view = match DataPacket::peek(&frame) {
+                Ok(v) => v,
+                Err(_) => continue, // not a data packet: ignore
+            };
+            shared.note_peer_conn(view.header.src_conn);
+            shared
+                .counters
+                .packets_received
+                .fetch_add(1, Ordering::Relaxed);
+            if self.has_fc {
+                shared.fc_inbox.send(FcMsg::Incoming(view.to_packet()));
+            } else if self.has_ctrl {
+                shared
+                    .ec_recv_inbox
+                    .send(EcRecvMsg::Packet(view.to_packet()));
+            } else {
+                // Fully bypassed: reassemble inline, deliver directly, no
+                // per-packet payload allocation.
+                let buf = self.assembling.get_or_insert_with(|| shared.pool.get());
+                buf.vec_mut().extend_from_slice(view.payload);
+                if view.header.end {
+                    shared
+                        .counters
+                        .messages_received
+                        .fetch_add(1, Ordering::Relaxed);
+                    let buf = self.assembling.take().expect("just inserted");
+                    deliver_message(&shared, buf, view.header.tagged);
+                }
+            }
+        }
+        progressed
+    }
+
+    /// The Flow Control plane: releases queued packets under the
+    /// configured algorithm and grants credits for received ones.
+    fn step_fc(&mut self, timer: &mut Option<Instant>) -> bool {
+        if !self.has_fc {
+            return false;
+        }
+        let ConnTask {
+            shared,
+            fc_strategy,
+            fc_pending,
+            fc_last_progress,
+            tx_pending,
+            ..
+        } = self;
+        let strategy = fc_strategy.as_mut().expect("fc configured").as_mut();
+        let mut progressed = false;
+        while let Some(msg) = shared.fc_inbox.try_recv() {
+            progressed = true;
+            match msg {
+                FcMsg::Enqueue(pkts) => fc_pending.extend(pkts),
+                FcMsg::Replace(pkts) => {
+                    fc_pending.clear();
+                    fc_pending.extend(pkts);
+                }
+                FcMsg::Feedback(n) => {
+                    shared
+                        .counters
+                        .credits_received
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    strategy.on_feedback(n);
+                    *fc_last_progress = Instant::now();
+                }
+                FcMsg::Incoming(packet) => {
+                    let grant = strategy.on_receive(Instant::now());
+                    if grant > 0 {
+                        shared
+                            .counters
+                            .credits_granted
+                            .fetch_add(grant as u64, Ordering::Relaxed);
+                        shared.ctrl_tx.send(CtrlMsg::Credit {
+                            conn: shared.peer_conn_id(),
+                            credits: grant,
+                        });
+                    }
+                    shared.ec_recv_inbox.send(EcRecvMsg::Packet(packet));
+                }
+                FcMsg::Shutdown => {} // retirement rides the closed flag
+            }
+        }
+        // Release whatever the algorithm now permits.
+        let permits = strategy.permits(Instant::now()) as usize;
+        let mut n = permits.min(fc_pending.len());
+        // Starvation probe: feedback can be lost on an unreliable control
+        // path; rather than stall forever, trickle one packet out so the
+        // receiver's grants resume.
+        if n == 0 && !fc_pending.is_empty() && fc_last_progress.elapsed() >= FC_STARVATION_PROBE {
+            n = 1;
+        }
+        if n > 0 {
+            for _ in 0..n {
+                let p = fc_pending.pop_front().expect("counted above");
+                tx_pending.push_back((p.encode_pooled(&shared.pool), None, None));
+            }
+            strategy.on_transmit(n.min(permits) as u32);
+            *fc_last_progress = Instant::now();
+            progressed = true;
+        }
+        // Park on the algorithm's own pacing and the starvation probe —
+        // but only while packets actually wait for permits; an idle FC
+        // plane costs the reactor nothing.
+        if !fc_pending.is_empty() {
+            if let Some(t) = strategy.next_poll(Instant::now()) {
+                min_timer(timer, t);
+            }
+            min_timer(timer, *fc_last_progress + FC_STARVATION_PROBE);
+        }
+        progressed
+    }
+
+    /// The Error Control plane, receiver half: reassembles SDUs,
+    /// acknowledges over the control connection and delivers into the
+    /// user buffer.
+    fn step_ec_rx(&mut self) -> bool {
+        if !self.has_ctrl {
+            return false;
+        }
+        let ConnTask {
+            shared,
+            ec_rx_strategy,
+            ec_rx_session,
+            ec_rx_delivered_below,
+            ..
+        } = self;
+        let strategy = ec_rx_strategy.as_mut().expect("ctrl configured").as_mut();
+        let mut progressed = false;
+        while let Some(msg) = shared.ec_recv_inbox.try_recv() {
+            progressed = true;
+            let packet = match msg {
+                EcRecvMsg::Packet(p) => p,
+                EcRecvMsg::Shutdown => continue, // retirement rides the closed flag
+            };
+            let h = packet.header;
+            if h.session < *ec_rx_delivered_below {
+                // Duplicate of a completed message: re-send the clean
+                // acknowledgement when its end marker shows up, so the
+                // sender can finish even though the first ACK died.
+                if h.end {
+                    let ack = match strategy.name() {
+                        "go-back-n" => AckInfo::Cumulative(h.seq + 1),
+                        _ => AckInfo::Bitmap(crate::seq::AckBitmap::all_received(h.seq + 1)),
+                    };
+                    shared.counters.acks_sent.fetch_add(1, Ordering::Relaxed);
+                    shared.ctrl_tx.send(make_ack_msg(shared, h.session, ack));
                 }
                 continue;
             }
-        };
-        pending.push(first);
-        let mut shutdown_after_batch = false;
-        while pending.len() < IO_BATCH {
-            match shared.send_inbox.try_recv() {
-                Some(SendMsg::Frame { frame, trace, done }) => pending.push((frame, trace, done)),
-                Some(SendMsg::Shutdown) => {
-                    shutdown_after_batch = true;
-                    break;
+            match *ec_rx_session {
+                Some(s) if s == h.session => {}
+                Some(s) if h.session < s => continue, // stale retransmission
+                _ => {
+                    strategy.reset();
+                    *ec_rx_session = Some(h.session);
                 }
+            }
+            let step = strategy.on_packet(h.seq, h.end, packet.payload);
+            let (ack, deliver) = match step {
+                ReceiverStep::Ack(a) => (Some(a), None),
+                ReceiverStep::Deliver(m) => (None, Some(m)),
+                ReceiverStep::AckAndDeliver(a, m) => (Some(a), Some(m)),
+                ReceiverStep::Continue => (None, None),
+            };
+            if let Some(a) = ack {
+                shared.counters.acks_sent.fetch_add(1, Ordering::Relaxed);
+                shared.ctrl_tx.send(make_ack_msg(shared, h.session, a));
+            }
+            if let Some(m) = deliver {
+                shared
+                    .counters
+                    .messages_received
+                    .fetch_add(1, Ordering::Relaxed);
+                // EC strategies reassemble in their own buffers; the view
+                // is detached (owned), not pooled.
+                deliver_message(shared, PooledBuf::detached(m), h.tagged);
+                *ec_rx_delivered_below = h.session + 1;
+                *ec_rx_session = None;
+            }
+        }
+        progressed
+    }
+
+    /// The Error Control plane, sender half: one message at a time, per
+    /// the paper's Figure 6 pseudocode. Acknowledgement waits park on a
+    /// reactor timer instead of a blocking mailbox receive.
+    fn step_ec_tx(&mut self, timer: &mut Option<Instant>) -> bool {
+        if !self.has_ctrl {
+            return false;
+        }
+        let ConnTask {
+            shared,
+            has_fc,
+            ec_tx_strategy,
+            ec_backlog,
+            ec_active,
+            tx_pending,
+            ..
+        } = self;
+        let strategy = ec_tx_strategy.as_mut().expect("ctrl configured").as_mut();
+        let mut progressed = false;
+        while let Some(msg) = shared.ec_send_inbox.try_recv() {
+            progressed = true;
+            match msg {
+                EcSendMsg::Send {
+                    data,
+                    tagged,
+                    completion,
+                } => ec_backlog.push_back((data, tagged, completion)),
+                EcSendMsg::Ack(info) => {
+                    if ec_active.as_ref().is_some_and(|a| a.ack_deadline.is_some()) {
+                        shared
+                            .counters
+                            .acks_received
+                            .fetch_add(1, Ordering::Relaxed);
+                        let step = strategy.on_ack(info);
+                        if !matches!(step, SenderStep::Wait) {
+                            ec_active.as_mut().expect("checked above").ack_deadline = None;
+                            ec_apply(shared, *has_fc, strategy, ec_active, tx_pending, step);
+                        }
+                        // `Wait` keeps waiting against the *same* deadline
+                        // (a partial acknowledgement does not reset the
+                        // retransmission clock).
+                    }
+                    // No session waiting: a stale ack between sessions —
+                    // dropped, exactly as the threaded pick-up loop did.
+                }
+                EcSendMsg::Shutdown => {} // retirement rides the closed flag
+            }
+        }
+        // Acknowledgement timeout: synthesise the strategy's timeout step.
+        if let Some(deadline) = ec_active.as_ref().and_then(|a| a.ack_deadline) {
+            if Instant::now() >= deadline {
+                ec_active.as_mut().expect("checked above").ack_deadline = None;
+                let step = strategy.on_timeout();
+                ec_apply(shared, *has_fc, strategy, ec_active, tx_pending, step);
+                progressed = true;
+            }
+        }
+        // Start the next message once idle.
+        while ec_active.is_none() {
+            let Some((data, tagged, completion)) = ec_backlog.pop_front() else {
+                break;
+            };
+            progressed = true;
+            let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+            let packets = shared.segment(session, &data, tagged);
+            shared
+                .counters
+                .messages_sent
+                .fetch_add(1, Ordering::Relaxed);
+            let total = packets.len() as u32;
+            *ec_active = Some(ActiveSend {
+                packets,
+                completion,
+                first_round: true,
+                ack_deadline: None,
+            });
+            let step = strategy.begin(total);
+            ec_apply(shared, *has_fc, strategy, ec_active, tx_pending, step);
+        }
+        // Park the poll on the pending acknowledgement deadline, if any.
+        if let Some(deadline) = ec_active.as_ref().and_then(|a| a.ack_deadline) {
+            min_timer(timer, deadline);
+        }
+        progressed
+    }
+
+    /// The Send plane: moves queued frames onto the data connection. Up to
+    /// [`IO_BATCH`] frames cross the transport per
+    /// [`ncs_transport::Connection::try_send_batch`] call, and their
+    /// pooled buffers return to the pool as each is transmitted.
+    fn step_send(&mut self, timer: &mut Option<Instant>) -> bool {
+        let ConnTask {
+            shared,
+            tx_pending,
+            tx_blocked,
+            ..
+        } = self;
+        let mut progressed = false;
+        // Pull queued frames in; the inbox is bounded, so draining it here
+        // is what unblocks producers parked in `queue_frame`.
+        while tx_pending.len() < 2 * IO_BATCH {
+            match shared.send_inbox.try_recv() {
+                Some(SendMsg::Frame { frame, trace, done }) => {
+                    // Hand-off acknowledgement: the caller may resume (and
+                    // overlap computation with the transmit below — §4.1).
+                    if let Some(t) = &trace {
+                        *t.dequeued_at.lock() = Some(Instant::now());
+                        t.accepted.fire();
+                    }
+                    tx_pending.push_back((frame, trace, done));
+                    progressed = true;
+                }
+                Some(SendMsg::Shutdown) => {} // retirement rides the closed flag
                 None => break,
             }
         }
-        // Hand-off acknowledgement for every dequeued frame: the callers
-        // may resume (and, under the kernel package, overlap computation
-        // with a transmit that blocks below — §4.1).
-        for (_, trace, _) in &pending {
-            if let Some(t) = trace {
-                *t.dequeued_at.lock() = Some(Instant::now());
-                t.accepted.fire();
-            }
-        }
-        while !pending.is_empty() {
-            let refs: Vec<&[u8]> = pending.iter().map(|(f, _, _)| f.as_slice()).collect();
-            match shared.transport.send_batch(&refs) {
+        *tx_blocked = false;
+        while !tx_pending.is_empty() {
+            let batch = tx_pending.len().min(IO_BATCH);
+            let refs: Vec<&[u8]> = tx_pending
+                .iter()
+                .take(batch)
+                .map(|(f, _, _)| f.as_slice())
+                .collect();
+            match shared.transport.try_send_batch(&refs) {
+                Ok(0) => {
+                    // Interface backpressure: the peer must drain before
+                    // more fits, which no local readiness source reports —
+                    // retry on a short timer.
+                    *tx_blocked = true;
+                    break;
+                }
                 Ok(sent) => {
-                    let sent = sent.clamp(1, pending.len());
+                    let sent = sent.min(batch);
                     shared
                         .counters
                         .packets_sent
                         .fetch_add(sent as u64, Ordering::Relaxed);
-                    for (frame, trace, done) in pending.drain(..sent) {
+                    for (frame, trace, done) in tx_pending.drain(..sent) {
                         if let Some(t) = &trace {
                             *t.transmitted_at.lock() = Some(Instant::now());
                         }
@@ -597,8 +1049,7 @@ fn send_thread(shared: &ConnShared) {
                             core.complete(Ok(()));
                         }
                     }
-                    // A partial batch is transport backpressure: loop and
-                    // retry the remainder (blocking in send_batch is fine).
+                    progressed = true;
                 }
                 Err(e) => {
                     // Nothing of the batch was accepted. Unblock any
@@ -606,7 +1057,7 @@ fn send_thread(shared: &ConnShared) {
                     // single-frame path did: Closed tears the data plane
                     // down, anything else drops the frames.
                     let failure = SendError::from(e.clone());
-                    for (_, trace, done) in pending.drain(..) {
+                    for (_, trace, done) in tx_pending.drain(..) {
                         if let Some(t) = trace {
                             *t.transmitted_at.lock() = Some(Instant::now());
                             *t.freed_at.lock() = Some(Instant::now());
@@ -616,79 +1067,297 @@ fn send_thread(shared: &ConnShared) {
                             core.complete(Err(failure.clone()));
                         }
                     }
+                    progressed = true;
                     if matches!(e, TransportError::Closed) {
                         shared.peer_closed();
-                        return;
                     }
+                    break;
                 }
             }
         }
-        if shutdown_after_batch {
+        if *tx_blocked {
+            min_timer(timer, Instant::now() + TX_RETRY);
+        }
+        progressed
+    }
+
+    /// Terminal teardown, run once when the task observes `closed`: every
+    /// queued send — EC backlog, EC inbox, send queue — resolves `Closed`
+    /// instead of dangling, and the task detaches from its readiness
+    /// sources. Idempotent by construction (double close and
+    /// close-during-poll both funnel into the same single retirement).
+    fn retire(&mut self) {
+        if self.finished {
             return;
+        }
+        self.finished = true;
+        let shared = Arc::clone(&self.shared);
+        // Sender EC: the in-flight session fails like a delivery error…
+        if let Some(active) = self.ec_active.take() {
+            shared.fail(SendError::Closed);
+            if let Some(c) = active.completion {
+                c.complete(Err(SendError::Closed));
+            }
+        }
+        // …and everything queued behind it resolves Closed (the send-side
+        // half of the fail-fast contract).
+        for (_, _, completion) in self.ec_backlog.drain(..) {
+            if let Some(c) = completion {
+                c.complete(Err(SendError::Closed));
+            }
+        }
+        while let Some(msg) = shared.ec_send_inbox.try_recv() {
+            if let EcSendMsg::Send {
+                completion: Some(c),
+                ..
+            } = msg
+            {
+                c.complete(Err(SendError::Closed));
+            }
+        }
+        fn fail_job(job: SendJob) {
+            let (frame, trace, done) = job;
+            drop(frame); // buffer returns to the pool
+            if let Some(t) = trace {
+                *t.transmitted_at.lock() = Some(Instant::now());
+                *t.freed_at.lock() = Some(Instant::now());
+                t.accepted.fire();
+                t.done.fire();
+            }
+            if let Some(core) = done {
+                core.complete(Err(SendError::Closed));
+            }
+        }
+        for job in self.tx_pending.drain(..) {
+            fail_job(job);
+        }
+        while let Some(msg) = shared.send_inbox.try_recv() {
+            if let SendMsg::Frame { frame, trace, done } = msg {
+                fail_job((frame, trace, done));
+            }
+        }
+        self.fc_pending.clear();
+        self.assembling = None;
+        // Close the transport and fail the parked receives. On a local
+        // close `shutdown_threads` already did both (these repeats are
+        // no-ops); on a peer close they were deferred to this retirement
+        // so the final drain could deliver the peer's last frames first.
+        shared.transport.close();
+        shared.delivery.fail_all(SendError::Closed);
+        // Detach from the transport waker and the fd poller, and drop the
+        // wake handle so later `wake_task` calls are no-ops.
+        shared.transport.register_waker(None);
+        #[cfg(unix)]
+        {
+            *shared.fd_reg.lock() = None;
+        }
+        *shared.task.lock() = None;
+    }
+
+    /// Whether the send planes are empty: nothing queued behind the
+    /// error-control session, no session in flight, nothing parked on
+    /// flow-control credits, nothing waiting on the wire.
+    fn flushed(&self) -> bool {
+        self.ec_active.is_none()
+            && self.ec_backlog.is_empty()
+            && self.fc_pending.is_empty()
+            && self.tx_pending.is_empty()
+            && !self.tx_blocked
+            && self.shared.ec_send_inbox.is_empty()
+            && self.shared.send_inbox.is_empty()
+    }
+
+    /// Post-close polling: the graceful half of the close, bounded by
+    /// [`CLOSE_LINGER`].
+    ///
+    /// A **locally**-initiated close flushes the send planes — frames
+    /// parked on flow-control credits or an unacknowledged error-control
+    /// session still go out — and retires as soon as they are empty
+    /// (instantly for the common quiescent close). A **peer**-initiated
+    /// close additionally keeps the receive planes delivering: the
+    /// CloseConn rides the control connection and can overtake the peer's
+    /// final data frames, so the task drains until the data channel
+    /// itself reports EOF (the peer's transport close follows its data).
+    fn poll_closing(&mut self) -> TaskPoll {
+        let deadline = *self
+            .drain_deadline
+            .get_or_insert_with(|| Instant::now() + CLOSE_LINGER);
+        let peer_close = self.shared.closed_by_peer.load(Ordering::Acquire);
+        let mut timer = None;
+        for _ in 0..MAX_ROUNDS {
+            let mut hungry = false;
+            timer = None;
+            let mut progressed = false;
+            if peer_close {
+                progressed |= self.step_recv(&mut hungry);
+            }
+            progressed |= self.step_fc(&mut timer);
+            if peer_close {
+                progressed |= self.step_ec_rx();
+            }
+            progressed |= self.step_ec_tx(&mut timer);
+            progressed |= self.step_send(&mut timer);
+            if self.rx_eof || (!peer_close && self.flushed()) {
+                self.retire();
+                return TaskPoll::Done;
+            }
+            if hungry {
+                return TaskPoll::Again;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        if Instant::now() >= deadline {
+            self.retire();
+            return TaskPoll::Done;
+        }
+        // Quiescent but still lingering: re-arm fd readiness so the final
+        // frames (or the EOF behind them) wake the task, and park on the
+        // nearest protocol deadline with the linger as the backstop.
+        #[cfg(unix)]
+        if let Some(reg) = self.shared.fd_reg.lock().as_ref() {
+            reg.rearm();
+        }
+        TaskPoll::Timer(timer.map_or(deadline, |t: Instant| t.min(deadline)))
+    }
+}
+
+/// Reactor teardown can drop a live task without a final poll (shard
+/// shutdown while connections are still attached): retire here so queued
+/// sends and parked receives resolve `Closed` instead of dangling.
+impl Drop for ConnTask {
+    fn drop(&mut self) {
+        self.retire();
+    }
+}
+
+impl ReactorTask for ConnTask {
+    fn poll(&mut self, _now: Instant) -> TaskPoll {
+        if self.finished {
+            return TaskPoll::Done;
+        }
+        let mut timer: Option<Instant> = None;
+        for round in 0.. {
+            if self.shared.closed.load(Ordering::Acquire) {
+                return self.poll_closing();
+            }
+            if round == MAX_ROUNDS {
+                return TaskPoll::Again;
+            }
+            // Timers are a function of the *current* protocol state, so
+            // each round recomputes them from scratch.
+            timer = None;
+            let mut hungry = false;
+            let mut progressed = false;
+            progressed |= self.step_recv(&mut hungry);
+            if !self.shared.closed.load(Ordering::Acquire) {
+                progressed |= self.step_fc(&mut timer);
+                progressed |= self.step_ec_rx();
+                progressed |= self.step_ec_tx(&mut timer);
+            }
+            progressed |= self.step_send(&mut timer);
+            if hungry {
+                return TaskPoll::Again;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        // Quiescent. Re-arm fd readiness — the poller is level-triggered,
+        // so anything that arrived while disarmed shows on its next cycle
+        // — and park on the nearest protocol deadline.
+        #[cfg(unix)]
+        if let Some(reg) = self.shared.fd_reg.lock().as_ref() {
+            reg.rearm();
+        }
+        match timer {
+            Some(at) => TaskPoll::Timer(at),
+            None => TaskPoll::Idle,
         }
     }
 }
 
-/// The Receive Thread: pulls frames off the data connection — up to
-/// [`IO_BATCH`] per [`ncs_transport::Connection::recv_many`] acquisition —
-/// and activates the next plane (FC if configured, else EC, else direct
-/// delivery) — Figure 4 steps 7-8. Frames are parsed in place
-/// ([`DataPacket::peek`]); owned packets are materialised only when a frame
-/// must cross into another thread's mailbox.
-fn recv_thread(shared: &ConnShared) {
-    let has_fc = !matches!(shared.config.flow_control, FlowControlAlg::None);
-    let has_ctrl = shared.config.needs_control_threads();
-    // Inline reassembler for the fully-bypassed path: payloads append
-    // straight from the received frame into a *pooled* message buffer
-    // (arrival order, delivery on the end bit — the null-EC contract).
-    // The buffer rides the delivered [`MsgView`] and returns to the pool
-    // when the application drops the view: the zero-copy receive path.
-    let mut assembling: Option<PooledBuf> = None;
-    loop {
-        match shared.transport.recv_many(IO_BATCH, IDLE_TICK) {
-            Ok(frames) => {
-                for frame in &frames {
-                    let view = match DataPacket::peek(frame) {
-                        Ok(v) => v,
-                        Err(_) => continue, // not a data packet: ignore
-                    };
-                    shared.note_peer_conn(view.header.src_conn);
-                    shared
-                        .counters
-                        .packets_received
-                        .fetch_add(1, Ordering::Relaxed);
-                    if has_fc {
-                        shared.fc_inbox.send(FcMsg::Incoming(view.to_packet()));
-                    } else if has_ctrl {
-                        shared
-                            .ec_recv_inbox
-                            .send(EcRecvMsg::Packet(view.to_packet()));
-                    } else {
-                        // Fully bypassed: reassemble inline, deliver
-                        // directly, no per-packet payload allocation.
-                        let buf = assembling.get_or_insert_with(|| shared.pool.get());
-                        buf.vec_mut().extend_from_slice(view.payload);
-                        if view.header.end {
-                            shared
-                                .counters
-                                .messages_received
-                                .fetch_add(1, Ordering::Relaxed);
-                            let buf = assembling.take().expect("just inserted");
-                            deliver_message(shared, buf, view.header.tagged);
-                        }
-                    }
+/// Applies one sender-EC strategy step to the active session: transmit
+/// rounds hand packets to FC (or straight to the Send plane on FC-less
+/// configurations), completions resolve the session, and `Wait` arms the
+/// acknowledgement deadline.
+fn ec_apply(
+    shared: &Arc<ConnShared>,
+    has_fc: bool,
+    strategy: &mut dyn SenderEc,
+    ec_active: &mut Option<ActiveSend>,
+    tx_pending: &mut VecDeque<SendJob>,
+    step: SenderStep,
+) {
+    let Some(active) = ec_active.as_mut() else {
+        return;
+    };
+    match step {
+        SenderStep::Transmit(seqs) => {
+            if !active.first_round {
+                shared
+                    .counters
+                    .retransmissions
+                    .fetch_add(seqs.len() as u64, Ordering::Relaxed);
+            }
+            let batch: Vec<DataPacket> = seqs
+                .iter()
+                .map(|&s| active.packets[s as usize].clone())
+                .collect();
+            if has_fc {
+                if active.first_round {
+                    shared.fc_inbox.send(FcMsg::Enqueue(batch));
+                } else {
+                    // Retransmissions supersede whatever of this session
+                    // is still waiting for credits.
+                    shared.fc_inbox.send(FcMsg::Replace(batch));
+                }
+            } else {
+                for p in batch {
+                    tx_pending.push_back((p.encode_pooled(&shared.pool), None, None));
                 }
             }
-            Err(TransportError::Timeout) => {
-                if shared.closed.load(Ordering::Acquire) {
-                    return;
-                }
-            }
-            Err(_) => {
-                shared.peer_closed();
+            if active.first_round && strategy.completes_without_ack() {
+                ec_finish(shared, ec_active, Ok(()));
                 return;
             }
+            active.first_round = false;
+            active.ack_deadline =
+                Some(Instant::now() + strategy.ack_timeout().unwrap_or(IDLE_TICK));
         }
+        SenderStep::Done => ec_finish(shared, ec_active, Ok(())),
+        SenderStep::Failed(why) => {
+            ec_finish(shared, ec_active, Err(SendError::DeliveryFailed(why)))
+        }
+        SenderStep::Wait => {
+            active.ack_deadline =
+                Some(Instant::now() + strategy.ack_timeout().unwrap_or(IDLE_TICK));
+        }
+    }
+}
+
+/// Resolves the active sender-EC session: failures stick on the
+/// connection, and the `isend` completion (if any) resolves either way.
+fn ec_finish(
+    shared: &Arc<ConnShared>,
+    ec_active: &mut Option<ActiveSend>,
+    result: Result<(), SendError>,
+) {
+    if let Some(active) = ec_active.take() {
+        if let Err(e) = &result {
+            shared.fail(e.clone());
+        }
+        if let Some(c) = active.completion {
+            c.complete(result);
+        }
+    }
+}
+
+fn min_timer(timer: &mut Option<Instant>, at: Instant) {
+    match timer {
+        Some(t) if *t <= at => {}
+        _ => *timer = Some(at),
     }
 }
 
@@ -709,313 +1378,15 @@ fn deliver_message(shared: &ConnShared, buf: PooledBuf, tagged: bool) {
     shared.delivery.deliver(view);
 }
 
-/// How long the Flow Control Thread tolerates a non-empty queue with no
+/// How long the Flow Control plane tolerates a non-empty queue with no
 /// feedback before probing with one packet. Feedback (credits, window
 /// acks) travels on the control connection, which over ACI can itself lose
 /// cells; without this probe a lost credit grant would starve the sender
 /// forever.
 const FC_STARVATION_PROBE: Duration = Duration::from_millis(500);
 
-/// The Flow Control Thread (Figures 7/8): releases queued packets under the
-/// configured algorithm and grants credits for received ones.
-fn fc_thread(shared: &ConnShared) {
-    let mut strategy = build_fc(&shared.config.flow_control);
-    let mut pending: std::collections::VecDeque<DataPacket> = Default::default();
-    let mut last_progress = Instant::now();
-    loop {
-        let now = Instant::now();
-        let wait = strategy
-            .next_poll(now)
-            .map(|t| t.saturating_duration_since(now))
-            .unwrap_or(IDLE_TICK)
-            .min(IDLE_TICK);
-        match shared.fc_inbox.recv_timeout(wait) {
-            Ok(FcMsg::Enqueue(pkts)) => pending.extend(pkts),
-            Ok(FcMsg::Replace(pkts)) => {
-                pending.clear();
-                pending.extend(pkts);
-            }
-            Ok(FcMsg::Feedback(n)) => {
-                shared
-                    .counters
-                    .credits_received
-                    .fetch_add(n as u64, Ordering::Relaxed);
-                strategy.on_feedback(n);
-                last_progress = Instant::now();
-            }
-            Ok(FcMsg::Incoming(packet)) => {
-                let grant = strategy.on_receive(Instant::now());
-                if grant > 0 {
-                    shared
-                        .counters
-                        .credits_granted
-                        .fetch_add(grant as u64, Ordering::Relaxed);
-                    shared.ctrl_tx.send(CtrlMsg::Credit {
-                        conn: shared.peer_conn_id(),
-                        credits: grant,
-                    });
-                }
-                shared.ec_recv_inbox.send(EcRecvMsg::Packet(packet));
-            }
-            Ok(FcMsg::Shutdown) => return,
-            Err(_) => {
-                if shared.closed.load(Ordering::Acquire) {
-                    return;
-                }
-            }
-        }
-        // Release whatever the algorithm now permits.
-        let permits = strategy.permits(Instant::now()) as usize;
-        let mut n = permits.min(pending.len());
-        // Starvation probe: feedback can be lost on an unreliable control
-        // path; rather than stall forever, trickle one packet out so the
-        // receiver's grants resume.
-        if n == 0 && !pending.is_empty() && last_progress.elapsed() >= FC_STARVATION_PROBE {
-            n = 1;
-        }
-        if n > 0 {
-            for _ in 0..n {
-                let p = pending.pop_front().expect("counted above");
-                shared.queue_frame(p.encode_pooled(&shared.pool), None, None);
-            }
-            strategy.on_transmit(n.min(permits) as u32);
-            last_progress = Instant::now();
-        }
-    }
-}
-
-/// The Error Control (sender) Thread: one message at a time, per the
-/// paper's Figure 6 pseudocode.
-fn ec_send_thread(shared: &ConnShared) {
-    let mut strategy = build_sender(&shared.config.error_control);
-    let mut backlog: SendBacklog = Default::default();
-    loop {
-        // Pick up the next message.
-        let (data, tagged, completion) = match backlog.pop_front() {
-            Some(job) => job,
-            None => match shared.ec_send_inbox.recv_timeout(IDLE_TICK) {
-                Ok(EcSendMsg::Send {
-                    data,
-                    tagged,
-                    completion,
-                }) => (data, tagged, completion),
-                Ok(EcSendMsg::Ack(_)) => continue, // stale ack between sessions
-                Ok(EcSendMsg::Shutdown) => {
-                    return fail_pending_sends(shared, &mut backlog);
-                }
-                Err(_) => {
-                    if shared.closed.load(Ordering::Acquire) {
-                        return fail_pending_sends(shared, &mut backlog);
-                    }
-                    continue;
-                }
-            },
-        };
-        let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
-        let packets = shared.segment(session, &data, tagged);
-        shared
-            .counters
-            .messages_sent
-            .fetch_add(1, Ordering::Relaxed);
-        let result = run_send_session(shared, strategy.as_mut(), &packets, &mut backlog);
-        if let Err(e) = &result {
-            shared.fail(e.clone());
-        }
-        if let Some(c) = completion {
-            c.complete(result);
-        }
-        if shared.closed.load(Ordering::Acquire) {
-            return fail_pending_sends(shared, &mut backlog);
-        }
-    }
-}
-
-/// Send jobs queued behind the one the Error Control Thread is driving.
-type SendBacklog = std::collections::VecDeque<(Vec<u8>, bool, Option<Arc<RequestCore<()>>>)>;
-
-/// The Error Control Thread's exit path: every send still queued — in its
-/// backlog or its inbox — resolves `Closed` instead of leaving `isend`
-/// requests dangling (the send-side half of the fail-fast contract).
-fn fail_pending_sends(shared: &ConnShared, backlog: &mut SendBacklog) {
-    for (_, _, completion) in backlog.drain(..) {
-        if let Some(c) = completion {
-            c.complete(Err(SendError::Closed));
-        }
-    }
-    while let Some(msg) = shared.ec_send_inbox.try_recv() {
-        if let EcSendMsg::Send {
-            completion: Some(c),
-            ..
-        } = msg
-        {
-            c.complete(Err(SendError::Closed));
-        }
-    }
-}
-
-/// Drives one message through the sender error-control strategy.
-fn run_send_session(
-    shared: &ConnShared,
-    strategy: &mut dyn SenderEc,
-    packets: &[DataPacket],
-    backlog: &mut SendBacklog,
-) -> Result<(), SendError> {
-    let has_fc = !matches!(shared.config.flow_control, FlowControlAlg::None);
-    let total = packets.len() as u32;
-    let mut first_round = true;
-    let mut step = strategy.begin(total);
-    loop {
-        match step {
-            SenderStep::Transmit(seqs) => {
-                if !first_round {
-                    shared
-                        .counters
-                        .retransmissions
-                        .fetch_add(seqs.len() as u64, Ordering::Relaxed);
-                }
-                let batch: Vec<DataPacket> =
-                    seqs.iter().map(|&s| packets[s as usize].clone()).collect();
-                if has_fc {
-                    if first_round {
-                        shared.fc_inbox.send(FcMsg::Enqueue(batch));
-                    } else {
-                        // Retransmissions supersede whatever of this session
-                        // is still waiting for credits.
-                        shared.fc_inbox.send(FcMsg::Replace(batch));
-                    }
-                } else {
-                    for p in batch {
-                        if !shared.queue_frame(p.encode_pooled(&shared.pool), None, None) {
-                            return Err(SendError::Closed);
-                        }
-                    }
-                }
-                if first_round && strategy.completes_without_ack() {
-                    return Ok(());
-                }
-                first_round = false;
-                step = wait_for_ack(shared, strategy, backlog)?;
-            }
-            SenderStep::Done => return Ok(()),
-            SenderStep::Failed(why) => return Err(SendError::DeliveryFailed(why)),
-            SenderStep::Wait => {
-                step = wait_for_ack(shared, strategy, backlog)?;
-            }
-        }
-    }
-}
-
-/// Waits on the EC inbox for an acknowledgement (queueing any new send
-/// requests into the backlog), or synthesises a timeout event.
-fn wait_for_ack(
-    shared: &ConnShared,
-    strategy: &mut dyn SenderEc,
-    backlog: &mut SendBacklog,
-) -> Result<SenderStep, SendError> {
-    let timeout = strategy.ack_timeout().unwrap_or(IDLE_TICK);
-    let deadline = Instant::now() + timeout;
-    loop {
-        let now = Instant::now();
-        if now >= deadline {
-            return Ok(strategy.on_timeout());
-        }
-        match shared.ec_send_inbox.recv_timeout(deadline - now) {
-            Ok(EcSendMsg::Ack(info)) => {
-                shared
-                    .counters
-                    .acks_received
-                    .fetch_add(1, Ordering::Relaxed);
-                let step = strategy.on_ack(info);
-                if !matches!(step, SenderStep::Wait) {
-                    return Ok(step);
-                }
-            }
-            Ok(EcSendMsg::Send {
-                data,
-                tagged,
-                completion,
-            }) => {
-                backlog.push_back((data, tagged, completion));
-            }
-            Ok(EcSendMsg::Shutdown) => return Err(SendError::Closed),
-            Err(_) => {
-                if shared.closed.load(Ordering::Acquire) {
-                    return Err(SendError::Closed);
-                }
-                return Ok(strategy.on_timeout());
-            }
-        }
-    }
-}
-
-/// The Error Control (receiver) Thread: reassembles SDUs, acknowledges over
-/// the control connection and delivers into the user buffer (Figure 4
-/// steps 9-10).
-fn ec_recv_thread(shared: &ConnShared) {
-    let mut strategy = build_receiver(&shared.config.error_control);
-    let mut current_session: Option<u32> = None;
-    // Sessions below this were fully delivered: their retransmissions are
-    // duplicates (the original acknowledgement was lost) and must be
-    // re-acknowledged, never re-delivered.
-    let mut delivered_below: u32 = 0;
-    loop {
-        match shared.ec_recv_inbox.recv_timeout(IDLE_TICK) {
-            Ok(EcRecvMsg::Packet(packet)) => {
-                let h = packet.header;
-                if h.session < delivered_below {
-                    // Duplicate of a completed message: re-send the clean
-                    // acknowledgement when its end marker shows up, so the
-                    // sender can finish even though the first ACK died.
-                    if h.end {
-                        let ack = match strategy.name() {
-                            "go-back-n" => AckInfo::Cumulative(h.seq + 1),
-                            _ => AckInfo::Bitmap(crate::seq::AckBitmap::all_received(h.seq + 1)),
-                        };
-                        shared.counters.acks_sent.fetch_add(1, Ordering::Relaxed);
-                        shared.ctrl_tx.send(make_ack_msg(shared, h.session, ack));
-                    }
-                    continue;
-                }
-                match current_session {
-                    Some(s) if s == h.session => {}
-                    Some(s) if h.session < s => continue, // stale retransmission
-                    _ => {
-                        strategy.reset();
-                        current_session = Some(h.session);
-                    }
-                }
-                let step = strategy.on_packet(h.seq, h.end, packet.payload);
-                let (ack, deliver) = match step {
-                    ReceiverStep::Ack(a) => (Some(a), None),
-                    ReceiverStep::Deliver(m) => (None, Some(m)),
-                    ReceiverStep::AckAndDeliver(a, m) => (Some(a), Some(m)),
-                    ReceiverStep::Continue => (None, None),
-                };
-                if let Some(a) = ack {
-                    shared.counters.acks_sent.fetch_add(1, Ordering::Relaxed);
-                    shared.ctrl_tx.send(make_ack_msg(shared, h.session, a));
-                }
-                if let Some(m) = deliver {
-                    shared
-                        .counters
-                        .messages_received
-                        .fetch_add(1, Ordering::Relaxed);
-                    // EC strategies reassemble in their own buffers; the
-                    // view is detached (owned), not pooled.
-                    deliver_message(shared, PooledBuf::detached(m), h.tagged);
-                    delivered_below = h.session + 1;
-                    current_session = None;
-                }
-            }
-            Ok(EcRecvMsg::Shutdown) => return,
-            Err(_) => {
-                if shared.closed.load(Ordering::Acquire) {
-                    return;
-                }
-            }
-        }
-    }
-}
+/// Send jobs queued behind the one the Error Control plane is driving.
+type SendBacklog = VecDeque<(Vec<u8>, bool, Option<Arc<RequestCore<()>>>)>;
 
 fn make_ack_msg(shared: &ConnShared, session: u32, info: AckInfo) -> CtrlMsg {
     match info {
@@ -1194,7 +1565,7 @@ impl NcsConnection {
         }
         let tagged = tag.is_some();
         if self.shared.config.needs_control_threads() {
-            // Figure 4 step 1: activate the Error Control Thread.
+            // Figure 4 step 1: activate the Error Control plane.
             self.shared.ec_send_inbox.send(EcSendMsg::Send {
                 data: match tag {
                     Some(t) => envelope(t, data),
@@ -1203,9 +1574,10 @@ impl NcsConnection {
                 tagged,
                 completion: completion.clone(),
             });
-            // Close raced with the enqueue? The EC thread may already have
-            // drained its inbox and exited; resolve the request here so it
-            // can never dangle (the first completion wins).
+            self.shared.wake_task();
+            // Close raced with the enqueue? The task may already have
+            // drained its inbox and retired; resolve the request here so
+            // it can never dangle (the first completion wins).
             if self.shared.closed.load(Ordering::Acquire) {
                 if let Some(c) = completion {
                     c.complete(Err(SendError::Closed));
@@ -1277,6 +1649,7 @@ impl NcsConnection {
                     completion: None,
                 });
             }
+            self.shared.wake_task();
         } else {
             for m in msgs {
                 let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
@@ -1389,6 +1762,23 @@ impl NcsConnection {
     )]
     pub fn try_recv(&self) -> Option<Vec<u8>> {
         self.try_recv_result().ok().flatten()
+    }
+
+    /// Hands this connection's untagged receive stream to `sink`: every
+    /// untagged message — including any already queued — is pushed into
+    /// the callback as it is reassembled, and the connection's terminal
+    /// error is pushed exactly once when the link dies or closes. `None`
+    /// uninstalls.
+    ///
+    /// This is the threadless pump: an engine that previously parked a
+    /// thread per connection on [`NcsConnection::recv_timeout`] (the
+    /// collectives engine's link pumps) registers a sink instead and is
+    /// fed directly from the reactor task. The sink runs on the reactor's
+    /// event loops — it must not block. While a sink is installed the
+    /// untagged receive primitives (`recv*`, `irecv`, `try_recv*`) see no
+    /// traffic; tag-matched channels are unaffected.
+    pub fn set_receive_sink(&self, sink: Option<crate::request::ReceiveSink>) {
+        self.shared.delivery.set_sink(sink);
     }
 
     /// The sticky error recorded by the error-control plane, if any
@@ -1744,6 +2134,7 @@ pub(crate) fn dispatch_ctrl(shared: &Arc<ConnShared>, msg: CtrlMsg) {
                 shared.direct_events.send(DirectEvent::Ack(info));
             } else {
                 shared.ec_send_inbox.send(EcSendMsg::Ack(info));
+                shared.wake_task();
             }
         }
         CtrlMsg::GbnAck { next_expected, .. } => {
@@ -1752,6 +2143,7 @@ pub(crate) fn dispatch_ctrl(shared: &Arc<ConnShared>, msg: CtrlMsg) {
                 shared.direct_events.send(DirectEvent::Ack(info));
             } else {
                 shared.ec_send_inbox.send(EcSendMsg::Ack(info));
+                shared.wake_task();
             }
         }
         CtrlMsg::Credit { credits, .. } => {
@@ -1759,6 +2151,7 @@ pub(crate) fn dispatch_ctrl(shared: &Arc<ConnShared>, msg: CtrlMsg) {
                 shared.direct_events.send(DirectEvent::Credit(credits));
             } else {
                 shared.fc_inbox.send(FcMsg::Feedback(credits));
+                shared.wake_task();
             }
         }
         _ => {}

@@ -61,6 +61,7 @@ pub mod link;
 mod node;
 pub mod packet;
 pub mod pool;
+pub mod reactor;
 pub mod request;
 pub mod seq;
 pub mod stats;
@@ -70,5 +71,8 @@ pub use connection::{NcsConnection, SendError};
 pub use group::{GroupError, MulticastAlgo, NcsGroup};
 pub use node::{AcceptError, ConnectError, NcsNode, NcsNodeBuilder};
 pub use pool::{BufPool, PoolStats, PooledBuf};
-pub use request::{test_all, wait_all, wait_any, Completion, MsgView, Request};
-pub use stats::{ConnectionStats, SendBreakdown};
+pub use reactor::{default_shards, Reactor};
+pub use request::{
+    test_all, wait_all, wait_any, Completion, CompletionNotify, MsgView, ReceiveSink, Request,
+};
+pub use stats::{ConnectionStats, ReactorStats, SendBreakdown};

@@ -12,11 +12,12 @@ use ncs_transport::{Connection as Transport, TransportError};
 use parking_lot::Mutex;
 
 use crate::config::{ConfigError, ConnectionConfig};
-use crate::connection::{dispatch_ctrl, spawn_connection_threads, ConnShared, NcsConnection};
+use crate::connection::{attach_connection, dispatch_ctrl, ConnShared, NcsConnection};
 use crate::control::{spawn_cr, spawn_cs};
 use crate::link::PeerLink;
 use crate::packet::{CtrlMsg, Hello};
 use crate::pool::{BufPool, PoolStats};
+use crate::reactor::Reactor;
 
 const ACCEPT_POLL: Duration = Duration::from_millis(200);
 const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
@@ -111,6 +112,14 @@ pub(crate) struct NodeInner {
     /// Cluster rank, when this node is a member of a multi-process world.
     rank: Option<u32>,
     pkg: Arc<dyn ThreadPackage>,
+    /// The readiness reactor driving every connection's data plane: a
+    /// fixed O(cores) pool of event loops, shared by all connections (and
+    /// optionally across nodes — see [`NcsNodeBuilder::reactor`]).
+    reactor: Arc<Reactor>,
+    /// Whether this node built its own reactor (and thus owns its
+    /// shutdown); a caller-supplied reactor may serve other nodes and is
+    /// left running.
+    owns_reactor: bool,
     /// Recycling frame-buffer pool shared by every connection's data plane.
     pool: Arc<BufPool>,
     peers: Mutex<HashMap<String, PeerState>>,
@@ -142,6 +151,7 @@ pub struct NcsNodeBuilder {
     rank: Option<u32>,
     pkg: Option<Arc<dyn ThreadPackage>>,
     pool: Option<Arc<BufPool>>,
+    reactor: Option<Arc<Reactor>>,
 }
 
 impl NcsNodeBuilder {
@@ -149,6 +159,17 @@ impl NcsNodeBuilder {
     /// (defaults to the kernel-level package).
     pub fn thread_package(mut self, pkg: Arc<dyn ThreadPackage>) -> Self {
         self.pkg = Some(pkg);
+        self
+    }
+
+    /// Supplies the readiness reactor driving this node's connections
+    /// (defaults to a private [`Reactor::with_default_shards`] on the
+    /// node's thread package). Sharing one reactor across co-located
+    /// nodes keeps the event-loop count at O(cores) no matter how many
+    /// nodes — and connections — the process holds; a shared reactor is
+    /// left running by [`NcsNode::shutdown`].
+    pub fn reactor(mut self, reactor: Arc<Reactor>) -> Self {
+        self.reactor = Some(reactor);
         self
     }
 
@@ -174,10 +195,16 @@ impl NcsNodeBuilder {
         let pkg = self
             .pkg
             .unwrap_or_else(|| Arc::new(KernelPackage::new()) as Arc<dyn ThreadPackage>);
+        let owns_reactor = self.reactor.is_none();
+        let reactor = self
+            .reactor
+            .unwrap_or_else(|| Reactor::with_default_shards(Arc::clone(&pkg)));
         let inner = Arc::new(NodeInner {
             name: self.name,
             rank: self.rank,
             pkg,
+            reactor,
+            owns_reactor,
             pool: self.pool.unwrap_or_else(BufPool::new),
             peers: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
@@ -216,6 +243,7 @@ impl NcsNode {
             rank: None,
             pkg: None,
             pool: None,
+            reactor: None,
         }
     }
 
@@ -233,6 +261,14 @@ impl NcsNode {
     /// The thread package running this node's NCS threads.
     pub fn thread_package(&self) -> Arc<dyn ThreadPackage> {
         Arc::clone(&self.inner.pkg)
+    }
+
+    /// The readiness reactor multiplexing this node's connections. Pass it
+    /// to other builders via [`NcsNodeBuilder::reactor`] to share one
+    /// O(cores) event-loop pool across co-located nodes, or inspect
+    /// [`Reactor::stats`] for diagnostics.
+    pub fn reactor(&self) -> Arc<Reactor> {
+        Arc::clone(&self.inner.reactor)
     }
 
     /// Attaches a link towards `peer` and starts accepting channels from
@@ -311,8 +347,7 @@ impl NcsNode {
             }
             .encode(),
         )?;
-        let handles = spawn_connection_threads(&self.inner.pkg, &shared);
-        self.inner.handles.lock().extend(handles);
+        attach_connection(&self.inner.reactor, &shared);
         // The hello rides the (possibly unreliable) data channel; retry a
         // few times before declaring the setup dead. The acceptor side
         // deduplicates by (peer, initiator_conn), so retries are safe.
@@ -402,6 +437,11 @@ impl NcsNode {
         let handles = std::mem::take(&mut *self.inner.handles.lock());
         for h in handles {
             let _ = h.join_timeout(Duration::from_secs(2));
+        }
+        // A reactor this node built privately stops with it; a shared one
+        // (supplied via the builder) may still drive other nodes.
+        if self.inner.owns_reactor {
+            self.inner.reactor.shutdown();
         }
     }
 }
@@ -602,8 +642,7 @@ fn master_thread(inner: &Arc<NodeInner>) {
                     .lock()
                     .insert((shared.peer_name.clone(), initiator_conn), conn_id);
                 inner.conns.lock().insert(conn_id, Arc::clone(&shared));
-                let handles = spawn_connection_threads(&inner.pkg, &shared);
-                inner.handles.lock().extend(handles);
+                attach_connection(&inner.reactor, &shared);
                 ctrl_tx.send(CtrlMsg::AcceptConn {
                     initiator_conn,
                     acceptor_conn: conn_id,

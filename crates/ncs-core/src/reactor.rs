@@ -1,0 +1,919 @@
+//! The readiness reactor: O(cores) event loops driving every connection's
+//! protocol machinery as resumable tasks.
+//!
+//! The paper's Figure-4 architecture gives each connection dedicated
+//! Send/Receive/FC/EC threads — faithful at 8 ranks, fatal at thousands of
+//! connections. The reactor keeps the *strategy objects* of those threads
+//! (flow control, error control) exactly as they are, but runs them as
+//! non-blocking state machines multiplexed onto a small fixed pool of
+//! worker loops (one `ReactorTask` per connection; see
+//! `connection::ConnTask`).
+//!
+//! Three readiness sources feed the loops:
+//!
+//! * **Wakers** — in-process transports (HPI/PIPE/ACI mailboxes) invoke a
+//!   registered callback on frame arrival ([`ncs_transport::Readiness::Waker`]);
+//! * **File descriptors** — SCI sockets are multiplexed by a single
+//!   `poll(2)` thread (`FdPoller`), with oneshot-style arming so a ready
+//!   fd wakes its task exactly once until the task drains and re-arms;
+//! * **Timers** — retransmission deadlines, flow-control pacing and
+//!   starvation probes are per-shard binary heaps, so an idle reactor
+//!   sleeps instead of ticking.
+//!
+//! Workers are spawned on the node's [`ThreadPackage`], so the reactor
+//! works under both the kernel-level and the user-level (green) package —
+//! blocking waits go through `ncs_threads::sync`, which parks green
+//! threads cooperatively. The fd poller is always a plain OS thread: a
+//! blocking `poll(2)` must never stall the green scheduler.
+//!
+//! A `BlockingLane` rides along for work that is legitimately blocking
+//! (collective-operation schedules): threads spawn on demand, linger
+//! briefly for reuse, and exit when idle — zero threads when nothing
+//! blocks, O(active operations) when something does.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ncs_threads::sync::Mailbox;
+use ncs_threads::{SpawnOptions, ThreadPackage};
+use parking_lot::Mutex;
+
+use crate::stats::ReactorStats;
+
+/// Worker idle tick: the longest a shard sleeps with no timer pending.
+/// Purely a robustness backstop — every state change also wakes the shard
+/// explicitly.
+const IDLE_TICK: Duration = Duration::from_millis(100);
+
+/// Consecutive `Again` returns after which a task counts as stalled.
+const STALL_STREAK: u32 = 64;
+
+/// How long an idle [`BlockingLane`] thread lingers before exiting.
+const LANE_LINGER: Duration = Duration::from_secs(2);
+
+/// Most threads a [`BlockingLane`] will run at once.
+const LANE_CAP: usize = 1024;
+
+/// What a task tells its shard after a poll.
+pub(crate) enum TaskPoll {
+    /// Nothing to do until a wakeup arrives.
+    Idle,
+    /// More work is pending; reschedule immediately (lets sibling tasks on
+    /// the shard interleave with a busy task).
+    Again,
+    /// Idle until `at` (or an earlier wakeup).
+    Timer(Instant),
+    /// The task is finished; remove it from the shard.
+    Done,
+}
+
+/// A resumable, non-blocking unit of protocol work (one connection's
+/// Send/Receive/FC/EC machinery).
+///
+/// `poll` must never block: it drains whatever is ready, advances its
+/// state machines, and returns. Spurious polls are normal.
+pub(crate) trait ReactorTask: Send {
+    fn poll(&mut self, now: Instant) -> TaskPoll;
+}
+
+// Wake-handle states. The transitions guarantee no lost wakeups: a wake
+// that races a running poll lands in `DIRTY`, which reschedules the task
+// as soon as the poll returns.
+const ST_IDLE: u8 = 0;
+const ST_SCHEDULED: u8 = 1;
+const ST_RUNNING: u8 = 2;
+const ST_DIRTY: u8 = 3;
+const ST_DONE: u8 = 4;
+
+enum ShardMsg {
+    Add(u64, Box<dyn ReactorTask>, Arc<TaskHandle>),
+    Run(u64),
+    Shutdown,
+}
+
+/// The shard's inbox plus the counters wakers touch. Shared by the worker,
+/// every task handle of the shard, and the reactor front-end.
+struct ShardQueue {
+    inbox: Mailbox<ShardMsg>,
+    counters: Arc<ReactorCounters>,
+}
+
+/// Wakes one task: the reactor-side analogue of the paper's mailbox
+/// "activation". Cheap, lock-free, callable from anywhere (transport
+/// wakers, control threads, application threads, the task itself).
+pub(crate) struct TaskHandle {
+    id: u64,
+    state: AtomicU8,
+    shard: Arc<ShardQueue>,
+}
+
+impl std::fmt::Debug for TaskHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskHandle")
+            .field("id", &self.id)
+            .field("state", &self.state.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TaskHandle {
+    pub(crate) fn wake(&self) {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                ST_IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(
+                            ST_IDLE,
+                            ST_SCHEDULED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.shard.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+                        self.shard.inbox.send(ShardMsg::Run(self.id));
+                        return;
+                    }
+                }
+                ST_RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(ST_RUNNING, ST_DIRTY, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.shard.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+                // Already scheduled, already dirty, or finished: coalesce.
+                _ => return,
+            }
+        }
+    }
+}
+
+/// Internal counters behind [`ReactorStats`].
+#[derive(Debug, Default)]
+pub(crate) struct ReactorCounters {
+    endpoints: AtomicU64,
+    polls: AtomicU64,
+    wakeups: AtomicU64,
+    task_runs: AtomicU64,
+    timer_fires: AtomicU64,
+    fd_events: AtomicU64,
+    stalled_tasks: AtomicU64,
+    lane_spawned: AtomicU64,
+    lane_active: AtomicU64,
+}
+
+/// One worker-local task slot.
+struct Slot {
+    task: Box<dyn ReactorTask>,
+    handle: Arc<TaskHandle>,
+    /// Deadline of the pending heap entry, if any (stale heap entries —
+    /// superseded or fired — are skipped by comparing against this).
+    timer_at: Option<Instant>,
+    again_streak: u32,
+}
+
+/// The per-core event-loop pool. One per [`crate::NcsNode`] by default;
+/// share one across nodes (see [`crate::NcsNodeBuilder::reactor`]) to run
+/// hundreds of links on a single O(cores) pool.
+pub struct Reactor {
+    shards: Vec<Arc<ShardQueue>>,
+    next_shard: AtomicUsize,
+    counters: Arc<ReactorCounters>,
+    workers: Mutex<Vec<ncs_threads::JoinHandle>>,
+    #[cfg(unix)]
+    poller: Mutex<Option<Arc<FdPoller>>>,
+    lane: BlockingLane,
+    pkg: Arc<dyn ThreadPackage>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("shards", &self.shards.len())
+            .field(
+                "endpoints",
+                &self.counters.endpoints.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+/// Default shard count: O(cores), bounded — the whole point is a small
+/// constant pool regardless of connection count.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(1, 4)
+}
+
+impl Reactor {
+    /// Starts a reactor with `shards` event loops on `pkg`.
+    pub fn new(pkg: Arc<dyn ThreadPackage>, shards: usize) -> Arc<Self> {
+        let shards = shards.max(1);
+        let counters = Arc::new(ReactorCounters::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queues: Vec<Arc<ShardQueue>> = (0..shards)
+            .map(|_| {
+                Arc::new(ShardQueue {
+                    inbox: Mailbox::unbounded(),
+                    counters: Arc::clone(&counters),
+                })
+            })
+            .collect();
+        let mut workers = Vec::with_capacity(shards);
+        for (i, q) in queues.iter().enumerate() {
+            let q = Arc::clone(q);
+            let counters = Arc::clone(&counters);
+            workers.push(pkg.spawn_with(
+                SpawnOptions::new(format!("ncs-reactor-{i}")).daemon(true),
+                Box::new(move || worker_loop(&q, &counters)),
+            ));
+        }
+        let lane = BlockingLane::new(Arc::clone(&pkg), Arc::clone(&counters));
+        Arc::new(Reactor {
+            shards: queues,
+            next_shard: AtomicUsize::new(0),
+            counters,
+            workers: Mutex::new(workers),
+            #[cfg(unix)]
+            poller: Mutex::new(None),
+            lane,
+            pkg,
+            shutdown,
+        })
+    }
+
+    /// [`Reactor::new`] with [`default_shards`].
+    pub fn with_default_shards(pkg: Arc<dyn ThreadPackage>) -> Arc<Self> {
+        Reactor::new(pkg, default_shards())
+    }
+
+    /// Number of event-loop workers.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The thread package the workers run on.
+    pub fn package(&self) -> &Arc<dyn ThreadPackage> {
+        &self.pkg
+    }
+
+    /// Registers a task on the least-recently-used shard and schedules its
+    /// first poll. Returns the wake handle.
+    pub(crate) fn spawn(&self, task: Box<dyn ReactorTask>) -> Arc<TaskHandle> {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let shard_ix = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let shard = Arc::clone(&self.shards[shard_ix]);
+        let handle = Arc::new(TaskHandle {
+            id,
+            state: AtomicU8::new(ST_SCHEDULED),
+            shard: Arc::clone(&shard),
+        });
+        self.counters.endpoints.fetch_add(1, Ordering::Relaxed);
+        shard
+            .inbox
+            .send(ShardMsg::Add(id, task, Arc::clone(&handle)));
+        handle
+    }
+
+    /// Registers `fd` with the shared `poll(2)` thread; `handle` is woken
+    /// whenever the descriptor reads ready. Unix only.
+    #[cfg(unix)]
+    pub(crate) fn register_fd(
+        self: &Arc<Self>,
+        fd: std::os::fd::RawFd,
+        handle: Arc<TaskHandle>,
+    ) -> FdRegistration {
+        let poller = {
+            let mut slot = self.poller.lock();
+            if slot.is_none() {
+                *slot = Some(FdPoller::start(
+                    Arc::clone(&self.counters),
+                    Arc::clone(&self.shutdown),
+                ));
+            }
+            Arc::clone(slot.as_ref().expect("just filled"))
+        };
+        poller.register(fd, handle)
+    }
+
+    /// Runs `f` on the blocking lane: a thread is borrowed from (or added
+    /// to) a spawn-on-demand pool that drains back to zero when idle.
+    pub fn spawn_blocking(&self, f: Box<dyn FnOnce() + Send>) {
+        self.lane.submit(f);
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> ReactorStats {
+        let c = &self.counters;
+        ReactorStats {
+            workers: self.shards.len(),
+            endpoints: c.endpoints.load(Ordering::Relaxed),
+            polls: c.polls.load(Ordering::Relaxed),
+            wakeups: c.wakeups.load(Ordering::Relaxed),
+            task_runs: c.task_runs.load(Ordering::Relaxed),
+            timer_fires: c.timer_fires.load(Ordering::Relaxed),
+            fd_events: c.fd_events.load(Ordering::Relaxed),
+            stalled_tasks: c.stalled_tasks.load(Ordering::Relaxed),
+            blocking_spawned: c.lane_spawned.load(Ordering::Relaxed),
+            blocking_active: c.lane_active.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the workers (and the fd poller). Idempotent. Each shard
+    /// keeps servicing its remaining tasks for a bounded grace period —
+    /// closed connections finish their graceful drain (send flush /
+    /// final-frame delivery) instead of losing it — then drops whatever
+    /// is left without a final poll; connections should be closed first
+    /// (node shutdown does).
+    pub fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for shard in &self.shards {
+            shard.inbox.send(ShardMsg::Shutdown);
+        }
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join_timeout(Duration::from_secs(2));
+        }
+        #[cfg(unix)]
+        if let Some(poller) = self.poller.lock().take() {
+            poller.stop();
+        }
+        self.lane.shutdown();
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Grace period a shutting-down shard grants its remaining tasks: long
+/// enough for every closing connection's bounded drain, well under the
+/// reactor's worker join timeout.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(1);
+
+/// One shard's event loop: timers, then the run queue.
+fn worker_loop(shard: &Arc<ShardQueue>, counters: &Arc<ReactorCounters>) {
+    let mut tasks: HashMap<u64, Slot> = HashMap::new();
+    // Min-heap of (deadline, task id). Entries are never removed eagerly;
+    // stale ones (task gone, or deadline superseded) are skipped on pop.
+    let mut timers: BinaryHeap<std::cmp::Reverse<(Instant, u64)>> = BinaryHeap::new();
+    // Armed by `ShardMsg::Shutdown`: the shard keeps servicing tasks until
+    // they all finish (closed connections complete their graceful drain)
+    // or the grace expires, rather than dropping mid-drain tasks.
+    let mut draining_until: Option<Instant> = None;
+    loop {
+        let now = Instant::now();
+        if let Some(deadline) = draining_until {
+            if tasks.is_empty() || now >= deadline {
+                return;
+            }
+        }
+        // Fire due timers by waking their tasks through the normal path.
+        while let Some(&std::cmp::Reverse((at, id))) = timers.peek() {
+            if at > now {
+                break;
+            }
+            timers.pop();
+            if let Some(slot) = tasks.get_mut(&id) {
+                if slot.timer_at == Some(at) {
+                    slot.timer_at = None;
+                    counters.timer_fires.fetch_add(1, Ordering::Relaxed);
+                    slot.handle.wake();
+                }
+            }
+        }
+        let mut wait = timers
+            .peek()
+            .map(|std::cmp::Reverse((at, _))| at.saturating_duration_since(now))
+            .unwrap_or(IDLE_TICK)
+            .min(IDLE_TICK);
+        if let Some(deadline) = draining_until {
+            wait = wait.min(deadline.saturating_duration_since(now));
+        }
+        counters.polls.fetch_add(1, Ordering::Relaxed);
+        let msg = match shard.inbox.recv_timeout(wait) {
+            Ok(m) => m,
+            Err(_) => continue,
+        };
+        match msg {
+            ShardMsg::Shutdown => {
+                draining_until.get_or_insert(now + SHUTDOWN_GRACE);
+            }
+            ShardMsg::Add(id, task, handle) => {
+                tasks.insert(
+                    id,
+                    Slot {
+                        task,
+                        handle,
+                        timer_at: None,
+                        again_streak: 0,
+                    },
+                );
+                run_task(shard, counters, &mut tasks, &mut timers, id);
+            }
+            ShardMsg::Run(id) => run_task(shard, counters, &mut tasks, &mut timers, id),
+        }
+    }
+}
+
+fn run_task(
+    shard: &Arc<ShardQueue>,
+    counters: &Arc<ReactorCounters>,
+    tasks: &mut HashMap<u64, Slot>,
+    timers: &mut BinaryHeap<std::cmp::Reverse<(Instant, u64)>>,
+    id: u64,
+) {
+    let Some(slot) = tasks.get_mut(&id) else {
+        return; // finished while the Run message was in flight
+    };
+    slot.handle.state.store(ST_RUNNING, Ordering::Release);
+    counters.task_runs.fetch_add(1, Ordering::Relaxed);
+    let poll = slot.task.poll(Instant::now());
+    match poll {
+        TaskPoll::Done => {
+            slot.handle.state.store(ST_DONE, Ordering::Release);
+            tasks.remove(&id);
+            counters.endpoints.fetch_sub(1, Ordering::Relaxed);
+        }
+        TaskPoll::Again => {
+            slot.again_streak += 1;
+            if slot.again_streak == STALL_STREAK {
+                counters.stalled_tasks.fetch_add(1, Ordering::Relaxed);
+            }
+            slot.handle.state.store(ST_SCHEDULED, Ordering::Release);
+            shard.inbox.send(ShardMsg::Run(id));
+        }
+        TaskPoll::Idle | TaskPoll::Timer(_) => {
+            slot.again_streak = 0;
+            if let TaskPoll::Timer(at) = poll {
+                let replace = match slot.timer_at {
+                    Some(t) => at < t,
+                    None => true,
+                };
+                if replace {
+                    slot.timer_at = Some(at);
+                    timers.push(std::cmp::Reverse((at, id)));
+                }
+            } else {
+                slot.timer_at = None;
+            }
+            if slot
+                .handle
+                .state
+                .compare_exchange(ST_RUNNING, ST_IDLE, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                // A wake raced the poll (DIRTY): reschedule so nothing is
+                // lost.
+                slot.handle.state.store(ST_SCHEDULED, Ordering::Release);
+                shard.inbox.send(ShardMsg::Run(id));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fd poller (SCI sockets)
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod fdpoll {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::os::unix::net::UnixStream;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: std::os::raw::c_ulong, timeout: i32) -> i32;
+    }
+
+    struct FdEntry {
+        handle: Arc<TaskHandle>,
+        armed: Arc<AtomicBool>,
+    }
+
+    /// One `poll(2)` thread multiplexing every SCI socket of the reactor.
+    ///
+    /// Registrations are oneshot-style: a ready fd is disarmed before its
+    /// task is woken, so a level-triggered descriptor cannot busy-spin the
+    /// poller while the task catches up. The task re-arms through its
+    /// [`FdRegistration`] once it has drained (`poll(2)` is level
+    /// triggered, so bytes that arrived while disarmed are seen on the
+    /// next cycle — no lost wakeups).
+    pub(crate) struct FdPoller {
+        entries: Mutex<HashMap<RawFd, FdEntry>>,
+        /// Write end of the self-pipe; poked on every registration change.
+        signal_tx: Mutex<UnixStream>,
+        shutdown: Arc<AtomicBool>,
+    }
+
+    impl std::fmt::Debug for FdPoller {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("FdPoller").finish()
+        }
+    }
+
+    impl FdPoller {
+        pub(crate) fn start(
+            counters: Arc<ReactorCounters>,
+            shutdown: Arc<AtomicBool>,
+        ) -> Arc<Self> {
+            let (tx, rx) = UnixStream::pair().expect("fd poller self-pipe");
+            tx.set_nonblocking(true).expect("self-pipe nonblocking");
+            rx.set_nonblocking(true).expect("self-pipe nonblocking");
+            let poller = Arc::new(FdPoller {
+                entries: Mutex::new(HashMap::new()),
+                signal_tx: Mutex::new(tx),
+                shutdown,
+            });
+            let p = Arc::clone(&poller);
+            // Always a plain OS thread: a blocking poll(2) must never park
+            // the user-level package's scheduler.
+            std::thread::Builder::new()
+                .name("ncs-fd-poller".to_owned())
+                .spawn(move || p.run(rx, counters))
+                .expect("spawn fd poller");
+            poller
+        }
+
+        pub(crate) fn register(
+            self: &Arc<Self>,
+            fd: RawFd,
+            handle: Arc<TaskHandle>,
+        ) -> FdRegistration {
+            let armed = Arc::new(AtomicBool::new(true));
+            self.entries.lock().insert(
+                fd,
+                FdEntry {
+                    handle,
+                    armed: Arc::clone(&armed),
+                },
+            );
+            self.poke();
+            FdRegistration {
+                fd,
+                armed,
+                poller: Arc::clone(self),
+            }
+        }
+
+        fn deregister(&self, fd: RawFd) {
+            self.entries.lock().remove(&fd);
+            self.poke();
+        }
+
+        pub(crate) fn poke(&self) {
+            // One pending byte is enough; WouldBlock means one is pending.
+            let _ = self.signal_tx.lock().write(&[1]);
+        }
+
+        pub(crate) fn stop(&self) {
+            self.poke();
+        }
+
+        fn run(&self, mut signal_rx: UnixStream, counters: Arc<ReactorCounters>) {
+            let signal_fd = signal_rx.as_raw_fd();
+            let mut fds: Vec<PollFd> = Vec::new();
+            let mut ready: Vec<RawFd> = Vec::new();
+            loop {
+                if self.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                fds.clear();
+                fds.push(PollFd {
+                    fd: signal_fd,
+                    events: POLLIN,
+                    revents: 0,
+                });
+                {
+                    let entries = self.entries.lock();
+                    for (fd, e) in entries.iter() {
+                        if e.armed.load(Ordering::Acquire) {
+                            fds.push(PollFd {
+                                fd: *fd,
+                                events: POLLIN,
+                                revents: 0,
+                            });
+                        }
+                    }
+                }
+                let n = unsafe {
+                    poll(
+                        fds.as_mut_ptr(),
+                        fds.len() as std::os::raw::c_ulong,
+                        100, // ms; bounded so shutdown and re-arms are seen
+                    )
+                };
+                if n < 0 {
+                    // EINTR or similar: retry.
+                    continue;
+                }
+                if fds[0].revents != 0 {
+                    let mut buf = [0u8; 64];
+                    while matches!(signal_rx.read(&mut buf), Ok(n) if n > 0) {}
+                }
+                ready.clear();
+                for pf in &fds[1..] {
+                    if pf.revents != 0 {
+                        ready.push(pf.fd);
+                    }
+                }
+                if !ready.is_empty() {
+                    let entries = self.entries.lock();
+                    for fd in &ready {
+                        if let Some(e) = entries.get(fd) {
+                            // Oneshot: disarm before waking; the task
+                            // re-arms after draining.
+                            e.armed.store(false, Ordering::Release);
+                            counters.fd_events.fetch_add(1, Ordering::Relaxed);
+                            e.handle.wake();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A live fd registration. Dropping it deregisters the descriptor.
+    pub(crate) struct FdRegistration {
+        fd: RawFd,
+        armed: Arc<AtomicBool>,
+        poller: Arc<FdPoller>,
+    }
+
+    impl std::fmt::Debug for FdRegistration {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("FdRegistration")
+                .field("fd", &self.fd)
+                .finish()
+        }
+    }
+
+    impl FdRegistration {
+        /// Re-enables readiness events after the owning task has drained
+        /// the descriptor.
+        pub(crate) fn rearm(&self) {
+            if !self.armed.swap(true, Ordering::AcqRel) {
+                self.poller.poke();
+            }
+        }
+    }
+
+    impl Drop for FdRegistration {
+        fn drop(&mut self) {
+            self.poller.deregister(self.fd);
+        }
+    }
+}
+
+#[cfg(unix)]
+pub(crate) use fdpoll::{FdPoller, FdRegistration};
+
+// ---------------------------------------------------------------------------
+// Blocking lane
+// ---------------------------------------------------------------------------
+
+struct LaneState {
+    idle: usize,
+    total: usize,
+}
+
+/// A spawn-on-demand pool for legitimately blocking work (collective
+/// schedules). Unlike the reactor shards this may grow — every concurrently
+/// blocking job needs its own thread — but it drains back to zero when
+/// idle, so a quiescent node holds no progress threads at all.
+struct BlockingLane {
+    jobs: Arc<Mailbox<Box<dyn FnOnce() + Send>>>,
+    state: Arc<Mutex<LaneState>>,
+    pkg: Arc<dyn ThreadPackage>,
+    counters: Arc<ReactorCounters>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl BlockingLane {
+    fn new(pkg: Arc<dyn ThreadPackage>, counters: Arc<ReactorCounters>) -> Self {
+        BlockingLane {
+            jobs: Arc::new(Mailbox::unbounded()),
+            state: Arc::new(Mutex::new(LaneState { idle: 0, total: 0 })),
+            pkg,
+            counters,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    fn submit(&self, job: Box<dyn FnOnce() + Send>) {
+        self.jobs.send(job);
+        let mut st = self.state.lock();
+        if st.idle == 0 && st.total < LANE_CAP && !self.shutdown.load(Ordering::Acquire) {
+            st.total += 1;
+            drop(st);
+            self.spawn_worker();
+        }
+    }
+
+    fn spawn_worker(&self) {
+        let jobs = Arc::clone(&self.jobs);
+        let state = Arc::clone(&self.state);
+        let counters = Arc::clone(&self.counters);
+        let shutdown = Arc::clone(&self.shutdown);
+        counters.lane_spawned.fetch_add(1, Ordering::Relaxed);
+        self.pkg.spawn_with(
+            SpawnOptions::new("ncs-blocking-lane").daemon(true),
+            Box::new(move || loop {
+                {
+                    state.lock().idle += 1;
+                }
+                let job = jobs.recv_timeout(LANE_LINGER);
+                {
+                    state.lock().idle -= 1;
+                }
+                match job {
+                    Ok(job) => {
+                        counters.lane_active.fetch_add(1, Ordering::Relaxed);
+                        job();
+                        counters.lane_active.fetch_sub(1, Ordering::Relaxed);
+                        if shutdown.load(Ordering::Acquire) {
+                            state.lock().total -= 1;
+                            return;
+                        }
+                    }
+                    Err(_) => {
+                        // Linger expired. Exit only if there is really
+                        // nothing queued (a submit may have raced the
+                        // timeout; the state lock serialises the check).
+                        let mut st = state.lock();
+                        if jobs.is_empty() || shutdown.load(Ordering::Acquire) {
+                            st.total -= 1;
+                            return;
+                        }
+                    }
+                }
+            }),
+        );
+    }
+
+    fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncs_threads::KernelPackage;
+
+    fn pkg() -> Arc<dyn ThreadPackage> {
+        Arc::new(KernelPackage::new())
+    }
+
+    struct CountTask {
+        runs: Arc<AtomicU64>,
+        done_after: u64,
+    }
+
+    impl ReactorTask for CountTask {
+        fn poll(&mut self, _now: Instant) -> TaskPoll {
+            let n = self.runs.fetch_add(1, Ordering::Relaxed) + 1;
+            if n >= self.done_after {
+                TaskPoll::Done
+            } else {
+                TaskPoll::Idle
+            }
+        }
+    }
+
+    #[test]
+    fn wake_schedules_task() {
+        let reactor = Reactor::new(pkg(), 2);
+        let runs = Arc::new(AtomicU64::new(0));
+        let handle = reactor.spawn(Box::new(CountTask {
+            runs: Arc::clone(&runs),
+            done_after: 3,
+        }));
+        // First poll happens on registration.
+        for _ in 0..100 {
+            if runs.load(Ordering::Relaxed) >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(runs.load(Ordering::Relaxed) >= 1);
+        handle.wake();
+        handle.wake(); // coalesces
+        for _ in 0..100 {
+            if runs.load(Ordering::Relaxed) >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(runs.load(Ordering::Relaxed) >= 2);
+        reactor.shutdown();
+    }
+
+    struct TimerTask {
+        fired: Arc<AtomicU64>,
+        at: Option<Instant>,
+        delay: Duration,
+    }
+
+    impl ReactorTask for TimerTask {
+        fn poll(&mut self, now: Instant) -> TaskPoll {
+            match self.at {
+                None => {
+                    self.at = Some(now + self.delay);
+                    TaskPoll::Timer(now + self.delay)
+                }
+                Some(at) if now >= at => {
+                    self.fired.fetch_add(1, Ordering::Relaxed);
+                    TaskPoll::Done
+                }
+                Some(at) => TaskPoll::Timer(at),
+            }
+        }
+    }
+
+    #[test]
+    fn timer_fires_without_external_wake() {
+        let reactor = Reactor::new(pkg(), 1);
+        let fired = Arc::new(AtomicU64::new(0));
+        let _h = reactor.spawn(Box::new(TimerTask {
+            fired: Arc::clone(&fired),
+            at: None,
+            delay: Duration::from_millis(30),
+        }));
+        let start = Instant::now();
+        while fired.load(Ordering::Relaxed) == 0 && start.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn blocking_lane_runs_jobs_and_drains() {
+        let reactor = Reactor::new(pkg(), 1);
+        let ran = Arc::new(AtomicU64::new(0));
+        for _ in 0..8 {
+            let ran = Arc::clone(&ran);
+            reactor.spawn_blocking(Box::new(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        let start = Instant::now();
+        while ran.load(Ordering::Relaxed) < 8 && start.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 8);
+        assert!(reactor.stats().blocking_spawned >= 1);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn stats_count_endpoints() {
+        let reactor = Reactor::new(pkg(), 2);
+        assert_eq!(reactor.stats().endpoints, 0);
+        let runs = Arc::new(AtomicU64::new(0));
+        let _h = reactor.spawn(Box::new(CountTask {
+            runs,
+            done_after: u64::MAX,
+        }));
+        let start = Instant::now();
+        while reactor.stats().task_runs < 1 && start.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(reactor.stats().endpoints, 1);
+        assert!(reactor.stats().task_runs >= 1);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let reactor = Reactor::new(pkg(), 1);
+        reactor.shutdown();
+        reactor.shutdown();
+    }
+}

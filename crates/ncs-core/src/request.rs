@@ -39,6 +39,10 @@ use crate::pool::PooledBuf;
 // Completion trait + heterogeneous wait sets
 // ---------------------------------------------------------------------------
 
+/// Callback registered through [`Completion::subscribe`], invoked (once)
+/// when the operation completes.
+pub type CompletionNotify = Arc<dyn Fn() + Send + Sync>;
+
 /// The unified completion model: anything an application can test or wait
 /// on — point-to-point [`Request`]s and collective handles alike.
 ///
@@ -53,6 +57,18 @@ pub trait Completion {
     /// Blocks up to `timeout` for completion; returns whether the
     /// operation is complete on return.
     fn wait_complete(&self, timeout: Duration) -> bool;
+
+    /// Registers `notify` to run when the operation completes — or
+    /// immediately, if it already has. Returns whether the implementation
+    /// supports subscription; `false` (the default) makes [`wait_any`]
+    /// fall back to sliced polling for this member.
+    ///
+    /// This is what lets a heterogeneous [`wait_any`] set park on one
+    /// shared event instead of sweeping the set on a poll timer.
+    fn subscribe(&self, notify: CompletionNotify) -> bool {
+        let _ = notify;
+        false
+    }
 }
 
 /// Polls a heterogeneous completion set without blocking: `true` when
@@ -61,9 +77,10 @@ pub fn test_all(set: &[&dyn Completion]) -> bool {
     set.iter().all(|c| c.is_complete())
 }
 
-/// The time slice `wait_any` parks on each member while polling a set.
-/// Short enough that a completion elsewhere in the set is noticed
-/// promptly; long enough that an idle wait doesn't spin.
+/// The fallback time slice `wait_any` parks when a set member does not
+/// support [`Completion::subscribe`]: short enough that a completion
+/// elsewhere in the set is noticed promptly, long enough that an idle
+/// wait doesn't spin.
 const WAIT_ANY_SLICE: Duration = Duration::from_millis(1);
 
 /// Blocks until *any* member of the set completes, returning its index
@@ -74,6 +91,12 @@ const WAIT_ANY_SLICE: Duration = Duration::from_millis(1);
 /// `wait_any` over an `irecv`, an `iallreduce` and an `isend` and react
 /// to whichever finishes first.
 ///
+/// Every member completing [`subscribe`](Completion::subscribe)s the call
+/// to one shared event, so the waiting thread truly parks — zero CPU until
+/// a completion fires — rather than sweeping the set on a poll timer. A
+/// member whose implementation declines subscription degrades that call
+/// to sliced polling.
+///
 /// A member stays "complete" once it fires, so a loop that calls
 /// `wait_any` repeatedly must drop already-collected members from the
 /// set (or switch to [`wait_all`] for the stragglers) — otherwise the
@@ -82,7 +105,21 @@ pub fn wait_any(set: &[&dyn Completion], timeout: Duration) -> Option<usize> {
     if set.is_empty() {
         return None;
     }
+    // Sweep first: subscription is pointless when something already fired.
+    for (i, c) in set.iter().enumerate() {
+        if c.is_complete() {
+            return Some(i);
+        }
+    }
     let deadline = Instant::now() + timeout;
+    // One shared event; every member pings it on completion. The event is
+    // one-shot, but wait_any returns on the first completion, so one shot
+    // is all it takes.
+    let fired = Arc::new(Event::new());
+    let parked = set.iter().all(|c| {
+        let ev = Arc::clone(&fired);
+        c.subscribe(Arc::new(move || ev.fire()))
+    });
     loop {
         for (i, c) in set.iter().enumerate() {
             if c.is_complete() {
@@ -93,11 +130,15 @@ pub fn wait_any(set: &[&dyn Completion], timeout: Duration) -> Option<usize> {
         if now >= deadline {
             return None;
         }
-        // Park briefly on the first incomplete member; any member firing
-        // is observed on the next sweep at most one slice later.
-        let slice = WAIT_ANY_SLICE.min(deadline - now);
-        if let Some(c) = set.iter().find(|c| !c.is_complete()) {
-            c.wait_complete(slice);
+        if parked {
+            fired.wait_timeout(deadline - now);
+        } else {
+            // At least one member cannot notify: poll in slices, parking
+            // each on the first incomplete member.
+            let slice = WAIT_ANY_SLICE.min(deadline - now);
+            if let Some(c) = set.iter().find(|c| !c.is_complete()) {
+                c.wait_complete(slice);
+            }
         }
     }
 }
@@ -216,10 +257,20 @@ impl PartialEq<&[u8]> for MsgView {
 /// Shared completion slot behind a [`Request`]: the runtime side calls
 /// [`RequestCore::complete`] exactly once; the application side tests,
 /// waits and takes the result.
-#[derive(Debug)]
 pub(crate) struct RequestCore<T> {
     done: Event,
     result: Mutex<Option<Result<T, SendError>>>,
+    /// Wait-set subscribers ([`Completion::subscribe`]), drained on
+    /// completion.
+    notify: Mutex<Vec<CompletionNotify>>,
+}
+
+impl<T> std::fmt::Debug for RequestCore<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestCore")
+            .field("complete", &self.done.is_fired())
+            .finish()
+    }
 }
 
 impl<T> RequestCore<T> {
@@ -227,6 +278,7 @@ impl<T> RequestCore<T> {
         Arc::new(RequestCore {
             done: Event::new(),
             result: Mutex::new(None),
+            notify: Mutex::new(Vec::new()),
         })
     }
 
@@ -243,6 +295,24 @@ impl<T> RequestCore<T> {
         *slot = Some(r);
         drop(slot);
         self.done.fire();
+        // Drain after the fire: a subscriber that checked `is_fired`
+        // first (and skipped the list) saw completion; one that enqueued
+        // under the lock is seen here. Either way nothing is lost.
+        for n in self.notify.lock().drain(..) {
+            n();
+        }
+    }
+
+    /// Registers a wait-set notifier (runs now if already complete).
+    pub(crate) fn subscribe(&self, notify: CompletionNotify) {
+        {
+            let mut list = self.notify.lock();
+            if !self.done.is_fired() {
+                list.push(notify);
+                return;
+            }
+        }
+        notify();
     }
 
     pub(crate) fn is_complete(&self) -> bool {
@@ -352,6 +422,11 @@ impl<T> Completion for Request<T> {
     fn wait_complete(&self, timeout: Duration) -> bool {
         self.core.done.wait_timeout(timeout)
     }
+
+    fn subscribe(&self, notify: CompletionNotify) -> bool {
+        self.core.subscribe(notify);
+        true
+    }
 }
 
 impl<T> Drop for Request<T> {
@@ -375,7 +450,12 @@ struct Chan {
     waiters: VecDeque<Arc<RequestCore<MsgView>>>,
 }
 
-#[derive(Debug, Default)]
+/// Callback owning a connection's untagged receive stream (see
+/// [`NcsConnection::set_receive_sink`](crate::NcsConnection::set_receive_sink)):
+/// `Ok` per message, one final `Err` when the connection fails or closes.
+pub type ReceiveSink = Arc<dyn Fn(Result<MsgView, SendError>) + Send + Sync>;
+
+#[derive(Default)]
 struct DeliveryInner {
     untagged: Chan,
     tagged: HashMap<u32, Chan>,
@@ -383,6 +463,19 @@ struct DeliveryInner {
     /// receives resolve to this immediately (already-delivered messages
     /// remain takeable).
     error: Option<SendError>,
+    /// When installed, untagged deliveries bypass the queue entirely.
+    sink: Option<ReceiveSink>,
+    /// Whether the sink has been handed its terminal error.
+    sink_failed: bool,
+}
+
+impl std::fmt::Debug for DeliveryInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeliveryInner")
+            .field("error", &self.error)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
 }
 
 /// The connection's delivery stage: reassembled messages are routed here
@@ -424,17 +517,59 @@ impl DeliveryQueue {
         }
     }
 
-    /// Routes one reassembled message: hands it to the oldest parked
-    /// request on its channel, or queues it as ready.
+    /// Routes one reassembled message: hands it to the installed sink
+    /// (untagged traffic only), the oldest parked request on its channel,
+    /// or queues it as ready.
     pub(crate) fn deliver(&self, msg: MsgView) {
         let mut inner = self.inner.lock();
         let tag = msg.tag();
+        if tag.is_none() {
+            if let Some(sink) = inner.sink.clone() {
+                drop(inner);
+                sink(Ok(msg));
+                return;
+            }
+        }
         let chan = Self::chan(&mut inner, tag);
         match chan.waiters.pop_front() {
             Some(w) => w.complete(Ok(msg)),
             None => chan.ready.push_back(msg),
         }
         Self::prune(&mut inner, tag);
+    }
+
+    /// Installs (or removes) a sink that takes ownership of the untagged
+    /// receive stream: every untagged message — including any already
+    /// queued ready — goes to the sink instead of the queue, and the
+    /// connection's terminal error is handed over exactly once. Built for
+    /// engines that pump a connection's traffic into their own machinery
+    /// (the collectives engine) without a thread parked on `recv`.
+    ///
+    /// Tagged channels are unaffected. Installing a sink while untagged
+    /// receive requests are parked is a contract violation (the paths
+    /// would race for messages); such waiters keep waiting.
+    pub(crate) fn set_sink(&self, sink: Option<ReceiveSink>) {
+        let (sink, drained, error) = {
+            let mut inner = self.inner.lock();
+            inner.sink = sink;
+            let Some(sink) = inner.sink.clone() else {
+                return;
+            };
+            let drained: Vec<MsgView> = inner.untagged.ready.drain(..).collect();
+            let error = if inner.error.is_some() && !inner.sink_failed {
+                inner.sink_failed = true;
+                inner.error.clone()
+            } else {
+                None
+            };
+            (sink, drained, error)
+        };
+        for msg in drained {
+            sink(Ok(msg));
+        }
+        if let Some(e) = error {
+            sink(Err(e));
+        }
     }
 
     /// Registers a receive request on `tag`'s channel: completes it
@@ -501,7 +636,8 @@ impl DeliveryQueue {
     }
 
     /// Records a terminal error and resolves every parked request with it
-    /// (ready messages stay takeable — close-then-drain still works).
+    /// (ready messages stay takeable — close-then-drain still works). The
+    /// installed sink, if any, is handed the error exactly once.
     /// Idempotent; the first error wins.
     pub(crate) fn fail_all(&self, error: SendError) {
         let mut inner = self.inner.lock();
@@ -520,6 +656,16 @@ impl DeliveryQueue {
         inner
             .tagged
             .retain(|_, c| !c.ready.is_empty() || !c.waiters.is_empty());
+        let sink = if inner.sink.is_some() && !inner.sink_failed {
+            inner.sink_failed = true;
+            inner.sink.clone()
+        } else {
+            None
+        };
+        drop(inner);
+        if let Some(sink) = sink {
+            sink(Err(err));
+        }
     }
 
     /// Number of live tagged channels (tests assert the map is pruned).

@@ -1,5 +1,6 @@
 //! Connection statistics and the Table-I send-path instrumentation.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -181,9 +182,71 @@ impl std::fmt::Display for SendBreakdown {
     }
 }
 
+/// Point-in-time statistics for a [`crate::Reactor`]: how many event
+/// loops exist, how many endpoints (connection tasks) they multiplex, and
+/// how busy the readiness machinery is. Dumped by the `perf_gate` binary
+/// alongside the dataplane figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Event-loop workers (shards) — O(cores), fixed at construction.
+    pub workers: usize,
+    /// Live registered tasks (one per attached non-direct connection).
+    pub endpoints: u64,
+    /// Worker loop iterations (timer sweeps + inbox waits).
+    pub polls: u64,
+    /// Task wakeups delivered (waker calls that actually scheduled or
+    /// dirtied a task; coalesced duplicates are not counted).
+    pub wakeups: u64,
+    /// Individual task polls executed.
+    pub task_runs: u64,
+    /// Timer deadlines that fired.
+    pub timer_fires: u64,
+    /// Readiness events delivered by the `poll(2)` thread (SCI sockets).
+    pub fd_events: u64,
+    /// Times a task was observed looping `Again` long enough to be called
+    /// stalled (diagnostic: a healthy run stays at 0).
+    pub stalled_tasks: u64,
+    /// Threads ever spawned by the blocking lane.
+    pub blocking_spawned: u64,
+    /// Blocking-lane jobs currently executing.
+    pub blocking_active: u64,
+}
+
+impl fmt::Display for ReactorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reactor: {} workers, {} endpoints | {} polls, {} wakeups, {} task runs, \
+             {} timers, {} fd events | {} stalled | lane {} spawned / {} active",
+            self.workers,
+            self.endpoints,
+            self.polls,
+            self.wakeups,
+            self.task_runs,
+            self.timer_fires,
+            self.fd_events,
+            self.stalled_tasks,
+            self.blocking_spawned,
+            self.blocking_active,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reactor_stats_display() {
+        let s = ReactorStats {
+            workers: 4,
+            endpoints: 1000,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("4 workers"));
+        assert!(text.contains("1000 endpoints"));
+    }
 
     #[test]
     fn breakdown_arithmetic() {

@@ -247,6 +247,9 @@ impl ClusterNode {
         let dial_budget = deadline
             .saturating_duration_since(Instant::now())
             .max(Duration::from_secs(1));
+        // One node per process: its readiness reactor multiplexes every
+        // peer link on O(cores) event loops, however large the world is
+        // (see [`ClusterNode::reactor`]).
         let node = NcsNode::builder(&rank_name(cfg.rank))
             .rank(cfg.rank)
             .build();
@@ -346,6 +349,14 @@ impl ClusterNode {
     /// statistics, thread package).
     pub fn node(&self) -> &NcsNode {
         &self.node
+    }
+
+    /// The readiness reactor multiplexing every link of this rank — all
+    /// world links and any extra [`ClusterNode::open_connection`] channels
+    /// share its O(cores) event loops. Inspect its
+    /// [`stats`](ncs_core::Reactor::stats) for wakeup/poll diagnostics.
+    pub fn reactor(&self) -> Arc<ncs_core::Reactor> {
+        self.node.reactor()
     }
 
     /// The world roster learned at rendezvous.

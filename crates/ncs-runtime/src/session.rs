@@ -232,9 +232,17 @@ impl LocalWorld {
         if n == 0 {
             return Err(SessionError::Connect("world size must be positive".into()));
         }
+        // All co-located members share one readiness reactor: the world
+        // runs O(cores) event loops total, not O(cores) per rank.
+        let reactor_pkg = pkg
+            .clone()
+            .unwrap_or_else(|| Arc::new(ncs_threads::KernelPackage::new()));
+        let reactor = ncs_core::Reactor::with_default_shards(reactor_pkg);
         let nodes: Vec<NcsNode> = (0..n)
             .map(|r| {
-                let mut b = NcsNode::builder(&rank_name(r)).rank(r);
+                let mut b = NcsNode::builder(&rank_name(r))
+                    .rank(r)
+                    .reactor(Arc::clone(&reactor));
                 if let Some(p) = &pkg {
                     b = b.thread_package(Arc::clone(p));
                 }

@@ -6,11 +6,18 @@
 //! blocking cooperatively on green threads.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use super::Semaphore;
+
+/// A readiness callback installed with [`Mailbox::set_notify`]: invoked
+/// after every successful send so an event loop can schedule the consumer
+/// instead of parking a dedicated thread on [`Mailbox::recv`].
+pub type NotifyFn = Arc<dyn Fn() + Send + Sync>;
 
 /// Error returned by [`Mailbox::try_send`] on a full bounded mailbox,
 /// handing the rejected message back (C-GOOD-ERR).
@@ -57,6 +64,10 @@ pub struct Mailbox<T> {
     /// Counts free slots for bounded mailboxes; senders block on it.
     slots: Option<Semaphore>,
     capacity: Option<usize>,
+    /// Fast-path flag: true iff `notify` holds a callback.
+    has_notify: AtomicBool,
+    /// Optional readiness callback, fired after every send.
+    notify: Mutex<Option<NotifyFn>>,
 }
 
 impl<T> std::fmt::Debug for Mailbox<T> {
@@ -82,6 +93,8 @@ impl<T> Mailbox<T> {
             items: Semaphore::new(0),
             slots: None,
             capacity: None,
+            has_notify: AtomicBool::new(false),
+            notify: Mutex::new(None),
         }
     }
 
@@ -97,6 +110,31 @@ impl<T> Mailbox<T> {
             items: Semaphore::new(0),
             slots: Some(Semaphore::new(capacity)),
             capacity: Some(capacity),
+            has_notify: AtomicBool::new(false),
+            notify: Mutex::new(None),
+        }
+    }
+
+    /// Installs (or with `None`, removes) a callback fired after every
+    /// successful send. Used by readiness-driven consumers (the NCS
+    /// reactor) in place of a thread parked on [`Mailbox::recv`]. The
+    /// callback must be cheap, non-blocking, and tolerant of spurious
+    /// invocations.
+    pub fn set_notify(&self, notify: Option<NotifyFn>) {
+        let mut slot = self.notify.lock();
+        self.has_notify.store(notify.is_some(), Ordering::Release);
+        *slot = notify;
+    }
+
+    /// Fires the installed notify callback, if any, without queueing a
+    /// message. Producers call this for out-of-band state changes the
+    /// consumer must observe (e.g. a transport's closed flag flipping).
+    pub fn notify(&self) {
+        if self.has_notify.load(Ordering::Acquire) {
+            let cb = self.notify.lock().clone();
+            if let Some(cb) = cb {
+                cb();
+            }
         }
     }
 
@@ -107,6 +145,7 @@ impl<T> Mailbox<T> {
         }
         self.queue.lock().push_back(value);
         self.items.release();
+        self.notify();
     }
 
     /// Queues a message if space is available; otherwise returns it in
@@ -123,6 +162,7 @@ impl<T> Mailbox<T> {
         }
         self.queue.lock().push_back(value);
         self.items.release();
+        self.notify();
         Ok(())
     }
 
@@ -169,6 +209,7 @@ impl<T> Mailbox<T> {
         }
         self.queue.lock().push_back(value);
         self.items.release();
+        self.notify();
         Ok(())
     }
 
@@ -204,6 +245,7 @@ impl<T> Mailbox<T> {
             for _ in 0..n {
                 self.items.release();
             }
+            self.notify();
         }
         rejected
     }

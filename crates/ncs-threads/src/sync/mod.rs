@@ -22,7 +22,7 @@ mod mutex;
 mod sem;
 
 pub use event::Event;
-pub use mailbox::{Mailbox, RecvTimeoutError, TrySendError};
+pub use mailbox::{Mailbox, NotifyFn, RecvTimeoutError, TrySendError};
 pub use mutex::{NcsMutex, NcsMutexGuard};
 pub use sem::Semaphore;
 

@@ -19,7 +19,7 @@ use atm_sim::{
 use ncs_threads::sync::{Event, Mailbox};
 use parking_lot::Mutex;
 
-use crate::iface::{Capabilities, Connection, TransportError};
+use crate::iface::{Capabilities, Connection, Readiness, TransportError, Waker};
 
 /// Largest AAL5 frame.
 pub const MAX_FRAME: usize = atm_sim::aal5::MAX_FRAME;
@@ -131,6 +131,9 @@ impl DeliverySink for Registry {
                 let boxes = reg.conns.lock();
                 if let Some(b) = boxes.get(&conn) {
                     b.released.store(true, Ordering::Release);
+                    // No frame will follow the release; wake readiness-
+                    // driven consumers so they observe the flag.
+                    b.frames.notify();
                 }
             }
         }
@@ -413,9 +416,18 @@ impl Connection for AciConnection {
         }
     }
 
+    fn readiness(&self) -> Readiness {
+        Readiness::Waker
+    }
+
+    fn register_waker(&self, waker: Option<Waker>) {
+        self.inbound.frames.set_notify(waker);
+    }
+
     fn close(&self) {
         self.inbound.released.store(true, Ordering::Release);
         let _ = self.fabric.pump.close_vc(self.host, self.conn);
+        self.inbound.frames.notify();
     }
 
     fn peer_label(&self) -> String {

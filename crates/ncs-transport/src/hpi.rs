@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use ncs_threads::sync::Mailbox;
 
-use crate::iface::{Capabilities, Connection, TransportError};
+use crate::iface::{Capabilities, Connection, Readiness, TransportError, Waker};
 
 /// Default ring capacity, in frames.
 pub const DEFAULT_RING: usize = 64;
@@ -227,9 +227,21 @@ impl Connection for HpiConnection {
         }
     }
 
+    fn readiness(&self) -> Readiness {
+        Readiness::Waker
+    }
+
+    fn register_waker(&self, waker: Option<Waker>) {
+        self.rx.queue.set_notify(waker);
+    }
+
     fn close(&self) {
         self.tx.closed.store(true, Ordering::Release);
         self.rx.closed.store(true, Ordering::Release);
+        // Wake readiness-driven consumers on both endpoints so they observe
+        // the closed flags (no frame will arrive to do it for them).
+        self.tx.queue.notify();
+        self.rx.queue.notify();
     }
 
     fn peer_label(&self) -> String {

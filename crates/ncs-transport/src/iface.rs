@@ -10,6 +10,31 @@ use std::time::Duration;
 /// calls plus `thread_yield()`".
 pub type YieldHook = Arc<dyn Fn() + Send + Sync>;
 
+/// A readiness callback installed by an event loop via
+/// [`Connection::register_waker`]. The transport invokes it whenever the
+/// endpoint *may* have become readable (a frame arrived, the peer closed,
+/// a virtual circuit was released). Wakers must be cheap, non-blocking and
+/// tolerant of spurious invocations — the reactor coalesces them.
+pub type Waker = Arc<dyn Fn() + Send + Sync>;
+
+/// How an event loop should learn that a [`Connection`] has inbound data.
+///
+/// Returned by [`Connection::readiness`]; drives the registration strategy
+/// of `ncs-core`'s reactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Readiness {
+    /// The endpoint calls a registered [`Waker`] when frames arrive
+    /// (in-process mailbox transports: HPI, PIPE, ACI).
+    Waker,
+    /// The endpoint is backed by an OS file descriptor; readiness comes
+    /// from `poll(2)` on that descriptor (SCI sockets).
+    #[cfg(unix)]
+    Fd(std::os::fd::RawFd),
+    /// No readiness signal is available; the event loop must poll
+    /// [`Connection::try_recv`] periodically.
+    Polling,
+}
+
 /// Static properties of a communication interface, consulted by NCS when
 /// configuring a connection (e.g. SCI is reliable, so the flow-/error-
 /// control threads are bypassed — paper §3.1).
@@ -185,6 +210,37 @@ pub trait Connection: Send + Sync + std::fmt::Debug {
         }
         Ok(out)
     }
+
+    /// Non-blocking batch transmit: accepts as many frames as the
+    /// transport can take *right now* and returns the count, `Ok(0)` when
+    /// the first frame would block. Never blocks the caller. The default
+    /// implementation delegates to [`Connection::send_batch`], which is
+    /// correct for transports whose "blocking" resolves without help from
+    /// the calling thread (HPI rings never block; PIPE's modeled kernel
+    /// buffer is drained by its own pacing thread). Transports whose sends
+    /// can block on the *peer* making progress (SCI kernel sockets)
+    /// override this so a shared event loop is never wedged.
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::send_batch`]; a would-block first frame is `Ok(0)`,
+    /// not an error.
+    fn try_send_batch(&self, frames: &[&[u8]]) -> Result<usize, TransportError> {
+        self.send_batch(frames)
+    }
+
+    /// How an event loop should wait for inbound frames on this endpoint.
+    /// The default is [`Readiness::Polling`].
+    fn readiness(&self) -> Readiness {
+        Readiness::Polling
+    }
+
+    /// Installs (or with `None`, removes) a readiness [`Waker`]. Endpoints
+    /// reporting [`Readiness::Waker`] invoke it on every frame arrival and
+    /// on close; [`Readiness::Fd`] endpoints invoke it on close only (frame
+    /// arrival is visible through `poll(2)`). The default implementation
+    /// ignores the waker — matching [`Readiness::Polling`].
+    fn register_waker(&self, _waker: Option<Waker>) {}
 
     /// Closes the connection. Idempotent. Queued inbound frames remain
     /// receivable; subsequent sends fail with [`TransportError::Closed`].

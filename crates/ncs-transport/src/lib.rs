@@ -34,4 +34,4 @@ mod iface;
 pub mod pipe;
 pub mod sci;
 
-pub use iface::{Capabilities, Connection, TransportError, YieldHook};
+pub use iface::{Capabilities, Connection, Readiness, TransportError, Waker, YieldHook};

@@ -21,7 +21,7 @@ use ncs_threads::sync::Mailbox;
 use netmodel::{Pacer, PlatformProfile};
 use parking_lot::{Condvar, Mutex};
 
-use crate::iface::{Capabilities, Connection, TransportError};
+use crate::iface::{Capabilities, Connection, Readiness, TransportError, Waker};
 
 /// Largest frame the pipe accepts.
 pub const MAX_FRAME: usize = 1024 * 1024;
@@ -376,9 +376,21 @@ impl Connection for PipeConnection {
         Ok(frames)
     }
 
+    fn readiness(&self) -> Readiness {
+        Readiness::Waker
+    }
+
+    fn register_waker(&self, waker: Option<Waker>) {
+        self.rx.delivered.set_notify(waker);
+    }
+
     fn close(&self) {
         self.tx.close();
         self.rx.close();
+        // Wake readiness-driven consumers on both endpoints so they observe
+        // the closed flags.
+        self.tx.delivered.notify();
+        self.rx.delivered.notify();
     }
 
     fn peer_label(&self) -> String {

@@ -13,12 +13,13 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::iface::{Capabilities, Connection, TransportError, YieldHook};
+use crate::iface::{Capabilities, Connection, Readiness, TransportError, Waker, YieldHook};
 
 /// Largest frame SCI accepts (sanity bound; TCP itself is a stream).
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
@@ -54,10 +55,19 @@ impl ReadBuf {
 /// A TCP-backed NCS connection.
 pub struct SciConnection {
     writer: Mutex<TcpStream>,
+    /// Outbound bytes accepted by [`Connection::try_send_batch`] but not
+    /// yet written (the tail of at most one partially-written frame).
+    /// Locked after `writer`, never before.
+    write_backlog: Mutex<Vec<u8>>,
     reader: Mutex<(TcpStream, ReadBuf)>,
+    /// Raw fd of the (cloned) socket, for `poll(2)`-based readiness.
+    fd: RawFd,
     closed: AtomicBool,
     peer: SocketAddr,
     yield_hook: Mutex<Option<YieldHook>>,
+    /// Readiness callback, fired on close (frame arrival is visible to the
+    /// event loop through the fd itself).
+    waker: Mutex<Option<Waker>>,
 }
 
 impl std::fmt::Debug for SciConnection {
@@ -74,13 +84,98 @@ impl SciConnection {
         stream.set_nodelay(true)?;
         let peer = stream.peer_addr()?;
         let reader = stream.try_clone()?;
+        let fd = reader.as_raw_fd();
         Ok(SciConnection {
             writer: Mutex::new(stream),
+            write_backlog: Mutex::new(Vec::new()),
             reader: Mutex::new((reader, ReadBuf::default())),
+            fd,
             closed: AtomicBool::new(false),
             peer,
             yield_hook: Mutex::new(None),
+            waker: Mutex::new(None),
         })
+    }
+
+    /// Flushes any `try_send_batch` backlog, blocking. Caller holds the
+    /// writer lock; keeps mixed blocking/non-blocking send paths ordered.
+    fn flush_backlog_blocking(&self, w: &mut TcpStream) -> Result<(), TransportError> {
+        let mut backlog = self.write_backlog.lock();
+        if !backlog.is_empty() {
+            w.write_all(&backlog)?;
+            backlog.clear();
+        }
+        Ok(())
+    }
+
+    /// Non-blocking write of as many valid frames as the kernel takes.
+    /// Caller holds the writer lock with the stream in non-blocking mode.
+    /// A frame whose bytes are only partially accepted counts as sent; its
+    /// tail goes to `write_backlog` and is flushed ahead of later sends.
+    fn try_send_locked(
+        &self,
+        w: &mut TcpStream,
+        frames: &[&[u8]],
+    ) -> Result<usize, TransportError> {
+        let mut backlog = self.write_backlog.lock();
+        while !backlog.is_empty() {
+            match w.write(&backlog) {
+                Ok(0) => return Err(TransportError::Closed),
+                Ok(n) => {
+                    backlog.drain(..n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(0),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let mut accepted = 0;
+        for frame in frames {
+            let header = (frame.len() as u32).to_be_bytes();
+            let mut off = 0;
+            while off < header.len() {
+                match w.write(&header[off..]) {
+                    Ok(0) => return Err(TransportError::Closed),
+                    Ok(n) => off += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if off == 0 {
+                            // Nothing of this frame is committed to the
+                            // stream yet: hand it back whole.
+                            return Ok(accepted);
+                        }
+                        backlog.extend_from_slice(&header[off..]);
+                        backlog.extend_from_slice(frame);
+                        return Ok(accepted + 1);
+                    }
+                    Err(e) => {
+                        return if accepted > 0 {
+                            Ok(accepted)
+                        } else {
+                            Err(e.into())
+                        }
+                    }
+                }
+            }
+            let mut boff = 0;
+            while boff < frame.len() {
+                match w.write(&frame[boff..]) {
+                    Ok(0) => return Err(TransportError::Closed),
+                    Ok(n) => boff += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        backlog.extend_from_slice(&frame[boff..]);
+                        return Ok(accepted + 1);
+                    }
+                    Err(e) => {
+                        return if accepted > 0 {
+                            Ok(accepted)
+                        } else {
+                            Err(e.into())
+                        }
+                    }
+                }
+            }
+            accepted += 1;
+        }
+        Ok(accepted)
     }
 
     /// Switches receives to non-blocking polling, invoking `hook` between
@@ -173,6 +268,7 @@ impl Connection for SciConnection {
             return Err(TransportError::Closed);
         }
         let mut w = self.writer.lock();
+        self.flush_backlog_blocking(&mut w)?;
         w.write_all(&(frame.len() as u32).to_be_bytes())?;
         w.write_all(frame)?;
         Ok(())
@@ -267,8 +363,49 @@ impl Connection for SciConnection {
             scratch.extend_from_slice(&(frame.len() as u32).to_be_bytes());
             scratch.extend_from_slice(frame);
         }
-        self.writer.lock().write_all(&scratch)?;
+        let mut w = self.writer.lock();
+        self.flush_backlog_blocking(&mut w)?;
+        w.write_all(&scratch)?;
         Ok(end)
+    }
+
+    fn try_send_batch(&self, frames: &[&[u8]]) -> Result<usize, TransportError> {
+        // Same valid-prefix cut as `send_batch`.
+        let mut valid = frames.len();
+        let mut first_error = None;
+        for (i, frame) in frames.iter().enumerate() {
+            let error = if frame.is_empty() {
+                Some(TransportError::Empty)
+            } else if frame.len() > MAX_FRAME {
+                Some(TransportError::TooLarge {
+                    len: frame.len(),
+                    max: MAX_FRAME,
+                })
+            } else {
+                None
+            };
+            if let Some(e) = error {
+                valid = i;
+                first_error = Some(e);
+                break;
+            }
+        }
+        if valid == 0 {
+            return match first_error {
+                Some(e) => Err(e),
+                None => Ok(0),
+            };
+        }
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        let mut w = self.writer.lock();
+        w.set_nonblocking(true)?;
+        let result = self.try_send_locked(&mut w, &frames[..valid]);
+        let restore = w.set_nonblocking(false);
+        let accepted = result?;
+        restore?;
+        Ok(accepted)
     }
 
     fn recv_many(&self, max: usize, timeout: Duration) -> Result<Vec<Vec<u8>>, TransportError> {
@@ -346,9 +483,23 @@ impl Connection for SciConnection {
         }
     }
 
+    fn readiness(&self) -> Readiness {
+        Readiness::Fd(self.fd)
+    }
+
+    fn register_waker(&self, waker: Option<Waker>) {
+        *self.waker.lock() = waker;
+    }
+
     fn close(&self) {
         if !self.closed.swap(true, Ordering::AcqRel) {
             let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
+            // The socket shutdown makes the fd poll readable (HUP), but an
+            // event loop parked on mailbox wakeups still needs the nudge.
+            let waker = self.waker.lock().clone();
+            if let Some(w) = waker {
+                w();
+            }
         }
     }
 
