@@ -1,0 +1,156 @@
+//! mt-msgrate — standalone multithreaded message-rate sweep.
+//!
+//! N application threads share one connection, each pumping 8-byte
+//! messages over its own [`Channel`] in windows of 64 nonblocking sends;
+//! the peer mirrors each window with nonblocking receives. Prints the
+//! aggregate Mmsgs/s for 1/2/4 threads over HPI and SCI under both
+//! thread packages. The CI-gated variant of this measurement is the
+//! `mt_msgrate` section of `perf_gate`.
+//!
+//! Usage: `mt_msgrate [--msgs N]` (N = messages per thread, multiple
+//! of the 64-message window; default 32768 for HPI, 4096 for SCI).
+//!
+//! [`Channel`]: ncs_core::Channel
+
+use std::sync::Arc;
+
+use ncs_bench::msgrate::{self, MsgRate, THREAD_COUNTS, WINDOW_SIZE};
+use ncs_core::link::{HpiLinkPair, SciLink};
+use ncs_core::{ConnectionConfig, NcsNode};
+use ncs_threads::{KernelPackage, SwitchMech, ThreadPackage, UserConfig, UserRuntime};
+use ncs_transport::sci::SciListener;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Iface {
+    Hpi,
+    Sci,
+}
+
+impl Iface {
+    fn name(self) -> &'static str {
+        match self {
+            Iface::Hpi => "HPI",
+            Iface::Sci => "SCI",
+        }
+    }
+
+    fn default_msgs(self) -> usize {
+        match self {
+            Iface::Hpi => 64 * 512,
+            Iface::Sci => 64 * 64,
+        }
+    }
+}
+
+fn run_point(
+    iface: Iface,
+    pkg: Arc<dyn ThreadPackage>,
+    threads: usize,
+    msgs_per_thread: usize,
+) -> MsgRate {
+    let tx_node = NcsNode::builder("msgrate-tx")
+        .thread_package(Arc::clone(&pkg))
+        .build();
+    let rx_node = NcsNode::builder("msgrate-rx").build();
+    match iface {
+        Iface::Hpi => {
+            let (la, lb) = HpiLinkPair::with_capacity(1024);
+            tx_node.attach_peer("msgrate-rx", la);
+            rx_node.attach_peer("msgrate-tx", lb);
+        }
+        Iface::Sci => {
+            let ltx = Arc::new(SciListener::bind("127.0.0.1:0").expect("bind tx"));
+            let lrx = Arc::new(SciListener::bind("127.0.0.1:0").expect("bind rx"));
+            let addr_tx = ltx.local_addr().expect("tx addr");
+            let addr_rx = lrx.local_addr().expect("rx addr");
+            tx_node.attach_peer("msgrate-rx", SciLink::new(addr_rx, ltx));
+            rx_node.attach_peer("msgrate-tx", SciLink::new(addr_tx, lrx));
+        }
+    }
+    // HPI overruns under load, so flow/error control stay on; SCI is a
+    // reliable byte stream, so NCS bypasses its control threads.
+    let config = match iface {
+        Iface::Hpi => ConnectionConfig::reliable(),
+        Iface::Sci => ConnectionConfig::unreliable(),
+    };
+    let conn_tx = tx_node.connect("msgrate-rx", config).expect("connect");
+    let conn_rx = rx_node.accept_default().expect("accept");
+    // One untimed window per channel charges the pool and wake paths.
+    msgrate::measure(&conn_tx, &conn_rx, &pkg, threads, WINDOW_SIZE);
+    let result = msgrate::measure(&conn_tx, &conn_rx, &pkg, threads, msgs_per_thread);
+    tx_node.shutdown();
+    rx_node.shutdown();
+    result
+}
+
+fn main() {
+    let mut msgs_override = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--msgs" => {
+                let n: usize = args
+                    .next()
+                    .expect("--msgs needs a count")
+                    .parse()
+                    .expect("--msgs needs an integer");
+                assert!(
+                    n > 0 && n.is_multiple_of(WINDOW_SIZE),
+                    "--msgs must be a positive multiple of {WINDOW_SIZE}"
+                );
+                msgs_override = Some(n);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: mt_msgrate [--msgs N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "mt-msgrate: {}-byte messages, window {WINDOW_SIZE}, {} CPUs available",
+        msgrate::MESSAGE_SIZE,
+        msgrate::host_cpus()
+    );
+    println!(
+        "{:<6} {:<8} {:>8} {:>12} {:>16}",
+        "iface", "package", "threads", "msgs/thread", "aggregate Mmsg/s"
+    );
+    for iface in [Iface::Hpi, Iface::Sci] {
+        let msgs = msgs_override.unwrap_or_else(|| iface.default_msgs());
+        for package in ["kernel", "user"] {
+            for threads in THREAD_COUNTS {
+                let result = if package == "kernel" {
+                    run_point(
+                        iface,
+                        Arc::new(KernelPackage::new()) as Arc<dyn ThreadPackage>,
+                        threads,
+                        msgs,
+                    )
+                } else {
+                    UserRuntime::new(UserConfig {
+                        mech: SwitchMech::Native,
+                        ..UserConfig::default()
+                    })
+                    .run(move |pkg| {
+                        run_point(
+                            iface,
+                            Arc::new(pkg) as Arc<dyn ThreadPackage>,
+                            threads,
+                            msgs,
+                        )
+                    })
+                };
+                println!(
+                    "{:<6} {:<8} {:>8} {:>12} {:>16.3}",
+                    iface.name(),
+                    package,
+                    result.threads,
+                    result.msgs_per_thread,
+                    result.aggregate_mmsgs_s
+                );
+            }
+        }
+    }
+}

@@ -20,6 +20,14 @@
 //! flat multicast. The run fails unless the tree beats flat for every
 //! group of at least [`COLL_GATE_MIN_GROUP`] members.
 //!
+//! An **mt_msgrate** section measures aggregate message rate when 1/2/4
+//! application threads hammer one connection through per-thread
+//! [`Channel`]s (HPI + SCI, both packages), and fails unless the
+//! 4-thread aggregate on HPI under the kernel package clears a
+//! parallelism-aware multiple of the 1-thread figure
+//! ([`msgrate::scaling_threshold`]: 2.0x where the host offers >= 4
+//! CPUs, degrading to a documented no-collapse bound on smaller hosts).
+//!
 //! A **c10k** section holds [`C10K_CONNECTIONS`] simultaneous connections
 //! open between two in-process nodes sharing one readiness reactor and
 //! fails unless the OS thread count stays bounded (O(cores) event loops,
@@ -33,6 +41,7 @@
 //! path (default `BENCH_dataplane.json` in the current directory).
 //!
 //! [`BufPool`]: ncs_core::BufPool
+//! [`Channel`]: ncs_core::Channel
 
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -40,6 +49,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ncs_bench::msgrate;
 use ncs_collectives::{CollectiveGroup, ReduceOp, Topology};
 use ncs_core::link::{AciLink, HpiLinkPair, PipeLinkPair, SciLink};
 use ncs_core::{ConnectionConfig, NcsConnection, NcsNode, PoolStats};
@@ -247,6 +257,62 @@ fn bulk_config(iface: Iface) -> ConnectionConfig {
         Iface::Hpi | Iface::Aci => ConnectionConfig::reliable(),
         // PIPE and SCI are reliable: NCS bypasses its control threads.
         Iface::Pipe | Iface::Sci => ConnectionConfig::unreliable(),
+    }
+}
+
+/// Interfaces the mt_msgrate section sweeps (HPI = fastest in-process
+/// path, SCI = real sockets).
+const MSGRATE_IFACES: [Iface; 2] = [Iface::Hpi, Iface::Sci];
+
+/// Messages per thread for one mt_msgrate point, per interface and mode
+/// (multiples of the 64-message window).
+fn msgrate_msgs(iface: Iface, smoke: bool) -> usize {
+    match (iface, smoke) {
+        (Iface::Hpi, false) => 64 * 512,
+        (Iface::Hpi, true) => 64 * 32,
+        (_, false) => 64 * 64,
+        (_, true) => 64 * 8,
+    }
+}
+
+#[derive(Debug)]
+struct MsgRateCaseResult {
+    iface: &'static str,
+    package: &'static str,
+    threads: usize,
+    msgs_per_thread: usize,
+    per_thread_mmsgs_s: Vec<f64>,
+    aggregate_mmsgs_s: f64,
+}
+
+/// Runs one mt_msgrate point: `threads` sender/receiver thread pairs on
+/// `pkg`, each pair on its own per-thread channel over one connection.
+fn run_msgrate_case(
+    iface: Iface,
+    package: Package,
+    pkg: Arc<dyn ThreadPackage>,
+    threads: usize,
+    msgs_per_thread: usize,
+) -> MsgRateCaseResult {
+    let pair = build_pair(iface, Arc::clone(&pkg));
+    let conn_tx = pair
+        .tx_node
+        .connect("gate-rx", bulk_config(iface))
+        .expect("msgrate connect");
+    let conn_rx = pair.rx_node.accept_default().expect("msgrate accept");
+    // One untimed window per channel charges the pool and wake paths.
+    msgrate::measure(&conn_tx, &conn_rx, &pkg, threads, msgrate::WINDOW_SIZE);
+    let m = msgrate::measure(&conn_tx, &conn_rx, &pkg, threads, msgs_per_thread);
+    drop(conn_tx);
+    drop(conn_rx);
+    pair.shutdown();
+    MsgRateCaseResult {
+        iface: iface.name(),
+        package: package.name(),
+        threads: m.threads,
+        msgs_per_thread: m.msgs_per_thread,
+        per_thread_mmsgs_s: m.per_thread_mmsgs_s,
+        aggregate_mmsgs_s: m.aggregate_mmsgs_s,
     }
 }
 
@@ -1171,6 +1237,7 @@ fn emit_json(
     results: &[CaseResult],
     coll_results: &[CollCaseResult],
     req_results: &[RequestsCaseResult],
+    msgrate_results: &[MsgRateCaseResult],
     cluster_results: &[ClusterCaseResult],
     c10k: &C10kResult,
     smoke: bool,
@@ -1180,11 +1247,15 @@ fn emit_json(
     coll_gate_pass: bool,
     req_gate_value: f64,
     req_gate_pass: bool,
+    msgrate_cpus: usize,
+    msgrate_threshold: f64,
+    msgrate_gate_value: f64,
+    msgrate_gate_pass: bool,
     cluster_gate_pass: bool,
 ) {
     use std::fmt::Write as _;
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/5\",");
+    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/6\",");
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
@@ -1289,6 +1360,52 @@ fn emit_json(
             out,
             "        \"allocs\": {{ \"messages\": {}, \"per_msg_recv\": {:.3}, \"per_msg_msgview\": {:.3}, \"ratio\": {:.2} }}",
             r.bulk_msgs, r.allocs_per_msg_recv, r.allocs_per_msg_msgview, r.alloc_ratio,
+        );
+        let _ = writeln!(out, "      }}{comma}");
+    }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"mt_msgrate\": {{");
+    let _ = writeln!(out, "    \"message_bytes\": {},", msgrate::MESSAGE_SIZE);
+    let _ = writeln!(out, "    \"window\": {},", msgrate::WINDOW_SIZE);
+    let _ = writeln!(out, "    \"gate\": {{");
+    let _ = writeln!(
+        out,
+        "      \"metric\": \"HPI kernel-package aggregate Mmsgs/s at 4 threads over 1 thread; \
+         threshold is parallelism-aware (2.0 at >= 4 CPUs, 1.2 at 2-3, 0.5 no-collapse at 1 — \
+         see docs/BENCH_SCHEMA.md)\","
+    );
+    let _ = writeln!(out, "      \"cpus\": {msgrate_cpus},");
+    let _ = writeln!(out, "      \"threshold\": {msgrate_threshold:.1},");
+    let _ = writeln!(out, "      \"value\": {msgrate_gate_value:.2},");
+    let _ = writeln!(out, "      \"pass\": {msgrate_gate_pass}");
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"cases\": [");
+    for (i, r) in msgrate_results.iter().enumerate() {
+        let comma = if i + 1 < msgrate_results.len() {
+            ","
+        } else {
+            ""
+        };
+        let per_thread = r
+            .per_thread_mmsgs_s
+            .iter()
+            .map(|v| format!("{v:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "      {{");
+        let _ = writeln!(
+            out,
+            "        \"interface\": \"{}\", \"package\": \"{}\", \"threads\": {},",
+            json_escape_free(r.iface),
+            json_escape_free(r.package),
+            r.threads
+        );
+        let _ = writeln!(
+            out,
+            "        \"msgs_per_thread\": {}, \"aggregate_mmsgs_s\": {:.3}, \
+             \"per_thread_mmsgs_s\": [{per_thread}]",
+            r.msgs_per_thread, r.aggregate_mmsgs_s
         );
         let _ = writeln!(out, "      }}{comma}");
     }
@@ -1566,6 +1683,61 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     let req_gate_pass = req_gate_value >= REQ_GATE_MIN_RATIO;
 
+    // mt_msgrate: aggregate message rate as application threads multiply,
+    // each thread on its own channel (per-thread delivery shard).
+    let mut msgrate_results = Vec::new();
+    for package in [Package::Kernel, Package::User] {
+        for iface in MSGRATE_IFACES {
+            let msgs = msgrate_msgs(iface, smoke);
+            for threads in msgrate::THREAD_COUNTS {
+                eprintln!(
+                    "perf_gate: mt_msgrate, {} over {}, {threads} threads x {msgs} msgs...",
+                    package.name(),
+                    iface.name(),
+                );
+                let result = match package {
+                    Package::Kernel => run_msgrate_case(
+                        iface,
+                        package,
+                        Arc::new(KernelPackage::new()) as Arc<dyn ThreadPackage>,
+                        threads,
+                        msgs,
+                    ),
+                    Package::User => UserRuntime::new(UserConfig {
+                        mech: SwitchMech::Native,
+                        ..UserConfig::default()
+                    })
+                    .run(move |pkg| {
+                        run_msgrate_case(
+                            iface,
+                            package,
+                            Arc::new(pkg) as Arc<dyn ThreadPackage>,
+                            threads,
+                            msgs,
+                        )
+                    }),
+                };
+                eprintln!("  aggregate {:.3} Mmsgs/s", result.aggregate_mmsgs_s);
+                msgrate_results.push(result);
+            }
+        }
+    }
+    // The scaling gate reads the kernel-package HPI sweep: the user
+    // package is M:1 by construction (green threads share one core), so
+    // only kernel threads can exhibit CPU parallelism. The threshold is
+    // parallelism-aware — see msgrate::scaling_threshold.
+    let msgrate_cpus = msgrate::host_cpus();
+    let msgrate_threshold = msgrate::scaling_threshold(msgrate_cpus);
+    let msgrate_agg = |threads: usize| {
+        msgrate_results
+            .iter()
+            .find(|r| r.iface == "HPI" && r.package == "kernel" && r.threads == threads)
+            .map(|r| r.aggregate_mmsgs_s)
+            .unwrap_or(0.0)
+    };
+    let msgrate_gate_value = msgrate_agg(4) / msgrate_agg(1).max(f64::MIN_POSITIVE);
+    let msgrate_gate_pass = msgrate_gate_value >= msgrate_threshold;
+
     // Cross-process cluster section: this binary re-executes itself as
     // child ranks; every number here crossed a real process boundary over
     // real sockets.
@@ -1628,6 +1800,7 @@ fn main() {
         &results,
         &coll_results,
         &req_results,
+        &msgrate_results,
         &cluster_results,
         &c10k,
         smoke,
@@ -1637,6 +1810,10 @@ fn main() {
         coll_gate_pass,
         req_gate_value,
         req_gate_pass,
+        msgrate_cpus,
+        msgrate_threshold,
+        msgrate_gate_value,
+        msgrate_gate_pass,
         cluster_gate_pass,
     );
     let mut file = std::fs::File::create(&out_path).expect("create output file");
@@ -1680,6 +1857,14 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if !msgrate_gate_pass {
+        eprintln!(
+            "perf_gate: FAIL — 4-thread aggregate message rate on HPI (kernel package) is \
+             only {msgrate_gate_value:.2}x the 1-thread figure (must be >= \
+             {msgrate_threshold:.1}x on this {msgrate_cpus}-CPU host)"
+        );
+        std::process::exit(1);
+    }
     if !cluster_gate_pass {
         eprintln!(
             "perf_gate: FAIL — a cross-process cluster case lost a child rank or \
@@ -1708,7 +1893,9 @@ fn main() {
         "perf_gate: PASS — HPI bulk allocation improvement {gate_value:.2}x, \
          binomial broadcast origin egress {coll_gate_value:.2}x flat for groups \
          >= {COLL_GATE_MIN_GROUP}, zero-copy receives {req_gate_value:.2}x fewer \
-         allocs/msg than recv(), cross-process cluster cases complete, \
+         allocs/msg than recv(), 4-thread message rate {msgrate_gate_value:.2}x the \
+         1-thread figure (>= {msgrate_threshold:.1}x on {msgrate_cpus} CPUs), \
+         cross-process cluster cases complete, \
          {C10K_CONNECTIONS} connections on {} reactor threads with p99 {:.2}x baseline",
         c10k.reactor.workers, c10k.p99_ratio
     );

@@ -284,7 +284,7 @@ fn collect_passes(v: &Json, path: &str, out: &mut Vec<(String, Option<bool>)>) {
 /// (measurement values are allowed to drift; the *population* is not).
 fn case_identity(case: &Json) -> String {
     let mut parts = Vec::new();
-    for key in ["interface", "package", "group_size", "np"] {
+    for key in ["interface", "package", "group_size", "np", "threads"] {
         if let Some(v) = case.get(key) {
             match v {
                 Json::Str(s) => parts.push(format!("{key}={s}")),
@@ -323,8 +323,8 @@ pub fn validate(new: &Json, snapshot: &Json) -> Vec<String> {
     }
 
     // No case population may shrink: every (interface, package,
-    // group_size, np) identity in any snapshot `cases` array must appear
-    // in the corresponding fresh array.
+    // group_size, np, threads) identity in any snapshot `cases` array
+    // must appear in the corresponding fresh array.
     fn walk_cases(snap: &Json, fresh: Option<&Json>, path: &str, problems: &mut Vec<String>) {
         if let Json::Obj(m) = snap {
             for (k, snap_child) in m {
@@ -378,6 +378,8 @@ mod tests {
       "collectives": { "gate": { "pass": true },
         "cases": [ { "package": "kernel", "group_size": 2 } ] },
       "cluster": { "gate": { "pass": true }, "cases": [ { "np": 2 } ] },
+      "mt_msgrate": { "gate": { "pass": true },
+        "cases": [ { "interface": "HPI", "package": "kernel", "threads": 4 } ] },
       "cases": [ { "interface": "HPI", "package": "kernel" } ]
     }"#;
 
@@ -426,6 +428,8 @@ mod tests {
           "gate": { "pass": true },
           "collectives": { "gate": { "pass": true },
             "cases": [ { "package": "kernel", "group_size": 4 } ] },
+          "mt_msgrate": { "gate": { "pass": true },
+            "cases": [ { "interface": "HPI", "package": "kernel", "threads": 1 } ] },
           "cases": [ { "interface": "HPI", "package": "kernel" } ]
         }"#,
         )
@@ -437,6 +441,10 @@ mod tests {
         );
         assert!(
             problems.iter().any(|p| p.contains("group_size=2")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("threads=4")),
             "{problems:?}"
         );
     }

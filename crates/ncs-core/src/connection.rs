@@ -41,7 +41,7 @@ use std::time::{Duration, Instant};
 
 use ncs_threads::sync::{Event, Mailbox, NcsMutex};
 use ncs_transport::{Connection as Transport, TransportError};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::config::{ConnectionConfig, ErrorControlAlg, FlowControlAlg};
 use crate::error_control::{
@@ -239,8 +239,12 @@ pub(crate) struct ConnShared {
     pub ec_recv_inbox: Mailbox<EcRecvMsg>,
     pub send_inbox: Mailbox<SendMsg>,
     /// Wake handle of the connection's reactor task (`None` in direct
-    /// mode, before attachment, and after the task retires).
-    pub task: Mutex<Option<Arc<TaskHandle>>>,
+    /// mode, before attachment, and after the task retires). A read-write
+    /// lock, not a mutex: every submitter on the send path takes it
+    /// shared in [`ConnShared::wake_task`], so N application threads
+    /// hammering one connection never serialise on the wake handle —
+    /// only attachment and retirement take it exclusively.
+    pub task: RwLock<Option<Arc<TaskHandle>>>,
     /// The task's readiness registration with the reactor's `poll(2)`
     /// thread (fd-backed transports only; dropped on retirement).
     #[cfg(unix)]
@@ -329,7 +333,7 @@ impl ConnShared {
             fc_inbox: Mailbox::unbounded(),
             ec_recv_inbox: Mailbox::unbounded(),
             send_inbox: Mailbox::bounded(SEND_QUEUE_DEPTH),
-            task: Mutex::new(None),
+            task: RwLock::new(None),
             #[cfg(unix)]
             fd_reg: Mutex::new(None),
             delivery: DeliveryQueue::new(),
@@ -395,7 +399,7 @@ impl ConnShared {
     /// attachment, and after retirement (wakes coalesce; a wake racing a
     /// running poll reschedules it, so no activation is ever lost).
     pub(crate) fn wake_task(&self) {
-        if let Some(t) = self.task.lock().as_ref() {
+        if let Some(t) = self.task.read().as_ref() {
             t.wake();
         }
     }
@@ -535,7 +539,7 @@ impl ConnShared {
         // The send queue is bounded: don't block shutdown on a full queue
         // (the task retires via the closed flag regardless).
         let _ = self.send_inbox.try_send(SendMsg::Shutdown);
-        let task_attached = self.task.lock().is_some();
+        let task_attached = self.task.read().is_some();
         if !task_attached {
             self.transport.close();
             self.delivery.fail_all(SendError::Closed);
@@ -592,7 +596,7 @@ pub(crate) fn attach_connection(reactor: &Arc<Reactor>, shared: &Arc<ConnShared>
         return;
     }
     let handle = reactor.spawn(Box::new(ConnTask::new(Arc::clone(shared))));
-    *shared.task.lock() = Some(Arc::clone(&handle));
+    *shared.task.write() = Some(Arc::clone(&handle));
     {
         let h = Arc::clone(&handle);
         shared
@@ -1151,7 +1155,7 @@ impl ConnTask {
         {
             *shared.fd_reg.lock() = None;
         }
-        *shared.task.lock() = None;
+        *shared.task.write() = None;
     }
 
     /// Whether the send planes are empty: nothing queued behind the
@@ -1511,6 +1515,11 @@ impl NcsConnection {
     /// Tags multiplex independent message streams over one connection —
     /// per-tag FIFO order, no cross-tag interference.
     ///
+    /// Tags at or above [`CHANNEL_TAG_BASE`] (top bit set) are the
+    /// tag-class reserved for [`Channel`] handles; direct callers should
+    /// stay below it or traffic will cross with
+    /// [`NcsConnection::channel`] users of the same id.
+    ///
     /// # Errors
     ///
     /// As [`NcsConnection::isend`].
@@ -1554,9 +1563,12 @@ impl NcsConnection {
         if self.shared.config.direct {
             return Err(SendError::WrongMode("threaded"));
         }
-        // Tag-matched messages carry their channel tag as a 4-byte
-        // envelope at the front of the message body (flagged in every SDU
-        // header, so delivery knows to strip it).
+        // Tag-matched messages carry their tag as a 4-byte envelope at
+        // the front of the message body (flagged in every SDU header).
+        // The reactor task that runs the peer's receive plane strips the
+        // envelope during reassembly and routes the message to the tag's
+        // delivery shard — see `deliver_message` and
+        // `request::DELIVERY_SHARDS`.
         fn envelope(tag: u32, data: &[u8]) -> Vec<u8> {
             let mut v = Vec::with_capacity(TAG_ENVELOPE + data.len());
             v.extend_from_slice(&tag.to_be_bytes());
@@ -2155,5 +2167,152 @@ pub(crate) fn dispatch_ctrl(shared: &Arc<ConnShared>, msg: CtrlMsg) {
             }
         }
         _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Channels — per-thread logical endpoints over one connection
+// ---------------------------------------------------------------------------
+
+/// First tag of the tag-class reserved for [`Channel`] handles.
+///
+/// A channel with id `i` owns the tag `CHANNEL_TAG_BASE | i`, so the
+/// upper half of the tag space (`0x8000_0000..=0xFFFF_FFFF`, top bit
+/// set) belongs to channels and can never collide with application tags
+/// below it. Within the reserved class, ids map onto the delivery
+/// queue's shards by `id % DELIVERY_SHARDS` — ids `0..8` land on eight
+/// distinct locks (see [`crate::request::DELIVERY_SHARDS`]).
+pub const CHANNEL_TAG_BASE: u32 = 0x8000_0000;
+
+/// A logical per-thread endpoint over one connection — the NCS analogue
+/// of a communicator dup: same wire, independent matching space.
+///
+/// Created by [`NcsConnection::channel`]. A channel's sends complete
+/// only against receives on the *same* channel id at the peer; per-channel
+/// FIFO order holds and traffic on other channels (or the untagged
+/// stream) is never touched. Because each channel id maps to its own
+/// delivery-queue shard, N threads each driving their own channel never
+/// contend on a shared receive lock — the multithreaded message-rate
+/// benchmark (`mt-msgrate`) leans on exactly this.
+///
+/// A `Channel` is a value handle (cheaply cloneable, no registration or
+/// teardown): dropping it releases nothing and two handles with the same
+/// id are the same channel.
+///
+/// # Example
+///
+/// ```
+/// use ncs_core::{ConnectionConfig, NcsNode};
+/// use ncs_core::link::HpiLinkPair;
+///
+/// let alice = NcsNode::builder("alice").build();
+/// let bob = NcsNode::builder("bob").build();
+/// let (la, lb) = HpiLinkPair::create();
+/// alice.attach_peer("bob", la);
+/// bob.attach_peer("alice", lb);
+/// let conn_a = alice.connect("bob", ConnectionConfig::reliable()).unwrap();
+/// let conn_b = bob.accept_default().unwrap();
+///
+/// // One channel per application thread; id selects the matching space.
+/// let ch_a = conn_a.channel(3);
+/// let ch_b = conn_b.channel(3);
+/// let want = ch_b.irecv();
+/// ch_a.isend(b"on channel 3").unwrap().wait().unwrap();
+/// assert_eq!(&*want.wait().unwrap(), b"on channel 3");
+/// # alice.shutdown(); bob.shutdown();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Channel {
+    conn: NcsConnection,
+    tag: u32,
+}
+
+impl Channel {
+    /// The channel id this handle was created with.
+    pub fn id(&self) -> u16 {
+        (self.tag & 0xFFFF) as u16
+    }
+
+    /// The reserved tag this channel rides on
+    /// (`CHANNEL_TAG_BASE | id`).
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+
+    /// The connection carrying this channel.
+    pub fn connection(&self) -> &NcsConnection {
+        &self.conn
+    }
+
+    /// Nonblocking send on this channel: completes when the message is
+    /// delivered (reliable configurations) or transmitted (§3.1 bypass).
+    ///
+    /// # Errors
+    ///
+    /// As [`NcsConnection::isend`].
+    pub fn isend(&self, data: &[u8]) -> Result<Request<()>, SendError> {
+        self.conn.isend_tagged(self.tag, data)
+    }
+
+    /// Nonblocking receive on this channel: completes with the next
+    /// message a peer sent on the same channel id.
+    pub fn irecv(&self) -> Request<MsgView> {
+        self.conn.irecv_tagged(self.tag)
+    }
+
+    /// Blocking send: [`Channel::isend`] + wait for its completion.
+    ///
+    /// # Errors
+    ///
+    /// As [`NcsConnection::send_sync`].
+    pub fn send(&self, data: &[u8]) -> Result<(), SendError> {
+        self.isend(data)?.wait()
+    }
+
+    /// Blocking receive of the next message on this channel, as an
+    /// owning `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Closed`] once the connection is closed and the
+    /// channel drained.
+    pub fn recv(&self) -> Result<Vec<u8>, SendError> {
+        Ok(self.irecv().wait()?.into_vec())
+    }
+
+    /// Blocking zero-copy receive with a deadline. On timeout the
+    /// receive is cancelled — a message it had already claimed is
+    /// requeued for the channel's next receiver.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Timeout`] when nothing arrived in time; otherwise as
+    /// [`Channel::recv`].
+    pub fn recv_view(&self, timeout: Duration) -> Result<MsgView, SendError> {
+        // Fast path: something is already queued on this channel's shard.
+        if let Some(msg) = self.conn.shared.delivery.try_take(Some(self.tag))? {
+            return Ok(msg);
+        }
+        self.irecv().wait_timeout(timeout)
+    }
+}
+
+impl NcsConnection {
+    /// Opens logical channel `id` over this connection (a value handle —
+    /// nothing is registered, and every handle with the same id is the
+    /// same channel).
+    ///
+    /// Channels give each application thread an independent matching
+    /// space on a shared connection: sends on channel `i` pair with
+    /// receives on channel `i`, in FIFO order, with no interference from
+    /// other channels or the untagged stream. They ride the reserved
+    /// tag-class at [`CHANNEL_TAG_BASE`]; ids `0..8` additionally map to
+    /// distinct delivery-queue shards, so that many threads receiving
+    /// concurrently never share a lock.
+    pub fn channel(&self, id: u16) -> Channel {
+        Channel {
+            conn: self.clone(),
+            tag: CHANNEL_TAG_BASE | u32::from(id),
+        }
     }
 }

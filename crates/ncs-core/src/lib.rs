@@ -67,12 +67,13 @@ pub mod seq;
 pub mod stats;
 
 pub use config::{ConnectionConfig, ConnectionConfigBuilder, ErrorControlAlg, FlowControlAlg};
-pub use connection::{NcsConnection, SendError};
+pub use connection::{Channel, NcsConnection, SendError, CHANNEL_TAG_BASE};
 pub use group::{GroupError, MulticastAlgo, NcsGroup};
 pub use node::{AcceptError, ConnectError, NcsNode, NcsNodeBuilder};
 pub use pool::{BufPool, PoolStats, PooledBuf};
 pub use reactor::{default_shards, Reactor};
 pub use request::{
     test_all, wait_all, wait_any, Completion, CompletionNotify, MsgView, ReceiveSink, Request,
+    DELIVERY_SHARDS,
 };
 pub use stats::{ConnectionStats, ReactorStats, SendBreakdown};

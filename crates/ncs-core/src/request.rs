@@ -181,7 +181,8 @@ pub struct MsgView {
     /// Payload start within `buf` (skips the tag envelope on tag-matched
     /// messages).
     start: usize,
-    /// The logical channel this message arrived on, if it was tag-matched.
+    /// The tag this message was routed on, if it was tag-matched (the
+    /// delivery-shard routing key — see [`MsgView::tag`]).
     tag: Option<u32>,
 }
 
@@ -207,6 +208,16 @@ impl MsgView {
 
     /// The tag this message was matched on ([`None`] for untagged
     /// traffic).
+    ///
+    /// The tag is the delivery queue's routing key: the reactor task that
+    /// runs the connection's receive plane strips the 4-byte tag envelope
+    /// during reassembly and routes the message to the tag's **delivery
+    /// shard** — one of [`DELIVERY_SHARDS`] independent lock + waiter-list
+    /// domains — where it matches the oldest parked `irecv_tagged` in
+    /// per-tag FIFO order. Tags with the top bit set
+    /// (`0x8000_0000..=0xFFFF_FFFF`) are the tag-class reserved for
+    /// [`Channel`](crate::Channel) handles; plain `isend_tagged` /
+    /// `irecv_tagged` callers should stay below it.
     pub fn tag(&self) -> Option<u32> {
         self.tag
     }
@@ -353,6 +364,28 @@ type CancelFn<T> = Box<dyn FnOnce(&Arc<RequestCore<T>>) + Send + Sync>;
 /// Dropping an unconsumed receive request cancels it: a message that had
 /// already matched the request is requeued for the next receiver, and a
 /// parked request simply unregisters.
+///
+/// # Example
+///
+/// ```
+/// use ncs_core::{ConnectionConfig, NcsNode};
+/// use ncs_core::link::HpiLinkPair;
+///
+/// let alice = NcsNode::builder("alice").build();
+/// let bob = NcsNode::builder("bob").build();
+/// let (la, lb) = HpiLinkPair::create();
+/// alice.attach_peer("bob", la);
+/// bob.attach_peer("alice", lb);
+/// let conn_a = alice.connect("bob", ConnectionConfig::reliable()).unwrap();
+/// let conn_b = bob.accept_default().unwrap();
+///
+/// let want = conn_b.irecv(); // post the receive first
+/// let sent = conn_a.isend(b"overlap").unwrap();
+/// // ... compute here while the runtime's threads move the bytes ...
+/// assert_eq!(sent.wait(), Ok(()));
+/// assert_eq!(&*want.wait().unwrap(), b"overlap");
+/// # alice.shutdown(); bob.shutdown();
+/// ```
 pub struct Request<T> {
     core: Arc<RequestCore<T>>,
     cancel: Option<CancelFn<T>>,
@@ -438,16 +471,75 @@ impl<T> Drop for Request<T> {
 }
 
 // ---------------------------------------------------------------------------
-// DeliveryQueue — reassembled-message routing (tags, waiters, fail-fast)
+// DeliveryQueue — sharded reassembled-message routing (tags, waiters,
+// fail-fast)
 // ---------------------------------------------------------------------------
 
+/// Number of tagged delivery shards per connection (a power of two).
+///
+/// A tag's messages, parked receivers and lock all live in the shard
+/// `tag % DELIVERY_SHARDS`, so concurrent receivers on tags of different
+/// classes never contend on one mutex. [`Channel`](crate::Channel)
+/// assigns its reserved tags so that channel ids `0..8` map to eight
+/// *distinct* shards; ids congruent modulo 8 share one.
+pub const DELIVERY_SHARDS: usize = 8;
+
+/// The shard (lock domain) a tag routes to.
+fn shard_index(tag: u32) -> usize {
+    tag as usize & (DELIVERY_SHARDS - 1)
+}
+
 /// One logical receive channel: messages ready to be taken, and receive
-/// requests parked for the next arrival. An invariant the lock protects:
-/// `ready` and `waiters` are never both non-empty.
+/// requests parked for the next arrival. An invariant the owning shard's
+/// lock protects: `ready` and `waiters` are never both non-empty.
 #[derive(Debug, Default)]
 struct Chan {
     ready: VecDeque<MsgView>,
     waiters: VecDeque<Arc<RequestCore<MsgView>>>,
+}
+
+impl Chan {
+    /// Hands `msg` to the oldest parked request, or queues it as ready.
+    fn deliver(&mut self, msg: MsgView) {
+        match self.waiters.pop_front() {
+            Some(w) => w.complete(Ok(msg)),
+            None => self.ready.push_back(msg),
+        }
+    }
+
+    /// Registers a receive request: completes it immediately from the
+    /// ready queue (or with the shard's recorded error), or parks it.
+    fn register(&mut self, error: &Option<SendError>, core: &Arc<RequestCore<MsgView>>) {
+        if let Some(msg) = self.ready.pop_front() {
+            core.complete(Ok(msg));
+        } else if let Some(e) = error {
+            core.complete(Err(e.clone()));
+        } else {
+            self.waiters.push_back(Arc::clone(core));
+        }
+    }
+
+    /// Unregisters a dropped/abandoned receive request (see
+    /// [`DeliveryQueue::cancel`]).
+    fn cancel(&mut self, core: &Arc<RequestCore<MsgView>>) {
+        if let Some(pos) = self.waiters.iter().position(|w| Arc::ptr_eq(w, core)) {
+            self.waiters.remove(pos);
+            return;
+        }
+        // Not parked: the request may have raced to completion with an
+        // unconsumed message — reclaim it (still under the shard lock, so
+        // no delivery or take can interleave).
+        if let Some(msg) = core.take_value() {
+            match self.waiters.pop_front() {
+                Some(w) => w.complete(Ok(msg)),
+                None => self.ready.push_front(msg),
+            }
+        }
+    }
+
+    fn is_drained(&self) -> bool {
+        self.ready.is_empty() && self.waiters.is_empty()
+    }
 }
 
 /// Callback owning a connection's untagged receive stream (see
@@ -455,10 +547,11 @@ struct Chan {
 /// `Ok` per message, one final `Err` when the connection fails or closes.
 pub type ReceiveSink = Arc<dyn Fn(Result<MsgView, SendError>) + Send + Sync>;
 
+/// The untagged delivery shard: one channel plus the optional receive
+/// sink that owns the untagged stream.
 #[derive(Default)]
-struct DeliveryInner {
-    untagged: Chan,
-    tagged: HashMap<u32, Chan>,
+struct UntaggedShard {
+    chan: Chan,
     /// Set once the connection fails or closes; parked and future
     /// receives resolve to this immediately (already-delivered messages
     /// remain takeable).
@@ -469,12 +562,34 @@ struct DeliveryInner {
     sink_failed: bool,
 }
 
-impl std::fmt::Debug for DeliveryInner {
+impl std::fmt::Debug for UntaggedShard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DeliveryInner")
+        f.debug_struct("UntaggedShard")
             .field("error", &self.error)
             .field("sink", &self.sink.is_some())
             .finish()
+    }
+}
+
+/// One tagged delivery shard: the channels of every tag in its class,
+/// under one lock.
+#[derive(Debug, Default)]
+struct TagShard {
+    chans: HashMap<u32, Chan>,
+    /// Per-shard copy of the connection's terminal error (`fail_all`
+    /// stamps every shard, so each shard is self-contained under its own
+    /// lock).
+    error: Option<SendError>,
+}
+
+impl TagShard {
+    /// Drops `tag`'s channel entry once it is fully drained, so a
+    /// connection cycling through many distinct tags (correlation-id
+    /// style) does not grow the map for its lifetime.
+    fn prune(&mut self, tag: u32) {
+        if self.chans.get(&tag).is_some_and(Chan::is_drained) {
+            self.chans.remove(&tag);
+        }
     }
 }
 
@@ -482,12 +597,21 @@ impl std::fmt::Debug for DeliveryInner {
 /// by the receive plane (by tag, when tag-matched) and matched against
 /// parked receive requests in FIFO order.
 ///
-/// Close/link-down fail-fast lives here: `fail_all` resolves every parked
-/// request with the error *immediately* — a parked `irecv` never waits
-/// out a tick loop to learn its connection died.
+/// The queue is **sharded by tag-class**: untagged traffic has its own
+/// lock, and tagged traffic hashes to one of [`DELIVERY_SHARDS`]
+/// independent lock + waiter-list domains, so concurrent receivers on
+/// different [`Channel`](crate::Channel)s (different tag-classes) never
+/// contend — one thread blocked in `irecv_tagged` on channel A costs
+/// channel B nothing, not even a lock handoff.
+///
+/// Close/link-down fail-fast lives here: `fail_all` stamps every shard
+/// with the error and resolves every parked request *immediately* — a
+/// parked `irecv` never waits out a tick loop to learn its connection
+/// died.
 #[derive(Debug, Default)]
 pub(crate) struct DeliveryQueue {
-    inner: Mutex<DeliveryInner>,
+    untagged: Mutex<UntaggedShard>,
+    tagged: [Mutex<TagShard>; DELIVERY_SHARDS],
 }
 
 impl DeliveryQueue {
@@ -495,47 +619,26 @@ impl DeliveryQueue {
         DeliveryQueue::default()
     }
 
-    fn chan(inner: &mut DeliveryInner, tag: Option<u32>) -> &mut Chan {
-        match tag {
-            None => &mut inner.untagged,
-            Some(t) => inner.tagged.entry(t).or_default(),
-        }
-    }
-
-    /// Drops `tag`'s channel entry once it is fully drained, so a
-    /// connection cycling through many distinct tags (correlation-id
-    /// style) does not grow the map for its lifetime.
-    fn prune(inner: &mut DeliveryInner, tag: Option<u32>) {
-        if let Some(t) = tag {
-            if inner
-                .tagged
-                .get(&t)
-                .is_some_and(|c| c.ready.is_empty() && c.waiters.is_empty())
-            {
-                inner.tagged.remove(&t);
-            }
-        }
-    }
-
     /// Routes one reassembled message: hands it to the installed sink
     /// (untagged traffic only), the oldest parked request on its channel,
-    /// or queues it as ready.
+    /// or queues it as ready. Only the target shard's lock is taken.
     pub(crate) fn deliver(&self, msg: MsgView) {
-        let mut inner = self.inner.lock();
-        let tag = msg.tag();
-        if tag.is_none() {
-            if let Some(sink) = inner.sink.clone() {
-                drop(inner);
-                sink(Ok(msg));
-                return;
+        match msg.tag() {
+            None => {
+                let mut shard = self.untagged.lock();
+                if let Some(sink) = shard.sink.clone() {
+                    drop(shard);
+                    sink(Ok(msg));
+                    return;
+                }
+                shard.chan.deliver(msg);
+            }
+            Some(tag) => {
+                let mut shard = self.tagged[shard_index(tag)].lock();
+                shard.chans.entry(tag).or_default().deliver(msg);
+                shard.prune(tag);
             }
         }
-        let chan = Self::chan(&mut inner, tag);
-        match chan.waiters.pop_front() {
-            Some(w) => w.complete(Ok(msg)),
-            None => chan.ready.push_back(msg),
-        }
-        Self::prune(&mut inner, tag);
     }
 
     /// Installs (or removes) a sink that takes ownership of the untagged
@@ -545,20 +648,20 @@ impl DeliveryQueue {
     /// engines that pump a connection's traffic into their own machinery
     /// (the collectives engine) without a thread parked on `recv`.
     ///
-    /// Tagged channels are unaffected. Installing a sink while untagged
+    /// Tagged shards are unaffected. Installing a sink while untagged
     /// receive requests are parked is a contract violation (the paths
     /// would race for messages); such waiters keep waiting.
     pub(crate) fn set_sink(&self, sink: Option<ReceiveSink>) {
         let (sink, drained, error) = {
-            let mut inner = self.inner.lock();
-            inner.sink = sink;
-            let Some(sink) = inner.sink.clone() else {
+            let mut shard = self.untagged.lock();
+            shard.sink = sink;
+            let Some(sink) = shard.sink.clone() else {
                 return;
             };
-            let drained: Vec<MsgView> = inner.untagged.ready.drain(..).collect();
-            let error = if inner.error.is_some() && !inner.sink_failed {
-                inner.sink_failed = true;
-                inner.error.clone()
+            let drained: Vec<MsgView> = shard.chan.ready.drain(..).collect();
+            let error = if shard.error.is_some() && !shard.sink_failed {
+                shard.sink_failed = true;
+                shard.error.clone()
             } else {
                 None
             };
@@ -576,17 +679,19 @@ impl DeliveryQueue {
     /// immediately from the ready queue (or with the recorded error), or
     /// parks it.
     pub(crate) fn register(&self, tag: Option<u32>, core: &Arc<RequestCore<MsgView>>) {
-        let mut inner = self.inner.lock();
-        let error = inner.error.clone();
-        let chan = Self::chan(&mut inner, tag);
-        if let Some(msg) = chan.ready.pop_front() {
-            core.complete(Ok(msg));
-        } else if let Some(e) = error {
-            core.complete(Err(e));
-        } else {
-            chan.waiters.push_back(Arc::clone(core));
+        match tag {
+            None => {
+                let mut shard = self.untagged.lock();
+                let error = shard.error.clone();
+                shard.chan.register(&error, core);
+            }
+            Some(t) => {
+                let mut shard = self.tagged[shard_index(t)].lock();
+                let error = shard.error.clone();
+                shard.chans.entry(t).or_default().register(&error, core);
+                shard.prune(t);
+            }
         }
-        Self::prune(&mut inner, tag);
     }
 
     /// Takes a ready message off `tag`'s channel without blocking.
@@ -595,11 +700,18 @@ impl DeliveryQueue {
     ///
     /// The recorded connection error, once the channel is drained.
     pub(crate) fn try_take(&self, tag: Option<u32>) -> Result<Option<MsgView>, SendError> {
-        let mut inner = self.inner.lock();
-        let error = inner.error.clone();
-        let chan = Self::chan(&mut inner, tag);
-        let taken = chan.ready.pop_front();
-        Self::prune(&mut inner, tag);
+        let (taken, error) = match tag {
+            None => {
+                let mut shard = self.untagged.lock();
+                (shard.chan.ready.pop_front(), shard.error.clone())
+            }
+            Some(t) => {
+                let mut shard = self.tagged[shard_index(t)].lock();
+                let taken = shard.chans.get_mut(&t).and_then(|c| c.ready.pop_front());
+                shard.prune(t);
+                (taken, shard.error.clone())
+            }
+        };
         match taken {
             Some(msg) => Ok(Some(msg)),
             None => match error {
@@ -616,62 +728,63 @@ impl DeliveryQueue {
     /// the ready queue, so per-channel FIFO order holds for the next
     /// receiver either way.
     pub(crate) fn cancel(&self, tag: Option<u32>, core: &Arc<RequestCore<MsgView>>) {
-        let mut inner = self.inner.lock();
-        let chan = Self::chan(&mut inner, tag);
-        if let Some(pos) = chan.waiters.iter().position(|w| Arc::ptr_eq(w, core)) {
-            chan.waiters.remove(pos);
-            Self::prune(&mut inner, tag);
-            return;
-        }
-        // Not parked: the request may have raced to completion with an
-        // unconsumed message — reclaim it (still under this lock, so no
-        // delivery or take can interleave).
-        if let Some(msg) = core.take_value() {
-            match chan.waiters.pop_front() {
-                Some(w) => w.complete(Ok(msg)),
-                None => chan.ready.push_front(msg),
+        match tag {
+            None => self.untagged.lock().chan.cancel(core),
+            Some(t) => {
+                let mut shard = self.tagged[shard_index(t)].lock();
+                shard.chans.entry(t).or_default().cancel(core);
+                shard.prune(t);
             }
         }
-        Self::prune(&mut inner, tag);
     }
 
     /// Records a terminal error and resolves every parked request with it
     /// (ready messages stay takeable — close-then-drain still works). The
     /// installed sink, if any, is handed the error exactly once.
-    /// Idempotent; the first error wins.
+    /// Idempotent; the first error wins. Shards are stamped one at a
+    /// time, each under its own lock, so a registration racing this call
+    /// either parks first (and is drained here) or observes the error.
     pub(crate) fn fail_all(&self, error: SendError) {
-        let mut inner = self.inner.lock();
-        if inner.error.is_none() {
-            inner.error = Some(error.clone());
-        }
-        let err = inner.error.clone().expect("just set");
-        for w in inner.untagged.waiters.drain(..) {
-            w.complete(Err(err.clone()));
-        }
-        for chan in inner.tagged.values_mut() {
-            for w in chan.waiters.drain(..) {
+        let (err, sink) = {
+            let mut shard = self.untagged.lock();
+            if shard.error.is_none() {
+                shard.error = Some(error.clone());
+            }
+            let err = shard.error.clone().expect("just set");
+            for w in shard.chan.waiters.drain(..) {
                 w.complete(Err(err.clone()));
             }
-        }
-        inner
-            .tagged
-            .retain(|_, c| !c.ready.is_empty() || !c.waiters.is_empty());
-        let sink = if inner.sink.is_some() && !inner.sink_failed {
-            inner.sink_failed = true;
-            inner.sink.clone()
-        } else {
-            None
+            let sink = if shard.sink.is_some() && !shard.sink_failed {
+                shard.sink_failed = true;
+                shard.sink.clone()
+            } else {
+                None
+            };
+            (err, sink)
         };
-        drop(inner);
+        for slot in &self.tagged {
+            let mut shard = slot.lock();
+            if shard.error.is_none() {
+                shard.error = Some(err.clone());
+            }
+            let shard_err = shard.error.clone().expect("just set");
+            for chan in shard.chans.values_mut() {
+                for w in chan.waiters.drain(..) {
+                    w.complete(Err(shard_err.clone()));
+                }
+            }
+            shard.chans.retain(|_, c| !c.is_drained());
+        }
         if let Some(sink) = sink {
             sink(Err(err));
         }
     }
 
-    /// Number of live tagged channels (tests assert the map is pruned).
+    /// Number of live tagged channels across all shards (tests assert the
+    /// maps are pruned).
     #[cfg(test)]
     fn tagged_channels(&self) -> usize {
-        self.inner.lock().tagged.len()
+        self.tagged.iter().map(|s| s.lock().chans.len()).sum()
     }
 }
 
@@ -793,6 +906,42 @@ mod tests {
         let w = RequestCore::new();
         q.register(Some(8), &w);
         q.fail_all(SendError::Closed);
+        assert_eq!(q.tagged_channels(), 0);
+    }
+
+    #[test]
+    fn shard_colliding_tags_stay_separate_channels() {
+        let q = DeliveryQueue::new();
+        // These hash to the same shard but must remain distinct channels.
+        let t1 = 1u32;
+        let t2 = 1 + DELIVERY_SHARDS as u32;
+        assert_eq!(shard_index(t1), shard_index(t2));
+        q.deliver(msg(b"a", Some(t1)));
+        q.deliver(msg(b"b", Some(t2)));
+        assert_eq!(q.try_take(Some(t2)).unwrap().unwrap().as_slice(), b"b");
+        assert_eq!(q.try_take(Some(t1)).unwrap().unwrap().as_slice(), b"a");
+        assert_eq!(q.tagged_channels(), 0);
+    }
+
+    #[test]
+    fn fail_all_stamps_every_shard() {
+        let q = DeliveryQueue::new();
+        // Park one waiter in every shard (and two in some).
+        let parked: Vec<_> = (0..2 * DELIVERY_SHARDS as u32)
+            .map(|t| {
+                let w = RequestCore::new();
+                q.register(Some(t), &w);
+                w
+            })
+            .collect();
+        q.fail_all(SendError::Closed);
+        for w in &parked {
+            assert!(matches!(w.take(), Some(Err(SendError::Closed))));
+        }
+        // Every shard must report the error to late arrivals too.
+        for t in 0..2 * DELIVERY_SHARDS as u32 {
+            assert!(matches!(q.try_take(Some(t)), Err(SendError::Closed)));
+        }
         assert_eq!(q.tagged_channels(), 0);
     }
 

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use super::Semaphore;
 
@@ -66,8 +66,11 @@ pub struct Mailbox<T> {
     capacity: Option<usize>,
     /// Fast-path flag: true iff `notify` holds a callback.
     has_notify: AtomicBool,
-    /// Optional readiness callback, fired after every send.
-    notify: Mutex<Option<NotifyFn>>,
+    /// Optional readiness callback, fired after every send. Read-write
+    /// locked, not mutexed: firing happens on every producer's send path
+    /// (concurrent submitters clone the callback under a shared read
+    /// lock); only installation/removal writes.
+    notify: RwLock<Option<NotifyFn>>,
 }
 
 impl<T> std::fmt::Debug for Mailbox<T> {
@@ -94,7 +97,7 @@ impl<T> Mailbox<T> {
             slots: None,
             capacity: None,
             has_notify: AtomicBool::new(false),
-            notify: Mutex::new(None),
+            notify: RwLock::new(None),
         }
     }
 
@@ -111,7 +114,7 @@ impl<T> Mailbox<T> {
             slots: Some(Semaphore::new(capacity)),
             capacity: Some(capacity),
             has_notify: AtomicBool::new(false),
-            notify: Mutex::new(None),
+            notify: RwLock::new(None),
         }
     }
 
@@ -121,7 +124,7 @@ impl<T> Mailbox<T> {
     /// callback must be cheap, non-blocking, and tolerant of spurious
     /// invocations.
     pub fn set_notify(&self, notify: Option<NotifyFn>) {
-        let mut slot = self.notify.lock();
+        let mut slot = self.notify.write();
         self.has_notify.store(notify.is_some(), Ordering::Release);
         *slot = notify;
     }
@@ -131,7 +134,7 @@ impl<T> Mailbox<T> {
     /// consumer must observe (e.g. a transport's closed flag flipping).
     pub fn notify(&self) {
         if self.has_notify.load(Ordering::Acquire) {
-            let cb = self.notify.lock().clone();
+            let cb = self.notify.read().clone();
             if let Some(cb) = cb {
                 cb();
             }

@@ -106,10 +106,22 @@
 //! }
 //! ```
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-versus-measured record of every table and figure.
+//! # Scaling across application threads
+//!
+//! When several compute threads share one connection, give each its own
+//! [`Channel`] (`conn.channel(id)`) — a comm-dup analogue
+//! over the tag space. Channels map onto a sharded delivery queue
+//! ([`core::DELIVERY_SHARDS`]), so receivers on distinct channels never
+//! contend on a lock, and the `mt-msgrate` benchmark in `ncs-bench`
+//! proves aggregate message rate scales with the thread count.
+//!
+//! See `ARCHITECTURE.md` for the top-to-bottom tour of the workspace
+//! (crate map, the Figure-4 thread planes, the life of a message, the
+//! reactor model and the cluster bootstrap), `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-versus-measured record
+//! of every table and figure.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// The NCS core runtime (re-export of [`ncs_core`]).
 pub use ncs_core as core;
@@ -139,5 +151,7 @@ pub use netmodel as model;
 /// The comparator message-passing systems (re-export of [`baselines`]).
 pub use baselines as comparators;
 
-pub use ncs_core::{test_all, wait_all, wait_any, Completion, MsgView, Request};
+pub use ncs_core::{
+    test_all, wait_all, wait_any, Channel, Completion, MsgView, Request, CHANNEL_TAG_BASE,
+};
 pub use ncs_runtime::{LocalSession, LocalWorld, Session, SessionError};
