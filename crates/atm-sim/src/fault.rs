@@ -16,6 +16,15 @@ pub struct FaultSpec {
     pub bit_error: f64,
     /// RNG seed for this link's fault process.
     pub seed: u64,
+    /// A deterministic drop schedule: the 0-based indices of best-effort
+    /// (CLP 1) cells to drop, counted per fault process. Unlike the
+    /// probabilistic knobs this is an exact plan — cell `i` of the
+    /// direction is dropped iff `i` is listed — which lets a test assert
+    /// that recovery work (e.g. retransmission counters) matches the
+    /// injected faults one for one. Applies only to the link's forward
+    /// direction (first-named endpoint to second); the reverse direction
+    /// never consults the plan.
+    pub drop_cells: Vec<u64>,
 }
 
 impl Default for FaultSpec {
@@ -31,6 +40,7 @@ impl FaultSpec {
             cell_loss: 0.0,
             bit_error: 0.0,
             seed: 0,
+            drop_cells: Vec::new(),
         }
     }
 
@@ -45,6 +55,7 @@ impl FaultSpec {
             cell_loss: p,
             bit_error: 0.0,
             seed,
+            drop_cells: Vec::new(),
         }
     }
 
@@ -59,12 +70,26 @@ impl FaultSpec {
             cell_loss: 0.0,
             bit_error: p,
             seed,
+            drop_cells: Vec::new(),
+        }
+    }
+
+    /// An exact drop plan: best-effort cell `i` of the link's forward
+    /// direction is dropped iff `i` is in `cells` (0-based, counted over
+    /// CLP 1 cells only — assured channels stay exempt, as with the
+    /// probabilistic knobs).
+    pub fn drop_plan(cells: Vec<u64>) -> Self {
+        FaultSpec {
+            cell_loss: 0.0,
+            bit_error: 0.0,
+            seed: 0,
+            drop_cells: cells,
         }
     }
 
     /// Whether this spec can ever perturb a cell.
     pub fn is_active(&self) -> bool {
-        self.cell_loss > 0.0 || self.bit_error > 0.0
+        self.cell_loss > 0.0 || self.bit_error > 0.0 || !self.drop_cells.is_empty()
     }
 }
 
@@ -89,19 +114,32 @@ pub enum Fate {
 pub struct FaultProcess {
     spec: FaultSpec,
     rng: StdRng,
+    /// Index of the next best-effort cell this process will judge (the
+    /// cursor of the [`FaultSpec::drop_cells`] plan).
+    index: u64,
 }
 
 impl FaultProcess {
     /// Instantiates the process for `spec`.
-    pub fn new(spec: FaultSpec) -> Self {
+    pub fn new(mut spec: FaultSpec) -> Self {
         let rng = StdRng::seed_from_u64(spec.seed);
-        FaultProcess { spec, rng }
+        spec.drop_cells.sort_unstable();
+        FaultProcess {
+            spec,
+            rng,
+            index: 0,
+        }
     }
 
     /// Decides the fate of the next cell.
     pub fn next_fate(&mut self) -> Fate {
         if !self.spec.is_active() {
             return Fate::Deliver;
+        }
+        let index = self.index;
+        self.index += 1;
+        if self.spec.drop_cells.binary_search(&index).is_ok() {
+            return Fate::Drop;
         }
         if self.spec.cell_loss > 0.0 && self.rng.gen_bool(self.spec.cell_loss) {
             return Fate::Drop;
@@ -175,5 +213,30 @@ mod tests {
     #[should_panic(expected = "probability out of range")]
     fn invalid_probability_rejected() {
         let _ = FaultSpec::cell_loss(1.5, 0);
+    }
+
+    #[test]
+    fn drop_plan_hits_exactly_the_listed_cells() {
+        let mut p = FaultProcess::new(FaultSpec::drop_plan(vec![7, 2, 11]));
+        let fates: Vec<Fate> = (0..20).map(|_| p.next_fate()).collect();
+        for (i, fate) in fates.iter().enumerate() {
+            let expect = if [2, 7, 11].contains(&i) {
+                Fate::Drop
+            } else {
+                Fate::Deliver
+            };
+            assert_eq!(*fate, expect, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn drop_plan_composes_with_probabilistic_loss() {
+        // The plan fires on its indices regardless of what the RNG rolls.
+        let mut spec = FaultSpec::cell_loss(0.5, 9);
+        spec.drop_cells = vec![0, 1, 2, 3];
+        let mut p = FaultProcess::new(spec);
+        for i in 0..4 {
+            assert_eq!(p.next_fate(), Fate::Drop, "cell {i}");
+        }
     }
 }

@@ -1028,6 +1028,14 @@ fn seeded_fault(base: &crate::fault::FaultSpec, dir: u64) -> crate::fault::Fault
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     crate::fault::FaultSpec {
         seed: z ^ (z >> 31),
+        // The exact drop plan addresses the forward direction only (see
+        // `FaultSpec::drop_cells`); the reverse direction keeps just the
+        // probabilistic knobs.
+        drop_cells: if dir == 0 {
+            base.drop_cells.clone()
+        } else {
+            Vec::new()
+        },
         ..base.clone()
     }
 }

@@ -316,6 +316,68 @@ fn run_msgrate_case(
     }
 }
 
+/// The telemetry gate: with the flight recorder enabled (every message
+/// stamps lifecycle events into the per-connection ring), the HPI message
+/// rate must stay within this percentage of the kill-switch baseline
+/// (recorder disabled — one relaxed load per would-be event, the
+/// "compiled-out" cost floor).
+const TELEMETRY_GATE_MAX_OVERHEAD_PCT: f64 = 5.0;
+
+/// Measurement rounds per recorder state; the best round of each state is
+/// compared, which cancels scheduler noise that a single pairing would
+/// read as instrumentation cost.
+const TELEMETRY_ROUNDS: usize = 3;
+
+#[derive(Debug)]
+struct TelemetryCaseResult {
+    package: &'static str,
+    threads: usize,
+    msgs_per_thread: usize,
+    enabled_mmsgs_s: f64,
+    disabled_mmsgs_s: f64,
+    overhead_pct: f64,
+}
+
+/// Measures the flight recorder's message-rate cost: the same msgrate
+/// point with recording on versus off over one HPI connection.
+fn run_telemetry_case(
+    package: Package,
+    pkg: Arc<dyn ThreadPackage>,
+    smoke: bool,
+) -> TelemetryCaseResult {
+    let threads = 1;
+    let msgs = msgrate_msgs(Iface::Hpi, smoke);
+    let pair = build_pair(Iface::Hpi, Arc::clone(&pkg));
+    let conn_tx = pair
+        .tx_node
+        .connect("gate-rx", bulk_config(Iface::Hpi))
+        .expect("telemetry connect");
+    let conn_rx = pair.rx_node.accept_default().expect("telemetry accept");
+    msgrate::measure(&conn_tx, &conn_rx, &pkg, threads, msgrate::WINDOW_SIZE);
+    let mut best_on: f64 = 0.0;
+    let mut best_off: f64 = 0.0;
+    for _ in 0..TELEMETRY_ROUNDS {
+        for (on, best) in [(true, &mut best_on), (false, &mut best_off)] {
+            conn_tx.set_flight_recording(on);
+            conn_rx.set_flight_recording(on);
+            let m = msgrate::measure(&conn_tx, &conn_rx, &pkg, threads, msgs);
+            *best = best.max(m.aggregate_mmsgs_s);
+        }
+    }
+    conn_tx.set_flight_recording(true);
+    drop(conn_tx);
+    drop(conn_rx);
+    pair.shutdown();
+    TelemetryCaseResult {
+        package: package.name(),
+        threads,
+        msgs_per_thread: msgs,
+        enabled_mmsgs_s: best_on,
+        disabled_mmsgs_s: best_off,
+        overhead_pct: (1.0 - best_on / best_off.max(f64::MIN_POSITIVE)) * 100.0,
+    }
+}
+
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     if sorted_us.is_empty() {
         return 0.0;
@@ -1238,6 +1300,7 @@ fn emit_json(
     coll_results: &[CollCaseResult],
     req_results: &[RequestsCaseResult],
     msgrate_results: &[MsgRateCaseResult],
+    telemetry_results: &[TelemetryCaseResult],
     cluster_results: &[ClusterCaseResult],
     c10k: &C10kResult,
     smoke: bool,
@@ -1251,11 +1314,13 @@ fn emit_json(
     msgrate_threshold: f64,
     msgrate_gate_value: f64,
     msgrate_gate_pass: bool,
+    telemetry_gate_value: f64,
+    telemetry_gate_pass: bool,
     cluster_gate_pass: bool,
 ) {
     use std::fmt::Write as _;
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/6\",");
+    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/7\",");
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
@@ -1406,6 +1471,46 @@ fn emit_json(
             "        \"msgs_per_thread\": {}, \"aggregate_mmsgs_s\": {:.3}, \
              \"per_thread_mmsgs_s\": [{per_thread}]",
             r.msgs_per_thread, r.aggregate_mmsgs_s
+        );
+        let _ = writeln!(out, "      }}{comma}");
+    }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"telemetry\": {{");
+    let _ = writeln!(out, "    \"interface\": \"HPI\",");
+    let _ = writeln!(out, "    \"message_bytes\": {},", msgrate::MESSAGE_SIZE);
+    let _ = writeln!(out, "    \"gate\": {{");
+    let _ = writeln!(
+        out,
+        "      \"metric\": \"max HPI msgrate overhead of the flight recorder across packages \
+         (recording enabled vs kill-switch disabled), percent\","
+    );
+    let _ = writeln!(
+        out,
+        "      \"threshold\": {TELEMETRY_GATE_MAX_OVERHEAD_PCT:.1},"
+    );
+    let _ = writeln!(out, "      \"value\": {telemetry_gate_value:.2},");
+    let _ = writeln!(out, "      \"pass\": {telemetry_gate_pass}");
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"cases\": [");
+    for (i, r) in telemetry_results.iter().enumerate() {
+        let comma = if i + 1 < telemetry_results.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "      {{");
+        let _ = writeln!(
+            out,
+            "        \"package\": \"{}\", \"threads\": {}, \"msgs_per_thread\": {},",
+            json_escape_free(r.package),
+            r.threads,
+            r.msgs_per_thread
+        );
+        let _ = writeln!(
+            out,
+            "        \"enabled_mmsgs_s\": {:.3}, \"disabled_mmsgs_s\": {:.3}, \"overhead_pct\": {:.2}",
+            r.enabled_mmsgs_s, r.disabled_mmsgs_s, r.overhead_pct
         );
         let _ = writeln!(out, "      }}{comma}");
     }
@@ -1738,6 +1843,41 @@ fn main() {
     let msgrate_gate_value = msgrate_agg(4) / msgrate_agg(1).max(f64::MIN_POSITIVE);
     let msgrate_gate_pass = msgrate_gate_value >= msgrate_threshold;
 
+    // Telemetry section: the flight recorder must be production-cheap —
+    // its enabled-vs-kill-switch msgrate delta is the instrumentation
+    // cost the gate bounds.
+    let mut telemetry_results = Vec::new();
+    for package in [Package::Kernel, Package::User] {
+        eprintln!(
+            "perf_gate: telemetry overhead, {} package over HPI...",
+            package.name()
+        );
+        let result = match package {
+            Package::Kernel => run_telemetry_case(
+                package,
+                Arc::new(KernelPackage::new()) as Arc<dyn ThreadPackage>,
+                smoke,
+            ),
+            Package::User => UserRuntime::new(UserConfig {
+                mech: SwitchMech::Native,
+                ..UserConfig::default()
+            })
+            .run(move |pkg| {
+                run_telemetry_case(package, Arc::new(pkg) as Arc<dyn ThreadPackage>, smoke)
+            }),
+        };
+        eprintln!(
+            "  {:.3} Mmsgs/s recording vs {:.3} Mmsgs/s kill-switch ({:+.1}% overhead)",
+            result.enabled_mmsgs_s, result.disabled_mmsgs_s, result.overhead_pct,
+        );
+        telemetry_results.push(result);
+    }
+    let telemetry_gate_value = telemetry_results
+        .iter()
+        .map(|r| r.overhead_pct)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let telemetry_gate_pass = telemetry_gate_value <= TELEMETRY_GATE_MAX_OVERHEAD_PCT;
+
     // Cross-process cluster section: this binary re-executes itself as
     // child ranks; every number here crossed a real process boundary over
     // real sockets.
@@ -1801,6 +1941,7 @@ fn main() {
         &coll_results,
         &req_results,
         &msgrate_results,
+        &telemetry_results,
         &cluster_results,
         &c10k,
         smoke,
@@ -1814,6 +1955,8 @@ fn main() {
         msgrate_threshold,
         msgrate_gate_value,
         msgrate_gate_pass,
+        telemetry_gate_value,
+        telemetry_gate_pass,
         cluster_gate_pass,
     );
     let mut file = std::fs::File::create(&out_path).expect("create output file");
@@ -1865,6 +2008,14 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if !telemetry_gate_pass {
+        eprintln!(
+            "perf_gate: FAIL — the flight recorder costs {telemetry_gate_value:.2}% of the \
+             HPI message rate over the kill-switch baseline (must be <= \
+             {TELEMETRY_GATE_MAX_OVERHEAD_PCT:.1}%)"
+        );
+        std::process::exit(1);
+    }
     if !cluster_gate_pass {
         eprintln!(
             "perf_gate: FAIL — a cross-process cluster case lost a child rank or \
@@ -1895,7 +2046,8 @@ fn main() {
          >= {COLL_GATE_MIN_GROUP}, zero-copy receives {req_gate_value:.2}x fewer \
          allocs/msg than recv(), 4-thread message rate {msgrate_gate_value:.2}x the \
          1-thread figure (>= {msgrate_threshold:.1}x on {msgrate_cpus} CPUs), \
-         cross-process cluster cases complete, \
+         flight-recorder overhead {telemetry_gate_value:.2}% (<= \
+         {TELEMETRY_GATE_MAX_OVERHEAD_PCT:.1}%), cross-process cluster cases complete, \
          {C10K_CONNECTIONS} connections on {} reactor threads with p99 {:.2}x baseline",
         c10k.reactor.workers, c10k.p99_ratio
     );

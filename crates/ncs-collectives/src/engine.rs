@@ -32,7 +32,7 @@
 //! early-arriving frames for later operations are stashed.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -97,11 +97,42 @@ pub struct CollectiveStats {
 
 #[derive(Debug, Default)]
 struct StatCounters {
-    ops_completed: AtomicU64,
-    frames_sent: AtomicU64,
-    frames_received: AtomicU64,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
+    ops_completed: ncs_obs::Counter,
+    frames_sent: ncs_obs::Counter,
+    frames_received: ncs_obs::Counter,
+    bytes_sent: ncs_obs::Counter,
+    bytes_received: ncs_obs::Counter,
+}
+
+impl StatCounters {
+    /// Counters registered with the node's telemetry registry under the
+    /// group's `group` label, so collective traffic shows up in
+    /// [`NcsNode::metrics_snapshot`](ncs_core::NcsNode::metrics_snapshot)
+    /// beside the per-connection series.
+    fn registered(registry: &ncs_obs::Registry, group: u32) -> Self {
+        let id = group.to_string();
+        let labels: &[(&str, &str)] = &[("group", &id)];
+        let c = |name: &str, help: &str| registry.counter(name, help, labels);
+        StatCounters {
+            ops_completed: c(
+                "ncs_coll_ops_completed_total",
+                "Collective operations completed (successfully or not)",
+            ),
+            frames_sent: c(
+                "ncs_coll_frames_sent_total",
+                "Collective frames transmitted (including tree forwards)",
+            ),
+            frames_received: c(
+                "ncs_coll_frames_received_total",
+                "Collective frames received and routed",
+            ),
+            bytes_sent: c("ncs_coll_bytes_sent_total", "Collective payload bytes sent"),
+            bytes_received: c(
+                "ncs_coll_bytes_received_total",
+                "Collective payload bytes received",
+            ),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -227,10 +258,8 @@ impl Inner {
     /// Forwards one received frame verbatim (the relay path).
     fn forward_raw(&self, peer: usize, raw: &[u8]) -> Result<(), CollectiveError> {
         self.links[&peer].send_batch(&[raw])?;
-        self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .bytes_sent
-            .fetch_add(raw.len() as u64, Ordering::Relaxed);
+        self.stats.frames_sent.inc();
+        self.stats.bytes_sent.add(raw.len() as u64);
         Ok(())
     }
 
@@ -238,13 +267,9 @@ impl Inner {
     fn send_frames(&self, peer: usize, frames: &[PooledBuf]) -> Result<(), CollectiveError> {
         let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
         self.links[&peer].send_batch(&refs)?;
-        self.stats
-            .frames_sent
-            .fetch_add(frames.len() as u64, Ordering::Relaxed);
+        self.stats.frames_sent.add(frames.len() as u64);
         let bytes: usize = frames.iter().map(|f| f.as_slice().len()).sum();
-        self.stats
-            .bytes_sent
-            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.stats.bytes_sent.add(bytes as u64);
         Ok(())
     }
 
@@ -363,14 +388,11 @@ impl Router {
     /// Decodes one inbound frame and stashes its segment.
     fn stash_frame(&mut self, from: usize, frame: Vec<u8>) {
         if let Some(seg) = decode_frame(frame, self.inner.group) {
-            self.inner
-                .stats
-                .frames_received
-                .fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.frames_received.inc();
             self.inner
                 .stats
                 .bytes_received
-                .fetch_add(seg.payload().len() as u64, Ordering::Relaxed);
+                .add(seg.payload().len() as u64);
             self.stash
                 .entry((from, seg.coll, seg.stream))
                 .or_default()
@@ -902,7 +924,7 @@ fn run_progress(inner: &Arc<Inner>, router: &Arc<Mutex<Option<Router>>>) {
             r.prune_below(req.coll);
             run_op(inner, r, &mut req)
         };
-        inner.stats.ops_completed.fetch_add(1, Ordering::Relaxed);
+        inner.stats.ops_completed.inc();
         req.done.complete(result);
     }
 }
@@ -1010,7 +1032,7 @@ impl CollectiveGroup {
             progress_active: AtomicBool::new(false),
             closed: Arc::new(AtomicBool::new(false)),
             link_down: Mutex::new(HashMap::new()),
-            stats: StatCounters::default(),
+            stats: StatCounters::registered(&node.registry(), id),
         });
         // Take ownership of every link's untagged receive stream: the
         // reactor task that reassembles a frame pushes it straight into
@@ -1050,11 +1072,11 @@ impl CollectiveGroup {
     pub fn stats(&self) -> CollectiveStats {
         let s = &self.inner.stats;
         CollectiveStats {
-            ops_completed: s.ops_completed.load(Ordering::Relaxed),
-            frames_sent: s.frames_sent.load(Ordering::Relaxed),
-            frames_received: s.frames_received.load(Ordering::Relaxed),
-            bytes_sent: s.bytes_sent.load(Ordering::Relaxed),
-            bytes_received: s.bytes_received.load(Ordering::Relaxed),
+            ops_completed: s.ops_completed.get(),
+            frames_sent: s.frames_sent.get(),
+            frames_received: s.frames_received.get(),
+            bytes_sent: s.bytes_sent.get(),
+            bytes_received: s.bytes_received.get(),
         }
     }
 

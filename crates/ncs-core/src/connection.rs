@@ -39,6 +39,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ncs_obs::{EventKind, FlightRecorder, Registry};
 use ncs_threads::sync::{Event, Mailbox, NcsMutex};
 use ncs_transport::{Connection as Transport, TransportError};
 use parking_lot::{Mutex, RwLock};
@@ -253,6 +254,12 @@ pub(crate) struct ConnShared {
     /// against parked [`Request`]s, failed fast on close.
     pub delivery: DeliveryQueue,
     pub counters: ConnCounters,
+    /// Message-lifecycle flight recorder (telemetry plane). Always
+    /// present; the ring itself carries the runtime kill-switch.
+    pub recorder: FlightRecorder,
+    /// The node's metrics registry, when the connection was opened under
+    /// one. Held so the connection can retire its labelled series on drop.
+    pub registry: Option<Arc<Registry>>,
     pub next_session: AtomicU32,
     /// Sticky error from the error-control plane (reported on
     /// `send_sync`/`recv`).
@@ -271,6 +278,17 @@ impl std::fmt::Debug for ConnShared {
             .field("state", &*self.state.lock())
             .field("interface", &self.transport.caps().interface)
             .finish()
+    }
+}
+
+impl Drop for ConnShared {
+    fn drop(&mut self) {
+        // Retire this connection's labelled series so long-lived nodes
+        // with connection churn don't accumulate dead metrics. Detached
+        // `ConnectionStats` handles keep their own counter clones.
+        if let Some(registry) = &self.registry {
+            registry.unregister_label("conn", &self.id.to_string());
+        }
     }
 }
 
@@ -315,8 +333,13 @@ impl ConnShared {
         transport: Arc<dyn Transport>,
         pool: Arc<BufPool>,
         ctrl_tx: Arc<Mailbox<CtrlMsg>>,
+        registry: Option<Arc<Registry>>,
     ) -> Arc<Self> {
         let direct = config.direct;
+        let counters = match &registry {
+            Some(r) => ConnCounters::registered(r, id, &peer_name),
+            None => ConnCounters::default(),
+        };
         let shared = Arc::new(ConnShared {
             id,
             peer_name,
@@ -337,7 +360,9 @@ impl ConnShared {
             #[cfg(unix)]
             fd_reg: Mutex::new(None),
             delivery: DeliveryQueue::new(),
-            counters: ConnCounters::default(),
+            counters,
+            recorder: FlightRecorder::default(),
+            registry,
             next_session: AtomicU32::new(0),
             last_error: Mutex::new(None),
             direct_events: Mailbox::unbounded(),
@@ -355,7 +380,32 @@ impl ConnShared {
                 delivered_below: 0,
             });
         }
+        // Exact receive accounting (all four transports, bypass included):
+        // the delivery queue is the one point every reassembled or
+        // zero-copy message crosses, so it owns the `messages_received`
+        // increment and the `Deliver` flight event.
+        shared.delivery.set_obs(
+            shared.counters.messages_received.clone(),
+            shared.recorder.clone(),
+        );
         shared
+    }
+
+    /// Records a link-failure flight event and, when a post-mortem sink
+    /// is configured, writes the connection's final stats and flight dump
+    /// to it. Called from the fail-fast transport-error paths only — a
+    /// graceful peer close is not a link failure.
+    pub(crate) fn link_down(&self) {
+        self.recorder.record(EventKind::LinkDown, 0, 0, 0);
+        if ncs_obs::postmortem::sink_path().is_some() {
+            let dump = format!(
+                "{{\"event\":\"link_down\",\"peer\":\"{}\",\"flight\":{}}}",
+                ncs_obs::json::escape(&self.peer_name),
+                self.recorder
+                    .dump_json_labelled(&format!("{}->{}", self.id, self.peer_name)),
+            );
+            ncs_obs::postmortem::write(&dump);
+        }
     }
 
     /// Largest message this configuration accepts.
@@ -383,7 +433,7 @@ impl ConnShared {
 
     pub(crate) fn fail(&self, error: SendError) {
         *self.last_error.lock() = Some(error);
-        self.counters.send_failures.fetch_add(1, Ordering::Relaxed);
+        self.counters.send_failures.inc();
     }
 
     /// Learns the peer's connection id from an incoming data packet (covers
@@ -441,6 +491,8 @@ impl ConnShared {
     /// payload copies that [`ConnShared::segment`] keeps around would be
     /// pure overhead.
     pub(crate) fn segment_frames(&self, session: u32, data: &[u8], tagged: bool) -> Vec<PooledBuf> {
+        self.recorder
+            .record(EventKind::Packetize, 0, session, data.len());
         let sdu = self.config.sdu_size;
         let n = data.len().div_ceil(sdu).max(1);
         let peer_conn = self.peer_conn_id();
@@ -463,6 +515,8 @@ impl ConnShared {
 
     /// Segments `data` into SDU packets for `session`.
     pub(crate) fn segment(&self, session: u32, data: &[u8], tagged: bool) -> Vec<DataPacket> {
+        self.recorder
+            .record(EventKind::Packetize, 0, session, data.len());
         let sdu = self.config.sdu_size;
         let n = data.len().div_ceil(sdu).max(1);
         let peer_conn = self.peer_conn_id();
@@ -714,6 +768,7 @@ impl ConnTask {
                     // The link died: nothing more can arrive. Record EOF
                     // (ends any post-close drain) and fail fast.
                     self.rx_eof = true;
+                    shared.link_down();
                     shared.peer_closed();
                     return true;
                 }
@@ -725,10 +780,7 @@ impl ConnTask {
                 Err(_) => continue, // not a data packet: ignore
             };
             shared.note_peer_conn(view.header.src_conn);
-            shared
-                .counters
-                .packets_received
-                .fetch_add(1, Ordering::Relaxed);
+            shared.counters.packets_received.inc();
             if self.has_fc {
                 shared.fc_inbox.send(FcMsg::Incoming(view.to_packet()));
             } else if self.has_ctrl {
@@ -741,10 +793,7 @@ impl ConnTask {
                 let buf = self.assembling.get_or_insert_with(|| shared.pool.get());
                 buf.vec_mut().extend_from_slice(view.payload);
                 if view.header.end {
-                    shared
-                        .counters
-                        .messages_received
-                        .fetch_add(1, Ordering::Relaxed);
+                    // `messages_received` is counted at the delivery queue.
                     let buf = self.assembling.take().expect("just inserted");
                     deliver_message(&shared, buf, view.header.tagged);
                 }
@@ -778,20 +827,14 @@ impl ConnTask {
                     fc_pending.extend(pkts);
                 }
                 FcMsg::Feedback(n) => {
-                    shared
-                        .counters
-                        .credits_received
-                        .fetch_add(n as u64, Ordering::Relaxed);
+                    shared.counters.credits_received.add(n as u64);
                     strategy.on_feedback(n);
                     *fc_last_progress = Instant::now();
                 }
                 FcMsg::Incoming(packet) => {
                     let grant = strategy.on_receive(Instant::now());
                     if grant > 0 {
-                        shared
-                            .counters
-                            .credits_granted
-                            .fetch_add(grant as u64, Ordering::Relaxed);
+                        shared.counters.credits_granted.add(grant as u64);
                         shared.ctrl_tx.send(CtrlMsg::Credit {
                             conn: shared.peer_conn_id(),
                             credits: grant,
@@ -805,6 +848,12 @@ impl ConnTask {
         // Release whatever the algorithm now permits.
         let permits = strategy.permits(Instant::now()) as usize;
         let mut n = permits.min(fc_pending.len());
+        if permits == 0 && !fc_pending.is_empty() {
+            // Stalled on credit: note the queue depth for the recorder.
+            shared
+                .recorder
+                .record(EventKind::FcWait, 0, 0, fc_pending.len());
+        }
         // Starvation probe: feedback can be lost on an unreliable control
         // path; rather than stall forever, trickle one packet out so the
         // receiver's grants resume.
@@ -864,7 +913,7 @@ impl ConnTask {
                         "go-back-n" => AckInfo::Cumulative(h.seq + 1),
                         _ => AckInfo::Bitmap(crate::seq::AckBitmap::all_received(h.seq + 1)),
                     };
-                    shared.counters.acks_sent.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.acks_sent.inc();
                     shared.ctrl_tx.send(make_ack_msg(shared, h.session, ack));
                 }
                 continue;
@@ -885,14 +934,11 @@ impl ConnTask {
                 ReceiverStep::Continue => (None, None),
             };
             if let Some(a) = ack {
-                shared.counters.acks_sent.fetch_add(1, Ordering::Relaxed);
+                shared.counters.acks_sent.inc();
                 shared.ctrl_tx.send(make_ack_msg(shared, h.session, a));
             }
             if let Some(m) = deliver {
-                shared
-                    .counters
-                    .messages_received
-                    .fetch_add(1, Ordering::Relaxed);
+                // `messages_received` is counted at the delivery queue.
                 // EC strategies reassemble in their own buffers; the view
                 // is detached (owned), not pooled.
                 deliver_message(shared, PooledBuf::detached(m), h.tagged);
@@ -931,10 +977,7 @@ impl ConnTask {
                 } => ec_backlog.push_back((data, tagged, completion)),
                 EcSendMsg::Ack(info) => {
                     if ec_active.as_ref().is_some_and(|a| a.ack_deadline.is_some()) {
-                        shared
-                            .counters
-                            .acks_received
-                            .fetch_add(1, Ordering::Relaxed);
+                        shared.counters.acks_received.inc();
                         let step = strategy.on_ack(info);
                         if !matches!(step, SenderStep::Wait) {
                             ec_active.as_mut().expect("checked above").ack_deadline = None;
@@ -966,11 +1009,11 @@ impl ConnTask {
             };
             progressed = true;
             let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
-            let packets = shared.segment(session, &data, tagged);
             shared
-                .counters
-                .messages_sent
-                .fetch_add(1, Ordering::Relaxed);
+                .recorder
+                .record(EventKind::EcSession, 0, session, data.len());
+            let packets = shared.segment(session, &data, tagged);
+            shared.counters.messages_sent.inc();
             let total = packets.len() as u32;
             *ec_active = Some(ActiveSend {
                 packets,
@@ -1036,10 +1079,9 @@ impl ConnTask {
                 }
                 Ok(sent) => {
                     let sent = sent.min(batch);
-                    shared
-                        .counters
-                        .packets_sent
-                        .fetch_add(sent as u64, Ordering::Relaxed);
+                    shared.counters.packets_sent.add(sent as u64);
+                    let bytes: usize = refs.iter().take(sent).map(|r| r.len()).sum();
+                    shared.recorder.record(EventKind::Wire, 0, 0, bytes);
                     for (frame, trace, done) in tx_pending.drain(..sent) {
                         if let Some(t) = &trace {
                             *t.transmitted_at.lock() = Some(Instant::now());
@@ -1073,6 +1115,7 @@ impl ConnTask {
                     }
                     progressed = true;
                     if matches!(e, TransportError::Closed) {
+                        shared.link_down();
                         shared.peer_closed();
                     }
                     break;
@@ -1300,10 +1343,13 @@ fn ec_apply(
     match step {
         SenderStep::Transmit(seqs) => {
             if !active.first_round {
-                shared
-                    .counters
-                    .retransmissions
-                    .fetch_add(seqs.len() as u64, Ordering::Relaxed);
+                shared.counters.retransmissions.add(seqs.len() as u64);
+                shared.recorder.record(
+                    EventKind::Retransmit,
+                    0,
+                    *seqs.first().unwrap_or(&0),
+                    seqs.len(),
+                );
             }
             let batch: Vec<DataPacket> = seqs
                 .iter()
@@ -1455,6 +1501,22 @@ impl NcsConnection {
         self.shared.counters.snapshot()
     }
 
+    /// The connection's message-lifecycle [`FlightRecorder`]. Clones
+    /// share the ring; use it to dump or re-enable recording.
+    pub fn flight(&self) -> FlightRecorder {
+        self.shared.recorder.clone()
+    }
+
+    /// Toggles the flight recorder's runtime kill-switch.
+    pub fn set_flight_recording(&self, on: bool) {
+        self.shared.recorder.set_enabled(on);
+    }
+
+    /// Whether the flight recorder is currently recording.
+    pub fn flight_recording(&self) -> bool {
+        self.shared.recorder.is_enabled()
+    }
+
     /// Whether the connection is still usable.
     pub fn is_open(&self) -> bool {
         !self.shared.closed.load(Ordering::Acquire)
@@ -1563,6 +1625,9 @@ impl NcsConnection {
         if self.shared.config.direct {
             return Err(SendError::WrongMode("threaded"));
         }
+        self.shared
+            .recorder
+            .record(EventKind::Isend, tag.unwrap_or(0), 0, data.len());
         // Tag-matched messages carry their tag as a 4-byte envelope at
         // the front of the message body (flagged in every SDU header).
         // The reactor task that runs the peer's receive plane strips the
@@ -1608,10 +1673,7 @@ impl NcsConnection {
             // activate the Send Thread directly; the completion (if any)
             // rides the final frame and resolves on transmit.
             let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
-            self.shared
-                .counters
-                .messages_sent
-                .fetch_add(1, Ordering::Relaxed);
+            self.shared.counters.messages_sent.inc();
             let frames = self.shared.segment_frames(session, body, tagged);
             let last = frames.len() - 1;
             for (i, frame) in frames.into_iter().enumerate() {
@@ -1653,6 +1715,9 @@ impl NcsConnection {
         if self.shared.config.direct {
             return Err(SendError::WrongMode("threaded"));
         }
+        for m in msgs {
+            self.shared.recorder.record(EventKind::Isend, 0, 0, m.len());
+        }
         if self.shared.config.needs_control_threads() {
             for m in msgs {
                 self.shared.ec_send_inbox.send(EcSendMsg::Send {
@@ -1665,10 +1730,7 @@ impl NcsConnection {
         } else {
             for m in msgs {
                 let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
-                self.shared
-                    .counters
-                    .messages_sent
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.counters.messages_sent.inc();
                 for frame in self.shared.segment_frames(session, m, false) {
                     if !self.shared.queue_frame(frame, None, None) {
                         return Err(SendError::Closed);
@@ -1817,14 +1879,14 @@ impl NcsConnection {
     /// [`NcsConnection::send_sync`].
     pub fn send_direct(&self, data: &[u8]) -> Result<(), SendError> {
         self.check_sendable(data, None)?;
+        self.shared
+            .recorder
+            .record(EventKind::Isend, 0, 0, data.len());
         let mut engine_slot = self.shared.direct_send.lock();
         let engine = engine_slot.as_mut().ok_or(SendError::WrongMode("direct"))?;
         let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
         let packets = self.shared.segment(session, data, false);
-        self.shared
-            .counters
-            .messages_sent
-            .fetch_add(1, Ordering::Relaxed);
+        self.shared.counters.messages_sent.inc();
         let total = packets.len() as u32;
         let mut pending: std::collections::VecDeque<u32> = Default::default();
         let mut step = engine.ec.begin(total);
@@ -1833,10 +1895,13 @@ impl NcsConnection {
             match step {
                 SenderStep::Transmit(seqs) => {
                     if !first_round {
-                        self.shared
-                            .counters
-                            .retransmissions
-                            .fetch_add(seqs.len() as u64, Ordering::Relaxed);
+                        self.shared.counters.retransmissions.add(seqs.len() as u64);
+                        self.shared.recorder.record(
+                            EventKind::Retransmit,
+                            0,
+                            *seqs.first().unwrap_or(&0),
+                            seqs.len(),
+                        );
                     }
                     pending.extend(seqs);
                     // Flow-control procedure: release as permitted.
@@ -1886,10 +1951,9 @@ impl NcsConnection {
                 .send_batch(&refs[sent..])?
                 .clamp(1, refs.len() - sent);
         }
-        self.shared
-            .counters
-            .packets_sent
-            .fetch_add(n as u64, Ordering::Relaxed);
+        self.shared.counters.packets_sent.add(n as u64);
+        let bytes: usize = refs.iter().map(|r| r.len()).sum();
+        self.shared.recorder.record(EventKind::Wire, 0, 0, bytes);
         engine.fc.on_transmit(n as u32);
         Ok(())
     }
@@ -1915,20 +1979,14 @@ impl NcsConnection {
             let slice = (deadline - now).min(Duration::from_millis(5));
             match self.shared.direct_events.recv_timeout(slice) {
                 Ok(DirectEvent::Ack(info)) => {
-                    self.shared
-                        .counters
-                        .acks_received
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared.counters.acks_received.inc();
                     let step = engine.ec.on_ack(info);
                     if !matches!(step, SenderStep::Wait) {
                         return Ok(step);
                     }
                 }
                 Ok(DirectEvent::Credit(n)) => {
-                    self.shared
-                        .counters
-                        .credits_received
-                        .fetch_add(n as u64, Ordering::Relaxed);
+                    self.shared.counters.credits_received.add(n as u64);
                     engine.fc.on_feedback(n);
                 }
                 Err(_) => {
@@ -1966,10 +2024,7 @@ impl NcsConnection {
             let Ok(packet) = DataPacket::decode(&frame) else {
                 continue;
             };
-            self.shared
-                .counters
-                .packets_received
-                .fetch_add(1, Ordering::Relaxed);
+            self.shared.counters.packets_received.inc();
             let h = packet.header;
             if h.session < engine.delivered_below {
                 // Duplicate of a delivered message: re-acknowledge its end
@@ -1979,10 +2034,7 @@ impl NcsConnection {
                         "go-back-n" => AckInfo::Cumulative(h.seq + 1),
                         _ => AckInfo::Bitmap(crate::seq::AckBitmap::all_received(h.seq + 1)),
                     };
-                    self.shared
-                        .counters
-                        .acks_sent
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared.counters.acks_sent.inc();
                     self.shared
                         .ctrl_tx
                         .send(make_ack_msg(&self.shared, h.session, ack));
@@ -2000,10 +2052,7 @@ impl NcsConnection {
             // Flow-control receive procedure: grant credits inline.
             let grant = engine.fc.on_receive(Instant::now());
             if grant > 0 {
-                self.shared
-                    .counters
-                    .credits_granted
-                    .fetch_add(grant as u64, Ordering::Relaxed);
+                self.shared.counters.credits_granted.add(grant as u64);
                 self.shared.ctrl_tx.send(CtrlMsg::Credit {
                     conn: self.shared.peer_conn_id(),
                     credits: grant,
@@ -2017,19 +2066,13 @@ impl NcsConnection {
                 ReceiverStep::Continue => (None, None),
             };
             if let Some(a) = ack {
-                self.shared
-                    .counters
-                    .acks_sent
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.counters.acks_sent.inc();
                 self.shared
                     .ctrl_tx
                     .send(make_ack_msg(&self.shared, h.session, a));
             }
             if let Some(m) = deliver {
-                self.shared
-                    .counters
-                    .messages_received
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.counters.messages_received.inc();
                 engine.delivered_below = h.session + 1;
                 return Ok(m);
             }
@@ -2054,11 +2097,11 @@ impl NcsConnection {
             return Err(SendError::WrongMode("threaded bypass (no FC/EC)"));
         }
         self.check_sendable(data, None)?;
-        let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
         self.shared
-            .counters
-            .messages_sent
-            .fetch_add(1, Ordering::Relaxed);
+            .recorder
+            .record(EventKind::Isend, 0, 0, data.len());
+        let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        self.shared.counters.messages_sent.inc();
         let frames = self.shared.segment_frames(session, data, false);
         let trace = SendTrace::new();
         let n = frames.len();
@@ -2092,6 +2135,9 @@ impl NcsConnection {
             return Err(SendError::WrongMode("threaded bypass (no FC/EC)"));
         }
         self.check_sendable(data, None)?;
+        self.shared
+            .recorder
+            .record(EventKind::Isend, 0, 0, data.len());
         let t_entry = Instant::now();
         let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
         // Header attach == pooled frame encode.
@@ -2114,10 +2160,7 @@ impl NcsConnection {
             return Err(SendError::Timeout);
         }
         let t_back = Instant::now();
-        self.shared
-            .counters
-            .messages_sent
-            .fetch_add(1, Ordering::Relaxed);
+        self.shared.counters.messages_sent.inc();
         let dequeued = trace.dequeued_at.lock().expect("trace filled");
         let transmitted = trace.transmitted_at.lock().expect("trace filled");
         let freed = trace.freed_at.lock().expect("trace filled");

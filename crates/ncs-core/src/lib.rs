@@ -77,3 +77,10 @@ pub use request::{
     DELIVERY_SHARDS,
 };
 pub use stats::{ConnectionStats, ReactorStats, SendBreakdown};
+
+// Telemetry-plane types surfaced by the node/connection APIs
+// ([`NcsNode::registry`], [`NcsConnection::flight`]), re-exported so
+// ncs-core users don't need a separate ncs-obs dependency.
+pub use ncs_obs::{
+    EventKind, FlightEvent, FlightRecorder, MetricsSnapshot, Registry as MetricsRegistry,
+};

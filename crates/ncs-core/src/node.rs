@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use ncs_obs::{MetricsSnapshot, Registry};
 use ncs_threads::sync::Mailbox;
 use ncs_threads::{JoinHandle, KernelPackage, PackageKind, SpawnOptions, ThreadPackage};
 use ncs_transport::{Connection as Transport, TransportError};
@@ -18,6 +19,7 @@ use crate::link::PeerLink;
 use crate::packet::{CtrlMsg, Hello};
 use crate::pool::{BufPool, PoolStats};
 use crate::reactor::Reactor;
+use crate::stats::{PackageMetricSource, PoolMetricSource, ReactorMetricSource};
 
 const ACCEPT_POLL: Duration = Duration::from_millis(200);
 const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
@@ -122,6 +124,9 @@ pub(crate) struct NodeInner {
     owns_reactor: bool,
     /// Recycling frame-buffer pool shared by every connection's data plane.
     pool: Arc<BufPool>,
+    /// The node's telemetry registry: every layer (connections, reactor,
+    /// pool, thread package) registers its metrics here.
+    registry: Arc<Registry>,
     peers: Mutex<HashMap<String, PeerState>>,
     conns: Mutex<HashMap<u32, Arc<ConnShared>>>,
     /// (peer name, initiator conn id) -> acceptor conn id, for idempotent
@@ -152,6 +157,7 @@ pub struct NcsNodeBuilder {
     pkg: Option<Arc<dyn ThreadPackage>>,
     pool: Option<Arc<BufPool>>,
     reactor: Option<Arc<Reactor>>,
+    registry: Option<Arc<Registry>>,
 }
 
 impl NcsNodeBuilder {
@@ -190,6 +196,16 @@ impl NcsNodeBuilder {
         self
     }
 
+    /// Supplies the telemetry [`Registry`] this node's layers register
+    /// their metrics into (defaults to a private one). Sharing a registry
+    /// across co-located nodes merges their series into one snapshot —
+    /// per-connection series stay distinguishable by their `conn`/`peer`
+    /// labels.
+    pub fn registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
     /// Builds and starts the node (spawns its Master Thread).
     pub fn build(self) -> NcsNode {
         let pkg = self
@@ -199,13 +215,22 @@ impl NcsNodeBuilder {
         let reactor = self
             .reactor
             .unwrap_or_else(|| Reactor::with_default_shards(Arc::clone(&pkg)));
+        let pool = self.pool.unwrap_or_else(BufPool::new);
+        let registry = self.registry.unwrap_or_default();
+        // Register the node's shared-infrastructure gauges/counters: the
+        // buffer pool, the reactor and the thread package each export
+        // through a pull adapter, so a snapshot always reads live values.
+        registry.register_source(Arc::new(PoolMetricSource(Arc::clone(&pool))));
+        registry.register_source(Arc::new(ReactorMetricSource(Arc::clone(&reactor))));
+        registry.register_source(Arc::new(PackageMetricSource(Arc::clone(&pkg))));
         let inner = Arc::new(NodeInner {
             name: self.name,
             rank: self.rank,
             pkg,
             reactor,
             owns_reactor,
-            pool: self.pool.unwrap_or_else(BufPool::new),
+            pool,
+            registry,
             peers: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
             accepted_index: Mutex::new(HashMap::new()),
@@ -244,6 +269,7 @@ impl NcsNode {
             pkg: None,
             pool: None,
             reactor: None,
+            registry: None,
         }
     }
 
@@ -325,7 +351,12 @@ impl NcsNode {
         let ctrl_tx = ensure_ctrl_tx(&self.inner, peer)?;
         let channel = link.open_channel()?;
         config.validate(channel.caps().max_frame)?;
-        let transport: Arc<dyn Transport> = Arc::from(channel);
+        // Meter the data channel: interface-labelled frame/byte counters
+        // in the node registry, shared by all channels of the family.
+        let transport: Arc<dyn Transport> = Arc::new(ncs_transport::Metered::register(
+            Arc::from(channel),
+            &self.inner.registry,
+        ));
         let conn_id = self.inner.next_conn.fetch_add(1, Ordering::Relaxed);
         let shared = ConnShared::new(
             conn_id,
@@ -334,6 +365,7 @@ impl NcsNode {
             Arc::clone(&transport),
             Arc::clone(&self.inner.pool),
             ctrl_tx,
+            Some(Arc::clone(&self.inner.registry)),
         );
         self.inner.conns.lock().insert(conn_id, Arc::clone(&shared));
         // Announce the connection on its own data channel, then spawn the
@@ -419,6 +451,57 @@ impl NcsNode {
     /// the allocations the pooled path actually made (see [`PoolStats`]).
     pub fn pool_stats(&self) -> PoolStats {
         self.inner.pool.stats()
+    }
+
+    /// The node's telemetry [`Registry`] — register application metrics
+    /// here to have them appear in [`NcsNode::metrics_snapshot`] beside
+    /// the runtime's own.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.inner.registry)
+    }
+
+    /// One consistent read of every metric registered with this node:
+    /// connection counters, reactor/pool/thread-package gauges, and
+    /// anything the application registered. Render it with
+    /// [`MetricsSnapshot::render_table`],
+    /// [`MetricsSnapshot::render_prometheus`] or
+    /// [`MetricsSnapshot::render_json`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.registry.snapshot()
+    }
+
+    /// Toggles the flight recorders of every live connection (and sets
+    /// nothing else — new connections start enabled regardless).
+    pub fn set_flight_recording(&self, on: bool) {
+        for c in self.inner.conns.lock().values() {
+            c.recorder.set_enabled(on);
+        }
+    }
+
+    /// The node's full telemetry dump as one JSON object:
+    /// `{"node":...,"rank":...,"metrics":[...],"flights":[...]}` — the
+    /// metrics snapshot plus every live connection's flight-recorder ring.
+    /// This is what the cluster runtime pushes to the rendezvous daemon
+    /// for `ncs-launch --telemetry` aggregation.
+    pub fn telemetry(&self) -> String {
+        let conns: Vec<Arc<ConnShared>> = self.inner.conns.lock().values().cloned().collect();
+        let mut flights: Vec<String> = conns
+            .iter()
+            .map(|c| {
+                c.recorder
+                    .dump_json_labelled(&format!("{}->{}", c.id, c.peer_name))
+            })
+            .collect();
+        flights.sort();
+        format!(
+            "{{\"node\":\"{}\",\"rank\":{},\"metrics\":{},\"flights\":[{}]}}",
+            ncs_obs::json::escape(&self.inner.name),
+            self.inner
+                .rank
+                .map_or_else(|| "null".to_owned(), |r| r.to_string()),
+            self.metrics_snapshot().render_json(),
+            flights.join(",")
+        )
     }
 
     /// Shuts the node down: closes every connection, stops all NCS threads.
@@ -606,6 +689,9 @@ fn master_thread(inner: &Arc<NodeInner>) {
                     transport.close();
                     continue;
                 }
+                // Meter the accepted data channel like the initiator side.
+                let transport: Arc<dyn Transport> =
+                    Arc::new(ncs_transport::Metered::register(transport, &inner.registry));
                 // Duplicate hello from a setup retry: re-acknowledge the
                 // existing connection instead of creating another.
                 let existing = inner
@@ -635,6 +721,7 @@ fn master_thread(inner: &Arc<NodeInner>) {
                     transport,
                     Arc::clone(&inner.pool),
                     Arc::clone(&ctrl_tx),
+                    Some(Arc::clone(&inner.registry)),
                 );
                 shared.mark_established(initiator_conn);
                 inner

@@ -612,6 +612,13 @@ impl TagShard {
 pub(crate) struct DeliveryQueue {
     untagged: Mutex<UntaggedShard>,
     tagged: [Mutex<TagShard>; DELIVERY_SHARDS],
+    /// Delivery-point observability: the connection's `messages_received`
+    /// counter and flight recorder, installed once at construction.
+    /// Counting *here* — the single point every transport's reassembled
+    /// messages funnel through, sink and queue alike — is what keeps
+    /// `messages_received` exact under the bypass/zero-copy `MsgView`
+    /// paths as well as the FC/EC pipeline.
+    obs: std::sync::OnceLock<(ncs_obs::Counter, ncs_obs::FlightRecorder)>,
 }
 
 impl DeliveryQueue {
@@ -619,10 +626,25 @@ impl DeliveryQueue {
         DeliveryQueue::default()
     }
 
+    /// Installs the delivery-point counter and flight recorder (first
+    /// call wins; later calls are no-ops).
+    pub(crate) fn set_obs(&self, counter: ncs_obs::Counter, recorder: ncs_obs::FlightRecorder) {
+        let _ = self.obs.set((counter, recorder));
+    }
+
     /// Routes one reassembled message: hands it to the installed sink
     /// (untagged traffic only), the oldest parked request on its channel,
     /// or queues it as ready. Only the target shard's lock is taken.
     pub(crate) fn deliver(&self, msg: MsgView) {
+        if let Some((received, flight)) = self.obs.get() {
+            received.inc();
+            flight.record(
+                ncs_obs::EventKind::Deliver,
+                msg.tag().unwrap_or(0),
+                0,
+                msg.len(),
+            );
+        }
         match msg.tag() {
             None => {
                 let mut shard = self.untagged.lock();

@@ -1,38 +1,217 @@
-//! Connection statistics and the Table-I send-path instrumentation.
+//! Connection statistics, the Table-I send-path instrumentation, and
+//! the adapters that plug this crate's subsystems into the
+//! [`ncs_obs::Registry`] telemetry plane.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Counters kept by every connection.
+use ncs_obs::{Counter, Family, MetricKind, MetricSource, MetricValue, Registry, Series};
+
+use crate::pool::BufPool;
+use crate::reactor::Reactor;
+
+/// Counters kept by every connection — [`ncs_obs::Counter`] handles, so
+/// the same atomics back both the exact per-connection
+/// [`ConnectionStats`] and the node's registry snapshot.
 #[derive(Debug, Default)]
 pub(crate) struct ConnCounters {
-    pub messages_sent: AtomicU64,
-    pub messages_received: AtomicU64,
-    pub packets_sent: AtomicU64,
-    pub packets_received: AtomicU64,
-    pub retransmissions: AtomicU64,
-    pub acks_sent: AtomicU64,
-    pub acks_received: AtomicU64,
-    pub credits_granted: AtomicU64,
-    pub credits_received: AtomicU64,
-    pub send_failures: AtomicU64,
+    pub messages_sent: Counter,
+    pub messages_received: Counter,
+    pub packets_sent: Counter,
+    pub packets_received: Counter,
+    pub retransmissions: Counter,
+    pub acks_sent: Counter,
+    pub acks_received: Counter,
+    pub credits_granted: Counter,
+    pub credits_received: Counter,
+    pub send_failures: Counter,
 }
 
 impl ConnCounters {
+    /// Counters registered into `registry` as per-connection labelled
+    /// series (`conn="<id>", peer="<name>"`). The returned handles and
+    /// the registry share atomics; when the connection retires, the node
+    /// drops the series with [`Registry::unregister_label`].
+    pub(crate) fn registered(registry: &Registry, conn: u32, peer: &str) -> Self {
+        let id = conn.to_string();
+        let labels: &[(&str, &str)] = &[("conn", &id), ("peer", peer)];
+        let c = |name: &str, help: &str| registry.counter(name, help, labels);
+        ConnCounters {
+            messages_sent: c(
+                "ncs_conn_messages_sent_total",
+                "user messages accepted by the send path",
+            ),
+            messages_received: c(
+                "ncs_conn_messages_received_total",
+                "user messages delivered to the application",
+            ),
+            packets_sent: c(
+                "ncs_conn_packets_sent_total",
+                "SDU packets transmitted (including retransmissions)",
+            ),
+            packets_received: c("ncs_conn_packets_received_total", "SDU packets received"),
+            retransmissions: c(
+                "ncs_conn_retransmissions_total",
+                "SDU packets retransmitted by error control",
+            ),
+            acks_sent: c("ncs_conn_acks_sent_total", "acknowledgements sent"),
+            acks_received: c("ncs_conn_acks_received_total", "acknowledgements received"),
+            credits_granted: c(
+                "ncs_conn_credits_granted_total",
+                "flow-control credits granted to the peer",
+            ),
+            credits_received: c(
+                "ncs_conn_credits_received_total",
+                "flow-control credits received from the peer",
+            ),
+            send_failures: c(
+                "ncs_conn_send_failures_total",
+                "messages that exhausted their retry budget",
+            ),
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> ConnectionStats {
         ConnectionStats {
-            messages_sent: self.messages_sent.load(Ordering::Relaxed),
-            messages_received: self.messages_received.load(Ordering::Relaxed),
-            packets_sent: self.packets_sent.load(Ordering::Relaxed),
-            packets_received: self.packets_received.load(Ordering::Relaxed),
-            retransmissions: self.retransmissions.load(Ordering::Relaxed),
-            acks_sent: self.acks_sent.load(Ordering::Relaxed),
-            acks_received: self.acks_received.load(Ordering::Relaxed),
-            credits_granted: self.credits_granted.load(Ordering::Relaxed),
-            credits_received: self.credits_received.load(Ordering::Relaxed),
-            send_failures: self.send_failures.load(Ordering::Relaxed),
+            messages_sent: self.messages_sent.get(),
+            messages_received: self.messages_received.get(),
+            packets_sent: self.packets_sent.get(),
+            packets_received: self.packets_received.get(),
+            retransmissions: self.retransmissions.get(),
+            acks_sent: self.acks_sent.get(),
+            acks_received: self.acks_received.get(),
+            credits_granted: self.credits_granted.get(),
+            credits_received: self.credits_received.get(),
+            send_failures: self.send_failures.get(),
         }
+    }
+}
+
+fn counter_family(name: &str, help: &str, v: u64) -> Family {
+    Family {
+        name: name.to_string(),
+        help: help.to_string(),
+        kind: MetricKind::Counter,
+        series: vec![Series {
+            labels: Vec::new(),
+            value: MetricValue::Counter(v),
+        }],
+    }
+}
+
+fn gauge_family(name: &str, help: &str, v: i64) -> Family {
+    Family {
+        name: name.to_string(),
+        help: help.to_string(),
+        kind: MetricKind::Gauge,
+        series: vec![Series {
+            labels: Vec::new(),
+            value: MetricValue::Gauge(v),
+        }],
+    }
+}
+
+/// [`MetricSource`] over a node's [`BufPool`] — reads
+/// [`PoolStats`](crate::pool::PoolStats) on each snapshot.
+pub(crate) struct PoolMetricSource(pub(crate) Arc<BufPool>);
+
+impl MetricSource for PoolMetricSource {
+    fn collect(&self) -> Vec<Family> {
+        let s = self.0.stats();
+        vec![
+            counter_family("ncs_pool_checkouts_total", "buffer checkouts", s.checkouts),
+            counter_family("ncs_pool_hits_total", "recycled-buffer hits", s.hits),
+            counter_family("ncs_pool_misses_total", "fresh allocations", s.misses),
+            counter_family("ncs_pool_returns_total", "buffers returned", s.returns),
+            counter_family(
+                "ncs_pool_discards_total",
+                "returned buffers dropped (shard full / oversized)",
+                s.discards,
+            ),
+        ]
+    }
+}
+
+/// [`MetricSource`] over a node's [`Reactor`] — reads [`ReactorStats`]
+/// on each snapshot.
+pub(crate) struct ReactorMetricSource(pub(crate) Arc<Reactor>);
+
+impl MetricSource for ReactorMetricSource {
+    fn collect(&self) -> Vec<Family> {
+        let s = self.0.stats();
+        vec![
+            gauge_family(
+                "ncs_reactor_workers",
+                "event-loop shard workers",
+                s.workers as i64,
+            ),
+            gauge_family(
+                "ncs_reactor_endpoints",
+                "live registered connection tasks",
+                s.endpoints as i64,
+            ),
+            counter_family("ncs_reactor_polls_total", "worker loop iterations", s.polls),
+            counter_family(
+                "ncs_reactor_wakeups_total",
+                "task wakeups delivered",
+                s.wakeups,
+            ),
+            counter_family(
+                "ncs_reactor_task_runs_total",
+                "individual task polls",
+                s.task_runs,
+            ),
+            counter_family(
+                "ncs_reactor_timer_fires_total",
+                "timer deadlines fired",
+                s.timer_fires,
+            ),
+            counter_family(
+                "ncs_reactor_fd_events_total",
+                "fd readiness events delivered",
+                s.fd_events,
+            ),
+            counter_family(
+                "ncs_reactor_stalled_tasks_total",
+                "tasks observed stalled (healthy: 0)",
+                s.stalled_tasks,
+            ),
+            counter_family(
+                "ncs_reactor_blocking_spawned_total",
+                "blocking-lane threads ever spawned",
+                s.blocking_spawned,
+            ),
+            gauge_family(
+                "ncs_reactor_blocking_active",
+                "blocking-lane jobs executing now",
+                s.blocking_active as i64,
+            ),
+        ]
+    }
+}
+
+/// [`MetricSource`] over the node's thread package — reads
+/// [`ncs_threads::PackageStats`] on each snapshot.
+pub(crate) struct PackageMetricSource(pub(crate) Arc<dyn ncs_threads::ThreadPackage>);
+
+impl MetricSource for PackageMetricSource {
+    fn collect(&self) -> Vec<Family> {
+        let s = self.0.stats();
+        vec![
+            counter_family(
+                "ncs_threads_context_switches_total",
+                "scheduler context switches",
+                s.context_switches,
+            ),
+            counter_family("ncs_threads_yields_total", "voluntary yields", s.yields),
+            counter_family(
+                "ncs_threads_blocks_total",
+                "threads parked on a primitive",
+                s.blocks,
+            ),
+            counter_family("ncs_threads_spawns_total", "threads spawned", s.spawns),
+        ]
     }
 }
 
@@ -271,12 +450,34 @@ mod tests {
     #[test]
     fn counters_snapshot() {
         let c = ConnCounters::default();
-        c.packets_sent.store(5, Ordering::Relaxed);
-        c.retransmissions.store(2, Ordering::Relaxed);
+        c.packets_sent.add(5);
+        c.retransmissions.add(2);
         let s = c.snapshot();
         assert_eq!(s.packets_sent, 5);
         assert_eq!(s.retransmissions, 2);
         assert!(s.to_string().contains("5tx"));
+    }
+
+    #[test]
+    fn registered_counters_share_atomics_with_the_registry() {
+        let r = Registry::new();
+        let c = ConnCounters::registered(&r, 3, "rank1");
+        c.messages_sent.add(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_total("ncs_conn_messages_sent_total"), 7);
+        let fam = snap.family("ncs_conn_messages_sent_total").unwrap();
+        assert!(fam.series[0]
+            .labels
+            .iter()
+            .any(|(k, v)| k == "conn" && v == "3"));
+        r.unregister_label("conn", "3");
+        assert_eq!(
+            r.snapshot().counter_total("ncs_conn_messages_sent_total"),
+            0
+        );
+        // The detached handle keeps counting for ConnectionStats.
+        c.messages_sent.inc();
+        assert_eq!(c.snapshot().messages_sent, 8);
     }
 
     #[test]

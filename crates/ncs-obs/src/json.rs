@@ -1,0 +1,48 @@
+//! Minimal hand-rolled JSON emission helpers (the workspace is
+//! dependency-free by design — no serde). The telemetry plane emits
+//! JSON by string assembly; this module keeps the escaping in one
+//! place.
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an optional process exit code as JSON (`null` when the child
+/// died to a signal).
+pub fn opt_i32(v: Option<i32>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn opt_i32_renders_null() {
+        assert_eq!(opt_i32(None), "null");
+        assert_eq!(opt_i32(Some(-3)), "-3");
+    }
+}

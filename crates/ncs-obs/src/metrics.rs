@@ -1,0 +1,327 @@
+//! The primitive instruments: [`Counter`], [`Gauge`] and the
+//! log-bucketed [`Histogram`].
+//!
+//! All three are cheap-clone handles over shared atomics: cloning a
+//! handle yields another view of the *same* instrument, so a hot path
+//! can own its handle outright (no registry lookup, no lock) while the
+//! registry retains a twin for snapshotting. Every mutation is a single
+//! relaxed atomic RMW — the instruments never take a lock and never
+//! allocate after construction.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event count.
+///
+/// ```
+/// let c = ncs_obs::Counter::new();
+/// c.inc();
+/// c.add(41);
+/// assert_eq!(c.get(), 42);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero, not attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Whether `other` is a handle to the same underlying counter.
+    pub fn same_as(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// An instantaneous signed level (queue depth, live connections, …).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh gauge at zero, not attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level by `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Whether `other` is a handle to the same underlying gauge.
+    pub fn same_as(&self, other: &Gauge) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// Number of log2 buckets a [`Histogram`] keeps: bucket `b ≥ 1` holds
+/// samples in `[2^(b-1), 2^b)`, bucket 0 holds the value 0, and the last
+/// bucket (index 64) holds samples with the top bit set.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The log2 bucket index a sample lands in. Bucket 0 ⇔ `v == 0`;
+/// otherwise `bucket_index(v) == v.ilog2() + 1` (the bit width of `v`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The largest value bucket `b` can hold (its inclusive upper bound).
+/// Quantile estimates report this bound, so an estimate is always within
+/// the true quantile's bucket.
+#[inline]
+pub fn bucket_upper(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A lock-free latency/size histogram with logarithmic (powers-of-two)
+/// buckets.
+///
+/// Recording is two relaxed `fetch_add`s plus one for the running sum;
+/// quantiles are estimated from the bucket counts at snapshot time and
+/// are exact to within one log2 bucket (i.e. within a factor of two) —
+/// see [`HistSnapshot`].
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram not attached to any registry.
+    pub fn new() -> Self {
+        Histogram(Arc::new(HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Whether `other` is a handle to the same underlying histogram.
+    pub fn same_as(&self, other: &Histogram) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// A point-in-time copy of the distribution with quantile estimates.
+    ///
+    /// Concurrent recording while snapshotting can skew `count` against
+    /// the bucket totals by the handful of in-flight samples; the
+    /// snapshot recomputes `count` from the buckets so quantile ranks
+    /// stay self-consistent.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let sum = self.0.sum.load(Ordering::Relaxed);
+        let q = |q: f64| quantile_from_buckets(&buckets, count, q);
+        HistSnapshot {
+            count,
+            sum,
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
+            p999: q(0.999),
+            max: buckets
+                .iter()
+                .rposition(|&c| c > 0)
+                .map(bucket_upper)
+                .unwrap_or(0),
+            buckets,
+        }
+    }
+}
+
+fn quantile_from_buckets(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    // Rank of the q-quantile, 1-based: the smallest rank r such that at
+    // least a q fraction of samples are ≤ the r-th smallest sample.
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (b, &c) in buckets.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return bucket_upper(b);
+        }
+    }
+    bucket_upper(buckets.len() - 1)
+}
+
+/// A point-in-time view of a [`Histogram`].
+///
+/// The quantile fields report the *inclusive upper bound* of the log2
+/// bucket the true quantile falls in, so `p50`/`p90`/`p99`/`p999` are
+/// never below the exact quantile and never more than one bucket (2×)
+/// above it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Total samples (recomputed from the buckets; see
+    /// [`Histogram::snapshot`]).
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Median estimate (upper bound of the median's bucket).
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// 99.9th-percentile estimate.
+    pub p999: u64,
+    /// Upper bound of the highest non-empty bucket.
+    pub max: u64,
+    /// Raw per-bucket counts ([`HIST_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Mean sample value, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(a.same_as(&b));
+        assert!(!a.same_as(&Counter::new()));
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn bucket_index_matches_bit_width() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_members() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let b = bucket_index(v);
+            assert!(v <= bucket_upper(b), "v={v} b={b}");
+            if b > 0 {
+                assert!(v > bucket_upper(b - 1), "v={v} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_cover_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        // Exact p50 is 500 (bucket 9: 256..=511) — estimate is the bound.
+        assert_eq!(s.p50, 511);
+        assert_eq!(s.p99, 1023);
+        assert_eq!(s.max, 1023);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p999, 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! The post-mortem sink: when `NCS_TELEMETRY_FILE` names a path, a rank
+//! writes its final telemetry there — on clean shutdown *and* on
+//! fail-fast link-down — so a dead process still leaves a diagnosable
+//! record. `ncs-launch` sets the variable to
+//! `<log-dir>/<rank>.telemetry.json` and wraps the file with the exit
+//! cause after reaping the child.
+
+use std::path::PathBuf;
+
+/// Environment variable naming the post-mortem sink file.
+pub const TELEMETRY_FILE_ENV: &str = "NCS_TELEMETRY_FILE";
+
+/// Environment variable that, when set to `1`, asks a rank to push its
+/// telemetry snapshot to `ncsd` at shutdown (`ncs-launch --telemetry`).
+pub const TELEMETRY_PUSH_ENV: &str = "NCS_TELEMETRY";
+
+/// The configured sink path, if any.
+pub fn sink_path() -> Option<PathBuf> {
+    std::env::var_os(TELEMETRY_FILE_ENV)
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Whether this process was asked to push telemetry to the rendezvous
+/// daemon at shutdown.
+pub fn push_requested() -> bool {
+    std::env::var(TELEMETRY_PUSH_ENV).is_ok_and(|v| v == "1")
+}
+
+/// Best-effort overwrite of the sink with `json`. Each write replaces
+/// the previous one, so the file always holds the *latest* (and, after
+/// death, final) dump. Errors are swallowed: telemetry must never take
+/// a data plane down.
+pub fn write(json: &str) {
+    let Some(path) = sink_path() else { return };
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let _ = std::fs::write(path, json);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var tests mutate process state; keep them in ONE test so
+    // parallel test threads never race on the variable.
+    #[test]
+    fn sink_path_and_write_follow_env() {
+        std::env::remove_var(TELEMETRY_FILE_ENV);
+        assert!(sink_path().is_none());
+        write("{}"); // no sink: must be a no-op, not a panic
+
+        let dir = std::env::temp_dir().join(format!("ncs-obs-pm-{}", std::process::id()));
+        let path = dir.join("sub").join("r0.telemetry.json");
+        std::env::set_var(TELEMETRY_FILE_ENV, &path);
+        assert_eq!(sink_path(), Some(path.clone()));
+        write("{\"a\":1}");
+        write("{\"a\":2}");
+        let got = std::fs::read_to_string(&path).expect("sink written");
+        assert_eq!(got, "{\"a\":2}", "last write wins");
+        std::env::remove_var(TELEMETRY_FILE_ENV);
+        let _ = std::fs::remove_dir_all(dir);
+
+        std::env::remove_var(TELEMETRY_PUSH_ENV);
+        assert!(!push_requested());
+        std::env::set_var(TELEMETRY_PUSH_ENV, "1");
+        assert!(push_requested());
+        std::env::remove_var(TELEMETRY_PUSH_ENV);
+    }
+}

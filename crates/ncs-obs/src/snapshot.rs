@@ -1,0 +1,311 @@
+//! The [`MetricsSnapshot`] tree and its three renderings: an aligned
+//! human-readable table, Prometheus text exposition, and a JSON form
+//! used by cluster aggregation (`ncs-launch --telemetry`) and the
+//! post-mortem sink.
+
+use crate::json;
+use crate::metrics::{bucket_upper, HistSnapshot};
+
+/// What kind of instrument a family's series come from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic count.
+    Counter,
+    /// Instantaneous level.
+    Gauge,
+    /// Log-bucketed distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword for this kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One series' value at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram distribution.
+    Histogram(HistSnapshot),
+}
+
+/// One labelled series within a [`Family`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Label pairs identifying this series.
+    pub labels: Vec<(String, String)>,
+    /// The value read at snapshot time.
+    pub value: MetricValue,
+}
+
+impl Series {
+    fn label_str(&self) -> String {
+        if self.labels.is_empty() {
+            return String::new();
+        }
+        let body: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+/// All series sharing one metric name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Family {
+    /// Metric name (Prometheus-style, e.g. `ncs_conn_messages_sent_total`).
+    pub name: String,
+    /// One-line description.
+    pub help: String,
+    /// Instrument kind.
+    pub kind: MetricKind,
+    /// The series, in registration order.
+    pub series: Vec<Series>,
+}
+
+/// A point-in-time reading of a whole [`Registry`](crate::Registry):
+/// every family, every series, every source.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Families sorted by name.
+    pub families: Vec<Family>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a family by name.
+    pub fn family(&self, name: &str) -> Option<&Family> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Sum of a counter family across all its series (0 if absent).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.family(name)
+            .map(|f| {
+                f.series
+                    .iter()
+                    .map(|s| match &s.value {
+                        MetricValue::Counter(v) => *v,
+                        _ => 0,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// The human-readable table: one line per series, values aligned.
+    ///
+    /// Histograms print `count/mean/p50/p99/p999`.
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<(String, String)> = Vec::new();
+        for f in &self.families {
+            for s in &f.series {
+                let name = format!("{}{}", f.name, s.label_str());
+                let value = match &s.value {
+                    MetricValue::Counter(v) => v.to_string(),
+                    MetricValue::Gauge(v) => v.to_string(),
+                    MetricValue::Histogram(h) => format!(
+                        "count={} mean={:.1} p50≤{} p99≤{} p999≤{}",
+                        h.count,
+                        h.mean(),
+                        h.p50,
+                        h.p99,
+                        h.p999
+                    ),
+                };
+                rows.push((name, value));
+            }
+        }
+        let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in rows {
+            out.push_str(&format!("{name:<width$}  {value}\n"));
+        }
+        out
+    }
+
+    /// Prometheus text exposition (version 0.0.4 flavour).
+    ///
+    /// Histograms emit cumulative `_bucket{le=...}` series over the
+    /// non-empty log2 buckets plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for f in &self.families {
+            if !f.help.is_empty() {
+                out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
+            }
+            out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind.as_str()));
+            for s in &f.series {
+                match &s.value {
+                    MetricValue::Counter(v) => {
+                        out.push_str(&format!("{}{} {v}\n", f.name, s.label_str()));
+                    }
+                    MetricValue::Gauge(v) => {
+                        out.push_str(&format!("{}{} {v}\n", f.name, s.label_str()));
+                    }
+                    MetricValue::Histogram(h) => {
+                        let mut cum = 0u64;
+                        for (b, &c) in h.buckets.iter().enumerate() {
+                            if c == 0 {
+                                continue;
+                            }
+                            cum += c;
+                            let mut labels = s.labels.clone();
+                            labels.push(("le".into(), bucket_upper(b).to_string()));
+                            let series = Series {
+                                labels,
+                                value: MetricValue::Counter(cum),
+                            };
+                            out.push_str(&format!(
+                                "{}_bucket{} {cum}\n",
+                                f.name,
+                                series.label_str()
+                            ));
+                        }
+                        let mut labels = s.labels.clone();
+                        labels.push(("le".into(), "+Inf".into()));
+                        let series = Series {
+                            labels,
+                            value: MetricValue::Counter(h.count),
+                        };
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            f.name,
+                            series.label_str(),
+                            h.count
+                        ));
+                        out.push_str(&format!("{}_sum{} {}\n", f.name, s.label_str(), h.sum));
+                        out.push_str(&format!("{}_count{} {}\n", f.name, s.label_str(), h.count));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The JSON form: an array of family objects. Histogram series carry
+    /// their summary statistics, not raw buckets.
+    ///
+    /// ```json
+    /// [{"name":"x_total","kind":"counter","series":
+    ///    [{"labels":{"conn":"1"},"value":3}]}]
+    /// ```
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, f) in self.families.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"series\":[",
+                json::escape(&f.name),
+                f.kind.as_str()
+            ));
+            for (j, s) in f.series.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"labels\":{");
+                for (k, (lk, lv)) in s.labels.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "\"{}\":\"{}\"",
+                        json::escape(lk),
+                        json::escape(lv)
+                    ));
+                }
+                out.push_str("},\"value\":");
+                match &s.value {
+                    MetricValue::Counter(v) => out.push_str(&v.to_string()),
+                    MetricValue::Gauge(v) => out.push_str(&v.to_string()),
+                    MetricValue::Histogram(h) => out.push_str(&format!(
+                        "{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+                        h.count, h.sum, h.p50, h.p90, h.p99, h.p999, h.max
+                    )),
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    fn sample() -> MetricsSnapshot {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        MetricsSnapshot {
+            families: vec![
+                Family {
+                    name: "lat_us".into(),
+                    help: "latency".into(),
+                    kind: MetricKind::Histogram,
+                    series: vec![Series {
+                        labels: vec![("conn".into(), "1".into())],
+                        value: MetricValue::Histogram(h.snapshot()),
+                    }],
+                },
+                Family {
+                    name: "msgs_total".into(),
+                    help: "messages".into(),
+                    kind: MetricKind::Counter,
+                    series: vec![Series {
+                        labels: vec![],
+                        value: MetricValue::Counter(42),
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_lists_every_series() {
+        let t = sample().render_table();
+        assert!(t.contains("msgs_total"), "{t}");
+        assert!(t.contains("lat_us{conn=\"1\"}"), "{t}");
+        assert!(t.contains("count=4"), "{t}");
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let p = sample().render_prometheus();
+        assert!(p.contains("# TYPE msgs_total counter"), "{p}");
+        assert!(p.contains("msgs_total 42"), "{p}");
+        assert!(p.contains("# TYPE lat_us histogram"), "{p}");
+        assert!(p.contains("lat_us_bucket{conn=\"1\",le=\"+Inf\"} 4"), "{p}");
+        assert!(p.contains("lat_us_sum{conn=\"1\"} 106"), "{p}");
+        assert!(p.contains("lat_us_count{conn=\"1\"} 4"), "{p}");
+        // Cumulative buckets end at the total count.
+        assert!(p.contains("le=\"127\"} 4"), "{p}");
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed_enough_to_grep() {
+        let j = sample().render_json();
+        assert!(j.starts_with('[') && j.ends_with(']'), "{j}");
+        assert!(j.contains("\"name\":\"msgs_total\""), "{j}");
+        assert!(j.contains("\"value\":42"), "{j}");
+        assert!(j.contains("\"count\":4"), "{j}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the log-bucketed histogram: quantile estimates
+//! must always land in (or immediately above) the exact quantile's
+//! bucket, for arbitrary sample sets across the full u64 range.
+
+use ncs_obs::{bucket_index, Histogram};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Exact q-quantile of `sorted`: the smallest element whose 1-based rank
+/// `r` satisfies `r ≥ ceil(q·n)` — the same rank convention the
+/// histogram estimator uses.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Samples spanning the interesting shapes: tiny values, bucket
+/// boundaries (2^k ± 1), and huge values.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    vec(
+        prop_oneof![
+            Just(0u64),
+            1u64..16,
+            (0u32..64).prop_map(|k| 1u64 << k),
+            (1u32..64).prop_map(|k| (1u64 << k) - 1),
+            (1u32..64).prop_map(|k| (1u64 << k) + 1),
+            any::<u64>(),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    /// For every quantile the gate cares about, the estimate's bucket is
+    /// the exact quantile's bucket (the estimate is that bucket's upper
+    /// bound, so it is also never *below* the exact value).
+    #[test]
+    fn quantile_estimates_are_within_one_bucket(samples in arb_samples()) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        for (q, est) in [
+            (0.50, snap.p50),
+            (0.90, snap.p90),
+            (0.99, snap.p99),
+            (0.999, snap.p999),
+        ] {
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(
+                est >= exact,
+                "q={} estimate {} below exact {}", q, est, exact
+            );
+            prop_assert_eq!(
+                bucket_index(est),
+                bucket_index(exact),
+                "q={} estimate {} strayed from exact {}'s bucket",
+                q, est, exact
+            );
+        }
+        let max_exact = *sorted.last().unwrap();
+        prop_assert!(snap.max >= max_exact);
+        prop_assert_eq!(bucket_index(snap.max), bucket_index(max_exact));
+    }
+
+    /// The recorded sum is exact (modulo u64 wrap, which the strategy
+    /// cannot reach with < 400 samples unless values are huge — so
+    /// compare with wrapping arithmetic).
+    #[test]
+    fn sum_is_exact_under_wrapping(samples in arb_samples()) {
+        let h = Histogram::new();
+        let mut want = 0u64;
+        for &v in &samples {
+            h.record(v);
+            want = want.wrapping_add(v);
+        }
+        prop_assert_eq!(h.sum(), want);
+    }
+}

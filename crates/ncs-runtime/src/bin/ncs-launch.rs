@@ -7,7 +7,12 @@
 //! which stragglers are killed.
 //!
 //! Usage:
-//! `ncs-launch --np N [--timeout SECS] [--ncsd ADDR] [--log-dir DIR] -- CMD [ARGS...]`
+//! `ncs-launch --np N [--timeout SECS] [--ncsd ADDR] [--log-dir DIR] [--telemetry] -- CMD [ARGS...]`
+//!
+//! With `--telemetry` every rank publishes its final metrics snapshot and
+//! flight-recorder dump at shutdown; the launcher prints the merged world
+//! snapshot on stdout and, with `--log-dir`, writes `telemetry.json` plus
+//! per-rank `rank<N>.telemetry.json` files wrapped with each exit cause.
 //!
 //! Exit code: 0 when every rank exited 0; the first failing rank's code
 //! otherwise; 124 when the deadline expired.
@@ -18,7 +23,7 @@ use ncs_runtime::{launch, LaunchSpec};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ncs-launch --np N [--timeout SECS] [--ncsd ADDR] [--log-dir DIR] -- CMD [ARGS...]"
+        "usage: ncs-launch --np N [--timeout SECS] [--ncsd ADDR] [--log-dir DIR] [--telemetry] -- CMD [ARGS...]"
     );
     std::process::exit(2);
 }
@@ -28,6 +33,7 @@ fn main() {
     let mut timeout = Duration::from_secs(120);
     let mut ncsd = None;
     let mut log_dir = None;
+    let mut telemetry = false;
     let mut command: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,6 +56,7 @@ fn main() {
                 Some(d) => log_dir = Some(d.into()),
                 None => usage(),
             },
+            "--telemetry" => telemetry = true,
             "--" => {
                 command = args.collect();
                 break;
@@ -67,6 +74,7 @@ fn main() {
         ncsd,
         timeout,
         log_dir,
+        telemetry,
     };
     match launch(&spec) {
         Ok(report) => {
@@ -78,6 +86,9 @@ fn main() {
             }
             if report.timed_out {
                 eprintln!("ncs-launch: deadline expired; stragglers were killed");
+            }
+            if let Some(world_view) = &report.telemetry {
+                println!("{world_view}");
             }
             std::process::exit(report.exit_code());
         }

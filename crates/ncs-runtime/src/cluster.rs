@@ -197,9 +197,14 @@ pub struct ClusterNode {
     node: NcsNode,
     rank: u32,
     world: u32,
+    ncsd: SocketAddr,
     roster: Roster,
     links: HashMap<usize, NcsConnection>,
+    telemetry_published: std::sync::Once,
 }
+
+/// Budget for the best-effort telemetry push back to `ncsd` at shutdown.
+const TELEMETRY_PUSH_TIMEOUT: Duration = Duration::from_secs(5);
 
 impl std::fmt::Debug for ClusterNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -330,8 +335,10 @@ impl ClusterNode {
             node,
             rank: cfg.rank,
             world: cfg.world,
+            ncsd: cfg.ncsd,
             roster,
             links,
+            telemetry_published: std::sync::Once::new(),
         })
     }
 
@@ -436,9 +443,41 @@ impl ClusterNode {
         Ok(self.node.accept(timeout)?)
     }
 
-    /// Shuts the rank down: closes every connection and stops the node's
-    /// NCS threads. Idempotent.
+    /// This rank's full telemetry dump — metrics snapshot plus every
+    /// connection's flight recording — as one JSON object (the per-rank
+    /// unit [`crate::launch()`] aggregates into the world view).
+    pub fn telemetry(&self) -> String {
+        self.node.telemetry()
+    }
+
+    /// Publishes this rank's telemetry to the launcher-side sinks, if any
+    /// were requested: pushes to `ncsd` when `NCS_TELEMETRY=1`
+    /// ([`ncs_obs::postmortem::push_requested`]) and writes to the
+    /// `NCS_TELEMETRY_FILE` path when set. Best-effort — failures are
+    /// swallowed so telemetry never turns a clean exit into a failure.
+    pub fn publish_telemetry(&self) {
+        self.telemetry_published.call_once(|| {
+            let needs_push = ncs_obs::postmortem::push_requested();
+            let needs_file = ncs_obs::postmortem::sink_path().is_some();
+            if !needs_push && !needs_file {
+                return;
+            }
+            let dump = self.telemetry();
+            if needs_file {
+                ncs_obs::postmortem::write(&dump);
+            }
+            if needs_push {
+                let _ =
+                    rendezvous::push_telemetry(self.ncsd, self.rank, &dump, TELEMETRY_PUSH_TIMEOUT);
+            }
+        });
+    }
+
+    /// Shuts the rank down: publishes telemetry (when requested via the
+    /// [`mod@ncs_obs::postmortem`] environment), closes every connection
+    /// and stops the node's NCS threads. Idempotent.
     pub fn shutdown(&self) {
+        self.publish_telemetry();
         self.node.shutdown();
     }
 }

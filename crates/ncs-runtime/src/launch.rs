@@ -36,6 +36,14 @@ pub struct LaunchSpec {
     /// this directory: `rank<N>.log` (stdout) and `rank<N>.err.log`
     /// (stderr).
     pub log_dir: Option<PathBuf>,
+    /// Collect the telemetry plane: ranks publish their final metrics +
+    /// flight-recorder dump (pushed to the rendezvous service and, with a
+    /// [`LaunchSpec::log_dir`], written per rank to
+    /// `rank<N>.telemetry.json` wrapped with the exit cause), and the
+    /// launcher merges them into one world snapshot
+    /// ([`LaunchReport::telemetry`], also `telemetry.json` in the log
+    /// dir).
+    pub telemetry: bool,
 }
 
 impl LaunchSpec {
@@ -48,6 +56,7 @@ impl LaunchSpec {
             ncsd: None,
             timeout: Duration::from_secs(120),
             log_dir: None,
+            telemetry: false,
         }
     }
 }
@@ -69,6 +78,11 @@ pub struct LaunchReport {
     pub exits: Vec<RankExit>,
     /// Whether the deadline expired before every rank exited.
     pub timed_out: bool,
+    /// The merged world telemetry snapshot (schema `ncs-telemetry/1`)
+    /// when [`LaunchSpec::telemetry`] was set: every rank's final
+    /// metrics + flight dump under one `"ranks"` array (`null` entries
+    /// for ranks that died before publishing).
+    pub telemetry: Option<String>,
 }
 
 impl LaunchReport {
@@ -127,6 +141,19 @@ struct Running {
     killed: bool,
 }
 
+/// Where rank `rank`'s telemetry lands when a log dir is in play.
+fn rank_telemetry_path(dir: &std::path::Path, rank: u32) -> PathBuf {
+    dir.join(format!("rank{rank}.telemetry.json"))
+}
+
+/// Accepts a rank's file dump only when it plausibly survived the exit
+/// intact — a rank killed mid-write leaves a truncated object that would
+/// corrupt everything we splice it into.
+fn intact_json_object(s: &str) -> Option<&str> {
+    let t = s.trim();
+    (t.starts_with('{') && t.ends_with('}')).then_some(t)
+}
+
 /// Launches the world and blocks until every rank exited or the deadline
 /// expired (stragglers are killed).
 ///
@@ -168,6 +195,15 @@ pub fn launch(spec: &LaunchSpec) -> Result<LaunchReport, ClusterError> {
             .stdin(Stdio::null())
             .stdout(Stdio::piped())
             .stderr(Stdio::piped());
+        if spec.telemetry {
+            cmd.env(ncs_obs::postmortem::TELEMETRY_PUSH_ENV, "1");
+            if let Some(dir) = &spec.log_dir {
+                cmd.env(
+                    ncs_obs::postmortem::TELEMETRY_FILE_ENV,
+                    rank_telemetry_path(dir, rank),
+                );
+            }
+        }
         let mut child = cmd.spawn().map_err(|e| {
             // Kill what we already spawned: a half-world would hang on
             // rendezvous until its own timeout.
@@ -252,6 +288,7 @@ pub fn launch(spec: &LaunchSpec) -> Result<LaunchReport, ClusterError> {
         }
         std::thread::sleep(REAP_POLL);
     }
+    let killed: Vec<bool> = world.iter().map(|r| r.killed).collect();
     for r in world {
         // A killed rank's grandchildren may hold its output pipe open
         // indefinitely; detach those pumps instead of joining (they exit
@@ -263,10 +300,64 @@ pub fn launch(spec: &LaunchSpec) -> Result<LaunchReport, ClusterError> {
             let _ = p.join();
         }
     }
+    let exits: Vec<RankExit> = exits.into_iter().map(|e| e.expect("all reaped")).collect();
+
+    // Telemetry aggregation: prefer the dump each rank pushed to the
+    // embedded rendezvous service (exact final state), fall back to the
+    // file it wrote, then wrap the per-rank file with the exit cause and
+    // merge everything into one world snapshot.
+    let telemetry = if spec.telemetry {
+        let pushed = embedded
+            .as_ref()
+            .map(|s| s.telemetry_snapshots())
+            .unwrap_or_default();
+        let mut ranks = Vec::with_capacity(exits.len());
+        for e in &exits {
+            let file_dump = spec
+                .log_dir
+                .as_ref()
+                .and_then(|d| std::fs::read_to_string(rank_telemetry_path(d, e.rank)).ok());
+            let dump = pushed.get(&e.rank).cloned().or_else(|| {
+                file_dump
+                    .as_deref()
+                    .and_then(intact_json_object)
+                    .map(str::to_owned)
+            });
+            if let Some(dir) = &spec.log_dir {
+                let wrapped = format!(
+                    "{{\"rank\":{},\"exit_code\":{},\"killed\":{},\"telemetry\":{}}}",
+                    e.rank,
+                    e.code.map_or_else(|| "null".to_owned(), |c| c.to_string()),
+                    killed[e.rank as usize],
+                    dump.as_deref().unwrap_or("null"),
+                );
+                let path = rank_telemetry_path(dir, e.rank);
+                if let Err(err) = std::fs::write(&path, wrapped) {
+                    eprintln!("ncs-launch: cannot write {}: {err}", path.display());
+                }
+            }
+            ranks.push(dump.unwrap_or_else(|| "null".to_owned()));
+        }
+        let world_view = format!(
+            "{{\"schema\":\"ncs-telemetry/1\",\"world\":{},\"ranks\":[{}]}}",
+            spec.np,
+            ranks.join(",")
+        );
+        if let Some(dir) = &spec.log_dir {
+            let path = dir.join("telemetry.json");
+            if let Err(err) = std::fs::write(&path, &world_view) {
+                eprintln!("ncs-launch: cannot write {}: {err}", path.display());
+            }
+        }
+        Some(world_view)
+    } else {
+        None
+    };
     drop(embedded);
     Ok(LaunchReport {
-        exits: exits.into_iter().map(|e| e.expect("all reaped")).collect(),
+        exits,
         timed_out,
+        telemetry,
     })
 }
 
@@ -288,6 +379,7 @@ mod tests {
                 },
             ],
             timed_out: false,
+            telemetry: None,
         };
         assert!(ok.success());
         assert_eq!(ok.exit_code(), 0);
@@ -303,6 +395,7 @@ mod tests {
                 },
             ],
             timed_out: false,
+            telemetry: None,
         };
         assert!(!failed.success());
         assert_eq!(failed.exit_code(), 3);
@@ -312,6 +405,7 @@ mod tests {
                 code: None,
             }],
             timed_out: true,
+            telemetry: None,
         };
         assert_eq!(killed.exit_code(), 124);
     }

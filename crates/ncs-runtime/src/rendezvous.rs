@@ -14,9 +14,10 @@
 //! binary), embedded in a launcher ([`mod@crate::launch`]), or embedded in
 //! rank 0 of an application.
 
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ncs_transport::sci::{self, SciConnection, SciListener};
@@ -43,6 +44,9 @@ pub struct RendezvousServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     complete: Arc<AtomicBool>,
+    /// Telemetry snapshots pushed by ranks ([`RvMsg::Telemetry`]),
+    /// keyed by rank; the latest push wins.
+    telemetry: Arc<Mutex<HashMap<u32, String>>>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -70,16 +74,19 @@ impl RendezvousServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let complete = Arc::new(AtomicBool::new(false));
+        let telemetry = Arc::new(Mutex::new(HashMap::new()));
         let sd = Arc::clone(&shutdown);
         let cp = Arc::clone(&complete);
+        let tl = Arc::clone(&telemetry);
         let handle = std::thread::Builder::new()
             .name("ncsd".into())
-            .spawn(move || serve(&listener, world, &sd, &cp))
+            .spawn(move || serve(&listener, world, &sd, &cp, &tl))
             .expect("spawn ncsd thread");
         Ok(RendezvousServer {
             addr,
             shutdown,
             complete,
+            telemetry,
             handle: Some(handle),
         })
     }
@@ -107,6 +114,15 @@ impl RendezvousServer {
         true
     }
 
+    /// The telemetry snapshots ranks have pushed so far, keyed by rank
+    /// (the JSON payloads of [`RvMsg::Telemetry`], latest push per rank).
+    pub fn telemetry_snapshots(&self) -> HashMap<u32, String> {
+        self.telemetry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
     /// Stops the service. Idempotent; called by `Drop`.
     pub fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Release);
@@ -128,7 +144,13 @@ struct Pending {
     conn: SciConnection,
 }
 
-fn serve(listener: &SciListener, world: u32, shutdown: &AtomicBool, complete: &AtomicBool) {
+fn serve(
+    listener: &SciListener,
+    world: u32,
+    shutdown: &AtomicBool,
+    complete: &AtomicBool,
+    telemetry: &Mutex<HashMap<u32, String>>,
+) {
     let mut pending: Vec<Pending> = Vec::new();
     let mut members: Vec<(u32, String)> = Vec::new();
     let mut roster: Option<RvMsg> = None;
@@ -158,15 +180,27 @@ fn serve(listener: &SciListener, world: u32, shutdown: &AtomicBool, complete: &A
             Err(_) => std::thread::sleep(Duration::from_millis(50)),
         }
         while let Ok((conn, reg)) = reg_rx.try_recv() {
-            handle_register(
-                conn,
-                reg,
-                world,
-                &mut pending,
-                &mut members,
-                &mut roster,
-                complete,
-            );
+            match reg {
+                RvMsg::Telemetry { rank, json } => {
+                    // A rank's shutdown snapshot: stash it for the
+                    // launcher's world aggregation and acknowledge so the
+                    // rank may exit.
+                    telemetry
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(rank, json);
+                    let _ = conn.send(&RvMsg::TelemetryAck.encode());
+                }
+                other => handle_register(
+                    conn,
+                    other,
+                    world,
+                    &mut pending,
+                    &mut members,
+                    &mut roster,
+                    complete,
+                ),
+            }
         }
     }
 }
@@ -283,8 +317,46 @@ pub fn register(
         RvMsg::Reject { reason } => Err(ClusterError::Rendezvous(format!(
             "registration rejected: {reason}"
         ))),
-        RvMsg::Register { .. } => Err(ClusterError::Rendezvous(
-            "server answered with a Register frame".into(),
-        )),
+        other => Err(ClusterError::Rendezvous(format!(
+            "server answered with an unexpected frame: {other:?}"
+        ))),
+    }
+}
+
+/// Pushes one rank's telemetry snapshot to the rendezvous service and
+/// waits for the acknowledgement. Used by [`ClusterNode::shutdown`]
+/// (when telemetry push is enabled) so `ncs-launch --telemetry` can
+/// aggregate the world view after the ranks exit.
+///
+/// # Errors
+///
+/// [`ClusterError::Transport`] / [`ClusterError::Timeout`] for dial and
+/// I/O failures; [`ClusterError::Rendezvous`] if the service answers
+/// anything but an ack.
+///
+/// [`ClusterNode::shutdown`]: crate::ClusterNode::shutdown
+pub fn push_telemetry(
+    ncsd: SocketAddr,
+    rank: u32,
+    json: &str,
+    timeout: Duration,
+) -> Result<(), ClusterError> {
+    let conn = sci::connect_retry(ncsd, timeout)?;
+    conn.send(
+        &RvMsg::Telemetry {
+            rank,
+            json: json.to_owned(),
+        }
+        .encode(),
+    )?;
+    let frame = conn.recv_timeout(timeout).map_err(|e| match e {
+        TransportError::Timeout => ClusterError::Timeout("no telemetry ack".into()),
+        other => ClusterError::Transport(other),
+    })?;
+    match RvMsg::decode(&frame).map_err(|e| ClusterError::Rendezvous(e.to_string()))? {
+        RvMsg::TelemetryAck => Ok(()),
+        other => Err(ClusterError::Rendezvous(format!(
+            "telemetry push answered with {other:?}"
+        ))),
     }
 }

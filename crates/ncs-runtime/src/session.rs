@@ -147,6 +147,14 @@ pub trait Session {
     /// [`SessionError::Collective`] when the engine cannot start.
     fn collective_group(&self, id: u32) -> Result<CollectiveGroup, SessionError>;
 
+    /// This member's full telemetry dump — the node's metrics snapshot
+    /// plus every live connection's flight-recorder ring, as one JSON
+    /// object (see [`NcsNode::telemetry`]). This is the per-rank payload
+    /// `ncs-launch --telemetry` aggregates into a world snapshot.
+    fn telemetry(&self) -> String {
+        self.node().telemetry()
+    }
+
     /// Shuts this member down (closes its connections, stops its NCS
     /// threads). Idempotent.
     fn shutdown(&self);

@@ -69,6 +69,18 @@ pub enum RvMsg {
         /// Human-readable refusal reason.
         reason: String,
     },
+    /// A rank pushing its telemetry snapshot (the JSON produced by
+    /// `Session::telemetry`) to `ncsd`, where `ncs-launch --telemetry`
+    /// aggregates the world view.
+    Telemetry {
+        /// The reporting rank.
+        rank: u32,
+        /// The rank's telemetry dump (JSON object).
+        json: String,
+    },
+    /// Acknowledgement of a [`RvMsg::Telemetry`] push (lets the rank
+    /// shut down knowing the snapshot landed).
+    TelemetryAck,
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -86,6 +98,25 @@ fn get_u32(bytes: &[u8], at: &mut usize) -> Result<u32, WireError> {
         .expect("4 bytes");
     *at = end;
     Ok(u32::from_be_bytes(v))
+}
+
+/// Telemetry dumps routinely exceed the `u16` string limit, so they ride
+/// a 4-byte length prefix of their own.
+fn put_str32(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn get_str32(bytes: &[u8], at: &mut usize) -> Result<String, WireError> {
+    let len = get_u32(bytes, at)? as usize;
+    if len > 1 << 26 {
+        return Err(err("implausible telemetry payload size"));
+    }
+    let end = *at + len;
+    let s = bytes.get(*at..end).ok_or_else(|| err("truncated string"))?;
+    *at = end;
+    String::from_utf8(s.to_vec()).map_err(|_| err("string is not UTF-8"))
 }
 
 fn get_str(bytes: &[u8], at: &mut usize) -> Result<String, WireError> {
@@ -135,6 +166,12 @@ impl RvMsg {
                 out.push(3);
                 put_str(&mut out, reason);
             }
+            RvMsg::Telemetry { rank, json } => {
+                out.push(4);
+                out.extend_from_slice(&rank.to_be_bytes());
+                put_str32(&mut out, json);
+            }
+            RvMsg::TelemetryAck => out.push(5),
         }
         out
     }
@@ -177,6 +214,11 @@ impl RvMsg {
             3 => RvMsg::Reject {
                 reason: get_str(bytes, &mut at)?,
             },
+            4 => RvMsg::Telemetry {
+                rank: get_u32(bytes, &mut at)?,
+                json: get_str32(bytes, &mut at)?,
+            },
+            5 => RvMsg::TelemetryAck,
             other => return Err(err(&format!("unknown tag {other}"))),
         };
         if at != bytes.len() {
@@ -298,6 +340,12 @@ mod tests {
             RvMsg::Reject {
                 reason: "duplicate rank 2".into(),
             },
+            RvMsg::Telemetry {
+                rank: 1,
+                // Exceeds the u16 string limit: rides the u32 length.
+                json: format!("{{\"node\":\"rank1\",\"pad\":\"{}\"}}", "x".repeat(70_000)),
+            },
+            RvMsg::TelemetryAck,
         ];
         for m in msgs {
             assert_eq!(RvMsg::decode(&m.encode()), Ok(m.clone()));

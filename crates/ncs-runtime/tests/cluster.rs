@@ -183,3 +183,31 @@ fn missing_world_times_out_with_a_helpful_error() {
     let err = ClusterNode::bootstrap(cfg).expect_err("nobody else ever arrives");
     assert!(err.to_string().contains("roster"), "{err}");
 }
+
+#[test]
+fn telemetry_dumps_aggregate_at_the_rendezvous_service() {
+    let (server, world) = bootstrap_world(2);
+    // Move a little traffic so the dumps carry real counters.
+    let fwd = world[0].connection(1).expect("link");
+    let back = world[1].connection(0).expect("link");
+    fwd.send(b"count me").expect("send");
+    assert_eq!(
+        back.recv_timeout(Duration::from_secs(10)).expect("recv"),
+        b"count me"
+    );
+    for c in &world {
+        let dump = c.telemetry();
+        assert!(dump.contains(&format!("\"rank\":{}", c.rank())), "{dump}");
+        assert!(dump.contains("ncs_conn_messages_sent_total"), "{dump}");
+        assert!(dump.contains("\"flights\""), "{dump}");
+        rendezvous::push_telemetry(server.addr(), c.rank(), &dump, Duration::from_secs(5))
+            .expect("push");
+    }
+    let snapshots = server.telemetry_snapshots();
+    assert_eq!(snapshots.len(), 2);
+    assert!(snapshots[&0].contains("\"rank\":0"));
+    assert!(snapshots[&1].contains("ncs_reactor"), "{}", snapshots[&1]);
+    for c in &world {
+        c.shutdown();
+    }
+}

@@ -31,7 +31,9 @@
 pub mod aci;
 pub mod hpi;
 mod iface;
+mod metered;
 pub mod pipe;
 pub mod sci;
 
 pub use iface::{Capabilities, Connection, Readiness, TransportError, Waker, YieldHook};
+pub use metered::Metered;

@@ -145,6 +145,16 @@ pub use ncs_collectives as collectives;
 /// (re-export of [`ncs_runtime`]).
 pub use ncs_runtime as runtime;
 
+/// The telemetry plane — lock-free metrics registry, log-bucketed
+/// histograms, Prometheus/JSON/table snapshot rendering and the
+/// per-connection message-lifecycle flight recorder (re-export of
+/// [`ncs_obs`]). Every layer above registers into one
+/// [`obs::Registry`]; pull a
+/// [`MetricsSnapshot`](ncs_obs::MetricsSnapshot) via
+/// `node.metrics_snapshot()` or the whole JSON dump via
+/// [`Session::telemetry`].
+pub use ncs_obs as obs;
+
 /// Platform cost models (re-export of [`netmodel`]).
 pub use netmodel as model;
 
