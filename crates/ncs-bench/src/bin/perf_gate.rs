@@ -28,6 +28,12 @@
 //! ([`msgrate::scaling_threshold`]: 2.0x where the host offers >= 4
 //! CPUs, degrading to a documented no-collapse bound on smaller hosts).
 //!
+//! A **sim** section drives the deterministic [`ncs_runtime::SimWorld`]
+//! engine through a [`SIM_RANKS`]-rank broadcast + barrier scenario under
+//! virtual time, reporting events/sec and wall time, and fails unless the
+//! run stays under [`SIM_GATE_MAX_WALL_SECS`] *and* a second run with the
+//! same seed reproduces the event trace and telemetry byte-for-byte.
+//!
 //! A **c10k** section holds [`C10K_CONNECTIONS`] simultaneous connections
 //! open between two in-process nodes sharing one readiness reactor and
 //! fails unless the OS thread count stays bounded (O(cores) event loops,
@@ -936,6 +942,68 @@ fn run_requests_case(
 }
 
 // ---------------------------------------------------------------------------
+// SimWorld section (the deterministic thousand-rank engine)
+// ---------------------------------------------------------------------------
+
+/// World size of the sim perf case.
+const SIM_RANKS: u32 = 1000;
+
+/// Seed of the sim perf case (any value works; fixed so the snapshot's
+/// event count is reproducible to the byte).
+const SIM_SEED: u64 = 2026;
+
+/// The wall-time gate: the 1,000-rank broadcast + barrier scenario must
+/// complete in under this many seconds of real time (the ISSUE bound is
+/// 60 s for a full allreduce world; this engine does it in milliseconds,
+/// so the gate guards against pathological regressions, not noise).
+const SIM_GATE_MAX_WALL_SECS: f64 = 60.0;
+
+#[derive(Debug)]
+struct SimCaseResult {
+    scenario: &'static str,
+    ranks: u32,
+    seed: u64,
+    events_processed: u64,
+    virtual_ms: f64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    /// Second run with the same seed reproduced trace + telemetry
+    /// byte-for-byte.
+    deterministic: bool,
+}
+
+fn run_sim_case() -> SimCaseResult {
+    use ncs_runtime::sim::{Scenario, SimOp};
+    let mut scenario = Scenario::new("perf-broadcast", SIM_RANKS, SIM_SEED);
+    scenario.ops = vec![
+        SimOp::Broadcast {
+            root: 0,
+            timeout: Duration::from_secs(30),
+        },
+        SimOp::Barrier {
+            timeout: Duration::from_secs(30),
+        },
+    ];
+    let started = Instant::now();
+    let report = ncs_runtime::SimWorld::new(scenario.clone()).run();
+    let wall_secs = started.elapsed().as_secs_f64();
+    let second = ncs_runtime::SimWorld::new(scenario).run();
+    let deterministic = report.all_completed()
+        && second.trace == report.trace
+        && second.telemetry_json == report.telemetry_json;
+    SimCaseResult {
+        scenario: "perf-broadcast",
+        ranks: SIM_RANKS,
+        seed: SIM_SEED,
+        events_processed: report.events_processed,
+        virtual_ms: report.virtual_elapsed.as_secs_f64() * 1e3,
+        wall_secs,
+        events_per_sec: report.events_processed as f64 / wall_secs.max(f64::MIN_POSITIVE),
+        deterministic,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Cross-process cluster section (real sockets between real OS processes)
 // ---------------------------------------------------------------------------
 
@@ -1302,6 +1370,7 @@ fn emit_json(
     msgrate_results: &[MsgRateCaseResult],
     telemetry_results: &[TelemetryCaseResult],
     cluster_results: &[ClusterCaseResult],
+    sim: &SimCaseResult,
     c10k: &C10kResult,
     smoke: bool,
     gate_value: f64,
@@ -1320,7 +1389,7 @@ fn emit_json(
 ) {
     use std::fmt::Write as _;
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/7\",");
+    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/8\",");
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
@@ -1552,6 +1621,48 @@ fn emit_json(
         );
         let _ = writeln!(out, "      }}{comma}");
     }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"sim\": {{");
+    let _ = writeln!(out, "    \"engine\": \"SimWorld\",");
+    let _ = writeln!(out, "    \"wall_gate\": {{");
+    let _ = writeln!(
+        out,
+        "      \"metric\": \"wall seconds for the {SIM_RANKS}-rank broadcast + barrier scenario \
+         under virtual time\","
+    );
+    let _ = writeln!(out, "      \"threshold\": {SIM_GATE_MAX_WALL_SECS:.1},");
+    let _ = writeln!(out, "      \"value\": {:.4},", sim.wall_secs);
+    let _ = writeln!(
+        out,
+        "      \"pass\": {}",
+        sim.wall_secs <= SIM_GATE_MAX_WALL_SECS
+    );
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"determinism_gate\": {{");
+    let _ = writeln!(
+        out,
+        "      \"metric\": \"same seed run twice reproduces the event trace and telemetry \
+         byte-for-byte, with every op completing\","
+    );
+    let _ = writeln!(out, "      \"pass\": {}", sim.deterministic);
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"cases\": [");
+    let _ = writeln!(out, "      {{");
+    let _ = writeln!(
+        out,
+        "        \"scenario\": \"{}\", \"ranks\": {}, \"seed\": {},",
+        json_escape_free(sim.scenario),
+        sim.ranks,
+        sim.seed
+    );
+    let _ = writeln!(
+        out,
+        "        \"events_processed\": {}, \"virtual_ms\": {:.3}, \"wall_secs\": {:.4}, \
+         \"events_per_sec\": {:.0}",
+        sim.events_processed, sim.virtual_ms, sim.wall_secs, sim.events_per_sec
+    );
+    let _ = writeln!(out, "      }}");
     let _ = writeln!(out, "    ]");
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"c10k\": {{");
@@ -1899,6 +2010,15 @@ fn main() {
         r.children_ok == (r.np - 1) as usize && r.rtt_median_us > 0.0 && r.allreduce_median_us > 0.0
     });
 
+    // SimWorld: the deterministic thousand-rank engine must stay fast
+    // (events/sec) and bit-reproducible.
+    eprintln!("perf_gate: sim, {SIM_RANKS}-rank broadcast + barrier under virtual time...");
+    let sim = run_sim_case();
+    eprintln!(
+        "  {} events in {:.3}s wall ({:.0} events/s), virtual {:.3} ms, deterministic: {}",
+        sim.events_processed, sim.wall_secs, sim.events_per_sec, sim.virtual_ms, sim.deterministic,
+    );
+
     // c10k: 1,000+ connections multiplexed onto the shared reactor must
     // neither inflate the OS thread count nor the tail latency.
     eprintln!("perf_gate: c10k, {C10K_CONNECTIONS} connections over HPI on one reactor...");
@@ -1943,6 +2063,7 @@ fn main() {
         &msgrate_results,
         &telemetry_results,
         &cluster_results,
+        &sim,
         &c10k,
         smoke,
         gate_value,
@@ -2023,6 +2144,21 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if sim.wall_secs > SIM_GATE_MAX_WALL_SECS {
+        eprintln!(
+            "perf_gate: FAIL — the {SIM_RANKS}-rank sim scenario took {:.1}s of wall time \
+             (must be <= {SIM_GATE_MAX_WALL_SECS:.1}s)",
+            sim.wall_secs
+        );
+        std::process::exit(1);
+    }
+    if !sim.deterministic {
+        eprintln!(
+            "perf_gate: FAIL — the sim engine is not deterministic (same seed {SIM_SEED} \
+             produced a different trace or telemetry, or an op failed)"
+        );
+        std::process::exit(1);
+    }
     if !c10k.thread_gate_pass {
         eprintln!(
             "perf_gate: FAIL — {} OS threads with {C10K_CONNECTIONS} connections open \
@@ -2048,7 +2184,8 @@ fn main() {
          1-thread figure (>= {msgrate_threshold:.1}x on {msgrate_cpus} CPUs), \
          flight-recorder overhead {telemetry_gate_value:.2}% (<= \
          {TELEMETRY_GATE_MAX_OVERHEAD_PCT:.1}%), cross-process cluster cases complete, \
-         {C10K_CONNECTIONS} connections on {} reactor threads with p99 {:.2}x baseline",
-        c10k.reactor.workers, c10k.p99_ratio
+         {C10K_CONNECTIONS} connections on {} reactor threads with p99 {:.2}x baseline, \
+         {SIM_RANKS}-rank sim at {:.0} events/s deterministic",
+        c10k.reactor.workers, c10k.p99_ratio, sim.events_per_sec
     );
 }

@@ -284,7 +284,15 @@ fn collect_passes(v: &Json, path: &str, out: &mut Vec<(String, Option<bool>)>) {
 /// (measurement values are allowed to drift; the *population* is not).
 fn case_identity(case: &Json) -> String {
     let mut parts = Vec::new();
-    for key in ["interface", "package", "group_size", "np", "threads"] {
+    for key in [
+        "interface",
+        "package",
+        "group_size",
+        "np",
+        "threads",
+        "scenario",
+        "ranks",
+    ] {
         if let Some(v) = case.get(key) {
             match v {
                 Json::Str(s) => parts.push(format!("{key}={s}")),
@@ -380,6 +388,8 @@ mod tests {
       "cluster": { "gate": { "pass": true }, "cases": [ { "np": 2 } ] },
       "mt_msgrate": { "gate": { "pass": true },
         "cases": [ { "interface": "HPI", "package": "kernel", "threads": 4 } ] },
+      "sim": { "gate": { "pass": true },
+        "cases": [ { "scenario": "perf-broadcast", "ranks": 1000 } ] },
       "cases": [ { "interface": "HPI", "package": "kernel" } ]
     }"#;
 
@@ -430,6 +440,8 @@ mod tests {
             "cases": [ { "package": "kernel", "group_size": 4 } ] },
           "mt_msgrate": { "gate": { "pass": true },
             "cases": [ { "interface": "HPI", "package": "kernel", "threads": 1 } ] },
+          "sim": { "gate": { "pass": true },
+            "cases": [ { "scenario": "perf-broadcast", "ranks": 500 } ] },
           "cases": [ { "interface": "HPI", "package": "kernel" } ]
         }"#,
         )
@@ -445,6 +457,14 @@ mod tests {
         );
         assert!(
             problems.iter().any(|p| p.contains("threads=4")),
+            "{problems:?}"
+        );
+        // The sim case identity includes scenario AND ranks: a 500-rank
+        // run must not satisfy the 1000-rank snapshot entry.
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("scenario=perf-broadcast,ranks=1000")),
             "{problems:?}"
         );
     }

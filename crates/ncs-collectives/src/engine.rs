@@ -34,9 +34,9 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use ncs_core::{BufPool, NcsConnection, NcsNode, PooledBuf, Reactor};
+use ncs_core::{BufPool, Clock, NcsConnection, NcsNode, PooledBuf, Reactor};
 use ncs_threads::sync::Mailbox;
 use parking_lot::Mutex;
 
@@ -190,6 +190,11 @@ struct Inner {
     /// in-flight and future operation: schedules consult this to fail
     /// promptly instead of idling out the full op timeout.
     link_down: Mutex<HashMap<usize, ncs_core::SendError>>,
+    /// The member's time source (the node's clock): every deadline in
+    /// the engine — op timeouts, the link-down fallback grace — is
+    /// computed from it, so a simulated member times out on virtual
+    /// time, never the wall (see `ncs_core::clock`).
+    clock: Arc<dyn Clock>,
     stats: StatCounters,
 }
 
@@ -212,12 +217,12 @@ impl Inner {
     /// remaining exchanges (with each other) complete at network speed —
     /// failing those instantly on the departed member's closed link would
     /// turn every graceful teardown into a race.
-    fn link_down_err(&self, peer: usize, waited_since: Instant) -> Option<ncs_core::SendError> {
+    fn link_down_err(&self, peer: usize, waited_since: Duration) -> Option<ncs_core::SendError> {
         let down = self.link_down.lock();
         if let Some(e) = down.get(&peer) {
             return Some(e.clone());
         }
-        if waited_since.elapsed() >= LINK_DOWN_FALLBACK_GRACE {
+        if self.clock.now().saturating_sub(waited_since) >= LINK_DOWN_FALLBACK_GRACE {
             return down.values().next().cloned();
         }
         None
@@ -329,10 +334,10 @@ impl Router {
         peer: usize,
         coll: u32,
         stream: u32,
-        deadline: Instant,
+        deadline: Duration,
     ) -> Result<Seg, CollectiveError> {
         let key = (peer, coll, stream);
-        let started = Instant::now();
+        let started = self.inner.clock.now();
         loop {
             // Drain everything already queued before judging the link
             // state or the clock: a frame a now-dead peer delivered
@@ -364,11 +369,11 @@ impl Router {
                 }
                 return Err(CollectiveError::Send(e));
             }
-            let now = Instant::now();
+            let now = self.inner.clock.now();
             if now >= deadline {
                 return Err(CollectiveError::Timeout);
             }
-            let wait = (deadline - now).min(TICK);
+            let wait = deadline.saturating_sub(now).min(TICK);
             if let Ok((from, frame)) = self.inner.inbox.recv_timeout(wait) {
                 self.stash_frame(from, frame);
             }
@@ -406,7 +411,7 @@ impl Router {
         peer: usize,
         coll: u32,
         stream: u32,
-        deadline: Instant,
+        deadline: Duration,
     ) -> Result<Vec<u8>, CollectiveError> {
         let first = self.recv_seg(peer, coll, stream, deadline)?;
         if first.seg != 0 {
@@ -452,7 +457,7 @@ fn op_broadcast(
     root: usize,
     topo: Topology,
     expect_len: usize,
-    deadline: Instant,
+    deadline: Duration,
 ) -> Result<Vec<u8>, CollectiveError> {
     let size = inner.size;
     if size == 1 {
@@ -528,7 +533,7 @@ fn relay_segments(
     coll: u32,
     stream: u32,
     from: usize,
-    deadline: Instant,
+    deadline: Duration,
     mut forward: impl FnMut(&[u8]) -> Result<(), CollectiveError>,
 ) -> Result<Vec<u8>, CollectiveError> {
     let mut out = Vec::new();
@@ -566,7 +571,7 @@ fn op_reduce(
     topo: Topology,
     dtype: DType,
     op: ReduceOp,
-    deadline: Instant,
+    deadline: Duration,
 ) -> Result<Vec<u8>, CollectiveError> {
     let size = inner.size;
     if size == 1 {
@@ -613,7 +618,7 @@ fn op_scatter(
     payload: Vec<u8>,
     root: usize,
     topo: Topology,
-    deadline: Instant,
+    deadline: Duration,
 ) -> Result<Vec<u8>, CollectiveError> {
     let size = inner.size;
     if size == 1 {
@@ -693,7 +698,7 @@ fn op_gather(
     contrib: Vec<u8>,
     root: usize,
     topo: Topology,
-    deadline: Instant,
+    deadline: Duration,
 ) -> Result<Vec<u8>, CollectiveError> {
     let size = inner.size;
     if size == 1 {
@@ -760,7 +765,7 @@ fn op_allgather_ring(
     router: &mut Router,
     coll: u32,
     contrib: Vec<u8>,
-    deadline: Instant,
+    deadline: Duration,
 ) -> Result<Vec<u8>, CollectiveError> {
     let size = inner.size;
     let rank = inner.rank;
@@ -792,7 +797,7 @@ fn op_barrier(
     inner: &Inner,
     router: &mut Router,
     coll: u32,
-    deadline: Instant,
+    deadline: Duration,
 ) -> Result<(), CollectiveError> {
     // Dissemination barrier: ⌈log₂ n⌉ rounds, no root hotspot, and every
     // member leaves only after transitively hearing from every other.
@@ -814,7 +819,7 @@ fn run_op(
     router: &mut Router,
     req: &mut OpRequest,
 ) -> Result<Vec<u8>, CollectiveError> {
-    let deadline = Instant::now() + req.timeout;
+    let deadline = inner.clock.now() + req.timeout;
     let payload = std::mem::take(&mut req.payload);
     let coll = req.coll;
     match req.kind {
@@ -1032,6 +1037,7 @@ impl CollectiveGroup {
             progress_active: AtomicBool::new(false),
             closed: Arc::new(AtomicBool::new(false)),
             link_down: Mutex::new(HashMap::new()),
+            clock: node.clock(),
             stats: StatCounters::registered(&node.registry(), id),
         });
         // Take ownership of every link's untagged receive stream: the

@@ -1,0 +1,177 @@
+//! The [`Clock`] abstraction: one time source per node, real or virtual.
+//!
+//! Every timeout the runtime arms — collective op deadlines, retry
+//! budgets, barrier waits — used to read `Instant::now()` directly,
+//! which welds those paths to the wall clock. The simulation backend
+//! (`ncs-runtime`'s `SimWorld`) runs thousands of ranks under *virtual*
+//! time, where a wall-clock deadline either hangs (virtual seconds pass
+//! in wall microseconds, so a 30 s op timeout never fires inside the
+//! scenario) or mis-fires (wall seconds pass while virtual time stands
+//! still). Routing deadline arithmetic through a [`Clock`] makes the
+//! time domain a per-node configuration:
+//!
+//! * [`SystemClock`] — the default; monotonic wall time via [`Instant`].
+//! * [`VirtualClock`] — a shared counter advanced explicitly by a
+//!   simulation driver. Reading it never blocks and never moves.
+//!
+//! A clock reports time as a [`Duration`] since its own epoch. Only
+//! differences and deadline comparisons are meaningful, and only within
+//! one clock — never compare readings of two clocks.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source: real ([`SystemClock`]) or simulated
+/// ([`VirtualClock`]).
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Time elapsed since this clock's epoch. Monotonic: never decreases
+    /// across calls.
+    fn now(&self) -> Duration;
+}
+
+/// The wall clock: [`Instant`]-backed, epoch fixed at construction.
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A wall clock whose epoch is now.
+    pub fn new() -> Self {
+        SystemClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A shareable wall clock (the default node clock).
+    pub fn shared() -> Arc<dyn Clock> {
+        Arc::new(Self::new())
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for SystemClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SystemClock")
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+}
+
+/// A virtual clock: a nanosecond counter that moves only when a driver
+/// advances it.
+///
+/// Readers ([`Clock::now`]) are wait-free; writers use a compare-exchange
+/// loop so concurrent advances keep the clock monotonic (the furthest
+/// advance wins — time never runs backwards even if drivers race).
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    nanos: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock at its epoch (t = 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shareable virtual clock handle.
+    pub fn shared() -> Arc<VirtualClock> {
+        Arc::new(Self::new())
+    }
+
+    /// Moves the clock forward by `d`. Returns the new reading.
+    pub fn advance(&self, d: Duration) -> Duration {
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let new = self.nanos.fetch_add(nanos, Ordering::AcqRel) + nanos;
+        Duration::from_nanos(new)
+    }
+
+    /// Moves the clock forward *to* `t` (no-op if `t` is in the past:
+    /// virtual time is monotonic).
+    pub fn advance_to(&self, t: Duration) {
+        let target = u64::try_from(t.as_nanos()).unwrap_or(u64::MAX);
+        let mut cur = self.nanos.load(Ordering::Acquire);
+        while cur < target {
+            match self
+                .nanos
+                .compare_exchange_weak(cur, target, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_moves_forward() {
+        let c = SystemClock::new();
+        let a = c.now();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(c.now() > a);
+    }
+
+    #[test]
+    fn virtual_clock_stands_still_until_advanced() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(c.now(), Duration::ZERO);
+        assert_eq!(
+            c.advance(Duration::from_micros(5)),
+            Duration::from_micros(5)
+        );
+        assert_eq!(c.now(), Duration::from_micros(5));
+    }
+
+    #[test]
+    fn virtual_clock_advance_to_is_monotonic() {
+        let c = VirtualClock::new();
+        c.advance_to(Duration::from_millis(10));
+        assert_eq!(c.now(), Duration::from_millis(10));
+        // Advancing to the past is a no-op, not a rewind.
+        c.advance_to(Duration::from_millis(3));
+        assert_eq!(c.now(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn virtual_clock_concurrent_advances_keep_monotonicity() {
+        let c = Arc::new(VirtualClock::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    c.advance_to(Duration::from_nanos(t * 1000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now(), Duration::from_nanos(3999));
+    }
+}

@@ -44,6 +44,7 @@ use ncs_threads::sync::{Event, Mailbox, NcsMutex};
 use ncs_transport::{Connection as Transport, TransportError};
 use parking_lot::{Mutex, RwLock};
 
+use crate::clock::Clock;
 use crate::config::{ConnectionConfig, ErrorControlAlg, FlowControlAlg};
 use crate::error_control::{
     build_receiver, build_sender, AckInfo, ReceiverEc, ReceiverStep, SenderEc, SenderStep,
@@ -268,6 +269,13 @@ pub(crate) struct ConnShared {
     pub direct_events: Mailbox<DirectEvent>,
     pub direct_send: NcsMutex<Option<DirectSender>>,
     pub direct_recv: NcsMutex<Option<DirectReceiver>>,
+    /// The node's time source. Direct-mode (§4.2 thread-bypass) retry
+    /// deadlines — the acknowledgement-timeout retransmission clock and
+    /// the `recv_direct` operation deadline — are computed from it, so a
+    /// simulated node retries on virtual time (`ncs_core::clock`). The
+    /// reactor's own timer heap stays wall-clock: it is the real-time
+    /// boundary that *drives* simulations.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl std::fmt::Debug for ConnShared {
@@ -326,6 +334,7 @@ impl std::fmt::Debug for DirectReceiver {
 }
 
 impl ConnShared {
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor; every field is load-bearing
     pub(crate) fn new(
         id: u32,
         peer_name: String,
@@ -334,6 +343,7 @@ impl ConnShared {
         pool: Arc<BufPool>,
         ctrl_tx: Arc<Mailbox<CtrlMsg>>,
         registry: Option<Arc<Registry>>,
+        clock: Arc<dyn Clock>,
     ) -> Arc<Self> {
         let direct = config.direct;
         let counters = match &registry {
@@ -368,6 +378,7 @@ impl ConnShared {
             direct_events: Mailbox::unbounded(),
             direct_send: NcsMutex::new(None),
             direct_recv: NcsMutex::new(None),
+            clock,
         });
         if direct {
             *shared.direct_send.lock() = Some(DirectSender {
@@ -1965,18 +1976,18 @@ impl NcsConnection {
         pending: &mut std::collections::VecDeque<u32>,
     ) -> Result<SenderStep, SendError> {
         let timeout = engine.ec.ack_timeout().unwrap_or(IDLE_TICK);
-        let deadline = Instant::now() + timeout;
+        let deadline = self.shared.clock.now() + timeout;
         loop {
             // Keep the pipeline moving while waiting (rate/credit refills).
             self.drain_direct(engine, packets, pending)?;
             if engine.ec.completes_without_ack() && pending.is_empty() {
                 return Ok(SenderStep::Done);
             }
-            let now = Instant::now();
+            let now = self.shared.clock.now();
             if now >= deadline {
                 return Ok(engine.ec.on_timeout());
             }
-            let slice = (deadline - now).min(Duration::from_millis(5));
+            let slice = deadline.saturating_sub(now).min(Duration::from_millis(5));
             match self.shared.direct_events.recv_timeout(slice) {
                 Ok(DirectEvent::Ack(info)) => {
                     self.shared.counters.acks_received.inc();
@@ -2009,10 +2020,10 @@ impl NcsConnection {
     pub fn recv_direct(&self, timeout: Duration) -> Result<Vec<u8>, SendError> {
         let mut engine_slot = self.shared.direct_recv.lock();
         let engine = engine_slot.as_mut().ok_or(SendError::WrongMode("direct"))?;
-        let deadline = Instant::now() + timeout;
+        let deadline = self.shared.clock.now() + timeout;
         let mut current_session: Option<u32> = None;
         loop {
-            let now = Instant::now();
+            let now = self.shared.clock.now();
             if now >= deadline {
                 return Err(SendError::Timeout);
             }

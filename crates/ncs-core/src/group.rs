@@ -15,6 +15,7 @@ use std::time::Duration;
 use ncs_threads::sync::Mailbox;
 use ncs_threads::{JoinHandle, SpawnOptions};
 
+use crate::clock::Clock;
 use crate::connection::{NcsConnection, SendError};
 use crate::node::NcsNode;
 use crate::pool::BufPool;
@@ -173,6 +174,9 @@ pub struct NcsGroup {
     barrier_releases: Arc<Mailbox<u32>>,
     epoch: AtomicU32,
     closed: Arc<AtomicBool>,
+    /// The node's time source: barrier deadlines are computed from it so
+    /// a simulated member's barrier times out on virtual time.
+    clock: Arc<dyn Clock>,
     listeners: Vec<JoinHandle>,
 }
 
@@ -251,6 +255,7 @@ impl NcsGroup {
             barrier_releases,
             epoch: AtomicU32::new(0),
             closed,
+            clock: node.clock(),
             listeners,
         })
     }
@@ -327,7 +332,7 @@ impl NcsGroup {
     /// [`GroupError::Timeout`] after `timeout` without global arrival.
     pub fn barrier(&self, timeout: Duration) -> Result<(), GroupError> {
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = self.clock.now() + timeout;
         // Arrivals and releases belonging to other epochs — concurrent
         // barrier calls on this group, or a peer already a round ahead —
         // are held back and re-enqueued on *every* exit path (the seed
@@ -350,18 +355,18 @@ impl NcsGroup {
     fn barrier_epoch(
         &self,
         epoch: u32,
-        deadline: std::time::Instant,
+        deadline: Duration,
         held_arrivals: &mut Vec<(u32, u32)>,
         held_releases: &mut Vec<u32>,
     ) -> Result<(), GroupError> {
         let my_children: Vec<usize> = barrier_children(self.rank, self.size);
         let mut pending: Vec<usize> = my_children.clone();
         while !pending.is_empty() {
-            let now = std::time::Instant::now();
+            let now = self.clock.now();
             if now >= deadline {
                 return Err(GroupError::Timeout);
             }
-            let wait = (deadline - now).min(BARRIER_FLUSH_TICK);
+            let wait = deadline.saturating_sub(now).min(BARRIER_FLUSH_TICK);
             match self.barrier_arrivals.recv_timeout(wait) {
                 Ok((from, e)) if e == epoch => {
                     pending.retain(|&r| r != from as usize);
@@ -390,11 +395,11 @@ impl NcsGroup {
                 .encode(self.id),
             )?;
             loop {
-                let now = std::time::Instant::now();
+                let now = self.clock.now();
                 if now >= deadline {
                     return Err(GroupError::Timeout);
                 }
-                let wait = (deadline - now).min(BARRIER_FLUSH_TICK);
+                let wait = deadline.saturating_sub(now).min(BARRIER_FLUSH_TICK);
                 match self.barrier_releases.recv_timeout(wait) {
                     Ok(e) if e == epoch => break,
                     Ok(other) => held_releases.push(other),

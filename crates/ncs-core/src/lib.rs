@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod clock;
 pub mod config;
 mod connection;
 mod control;
@@ -66,6 +67,7 @@ pub mod request;
 pub mod seq;
 pub mod stats;
 
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use config::{ConnectionConfig, ConnectionConfigBuilder, ErrorControlAlg, FlowControlAlg};
 pub use connection::{Channel, NcsConnection, SendError, CHANNEL_TAG_BASE};
 pub use group::{GroupError, MulticastAlgo, NcsGroup};

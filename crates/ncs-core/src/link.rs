@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ncs_threads::sync::Mailbox;
-use ncs_transport::{aci, hpi, pipe, sci, Connection, TransportError, YieldHook};
+use ncs_transport::{aci, hpi, pipe, sci, sim, Connection, TransportError, YieldHook};
 
 /// A bidirectional channel factory towards one peer node.
 pub trait PeerLink: Send + Sync + std::fmt::Debug {
@@ -231,6 +231,122 @@ impl PeerLink for AciLink {
 }
 
 // ---------------------------------------------------------------------------
+// SIM
+// ---------------------------------------------------------------------------
+
+/// Simulated-fabric link: channels are [`sim::SimNet`] endpoint pairs under
+/// virtual time. Frames move only when a driver advances the fabric clock,
+/// and every channel of the link answers to the same chaos knobs
+/// ([`SimLink::set_outbound_up`], [`SimLink::set_outbound_policy`]) — cut
+/// one side's outbound direction and the peer sees a partition on data
+/// *and* control connections alike.
+#[derive(Debug)]
+pub struct SimLink {
+    net: Arc<sim::SimNet>,
+    inbox: Arc<Mailbox<Box<dyn Connection>>>,
+    partner: Arc<Mailbox<Box<dyn Connection>>>,
+    policy_out: sim::LinkPolicy,
+    policy_back: sim::LinkPolicy,
+    /// Whether this is the first endpoint of the pair (fixes which fabric
+    /// direction carries this side's outbound frames on each channel).
+    side_a: bool,
+    /// Every channel opened through either side: `(link, dir)` pairs where
+    /// `dir` is the direction carrying side-a-outbound frames. Shared by
+    /// both ends so chaos control sees channels whichever side opened them.
+    opened: Arc<parking_lot::Mutex<Vec<(sim::LinkId, usize)>>>,
+}
+
+/// Creates both ends of a simulated link.
+#[derive(Debug)]
+pub struct SimLinkPair;
+
+impl SimLinkPair {
+    /// Creates a connected pair of links through `net`. `policy_ab` shapes
+    /// frames from the first returned link to the second; `policy_ba` the
+    /// reverse. Every channel either side opens inherits these policies.
+    pub fn create(
+        net: &Arc<sim::SimNet>,
+        policy_ab: sim::LinkPolicy,
+        policy_ba: sim::LinkPolicy,
+    ) -> (Arc<SimLink>, Arc<SimLink>) {
+        let a_in: Arc<Mailbox<Box<dyn Connection>>> = Arc::new(Mailbox::unbounded());
+        let b_in: Arc<Mailbox<Box<dyn Connection>>> = Arc::new(Mailbox::unbounded());
+        let opened = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        (
+            Arc::new(SimLink {
+                net: Arc::clone(net),
+                inbox: Arc::clone(&a_in),
+                partner: Arc::clone(&b_in),
+                policy_out: policy_ab.clone(),
+                policy_back: policy_ba.clone(),
+                side_a: true,
+                opened: Arc::clone(&opened),
+            }),
+            Arc::new(SimLink {
+                net: Arc::clone(net),
+                inbox: b_in,
+                partner: a_in,
+                policy_out: policy_ba,
+                policy_back: policy_ab,
+                side_a: false,
+                opened,
+            }),
+        )
+    }
+}
+
+impl SimLink {
+    /// Raises or black-holes this side's outbound direction on every
+    /// channel of the link, existing and future (future opens consult the
+    /// policies only; a subsequent call covers them because `opened` is
+    /// shared). The partition / flapping-peer primitive.
+    pub fn set_outbound_up(&self, up: bool) {
+        for &(link, a_out) in self.opened.lock().iter() {
+            let dir = if self.side_a { a_out } else { 1 - a_out };
+            self.net.set_link_up(link, dir, up);
+        }
+    }
+
+    /// Replaces the shaping policy of this side's outbound direction on
+    /// every existing channel (the slow-link primitive).
+    pub fn set_outbound_policy(&self, policy: sim::LinkPolicy) {
+        for &(link, a_out) in self.opened.lock().iter() {
+            let dir = if self.side_a { a_out } else { 1 - a_out };
+            self.net.set_policy(link, dir, policy.clone());
+        }
+    }
+
+    /// The fabric this link's channels ride.
+    pub fn net(&self) -> &Arc<sim::SimNet> {
+        &self.net
+    }
+}
+
+impl PeerLink for SimLink {
+    fn open_channel(&self) -> Result<Box<dyn Connection>, TransportError> {
+        let (mine, theirs) = self
+            .net
+            .pair(self.policy_out.clone(), self.policy_back.clone());
+        // `mine` is the pair's first endpoint: its outbound direction (0)
+        // carries side-a frames iff this side is side a.
+        let a_out = if self.side_a { 0 } else { 1 };
+        self.opened.lock().push((mine.link(), a_out));
+        self.partner.send(Box::new(theirs));
+        Ok(Box::new(mine))
+    }
+
+    fn accept_channel(&self, timeout: Duration) -> Result<Box<dyn Connection>, TransportError> {
+        self.inbox
+            .recv_timeout(timeout)
+            .map_err(|_| TransportError::Timeout)
+    }
+
+    fn interface(&self) -> &'static str {
+        "SIM"
+    }
+}
+
+// ---------------------------------------------------------------------------
 // SCI
 // ---------------------------------------------------------------------------
 
@@ -339,6 +455,39 @@ mod tests {
         ch_a.send(b"ping").unwrap();
         assert_eq!(ch_b.recv().unwrap(), b"ping");
         assert_eq!(b.interface(), "PIPE");
+    }
+
+    #[test]
+    fn sim_link_round_trip_under_virtual_time() {
+        let net = sim::SimNet::new(11);
+        let (a, b) = SimLinkPair::create(&net, sim::LinkPolicy::lan(), sim::LinkPolicy::lan());
+        let ch_a = a.open_channel().unwrap();
+        let ch_b = b.accept_channel(Duration::from_secs(1)).unwrap();
+        ch_a.send(b"ping").unwrap();
+        // Nothing moves until the fabric clock does.
+        assert_eq!(ch_b.try_recv(), Ok(None));
+        net.advance_to(atm_sim::SimTime::from_millis(1));
+        assert_eq!(ch_b.try_recv(), Ok(Some(b"ping".to_vec())));
+        assert_eq!(a.interface(), "SIM");
+    }
+
+    #[test]
+    fn sim_link_outbound_cut_is_one_directional() {
+        let net = sim::SimNet::new(11);
+        let (a, b) = SimLinkPair::create(&net, sim::LinkPolicy::ideal(), sim::LinkPolicy::ideal());
+        let ch_a = a.open_channel().unwrap();
+        let ch_b = b.accept_channel(Duration::from_secs(1)).unwrap();
+        a.set_outbound_up(false);
+        ch_a.send(b"lost").unwrap();
+        ch_b.send(b"back").unwrap();
+        net.advance_to(atm_sim::SimTime::from_secs(1));
+        assert_eq!(ch_b.try_recv(), Ok(None));
+        assert_eq!(ch_a.try_recv(), Ok(Some(b"back".to_vec())));
+        // Heal: new frames flow again.
+        a.set_outbound_up(true);
+        ch_a.send(b"healed").unwrap();
+        net.advance_to(atm_sim::SimTime::from_secs(2));
+        assert_eq!(ch_b.try_recv(), Ok(Some(b"healed".to_vec())));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use ncs_threads::{JoinHandle, KernelPackage, PackageKind, SpawnOptions, ThreadPa
 use ncs_transport::{Connection as Transport, TransportError};
 use parking_lot::Mutex;
 
+use crate::clock::{Clock, SystemClock};
 use crate::config::{ConfigError, ConnectionConfig};
 use crate::connection::{attach_connection, dispatch_ctrl, ConnShared, NcsConnection};
 use crate::control::{spawn_cr, spawn_cs};
@@ -127,6 +128,11 @@ pub(crate) struct NodeInner {
     /// The node's telemetry registry: every layer (connections, reactor,
     /// pool, thread package) registers its metrics here.
     registry: Arc<Registry>,
+    /// The node's time source: every deadline the runtime arms against
+    /// this node (collective op timeouts, group barrier waits) is
+    /// computed from this clock, so a simulated node can run them under
+    /// virtual time (see [`crate::clock`]).
+    clock: Arc<dyn Clock>,
     peers: Mutex<HashMap<String, PeerState>>,
     conns: Mutex<HashMap<u32, Arc<ConnShared>>>,
     /// (peer name, initiator conn id) -> acceptor conn id, for idempotent
@@ -158,6 +164,7 @@ pub struct NcsNodeBuilder {
     pool: Option<Arc<BufPool>>,
     reactor: Option<Arc<Reactor>>,
     registry: Option<Arc<Registry>>,
+    clock: Option<Arc<dyn Clock>>,
 }
 
 impl NcsNodeBuilder {
@@ -196,6 +203,15 @@ impl NcsNodeBuilder {
         self
     }
 
+    /// Supplies the time source deadlines against this node are computed
+    /// from (defaults to [`SystemClock`] — the wall clock). A simulation
+    /// driver passes a shared [`crate::clock::VirtualClock`] here so collective op
+    /// timeouts and barrier waits fire on virtual, not wall, time.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
     /// Supplies the telemetry [`Registry`] this node's layers register
     /// their metrics into (defaults to a private one). Sharing a registry
     /// across co-located nodes merges their series into one snapshot —
@@ -217,6 +233,7 @@ impl NcsNodeBuilder {
             .unwrap_or_else(|| Reactor::with_default_shards(Arc::clone(&pkg)));
         let pool = self.pool.unwrap_or_else(BufPool::new);
         let registry = self.registry.unwrap_or_default();
+        let clock = self.clock.unwrap_or_else(SystemClock::shared);
         // Register the node's shared-infrastructure gauges/counters: the
         // buffer pool, the reactor and the thread package each export
         // through a pull adapter, so a snapshot always reads live values.
@@ -231,6 +248,7 @@ impl NcsNodeBuilder {
             owns_reactor,
             pool,
             registry,
+            clock,
             peers: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
             accepted_index: Mutex::new(HashMap::new()),
@@ -270,6 +288,7 @@ impl NcsNode {
             pool: None,
             reactor: None,
             registry: None,
+            clock: None,
         }
     }
 
@@ -287,6 +306,12 @@ impl NcsNode {
     /// The thread package running this node's NCS threads.
     pub fn thread_package(&self) -> Arc<dyn ThreadPackage> {
         Arc::clone(&self.inner.pkg)
+    }
+
+    /// The time source this node's deadlines are computed from
+    /// ([`NcsNodeBuilder::clock`]; [`SystemClock`] unless configured).
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.inner.clock)
     }
 
     /// The readiness reactor multiplexing this node's connections. Pass it
@@ -366,6 +391,7 @@ impl NcsNode {
             Arc::clone(&self.inner.pool),
             ctrl_tx,
             Some(Arc::clone(&self.inner.registry)),
+            Arc::clone(&self.inner.clock),
         );
         self.inner.conns.lock().insert(conn_id, Arc::clone(&shared));
         // Announce the connection on its own data channel, then spawn the
@@ -722,6 +748,7 @@ fn master_thread(inner: &Arc<NodeInner>) {
                     Arc::clone(&inner.pool),
                     Arc::clone(&ctrl_tx),
                     Some(Arc::clone(&inner.registry)),
+                    Arc::clone(&inner.clock),
                 );
                 shared.mark_established(initiator_conn);
                 inner

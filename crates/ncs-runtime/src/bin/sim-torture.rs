@@ -1,0 +1,181 @@
+//! `sim-torture`: runs one chaos scenario in the deterministic [`SimWorld`]
+//! engine and judges it — the CI matrix driver.
+//!
+//! ```text
+//! sim-torture --scenario partition-heal --ranks 64 --seed 42 \
+//!     --verify-determinism --trace-out trace.txt --telemetry-out telemetry.json
+//! sim-torture --script my-scenario.sim
+//! ```
+//!
+//! Exit status: `0` when every op of the scenario completed (and, with
+//! `--verify-determinism`, the second run matched the first byte for
+//! byte); `1` on op failure, determinism divergence, or bad usage.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ncs_runtime::sim::Scenario;
+use ncs_runtime::SimWorld;
+
+const USAGE: &str = "usage: sim-torture [--scenario NAME] [--ranks N] [--seed N] [--script FILE]
+                   [--verify-determinism] [--trace-out FILE] [--telemetry-out FILE]
+
+scenarios: clean-allreduce | partition-heal | asymmetric-loss | flapping-peer
+--script FILE parses the scenario script format of docs/SIMULATION.md
+(--scenario/--ranks/--seed are ignored when --script is given, except
+that --seed overrides the script's seed for matrix sweeps).";
+
+struct Args {
+    scenario: String,
+    ranks: u32,
+    seed: Option<u64>,
+    script: Option<String>,
+    verify_determinism: bool,
+    trace_out: Option<String>,
+    telemetry_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: "clean-allreduce".to_owned(),
+        ranks: 1000,
+        seed: None,
+        script: None,
+        verify_determinism: false,
+        trace_out: None,
+        telemetry_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--scenario" => args.scenario = value("--scenario")?,
+            "--ranks" => {
+                args.ranks = value("--ranks")?
+                    .parse()
+                    .map_err(|e| format!("--ranks: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                );
+            }
+            "--script" => args.script = Some(value("--script")?),
+            "--verify-determinism" => args.verify_determinism = true,
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--telemetry-out" => args.telemetry_out = Some(value("--telemetry-out")?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_scenario(args: &Args) -> Result<Scenario, String> {
+    let mut scenario = match &args.script {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Scenario::parse(&text)?
+        }
+        None => Scenario::preset(&args.scenario, args.ranks, args.seed.unwrap_or(1))
+            .ok_or_else(|| format!("unknown scenario `{}`\n{USAGE}", args.scenario))?,
+    };
+    if let Some(seed) = args.seed {
+        scenario.seed = seed;
+    }
+    Ok(scenario)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sim-torture: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = match build_scenario(&args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sim-torture: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let wall = Instant::now();
+    let report = SimWorld::new(scenario.clone()).run();
+    let wall = wall.elapsed();
+
+    println!(
+        "scenario {} seed {} ranks {}: {} events, virtual {:?}, wall {:?}",
+        report.scenario,
+        report.seed,
+        report.ranks,
+        report.events_processed,
+        report.virtual_elapsed,
+        wall
+    );
+    for op in &report.ops {
+        println!(
+            "  {} {} elapsed {:?}{}{}",
+            op.op,
+            if op.completed { "ok" } else { "FAILED" },
+            op.elapsed,
+            op.result
+                .map(|v| format!(" result {v}"))
+                .unwrap_or_default(),
+            if op.failed_ranks.is_empty() {
+                String::new()
+            } else {
+                format!(" failed_ranks {:?}", op.failed_ranks)
+            }
+        );
+    }
+
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = std::fs::write(path, &report.trace) {
+            eprintln!("sim-torture: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.telemetry_out {
+        if let Err(e) = std::fs::write(path, &report.telemetry_json) {
+            eprintln!("sim-torture: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if args.verify_determinism {
+        let second = SimWorld::new(scenario).run();
+        if second.trace != report.trace {
+            eprintln!(
+                "sim-torture: DETERMINISM VIOLATION — same seed {} produced a different trace",
+                report.seed
+            );
+            return ExitCode::FAILURE;
+        }
+        if second.telemetry_json != report.telemetry_json {
+            eprintln!(
+                "sim-torture: DETERMINISM VIOLATION — same seed {} produced different telemetry",
+                report.seed
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "determinism verified: second run reproduced {} trace bytes and telemetry exactly",
+            report.trace.len()
+        );
+    }
+
+    if report.all_completed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sim-torture: scenario {} had failed ops", report.scenario);
+        ExitCode::FAILURE
+    }
+}

@@ -21,6 +21,11 @@
 //!   which both [`cluster::ClusterNode`] and the in-process
 //!   [`session::LocalWorld`] stand, so one program body runs in either
 //!   world unchanged.
+//! * [`sim`] — the simulation backend: [`sim::SimWorld`], a deterministic
+//!   discrete-event engine that runs thousand-rank chaos scenarios under
+//!   virtual time, and [`sim::SimSession`], the third [`Session`]
+//!   implementation — real nodes meshed over the SIM transport on a
+//!   shared virtual clock.
 //!
 //! # Example
 //!
@@ -46,10 +51,12 @@ pub mod cluster;
 pub mod launch;
 pub mod rendezvous;
 pub mod session;
+pub mod sim;
 pub mod wire;
 
 pub use cluster::{ClusterConfig, ClusterError, ClusterNode};
 pub use launch::{launch, LaunchReport, LaunchSpec, RankExit};
 pub use rendezvous::RendezvousServer;
 pub use session::{LocalSession, LocalWorld, Session, SessionError};
+pub use sim::{Scenario, SimReport, SimSession, SimWorld, SimWorldBuilder};
 pub use wire::{ClusterHello, Roster, RvMsg, PROTOCOL_VERSION};

@@ -1,0 +1,1711 @@
+//! The simulation backend: thousand-rank NCS worlds under deterministic
+//! virtual time.
+//!
+//! The paper evaluated NCS on a handful of real SPARCstations; ROADMAP
+//! item 3 asks for the opposite extreme — thousands of ranks, adversarial
+//! networks, reproducible failures. This module provides both halves:
+//!
+//! * [`SimWorld`] — a pure discrete-event engine. Ranks are message-level
+//!   state machines (binomial-tree broadcast/reduce, dissemination
+//!   barrier) exchanging messages through a central virtual-time
+//!   `TimeQueue`; per-direction link policies (latency, jitter, loss —
+//!   [`LinkPolicy`], shared with the SIM transport) decide each
+//!   message's fate with seeded draws, and lost messages retransmit on an
+//!   RTO clock exactly as NCS error control would. Runs 1,000–10,000
+//!   ranks in milliseconds of wall time and is **bit-deterministic**:
+//!   the same [`Scenario`] (same seed) produces a byte-identical event
+//!   trace and equal telemetry counters, every run.
+//! * [`SimSession`] — the third [`Session`] implementation next to
+//!   [`crate::ClusterNode`] and [`crate::LocalWorld`]: real [`NcsNode`]s,
+//!   real control/data-plane threads, meshed over the SIM interface
+//!   ([`ncs_transport::sim::SimNet`]) with every node's deadlines on one
+//!   shared [`VirtualClock`]. A pump thread advances fabric and clock in
+//!   lockstep, fast-forwarding across quiet gaps. Use it to put the *real*
+//!   protocol stack under simulated network conditions at small scale;
+//!   use [`SimWorld`] for four-digit rank counts.
+//!
+//! Chaos — partitions, flapping peers, lossy or slow links, rank kill —
+//! is scripted on the virtual-time axis via [`ChaosEvent`]s, either built
+//! in code or parsed from the scenario script format described in
+//! `docs/SIMULATION.md`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use atm_sim::SimTime;
+use ncs_core::link::SimLinkPair;
+use ncs_core::{Clock, NcsConnection, NcsNode, VirtualClock};
+use ncs_obs::Registry;
+use ncs_transport::sim::{LinkPolicy, SimNet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cluster::rank_name;
+use crate::session::{Session, SessionError};
+use ncs_collectives::CollectiveGroup;
+use ncs_core::ConnectionConfig;
+
+// ---------------------------------------------------------------------------
+// Scenario
+// ---------------------------------------------------------------------------
+
+/// A chaos action applied to the world at one point in virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosKind {
+    /// Black-hole the directed link `from → to`.
+    CutLink {
+        /// Sending rank.
+        from: u32,
+        /// Receiving rank.
+        to: u32,
+    },
+    /// Restore the directed link `from → to`.
+    HealLink {
+        /// Sending rank.
+        from: u32,
+        /// Receiving rank.
+        to: u32,
+    },
+    /// Set the loss probability of the directed link `from → to`.
+    SetLoss {
+        /// Sending rank.
+        from: u32,
+        /// Receiving rank.
+        to: u32,
+        /// New frame-loss probability.
+        loss: f64,
+    },
+    /// Set the latency of the directed link `from → to` (slow link).
+    SlowLink {
+        /// Sending rank.
+        from: u32,
+        /// Receiving rank.
+        to: u32,
+        /// New propagation latency.
+        latency: Duration,
+    },
+    /// Black-hole every link touching `rank` (both directions) — the
+    /// flapping-peer primitive when paired with [`ChaosKind::ReconnectRank`].
+    IsolateRank {
+        /// The rank to isolate.
+        rank: u32,
+    },
+    /// Undo [`ChaosKind::IsolateRank`].
+    ReconnectRank {
+        /// The rank to reconnect.
+        rank: u32,
+    },
+    /// Stop `rank` processing messages (process death).
+    KillRank {
+        /// The rank to kill.
+        rank: u32,
+    },
+    /// Revive `rank` for ops started after this point.
+    ReviveRank {
+        /// The rank to revive.
+        rank: u32,
+    },
+}
+
+/// One scheduled chaos action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosEvent {
+    /// Virtual time at which the action fires.
+    pub at: Duration,
+    /// The action.
+    pub kind: ChaosKind,
+}
+
+/// One step of a scenario's program. Ops run sequentially, SPMD-style:
+/// every alive rank participates in op *k* before op *k + 1* starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimOp {
+    /// Binomial-tree broadcast from `root`, failing ranks that miss
+    /// `timeout` (virtual time).
+    Broadcast {
+        /// Root rank.
+        root: u32,
+        /// Per-op virtual-time deadline.
+        timeout: Duration,
+    },
+    /// Binomial-tree reduce (sum of rank ids) to `root`.
+    Reduce {
+        /// Root rank.
+        root: u32,
+        /// Per-op virtual-time deadline.
+        timeout: Duration,
+    },
+    /// Reduce to rank 0 then broadcast of the result.
+    Allreduce {
+        /// Per-op virtual-time deadline.
+        timeout: Duration,
+    },
+    /// Dissemination barrier (⌈log₂ n⌉ rounds).
+    Barrier {
+        /// Per-op virtual-time deadline.
+        timeout: Duration,
+    },
+    /// Let virtual time pass (chaos events due in the window fire).
+    Advance {
+        /// How much virtual time passes.
+        by: Duration,
+    },
+}
+
+/// A complete simulation script: world shape, link policies, chaos
+/// schedule and op program. Build one in code or parse the script format
+/// of `docs/SIMULATION.md` with [`Scenario::parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (labels traces, CI artifacts, perf sections).
+    pub name: String,
+    /// Master seed: every random draw in the run derives from it.
+    pub seed: u64,
+    /// World size.
+    pub ranks: u32,
+    /// Default policy for directed links `from < to`.
+    pub policy: LinkPolicy,
+    /// Default policy for directed links `from > to` (asymmetric worlds);
+    /// `None` mirrors [`Scenario::policy`].
+    pub policy_back: Option<LinkPolicy>,
+    /// Retransmission timeout for lost messages; `None` derives
+    /// `max(4 × latency, 1 ms)`.
+    pub rto: Option<Duration>,
+    /// Chaos schedule (virtual-time ordered; order of equal times is
+    /// preserved).
+    pub events: Vec<ChaosEvent>,
+    /// The op program.
+    pub ops: Vec<SimOp>,
+}
+
+/// Default per-op deadline used by the preset scenarios.
+pub const PRESET_OP_TIMEOUT: Duration = Duration::from_secs(30);
+
+impl Scenario {
+    /// A bare scenario: `ranks` ranks on clean LAN links, empty program.
+    pub fn new(name: &str, ranks: u32, seed: u64) -> Self {
+        Scenario {
+            name: name.to_owned(),
+            seed,
+            ranks,
+            policy: LinkPolicy::lan(),
+            policy_back: None,
+            rto: None,
+            events: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Preset: clean 1,000-rank-class world running allreduce + barrier.
+    pub fn clean_allreduce(ranks: u32, seed: u64) -> Self {
+        let mut s = Scenario::new("clean-allreduce", ranks, seed);
+        s.ops = vec![
+            SimOp::Allreduce {
+                timeout: PRESET_OP_TIMEOUT,
+            },
+            SimOp::Barrier {
+                timeout: PRESET_OP_TIMEOUT,
+            },
+        ];
+        s
+    }
+
+    /// Preset: both directions between ranks 1 and 2 are cut early in the
+    /// op and heal mid-flight; retransmission carries the collective
+    /// across the partition.
+    pub fn partition_heal(ranks: u32, seed: u64) -> Self {
+        let mut s = Scenario::new("partition-heal", ranks, seed);
+        let (a, b) = (1, 2 % ranks);
+        s.events = vec![
+            ChaosEvent {
+                at: Duration::from_micros(500),
+                kind: ChaosKind::CutLink { from: a, to: b },
+            },
+            ChaosEvent {
+                at: Duration::from_micros(500),
+                kind: ChaosKind::CutLink { from: b, to: a },
+            },
+            ChaosEvent {
+                at: Duration::from_millis(100),
+                kind: ChaosKind::HealLink { from: a, to: b },
+            },
+            ChaosEvent {
+                at: Duration::from_millis(100),
+                kind: ChaosKind::HealLink { from: b, to: a },
+            },
+        ];
+        s.ops = vec![
+            SimOp::Advance {
+                by: Duration::from_millis(1),
+            },
+            SimOp::Allreduce {
+                timeout: PRESET_OP_TIMEOUT,
+            },
+            SimOp::Barrier {
+                timeout: PRESET_OP_TIMEOUT,
+            },
+        ];
+        s
+    }
+
+    /// Preset: 10 % loss on every `from < to` direction, clean reverse —
+    /// the asymmetric-loss torture of MPWide's WAN experiments.
+    pub fn asymmetric_loss(ranks: u32, seed: u64) -> Self {
+        let mut s = Scenario::new("asymmetric-loss", ranks, seed);
+        s.policy = LinkPolicy::lan().with_loss(0.10);
+        s.policy_back = Some(LinkPolicy::lan());
+        s.ops = vec![
+            SimOp::Allreduce {
+                timeout: PRESET_OP_TIMEOUT,
+            },
+            SimOp::Barrier {
+                timeout: PRESET_OP_TIMEOUT,
+            },
+        ];
+        s
+    }
+
+    /// Preset: rank 1 flaps — isolated for 250 µs every 500 µs, a cadence
+    /// chosen to overlap the microsecond-scale LAN collectives. A
+    /// trailing [`SimOp::Advance`] drains flap cycles the collectives
+    /// outran, so every scheduled chaos event applies.
+    pub fn flapping_peer(ranks: u32, seed: u64) -> Self {
+        let mut s = Scenario::new("flapping-peer", ranks, seed);
+        s.rto = Some(Duration::from_micros(200));
+        for cycle in 0..5u64 {
+            let base = Duration::from_micros(50 + 500 * cycle);
+            s.events.push(ChaosEvent {
+                at: base,
+                kind: ChaosKind::IsolateRank { rank: 1 % ranks },
+            });
+            s.events.push(ChaosEvent {
+                at: base + Duration::from_micros(250),
+                kind: ChaosKind::ReconnectRank { rank: 1 % ranks },
+            });
+        }
+        s.ops = vec![
+            SimOp::Allreduce {
+                timeout: PRESET_OP_TIMEOUT,
+            },
+            SimOp::Barrier {
+                timeout: PRESET_OP_TIMEOUT,
+            },
+            SimOp::Advance {
+                by: Duration::from_millis(5),
+            },
+        ];
+        s
+    }
+
+    /// The scenario registered under `name` (the CI matrix entries):
+    /// `clean-allreduce`, `partition-heal`, `asymmetric-loss`,
+    /// `flapping-peer`.
+    pub fn preset(name: &str, ranks: u32, seed: u64) -> Option<Self> {
+        match name {
+            "clean-allreduce" => Some(Self::clean_allreduce(ranks, seed)),
+            "partition-heal" => Some(Self::partition_heal(ranks, seed)),
+            "asymmetric-loss" => Some(Self::asymmetric_loss(ranks, seed)),
+            "flapping-peer" => Some(Self::flapping_peer(ranks, seed)),
+            _ => None,
+        }
+    }
+
+    /// The effective retransmission timeout.
+    pub fn effective_rto(&self) -> Duration {
+        self.rto
+            .unwrap_or_else(|| (self.policy.latency * 4).max(Duration::from_millis(1)))
+    }
+
+    /// Parses the scenario script format (see `docs/SIMULATION.md`):
+    /// one directive per line, `#` comments.
+    ///
+    /// ```text
+    /// scenario partition-heal
+    /// ranks 64
+    /// seed 42
+    /// policy latency=50us jitter=5us loss=0
+    /// at 500us cut 1 2
+    /// at 100ms heal 1 2
+    /// op advance 1ms
+    /// op allreduce 30s
+    /// op barrier 30s
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending line.
+    pub fn parse(script: &str) -> Result<Scenario, String> {
+        let mut s = Scenario::new("unnamed", 0, 0);
+        for (ln, raw) in script.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}: `{raw}`", ln + 1);
+            let mut words = line.split_whitespace();
+            match words.next().unwrap() {
+                "scenario" => {
+                    s.name = words.next().ok_or_else(|| err("missing name"))?.to_owned();
+                }
+                "seed" => {
+                    s.seed = parse_u64(words.next().ok_or_else(|| err("missing seed"))?)
+                        .ok_or_else(|| err("bad seed"))?;
+                }
+                "ranks" => {
+                    s.ranks = parse_u64(words.next().ok_or_else(|| err("missing ranks"))?)
+                        .ok_or_else(|| err("bad ranks"))? as u32;
+                }
+                "rto" => {
+                    s.rto = Some(
+                        parse_duration(words.next().ok_or_else(|| err("missing rto"))?)
+                            .ok_or_else(|| err("bad rto"))?,
+                    );
+                }
+                dir @ ("policy" | "policy-back") => {
+                    let mut p = LinkPolicy::lan();
+                    for kv in words {
+                        let (k, v) = kv.split_once('=').ok_or_else(|| err("want key=value"))?;
+                        match k {
+                            "latency" => {
+                                p.latency = parse_duration(v).ok_or_else(|| err("bad latency"))?;
+                            }
+                            "jitter" => {
+                                p.jitter = parse_duration(v).ok_or_else(|| err("bad jitter"))?;
+                            }
+                            "loss" => {
+                                p.loss = v.parse().map_err(|_| err("bad loss"))?;
+                            }
+                            "reorder" => {
+                                p.reorder = v.parse().map_err(|_| err("bad reorder"))?;
+                            }
+                            "bandwidth" => {
+                                p.bandwidth_bps =
+                                    parse_u64(v).ok_or_else(|| err("bad bandwidth"))?;
+                            }
+                            _ => return Err(err("unknown policy key")),
+                        }
+                    }
+                    if dir == "policy" {
+                        s.policy = p;
+                    } else {
+                        s.policy_back = Some(p);
+                    }
+                }
+                "at" => {
+                    let at = parse_duration(words.next().ok_or_else(|| err("missing time"))?)
+                        .ok_or_else(|| err("bad time"))?;
+                    let verb = words.next().ok_or_else(|| err("missing action"))?;
+                    let mut rank_arg = || -> Result<u32, String> {
+                        parse_u64(words.next().ok_or_else(|| err("missing rank"))?)
+                            .map(|v| v as u32)
+                            .ok_or_else(|| err("bad rank"))
+                    };
+                    let kind = match verb {
+                        "cut" => ChaosKind::CutLink {
+                            from: rank_arg()?,
+                            to: rank_arg()?,
+                        },
+                        "heal" => ChaosKind::HealLink {
+                            from: rank_arg()?,
+                            to: rank_arg()?,
+                        },
+                        "isolate" => ChaosKind::IsolateRank { rank: rank_arg()? },
+                        "reconnect" => ChaosKind::ReconnectRank { rank: rank_arg()? },
+                        "kill" => ChaosKind::KillRank { rank: rank_arg()? },
+                        "revive" => ChaosKind::ReviveRank { rank: rank_arg()? },
+                        "loss" => {
+                            let (from, to) = (rank_arg()?, rank_arg()?);
+                            let loss = words
+                                .next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| err("bad loss"))?;
+                            ChaosKind::SetLoss { from, to, loss }
+                        }
+                        "slow" => {
+                            let (from, to) = (rank_arg()?, rank_arg()?);
+                            let latency = words
+                                .next()
+                                .and_then(parse_duration)
+                                .ok_or_else(|| err("bad latency"))?;
+                            ChaosKind::SlowLink { from, to, latency }
+                        }
+                        _ => return Err(err("unknown chaos action")),
+                    };
+                    s.events.push(ChaosEvent { at, kind });
+                }
+                "op" => {
+                    let verb = words.next().ok_or_else(|| err("missing op"))?;
+                    let op = match verb {
+                        "advance" => SimOp::Advance {
+                            by: words
+                                .next()
+                                .and_then(parse_duration)
+                                .ok_or_else(|| err("bad duration"))?,
+                        },
+                        "allreduce" | "barrier" => {
+                            let timeout = words
+                                .next()
+                                .and_then(parse_duration)
+                                .ok_or_else(|| err("bad timeout"))?;
+                            if verb == "allreduce" {
+                                SimOp::Allreduce { timeout }
+                            } else {
+                                SimOp::Barrier { timeout }
+                            }
+                        }
+                        "broadcast" | "reduce" => {
+                            let root = words
+                                .next()
+                                .and_then(parse_u64)
+                                .ok_or_else(|| err("bad root"))?
+                                as u32;
+                            let timeout = words
+                                .next()
+                                .and_then(parse_duration)
+                                .ok_or_else(|| err("bad timeout"))?;
+                            if verb == "broadcast" {
+                                SimOp::Broadcast { root, timeout }
+                            } else {
+                                SimOp::Reduce { root, timeout }
+                            }
+                        }
+                        _ => return Err(err("unknown op")),
+                    };
+                    s.ops.push(op);
+                }
+                _ => return Err(err("unknown directive")),
+            }
+        }
+        if s.ranks == 0 {
+            return Err("scenario must declare `ranks`".into());
+        }
+        Ok(s)
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    // Allow 1_000 and suffixes k/m/g for bandwidth-style magnitudes.
+    let cleaned: String = s.chars().filter(|c| *c != '_').collect();
+    if let Some(n) = cleaned.strip_suffix(['k', 'K']) {
+        return n.parse::<u64>().ok().map(|v| v * 1_000);
+    }
+    if let Some(n) = cleaned.strip_suffix(['m', 'M']) {
+        return n.parse::<u64>().ok().map(|v| v * 1_000_000);
+    }
+    if let Some(n) = cleaned.strip_suffix(['g', 'G']) {
+        return n.parse::<u64>().ok().map(|v| v * 1_000_000_000);
+    }
+    cleaned.parse().ok()
+}
+
+fn parse_duration(s: &str) -> Option<Duration> {
+    let (num, unit) = s.split_at(s.find(|c: char| c.is_alphabetic())?);
+    let v: u64 = num.parse().ok()?;
+    match unit {
+        "ns" => Some(Duration::from_nanos(v)),
+        "us" => Some(Duration::from_micros(v)),
+        "ms" => Some(Duration::from_millis(v)),
+        "s" => Some(Duration::from_secs(v)),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimWorld: the discrete-event engine
+// ---------------------------------------------------------------------------
+
+/// Outcome of one [`SimOp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpOutcome {
+    /// The op, rendered (`"allreduce"`, `"broadcast(0)"`, …).
+    pub op: String,
+    /// Whether every participating rank completed before the deadline.
+    pub completed: bool,
+    /// Ranks that had not completed when the deadline fired.
+    pub failed_ranks: Vec<u32>,
+    /// Virtual time the op consumed.
+    pub elapsed: Duration,
+    /// The op's value where one exists (reduce/allreduce sum, broadcast
+    /// payload), if all completing ranks agreed on it.
+    pub result: Option<u64>,
+}
+
+/// The full result of a [`SimWorld`] run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// The seed the run derives from.
+    pub seed: u64,
+    /// World size.
+    pub ranks: u32,
+    /// Per-op outcomes, in program order.
+    pub ops: Vec<OpOutcome>,
+    /// Total virtual time elapsed.
+    pub virtual_elapsed: Duration,
+    /// Events processed by the engine.
+    pub events_processed: u64,
+    /// The event trace: one line per engine decision, byte-identical for
+    /// equal seeds.
+    pub trace: String,
+    /// Telemetry snapshot (ncs-obs JSON) of the run's counters.
+    pub telemetry_json: String,
+}
+
+impl SimReport {
+    /// Whether every op in the program completed.
+    pub fn all_completed(&self) -> bool {
+        self.ops.iter().all(|o| o.completed)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum MsgKind {
+    /// Broadcast payload.
+    Data,
+    /// Reduce partial.
+    Part,
+    /// Dissemination-barrier token (round in `round`).
+    Token,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Msg {
+    gen: u64,
+    kind: MsgKind,
+    round: u32,
+    value: u64,
+    from: u32,
+}
+
+#[derive(Debug)]
+enum EvKind {
+    Arrive { to: u32, msg: Msg },
+    Retry { to: u32, msg: Msg, attempt: u32 },
+    Deadline { gen: u64 },
+    Chaos { idx: usize },
+}
+
+#[derive(Debug)]
+struct Ev {
+    at: SimTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Ev {}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-direction link state, created lazily (a 10,000-rank world has
+/// 10⁸ directed pairs; only the pairs a collective actually uses exist).
+#[derive(Debug)]
+struct DirLink {
+    up: bool,
+    loss: f64,
+    latency: Duration,
+    jitter: Duration,
+    rng: StdRng,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum RankOp {
+    Idle,
+    Bcast {
+        have: bool,
+    },
+    Reduce {
+        pending: usize,
+        acc: u64,
+    },
+    /// `phase` 0 = reduce toward rank 0, 1 = broadcast of the result.
+    Allreduce {
+        phase: u8,
+        pending: usize,
+        acc: u64,
+    },
+    Barrier {
+        round: u32,
+        got: Vec<bool>,
+    },
+}
+
+/// SplitMix64 over `(seed, from, to)`: a direction's RNG stream depends
+/// only on the scenario seed and the pair, not on creation order.
+fn mix_seed(seed: u64, from: u32, to: u32) -> u64 {
+    let mut z = seed ^ (u64::from(from) << 32 | u64::from(to)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Binomial-tree parent of virtual rank `v` (clear the highest set bit).
+fn tree_parent(v: u32) -> u32 {
+    v ^ (1 << (31 - v.leading_zeros()))
+}
+
+/// Binomial-tree children of virtual rank `v` in a world of `n`.
+fn tree_children(v: u32, n: u32) -> Vec<u32> {
+    let start = if v == 0 { 0 } else { 32 - v.leading_zeros() };
+    (start..32)
+        .map(|k| v | (1 << k))
+        .take_while(|c| *c < n)
+        .collect()
+}
+
+/// The deterministic thousand-rank engine. See the module docs.
+#[derive(Debug)]
+pub struct SimWorld {
+    scenario: Scenario,
+    now: SimTime,
+    next_seq: u64,
+    queue: BinaryHeap<Reverse<Ev>>,
+    links: HashMap<(u32, u32), DirLink>,
+    alive: Vec<bool>,
+    isolated: Vec<bool>,
+    states: Vec<RankOp>,
+    complete: Vec<bool>,
+    remaining: usize,
+    gen: u64,
+    rto: Duration,
+    trace: Vec<String>,
+    events_processed: u64,
+    registry: Registry,
+}
+
+impl SimWorld {
+    /// Builds the world described by `scenario` and schedules its chaos
+    /// events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario declares zero ranks.
+    pub fn new(scenario: Scenario) -> Self {
+        assert!(scenario.ranks > 0, "scenario must have ranks");
+        let n = scenario.ranks as usize;
+        let rto = scenario.effective_rto();
+        let mut world = SimWorld {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            queue: BinaryHeap::new(),
+            links: HashMap::new(),
+            alive: vec![true; n],
+            isolated: vec![false; n],
+            states: vec![RankOp::Idle; n],
+            complete: vec![false; n],
+            remaining: 0,
+            gen: 0,
+            rto,
+            trace: Vec::new(),
+            events_processed: 0,
+            registry: Registry::new(),
+            scenario,
+        };
+        for idx in 0..world.scenario.events.len() {
+            let at = SimTime::ZERO + world.scenario.events[idx].at;
+            world.push_ev(at, EvKind::Chaos { idx });
+        }
+        world
+    }
+
+    /// Runs the scenario's program to completion and reports.
+    pub fn run(&mut self) -> SimReport {
+        let ops = self.scenario.ops.clone();
+        let mut outcomes = Vec::with_capacity(ops.len());
+        for op in ops {
+            outcomes.push(self.run_op(&op));
+        }
+        let counter = |name: &str| self.registry.counter(name, "", &[]).get();
+        let completed = outcomes.iter().filter(|o| o.completed).count() as u64;
+        self.registry
+            .counter("sim_ops_completed_total", "ops completed", &[])
+            .add(completed);
+        self.registry
+            .counter("sim_ops_failed_total", "ops failed", &[])
+            .add(outcomes.len() as u64 - completed);
+        let _ = counter; // counters materialise below via snapshot
+        SimReport {
+            scenario: self.scenario.name.clone(),
+            seed: self.scenario.seed,
+            ranks: self.scenario.ranks,
+            ops: outcomes,
+            virtual_elapsed: self.now.as_duration(),
+            events_processed: self.events_processed,
+            trace: self.trace.join("\n"),
+            telemetry_json: self.registry.snapshot().render_json(),
+        }
+    }
+
+    /// The engine's telemetry registry (counters accumulate across ops).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn push_ev(&mut self, at: SimTime, kind: EvKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Ev { at, seq, kind }));
+    }
+
+    fn count(&self, name: &str, help: &str) {
+        self.registry.counter(name, help, &[]).inc();
+    }
+
+    fn link(&mut self, from: u32, to: u32) -> &mut DirLink {
+        let (policy, back) = (&self.scenario.policy, &self.scenario.policy_back);
+        let seed = self.scenario.seed;
+        self.links.entry((from, to)).or_insert_with(|| {
+            let p = if from <= to {
+                policy
+            } else {
+                back.as_ref().unwrap_or(policy)
+            };
+            DirLink {
+                up: true,
+                loss: p.loss,
+                latency: p.latency,
+                jitter: p.jitter,
+                rng: StdRng::seed_from_u64(mix_seed(seed, from, to)),
+            }
+        })
+    }
+
+    /// One logical message transmission attempt from `msg.from` to `to`.
+    /// A lost attempt re-arms on the RTO clock — the engine-level stand-in
+    /// for NCS selective-repeat.
+    fn send(&mut self, to: u32, msg: Msg, attempt: u32) {
+        if !self.alive[msg.from as usize] {
+            return;
+        }
+        if attempt == 0 {
+            self.count("sim_messages_sent_total", "messages sent");
+        } else {
+            self.count("sim_retransmissions_total", "retransmission attempts");
+        }
+        let now = self.now;
+        let rto = self.rto;
+        let isolated = self.isolated[msg.from as usize] || self.isolated[to as usize];
+        let link = self.link(msg.from, to);
+        let blocked = !link.up || isolated;
+        let lost = !blocked && link.loss > 0.0 && link.rng.gen_bool(link.loss);
+        if blocked || lost {
+            let jitter = Duration::ZERO;
+            let _ = jitter;
+            self.count("sim_messages_dropped_total", "messages dropped");
+            self.trace.push(format!(
+                "{now} drop {} {}->{} attempt {attempt}{}",
+                kind_name(&msg.kind),
+                msg.from,
+                to,
+                if blocked { " (link down)" } else { "" },
+            ));
+            self.push_ev(now + rto, EvKind::Retry { to, msg, attempt });
+            return;
+        }
+        let jitter = if link.jitter > Duration::ZERO {
+            let bound = link.jitter.as_nanos() as u64;
+            Duration::from_nanos(link.rng.gen_range(0..bound + 1))
+        } else {
+            Duration::ZERO
+        };
+        let due = now + link.latency + jitter;
+        self.trace.push(format!(
+            "{now} send {} {}->{} attempt {attempt} due {due}",
+            kind_name(&msg.kind),
+            msg.from,
+            to,
+        ));
+        self.push_ev(due, EvKind::Arrive { to, msg });
+    }
+
+    fn apply_chaos(&mut self, idx: usize) {
+        let ev = self.scenario.events[idx].clone();
+        self.count("sim_chaos_events_total", "chaos events applied");
+        let now = self.now;
+        self.trace.push(format!("{now} chaos {:?}", ev.kind));
+        match ev.kind {
+            ChaosKind::CutLink { from, to } => self.link(from, to).up = false,
+            ChaosKind::HealLink { from, to } => self.link(from, to).up = true,
+            ChaosKind::SetLoss { from, to, loss } => self.link(from, to).loss = loss,
+            ChaosKind::SlowLink { from, to, latency } => self.link(from, to).latency = latency,
+            ChaosKind::IsolateRank { rank } => self.isolated[rank as usize] = true,
+            ChaosKind::ReconnectRank { rank } => self.isolated[rank as usize] = false,
+            ChaosKind::KillRank { rank } => self.alive[rank as usize] = false,
+            ChaosKind::ReviveRank { rank } => self.alive[rank as usize] = true,
+        }
+    }
+
+    fn mark_complete(&mut self, rank: u32) {
+        let slot = &mut self.complete[rank as usize];
+        if !*slot {
+            *slot = true;
+            self.remaining -= 1;
+        }
+    }
+
+    fn barrier_rounds(n: u32) -> u32 {
+        32 - (n - 1).leading_zeros()
+    }
+
+    /// Starts `op` for every alive rank: initialises state machines and
+    /// fires the initial message wave.
+    fn start_op(&mut self, op: &SimOp) {
+        let n = self.scenario.ranks;
+        self.gen += 1;
+        self.complete = vec![false; n as usize];
+        self.remaining = 0;
+        let gen = self.gen;
+        for r in 0..n {
+            if !self.alive[r as usize] {
+                self.complete[r as usize] = true;
+                continue;
+            }
+            self.remaining += 1;
+            self.states[r as usize] = match op {
+                SimOp::Broadcast { root, .. } => RankOp::Bcast { have: r == *root },
+                SimOp::Reduce { root, .. } => RankOp::Reduce {
+                    pending: tree_children((r + n - root) % n, n).len(),
+                    acc: u64::from(r),
+                },
+                SimOp::Allreduce { .. } => RankOp::Allreduce {
+                    phase: 0,
+                    pending: tree_children(r, n).len(),
+                    acc: u64::from(r),
+                },
+                SimOp::Barrier { .. } => RankOp::Barrier {
+                    round: 0,
+                    got: vec![false; Self::barrier_rounds(n) as usize],
+                },
+                SimOp::Advance { .. } => RankOp::Idle,
+            };
+        }
+        // The initial wave.
+        match *op {
+            SimOp::Broadcast { root, .. } => {
+                for c in tree_children(0, n) {
+                    let to = (c + root) % n;
+                    self.send(
+                        to,
+                        Msg {
+                            gen,
+                            kind: MsgKind::Data,
+                            round: 0,
+                            value: 100 + u64::from(root),
+                            from: root,
+                        },
+                        0,
+                    );
+                }
+                if self.alive[root as usize] {
+                    self.mark_complete(root);
+                }
+            }
+            SimOp::Reduce { .. } | SimOp::Allreduce { .. } => {
+                let root = match *op {
+                    SimOp::Reduce { root, .. } => root,
+                    _ => 0,
+                };
+                // Leaves send their partials immediately.
+                for r in 0..n {
+                    if !self.alive[r as usize] {
+                        continue;
+                    }
+                    let v = (r + n - root) % n;
+                    if tree_children(v, n).is_empty() {
+                        let parent = (tree_parent(v) + root) % n;
+                        self.send(
+                            parent,
+                            Msg {
+                                gen,
+                                kind: MsgKind::Part,
+                                round: 0,
+                                value: u64::from(r),
+                                from: r,
+                            },
+                            0,
+                        );
+                        if matches!(*op, SimOp::Reduce { .. }) {
+                            self.mark_complete(r);
+                        }
+                    }
+                }
+            }
+            SimOp::Barrier { .. } => {
+                for r in 0..n {
+                    if !self.alive[r as usize] {
+                        continue;
+                    }
+                    let to = (r + 1) % n;
+                    self.send(
+                        to,
+                        Msg {
+                            gen,
+                            kind: MsgKind::Token,
+                            round: 0,
+                            value: 0,
+                            from: r,
+                        },
+                        0,
+                    );
+                }
+            }
+            SimOp::Advance { .. } => {}
+        }
+    }
+
+    /// Feeds an arrived message to `to`'s state machine.
+    fn deliver(&mut self, to: u32, msg: Msg, op: &SimOp) {
+        let n = self.scenario.ranks;
+        let gen = self.gen;
+        if !self.alive[to as usize] {
+            let now = self.now;
+            self.trace.push(format!(
+                "{now} dead-drop {} {}->{to}",
+                kind_name(&msg.kind),
+                msg.from
+            ));
+            return;
+        }
+        self.count("sim_messages_delivered_total", "messages delivered");
+        let now = self.now;
+        self.trace.push(format!(
+            "{now} deliver {} {}->{to} value {}",
+            kind_name(&msg.kind),
+            msg.from,
+            msg.value
+        ));
+        match (&mut self.states[to as usize], &msg.kind) {
+            (RankOp::Bcast { have }, MsgKind::Data) => {
+                if !*have {
+                    *have = true;
+                    let root = match *op {
+                        SimOp::Broadcast { root, .. } => root,
+                        _ => 0,
+                    };
+                    let v = (to + n - root) % n;
+                    for c in tree_children(v, n) {
+                        let child = (c + root) % n;
+                        self.send(
+                            child,
+                            Msg {
+                                from: to,
+                                ..msg.clone()
+                            },
+                            0,
+                        );
+                    }
+                    self.mark_complete(to);
+                }
+            }
+            (RankOp::Reduce { pending, acc }, MsgKind::Part) => {
+                *acc += msg.value;
+                *pending -= 1;
+                if *pending == 0 {
+                    let root = match *op {
+                        SimOp::Reduce { root, .. } => root,
+                        _ => 0,
+                    };
+                    let v = (to + n - root) % n;
+                    let acc = *acc;
+                    if v != 0 {
+                        let parent = (tree_parent(v) + root) % n;
+                        self.send(
+                            parent,
+                            Msg {
+                                gen,
+                                kind: MsgKind::Part,
+                                round: 0,
+                                value: acc,
+                                from: to,
+                            },
+                            0,
+                        );
+                    }
+                    self.mark_complete(to);
+                }
+            }
+            (
+                RankOp::Allreduce {
+                    phase,
+                    pending,
+                    acc,
+                },
+                kind,
+            ) => match (*phase, kind) {
+                (0, MsgKind::Part) => {
+                    *acc += msg.value;
+                    *pending -= 1;
+                    if *pending == 0 {
+                        let acc = *acc;
+                        if to == 0 {
+                            // Root: switch the world's attention to the
+                            // broadcast phase.
+                            self.states[0] = RankOp::Allreduce {
+                                phase: 1,
+                                pending: 0,
+                                acc,
+                            };
+                            for c in tree_children(0, n) {
+                                self.send(
+                                    c,
+                                    Msg {
+                                        gen,
+                                        kind: MsgKind::Data,
+                                        round: 0,
+                                        value: acc,
+                                        from: 0,
+                                    },
+                                    0,
+                                );
+                            }
+                            self.mark_complete(0);
+                        } else {
+                            *phase = 1;
+                            let parent = tree_parent(to);
+                            self.send(
+                                parent,
+                                Msg {
+                                    gen,
+                                    kind: MsgKind::Part,
+                                    round: 0,
+                                    value: acc,
+                                    from: to,
+                                },
+                                0,
+                            );
+                        }
+                    }
+                }
+                (_, MsgKind::Data) => {
+                    // The reduce phase of this subtree is over once the
+                    // result comes down; accept Data in either phase (a
+                    // leaf is still in phase 0).
+                    let acc = msg.value;
+                    self.states[to as usize] = RankOp::Allreduce {
+                        phase: 2,
+                        pending: 0,
+                        acc,
+                    };
+                    for c in tree_children(to, n) {
+                        self.send(
+                            c,
+                            Msg {
+                                gen,
+                                kind: MsgKind::Data,
+                                round: 0,
+                                value: acc,
+                                from: to,
+                            },
+                            0,
+                        );
+                    }
+                    self.mark_complete(to);
+                }
+                _ => {
+                    let now = self.now;
+                    self.trace.push(format!("{now} stray {to}"));
+                }
+            },
+            (RankOp::Barrier { round, got }, MsgKind::Token) => {
+                if (msg.round as usize) < got.len() {
+                    got[msg.round as usize] = true;
+                }
+                let rounds = Self::barrier_rounds(n);
+                let mut to_send = Vec::new();
+                while *round < rounds && got[*round as usize] {
+                    *round += 1;
+                    if *round < rounds {
+                        to_send.push(*round);
+                    }
+                }
+                let done = *round >= rounds;
+                for r in to_send {
+                    let peer = (to + (1 << r)) % n;
+                    self.send(
+                        peer,
+                        Msg {
+                            gen,
+                            kind: MsgKind::Token,
+                            round: r,
+                            value: 0,
+                            from: to,
+                        },
+                        0,
+                    );
+                }
+                if done {
+                    self.mark_complete(to);
+                }
+            }
+            _ => {
+                let now = self.now;
+                self.trace
+                    .push(format!("{now} stray {} for {to}", kind_name(&msg.kind)));
+            }
+        }
+    }
+
+    fn run_op(&mut self, op: &SimOp) -> OpOutcome {
+        let started = self.now;
+        let n = self.scenario.ranks;
+        let name = match op {
+            SimOp::Broadcast { root, .. } => format!("broadcast({root})"),
+            SimOp::Reduce { root, .. } => format!("reduce({root})"),
+            SimOp::Allreduce { .. } => "allreduce".to_owned(),
+            SimOp::Barrier { .. } => "barrier".to_owned(),
+            SimOp::Advance { by } => format!("advance({by:?})"),
+        };
+        self.trace.push(format!("{started} op {name} start"));
+        if let SimOp::Advance { by } = op {
+            // Pure time passage: chaos events in the window fire, stale
+            // messages drain.
+            let target = self.now + *by;
+            while self.queue.peek().is_some_and(|Reverse(ev)| ev.at <= target) {
+                let Reverse(ev) = self.queue.pop().expect("peeked");
+                self.now = ev.at;
+                self.events_processed += 1;
+                if let EvKind::Chaos { idx } = ev.kind {
+                    self.apply_chaos(idx);
+                }
+            }
+            self.now = target;
+            return OpOutcome {
+                op: name,
+                completed: true,
+                failed_ranks: Vec::new(),
+                elapsed: *by,
+                result: None,
+            };
+        }
+        let timeout = match *op {
+            SimOp::Broadcast { timeout, .. }
+            | SimOp::Reduce { timeout, .. }
+            | SimOp::Allreduce { timeout }
+            | SimOp::Barrier { timeout } => timeout,
+            SimOp::Advance { .. } => unreachable!(),
+        };
+        self.start_op(op);
+        let gen = self.gen;
+        self.push_ev(self.now + timeout, EvKind::Deadline { gen });
+        let mut timed_out = false;
+        while self.remaining > 0 {
+            let Some(Reverse(ev)) = self.queue.pop() else {
+                break;
+            };
+            debug_assert!(ev.at >= self.now, "virtual time went backwards");
+            self.now = ev.at;
+            self.events_processed += 1;
+            match ev.kind {
+                EvKind::Chaos { idx } => self.apply_chaos(idx),
+                EvKind::Deadline { gen: g } => {
+                    if g == gen {
+                        timed_out = true;
+                        break;
+                    }
+                }
+                EvKind::Arrive { to, msg } => {
+                    if msg.gen == gen {
+                        self.deliver(to, msg, op);
+                    }
+                }
+                EvKind::Retry { to, msg, attempt } => {
+                    if msg.gen == gen {
+                        self.send(to, msg, attempt + 1);
+                    }
+                }
+            }
+        }
+        let failed_ranks: Vec<u32> = if timed_out {
+            (0..n).filter(|r| !self.complete[*r as usize]).collect()
+        } else {
+            Vec::new()
+        };
+        let completed = !timed_out && self.remaining == 0;
+        // Agreement check: every completing rank must hold the same value.
+        let result = if completed {
+            let mut value = None;
+            let mut agree = true;
+            for r in 0..n as usize {
+                let v = match &self.states[r] {
+                    RankOp::Reduce { acc, .. } if self.alive[r] => Some(*acc),
+                    RankOp::Allreduce { acc, .. } if self.alive[r] => Some(*acc),
+                    _ => None,
+                };
+                if let Some(v) = v {
+                    match op {
+                        SimOp::Allreduce { .. } => {
+                            if let Some(prev) = value {
+                                agree &= prev == v;
+                            }
+                            value = Some(v);
+                        }
+                        SimOp::Reduce { root, .. } if r as u32 == *root => {
+                            value = Some(v);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if let SimOp::Broadcast { root, .. } = op {
+                value = Some(100 + u64::from(*root));
+            }
+            if agree {
+                value
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let elapsed = self.now - started;
+        let now = self.now;
+        self.trace.push(format!(
+            "{now} op {name} {} ({} failed)",
+            if completed { "complete" } else { "TIMEOUT" },
+            failed_ranks.len()
+        ));
+        OpOutcome {
+            op: name,
+            completed,
+            failed_ranks,
+            elapsed,
+            result,
+        }
+    }
+}
+
+fn kind_name(k: &MsgKind) -> &'static str {
+    match k {
+        MsgKind::Data => "data",
+        MsgKind::Part => "part",
+        MsgKind::Token => "token",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimSession: the real-stack Session backend
+// ---------------------------------------------------------------------------
+
+/// The shared driver behind a [`SimSession`] world: fabric, virtual
+/// clock, and the pump thread that advances both.
+#[derive(Debug)]
+struct SimDriver {
+    net: Arc<SimNet>,
+    clock: Arc<VirtualClock>,
+    stop: AtomicBool,
+    pump: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl SimDriver {
+    /// Pump policy: when frames are in flight, fast-forward virtual time
+    /// to the earliest arrival and deliver; when idle, let virtual time
+    /// track real time so virtual-time deadlines (op timeouts, link-down
+    /// grace) still fire for stuck worlds.
+    const IDLE_QUANTUM: Duration = Duration::from_micros(200);
+
+    fn start(net: Arc<SimNet>, clock: Arc<VirtualClock>) -> Arc<Self> {
+        let driver = Arc::new(SimDriver {
+            net,
+            clock,
+            stop: AtomicBool::new(false),
+            pump: parking_lot::Mutex::new(None),
+        });
+        let d = Arc::clone(&driver);
+        let handle = std::thread::Builder::new()
+            .name("sim-pump".into())
+            .spawn(move || d.pump_loop())
+            .expect("spawn sim pump");
+        *driver.pump.lock() = Some(handle);
+        driver
+    }
+
+    fn pump_loop(&self) {
+        while !self.stop.load(Ordering::Acquire) {
+            match self.net.next_due() {
+                Some(due) => {
+                    self.net.advance_to(due);
+                    self.clock.advance_to(due.as_duration());
+                }
+                None => {
+                    let target = self.clock.now() + Self::IDLE_QUANTUM;
+                    self.clock.advance_to(target);
+                    self.net
+                        .advance_to(SimTime::from_nanos(target.as_nanos() as u64));
+                    std::thread::sleep(Self::IDLE_QUANTUM);
+                }
+            }
+        }
+    }
+
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.pump.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SimDriver {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Builds simulated in-process worlds (the [`Session`] factory for the
+/// SIM interface), and hosts the discrete-event engine for four-digit
+/// rank counts — see the module docs for which half fits which scale.
+#[derive(Debug)]
+pub struct SimWorldBuilder {
+    ranks: u32,
+    seed: u64,
+    policy: LinkPolicy,
+}
+
+impl SimWorldBuilder {
+    /// A world of `ranks` members over ideal links, seeded with `seed`.
+    pub fn new(ranks: u32, seed: u64) -> Self {
+        SimWorldBuilder {
+            ranks,
+            seed,
+            policy: LinkPolicy::ideal(),
+        }
+    }
+
+    /// Shapes every link with `policy` (both directions).
+    pub fn policy(mut self, policy: LinkPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Meshes `ranks` real NCS nodes over the SIM interface on one shared
+    /// [`VirtualClock`] and starts the pump. Mirrors
+    /// [`crate::LocalWorld::create`]'s wiring: full mesh, one bootstrap
+    /// connection per pair, dial-up/accept-down.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] when the mesh cannot be established.
+    pub fn build(self) -> Result<Vec<SimSession>, SessionError> {
+        let n = self.ranks;
+        if n == 0 {
+            return Err(SessionError::Connect("world size must be positive".into()));
+        }
+        let net = SimNet::new(self.seed);
+        let clock = VirtualClock::shared();
+        // Pump first: bootstrap handshakes ride the fabric too.
+        let driver = SimDriver::start(Arc::clone(&net), Arc::clone(&clock));
+        let pkg: Arc<dyn ncs_threads::ThreadPackage> = Arc::new(ncs_threads::KernelPackage::new());
+        let reactor = ncs_core::Reactor::with_default_shards(pkg);
+        let nodes: Vec<NcsNode> = (0..n)
+            .map(|r| {
+                NcsNode::builder(&rank_name(r))
+                    .rank(r)
+                    .reactor(Arc::clone(&reactor))
+                    .clock(clock.clone() as Arc<dyn ncs_core::Clock>)
+                    .build()
+            })
+            .collect();
+        let mut peer_links: Vec<HashMap<u32, Arc<ncs_core::link::SimLink>>> =
+            (0..n).map(|_| HashMap::new()).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (li, lj) = SimLinkPair::create(&net, self.policy.clone(), self.policy.clone());
+                let li_dyn: Arc<dyn ncs_core::link::PeerLink> = li.clone();
+                let lj_dyn: Arc<dyn ncs_core::link::PeerLink> = lj.clone();
+                nodes[i as usize].attach_peer(&rank_name(j), li_dyn);
+                nodes[j as usize].attach_peer(&rank_name(i), lj_dyn);
+                peer_links[i as usize].insert(j, li);
+                peer_links[j as usize].insert(i, lj);
+            }
+        }
+        let mut conns: Vec<HashMap<usize, NcsConnection>> =
+            (0..n).map(|_| HashMap::new()).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let up =
+                    nodes[i as usize].connect(&rank_name(j), ConnectionConfig::unreliable())?;
+                let down = nodes[j as usize].accept(Duration::from_secs(30))?;
+                conns[i as usize].insert(j as usize, up);
+                conns[j as usize].insert(i as usize, down);
+            }
+        }
+        Ok(nodes
+            .into_iter()
+            .zip(conns)
+            .zip(peer_links)
+            .enumerate()
+            .map(|(rank, ((node, links), peers))| SimSession {
+                node,
+                rank: rank as u32,
+                world: n,
+                links,
+                peers,
+                driver: Arc::clone(&driver),
+            })
+            .collect())
+    }
+}
+
+/// One member of a simulated world: the third [`Session`] backend. Real
+/// node, real NCS threads — only the network (and the clock its deadlines
+/// read) is simulated.
+#[derive(Debug)]
+pub struct SimSession {
+    node: NcsNode,
+    rank: u32,
+    world: u32,
+    links: HashMap<usize, NcsConnection>,
+    peers: HashMap<u32, Arc<ncs_core::link::SimLink>>,
+    driver: Arc<SimDriver>,
+}
+
+impl SimSession {
+    /// The bootstrap connection to `rank`, if it is another member.
+    pub fn connection(&self, rank: u32) -> Option<&NcsConnection> {
+        self.links.get(&(rank as usize))
+    }
+
+    /// Current virtual time of the world.
+    pub fn virtual_now(&self) -> Duration {
+        self.driver.clock.now()
+    }
+
+    /// The fabric this world rides (delivery/drop counters, manual
+    /// chaos).
+    pub fn net(&self) -> &Arc<SimNet> {
+        &self.driver.net
+    }
+
+    /// Raises or cuts this member's outbound traffic towards `peer` on
+    /// every channel between them (partition chaos; cut both sides for a
+    /// full partition).
+    pub fn set_peer_up(&self, peer: u32, up: bool) {
+        if let Some(link) = self.peers.get(&peer) {
+            link.set_outbound_up(up);
+        }
+    }
+
+    /// Reshapes this member's outbound traffic towards `peer` (slow-link
+    /// chaos).
+    pub fn set_peer_policy(&self, peer: u32, policy: LinkPolicy) {
+        if let Some(link) = self.peers.get(&peer) {
+            link.set_outbound_policy(policy);
+        }
+    }
+}
+
+impl Session for SimSession {
+    fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    fn world_size(&self) -> u32 {
+        self.world
+    }
+
+    fn node(&self) -> &NcsNode {
+        &self.node
+    }
+
+    fn connect(&self, peer: u32, cfg: ConnectionConfig) -> Result<NcsConnection, SessionError> {
+        if peer == self.rank || peer >= self.world {
+            return Err(SessionError::BadRank {
+                rank: peer,
+                world: self.world,
+            });
+        }
+        Ok(self.node.connect(&rank_name(peer), cfg)?)
+    }
+
+    fn accept(&self, timeout: Duration) -> Result<NcsConnection, SessionError> {
+        Ok(self.node.accept(timeout)?)
+    }
+
+    fn collective_group(&self, id: u32) -> Result<CollectiveGroup, SessionError> {
+        Ok(CollectiveGroup::new(
+            &self.node,
+            id,
+            self.rank as usize,
+            self.links.clone(),
+        )?)
+    }
+
+    fn shutdown(&self) {
+        self.node.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_tree_shape() {
+        assert_eq!(tree_children(0, 8), vec![1, 2, 4]);
+        assert_eq!(tree_children(1, 8), vec![3, 5]);
+        assert_eq!(tree_children(2, 8), vec![6]);
+        assert_eq!(tree_children(4, 8), Vec::<u32>::new());
+        assert_eq!(tree_parent(5), 1);
+        assert_eq!(tree_parent(6), 2);
+        assert_eq!(tree_parent(1), 0);
+        // Every non-zero vrank's parent is a strictly smaller vrank.
+        for v in 1..1000u32 {
+            assert!(tree_parent(v) < v);
+        }
+    }
+
+    #[test]
+    fn clean_broadcast_reaches_everyone() {
+        let mut s = Scenario::new("t", 16, 1);
+        s.ops = vec![SimOp::Broadcast {
+            root: 3,
+            timeout: Duration::from_secs(5),
+        }];
+        let report = SimWorld::new(s).run();
+        assert!(report.all_completed(), "{:?}", report.ops);
+        assert_eq!(report.ops[0].result, Some(103));
+    }
+
+    #[test]
+    fn reduce_sums_rank_ids() {
+        let mut s = Scenario::new("t", 9, 1);
+        s.ops = vec![SimOp::Reduce {
+            root: 2,
+            timeout: Duration::from_secs(5),
+        }];
+        let report = SimWorld::new(s).run();
+        assert!(report.all_completed(), "{:?}", report.ops);
+        assert_eq!(report.ops[0].result, Some((0..9).sum()));
+    }
+
+    #[test]
+    fn allreduce_agrees_on_the_sum() {
+        for n in [2u32, 3, 7, 8, 33] {
+            let mut s = Scenario::new("t", n, 5);
+            s.ops = vec![SimOp::Allreduce {
+                timeout: Duration::from_secs(5),
+            }];
+            let report = SimWorld::new(s).run();
+            assert!(report.all_completed(), "n={n} {:?}", report.ops);
+            assert_eq!(
+                report.ops[0].result,
+                Some(u64::from(n) * u64::from(n - 1) / 2)
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_completes_in_log_rounds_of_latency() {
+        let mut s = Scenario::new("t", 64, 1);
+        s.policy = LinkPolicy {
+            jitter: Duration::ZERO,
+            ..LinkPolicy::lan()
+        };
+        s.ops = vec![SimOp::Barrier {
+            timeout: Duration::from_secs(5),
+        }];
+        let report = SimWorld::new(s).run();
+        assert!(report.all_completed());
+        // 6 dissemination rounds at 50 µs per hop.
+        assert_eq!(report.ops[0].elapsed, Duration::from_micros(300));
+    }
+
+    #[test]
+    fn killed_rank_fails_fast_at_the_deadline() {
+        let mut s = Scenario::new("t", 8, 1);
+        s.events = vec![ChaosEvent {
+            at: Duration::from_micros(1),
+            kind: ChaosKind::KillRank { rank: 5 },
+        }];
+        s.ops = vec![
+            SimOp::Advance {
+                by: Duration::from_millis(1),
+            },
+            SimOp::Barrier {
+                timeout: Duration::from_millis(50),
+            },
+        ];
+        let report = SimWorld::new(s).run();
+        assert!(!report.ops[1].completed);
+        assert!(!report.ops[1].failed_ranks.is_empty());
+        // The deadline bounded the op: fail-fast, not hang.
+        assert_eq!(report.ops[1].elapsed, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn lossy_world_retransmits_to_completion() {
+        let s = Scenario::asymmetric_loss(32, 7);
+        let report = SimWorld::new(s).run();
+        assert!(report.all_completed(), "{:?}", report.ops);
+        assert!(report.telemetry_json.contains("sim_retransmissions_total"));
+    }
+
+    #[test]
+    fn same_seed_byte_identical_trace() {
+        let a = SimWorld::new(Scenario::asymmetric_loss(64, 99)).run();
+        let b = SimWorld::new(Scenario::asymmetric_loss(64, 99)).run();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.telemetry_json, b.telemetry_json);
+        let c = SimWorld::new(Scenario::asymmetric_loss(64, 100)).run();
+        assert_ne!(a.trace, c.trace, "different seeds should diverge");
+    }
+
+    #[test]
+    fn scenario_script_round_trips_the_documented_example() {
+        let script = r"
+# partition between 1 and 2, healed at 100ms
+scenario partition-heal
+ranks 64
+seed 42
+policy latency=50us jitter=5us loss=0
+at 500us cut 1 2
+at 500us cut 2 1
+at 100ms heal 1 2
+at 100ms heal 2 1
+op advance 1ms
+op allreduce 30s
+op barrier 30s
+";
+        let parsed = Scenario::parse(script).expect("parse");
+        assert_eq!(parsed.name, "partition-heal");
+        assert_eq!(parsed.ranks, 64);
+        assert_eq!(parsed.seed, 42);
+        assert_eq!(parsed, Scenario::partition_heal(64, 42));
+        let report = SimWorld::new(parsed).run();
+        assert!(report.all_completed(), "{:?}", report.ops);
+    }
+
+    #[test]
+    fn scenario_parse_rejects_garbage() {
+        assert!(Scenario::parse("bogus directive").is_err());
+        assert!(Scenario::parse("ranks 0").is_err());
+        assert!(Scenario::parse("ranks 4\nat nonsense cut 0 1").is_err());
+        assert!(Scenario::parse("ranks 4\nop allreduce").is_err());
+    }
+
+    #[test]
+    fn duration_and_magnitude_parsers() {
+        assert_eq!(parse_duration("50us"), Some(Duration::from_micros(50)));
+        assert_eq!(parse_duration("10ms"), Some(Duration::from_millis(10)));
+        assert_eq!(parse_duration("5s"), Some(Duration::from_secs(5)));
+        assert_eq!(parse_duration("oops"), None);
+        assert_eq!(parse_u64("1g"), Some(1_000_000_000));
+        assert_eq!(parse_u64("155_520_000"), Some(155_520_000));
+    }
+}

@@ -21,7 +21,12 @@
 //! paper's exact buffer-pressure behaviour (Figures 9/10) and the platform
 //! cost model (Figures 12/13).
 //!
-//! All four implement [`Connection`]; receive paths block through
+//! A fifth interface, [`sim`], is not a wire at all: a virtual-time
+//! fabric ([`sim::SimNet`]) whose per-link latency/bandwidth/loss policies
+//! feed a central event queue, used by the thousand-rank simulation
+//! backend in `ncs-runtime`.
+//!
+//! All of them implement [`Connection`]; receive paths block through
 //! [`ncs_threads::sync`] so the same protocol code runs over the user-level
 //! or kernel-level thread package.
 
@@ -34,6 +39,7 @@ mod iface;
 mod metered;
 pub mod pipe;
 pub mod sci;
+pub mod sim;
 
 pub use iface::{Capabilities, Connection, Readiness, TransportError, Waker, YieldHook};
 pub use metered::Metered;

@@ -164,4 +164,7 @@ pub use baselines as comparators;
 pub use ncs_core::{
     test_all, wait_all, wait_any, Channel, Completion, MsgView, Request, CHANNEL_TAG_BASE,
 };
-pub use ncs_runtime::{LocalSession, LocalWorld, Session, SessionError};
+pub use ncs_runtime::{
+    LocalSession, LocalWorld, Scenario, Session, SessionError, SimReport, SimSession, SimWorld,
+    SimWorldBuilder,
+};
