@@ -41,6 +41,18 @@
 //! connections stays within [`C10K_MAX_P99_RATIO`] of the
 //! [`C10K_BASELINE`]-connection figure.
 //!
+//! A **membership** section drives a real `ncsd` + [`MemberAgent`] world
+//! of [`MEMBERSHIP_NP`] ranks over loopback through repeated silence →
+//! death-view → rejoin → join-view cycles, and fails unless the median
+//! failure-detection latency (victim silenced → death view applied by
+//! the slowest survivor) stays within
+//! [`MEMBERSHIP_GATE_MAX_DETECT_INTERVALS`] heartbeat intervals, the
+//! median view-propagation latency (rejoin accepted → join view applied
+//! by the slowest survivor) stays under [`MEMBERSHIP_GATE_MAX_PROP_MS`]
+//! ms, and every survivor observed strictly increasing view epochs.
+//!
+//! [`MemberAgent`]: ncs_runtime::MemberAgent
+//!
 //! Usage: `perf_gate [--smoke] [--out PATH]`
 //!
 //! `--smoke` shrinks iteration counts for CI; `--out` overrides the output
@@ -59,7 +71,7 @@ use ncs_bench::msgrate;
 use ncs_collectives::{CollectiveGroup, ReduceOp, Topology};
 use ncs_core::link::{AciLink, HpiLinkPair, PipeLinkPair, SciLink};
 use ncs_core::{ConnectionConfig, NcsConnection, NcsNode, PoolStats};
-use ncs_runtime::{ClusterConfig, ClusterNode, RendezvousServer};
+use ncs_runtime::{ClusterConfig, ClusterNode, MembershipConfig, RendezvousServer};
 use ncs_threads::sync::Event;
 use ncs_threads::{
     KernelPackage, SwitchMech, ThreadPackage, ThreadPackageExt, UserConfig, UserRuntime,
@@ -1337,6 +1349,229 @@ fn run_c10k_case(smoke: bool) -> C10kResult {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Membership section: view propagation + failure detection over loopback.
+// ---------------------------------------------------------------------------
+
+/// World size of the membership section; the highest rank is the victim
+/// that is repeatedly silenced and rejoined.
+const MEMBERSHIP_NP: u32 = 4;
+
+/// Failure detection (victim silenced → death view applied by the last
+/// survivor) must land within this multiple of the heartbeat interval.
+const MEMBERSHIP_GATE_MAX_DETECT_INTERVALS: f64 = 3.0;
+
+/// View propagation (rejoin accepted by `ncsd` → new view applied by the
+/// last survivor) must land within this many milliseconds. Views are
+/// pushed on the subscribers' long-lived channels, so the real figure is
+/// a couple of loopback hops plus one serve-loop poll (≤ a quarter
+/// heartbeat interval); the bound only has to catch a broken push path.
+const MEMBERSHIP_GATE_MAX_PROP_MS: f64 = 150.0;
+
+/// Detector tuning for the section. `dead_after` is two heartbeat
+/// intervals, so the end-to-end detection figure (silence → sweep →
+/// push → sink) has half an interval of headroom under the 3× gate
+/// while staying lax enough that a stalled runner doesn't convict a
+/// pulsing survivor.
+fn membership_cfg() -> MembershipConfig {
+    MembershipConfig {
+        heartbeat_interval: Duration::from_millis(100),
+        suspect_after: Duration::from_millis(150),
+        dead_after: Duration::from_millis(200),
+    }
+}
+
+/// Kill/rejoin cycles the membership section drives.
+fn membership_cycles(smoke: bool) -> usize {
+    if smoke {
+        2
+    } else {
+        5
+    }
+}
+
+#[derive(Debug)]
+struct MembershipCaseResult {
+    np: u32,
+    cycles: usize,
+    heartbeat_ms: f64,
+    /// Per-cycle silence → death-view latency (worst survivor), sorted, ms.
+    detect_ms: Vec<f64>,
+    /// Per-cycle rejoin → join-view latency (worst survivor), sorted, ms.
+    prop_ms: Vec<f64>,
+    /// Every survivor saw strictly increasing view epochs.
+    views_in_order: bool,
+}
+
+/// One timestamped view observation at a survivor's sink.
+type MembershipLog = Arc<std::sync::Mutex<Vec<(Instant, ncs_runtime::View)>>>;
+
+/// Blocks until every log holds a view matching `pred`, returning the
+/// worst (latest) arrival timestamp across the logs.
+fn membership_wait_all(
+    logs: &[MembershipLog],
+    what: &str,
+    pred: impl Fn(&ncs_runtime::View) -> bool,
+) -> Instant {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut worst = Instant::now();
+    for log in logs {
+        loop {
+            if let Some((at, _)) = log
+                .lock()
+                .expect("membership log")
+                .iter()
+                .find(|(_, v)| pred(v))
+            {
+                worst = worst.max(*at);
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "membership section timed out waiting for {what}"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    worst
+}
+
+/// Drives a real `RendezvousServer` + `MemberAgent` world over loopback
+/// through `cycles` silence → death-view → rejoin → join-view rounds,
+/// timing the failure detector and the view push at the survivors' sinks.
+fn run_membership_case(smoke: bool) -> MembershipCaseResult {
+    use ncs_runtime::{rendezvous, MemberAgent, MembershipMetrics};
+
+    let cfg = membership_cfg();
+    let np = MEMBERSHIP_NP;
+    let victim = np - 1;
+    let cycles = membership_cycles(smoke);
+    let server =
+        RendezvousServer::start_with("127.0.0.1:0", np, cfg.clone()).expect("membership ncsd");
+    let ncsd = server.addr();
+
+    // Seal the roster (membership epoch 1) with placeholder listener
+    // addresses: the section measures the control plane — nothing ever
+    // dials a member.
+    let registrars: Vec<_> = (0..np)
+        .map(|r| {
+            std::thread::spawn(move || {
+                let addr: std::net::SocketAddr =
+                    format!("127.0.0.1:{}", 40_000 + r).parse().expect("addr");
+                rendezvous::register(ncsd, r, np, addr, Duration::from_secs(10))
+                    .expect("membership register")
+            })
+        })
+        .collect();
+    for h in registrars {
+        h.join().expect("register thread");
+    }
+
+    let logs: Vec<MembershipLog> = (0..victim).map(|_| MembershipLog::default()).collect();
+    let mut survivors: Vec<MemberAgent> = logs
+        .iter()
+        .enumerate()
+        .map(|(r, log)| {
+            let log = Arc::clone(log);
+            MemberAgent::start(
+                ncsd,
+                r as u32,
+                0,
+                cfg.clone(),
+                MembershipMetrics::detached(),
+                Arc::new(move |v: &ncs_runtime::View| {
+                    log.lock()
+                        .expect("membership log")
+                        .push((Instant::now(), v.clone()));
+                }),
+            )
+            .expect("survivor agent")
+        })
+        .collect();
+    let mut victim_agent = Some(
+        MemberAgent::start(
+            ncsd,
+            victim,
+            0,
+            cfg.clone(),
+            MembershipMetrics::detached(),
+            Arc::new(|_: &ncs_runtime::View| {}),
+        )
+        .expect("victim agent"),
+    );
+    membership_wait_all(&logs, "seed view", |v| v.id == 1 && v.is_full());
+
+    let rejoin_addr: std::net::SocketAddr = "127.0.0.1:40999".parse().expect("addr");
+    let mut detect_ms = Vec::with_capacity(cycles);
+    let mut prop_ms = Vec::with_capacity(cycles);
+    for cycle in 0..cycles {
+        // Views advance deterministically: seed is 1, then one death and
+        // one join view per cycle.
+        let death_id = 2 + 2 * cycle as u64;
+        victim_agent.take().expect("victim alive").stop();
+        let t0 = Instant::now();
+        let seen = membership_wait_all(&logs, "death view", |v| {
+            v.id == death_id && v.dead.contains(&victim)
+        });
+        detect_ms.push(seen.saturating_duration_since(t0).as_secs_f64() * 1e3);
+
+        let incarnation = cycle as u32 + 1;
+        let t1 = Instant::now();
+        rendezvous::rejoin(
+            ncsd,
+            victim,
+            np,
+            rejoin_addr,
+            incarnation,
+            Duration::from_secs(10),
+        )
+        .expect("membership rejoin");
+        let seen = membership_wait_all(&logs, "join view", |v| {
+            v.id == death_id + 1 && v.joined.contains(&victim)
+        });
+        prop_ms.push(seen.saturating_duration_since(t1).as_secs_f64() * 1e3);
+        victim_agent = Some(
+            MemberAgent::start(
+                ncsd,
+                victim,
+                incarnation,
+                cfg.clone(),
+                MembershipMetrics::detached(),
+                Arc::new(|_: &ncs_runtime::View| {}),
+            )
+            .expect("victim agent restart"),
+        );
+    }
+
+    let views_in_order = logs.iter().all(|log| {
+        let ids: Vec<u64> = log
+            .lock()
+            .expect("membership log")
+            .iter()
+            .map(|(_, v)| v.id)
+            .collect();
+        ids.windows(2).all(|w| w[0] < w[1])
+    });
+
+    if let Some(mut v) = victim_agent {
+        v.stop();
+    }
+    for a in &mut survivors {
+        a.stop();
+    }
+
+    detect_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    prop_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    MembershipCaseResult {
+        np,
+        cycles,
+        heartbeat_ms: cfg.heartbeat_interval.as_secs_f64() * 1e3,
+        detect_ms,
+        prop_ms,
+        views_in_order,
+    }
+}
+
 fn case_cfg(iface: Iface, package: Package, smoke: bool) -> BenchCfg {
     let (mut lat_iters, mut bulk_msgs) = if smoke { (30, 60) } else { (300, 500) };
     if iface == Iface::Sci && package == Package::User {
@@ -1386,10 +1621,15 @@ fn emit_json(
     telemetry_gate_value: f64,
     telemetry_gate_pass: bool,
     cluster_gate_pass: bool,
+    membership: &MembershipCaseResult,
+    membership_detect_value: f64,
+    membership_detect_pass: bool,
+    membership_prop_value: f64,
+    membership_prop_pass: bool,
 ) {
     use std::fmt::Write as _;
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/8\",");
+    let _ = writeln!(out, "  \"schema\": \"ncs-dataplane-bench/9\",");
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
@@ -1720,6 +1960,73 @@ fn emit_json(
         r.blocking_active
     );
     let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"membership\": {{");
+    let _ = writeln!(out, "    \"np\": {},", membership.np);
+    let _ = writeln!(out, "    \"heartbeat_ms\": {:.0},", membership.heartbeat_ms);
+    let _ = writeln!(
+        out,
+        "    \"suspect_ms\": {:.0},",
+        membership_cfg().suspect_after.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        out,
+        "    \"dead_ms\": {:.0},",
+        membership_cfg().dead_after.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(out, "    \"detection_gate\": {{");
+    let _ = writeln!(
+        out,
+        "      \"metric\": \"median silence -> death-view latency at the slowest survivor, \
+         in heartbeat intervals\","
+    );
+    let _ = writeln!(
+        out,
+        "      \"threshold\": {MEMBERSHIP_GATE_MAX_DETECT_INTERVALS:.1},"
+    );
+    let _ = writeln!(out, "      \"value\": {membership_detect_value:.2},");
+    let _ = writeln!(out, "      \"pass\": {membership_detect_pass}");
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"propagation_gate\": {{");
+    let _ = writeln!(
+        out,
+        "      \"metric\": \"median rejoin -> join-view latency at the slowest survivor, ms\","
+    );
+    let _ = writeln!(
+        out,
+        "      \"threshold\": {MEMBERSHIP_GATE_MAX_PROP_MS:.1},"
+    );
+    let _ = writeln!(out, "      \"value\": {membership_prop_value:.2},");
+    let _ = writeln!(out, "      \"pass\": {membership_prop_pass}");
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"ordering_gate\": {{");
+    let _ = writeln!(
+        out,
+        "      \"metric\": \"every survivor observed strictly increasing view epochs\","
+    );
+    let _ = writeln!(out, "      \"pass\": {}", membership.views_in_order);
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"cases\": [");
+    let _ = writeln!(out, "      {{");
+    let _ = writeln!(
+        out,
+        "        \"np\": {}, \"cycles\": {},",
+        membership.np, membership.cycles
+    );
+    let _ = writeln!(
+        out,
+        "        \"detection\": {{ \"median_ms\": {:.2}, \"max_ms\": {:.2} }},",
+        percentile(&membership.detect_ms, 0.5),
+        membership.detect_ms.last().copied().unwrap_or(0.0)
+    );
+    let _ = writeln!(
+        out,
+        "        \"propagation\": {{ \"median_ms\": {:.2}, \"max_ms\": {:.2} }}",
+        percentile(&membership.prop_ms, 0.5),
+        membership.prop_ms.last().copied().unwrap_or(0.0)
+    );
+    let _ = writeln!(out, "      }}");
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"cases\": [");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
@@ -2035,6 +2342,26 @@ fn main() {
         c10k.reactor.workers,
     );
 
+    // Membership: the control plane's failure detector and view push must
+    // stay fast while the section churns a real ncsd world over loopback.
+    eprintln!(
+        "perf_gate: membership, {MEMBERSHIP_NP} ranks, {} kill/rejoin cycles over loopback...",
+        membership_cycles(smoke)
+    );
+    let membership = run_membership_case(smoke);
+    let membership_detect_value = percentile(&membership.detect_ms, 0.5) / membership.heartbeat_ms;
+    let membership_detect_pass = membership_detect_value <= MEMBERSHIP_GATE_MAX_DETECT_INTERVALS;
+    let membership_prop_value = percentile(&membership.prop_ms, 0.5);
+    let membership_prop_pass = membership_prop_value <= MEMBERSHIP_GATE_MAX_PROP_MS;
+    eprintln!(
+        "  detection p50 {:.1} ms ({:.2} heartbeat intervals), view propagation p50 {:.1} ms, \
+         epochs in order: {}",
+        percentile(&membership.detect_ms, 0.5),
+        membership_detect_value,
+        membership_prop_value,
+        membership.views_in_order,
+    );
+
     // The gate: the pooled+batched HPI bulk path must allocate at least
     // GATE_MIN_IMPROVEMENT times less than the seed path did.
     let gate_value = results
@@ -2079,6 +2406,11 @@ fn main() {
         telemetry_gate_value,
         telemetry_gate_pass,
         cluster_gate_pass,
+        &membership,
+        membership_detect_value,
+        membership_detect_pass,
+        membership_prop_value,
+        membership_prop_pass,
     );
     let mut file = std::fs::File::create(&out_path).expect("create output file");
     file.write_all(json.as_bytes()).expect("write output file");
@@ -2176,6 +2508,29 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if !membership_detect_pass {
+        eprintln!(
+            "perf_gate: FAIL — median failure detection took {membership_detect_value:.2} \
+             heartbeat intervals (must be <= {MEMBERSHIP_GATE_MAX_DETECT_INTERVALS:.1}); the \
+             detector sweep or the view push is stalling"
+        );
+        std::process::exit(1);
+    }
+    if !membership_prop_pass {
+        eprintln!(
+            "perf_gate: FAIL — median view propagation took {membership_prop_value:.2} ms \
+             (must be <= {MEMBERSHIP_GATE_MAX_PROP_MS:.1} ms); views are supposed to be \
+             pushed on the subscribers' channels, not polled"
+        );
+        std::process::exit(1);
+    }
+    if !membership.views_in_order {
+        eprintln!(
+            "perf_gate: FAIL — a survivor observed view epochs out of order or repeated \
+             (every sink must see strictly increasing view ids)"
+        );
+        std::process::exit(1);
+    }
     eprintln!(
         "perf_gate: PASS — HPI bulk allocation improvement {gate_value:.2}x, \
          binomial broadcast origin egress {coll_gate_value:.2}x flat for groups \
@@ -2185,7 +2540,9 @@ fn main() {
          flight-recorder overhead {telemetry_gate_value:.2}% (<= \
          {TELEMETRY_GATE_MAX_OVERHEAD_PCT:.1}%), cross-process cluster cases complete, \
          {C10K_CONNECTIONS} connections on {} reactor threads with p99 {:.2}x baseline, \
-         {SIM_RANKS}-rank sim at {:.0} events/s deterministic",
+         {SIM_RANKS}-rank sim at {:.0} events/s deterministic, membership detection \
+         {membership_detect_value:.2} heartbeat intervals with view propagation \
+         {membership_prop_value:.1} ms",
         c10k.reactor.workers, c10k.p99_ratio, sim.events_per_sec
     );
 }

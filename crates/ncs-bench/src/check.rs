@@ -390,6 +390,9 @@ mod tests {
         "cases": [ { "interface": "HPI", "package": "kernel", "threads": 4 } ] },
       "sim": { "gate": { "pass": true },
         "cases": [ { "scenario": "perf-broadcast", "ranks": 1000 } ] },
+      "membership": { "detection_gate": { "pass": true },
+        "propagation_gate": { "pass": true },
+        "cases": [ { "np": 4, "cycles": 2 } ] },
       "cases": [ { "interface": "HPI", "package": "kernel" } ]
     }"#;
 
@@ -449,6 +452,12 @@ mod tests {
         let problems = validate(&fresh, &snap);
         assert!(
             problems.iter().any(|p| p.contains("section 'cluster'")),
+            "{problems:?}"
+        );
+        // A fresh run that silently drops the membership section (its
+        // control-plane gates with it) must be rejected too.
+        assert!(
+            problems.iter().any(|p| p.contains("section 'membership'")),
             "{problems:?}"
         );
         assert!(

@@ -32,8 +32,8 @@
 //! early-arriving frames for later operations are stashed.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use ncs_core::{BufPool, Clock, NcsConnection, NcsNode, PooledBuf, Reactor};
@@ -185,6 +185,13 @@ struct Inner {
     /// Makes (id assignment, queue insertion) atomic across submitters.
     submit_lock: Mutex<()>,
     closed: Arc<AtomicBool>,
+    /// Nonzero once the world's membership view changed under this group
+    /// (the epoch that invalidated it): the group's topology no longer
+    /// matches reality, so every in-flight and future operation fails
+    /// fast with [`CollectiveError::ViewChanged`] instead of idling out
+    /// its timeout against a member that will never answer. Set through
+    /// [`ViewAbortHandle`] by the membership layer.
+    view_changed: AtomicU64,
     /// Links whose pump died on a transport failure (peer rank -> error).
     /// A collective spans every member, so one dead link dooms every
     /// in-flight and future operation: schedules consult this to fail
@@ -200,11 +207,38 @@ struct Inner {
 
 impl Inner {
     fn check_closed(&self) -> Result<(), CollectiveError> {
+        // View changes outrank plain closure: a group that was aborted by
+        // a membership epoch (then perhaps closed during rebuild) should
+        // tell its waiters *why* the topology died.
+        let epoch = self.view_changed.load(Ordering::Acquire);
+        if epoch != 0 {
+            return Err(CollectiveError::ViewChanged { epoch });
+        }
         if self.closed.load(Ordering::Acquire) {
             Err(CollectiveError::Closed)
         } else {
             Ok(())
         }
+    }
+
+    /// Marks the group dead under membership `epoch` (first abort wins)
+    /// and fails every queued operation. The operation in flight observes
+    /// the flag within a tick of its schedule. Returns whether this call
+    /// was the one that aborted the group.
+    fn abort_view_changed(&self, epoch: u64) -> bool {
+        if epoch == 0
+            || self
+                .view_changed
+                .compare_exchange(0, epoch, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+        {
+            return false;
+        }
+        while let Some(req) = self.ops.try_recv() {
+            req.done
+                .complete(Err(CollectiveError::ViewChanged { epoch }));
+        }
+        true
     }
 
     /// The failure a schedule waiting on `peer` should surface, if any
@@ -916,8 +950,8 @@ fn run_progress(inner: &Arc<Inner>, router: &Arc<Mutex<Option<Router>>>) {
             }
             continue;
         };
-        if inner.closed.load(Ordering::Acquire) {
-            req.done.complete(Err(CollectiveError::Closed));
+        if let Err(e) = inner.check_closed() {
+            req.done.complete(Err(e));
             continue;
         }
         let result = {
@@ -1036,6 +1070,7 @@ impl CollectiveGroup {
             submit_lock: Mutex::new(()),
             progress_active: AtomicBool::new(false),
             closed: Arc::new(AtomicBool::new(false)),
+            view_changed: AtomicU64::new(0),
             link_down: Mutex::new(HashMap::new()),
             clock: node.clock(),
             stats: StatCounters::registered(&node.registry(), id),
@@ -1105,6 +1140,26 @@ impl CollectiveGroup {
         while let Some(req) = self.inner.ops.try_recv() {
             req.done.complete(Err(CollectiveError::Closed));
         }
+    }
+
+    /// Marks the group invalidated by membership `epoch`: every queued
+    /// operation fails at once with [`CollectiveError::ViewChanged`], the
+    /// operation in flight observes the change within a tick of its
+    /// schedule, and all future submissions are refused with the same
+    /// error. First abort wins (later epochs don't overwrite the one that
+    /// killed the group); returns whether this call did the aborting.
+    ///
+    /// The group stays closed to traffic afterwards — rebuild a fresh
+    /// group over links matching the new view and retry there.
+    pub fn abort_view_changed(&self, epoch: u64) -> bool {
+        self.inner.abort_view_changed(epoch)
+    }
+
+    /// A weak handle through which a membership layer can abort this
+    /// group on view change without keeping it alive (a dropped group
+    /// makes the handle inert).
+    pub fn view_abort_handle(&self) -> ViewAbortHandle {
+        ViewAbortHandle(Arc::downgrade(&self.inner))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1474,6 +1529,39 @@ impl Drop for CollectiveGroup {
     }
 }
 
+/// A weak abort handle onto one [`CollectiveGroup`], held by a
+/// membership layer (e.g. `ncs-runtime`'s `ClusterNode`): when the
+/// world's view changes, [`ViewAbortHandle::abort`] fails the group fast
+/// with [`CollectiveError::ViewChanged`] so no collective idles out its
+/// timeout against a member that will never answer. Weak on purpose —
+/// watching a group must not keep it alive, and aborting an
+/// already-dropped group is a no-op.
+pub struct ViewAbortHandle(Weak<Inner>);
+
+impl std::fmt::Debug for ViewAbortHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ViewAbortHandle")
+            .field("live", &(self.0.strong_count() > 0))
+            .finish()
+    }
+}
+
+impl ViewAbortHandle {
+    /// Aborts the watched group under membership `epoch` (see
+    /// [`CollectiveGroup::abort_view_changed`]). Returns `false` when the
+    /// group is already gone or already aborted.
+    pub fn abort(&self, epoch: u64) -> bool {
+        self.0
+            .upgrade()
+            .is_some_and(|i| i.abort_view_changed(epoch))
+    }
+
+    /// Whether the watched group still exists.
+    pub fn is_live(&self) -> bool {
+        self.0.strong_count() > 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1524,5 +1612,60 @@ mod tests {
         assert!(matches!(g.barrier(), Err(CollectiveError::Closed)));
         drop(g);
         node.shutdown();
+    }
+
+    #[test]
+    fn view_abort_fails_fast_and_sticks() {
+        let node = NcsNode::builder("elastic").build();
+        let g = CollectiveGroup::new(&node, 1, 0, HashMap::new()).unwrap();
+        let handle = g.view_abort_handle();
+        assert!(handle.is_live());
+        // First abort wins; the losing epoch reports false.
+        assert!(handle.abort(7));
+        assert!(!handle.abort(8));
+        assert!(!g.abort_view_changed(9));
+        // Submissions fail with the aborting epoch, not a generic close.
+        assert!(matches!(
+            g.barrier(),
+            Err(CollectiveError::ViewChanged { epoch: 7 })
+        ));
+        // Even after close(), waiters learn *why* the topology died.
+        g.close();
+        assert!(matches!(
+            g.allreduce(vec![1u32], ReduceOp::Sum),
+            Err(CollectiveError::ViewChanged { epoch: 7 })
+        ));
+        drop(g);
+        assert!(!handle.is_live());
+        assert!(!handle.abort(10), "aborting a dropped group is a no-op");
+        node.shutdown();
+    }
+
+    #[test]
+    fn view_abort_drains_queued_operations() {
+        // A two-member group where the peer never participates: the
+        // submitted op can only hang on the peer's frames — until the
+        // view abort fails it fast (well before its op timeout).
+        let node = NcsNode::builder("survivor").build();
+        let peer = NcsNode::builder("ghost").build();
+        let (ln, lp) = ncs_core::link::HpiLinkPair::with_capacity(256);
+        node.attach_peer("ghost", ln);
+        peer.attach_peer("survivor", lp);
+        let conn = node
+            .connect("ghost", ncs_core::ConnectionConfig::unreliable())
+            .unwrap();
+        let _peer_side = peer.accept_default().unwrap();
+        let g = CollectiveGroup::new(&node, 1, 0, HashMap::from([(1usize, conn)])).unwrap();
+        let h = g.iallreduce(vec![1.0f64], ReduceOp::Sum).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(g.abort_view_changed(3));
+        assert_eq!(
+            h.wait(),
+            Err(CollectiveError::ViewChanged { epoch: 3 }),
+            "in-flight op must fail fast on view change"
+        );
+        drop(g);
+        node.shutdown();
+        peer.shutdown();
     }
 }

@@ -15,6 +15,15 @@ use crate::datatype::{from_bytes, Scalar};
 pub enum CollectiveError {
     /// The group (or an underlying connection) was closed.
     Closed,
+    /// The world's membership view changed (a member died, left, or
+    /// joined) while this operation was in flight. The group's topology
+    /// no longer matches reality: close this group and build a fresh one
+    /// against the new view (see `ncs-runtime`'s membership module),
+    /// then retry the operation there.
+    ViewChanged {
+        /// The membership epoch that invalidated the group.
+        epoch: u64,
+    },
     /// The operation did not complete in time — usually a member that
     /// never issued the matching call.
     Timeout,
@@ -31,6 +40,9 @@ impl std::fmt::Display for CollectiveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CollectiveError::Closed => write!(f, "collective group closed"),
+            CollectiveError::ViewChanged { epoch } => {
+                write!(f, "group view changed (epoch {epoch}); rebuild the group")
+            }
             CollectiveError::Timeout => write!(f, "collective operation timed out"),
             CollectiveError::Send(e) => write!(f, "group link failure: {e}"),
             CollectiveError::BadArg(why) => write!(f, "bad collective argument: {why}"),

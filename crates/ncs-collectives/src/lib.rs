@@ -61,6 +61,6 @@ mod handle;
 mod topology;
 
 pub use datatype::{DType, ReduceOp, Scalar};
-pub use engine::{CollectiveConfig, CollectiveGroup, CollectiveStats};
+pub use engine::{CollectiveConfig, CollectiveGroup, CollectiveStats, ViewAbortHandle};
 pub use handle::{CollectiveError, CollectiveHandle, CollectiveResult};
 pub use topology::{OpClass, Topology, TopologyPolicy};

@@ -350,6 +350,35 @@ impl NcsNode {
         self.inner.handles.lock().push(h);
     }
 
+    /// Severs every tie to `peer`: closes and unregisters its live
+    /// connections, forgets the accept-side `(peer, initiator conn)`
+    /// dedup entries, and drops the peer registration (link + control
+    /// channel). The counterpart of [`NcsNode::attach_peer`] for
+    /// membership churn — without it, a *replacement* process re-adopting
+    /// the peer's name would have its fresh setup hellos mistaken for
+    /// setup retries of the dead process's connections (conn ids restart
+    /// at zero in a new process) and silently re-acknowledged against a
+    /// corpse. A no-op for an unknown peer.
+    pub fn forget_peer(&self, peer: &str) {
+        self.inner.peers.lock().remove(peer);
+        self.inner
+            .accepted_index
+            .lock()
+            .retain(|(p, _), _| p != peer);
+        let dropped: Vec<Arc<ConnShared>> = {
+            let mut conns = self.inner.conns.lock();
+            let ids: Vec<u32> = conns
+                .iter()
+                .filter(|(_, s)| s.peer_name == peer)
+                .map(|(&id, _)| id)
+                .collect();
+            ids.iter().filter_map(|id| conns.remove(id)).collect()
+        };
+        for shared in dropped {
+            shared.initiate_close();
+        }
+    }
+
     /// Opens an NCS connection to `peer` with the given per-connection
     /// configuration (paper §3: flow control, error control and interface
     /// are fixed here; afterwards the same `send`/`recv` primitives apply

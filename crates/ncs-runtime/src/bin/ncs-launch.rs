@@ -7,7 +7,12 @@
 //! which stragglers are killed.
 //!
 //! Usage:
-//! `ncs-launch --np N [--timeout SECS] [--ncsd ADDR] [--log-dir DIR] [--telemetry] -- CMD [ARGS...]`
+//! `ncs-launch --np N [--timeout SECS] [--ncsd ADDR] [--log-dir DIR] [--telemetry] [--respawn-dead] -- CMD [ARGS...]`
+//!
+//! With `--respawn-dead` a rank that exits nonzero (or dies to a signal)
+//! is respawned into its slot with a bumped `NCS_INCARNATION` (up to 3
+//! times per rank); the respawned process is expected to rejoin the
+//! running world via the membership service instead of bootstrapping.
 //!
 //! With `--telemetry` every rank publishes its final metrics snapshot and
 //! flight-recorder dump at shutdown; the launcher prints the merged world
@@ -23,7 +28,7 @@ use ncs_runtime::{launch, LaunchSpec};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ncs-launch --np N [--timeout SECS] [--ncsd ADDR] [--log-dir DIR] [--telemetry] -- CMD [ARGS...]"
+        "usage: ncs-launch --np N [--timeout SECS] [--ncsd ADDR] [--log-dir DIR] [--telemetry] [--respawn-dead] -- CMD [ARGS...]"
     );
     std::process::exit(2);
 }
@@ -34,6 +39,7 @@ fn main() {
     let mut ncsd = None;
     let mut log_dir = None;
     let mut telemetry = false;
+    let mut respawn_dead = false;
     let mut command: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -57,6 +63,7 @@ fn main() {
                 None => usage(),
             },
             "--telemetry" => telemetry = true,
+            "--respawn-dead" => respawn_dead = true,
             "--" => {
                 command = args.collect();
                 break;
@@ -75,6 +82,7 @@ fn main() {
         timeout,
         log_dir,
         telemetry,
+        respawn_dead,
     };
     match launch(&spec) {
         Ok(report) => {

@@ -7,9 +7,11 @@
 //! sim-torture --script my-scenario.sim
 //! ```
 //!
-//! Exit status: `0` when every op of the scenario completed (and, with
-//! `--verify-determinism`, the second run matched the first byte for
-//! byte); `1` on op failure, determinism divergence, or bad usage.
+//! Exit status: `0` when every op of the scenario matched its expected
+//! outcome — completed, or failed fast where the scenario declares
+//! `expect-fail` (and, with `--verify-determinism`, the second run
+//! matched the first byte for byte); `1` on an unexpected op outcome,
+//! determinism divergence, or bad usage.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -20,7 +22,7 @@ use ncs_runtime::SimWorld;
 const USAGE: &str = "usage: sim-torture [--scenario NAME] [--ranks N] [--seed N] [--script FILE]
                    [--verify-determinism] [--trace-out FILE] [--telemetry-out FILE]
 
-scenarios: clean-allreduce | partition-heal | asymmetric-loss | flapping-peer
+scenarios: clean-allreduce | partition-heal | asymmetric-loss | flapping-peer | kill-heal
 --script FILE parses the scenario script format of docs/SIMULATION.md
 (--scenario/--ranks/--seed are ignored when --script is given, except
 that --seed overrides the script's seed for matrix sweeps).";
@@ -120,11 +122,17 @@ fn main() -> ExitCode {
         report.virtual_elapsed,
         wall
     );
-    for op in &report.ops {
+    for (i, op) in report.ops.iter().enumerate() {
+        let expected_fail = report.expect_failed.contains(&i);
         println!(
             "  {} {} elapsed {:?}{}{}",
             op.op,
-            if op.completed { "ok" } else { "FAILED" },
+            match (op.completed, expected_fail) {
+                (true, false) => "ok",
+                (false, true) => "failed-as-expected",
+                (true, true) => "COMPLETED (expected failure)",
+                (false, false) => "FAILED",
+            },
             op.elapsed,
             op.result
                 .map(|v| format!(" result {v}"))
@@ -172,10 +180,13 @@ fn main() -> ExitCode {
         );
     }
 
-    if report.all_completed() {
+    if report.passed() {
         ExitCode::SUCCESS
     } else {
-        eprintln!("sim-torture: scenario {} had failed ops", report.scenario);
+        eprintln!(
+            "sim-torture: scenario {} did not match its expected op outcomes",
+            report.scenario
+        );
         ExitCode::FAILURE
     }
 }

@@ -24,12 +24,14 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ncs_collectives::{CollectiveConfig, CollectiveError, CollectiveGroup};
+use ncs_collectives::{CollectiveConfig, CollectiveError, CollectiveGroup, ViewAbortHandle};
 use ncs_core::link::SciLink;
 use ncs_core::{AcceptError, ConnectError, ConnectionConfig, NcsConnection, NcsNode};
 use ncs_transport::sci::SciListener;
 use ncs_transport::TransportError;
+use parking_lot::{Condvar, Mutex};
 
+use crate::membership::{MemberAgent, MembershipConfig, MembershipMetrics, View, ViewSink};
 use crate::rendezvous;
 use crate::wire::{ClusterHello, Roster, PROTOCOL_VERSION};
 
@@ -44,6 +46,10 @@ pub mod env {
     pub const NCSD: &str = "NCS_NCSD";
     /// Optional SCI listener bind address (default `127.0.0.1:0`).
     pub const BIND: &str = "NCS_BIND";
+    /// This process's incarnation of its rank slot (0 at first launch;
+    /// `ncs-launch --respawn-dead` bumps it on every respawn). A nonzero
+    /// incarnation means "rejoin the world" rather than "bootstrap it".
+    pub const INCARNATION: &str = "NCS_INCARNATION";
 }
 
 /// Errors from cluster bootstrap and membership operations.
@@ -122,6 +128,10 @@ pub struct ClusterConfig {
     /// attached (so a world of crashed peers costs at most one further
     /// budget per dial, not an unbounded kernel connect).
     pub boot_timeout: Duration,
+    /// This process's incarnation of its rank slot (see
+    /// [`env::INCARNATION`]). Zero for a first launch; a replacement
+    /// process rejoining a vacated slot carries a higher number.
+    pub incarnation: u32,
 }
 
 impl ClusterConfig {
@@ -134,6 +144,7 @@ impl ClusterConfig {
             bind: "127.0.0.1:0".into(),
             conn: ConnectionConfig::unreliable(),
             boot_timeout: Duration::from_secs(30),
+            incarnation: 0,
         }
     }
 
@@ -164,6 +175,11 @@ impl ClusterConfig {
         if let Ok(bind) = std::env::var(env::BIND) {
             cfg.bind = bind;
         }
+        if let Ok(inc) = std::env::var(env::INCARNATION) {
+            cfg.incarnation = inc.parse().map_err(|_| {
+                ClusterError::Config(format!("{} must be an integer", env::INCARNATION))
+            })?;
+        }
         Ok(cfg)
     }
 
@@ -193,24 +209,66 @@ fn parse_rank_name(name: &str) -> Option<u32> {
 }
 
 /// One rank's handle on a fully bootstrapped multi-process NCS world.
+///
+/// Static worlds use it exactly as before membership existed. Elastic
+/// worlds additionally call [`ClusterNode::enable_membership`]: the rank
+/// then heartbeats `ncsd`, receives epoch [`View`]s, re-meshes its links
+/// when membership changes, and fails watched collective groups fast
+/// with [`CollectiveError::ViewChanged`] (register groups with
+/// [`ClusterNode::watch_group`]).
 pub struct ClusterNode {
+    shared: Arc<ClusterShared>,
+}
+
+/// The state a [`ClusterNode`] shares with its membership machinery (the
+/// view-applier thread re-meshes through the same link map the
+/// application reads).
+struct ClusterShared {
     node: NcsNode,
     rank: u32,
     world: u32,
     ncsd: SocketAddr,
-    roster: Roster,
-    links: HashMap<usize, NcsConnection>,
+    /// This rank's SCI listener, shared by every peer link — kept so
+    /// re-mesh can attach replacement links to it.
+    listener: Arc<SciListener>,
+    /// Per-connection configuration applied to re-meshed world links.
+    conn_cfg: ConnectionConfig,
+    incarnation: u32,
+    roster: Mutex<Roster>,
+    links: Mutex<HashMap<usize, NcsConnection>>,
+    /// The latest membership view applied (links already re-meshed to
+    /// match it when it lands here). `None` until membership is enabled
+    /// and the first view arrives.
+    view: Mutex<Option<View>>,
+    view_cv: Condvar,
+    /// Abort handles of collective groups watching for view changes.
+    watched: Mutex<Vec<ViewAbortHandle>>,
+    /// The running membership client, once enabled.
+    agent: Mutex<Option<MembershipDriver>>,
     telemetry_published: std::sync::Once,
+}
+
+/// The two threads behind an enabled membership: the heartbeat agent and
+/// the view applier (which does the slow re-mesh work so heartbeats never
+/// stall behind it — a rank must not get itself declared dead by being
+/// busy re-meshing).
+struct MembershipDriver {
+    agent: MemberAgent,
+    applier: Option<std::thread::JoinHandle<()>>,
 }
 
 /// Budget for the best-effort telemetry push back to `ncsd` at shutdown.
 const TELEMETRY_PUSH_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Budget for re-establishing one link during a view-change re-mesh.
+const REMESH_BUDGET: Duration = Duration::from_secs(10);
+
 impl std::fmt::Debug for ClusterNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClusterNode")
-            .field("rank", &self.rank)
-            .field("world", &self.world)
+            .field("rank", &self.shared.rank)
+            .field("world", &self.shared.world)
+            .field("incarnation", &self.shared.incarnation)
             .finish()
     }
 }
@@ -332,30 +390,208 @@ impl ClusterNode {
         }
 
         Ok(ClusterNode {
-            node,
+            shared: Arc::new(ClusterShared {
+                node,
+                rank: cfg.rank,
+                world: cfg.world,
+                ncsd: cfg.ncsd,
+                listener,
+                conn_cfg: cfg.conn,
+                incarnation: cfg.incarnation,
+                roster: Mutex::new(roster),
+                links: Mutex::new(links),
+                view: Mutex::new(None),
+                view_cv: Condvar::new(),
+                watched: Mutex::new(Vec::new()),
+                agent: Mutex::new(None),
+                telemetry_published: std::sync::Once::new(),
+            }),
+        })
+    }
+
+    /// Boots a *replacement* process back into a vacated rank slot of an
+    /// already-running world.
+    ///
+    /// Where [`ClusterNode::bootstrap`] is symmetric (every rank runs it
+    /// together), `rejoin` is one-sided: the world already exists, one
+    /// slot's occupant died (or left), and this process re-adopts the slot
+    /// with a bumped [`ClusterConfig::incarnation`]. It binds a listener,
+    /// replays the current membership [`View`] from `ncsd` (which also
+    /// publishes this join to every subscriber), and meshes with each
+    /// survivor under the bootstrap direction invariant — this rank dials
+    /// the higher survivors while the lower survivors' view appliers dial
+    /// it back.
+    ///
+    /// The survivors must be elastic ([`ClusterNode::enable_membership`])
+    /// or nobody re-meshes with the replacement and rejoin times out.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterError`]; notably [`ClusterError::Rendezvous`] when the
+    /// slot is still occupied by a live member.
+    pub fn rejoin(cfg: ClusterConfig) -> Result<Self, ClusterError> {
+        cfg.validate()?;
+        let deadline = Instant::now() + cfg.boot_timeout;
+        let listener = Arc::new(SciListener::bind(&cfg.bind)?);
+        let my_addr = listener.local_addr()?;
+
+        // State replay: ncsd admits us into the slot and hands back the
+        // post-join view (every live member, us included).
+        let view = rendezvous::rejoin(
+            cfg.ncsd,
+            cfg.rank,
+            cfg.world,
+            my_addr,
+            cfg.incarnation,
+            deadline
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(10)),
+        )?;
+
+        let node = NcsNode::builder(&rank_name(cfg.rank))
+            .rank(cfg.rank)
+            .build();
+        let dial_budget = deadline
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_secs(1));
+        let mut peers: Vec<(u32, SocketAddr)> = Vec::new();
+        for m in &view.members {
+            if m.rank == cfg.rank {
+                continue;
+            }
+            let addr: SocketAddr = m.addr.parse().map_err(|_| {
+                ClusterError::Rendezvous(format!(
+                    "replayed view carries unparseable address {:?} for rank {}",
+                    m.addr, m.rank
+                ))
+            })?;
+            node.attach_peer(
+                &rank_name(m.rank),
+                SciLink::with_connect_timeout(addr, Arc::clone(&listener), dial_budget),
+            );
+            peers.push((m.rank, addr));
+        }
+
+        // Mesh with the survivors: dial up, accept down — the same
+        // invariant their view appliers follow, so both sides agree who
+        // opens each link. A survivor only answers once its own view
+        // applier has processed this join (severed the dead occupant's
+        // state and re-attached), so dials retry until the deadline.
+        let mut links: HashMap<usize, NcsConnection> = HashMap::new();
+        for &(r, _) in peers.iter().filter(|&&(r, _)| r > cfg.rank) {
+            let conn = loop {
+                match node.connect(&rank_name(r), cfg.conn.clone()) {
+                    Ok(c) => break c,
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            return Err(e.into());
+                        }
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                }
+            };
+            links.insert(r as usize, conn);
+        }
+        let expected: usize = peers.iter().filter(|&&(r, _)| r < cfg.rank).count();
+        let mut accepted = 0usize;
+        while accepted < expected {
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or_else(|| {
+                    ClusterError::Timeout(format!(
+                        "rank {} rejoined but {} survivor(s) never re-meshed \
+                         (are they running with membership enabled?)",
+                        cfg.rank,
+                        expected - accepted
+                    ))
+                })?;
+            let conn = node.accept(left)?;
+            let Some(peer) = parse_rank_name(conn.peer_name()) else {
+                continue;
+            };
+            if peer >= cfg.world || peer == cfg.rank || links.contains_key(&(peer as usize)) {
+                continue;
+            }
+            links.insert(peer as usize, conn);
+            accepted += 1;
+        }
+
+        let hello = ClusterHello {
+            version: PROTOCOL_VERSION,
             rank: cfg.rank,
             world: cfg.world,
-            ncsd: cfg.ncsd,
-            roster,
-            links,
-            telemetry_published: std::sync::Once::new(),
+        };
+        for conn in links.values() {
+            conn.send(&hello.encode())
+                .map_err(|e| ClusterError::Connect(e.to_string()))?;
+        }
+        for (&peer, conn) in &links {
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or_else(|| {
+                    ClusterError::Timeout(format!("no handshake from rank {peer} in time"))
+                })?;
+            let frame = conn
+                .recv_timeout(left)
+                .map_err(|e| ClusterError::Handshake(format!("rank {peer}: {e}")))?;
+            let h = ClusterHello::decode(&frame)
+                .map_err(|e| ClusterError::Handshake(format!("rank {peer}: {e}")))?;
+            if h.version != PROTOCOL_VERSION || h.rank != peer as u32 || h.world != cfg.world {
+                return Err(ClusterError::Handshake(format!(
+                    "peer on link {peer} claims rank {} of world {} at protocol {} \
+                     (expected rank {peer} of {})",
+                    h.rank, h.world, h.version, cfg.world
+                )));
+            }
+        }
+
+        let mut members: Vec<(u32, SocketAddr)> = peers;
+        members.push((cfg.rank, my_addr));
+        members.sort_by_key(|&(r, _)| r);
+        let roster = Roster {
+            world: cfg.world,
+            members,
+        };
+        Ok(ClusterNode {
+            shared: Arc::new(ClusterShared {
+                node,
+                rank: cfg.rank,
+                world: cfg.world,
+                ncsd: cfg.ncsd,
+                listener,
+                conn_cfg: cfg.conn,
+                incarnation: cfg.incarnation,
+                roster: Mutex::new(roster),
+                links: Mutex::new(links),
+                view: Mutex::new(Some(view)),
+                view_cv: Condvar::new(),
+                watched: Mutex::new(Vec::new()),
+                agent: Mutex::new(None),
+                telemetry_published: std::sync::Once::new(),
+            }),
         })
     }
 
     /// This rank.
     pub fn rank(&self) -> u32 {
-        self.rank
+        self.shared.rank
     }
 
     /// World size.
     pub fn size(&self) -> u32 {
-        self.world
+        self.shared.world
+    }
+
+    /// This process's incarnation of its rank slot (0 for a first
+    /// launch).
+    pub fn incarnation(&self) -> u32 {
+        self.shared.incarnation
     }
 
     /// The underlying NCS node (for point-to-point primitives, pool
     /// statistics, thread package).
     pub fn node(&self) -> &NcsNode {
-        &self.node
+        &self.shared.node
     }
 
     /// The readiness reactor multiplexing every link of this rank — all
@@ -363,23 +599,28 @@ impl ClusterNode {
     /// share its O(cores) event loops. Inspect its
     /// [`stats`](ncs_core::Reactor::stats) for wakeup/poll diagnostics.
     pub fn reactor(&self) -> Arc<ncs_core::Reactor> {
-        self.node.reactor()
+        self.shared.node.reactor()
     }
 
-    /// The world roster learned at rendezvous.
-    pub fn roster(&self) -> &Roster {
-        &self.roster
+    /// The world roster: learned at rendezvous, kept current across
+    /// membership re-meshes (a replaced rank's slot points at its live
+    /// occupant).
+    pub fn roster(&self) -> Roster {
+        self.shared.roster.lock().clone()
     }
 
-    /// The bootstrap connection to `rank`, if it is another member.
-    pub fn connection(&self, rank: u32) -> Option<&NcsConnection> {
-        self.links.get(&(rank as usize))
+    /// The current world connection to `rank`, if it is another live
+    /// member. Returns a clone — connections are shareable handles — so
+    /// the membership machinery can re-mesh the underlying map without
+    /// invalidating anything the application holds.
+    pub fn connection(&self, rank: u32) -> Option<NcsConnection> {
+        self.shared.links.lock().get(&(rank as usize)).cloned()
     }
 
     /// A clone of the world-link map (peer rank -> connection), the shape
     /// [`CollectiveGroup::new`] consumes.
     pub fn world_links(&self) -> HashMap<usize, NcsConnection> {
-        self.links.clone()
+        self.shared.links.lock().clone()
     }
 
     /// Builds the collectives engine over the world links with the
@@ -395,7 +636,12 @@ impl ClusterNode {
     ///
     /// Propagates [`CollectiveGroup::new`] errors.
     pub fn collective_group(&self, id: u32) -> Result<CollectiveGroup, CollectiveError> {
-        CollectiveGroup::new(&self.node, id, self.rank as usize, self.world_links())
+        CollectiveGroup::new(
+            &self.shared.node,
+            id,
+            self.shared.rank as usize,
+            self.world_links(),
+        )
     }
 
     /// [`ClusterNode::collective_group`] with explicit tuning knobs.
@@ -408,7 +654,13 @@ impl ClusterNode {
         id: u32,
         cfg: CollectiveConfig,
     ) -> Result<CollectiveGroup, CollectiveError> {
-        CollectiveGroup::with_config(&self.node, id, self.rank as usize, self.world_links(), cfg)
+        CollectiveGroup::with_config(
+            &self.shared.node,
+            id,
+            self.shared.rank as usize,
+            self.world_links(),
+            cfg,
+        )
     }
 
     /// Opens a fresh point-to-point NCS connection to `rank` (beyond the
@@ -424,13 +676,13 @@ impl ClusterNode {
         rank: u32,
         cfg: ConnectionConfig,
     ) -> Result<NcsConnection, ClusterError> {
-        if rank == self.rank || rank >= self.world {
+        if rank == self.shared.rank || rank >= self.shared.world {
             return Err(ClusterError::Config(format!(
                 "cannot open a connection to rank {rank} from rank {} of {}",
-                self.rank, self.world
+                self.shared.rank, self.shared.world
             )));
         }
-        Ok(self.node.connect(&rank_name(rank), cfg)?)
+        Ok(self.shared.node.connect(&rank_name(rank), cfg)?)
     }
 
     /// Accepts the next incoming point-to-point connection from any peer
@@ -440,14 +692,14 @@ impl ClusterNode {
     ///
     /// [`ClusterError::Accept`] on timeout or shutdown.
     pub fn accept_connection(&self, timeout: Duration) -> Result<NcsConnection, ClusterError> {
-        Ok(self.node.accept(timeout)?)
+        Ok(self.shared.node.accept(timeout)?)
     }
 
     /// This rank's full telemetry dump — metrics snapshot plus every
     /// connection's flight recording — as one JSON object (the per-rank
     /// unit [`crate::launch()`] aggregates into the world view).
     pub fn telemetry(&self) -> String {
-        self.node.telemetry()
+        self.shared.node.telemetry()
     }
 
     /// Publishes this rank's telemetry to the launcher-side sinks, if any
@@ -456,7 +708,7 @@ impl ClusterNode {
     /// `NCS_TELEMETRY_FILE` path when set. Best-effort — failures are
     /// swallowed so telemetry never turns a clean exit into a failure.
     pub fn publish_telemetry(&self) {
-        self.telemetry_published.call_once(|| {
+        self.shared.telemetry_published.call_once(|| {
             let needs_push = ncs_obs::postmortem::push_requested();
             let needs_file = ncs_obs::postmortem::sink_path().is_some();
             if !needs_push && !needs_file {
@@ -467,19 +719,335 @@ impl ClusterNode {
                 ncs_obs::postmortem::write(&dump);
             }
             if needs_push {
-                let _ =
-                    rendezvous::push_telemetry(self.ncsd, self.rank, &dump, TELEMETRY_PUSH_TIMEOUT);
+                let _ = rendezvous::push_telemetry(
+                    self.shared.ncsd,
+                    self.shared.rank,
+                    &dump,
+                    TELEMETRY_PUSH_TIMEOUT,
+                );
             }
         });
     }
 
-    /// Shuts the rank down: publishes telemetry (when requested via the
+    /// Shuts the rank down: stops the membership machinery (if enabled),
+    /// publishes telemetry (when requested via the
     /// [`mod@ncs_obs::postmortem`] environment), closes every connection
     /// and stops the node's NCS threads. Idempotent.
     pub fn shutdown(&self) {
+        if let Some(mut driver) = self.shared.agent.lock().take() {
+            // Stopping the agent drops its view sink, which closes the
+            // applier's channel; join both so no thread outlives the node.
+            driver.agent.stop();
+            if let Some(h) = driver.applier.take() {
+                let _ = h.join();
+            }
+        }
         self.publish_telemetry();
-        self.node.shutdown();
+        self.shared.node.shutdown();
     }
+
+    // -- membership --------------------------------------------------------
+
+    /// Turns this rank into a member of an *elastic* world, with
+    /// failure-detector thresholds from the environment
+    /// ([`MembershipConfig::from_env`]). See
+    /// [`ClusterNode::enable_membership_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterNode::enable_membership_with`].
+    pub fn enable_membership(&self) -> Result<(), ClusterError> {
+        self.enable_membership_with(MembershipConfig::from_env())
+    }
+
+    /// Turns this rank into a member of an *elastic* world: starts the
+    /// heartbeat agent (subscribing to `ncsd`'s view stream) and the view
+    /// applier that keeps this rank's links matching each arriving
+    /// [`View`] — dropping links (and flushing their per-peer metric
+    /// series) when members die or leave, dialling/accepting replacement
+    /// links when members join, and failing watched collective groups
+    /// fast with [`CollectiveError::ViewChanged`].
+    ///
+    /// Idempotent: a second call on an already-elastic rank is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] for unordered thresholds;
+    /// [`ClusterError::Transport`] when the subscription dial fails.
+    pub fn enable_membership_with(&self, cfg: MembershipConfig) -> Result<(), ClusterError> {
+        cfg.validate()?;
+        let mut slot = self.shared.agent.lock();
+        if slot.is_some() {
+            return Ok(());
+        }
+        let metrics = MembershipMetrics::register(&self.shared.node.registry());
+        // Views are applied off the agent thread: re-meshing dials and
+        // accepts with multi-second budgets, and a rank that stalled its
+        // own heartbeats while re-meshing would promptly be declared dead
+        // itself.
+        let (tx, rx) = std::sync::mpsc::channel::<View>();
+        let weak = Arc::downgrade(&self.shared);
+        let applier = std::thread::Builder::new()
+            .name(format!("ncs-view-{}", self.shared.rank))
+            .spawn(move || {
+                while let Ok(view) = rx.recv() {
+                    let Some(shared) = weak.upgrade() else { return };
+                    apply_view(&shared, &view);
+                }
+            })
+            .expect("spawn view applier");
+        let tx = std::sync::Mutex::new(tx);
+        let sink: ViewSink = Arc::new(move |v: &View| {
+            if let Ok(tx) = tx.lock() {
+                let _ = tx.send(v.clone());
+            }
+        });
+        let agent = MemberAgent::start(
+            self.shared.ncsd,
+            self.shared.rank,
+            self.shared.incarnation,
+            cfg,
+            metrics,
+            sink,
+        )?;
+        *slot = Some(MembershipDriver {
+            agent,
+            applier: Some(applier),
+        });
+        Ok(())
+    }
+
+    /// The latest membership view applied to this rank (`None` until
+    /// membership is enabled and the first view arrives). When a view is
+    /// returned, this rank's links already match it.
+    pub fn current_view(&self) -> Option<View> {
+        self.shared.view.lock().clone()
+    }
+
+    /// Blocks until a membership view satisfying `pred` has been applied
+    /// (links re-meshed to match), or `timeout` passes.
+    ///
+    /// The canonical recovery wait after a [`CollectiveError::ViewChanged`]:
+    /// `wait_view(|v| v.is_full(), ...)` parks until the dead rank's
+    /// replacement has joined and this rank has re-linked to it.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Timeout`] when no satisfying view arrives in time.
+    pub fn wait_view(
+        &self,
+        pred: impl Fn(&View) -> bool,
+        timeout: Duration,
+    ) -> Result<View, ClusterError> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.shared.view.lock();
+        loop {
+            if let Some(v) = guard.as_ref() {
+                if pred(v) {
+                    return Ok(v.clone());
+                }
+            }
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or_else(|| {
+                    ClusterError::Timeout("no matching membership view in time".into())
+                })?;
+            self.shared.view_cv.wait_for(&mut guard, left);
+        }
+    }
+
+    /// Registers `group` for fail-fast on view change: when the world's
+    /// membership view next changes, the group's in-flight and queued
+    /// operations fail with [`CollectiveError::ViewChanged`] instead of
+    /// idling out their timeouts. Watching is weak — dropping the group
+    /// unregisters it.
+    pub fn watch_group(&self, group: &CollectiveGroup) {
+        let mut watched = self.shared.watched.lock();
+        watched.retain(ViewAbortHandle::is_live);
+        watched.push(group.view_abort_handle());
+    }
+}
+
+/// Applies one membership view to a rank: aborts watched groups, drops
+/// links to departed members (flushing their per-peer metric series),
+/// establishes links to new members, updates the roster, and finally
+/// publishes the view to [`ClusterNode::wait_view`] waiters — strictly in
+/// that order, so a satisfied `wait_view` implies the links already
+/// match. Runs on the dedicated view-applier thread, one view at a time,
+/// in epoch order.
+fn apply_view(shared: &Arc<ClusterShared>, view: &View) {
+    if let Some(cur) = shared.view.lock().as_ref() {
+        if view.id <= cur.id {
+            return;
+        }
+    }
+    let me = shared.rank;
+    // Diff the view against our wiring (rather than trusting the deltas
+    // alone): a subscriber that missed intermediate views still converges
+    // on the member list, which is authoritative.
+    let mut to_drop: Vec<u32> = Vec::new();
+    let mut to_link: Vec<(u32, SocketAddr)> = Vec::new();
+    {
+        let links = shared.links.lock();
+        let roster = shared.roster.lock();
+        let known_addr = |r: u32| {
+            roster
+                .members
+                .iter()
+                .find(|&&(rr, _)| rr == r)
+                .map(|&(_, a)| a)
+        };
+        for &p in links.keys() {
+            let p = p as u32;
+            match view.member(p) {
+                None => to_drop.push(p),
+                // Same slot, different occupant: relink below.
+                Some(m) if known_addr(p).map(|a| a.to_string()) != Some(m.addr.clone()) => {
+                    to_drop.push(p);
+                }
+                Some(_) => {}
+            }
+        }
+        for m in &view.members {
+            if m.rank == me {
+                continue;
+            }
+            let linked = links.contains_key(&(m.rank as usize));
+            let same_addr = known_addr(m.rank).map(|a| a.to_string()) == Some(m.addr.clone());
+            if linked && same_addr {
+                continue;
+            }
+            match m.addr.parse::<SocketAddr>() {
+                Ok(a) => to_link.push((m.rank, a)),
+                Err(_) => eprintln!(
+                    "[rank {me}] view {} carries unparseable address {:?} for rank {}",
+                    view.id, m.addr, m.rank
+                ),
+            }
+        }
+    }
+    to_drop.sort_unstable();
+    to_drop.dedup();
+    if !to_drop.is_empty() || !to_link.is_empty() {
+        // The topology is wrong from this instant: fail watched groups
+        // *before* the (slow) re-mesh so no collective idles against a
+        // member that will never answer.
+        let mut watched = shared.watched.lock();
+        watched.retain(ViewAbortHandle::is_live);
+        for h in watched.iter() {
+            h.abort(view.id);
+        }
+    }
+    let registry = shared.node.registry();
+    for p in &to_drop {
+        shared.links.lock().remove(&(*p as usize));
+        // Sever the node's ties (connections, accept dedup state, link)
+        // so a replacement re-adopting the name meshes from a clean
+        // slate, and flush the departed member's labelled series so
+        // telemetry snapshots don't accumulate ghosts across generations
+        // of occupants.
+        shared.node.forget_peer(&rank_name(*p));
+        registry.unregister_label("peer", &rank_name(*p));
+    }
+    for &(p, addr) in &to_link {
+        if let Err(e) = remesh_peer(shared, p, addr) {
+            eprintln!("[rank {me}] re-mesh with rank {p} at {addr} failed: {e}");
+        }
+    }
+    {
+        let mut roster = shared.roster.lock();
+        roster
+            .members
+            .retain(|&(r, _)| r == me || view.member(r).is_some());
+        for m in &view.members {
+            let Ok(a) = m.addr.parse::<SocketAddr>() else {
+                continue;
+            };
+            match roster.members.iter_mut().find(|&&mut (r, _)| r == m.rank) {
+                Some(slot) => slot.1 = a,
+                None => roster.members.push((m.rank, a)),
+            }
+        }
+        roster.members.sort_by_key(|&(r, _)| r);
+    }
+    let mut cur = shared.view.lock();
+    if view.id > cur.as_ref().map_or(0, |v| v.id) {
+        *cur = Some(view.clone());
+    }
+    shared.view_cv.notify_all();
+}
+
+/// Re-establishes the world link to `peer` (now at `addr`) after a view
+/// change, honouring the bootstrap direction invariant — the lower rank
+/// dials, the higher rank accepts — so the two ends of every re-mesh
+/// agree without coordination.
+fn remesh_peer(
+    shared: &Arc<ClusterShared>,
+    peer: u32,
+    addr: SocketAddr,
+) -> Result<(), ClusterError> {
+    let deadline = Instant::now() + REMESH_BUDGET;
+    shared.node.attach_peer(
+        &rank_name(peer),
+        SciLink::with_connect_timeout(addr, Arc::clone(&shared.listener), REMESH_BUDGET),
+    );
+    let conn = if shared.rank < peer {
+        // The other end may still be assembling (a replacement between
+        // its state replay and its accept loop): retry the dial until
+        // the budget runs out.
+        loop {
+            match shared
+                .node
+                .connect(&rank_name(peer), shared.conn_cfg.clone())
+            {
+                Ok(c) => break c,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e.into());
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+    } else {
+        loop {
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or_else(|| {
+                    ClusterError::Timeout(format!(
+                        "no inbound connection from rank {peer} during re-mesh"
+                    ))
+                })?;
+            let c = shared.node.accept(left)?;
+            match parse_rank_name(c.peer_name()) {
+                Some(p) if p == peer => break c,
+                _ => continue,
+            }
+        }
+    };
+    let hello = ClusterHello {
+        version: PROTOCOL_VERSION,
+        rank: shared.rank,
+        world: shared.world,
+    };
+    conn.send(&hello.encode())
+        .map_err(|e| ClusterError::Connect(e.to_string()))?;
+    let left = deadline
+        .checked_duration_since(Instant::now())
+        .ok_or_else(|| ClusterError::Timeout(format!("no re-mesh handshake from rank {peer}")))?;
+    let frame = conn
+        .recv_timeout(left)
+        .map_err(|e| ClusterError::Handshake(format!("rank {peer}: {e}")))?;
+    let h = ClusterHello::decode(&frame)
+        .map_err(|e| ClusterError::Handshake(format!("rank {peer}: {e}")))?;
+    if h.version != PROTOCOL_VERSION || h.rank != peer || h.world != shared.world {
+        return Err(ClusterError::Handshake(format!(
+            "re-meshed peer claims rank {} of world {} at protocol {} (expected rank {peer} of {})",
+            h.rank, h.world, h.version, shared.world
+        )));
+    }
+    shared.links.lock().insert(peer as usize, conn);
+    Ok(())
 }
 
 #[cfg(test)]

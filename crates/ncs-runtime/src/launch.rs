@@ -44,7 +44,20 @@ pub struct LaunchSpec {
     /// ([`LaunchReport::telemetry`], also `telemetry.json` in the log
     /// dir).
     pub telemetry: bool,
+    /// Self-healing worlds: when a rank exits nonzero (or dies to a
+    /// signal), respawn it into the same slot with a bumped
+    /// [`env::INCARNATION`] (up to [`MAX_RESPAWNS`] times per rank)
+    /// instead of recording the death. The respawned process sees a
+    /// nonzero incarnation and is expected to `ClusterNode::rejoin` the
+    /// running world rather than bootstrap it. Ranks exiting zero are
+    /// finished, never respawned.
+    pub respawn_dead: bool,
 }
+
+/// Respawn budget per rank slot under [`LaunchSpec::respawn_dead`] — a
+/// crash-looping rank must eventually fail the launch rather than churn
+/// forever.
+pub const MAX_RESPAWNS: u32 = 3;
 
 impl LaunchSpec {
     /// A spec running `command` on `np` local ranks with a 120 s deadline
@@ -57,6 +70,7 @@ impl LaunchSpec {
             timeout: Duration::from_secs(120),
             log_dir: None,
             telemetry: false,
+            respawn_dead: false,
         }
     }
 }
@@ -139,6 +153,82 @@ struct Running {
     child: Child,
     pumps: Vec<std::thread::JoinHandle<()>>,
     killed: bool,
+    /// Which incarnation of the rank slot this process is (respawns bump
+    /// it; the value is handed down via [`env::INCARNATION`]).
+    incarnation: u32,
+    respawns_left: u32,
+}
+
+/// Spawns one rank process with the world environment. `incarnation` is
+/// zero for the initial launch; respawns pass the bumped value (and the
+/// log tees switch to append so the death's evidence survives).
+fn spawn_rank(
+    spec: &LaunchSpec,
+    program: &str,
+    args: &[String],
+    ncsd: SocketAddr,
+    rank: u32,
+    incarnation: u32,
+) -> Result<Running, ClusterError> {
+    let mut cmd = Command::new(program);
+    cmd.args(args)
+        .env(env::RANK, rank.to_string())
+        .env(env::WORLD, spec.np.to_string())
+        .env(env::NCSD, ncsd.to_string())
+        .env(env::INCARNATION, incarnation.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    if spec.telemetry {
+        cmd.env(ncs_obs::postmortem::TELEMETRY_PUSH_ENV, "1");
+        if let Some(dir) = &spec.log_dir {
+            cmd.env(
+                ncs_obs::postmortem::TELEMETRY_FILE_ENV,
+                rank_telemetry_path(dir, rank),
+            );
+        }
+    }
+    let mut child = cmd.spawn().map_err(|e| {
+        ClusterError::Config(format!("cannot spawn '{program}' for rank {rank}: {e}"))
+    })?;
+    let tee = |suffix: &str| {
+        let path = spec
+            .log_dir
+            .as_ref()?
+            .join(format!("rank{rank}{suffix}.log"));
+        let opened = if incarnation == 0 {
+            std::fs::File::create(&path)
+        } else {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+        };
+        match opened {
+            Ok(f) => Some(f),
+            Err(e) => {
+                // The log files exist to diagnose failed runs; losing
+                // them must at least be loud.
+                eprintln!("ncs-launch: cannot create {}: {e}", path.display());
+                None
+            }
+        }
+    };
+    let mut pumps = Vec::new();
+    if let Some(out) = child.stdout.take() {
+        pumps.push(pump_stream(rank, out, false, tee("")));
+    }
+    if let Some(errs) = child.stderr.take() {
+        pumps.push(pump_stream(rank, errs, true, tee(".err")));
+    }
+    Ok(Running {
+        rank,
+        child,
+        pumps,
+        killed: false,
+        incarnation,
+        respawns_left: if spec.respawn_dead { MAX_RESPAWNS } else { 0 },
+    })
 }
 
 /// Where rank `rank`'s telemetry lands when a log dir is in play.
@@ -187,59 +277,17 @@ pub fn launch(spec: &LaunchSpec) -> Result<LaunchReport, ClusterError> {
 
     let mut world: Vec<Running> = Vec::with_capacity(spec.np as usize);
     for rank in 0..spec.np {
-        let mut cmd = Command::new(program);
-        cmd.args(args)
-            .env(env::RANK, rank.to_string())
-            .env(env::WORLD, spec.np.to_string())
-            .env(env::NCSD, ncsd.to_string())
-            .stdin(Stdio::null())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::piped());
-        if spec.telemetry {
-            cmd.env(ncs_obs::postmortem::TELEMETRY_PUSH_ENV, "1");
-            if let Some(dir) = &spec.log_dir {
-                cmd.env(
-                    ncs_obs::postmortem::TELEMETRY_FILE_ENV,
-                    rank_telemetry_path(dir, rank),
-                );
-            }
-        }
-        let mut child = cmd.spawn().map_err(|e| {
-            // Kill what we already spawned: a half-world would hang on
-            // rendezvous until its own timeout.
-            for r in &mut world {
-                let _ = r.child.kill();
-            }
-            ClusterError::Config(format!("cannot spawn '{program}' for rank {rank}: {e}"))
-        })?;
-        let tee = |suffix: &str| {
-            let path = spec
-                .log_dir
-                .as_ref()?
-                .join(format!("rank{rank}{suffix}.log"));
-            match std::fs::File::create(&path) {
-                Ok(f) => Some(f),
-                Err(e) => {
-                    // The log files exist to diagnose failed runs; losing
-                    // them must at least be loud.
-                    eprintln!("ncs-launch: cannot create {}: {e}", path.display());
-                    None
+        match spawn_rank(spec, program, args, ncsd, rank, 0) {
+            Ok(r) => world.push(r),
+            Err(e) => {
+                // Kill what we already spawned: a half-world would hang on
+                // rendezvous until its own timeout.
+                for r in &mut world {
+                    let _ = r.child.kill();
                 }
+                return Err(e);
             }
-        };
-        let mut pumps = Vec::new();
-        if let Some(out) = child.stdout.take() {
-            pumps.push(pump_stream(rank, out, false, tee("")));
         }
-        if let Some(errs) = child.stderr.take() {
-            pumps.push(pump_stream(rank, errs, true, tee(".err")));
-        }
-        world.push(Running {
-            rank,
-            child,
-            pumps,
-            killed: false,
-        });
     }
 
     // Reap under the deadline.
@@ -254,10 +302,34 @@ pub fn launch(spec: &LaunchSpec) -> Result<LaunchReport, ClusterError> {
             }
             match r.child.try_wait() {
                 Ok(Some(status)) => {
-                    exits[r.rank as usize] = Some(RankExit {
-                        rank: r.rank,
-                        code: status.code(),
-                    });
+                    let code = status.code();
+                    // Self-healing: a dead (nonzero/signalled) rank with
+                    // respawn budget left rejoins the world as the next
+                    // incarnation instead of ending the run.
+                    if code != Some(0) && r.respawns_left > 0 && Instant::now() < deadline {
+                        for p in r.pumps.drain(..) {
+                            let _ = p.join();
+                        }
+                        r.respawns_left -= 1;
+                        r.incarnation += 1;
+                        eprintln!(
+                            "ncs-launch: rank {} died (exit {:?}); respawning as incarnation {}",
+                            r.rank, code, r.incarnation
+                        );
+                        match spawn_rank(spec, program, args, ncsd, r.rank, r.incarnation) {
+                            Ok(fresh) => {
+                                r.child = fresh.child;
+                                r.pumps = fresh.pumps;
+                                all_done = false;
+                            }
+                            Err(e) => {
+                                eprintln!("ncs-launch: respawn of rank {} failed: {e}", r.rank);
+                                exits[r.rank as usize] = Some(RankExit { rank: r.rank, code });
+                            }
+                        }
+                    } else {
+                        exits[r.rank as usize] = Some(RankExit { rank: r.rank, code });
+                    }
                 }
                 Ok(None) => all_done = false,
                 Err(_) => {
@@ -431,6 +503,42 @@ mod tests {
         let report = launch(&spec).expect("launch");
         assert!(report.success(), "report: {report:?}");
         assert_eq!(report.exits.len(), 3);
+    }
+
+    #[test]
+    fn respawn_dead_revives_failing_ranks() {
+        // Incarnation 0 dies; incarnation 1 exits clean — the respawn
+        // policy must turn that into a successful world.
+        let cmd = vec![
+            "/bin/sh".into(),
+            "-c".into(),
+            "[ \"$NCS_INCARNATION\" -ge 1 ]".into(),
+        ];
+        let spec = LaunchSpec {
+            respawn_dead: true,
+            ..LaunchSpec::new(2, cmd.clone())
+        };
+        let report = launch(&spec).expect("launch");
+        assert!(report.success(), "report: {report:?}");
+
+        // Without the policy the same world fails on first death.
+        let report = launch(&LaunchSpec::new(2, cmd)).expect("launch");
+        assert!(!report.success());
+        assert_eq!(report.exit_code(), 1);
+    }
+
+    #[test]
+    fn respawn_budget_bounds_crash_loops() {
+        let spec = LaunchSpec {
+            respawn_dead: true,
+            ..LaunchSpec::new(1, vec!["/bin/sh".into(), "-c".into(), "exit 7".into()])
+        };
+        let t0 = Instant::now();
+        let report = launch(&spec).expect("launch");
+        assert!(!report.success());
+        assert_eq!(report.exit_code(), 7);
+        // MAX_RESPAWNS + 1 spawns, not an unbounded churn.
+        assert!(t0.elapsed() < Duration::from_secs(30));
     }
 
     #[test]

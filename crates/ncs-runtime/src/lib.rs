@@ -13,6 +13,11 @@
 //!   dial every peer with bounded retry/backoff, exchange a version+rank
 //!   handshake, and hand the application fully wired
 //!   [`ncs_core::NcsConnection`]s plus a ready-made collectives group.
+//! * [`membership`] — elastic worlds: `ncsd` doubles as a membership
+//!   service with heartbeat failure detection, epoch-numbered
+//!   [`membership::View`]s pushed to every subscriber, graceful leaves,
+//!   and rejoin-with-state-replay for replacement ranks (see
+//!   `docs/MEMBERSHIP.md`).
 //! * [`mod@launch`] — the `ncs-launch` binary's engine: spawn `--np N` local
 //!   ranks, propagate the environment, multiplex child output with
 //!   `[rank N]` prefixes, and reap under a hard deadline.
@@ -49,6 +54,7 @@
 
 pub mod cluster;
 pub mod launch;
+pub mod membership;
 pub mod rendezvous;
 pub mod session;
 pub mod sim;
@@ -56,6 +62,10 @@ pub mod wire;
 
 pub use cluster::{ClusterConfig, ClusterError, ClusterNode};
 pub use launch::{launch, LaunchReport, LaunchSpec, RankExit};
+pub use membership::{
+    Health, Member, MemberAgent, MembershipConfig, MembershipHub, MembershipMetrics,
+    MembershipTable, View,
+};
 pub use rendezvous::RendezvousServer;
 pub use session::{LocalSession, LocalWorld, Session, SessionError};
 pub use sim::{Scenario, SimReport, SimSession, SimWorld, SimWorldBuilder};

@@ -179,6 +179,11 @@ pub struct Scenario {
     pub events: Vec<ChaosEvent>,
     /// The op program.
     pub ops: Vec<SimOp>,
+    /// Indices into [`Scenario::ops`] that are *expected* to fail fast
+    /// (deadline-bounded failure is the scenario's point — e.g. the
+    /// degraded collective of `kill-heal`). [`SimReport::passed`] demands
+    /// these ops fail and every other op complete.
+    pub expect_failed: Vec<usize>,
 }
 
 /// Default per-op deadline used by the preset scenarios.
@@ -196,6 +201,7 @@ impl Scenario {
             rto: None,
             events: Vec::new(),
             ops: Vec::new(),
+            expect_failed: Vec::new(),
         }
     }
 
@@ -300,15 +306,57 @@ impl Scenario {
         s
     }
 
+    /// Preset: the SimWorld half of the elastic-membership story, for
+    /// worlds of three ranks or more. Rank 2 is killed just before the
+    /// first allreduce, which must *fail fast* at its tight deadline
+    /// rather than hang (the op is listed in
+    /// [`Scenario::expect_failed`]); the rank then revives — the
+    /// respawned replacement — and the next allreduce and barrier
+    /// complete over the healed world.
+    pub fn kill_heal(ranks: u32, seed: u64) -> Self {
+        let mut s = Scenario::new("kill-heal", ranks, seed);
+        let victim = 2 % ranks;
+        s.events = vec![
+            ChaosEvent {
+                at: Duration::from_micros(1),
+                kind: ChaosKind::KillRank { rank: victim },
+            },
+            ChaosEvent {
+                at: Duration::from_millis(15),
+                kind: ChaosKind::ReviveRank { rank: victim },
+            },
+        ];
+        s.ops = vec![
+            SimOp::Advance {
+                by: Duration::from_millis(1),
+            },
+            SimOp::Allreduce {
+                timeout: Duration::from_millis(10),
+            },
+            SimOp::Advance {
+                by: Duration::from_millis(10),
+            },
+            SimOp::Allreduce {
+                timeout: PRESET_OP_TIMEOUT,
+            },
+            SimOp::Barrier {
+                timeout: PRESET_OP_TIMEOUT,
+            },
+        ];
+        s.expect_failed = vec![1];
+        s
+    }
+
     /// The scenario registered under `name` (the CI matrix entries):
     /// `clean-allreduce`, `partition-heal`, `asymmetric-loss`,
-    /// `flapping-peer`.
+    /// `flapping-peer`, `kill-heal`.
     pub fn preset(name: &str, ranks: u32, seed: u64) -> Option<Self> {
         match name {
             "clean-allreduce" => Some(Self::clean_allreduce(ranks, seed)),
             "partition-heal" => Some(Self::partition_heal(ranks, seed)),
             "asymmetric-loss" => Some(Self::asymmetric_loss(ranks, seed)),
             "flapping-peer" => Some(Self::flapping_peer(ranks, seed)),
+            "kill-heal" => Some(Self::kill_heal(ranks, seed)),
             _ => None,
         }
     }
@@ -333,6 +381,11 @@ impl Scenario {
     /// op allreduce 30s
     /// op barrier 30s
     /// ```
+    ///
+    /// A deadline op may carry a trailing `expect-fail` token: the
+    /// scenario then *requires* that op to miss its deadline (the
+    /// fail-fast contract of kill scenarios) — see
+    /// [`Scenario::expect_failed`].
     ///
     /// # Errors
     ///
@@ -474,6 +527,16 @@ impl Scenario {
                         }
                         _ => return Err(err("unknown op")),
                     };
+                    match words.next() {
+                        None => {}
+                        Some("expect-fail") => {
+                            if matches!(op, SimOp::Advance { .. }) {
+                                return Err(err("advance cannot expect-fail"));
+                            }
+                            s.expect_failed.push(s.ops.len());
+                        }
+                        Some(_) => return Err(err("trailing words after op")),
+                    }
                     s.ops.push(op);
                 }
                 _ => return Err(err("unknown directive")),
@@ -553,12 +616,26 @@ pub struct SimReport {
     pub trace: String,
     /// Telemetry snapshot (ncs-obs JSON) of the run's counters.
     pub telemetry_json: String,
+    /// Op indices the scenario expected to fail (copied from
+    /// [`Scenario::expect_failed`]).
+    pub expect_failed: Vec<usize>,
 }
 
 impl SimReport {
     /// Whether every op in the program completed.
     pub fn all_completed(&self) -> bool {
         self.ops.iter().all(|o| o.completed)
+    }
+
+    /// The scenario's verdict: every op matched its expected outcome —
+    /// ops in [`SimReport::expect_failed`] missed their deadline (the
+    /// fail-fast contract), every other op completed. With no
+    /// expectations declared this is [`SimReport::all_completed`].
+    pub fn passed(&self) -> bool {
+        self.ops
+            .iter()
+            .enumerate()
+            .all(|(i, o)| o.completed != self.expect_failed.contains(&i))
     }
 }
 
@@ -749,6 +826,7 @@ impl SimWorld {
             events_processed: self.events_processed,
             trace: self.trace.join("\n"),
             telemetry_json: self.registry.snapshot().render_json(),
+            expect_failed: self.scenario.expect_failed.clone(),
         }
     }
 
@@ -1486,6 +1564,16 @@ impl SimSession {
         self.driver.clock.now()
     }
 
+    /// The world's shared [`VirtualClock`]. Advancing it fast-forwards
+    /// every deadline in the world — hand it to a
+    /// [`crate::MembershipHub`] and jump past `dead_after` to drive a
+    /// failure-detection timeline deterministically (the pump thread
+    /// only ever moves the clock forward, so explicit jumps compose with
+    /// it).
+    pub fn clock(&self) -> Arc<VirtualClock> {
+        Arc::clone(&self.driver.clock)
+    }
+
     /// The fabric this world rides (delivery/drop counters, manual
     /// chaos).
     pub fn net(&self) -> &Arc<SimNet> {
@@ -1697,6 +1785,42 @@ op barrier 30s
         assert!(Scenario::parse("ranks 0").is_err());
         assert!(Scenario::parse("ranks 4\nat nonsense cut 0 1").is_err());
         assert!(Scenario::parse("ranks 4\nop allreduce").is_err());
+        assert!(Scenario::parse("ranks 4\nop allreduce 5s bogus").is_err());
+        assert!(Scenario::parse("ranks 4\nop advance 1ms expect-fail").is_err());
+    }
+
+    #[test]
+    fn expect_fail_script_token_demands_the_deadline_miss() {
+        let script = r"
+scenario scripted-kill
+ranks 8
+seed 3
+at 1us kill 2
+at 15ms revive 2
+op advance 1ms
+op allreduce 10ms expect-fail
+op advance 10ms
+op allreduce 30s
+";
+        let s = Scenario::parse(script).expect("parse");
+        assert_eq!(s.expect_failed, vec![1]);
+        let report = SimWorld::new(s).run();
+        assert!(!report.all_completed());
+        assert!(report.passed(), "{:?}", report.ops);
+    }
+
+    #[test]
+    fn kill_heal_preset_fails_fast_then_completes() {
+        let report = SimWorld::new(Scenario::kill_heal(16, 4)).run();
+        assert!(report.passed(), "{:?}", report.ops);
+        // The degraded allreduce fail-fasts exactly at its deadline (no
+        // hang) with the root among the failed ranks …
+        assert!(!report.ops[1].completed);
+        assert!(report.ops[1].failed_ranks.contains(&0));
+        assert_eq!(report.ops[1].elapsed, Duration::from_millis(10));
+        // … and the healed world completes the full-sum allreduce.
+        assert!(report.ops[3].completed);
+        assert_eq!(report.ops[3].result, Some(16 * 15 / 2));
     }
 
     #[test]

@@ -1,10 +1,16 @@
-//! The cluster bootstrap wire protocol.
+//! The cluster bootstrap and membership wire protocol.
 //!
-//! Two tiny framed exchanges, both carried over SCI (length-prefixed TCP):
+//! Three tiny framed exchanges, all carried over SCI (length-prefixed
+//! TCP):
 //!
 //! * **rendezvous** — each rank sends one [`RvMsg::Register`] to `ncsd`
 //!   and receives back either the full [`RvMsg::Roster`] (once every rank
 //!   of the world has registered) or an [`RvMsg::Reject`];
+//! * **membership** — a rank opens a long-lived channel with
+//!   [`RvMsg::Subscribe`], pulses [`RvMsg::Heartbeat`]s up it and receives
+//!   [`RvMsg::HeartbeatAck`]s and epoch-numbered [`RvMsg::View`]s back; a
+//!   replacement rank replays state with [`RvMsg::Rejoin`] /
+//!   [`RvMsg::Replay`] (see [`crate::membership`]);
 //! * **peer handshake** — the first message on every freshly established
 //!   NCS connection between two ranks is a [`ClusterHello`], proving both
 //!   sides speak the same protocol version and are the rank the dialer
@@ -15,10 +21,13 @@
 
 use std::net::SocketAddr;
 
+use crate::membership::{Member, View};
+
 /// Version of the cluster bootstrap protocol. Bumped on any wire change;
 /// rendezvous and handshake both refuse mismatched peers outright (a
-/// half-understood bootstrap is worse than a failed one).
-pub const PROTOCOL_VERSION: u32 = 1;
+/// half-understood bootstrap is worse than a failed one). Version 2 added
+/// the membership verbs (tags 6–12).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Magic prefix of a [`ClusterHello`] frame.
 const HELLO_MAGIC: &[u8; 4] = b"NCSW";
@@ -81,6 +90,71 @@ pub enum RvMsg {
     /// Acknowledgement of a [`RvMsg::Telemetry`] push (lets the rank
     /// shut down knowing the snapshot landed).
     TelemetryAck,
+    /// Opens a rank's long-lived membership channel: the same connection
+    /// then carries [`RvMsg::Heartbeat`]s up and [`RvMsg::View`]s /
+    /// [`RvMsg::HeartbeatAck`]s down until either side closes it.
+    Subscribe {
+        /// The subscribing rank.
+        rank: u32,
+        /// The rank's incarnation (0 at first launch, bumped by the
+        /// launcher on every respawn).
+        incarnation: u32,
+    },
+    /// One failure-detector pulse from a rank.
+    Heartbeat {
+        /// The pulsing rank.
+        rank: u32,
+        /// Monotonic per-rank pulse counter.
+        seq: u64,
+        /// The sender's local clock reading (nanoseconds), echoed back in
+        /// the ack so the sender can compute the round-trip time without
+        /// any clock agreement.
+        nanos: u64,
+    },
+    /// The service's answer to a [`RvMsg::Heartbeat`].
+    HeartbeatAck {
+        /// The pulse being acknowledged.
+        seq: u64,
+        /// The sender's clock reading, echoed verbatim.
+        nanos: u64,
+        /// The current view epoch (lets a rank notice it missed a view).
+        view: u64,
+        /// How many members the failure detector currently suspects.
+        suspects: u32,
+    },
+    /// An epoch-numbered group view, pushed to every subscriber whenever
+    /// membership changes.
+    View {
+        /// The view.
+        view: View,
+    },
+    /// A rank leaving the world gracefully (rolling restart, scale-down).
+    Leave {
+        /// The departing rank.
+        rank: u32,
+    },
+    /// A recovering or replacement rank announcing itself: re-adopts
+    /// `rank` with a fresh listener address and incarnation, and asks for
+    /// the roster + view state replay.
+    Rejoin {
+        /// The sender's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Expected world size.
+        world: u32,
+        /// The rank being re-adopted.
+        rank: u32,
+        /// The replacement's SCI listener address, as `ip:port`.
+        addr: String,
+        /// The replacement's incarnation (must exceed the dead one's).
+        incarnation: u32,
+    },
+    /// The state replay answering a [`RvMsg::Rejoin`]: the post-join view
+    /// (which carries every live member's address — the roster the
+    /// replacement re-meshes against).
+    Replay {
+        /// The current view, with the rejoiner already a member.
+        view: View,
+    },
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -98,6 +172,72 @@ fn get_u32(bytes: &[u8], at: &mut usize) -> Result<u32, WireError> {
         .expect("4 bytes");
     *at = end;
     Ok(u32::from_be_bytes(v))
+}
+
+fn get_u64(bytes: &[u8], at: &mut usize) -> Result<u64, WireError> {
+    let end = *at + 8;
+    let v = bytes
+        .get(*at..end)
+        .ok_or_else(|| err("truncated u64"))?
+        .try_into()
+        .expect("8 bytes");
+    *at = end;
+    Ok(u64::from_be_bytes(v))
+}
+
+/// Encodes a rank list as a u32 count plus the ranks.
+fn put_ranks(out: &mut Vec<u8>, ranks: &[u32]) {
+    out.extend_from_slice(&(ranks.len() as u32).to_be_bytes());
+    for r in ranks {
+        out.extend_from_slice(&r.to_be_bytes());
+    }
+}
+
+fn get_ranks(bytes: &[u8], at: &mut usize) -> Result<Vec<u32>, WireError> {
+    let n = get_u32(bytes, at)?;
+    if n > 1 << 20 {
+        return Err(err("implausible rank list size"));
+    }
+    (0..n).map(|_| get_u32(bytes, at)).collect()
+}
+
+fn put_view(out: &mut Vec<u8>, view: &View) {
+    out.extend_from_slice(&view.id.to_be_bytes());
+    out.extend_from_slice(&view.world.to_be_bytes());
+    out.extend_from_slice(&(view.members.len() as u32).to_be_bytes());
+    for m in &view.members {
+        out.extend_from_slice(&m.rank.to_be_bytes());
+        put_str(out, &m.addr);
+        out.extend_from_slice(&m.incarnation.to_be_bytes());
+    }
+    put_ranks(out, &view.joined);
+    put_ranks(out, &view.left);
+    put_ranks(out, &view.dead);
+}
+
+fn get_view(bytes: &[u8], at: &mut usize) -> Result<View, WireError> {
+    let id = get_u64(bytes, at)?;
+    let world = get_u32(bytes, at)?;
+    let n = get_u32(bytes, at)?;
+    if n > 1 << 20 {
+        return Err(err("implausible view size"));
+    }
+    let mut members = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        members.push(Member {
+            rank: get_u32(bytes, at)?,
+            addr: get_str(bytes, at)?,
+            incarnation: get_u32(bytes, at)?,
+        });
+    }
+    Ok(View {
+        id,
+        world,
+        members,
+        joined: get_ranks(bytes, at)?,
+        left: get_ranks(bytes, at)?,
+        dead: get_ranks(bytes, at)?,
+    })
 }
 
 /// Telemetry dumps routinely exceed the `u16` string limit, so they ride
@@ -172,6 +312,55 @@ impl RvMsg {
                 put_str32(&mut out, json);
             }
             RvMsg::TelemetryAck => out.push(5),
+            RvMsg::Subscribe { rank, incarnation } => {
+                out.push(6);
+                out.extend_from_slice(&rank.to_be_bytes());
+                out.extend_from_slice(&incarnation.to_be_bytes());
+            }
+            RvMsg::Heartbeat { rank, seq, nanos } => {
+                out.push(7);
+                out.extend_from_slice(&rank.to_be_bytes());
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(&nanos.to_be_bytes());
+            }
+            RvMsg::HeartbeatAck {
+                seq,
+                nanos,
+                view,
+                suspects,
+            } => {
+                out.push(8);
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(&nanos.to_be_bytes());
+                out.extend_from_slice(&view.to_be_bytes());
+                out.extend_from_slice(&suspects.to_be_bytes());
+            }
+            RvMsg::View { view } => {
+                out.push(9);
+                put_view(&mut out, view);
+            }
+            RvMsg::Leave { rank } => {
+                out.push(10);
+                out.extend_from_slice(&rank.to_be_bytes());
+            }
+            RvMsg::Rejoin {
+                version,
+                world,
+                rank,
+                addr,
+                incarnation,
+            } => {
+                out.push(11);
+                out.extend_from_slice(&version.to_be_bytes());
+                out.extend_from_slice(&world.to_be_bytes());
+                out.extend_from_slice(&rank.to_be_bytes());
+                put_str(&mut out, addr);
+                out.extend_from_slice(&incarnation.to_be_bytes());
+            }
+            RvMsg::Replay { view } => {
+                out.push(12);
+                put_view(&mut out, view);
+            }
         }
         out
     }
@@ -219,6 +408,44 @@ impl RvMsg {
                 json: get_str32(bytes, &mut at)?,
             },
             5 => RvMsg::TelemetryAck,
+            6 => RvMsg::Subscribe {
+                rank: get_u32(bytes, &mut at)?,
+                incarnation: get_u32(bytes, &mut at)?,
+            },
+            7 => RvMsg::Heartbeat {
+                rank: get_u32(bytes, &mut at)?,
+                seq: get_u64(bytes, &mut at)?,
+                nanos: get_u64(bytes, &mut at)?,
+            },
+            8 => RvMsg::HeartbeatAck {
+                seq: get_u64(bytes, &mut at)?,
+                nanos: get_u64(bytes, &mut at)?,
+                view: get_u64(bytes, &mut at)?,
+                suspects: get_u32(bytes, &mut at)?,
+            },
+            9 => RvMsg::View {
+                view: get_view(bytes, &mut at)?,
+            },
+            10 => RvMsg::Leave {
+                rank: get_u32(bytes, &mut at)?,
+            },
+            11 => {
+                let version = get_u32(bytes, &mut at)?;
+                let world = get_u32(bytes, &mut at)?;
+                let rank = get_u32(bytes, &mut at)?;
+                let addr = get_str(bytes, &mut at)?;
+                let incarnation = get_u32(bytes, &mut at)?;
+                RvMsg::Rejoin {
+                    version,
+                    world,
+                    rank,
+                    addr,
+                    incarnation,
+                }
+            }
+            12 => RvMsg::Replay {
+                view: get_view(bytes, &mut at)?,
+            },
             other => return Err(err(&format!("unknown tag {other}"))),
         };
         if at != bytes.len() {
@@ -346,6 +573,60 @@ mod tests {
                 json: format!("{{\"node\":\"rank1\",\"pad\":\"{}\"}}", "x".repeat(70_000)),
             },
             RvMsg::TelemetryAck,
+            RvMsg::Subscribe {
+                rank: 3,
+                incarnation: 1,
+            },
+            RvMsg::Heartbeat {
+                rank: 2,
+                seq: u64::MAX - 1,
+                nanos: 123_456_789_000,
+            },
+            RvMsg::HeartbeatAck {
+                seq: 7,
+                nanos: 123_456_789_000,
+                view: 42,
+                suspects: 1,
+            },
+            RvMsg::View {
+                view: View {
+                    id: 9,
+                    world: 4,
+                    members: vec![
+                        Member {
+                            rank: 0,
+                            addr: "127.0.0.1:1".into(),
+                            incarnation: 0,
+                        },
+                        Member {
+                            rank: 2,
+                            addr: "127.0.0.1:3".into(),
+                            incarnation: 2,
+                        },
+                    ],
+                    joined: vec![2],
+                    left: vec![],
+                    dead: vec![1, 3],
+                },
+            },
+            RvMsg::Leave { rank: 1 },
+            RvMsg::Rejoin {
+                version: PROTOCOL_VERSION,
+                world: 4,
+                rank: 2,
+                addr: "127.0.0.1:4712".into(),
+                incarnation: 1,
+            },
+            RvMsg::Replay {
+                view: View {
+                    id: 1,
+                    world: 2,
+                    members: vec![],
+                    joined: vec![],
+                    left: vec![],
+                    dead: vec![],
+                },
+            },
         ];
         for m in msgs {
             assert_eq!(RvMsg::decode(&m.encode()), Ok(m.clone()));

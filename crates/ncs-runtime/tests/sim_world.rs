@@ -18,6 +18,7 @@ fn same_seed_identical_trace_and_telemetry() {
         "partition-heal",
         "asymmetric-loss",
         "flapping-peer",
+        "kill-heal",
     ] {
         let a = SimWorld::new(Scenario::preset(preset, 96, 0xDECAF).unwrap()).run();
         let b = SimWorld::new(Scenario::preset(preset, 96, 0xDECAF).unwrap()).run();
@@ -78,6 +79,25 @@ fn flapping_peer_delays_but_completes() {
         serde_free_counter(&report.telemetry_json, "sim_chaos_events_total") == 10,
         "all 5 flap cycles should have fired"
     );
+}
+
+/// The kill-heal preset end to end: the degraded allreduce fail-fasts
+/// at its (expected) deadline, the victim revives, and the healed world
+/// completes the full sum — the SimWorld half of the elastic-membership
+/// acceptance story.
+#[test]
+fn kill_heal_preset_recovers_the_world() {
+    let report = SimWorld::new(Scenario::kill_heal(64, 9)).run();
+    assert!(report.passed(), "{:?}", report.ops);
+    assert!(
+        !report.all_completed(),
+        "op 1 must fail while rank 2 is dead"
+    );
+    assert!(!report.ops[1].completed);
+    assert!(report.ops[1].failed_ranks.contains(&0), "root never summed");
+    assert!(report.ops[3].completed, "healed allreduce must complete");
+    assert_eq!(report.ops[3].result, Some(64 * 63 / 2));
+    assert!(report.ops[4].completed, "healed barrier must complete");
 }
 
 /// A killed rank fails the barrier at its virtual-time deadline —
